@@ -1,0 +1,43 @@
+# proxykit — common development targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples cover fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+experiments:
+	$(GO) run ./cmd/benchproxy
+
+examples:
+	@for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run ./$$d || exit 1; \
+		echo; \
+	done
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+fuzz:
+	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/restrict/
+	$(GO) test -fuzz=FuzzUnmarshalCertificate -fuzztime=30s ./internal/proxy/
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,631 @@
+// Benchmarks, one group per experiment of DESIGN.md / EXPERIMENTS.md.
+// Each BenchmarkE<n>* regenerates the measured quantity behind the
+// corresponding experiment table; cmd/benchproxy prints the full shaped
+// tables (message counts, modeled latencies, cross-scheme comparisons).
+package proxykit_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"proxykit/internal/accounting"
+	"proxykit/internal/acl"
+	"proxykit/internal/authz"
+	"proxykit/internal/baseline/amoeba"
+	"proxykit/internal/baseline/registry"
+	"proxykit/internal/baseline/sollins"
+	"proxykit/internal/endserver"
+	"proxykit/internal/group"
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/kerberos"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/pubkey"
+	"proxykit/internal/replay"
+	"proxykit/internal/restrict"
+	"proxykit/internal/svc"
+	"proxykit/internal/transport"
+)
+
+const benchRealm = "BENCH.ORG"
+
+// benchWorld provisions identities and a directory for benchmarks.
+type benchWorld struct {
+	dir *pubkey.Directory
+	ids map[string]*pubkey.Identity
+}
+
+func newBenchWorld(b *testing.B, names ...string) *benchWorld {
+	b.Helper()
+	w := &benchWorld{dir: pubkey.NewDirectory(), ids: map[string]*pubkey.Identity{}}
+	for _, n := range names {
+		ident, err := pubkey.NewIdentity(principal.New(n, benchRealm))
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.ids[n] = ident
+		w.dir.RegisterIdentity(ident)
+	}
+	return w
+}
+
+func (w *benchWorld) id(name string) principal.ID { return principal.New(name, benchRealm) }
+
+func (w *benchWorld) env(server string) *proxy.VerifyEnv {
+	return &proxy.VerifyEnv{
+		Server:          w.id(server),
+		MaxSkew:         time.Minute,
+		ResolveIdentity: w.dir.Resolver(),
+	}
+}
+
+func benchRestrictions(n int) restrict.Set {
+	rs := make(restrict.Set, 0, n)
+	for i := 0; i < n; i++ {
+		rs = append(rs, restrict.Quota{Currency: fmt.Sprintf("c%d", i), Limit: int64(i)})
+	}
+	return rs
+}
+
+// --- E1: Fig. 1, grant and verify ---
+
+func BenchmarkE1Grant(b *testing.B) {
+	for _, n := range []int{0, 8} {
+		b.Run(fmt.Sprintf("restrictions=%d", n), func(b *testing.B) {
+			w := newBenchWorld(b, "alice")
+			rs := benchRestrictions(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := proxy.Grant(proxy.GrantParams{
+					Grantor:       w.id("alice"),
+					GrantorSigner: w.ids["alice"].Signer(),
+					Restrictions:  rs,
+					Lifetime:      time.Hour,
+					Mode:          proxy.ModePublicKey,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE1Verify(b *testing.B) {
+	for _, n := range []int{0, 8} {
+		b.Run(fmt.Sprintf("restrictions=%d", n), func(b *testing.B) {
+			w := newBenchWorld(b, "alice", "file")
+			p, err := proxy.Grant(proxy.GrantParams{
+				Grantor:       w.id("alice"),
+				GrantorSigner: w.ids["alice"].Signer(),
+				Restrictions:  benchRestrictions(n),
+				Lifetime:      time.Hour,
+				Mode:          proxy.ModePublicKey,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			env := w.env("file")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.VerifyChain(p.Certs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E2: Fig. 2, full composed request over the wire ---
+
+func BenchmarkE2FullStack(b *testing.B) {
+	w := newBenchWorld(b, "bob", "groups", "authz", "file")
+	groupSrv := group.New(w.ids["groups"], nil)
+	groupSrv.AddMember("staff", w.id("bob"))
+	authzSrv := authz.New(w.ids["authz"], nil)
+	authzSrv.AddRule(authz.Rule{
+		EndServer: w.id("file"), Object: "/doc",
+		Subject: acl.Subject{Groups: []principal.Global{groupSrv.Global("staff")}},
+		Ops:     []string{"read"},
+	})
+	endSrv := endserver.New(w.id("file"), w.env("file"), nil)
+	endSrv.SetACL("/doc", acl.New(acl.PrincipalEntry(authzSrv.ID, "read")))
+
+	net := transport.NewNetwork()
+	resolve := w.dir.Resolver()
+	net.Register("groups", svc.NewGroupService(groupSrv, resolve, nil).Mux())
+	net.Register("authz", svc.NewAuthzService(authzSrv, resolve, nil).Mux())
+	net.Register("file", svc.NewEndService(endSrv, resolve, nil).Mux())
+
+	gc := svc.NewGroupClient(net.MustDial("groups"), w.ids["bob"], nil)
+	gp, err := gc.Grant(svc.GroupGrantParams{Groups: []string{"staff"}, Lifetime: time.Hour, Delegate: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ac := svc.NewAuthzClient(net.MustDial("authz"), w.ids["bob"], nil)
+	ap, err := ac.Grant(svc.GrantParams{
+		EndServer: w.id("file"), Lifetime: time.Hour, Delegate: true,
+		GroupProxies: []*proxy.Presentation{gp.PresentDelegate()},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ec := svc.NewEndClient(net.MustDial("file"), w.ids["bob"], nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ec.Request(svc.RequestParams{
+			Object: "/doc", Op: "read",
+			Proxies: []*proxy.Presentation{ap.PresentDelegate()},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: Fig. 3, authorization decision paths ---
+
+func BenchmarkE3DirectACL(b *testing.B) {
+	w := newBenchWorld(b, "alice", "file")
+	endSrv := endserver.New(w.id("file"), w.env("file"), nil)
+	endSrv.SetACL("/doc", acl.New(acl.PrincipalEntry(w.id("alice"), "read")))
+	req := &endserver.Request{Object: "/doc", Op: "read", Identities: []principal.ID{w.id("alice")}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := endSrv.Authorize(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3AuthzProxySteadyState(b *testing.B) {
+	w := newBenchWorld(b, "alice", "authz", "file")
+	authzSrv := authz.New(w.ids["authz"], nil)
+	authzSrv.AddRule(authz.Rule{
+		EndServer: w.id("file"), Object: "/doc",
+		Subject: acl.Subject{Principals: principal.NewCompound(w.id("alice"))},
+		Ops:     []string{"read"},
+	})
+	endSrv := endserver.New(w.id("file"), w.env("file"), nil)
+	endSrv.SetACL("/doc", acl.New(acl.PrincipalEntry(authzSrv.ID, "read")))
+	p, err := authzSrv.Grant(&authz.GrantRequest{
+		Client: w.id("alice"), EndServer: w.id("file"), Delegate: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &endserver.Request{
+		Object: "/doc", Op: "read",
+		Identities: []principal.ID{w.id("alice")},
+		Proxies:    []*proxy.Presentation{p.PresentDelegate()},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := endSrv.Authorize(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3RegistryBaseline(b *testing.B) {
+	reg := registry.NewServer()
+	alice := principal.New("alice", benchRealm)
+	reg.AddMember("readers", alice)
+	net := transport.NewNetwork()
+	net.Register("reg", reg.Mux())
+	es := registry.NewEndServer("readers", net.MustDial("reg"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := es.Authorize(alice); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4: Fig. 4, cascaded chains ---
+
+func buildChain(b *testing.B, w *benchWorld, length int) *proxy.Proxy {
+	b.Helper()
+	p, err := proxy.Grant(proxy.GrantParams{
+		Grantor:       w.id("alice"),
+		GrantorSigner: w.ids["alice"].Signer(),
+		Restrictions:  benchRestrictions(2),
+		Lifetime:      time.Hour,
+		Mode:          proxy.ModePublicKey,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i < length; i++ {
+		p, err = p.CascadeBearer(proxy.CascadeParams{
+			Added: benchRestrictions(1), Lifetime: time.Hour, Mode: proxy.ModePublicKey,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return p
+}
+
+func BenchmarkE4CascadeVerify(b *testing.B) {
+	for _, length := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("len=%d", length), func(b *testing.B) {
+			w := newBenchWorld(b, "alice", "file")
+			p := buildChain(b, w, length)
+			env := w.env("file")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.VerifyChain(p.Certs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE4SollinsVerify(b *testing.B) {
+	for _, length := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("len=%d", length), func(b *testing.B) {
+			as := sollins.NewAuthServer()
+			hops := make([]principal.ID, length+1)
+			keys := make(map[principal.ID]*kcrypto.SymmetricKey, length)
+			for i := range hops {
+				hops[i] = principal.New(fmt.Sprintf("p%d", i), benchRealm)
+				k, err := as.Register(hops[i])
+				if err != nil {
+					b.Fatal(err)
+				}
+				keys[hops[i]] = k
+			}
+			chain := sollins.Chain{}
+			for i := 0; i < length; i++ {
+				l, err := sollins.NewLink(hops[i], keys[hops[i]], hops[i+1], nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				chain = chain.Extend(l)
+			}
+			net := transport.NewNetwork()
+			net.Register("as", as.Mux())
+			asClient := net.MustDial("as")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sollins.Verify(chain, hops[length], asClient); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E5: Fig. 5, check clearing ---
+
+func BenchmarkE5CheckClearing(b *testing.B) {
+	for _, hops := range []int{1, 4} {
+		b.Run(fmt.Sprintf("hops=%d", hops), func(b *testing.B) {
+			w := newBenchWorld(b, "carol", "payee")
+			banks := make([]*accounting.Server, hops)
+			for i := range banks {
+				name := fmt.Sprintf("bank%d", i)
+				ident, err := pubkey.NewIdentity(principal.New(name, benchRealm))
+				if err != nil {
+					b.Fatal(err)
+				}
+				w.dir.RegisterIdentity(ident)
+				banks[i] = accounting.NewServer(ident, w.dir.Resolver(), nil)
+			}
+			for i := 0; i+1 < hops; i++ {
+				banks[i].SetNextHop(banks[i+1])
+			}
+			payorBank, payeeBank := banks[hops-1], banks[0]
+			if err := payorBank.CreateAccount("carol", w.id("carol")); err != nil {
+				b.Fatal(err)
+			}
+			if err := payorBank.Mint("carol", "d", 1<<40); err != nil {
+				b.Fatal(err)
+			}
+			if err := payeeBank.CreateAccount("payee", w.id("payee")); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := accounting.WriteCheck(accounting.WriteCheckParams{
+					Payor: w.ids["carol"], Bank: payorBank.ID, Account: "carol",
+					Payee: w.id("payee"), Currency: "d", Amount: 1,
+					Lifetime: time.Hour,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				endorsed, err := c.Endorse(w.ids["payee"], payeeBank.ID, payeeBank.ID,
+					payeeBank.Global("payee"), true, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := payeeBank.DepositCheck(endorsed, []principal.ID{w.id("payee")}, "payee"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E6: Fig. 6, public-key vs conventional presentation ---
+
+func BenchmarkE6Present(b *testing.B) {
+	w := newBenchWorld(b, "alice", "file")
+	endKey, err := kcrypto.NewSymmetricKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	session, err := kcrypto.NewSymmetricKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []proxy.Mode{proxy.ModePublicKey, proxy.ModeConventional} {
+		b.Run(mode.String(), func(b *testing.B) {
+			params := proxy.GrantParams{
+				Grantor:       w.id("alice"),
+				GrantorSigner: w.ids["alice"].Signer(),
+				Restrictions:  benchRestrictions(4),
+				Lifetime:      time.Hour,
+				Mode:          mode,
+				EndServerKey:  endKey,
+			}
+			env := w.env("file")
+			if mode == proxy.ModeConventional {
+				params.GrantorSigner = session
+				convEnv := *env
+				convEnv.ResolveIdentity = func(principal.ID) (kcrypto.Verifier, error) { return session, nil }
+				convEnv.UnsealProxyKey = proxy.UnsealWith(endKey)
+				env = &convEnv
+			}
+			p, err := proxy.Grant(params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ch, err := proxy.NewChallenge()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pres, err := p.Present(ch, w.id("file"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := env.VerifyPresentation(pres, ch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E7: §7, restriction evaluation ---
+
+func BenchmarkE7RestrictionCheck(b *testing.B) {
+	alice := principal.New("alice", benchRealm)
+	fileSv := principal.New("file", benchRealm)
+	staff := principal.NewGlobal(principal.New("groups", benchRealm), "staff")
+	ctx := &restrict.Context{
+		Server:           fileSv,
+		Object:           "/obj",
+		Operation:        "read",
+		ClientIdentities: []principal.ID{alice},
+		VerifiedGroups:   map[principal.Global]bool{staff: true},
+		Amounts:          map[string]int64{"pages": 5},
+	}
+	cases := []struct {
+		name string
+		r    restrict.Restriction
+	}{
+		{"grantee", restrict.Grantee{Principals: []principal.ID{alice}}},
+		{"issued-for", restrict.IssuedFor{Servers: []principal.ID{fileSv}}},
+		{"quota", restrict.Quota{Currency: "pages", Limit: 100}},
+		{"authorized", restrict.Authorized{Entries: []restrict.AuthorizedEntry{{Object: "/obj", Ops: []string{"read"}}}}},
+		{"for-use-by-group", restrict.ForUseByGroup{Groups: []principal.Global{staff}}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := c.r.Check(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE7AcceptOnce(b *testing.B) {
+	reg := replay.New(nil)
+	expires := time.Now().Add(time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.Accept("grantor", fmt.Sprintf("id-%d", i), expires); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7AcceptOnceNoSweep(b *testing.B) {
+	reg := replay.New(nil)
+	reg.SweepEvery = 0
+	expires := time.Now().Add(time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.Accept("grantor", fmt.Sprintf("id-%d", i), expires); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: §5, Amoeba prepay vs checks ---
+
+func BenchmarkE8AmoebaServe(b *testing.B) {
+	bank := amoeba.NewBank()
+	client := principal.New("c", benchRealm)
+	server := principal.New("s", benchRealm)
+	bank.Mint(client, "credits", 1<<40)
+	net := transport.NewNetwork()
+	net.Register("bank", bank.Mux())
+	bc := net.MustDial("bank")
+	if err := amoeba.NewClient(client, bc).Prepay(server, "credits", 1<<30); err != nil {
+		b.Fatal(err)
+	}
+	service := amoeba.NewService(server, bc, "credits", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := service.Serve(client); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8CheckQuotaServe(b *testing.B) {
+	// The check-based analogue of one chargeable request: the server
+	// debits the presented quota locally — no bank round trip.
+	w := newBenchWorld(b, "carol", "srv")
+	p, err := proxy.Grant(proxy.GrantParams{
+		Grantor:       w.id("carol"),
+		GrantorSigner: w.ids["carol"].Signer(),
+		Restrictions:  restrict.Set{restrict.Quota{Currency: "credits", Limit: 1 << 30}},
+		Lifetime:      time.Hour,
+		Mode:          proxy.ModePublicKey,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := w.env("srv")
+	v, err := env.VerifyChain(p.Certs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := &restrict.Context{Server: w.id("srv"), Amounts: map[string]int64{"credits": 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.Authorize(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E9: §6.3, TGS proxy ---
+
+func BenchmarkE9TGSProxyTicket(b *testing.B) {
+	kdc, err := kerberos.NewKDC(benchRealm, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aliceID := principal.New("alice", benchRealm)
+	aliceKey, err := kdc.RegisterWithPassword(aliceID, "pw")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fileID := principal.New("file", benchRealm)
+	if _, err := kdc.RegisterWithPassword(fileID, "spw"); err != nil {
+		b.Fatal(err)
+	}
+	alice := kerberos.NewClient(aliceID, aliceKey, nil)
+	tgt, err := alice.Login(kdc, kdc.TGS(), time.Hour, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	px, err := kerberos.MakeProxy(tgt, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bobID := principal.New("bob", benchRealm)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kerberos.RequestTicketWithProxy(kdc, px, bobID, fileID, time.Hour, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E10: §3.5, decision paths ---
+
+func BenchmarkE10DecisionPaths(b *testing.B) {
+	w := newBenchWorld(b, "alice", "host", "file")
+	endSrv := endserver.New(w.id("file"), w.env("file"), nil)
+	endSrv.SetACL("/direct", acl.New(acl.PrincipalEntry(w.id("alice"), "read")))
+	endSrv.SetACL("/compound", acl.New(acl.Entry{
+		Subject: acl.Subject{Principals: principal.NewCompound(w.id("alice"), w.id("host"))},
+		Ops:     []string{"read"},
+	}))
+	cap, err := proxy.Grant(proxy.GrantParams{
+		Grantor:       w.id("alice"),
+		GrantorSigner: w.ids["alice"].Signer(),
+		Restrictions:  restrict.Set{restrict.Grantee{Principals: []principal.ID{w.id("host")}}},
+		Lifetime:      time.Hour,
+		Mode:          proxy.ModePublicKey,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		req  *endserver.Request
+	}{
+		{"pureACL", &endserver.Request{Object: "/direct", Op: "read", Identities: []principal.ID{w.id("alice")}}},
+		{"compound", &endserver.Request{Object: "/compound", Op: "read", Identities: []principal.ID{w.id("alice"), w.id("host")}}},
+		{"capability", &endserver.Request{
+			Object: "/direct", Op: "read",
+			Identities: []principal.ID{w.id("host")},
+			Proxies:    []*proxy.Presentation{cap.PresentDelegate()},
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := endSrv.Authorize(c.req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation: restriction evaluation order (DESIGN.md §5) ---
+
+// BenchmarkE7EvalOrder compares evaluating a restriction set in
+// declaration order against cheap-first ordering when an expensive
+// stateful restriction (accept-once) sits first. Conjunction semantics
+// make order irrelevant to the outcome, so implementations are free to
+// reorder; this quantifies what reordering would buy on a failing
+// request that a cheap restriction rejects.
+func BenchmarkE7EvalOrder(b *testing.B) {
+	fileSv := principal.New("file", benchRealm)
+	reg := replay.New(nil)
+	expensiveFirst := restrict.Set{
+		restrict.AcceptOnce{ID: "fixed"},                                                // stateful, hits the registry
+		restrict.IssuedFor{Servers: []principal.ID{principal.New("other", benchRealm)}}, // fails
+	}
+	cheapFirst := restrict.Set{
+		restrict.IssuedFor{Servers: []principal.ID{principal.New("other", benchRealm)}}, // fails
+		restrict.AcceptOnce{ID: "fixed"},
+	}
+	ctx := &restrict.Context{
+		Server:     fileSv,
+		Now:        time.Now(),
+		Expires:    time.Now().Add(time.Hour),
+		AcceptOnce: reg,
+	}
+	b.Run("declaration-order-expensive-first", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx.GrantorKeyID = fmt.Sprintf("g%d", i) // fresh accept-once namespace
+			if err := expensiveFirst.Check(ctx); err == nil {
+				b.Fatal("expected denial")
+			}
+		}
+	})
+	b.Run("cheap-first", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx.GrantorKeyID = fmt.Sprintf("g%d", i)
+			if err := cheapFirst.Check(ctx); err == nil {
+				b.Fatal("expected denial")
+			}
+		}
+	})
+}

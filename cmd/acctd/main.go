@@ -1,0 +1,104 @@
+// Command acctd runs an accounting server (§4) over TCP.
+//
+// Accounts are provisioned from a JSON file:
+//
+//	[
+//	  {"name": "carol", "owner": "carol@EXAMPLE.ORG",
+//	   "mint": {"dollars": 1000, "pages": 50}}
+//	]
+//
+//	acctd -state ./state -name bank1 -listen :8092 -accounts accounts.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"proxykit/internal/accounting"
+	"proxykit/internal/principal"
+	"proxykit/internal/statefile"
+	"proxykit/internal/svc"
+	"proxykit/internal/transport"
+)
+
+// accountJSON is the accounts-file schema.
+type accountJSON struct {
+	Name  string           `json:"name"`
+	Owner string           `json:"owner"`
+	Mint  map[string]int64 `json:"mint"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		state    = flag.String("state", "./state", "shared state directory")
+		name     = flag.String("name", "bank", "server principal name")
+		realm    = flag.String("realm", "EXAMPLE.ORG", "realm name")
+		listen   = flag.String("listen", "127.0.0.1:8092", "listen address")
+		accounts = flag.String("accounts", "", "JSON accounts file")
+	)
+	flag.Parse()
+
+	ident, err := statefile.LoadOrCreateIdentity(*state, principal.New(*name, *realm))
+	if err != nil {
+		return err
+	}
+	resolve := statefile.DynamicResolver(*state)
+	srv := accounting.NewServer(ident, resolve, nil)
+	if *accounts != "" {
+		n, err := loadAccounts(srv, *accounts)
+		if err != nil {
+			return err
+		}
+		log.Printf("provisioned %d accounts from %s", n, *accounts)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	tcp := transport.NewTCPServer(l, svc.NewAcctService(srv, resolve, nil).Mux())
+	log.Printf("accounting server %s listening on %s", ident.ID, tcp.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return tcp.Close()
+}
+
+func loadAccounts(srv *accounting.Server, path string) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var as []accountJSON
+	if err := json.Unmarshal(raw, &as); err != nil {
+		return 0, fmt.Errorf("parse %s: %w", path, err)
+	}
+	for _, a := range as {
+		owner, err := principal.Parse(a.Owner)
+		if err != nil {
+			return 0, err
+		}
+		if err := srv.CreateAccount(a.Name, owner); err != nil {
+			return 0, err
+		}
+		for currency, amount := range a.Mint {
+			if err := srv.Mint(a.Name, currency, amount); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return len(as), nil
+}

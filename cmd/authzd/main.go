@@ -1,0 +1,133 @@
+// Command authzd runs an authorization server (§3.2) over TCP.
+//
+// The server's identity is created (or loaded) in the shared state
+// directory; its database is loaded from a JSON rules file:
+//
+//	[
+//	  {"endServer": "file/srv1@EXAMPLE.ORG", "object": "/shared/doc",
+//	   "principals": ["alice@EXAMPLE.ORG"],
+//	   "groups": ["staff%groups@EXAMPLE.ORG"],
+//	   "ops": ["read"]}
+//	]
+//
+//	authzd -state ./state -name authz -listen :8090 -rules rules.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"proxykit/internal/acl"
+	"proxykit/internal/authz"
+	"proxykit/internal/principal"
+	"proxykit/internal/statefile"
+	"proxykit/internal/svc"
+	"proxykit/internal/transport"
+)
+
+// ruleJSON is the rules-file schema.
+type ruleJSON struct {
+	EndServer  string   `json:"endServer"`
+	Object     string   `json:"object"`
+	Principals []string `json:"principals"`
+	Groups     []string `json:"groups"`
+	Ops        []string `json:"ops"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		state  = flag.String("state", "./state", "shared state directory")
+		name   = flag.String("name", "authz", "server principal name")
+		realm  = flag.String("realm", "EXAMPLE.ORG", "realm name")
+		listen = flag.String("listen", "127.0.0.1:8090", "listen address")
+		rules  = flag.String("rules", "", "JSON rules file")
+	)
+	flag.Parse()
+
+	ident, err := statefile.LoadOrCreateIdentity(*state, principal.New(*name, *realm))
+	if err != nil {
+		return err
+	}
+	resolve := statefile.DynamicResolver(*state)
+	srv := authz.New(ident, nil)
+	if *rules != "" {
+		n, err := loadRules(srv, *rules)
+		if err != nil {
+			return err
+		}
+		log.Printf("loaded %d rules from %s", n, *rules)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	tcp := transport.NewTCPServer(l, svc.NewAuthzService(srv, resolve, nil).Mux())
+	log.Printf("authorization server %s listening on %s", ident.ID, tcp.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return tcp.Close()
+}
+
+func loadRules(srv *authz.Server, path string) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var rs []ruleJSON
+	if err := json.Unmarshal(raw, &rs); err != nil {
+		return 0, fmt.Errorf("parse %s: %w", path, err)
+	}
+	for _, r := range rs {
+		endServer, err := principal.Parse(r.EndServer)
+		if err != nil {
+			return 0, err
+		}
+		subject, err := parseSubject(r.Principals, r.Groups)
+		if err != nil {
+			return 0, err
+		}
+		srv.AddRule(authz.Rule{
+			EndServer: endServer,
+			Object:    r.Object,
+			Subject:   subject,
+			Ops:       r.Ops,
+		})
+	}
+	return len(rs), nil
+}
+
+func parseSubject(principals, groups []string) (acl.Subject, error) {
+	var sub acl.Subject
+	ids := make([]principal.ID, 0, len(principals))
+	for _, p := range principals {
+		id, err := principal.Parse(p)
+		if err != nil {
+			return sub, err
+		}
+		ids = append(ids, id)
+	}
+	sub.Principals = principal.NewCompound(ids...)
+	for _, g := range groups {
+		gl, err := principal.ParseGlobal(g)
+		if err != nil {
+			return sub, err
+		}
+		sub.Groups = append(sub.Groups, gl)
+	}
+	return sub, nil
+}

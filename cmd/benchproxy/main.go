@@ -1,0 +1,65 @@
+// Command benchproxy runs the full experiment suite of DESIGN.md /
+// EXPERIMENTS.md — one experiment per figure of the paper plus the
+// related-work baselines — and prints each result table.
+//
+//	benchproxy            # run everything
+//	benchproxy -run E4,E8 # run a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"proxykit/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *runList != "" {
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	fmt.Println("proxykit experiment suite")
+	fmt.Println("reproducing: Neuman, \"Proxy-Based Authorization and Accounting")
+	fmt.Println("for Distributed Systems\", ICDCS 1993 (see EXPERIMENTS.md)")
+	fmt.Println()
+
+	start := time.Now()
+	failures := 0
+	for _, r := range experiments.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		t0 := time.Now()
+		table, err := r.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: FAILED: %v\n\n", r.ID, err)
+			failures++
+			continue
+		}
+		fmt.Print(table.Render())
+		fmt.Printf("   (%s)\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("suite completed in %s\n", time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failures)
+	}
+	return nil
+}

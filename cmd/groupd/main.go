@@ -1,0 +1,104 @@
+// Command groupd runs a group server (§3.3) over TCP.
+//
+// Groups are loaded from a JSON file mapping group names to member
+// lists; members containing '%' are nested groups (possibly maintained
+// by other group servers):
+//
+//	{
+//	  "staff": ["alice@EXAMPLE.ORG", "developers%groups@EXAMPLE.ORG"],
+//	  "developers": ["bob@EXAMPLE.ORG"]
+//	}
+//
+//	groupd -state ./state -name groups -listen :8091 -groups groups.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"proxykit/internal/group"
+	"proxykit/internal/principal"
+	"proxykit/internal/statefile"
+	"proxykit/internal/svc"
+	"proxykit/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		state  = flag.String("state", "./state", "shared state directory")
+		name   = flag.String("name", "groups", "server principal name")
+		realm  = flag.String("realm", "EXAMPLE.ORG", "realm name")
+		listen = flag.String("listen", "127.0.0.1:8091", "listen address")
+		groups = flag.String("groups", "", "JSON groups file")
+	)
+	flag.Parse()
+
+	ident, err := statefile.LoadOrCreateIdentity(*state, principal.New(*name, *realm))
+	if err != nil {
+		return err
+	}
+	resolve := statefile.DynamicResolver(*state)
+	srv := group.New(ident, nil)
+	if *groups != "" {
+		n, err := loadGroups(srv, *groups)
+		if err != nil {
+			return err
+		}
+		log.Printf("loaded %d groups from %s", n, *groups)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	tcp := transport.NewTCPServer(l, svc.NewGroupService(srv, resolve, nil).Mux())
+	log.Printf("group server %s listening on %s", ident.ID, tcp.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return tcp.Close()
+}
+
+func loadGroups(srv *group.Server, path string) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var gs map[string][]string
+	if err := json.Unmarshal(raw, &gs); err != nil {
+		return 0, fmt.Errorf("parse %s: %w", path, err)
+	}
+	for name, members := range gs {
+		srv.AddGroup(name)
+		for _, m := range members {
+			if strings.Contains(m, "%") {
+				nested, err := principal.ParseGlobal(m)
+				if err != nil {
+					return 0, err
+				}
+				srv.AddNestedGroup(name, nested)
+				continue
+			}
+			id, err := principal.Parse(m)
+			if err != nil {
+				return 0, err
+			}
+			srv.AddMember(name, id)
+		}
+	}
+	return len(gs), nil
+}

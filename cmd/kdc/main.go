@@ -1,0 +1,96 @@
+// Command kdc runs the Kerberos-style key distribution center (§6.2):
+// the authentication and ticket-granting services for one realm.
+//
+// Principals are provisioned from a password file with one
+// "principal:password" entry per line; service principals get keys
+// derived from their passwords the same way (servers run with the same
+// password to derive the matching key).
+//
+//	kdc -realm ATHENA.EXAMPLE.ORG -listen :8088 -passwd passwd.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"proxykit/internal/kerberos"
+	"proxykit/internal/principal"
+	"proxykit/internal/svc"
+	"proxykit/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		realm  = flag.String("realm", "EXAMPLE.ORG", "realm name")
+		listen = flag.String("listen", "127.0.0.1:8088", "listen address")
+		passwd = flag.String("passwd", "", "password file: principal:password per line")
+	)
+	flag.Parse()
+
+	kdc, err := kerberos.NewKDC(*realm, nil)
+	if err != nil {
+		return err
+	}
+	if *passwd != "" {
+		n, err := loadPasswords(kdc, *passwd)
+		if err != nil {
+			return err
+		}
+		log.Printf("provisioned %d principals from %s", n, *passwd)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := transport.NewTCPServer(l, svc.NewKDCService(kdc).Mux())
+	log.Printf("kdc for realm %s listening on %s (tgs: %s)", *realm, srv.Addr(), kdc.TGS())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	return srv.Close()
+}
+
+func loadPasswords(kdc *kerberos.KDC, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, password, ok := strings.Cut(line, ":")
+		if !ok {
+			return n, fmt.Errorf("malformed line %q", line)
+		}
+		id, err := principal.Parse(strings.TrimSpace(name))
+		if err != nil {
+			return n, err
+		}
+		if _, err := kdc.RegisterWithPassword(id, strings.TrimSpace(password)); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, sc.Err()
+}

@@ -1,0 +1,45 @@
+// Package proxykit is a Go implementation of the restricted-proxy model
+// for distributed authorization and accounting, reproducing:
+//
+//	B. Clifford Neuman, "Proxy-Based Authorization and Accounting for
+//	Distributed Systems", Proc. 13th International Conference on
+//	Distributed Computing Systems (ICDCS), 1993.
+//
+// A restricted proxy is a signed certificate that lets its holder
+// operate with the (restricted) rights of the principal that granted
+// it. On this single primitive the library builds capabilities,
+// authorization servers, group servers, cascaded delegation, and a
+// full distributed accounting service with checks, endorsements, and
+// multi-bank clearing.
+//
+// This root package is the public API: type aliases over the internal
+// packages plus the Realm convenience for wiring an in-process
+// deployment. Deeper control (Kerberos integration, custom transports,
+// baselines) is available through the cmd/ daemons and documented in
+// DESIGN.md.
+//
+// # Quick start
+//
+//	realm := proxykit.NewRealm("EXAMPLE.ORG")
+//	alice, _ := realm.NewIdentity("alice")
+//	fileServer, _ := realm.NewEndServer("file/srv1")
+//	fileServer.SetACL("/etc/motd", proxykit.NewACL(
+//		proxykit.ACLEntry(alice.ID, "read", "write")))
+//
+//	// Alice mints a read-only capability and hands it to anyone.
+//	cap, _ := realm.GrantCapability(alice, time.Hour,
+//		proxykit.Authorized{Entries: []proxykit.AuthorizedEntry{
+//			{Object: "/etc/motd", Ops: []string{"read"}},
+//		}})
+//
+//	// The holder presents it with proof of possession.
+//	ch, _ := fileServer.Challenge()
+//	pres, _ := cap.Present(ch, fileServer.ID)
+//	dec, err := fileServer.Authorize(&proxykit.Request{
+//		Object: "/etc/motd", Op: "read",
+//		Proxies:   []*proxykit.Presentation{pres},
+//		Challenge: ch,
+//	})
+//
+// See examples/ for complete programs.
+package proxykit

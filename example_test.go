@@ -1,0 +1,104 @@
+package proxykit_test
+
+import (
+	"fmt"
+	"time"
+
+	"proxykit"
+)
+
+// ExampleRealm shows the capability flow of §3.1: the ACL names only
+// the grantor, and a bearer proxy conveys a narrowed slice of her
+// rights to whoever holds it.
+func ExampleRealm() {
+	realm := proxykit.NewRealm("EXAMPLE.ORG")
+	alice, _ := realm.NewIdentity("alice")
+	fileServer, _ := realm.NewEndServer("file/srv1")
+	fileServer.SetACL("/etc/motd", proxykit.NewACL(
+		proxykit.ACLEntry(alice.ID, "read", "write")))
+
+	capability, _ := realm.GrantCapability(alice, time.Hour,
+		proxykit.Authorized{Entries: []proxykit.AuthorizedEntry{
+			{Object: "/etc/motd", Ops: []string{"read"}},
+		}})
+
+	ch, _ := fileServer.Challenge()
+	pres, _ := capability.Present(ch, fileServer.ID)
+	dec, err := fileServer.Authorize(&proxykit.Request{
+		Object: "/etc/motd", Op: "read",
+		Proxies:   []*proxykit.Presentation{pres},
+		Challenge: ch,
+	})
+	if err != nil {
+		fmt.Println("denied:", err)
+		return
+	}
+	fmt.Printf("granted via %s (proxy=%v)\n", dec.Via.Name, dec.ViaProxy)
+	// Output: granted via alice (proxy=true)
+}
+
+// ExampleRealm_delegate shows a delegate proxy (§7.1): only the named
+// grantee, authenticating as itself, can exercise it.
+func ExampleRealm_delegate() {
+	realm := proxykit.NewRealm("EXAMPLE.ORG")
+	alice, _ := realm.NewIdentity("alice")
+	bob, _ := realm.NewIdentity("bob")
+	srv, _ := realm.NewEndServer("srv")
+	srv.SetACL("/doc", proxykit.NewACL(proxykit.ACLEntry(alice.ID, "read")))
+
+	del, _ := realm.GrantDelegate(alice, []proxykit.Principal{bob.ID}, time.Hour)
+
+	// Bob presents the certificates and his own authenticated identity.
+	dec, err := srv.Authorize(&proxykit.Request{
+		Object: "/doc", Op: "read",
+		Identities: []proxykit.Principal{bob.ID},
+		Proxies:    []*proxykit.Presentation{del.PresentDelegate()},
+	})
+	if err != nil {
+		fmt.Println("denied:", err)
+		return
+	}
+	fmt.Printf("bob acted with %s's rights\n", dec.Via.Name)
+
+	// Carol, holding the same certificates, is refused.
+	carol, _ := realm.NewIdentity("carol")
+	_, err = srv.Authorize(&proxykit.Request{
+		Object: "/doc", Op: "read",
+		Identities: []proxykit.Principal{carol.ID},
+		Proxies:    []*proxykit.Presentation{del.PresentDelegate()},
+	})
+	fmt.Println("carol denied:", err != nil)
+	// Output:
+	// bob acted with alice's rights
+	// carol denied: true
+}
+
+// ExampleWriteCheck shows the §4 accounting flow on one bank.
+func ExampleWriteCheck() {
+	realm := proxykit.NewRealm("BANK.ORG")
+	carol, _ := realm.NewIdentity("carol")
+	dave, _ := realm.NewIdentity("dave")
+	bank, _ := realm.NewAccountingServer("bank")
+	_ = bank.CreateAccount("carol", carol.ID)
+	_ = bank.CreateAccount("dave", dave.ID)
+	_ = bank.Mint("carol", "dollars", 100)
+
+	check, _ := proxykit.WriteCheck(proxykit.CheckParams{
+		Payor: carol, Bank: bank.ID, Account: "carol",
+		Payee: dave.ID, Currency: "dollars", Amount: 40,
+		Lifetime: time.Hour,
+	})
+	receipt, err := bank.DepositCheck(check, []proxykit.Principal{dave.ID}, "dave")
+	if err != nil {
+		fmt.Println("rejected:", err)
+		return
+	}
+	fmt.Printf("cleared $%d through %d bank(s)\n", receipt.Amount, receipt.Hops)
+
+	// The same check cannot be deposited twice.
+	_, err = bank.DepositCheck(check, []proxykit.Principal{dave.ID}, "dave")
+	fmt.Println("duplicate rejected:", err != nil)
+	// Output:
+	// cleared $40 through 1 bank(s)
+	// duplicate rejected: true
+}

@@ -1,0 +1,128 @@
+// Cascaded printing: §3.4 delegation through a pipeline of servers that
+// do not completely trust one another.
+//
+// Alice submits a print job. The print spooler must read her file from
+// the file server — but only that file, only to print it, and only this
+// once. Alice grants the spooler a delegate proxy restricted to her
+// file; the spooler cascades it to the print daemon with a further
+// page-quota restriction. The file server verifies the whole chain
+// offline, and the delegate cascade leaves an audit trail identifying
+// every intermediate.
+//
+//	go run ./examples/cascaded-printing
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"proxykit"
+	"proxykit/internal/proxy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	realm := proxykit.NewRealm("PRINT.EXAMPLE.ORG")
+	alice, err := realm.NewIdentity("alice")
+	if err != nil {
+		return err
+	}
+	spooler, err := realm.NewIdentity("spooler")
+	if err != nil {
+		return err
+	}
+	printd, err := realm.NewIdentity("printd")
+	if err != nil {
+		return err
+	}
+	fileServer, err := realm.NewEndServer("file/srv1")
+	if err != nil {
+		return err
+	}
+	fileServer.SetACL("/home/alice/thesis.ps", proxykit.NewACL(
+		proxykit.ACLEntry(alice.ID, "read", "write", "delete")))
+
+	audit := proxykit.NewAuditLog(128)
+
+	// Step 1: alice grants the spooler a delegate proxy: read her
+	// thesis, nothing else, usable only by the spooler.
+	toSpooler, err := realm.GrantDelegate(alice,
+		[]proxykit.Principal{spooler.ID}, 15*time.Minute,
+		proxykit.Authorized{Entries: []proxykit.AuthorizedEntry{
+			{Object: "/home/alice/thesis.ps", Ops: []string{"read"}},
+		}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alice -> spooler: %s\n", toSpooler.Restrictions())
+
+	// Step 2: the spooler cascades to the print daemon, adding a page
+	// quota. It signs with its own identity (a delegate cascade), so
+	// the chain records that the spooler was in the path.
+	toPrintd, err := toSpooler.CascadeDelegate(spooler.ID, spooler.Signer(), proxykit.CascadeOptions{
+		Added: proxykit.Restrictions{
+			proxykit.Grantee{Principals: []proxykit.Principal{printd.ID}},
+			proxykit.Quota{Currency: "pages", Limit: 200},
+		},
+		Lifetime: 10 * time.Minute,
+		Mode:     proxykit.ModePublicKey,
+		Clock:    realm.Clock,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("spooler -> printd: added %s\n\n", toPrintd.Final().Restrictions)
+
+	// Step 3: the print daemon reads the file, authenticating as itself
+	// and presenting the chain. No authentication-server round trip is
+	// needed — the chain verifies offline (contrast with Sollins 1988).
+	present := toPrintd.PresentDelegate()
+	decision, err := fileServer.Authorize(&proxykit.Request{
+		Object:     "/home/alice/thesis.ps",
+		Op:         "read",
+		Identities: []proxykit.Principal{printd.ID},
+		Proxies:    []*proxy.Presentation{present},
+		Amounts:    map[string]int64{"pages": 180},
+	})
+	if err != nil {
+		return err
+	}
+	audit.Append(proxykit.AuditRecord{
+		Time: time.Now(), Server: fileServer.ID,
+		Grantor: toPrintd.Grantor(), Presenters: []proxykit.Principal{printd.ID},
+		Trail: decision.Trail, Object: "/home/alice/thesis.ps", Op: "read",
+		Outcome: 1,
+	})
+	fmt.Printf("printd read thesis.ps: GRANTED with rights of %s\n", decision.Via)
+	fmt.Printf("audit trail through: %v\n\n", decision.Trail)
+
+	// The quota holds: a 500-page job is refused.
+	_, err = fileServer.Authorize(&proxykit.Request{
+		Object:     "/home/alice/thesis.ps",
+		Op:         "read",
+		Identities: []proxykit.Principal{printd.ID},
+		Proxies:    []*proxy.Presentation{toPrintd.PresentDelegate()},
+		Amounts:    map[string]int64{"pages": 500},
+	})
+	fmt.Printf("500-page job: DENIED (%v)\n", err)
+
+	// And the daemon cannot touch anything else of alice's.
+	_, err = fileServer.Authorize(&proxykit.Request{
+		Object:     "/home/alice/diary.txt",
+		Op:         "read",
+		Identities: []proxykit.Principal{printd.ID},
+		Proxies:    []*proxy.Presentation{toPrintd.PresentDelegate()},
+	})
+	fmt.Printf("read diary.txt:  DENIED (%v)\n\n", err)
+
+	for _, rec := range audit.Records() {
+		fmt.Println("audit:", rec)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+// Cross-realm delegation: restricted proxies crossing administrative
+// domains.
+//
+// The paper closes by arguing its mechanisms "scale"; this example
+// exercises the inter-realm extension: two federated KDCs, a client in
+// ALPHA.ORG using a service in BETA.ORG, with a restriction placed at
+// login following the credentials across the realm boundary — and a
+// TGS proxy letting a delegate in ALPHA act for the client in BETA.
+//
+//	go run ./examples/cross-realm
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"proxykit"
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/kerberos"
+	"proxykit/internal/principal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const realmA, realmB = "ALPHA.ORG", "BETA.ORG"
+
+	kdcA, err := kerberos.NewKDC(realmA, nil)
+	if err != nil {
+		return err
+	}
+	kdcB, err := kerberos.NewKDC(realmB, nil)
+	if err != nil {
+		return err
+	}
+	if err := kerberos.Federate(kdcA, kdcB); err != nil {
+		return err
+	}
+	fmt.Printf("federated %s <-> %s with fresh inter-realm keys\n\n", realmA, realmB)
+
+	// Provision alice in ALPHA and a compute service in BETA.
+	aliceID := principal.New("alice", realmA)
+	aliceKey, err := kdcA.RegisterWithPassword(aliceID, "pw")
+	if err != nil {
+		return err
+	}
+	computeID := principal.New("compute/gpu1", realmB)
+	computeKey, err := kcrypto.NewSymmetricKey()
+	if err != nil {
+		return err
+	}
+	if err := kdcB.Register(computeID, computeKey); err != nil {
+		return err
+	}
+
+	// Alice logs in at home with a spending cap sealed into her
+	// credentials (§6.3: initial authentication as a proxy grant).
+	alice := kerberos.NewClient(aliceID, aliceKey, nil)
+	tgt, err := alice.Login(kdcA, kdcA.TGS(), 4*time.Hour, proxykit.Restrictions{
+		proxykit.Quota{Currency: "gpu-hours", Limit: 8},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alice@%s logged in; credentials carry: %s\n", realmA, tgt.AuthzData)
+
+	// She crosses into BETA: local TGS issues a cross-realm TGT, the
+	// remote TGS turns it into a service ticket. The quota follows.
+	creds, err := alice.CrossRealmTicket(kdcA, kdcB, tgt, realmB, computeID, time.Hour, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cross-realm ticket for %s, restrictions: %s\n\n", creds.Ticket.Server, creds.AuthzData)
+
+	compute := kerberos.NewServer(computeID, computeKey, nil)
+	apReq, err := alice.MakeAPRequest(creds, nil)
+	if err != nil {
+		return err
+	}
+	ctx, err := compute.VerifyAPRequest(apReq, nil)
+	if err != nil {
+		return err
+	}
+	check := func(hours int64) string {
+		err := ctx.Restrictions.Check(&proxykit.EvalContext{
+			Server:  computeID,
+			Amounts: map[string]int64{"gpu-hours": hours},
+		})
+		if err == nil {
+			return "GRANTED"
+		}
+		return "DENIED (" + err.Error() + ")"
+	}
+	fmt.Printf("compute@%s authenticated alice@%s\n", realmB, ctx.Client.Realm)
+	fmt.Printf("  request 6 gpu-hours:  %s\n", check(6))
+	fmt.Printf("  request 20 gpu-hours: %s\n\n", check(20))
+
+	// Delegation across the boundary: alice grants bob (also ALPHA) a
+	// TGS proxy narrowed to 1 gpu-hour; bob redeems it for his own
+	// cross-realm path.
+	bobID := principal.New("bob", realmA)
+	px, err := kerberos.MakeProxy(tgt, proxykit.Restrictions{
+		proxykit.Quota{Currency: "gpu-hours", Limit: 1},
+	}, nil)
+	if err != nil {
+		return err
+	}
+	// Bob first converts the proxy into a cross-realm TGT via ALPHA's
+	// TGS, then asks BETA's TGS for the service ticket.
+	crossName := principal.New("krbtgt/"+realmB, realmA)
+	crossCreds, err := kerberos.RequestTicketWithProxy(kdcA, px, bobID, crossName, time.Hour, nil)
+	if err != nil {
+		return err
+	}
+	bobView := kerberos.NewClient(crossCreds.Client, nil, nil)
+	svcCreds, err := bobView.RequestTicket(kdcB, crossCreds, computeID, time.Hour, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bob redeemed alice's proxy across realms: ticket names %s\n", svcCreds.Client)
+	fmt.Printf("  accumulated restrictions: %s\n", svcCreds.AuthzData)
+
+	apReq2, err := bobView.MakeAPRequest(svcCreds, nil)
+	if err != nil {
+		return err
+	}
+	ctx2, err := compute.VerifyAPRequest(apReq2, nil)
+	if err != nil {
+		return err
+	}
+	err = ctx2.Restrictions.Check(&proxykit.EvalContext{
+		Server:  computeID,
+		Amounts: map[string]int64{"gpu-hours": 2},
+	})
+	fmt.Printf("  bob requests 2 gpu-hours: DENIED as expected (%v)\n", err)
+	return nil
+}

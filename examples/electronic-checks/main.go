@@ -1,0 +1,145 @@
+// Electronic checks: the §4 / Fig. 5 accounting flow across two
+// accounting servers, plus certified checks and duplicate rejection.
+//
+// Carol (client C) banks at bank2 ($2); the compute service (server S)
+// banks at bank1 ($1). Carol pays the service by check; the service
+// endorses the check to its bank, which endorses it onward to carol's
+// bank for clearing — "subsequent accounting servers repeat the process
+// until the payor's accounting server is reached."
+//
+//	go run ./examples/electronic-checks
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"proxykit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	realm := proxykit.NewRealm("COMMERCE.ORG")
+	carol, err := realm.NewIdentity("carol")
+	if err != nil {
+		return err
+	}
+	service, err := realm.NewIdentity("compute-service")
+	if err != nil {
+		return err
+	}
+	bank1, err := realm.NewAccountingServer("bank1") // service's bank ($1)
+	if err != nil {
+		return err
+	}
+	bank2, err := realm.NewAccountingServer("bank2") // carol's bank ($2)
+	if err != nil {
+		return err
+	}
+	bank1.AddPeer(bank2)
+	bank2.AddPeer(bank1)
+
+	if err := bank2.CreateAccount("carol", carol.ID); err != nil {
+		return err
+	}
+	if err := bank2.Mint("carol", "dollars", 1000); err != nil {
+		return err
+	}
+	if err := bank1.CreateAccount("service", service.ID); err != nil {
+		return err
+	}
+	fmt.Println("carol opens an account at bank2 with $1000")
+	fmt.Println("the compute service banks at bank1")
+	fmt.Println()
+
+	// Carol writes a check to the service: a numbered delegate proxy.
+	check, err := proxykit.WriteCheck(proxykit.CheckParams{
+		Payor:    carol,
+		Bank:     bank2.ID,
+		Account:  "carol",
+		Payee:    service.ID,
+		Currency: "dollars",
+		Amount:   250,
+		Lifetime: 30 * 24 * time.Hour,
+		Clock:    realm.Clock,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("carol writes check #%s for $%d to %s\n", check.Number[:8], check.Amount, check.Payee)
+	fmt.Printf("  restrictions: %s\n\n", check.Proxy.Restrictions())
+
+	// The service endorses it for deposit only to its account at bank1
+	// (a restricted endorsement is a delegate proxy) and deposits it.
+	endorsed, err := check.Endorse(service, bank1.ID, bank1.ID, bank1.Global("service"), true, realm.Clock)
+	if err != nil {
+		return err
+	}
+	receipt, err := bank1.DepositCheck(endorsed, []proxykit.Principal{service.ID}, "service")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("service deposits at bank1: cleared through %d banks\n", receipt.Hops)
+	printBalances(bank1, bank2, carol, service)
+
+	// A duplicate deposit of the same check is rejected (§7.7:
+	// accept-once, "a real life example of such an identifier is a
+	// check number").
+	if _, err := bank1.DepositCheck(endorsed, []proxykit.Principal{service.ID}, "service"); err != nil {
+		fmt.Printf("second deposit of the same check: REJECTED (%v)\n\n", err)
+	}
+
+	// Certified check: the bank holds the funds and certifies them, so
+	// the service can verify payment is guaranteed before doing work.
+	big, err := proxykit.WriteCheck(proxykit.CheckParams{
+		Payor: carol, Bank: bank2.ID, Account: "carol",
+		Payee: service.ID, Currency: "dollars", Amount: 500,
+		Lifetime: 24 * time.Hour, Clock: realm.Clock,
+	})
+	if err != nil {
+		return err
+	}
+	certified, err := bank2.Certify("carol", []proxykit.Principal{carol.ID}, big)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bank2 certifies check #%s: $500 held\n", big.Number[:8])
+	env := realm.VerifyEnvFor(service.ID)
+	if err := proxykit.VerifyCertification(certified, env, service.ID); err != nil {
+		return err
+	}
+	fmt.Println("service verified the bank's certification before doing the work")
+
+	endorsedBig, err := certified.Check.Endorse(service, bank1.ID, bank1.ID, bank1.Global("service"), true, realm.Clock)
+	if err != nil {
+		return err
+	}
+	if _, err := bank1.DepositCheck(endorsedBig, []proxykit.Principal{service.ID}, "service"); err != nil {
+		return err
+	}
+	fmt.Println("certified check cleared from the hold")
+	printBalances(bank1, bank2, carol, service)
+
+	// Carol's bank statement shows the whole story.
+	fmt.Println("carol's statement at bank2:")
+	stmt, err := bank2.Statement("carol", []proxykit.Principal{carol.ID})
+	if err != nil {
+		return err
+	}
+	for _, tx := range stmt {
+		fmt.Println(" ", tx)
+	}
+	return nil
+}
+
+func printBalances(bank1, bank2 *proxykit.AccountingServer, carol, service *proxykit.Identity) {
+	cb, _ := bank2.Balance("carol", "dollars", []proxykit.Principal{carol.ID})
+	sb, _ := bank1.Balance("service", "dollars", []proxykit.Principal{service.ID})
+	fmt.Printf("  balances: carol $%d at bank2, service $%d at bank1\n\n", cb, sb)
+}

@@ -1,0 +1,118 @@
+// Kerberos integration: restricted proxies carried on Kerberos V5-style
+// credentials (§6.2 / §6.3).
+//
+// Alice logs in, takes a ticket-granting ticket, and grants bob a proxy
+// for the ticket-granting service itself, restricted to reading one
+// file. Bob uses the proxy to obtain service tickets "with identical
+// restrictions for additional end-servers as needed" — without ever
+// learning alice's password or session key.
+//
+//	go run ./examples/kerberos-login
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"proxykit"
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/kerberos"
+	"proxykit/internal/principal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const realmName = "ATHENA.EXAMPLE.ORG"
+	kdc, err := kerberos.NewKDC(realmName, nil)
+	if err != nil {
+		return err
+	}
+
+	// Provision principals.
+	aliceID := principal.New("alice", realmName)
+	bobID := principal.New("bob", realmName)
+	fileID := principal.New("file/srv1", realmName)
+	aliceKey, err := kdc.RegisterWithPassword(aliceID, "correct horse battery staple")
+	if err != nil {
+		return err
+	}
+	fileKey, err := kcrypto.NewSymmetricKey()
+	if err != nil {
+		return err
+	}
+	if err := kdc.Register(fileID, fileKey); err != nil {
+		return err
+	}
+	fmt.Printf("KDC for %s: provisioned alice, file/srv1\n\n", realmName)
+
+	// Alice logs in (AS exchange with encrypted-timestamp preauth).
+	alice := kerberos.NewClient(aliceID, aliceKey, nil)
+	tgt, err := alice.Login(kdc, kdc.TGS(), 8*time.Hour, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alice logged in: TGT for %s, expires %s\n",
+		tgt.Ticket.Server, tgt.Expires.Format(time.Kitchen))
+
+	// Alice grants bob a proxy for the ticket-granting service,
+	// restricted to reading her paper: the ticket plus an authenticator
+	// carrying a fresh proxy key in its subkey field and the
+	// restriction in its authorization-data (§6.2).
+	restriction := proxykit.Restrictions{
+		proxykit.Authorized{Entries: []proxykit.AuthorizedEntry{
+			{Object: "/home/alice/paper.tex", Ops: []string{"read"}},
+		}},
+	}
+	tgsProxy, err := kerberos.MakeProxy(tgt, restriction, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alice granted bob a TGS proxy restricted to: %s\n\n", restriction)
+
+	// Bob obtains a ticket for the file server through the proxy. The
+	// ticket names alice — bob acts with her (restricted) rights.
+	creds, err := kerberos.RequestTicketWithProxy(kdc, tgsProxy, bobID, fileID, time.Hour, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bob obtained a ticket for %s naming %s\n", creds.Ticket.Server, creds.Client)
+
+	// Bob presents the ticket to the file server.
+	fileServer := kerberos.NewServer(fileID, fileKey, nil)
+	bobView := kerberos.NewClient(creds.Client, nil, nil)
+	apReq, err := bobView.MakeAPRequest(creds, nil)
+	if err != nil {
+		return err
+	}
+	ctx, err := fileServer.VerifyAPRequest(apReq, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("file server authenticated the request: client=%s restrictions=%s\n\n",
+		ctx.Client, ctx.Restrictions)
+
+	// The restriction followed the proxy into the ticket: reading the
+	// paper is allowed, anything else is not.
+	allowed := ctx.Restrictions.Check(&proxykit.EvalContext{
+		Server: fileID, Object: "/home/alice/paper.tex", Operation: "read",
+	})
+	denied := ctx.Restrictions.Check(&proxykit.EvalContext{
+		Server: fileID, Object: "/home/alice/diary.txt", Operation: "read",
+	})
+	fmt.Printf("read paper.tex: %v\n", errString(allowed))
+	fmt.Printf("read diary.txt: %v\n", errString(denied))
+	return nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "GRANTED"
+	}
+	return "DENIED (" + err.Error() + ")"
+}

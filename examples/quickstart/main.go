@@ -1,0 +1,87 @@
+// Quickstart: grant a read-only capability for a file and exercise it.
+//
+// This is the §3.1 capability flow: the file server's ACL names only
+// alice; alice mints a bearer proxy restricted to reading one file and
+// hands it to bob, who proves possession of the proxy key and reads the
+// file with alice's rights.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"proxykit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	realm := proxykit.NewRealm("EXAMPLE.ORG")
+
+	alice, err := realm.NewIdentity("alice")
+	if err != nil {
+		return err
+	}
+	fileServer, err := realm.NewEndServer("file/srv1")
+	if err != nil {
+		return err
+	}
+
+	// Only alice appears in the ACL; everyone else must come through a
+	// proxy she grants.
+	fileServer.SetACL("/etc/motd", proxykit.NewACL(
+		proxykit.ACLEntry(alice.ID, "read", "write")))
+	fmt.Printf("ACL for /etc/motd:\n  %s\n\n", proxykit.ACLEntry(alice.ID, "read", "write"))
+
+	// Alice mints a read-only capability valid for an hour.
+	capability, err := realm.GrantCapability(alice, time.Hour,
+		proxykit.Authorized{Entries: []proxykit.AuthorizedEntry{
+			{Object: "/etc/motd", Ops: []string{"read"}},
+		}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alice granted a capability: %s\n", capability.Restrictions())
+	fmt.Printf("  grantor: %s, expires: %s\n\n", capability.Grantor(), capability.Expires().Format(time.RFC3339))
+
+	// Bob (or anyone holding the proxy) presents it: the server issues
+	// a challenge and bob proves possession of the proxy key, so a
+	// network eavesdropper who saw the certificate cannot replay it.
+	challenge, err := fileServer.Challenge()
+	if err != nil {
+		return err
+	}
+	presentation, err := capability.Present(challenge, fileServer.ID)
+	if err != nil {
+		return err
+	}
+	decision, err := fileServer.Authorize(&proxykit.Request{
+		Object:    "/etc/motd",
+		Op:        "read",
+		Proxies:   []*proxykit.Presentation{presentation},
+		Challenge: challenge,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("read /etc/motd: GRANTED via %s (proxy=%v)\n", decision.Via, decision.ViaProxy)
+
+	// The same capability cannot write: the restriction is enforced.
+	challenge2, _ := fileServer.Challenge()
+	presentation2, _ := capability.Present(challenge2, fileServer.ID)
+	_, err = fileServer.Authorize(&proxykit.Request{
+		Object:    "/etc/motd",
+		Op:        "write",
+		Proxies:   []*proxykit.Presentation{presentation2},
+		Challenge: challenge2,
+	})
+	fmt.Printf("write /etc/motd: DENIED (%v)\n", err)
+	return nil
+}

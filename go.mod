@@ -1,0 +1,3 @@
+module proxykit
+
+go 1.22

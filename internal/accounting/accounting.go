@@ -1,0 +1,256 @@
+// Package accounting implements the distributed accounting service of
+// §4 of the paper.
+//
+// "Accounts are maintained on accounting servers. At a minimum, each
+// account contains a unique name, an access-control-list, and a
+// collection of records, each record specifying a currency and a
+// balance. Accounting servers support multiple currencies, either
+// monetary (dollars, pounds, or yen) or resource specific (disk blocks,
+// cpu cycles, or printer pages)."
+//
+// Resource transfer uses checks: numbered delegate proxies whose
+// restrictions encode the check number (accept-once), the amount
+// (quota), the payee (grantee), and the bank drawn on (issued-for).
+// Endorsements are cascaded proxies; clearing crosses accounting servers
+// exactly as in Fig. 5, with each bank marking deposited funds
+// uncollected until the payor's bank honors the check. Certified checks
+// place holds; cashier's checks (the paper's "exercise for the reader")
+// are drawn on the bank's own operating account.
+package accounting
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"proxykit/internal/acl"
+	"proxykit/internal/clock"
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/pubkey"
+	"proxykit/internal/replay"
+)
+
+// Account operations appearing in account ACLs.
+const (
+	OpDebit  = "debit"
+	OpCredit = "credit"
+	OpRead   = "read"
+)
+
+// Errors returned by the accounting server.
+var (
+	ErrNoAccount         = errors.New("accounting: no such account")
+	ErrAccountExists     = errors.New("accounting: account already exists")
+	ErrInsufficientFunds = errors.New("accounting: insufficient resources")
+	ErrDeniedByACL       = errors.New("accounting: denied by account ACL")
+	ErrBadCheck          = errors.New("accounting: invalid check")
+	ErrDuplicateCheck    = errors.New("accounting: duplicate check number")
+	ErrNoRoute           = errors.New("accounting: no route to drawee bank")
+	ErrHoldExists        = errors.New("accounting: hold already exists for check number")
+)
+
+// hold is an outstanding certified-check reservation.
+type hold struct {
+	currency string
+	amount   int64
+	expires  time.Time
+}
+
+// account is one account's state.
+type account struct {
+	name        string
+	acl         *acl.ACL
+	balances    map[string]int64
+	uncollected map[string]int64
+	holds       map[string]*hold
+	history     []Transaction
+}
+
+// Server is one accounting server ("$1", "$2" in Fig. 5).
+type Server struct {
+	// ID is the server's principal identity. Account global names
+	// compose it with the local account name.
+	ID principal.ID
+
+	identity *pubkey.Identity
+	env      *proxy.VerifyEnv
+	clk      clock.Clock
+	registry *replay.Cache
+
+	mu       sync.Mutex
+	accounts map[string]*account
+	peers    map[principal.ID]*Server
+	nextHop  *Server
+
+	// ForwardedChecks counts checks this server endorsed onward to
+	// another bank (clearing traffic, for the experiments).
+	ForwardedChecks int
+}
+
+// NewServer creates an accounting server. resolve supplies grantor
+// identity verification (the public-key directory).
+func NewServer(identity *pubkey.Identity, resolve func(principal.ID) (kcrypto.Verifier, error), clk clock.Clock) *Server {
+	if clk == nil {
+		clk = clock.System{}
+	}
+	s := &Server{
+		ID:       identity.ID,
+		identity: identity,
+		clk:      clk,
+		registry: replay.New(clk),
+		accounts: make(map[string]*account),
+		peers:    make(map[principal.ID]*Server),
+	}
+	s.env = &proxy.VerifyEnv{
+		Server:          identity.ID,
+		Clock:           clk,
+		ResolveIdentity: resolve,
+	}
+	return s
+}
+
+// Global returns the global name of a local account.
+func (s *Server) Global(name string) principal.Global {
+	return principal.NewGlobal(s.ID, name)
+}
+
+// AddPeer registers a directly reachable peer bank.
+func (s *Server) AddPeer(p *Server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peers[p.ID] = p
+}
+
+// SetNextHop sets the correspondent bank used to clear checks drawn on
+// banks that are not direct peers.
+func (s *Server) SetNextHop(p *Server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextHop = p
+}
+
+// CreateAccount creates an account owned by owner, who receives full
+// rights on it.
+func (s *Server) CreateAccount(name string, owner principal.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.createAccountLocked(name, owner)
+}
+
+func (s *Server) createAccountLocked(name string, owner principal.ID) error {
+	if _, ok := s.accounts[name]; ok {
+		return fmt.Errorf("%w: %s", ErrAccountExists, name)
+	}
+	s.accounts[name] = &account{
+		name:        name,
+		acl:         acl.New(acl.PrincipalEntry(owner, OpDebit, OpCredit, OpRead)),
+		balances:    make(map[string]int64),
+		uncollected: make(map[string]int64),
+		holds:       make(map[string]*hold),
+	}
+	return nil
+}
+
+// AccountACL returns the account's ACL for extension (e.g. adding an
+// authorization server, §3.5).
+func (s *Server) AccountACL(name string) (*acl.ACL, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoAccount, name)
+	}
+	return a.acl, nil
+}
+
+// Mint credits an account out of thin air — provisioning for tests,
+// examples, and resource-currency servers (a printer server minting
+// "pages").
+func (s *Server) Mint(name, currency string, amount int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoAccount, name)
+	}
+	a.balances[currency] += amount
+	a.record(Transaction{Time: s.clk.Now(), Kind: TxMint, Currency: currency, Amount: amount})
+	return nil
+}
+
+// Balance returns the collected balance, requiring read rights.
+func (s *Server) Balance(name, currency string, requesters []principal.ID) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoAccount, name)
+	}
+	if _, err := a.acl.Match(acl.Query{Op: OpRead, Identities: requesters}); err != nil {
+		return 0, fmt.Errorf("%w: read %s: %v", ErrDeniedByACL, name, err)
+	}
+	return a.balances[currency], nil
+}
+
+// UncollectedBalance returns deposited-but-unclear funds.
+func (s *Server) UncollectedBalance(name, currency string, requesters []principal.ID) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoAccount, name)
+	}
+	if _, err := a.acl.Match(acl.Query{Op: OpRead, Identities: requesters}); err != nil {
+		return 0, fmt.Errorf("%w: read %s: %v", ErrDeniedByACL, name, err)
+	}
+	return a.uncollected[currency], nil
+}
+
+// Transfer moves funds between two local accounts; requesters need
+// debit rights on from. This is also the quota primitive: "Quotas are
+// implemented by transferring funds of the appropriate currency out of
+// an account when the resource is allocated and transferring the funds
+// back when the resource is released."
+func (s *Server) Transfer(from, to, currency string, amount int64, requesters []principal.ID) error {
+	if amount < 0 {
+		return fmt.Errorf("%w: negative amount", ErrBadCheck)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src, ok := s.accounts[from]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoAccount, from)
+	}
+	dst, ok := s.accounts[to]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoAccount, to)
+	}
+	if _, err := src.acl.Match(acl.Query{Op: OpDebit, Identities: requesters}); err != nil {
+		return fmt.Errorf("%w: debit %s: %v", ErrDeniedByACL, from, err)
+	}
+	if src.balances[currency] < amount {
+		return fmt.Errorf("%w: %s has %d %s, need %d", ErrInsufficientFunds,
+			from, src.balances[currency], currency, amount)
+	}
+	src.balances[currency] -= amount
+	dst.balances[currency] += amount
+	now := s.clk.Now()
+	src.record(Transaction{Time: now, Kind: TxTransferOut, Currency: currency, Amount: amount, Counterparty: to})
+	dst.record(Transaction{Time: now, Kind: TxTransferIn, Currency: currency, Amount: amount, Counterparty: from})
+	return nil
+}
+
+// AllocateQuota reserves amount of currency from the consumer's account
+// into the resource holder's account, failing if the quota is exhausted.
+func (s *Server) AllocateQuota(consumer, holder, currency string, amount int64, requesters []principal.ID) error {
+	return s.Transfer(consumer, holder, currency, amount, requesters)
+}
+
+// ReleaseQuota returns previously allocated resources; the holder's ACL
+// must grant the requesters debit rights on the holder account.
+func (s *Server) ReleaseQuota(holder, consumer, currency string, amount int64, requesters []principal.ID) error {
+	return s.Transfer(holder, consumer, currency, amount, requesters)
+}

@@ -1,0 +1,616 @@
+package accounting
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"proxykit/internal/clock"
+	"proxykit/internal/principal"
+	"proxykit/internal/pubkey"
+)
+
+var (
+	carol = principal.New("carol", "ISI.EDU") // client C in Fig. 5
+	srvS  = principal.New("service", "ISI.EDU")
+	dave  = principal.New("dave", "ISI.EDU")
+)
+
+// world holds a two-bank economy: carol banks at bank2 ($2), the service
+// banks at bank1 ($1), mirroring Fig. 5.
+type world struct {
+	t     *testing.T
+	clk   *clock.Fake
+	dir   *pubkey.Directory
+	ids   map[principal.ID]*pubkey.Identity
+	bank1 *Server
+	bank2 *Server
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	w := &world{
+		t:   t,
+		clk: clock.NewFake(time.Unix(13_000_000, 0)),
+		dir: pubkey.NewDirectory(),
+		ids: make(map[principal.ID]*pubkey.Identity),
+	}
+	for _, id := range []principal.ID{carol, srvS, dave} {
+		w.register(id)
+	}
+	b1 := w.register(principal.New("bank1", "ISI.EDU"))
+	b2 := w.register(principal.New("bank2", "ISI.EDU"))
+	w.bank1 = NewServer(b1, w.dir.Resolver(), w.clk)
+	w.bank2 = NewServer(b2, w.dir.Resolver(), w.clk)
+	w.dir.RegisterIdentity(w.bank1.identity)
+	w.dir.RegisterIdentity(w.bank2.identity)
+	w.bank1.AddPeer(w.bank2)
+	w.bank2.AddPeer(w.bank1)
+
+	if err := w.bank2.CreateAccount("carol", carol); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.bank2.Mint("carol", "dollars", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.bank1.CreateAccount("service", srvS); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func (w *world) register(id principal.ID) *pubkey.Identity {
+	w.t.Helper()
+	ident, err := pubkey.NewIdentity(id)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	w.ids[id] = ident
+	w.dir.RegisterIdentity(ident)
+	return ident
+}
+
+// carolCheck writes a check from carol's account at bank2 payable to
+// the service.
+func (w *world) carolCheck(amount int64) *Check {
+	w.t.Helper()
+	c, err := WriteCheck(WriteCheckParams{
+		Payor:    w.ids[carol],
+		Bank:     w.bank2.ID,
+		Account:  "carol",
+		Payee:    srvS,
+		Currency: "dollars",
+		Amount:   amount,
+		Lifetime: 24 * time.Hour,
+		Clock:    w.clk,
+	})
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return c
+}
+
+// endorseTo performs the payee-side endorsement of Fig. 5: the payee
+// grants its bank a cascaded proxy directing deposit to its account.
+func (w *world) endorseTo(c *Check, payee principal.ID, bank *Server, account string) *Check {
+	w.t.Helper()
+	e, err := c.Endorse(w.ids[payee], bank.ID, bank.ID, bank.Global(account), true, w.clk)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return e
+}
+
+func (w *world) balance(b *Server, account string, who principal.ID) int64 {
+	w.t.Helper()
+	v, err := b.Balance(account, "dollars", []principal.ID{who})
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return v
+}
+
+func TestSameBankCheck(t *testing.T) {
+	w := newWorld(t)
+	if err := w.bank2.CreateAccount("dave", dave); err != nil {
+		t.Fatal(err)
+	}
+	c, err := WriteCheck(WriteCheckParams{
+		Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+		Payee: dave, Currency: "dollars", Amount: 100,
+		Lifetime: time.Hour, Clock: w.clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := w.bank2.DepositCheck(c, []principal.ID{dave}, "dave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hops != 1 || !r.Collected || r.Amount != 100 {
+		t.Fatalf("receipt = %+v", r)
+	}
+	if got := w.balance(w.bank2, "carol", carol); got != 900 {
+		t.Fatalf("carol = %d", got)
+	}
+	if got := w.balance(w.bank2, "dave", dave); got != 100 {
+		t.Fatalf("dave = %d", got)
+	}
+}
+
+func TestDuplicateDepositRejected(t *testing.T) {
+	w := newWorld(t)
+	if err := w.bank2.CreateAccount("dave", dave); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := WriteCheck(WriteCheckParams{
+		Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+		Payee: dave, Currency: "dollars", Amount: 10,
+		Lifetime: time.Hour, Clock: w.clk,
+	})
+	if _, err := w.bank2.DepositCheck(c, []principal.ID{dave}, "dave"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.bank2.DepositCheck(c, []principal.ID{dave}, "dave"); !errors.Is(err, ErrDuplicateCheck) {
+		t.Fatalf("err = %v", err)
+	}
+	// After the retention window (check expiry) the number could recur,
+	// but the check itself has expired — both defenses overlap.
+	w.clk.Advance(25 * time.Hour)
+	if _, err := w.bank2.DepositCheck(c, []principal.ID{dave}, "dave"); !errors.Is(err, ErrBadCheck) {
+		t.Fatalf("expired err = %v", err)
+	}
+}
+
+func TestCrossBankClearing(t *testing.T) {
+	// Fig. 5 exactly: C banks at $2, S banks at $1; S deposits at $1;
+	// $1 endorses and forwards to $2.
+	w := newWorld(t)
+	c := w.endorseTo(w.carolCheck(250), srvS, w.bank1, "service")
+
+	r, err := w.bank1.DepositCheck(c, []principal.ID{srvS}, "service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hops != 2 {
+		t.Fatalf("hops = %d, want 2", r.Hops)
+	}
+	if got := w.balance(w.bank2, "carol", carol); got != 750 {
+		t.Fatalf("carol = %d", got)
+	}
+	if got := w.balance(w.bank1, "service", srvS); got != 250 {
+		t.Fatalf("service = %d", got)
+	}
+	// Interbank settlement: bank1's clearing account at bank2 holds the
+	// collected funds.
+	got, err := w.bank2.Balance(clearingAccount(w.bank1.ID), "dollars", []principal.ID{w.bank1.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 250 {
+		t.Fatalf("clearing = %d", got)
+	}
+	// Nothing left uncollected.
+	if u, _ := w.bank1.UncollectedBalance("service", "dollars", []principal.ID{srvS}); u != 0 {
+		t.Fatalf("uncollected = %d", u)
+	}
+	if w.bank1.ForwardedChecks != 1 {
+		t.Fatalf("forwarded = %d", w.bank1.ForwardedChecks)
+	}
+}
+
+func TestMultiHopClearing(t *testing.T) {
+	// A chain of four banks: deposit at bank A, drawn on bank D,
+	// forwarded A→B→C→D via next hops.
+	w := newWorld(t)
+	banks := make([]*Server, 4)
+	for i := range banks {
+		ident := w.register(principal.New("chain"+string(rune('A'+i)), "ISI.EDU"))
+		banks[i] = NewServer(ident, w.dir.Resolver(), w.clk)
+	}
+	for i := 0; i < 3; i++ {
+		banks[i].SetNextHop(banks[i+1])
+	}
+	last := banks[3]
+	if err := last.CreateAccount("payor", carol); err != nil {
+		t.Fatal(err)
+	}
+	if err := last.Mint("payor", "credits", 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := banks[0].CreateAccount("payee", dave); err != nil {
+		t.Fatal(err)
+	}
+	c, err := WriteCheck(WriteCheckParams{
+		Payor: w.ids[carol], Bank: last.ID, Account: "payor",
+		Payee: dave, Currency: "credits", Amount: 123,
+		Lifetime: time.Hour, Clock: w.clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	endorsed, err := c.Endorse(w.ids[dave], banks[0].ID, banks[0].ID, banks[0].Global("payee"), true, w.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := banks[0].DepositCheck(endorsed, []principal.ID{dave}, "payee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hops != 4 {
+		t.Fatalf("hops = %d, want 4", r.Hops)
+	}
+	if got, _ := last.Balance("payor", "credits", []principal.ID{carol}); got != 377 {
+		t.Fatalf("payor = %d", got)
+	}
+	if got, _ := banks[0].Balance("payee", "credits", []principal.ID{dave}); got != 123 {
+		t.Fatalf("payee = %d", got)
+	}
+}
+
+func TestInsufficientFundsRollsBackUncollected(t *testing.T) {
+	w := newWorld(t)
+	c := w.endorseTo(w.carolCheck(5000), srvS, w.bank1, "service") // more than carol has
+	if _, err := w.bank1.DepositCheck(c, []principal.ID{srvS}, "service"); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("err = %v", err)
+	}
+	if u, _ := w.bank1.UncollectedBalance("service", "dollars", []principal.ID{srvS}); u != 0 {
+		t.Fatalf("uncollected not rolled back: %d", u)
+	}
+	if got := w.balance(w.bank1, "service", srvS); got != 0 {
+		t.Fatalf("service credited: %d", got)
+	}
+}
+
+func TestStolenPayeeCheckUnusable(t *testing.T) {
+	// The check names the service as payee; dave cannot deposit it.
+	w := newWorld(t)
+	if err := w.bank2.CreateAccount("dave", dave); err != nil {
+		t.Fatal(err)
+	}
+	c := w.carolCheck(100)
+	if _, err := w.bank2.DepositCheck(c, []principal.ID{dave}, "dave"); !errors.Is(err, ErrBadCheck) {
+		t.Fatalf("err = %v", err)
+	}
+	// Carol's balance untouched.
+	if got := w.balance(w.bank2, "carol", carol); got != 1000 {
+		t.Fatalf("carol = %d", got)
+	}
+}
+
+func TestGrantorWithoutDebitRightsRejected(t *testing.T) {
+	// Dave writes a check on carol's account; he has no debit rights.
+	w := newWorld(t)
+	if err := w.bank2.CreateAccount("dave", dave); err != nil {
+		t.Fatal(err)
+	}
+	c, err := WriteCheck(WriteCheckParams{
+		Payor: w.ids[dave], Bank: w.bank2.ID, Account: "carol",
+		Payee: dave, Currency: "dollars", Amount: 10,
+		Lifetime: time.Hour, Clock: w.clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.bank2.DepositCheck(c, []principal.ID{dave}, "dave"); !errors.Is(err, ErrDeniedByACL) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTamperedAmountRejected(t *testing.T) {
+	// The metadata claims a larger amount than the signed quota.
+	w := newWorld(t)
+	if err := w.bank2.CreateAccount("dave", dave); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := WriteCheck(WriteCheckParams{
+		Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+		Payee: dave, Currency: "dollars", Amount: 10,
+		Lifetime: time.Hour, Clock: w.clk,
+	})
+	c.Amount = 900
+	if _, err := w.bank2.DepositCheck(c, []principal.ID{dave}, "dave"); !errors.Is(err, ErrBadCheck) {
+		t.Fatalf("err = %v", err)
+	}
+	// Tampered account name similarly fails the authorized restriction.
+	c2, _ := WriteCheck(WriteCheckParams{
+		Payor: w.ids[dave], Bank: w.bank2.ID, Account: "dave",
+		Payee: dave, Currency: "dollars", Amount: 10,
+		Lifetime: time.Hour, Clock: w.clk,
+	})
+	c2.Account = "carol"
+	if _, err := w.bank2.DepositCheck(c2, []principal.ID{dave}, "dave"); !errors.Is(err, ErrBadCheck) {
+		t.Fatalf("account tamper err = %v", err)
+	}
+}
+
+func TestBearerCheckNeedsProxyKey(t *testing.T) {
+	w := newWorld(t)
+	if err := w.bank2.CreateAccount("dave", dave); err != nil {
+		t.Fatal(err)
+	}
+	c, err := WriteCheck(WriteCheckParams{
+		Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+		Currency: "dollars", Amount: 50, // no payee: bearer check
+		Lifetime: time.Hour, Clock: w.clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the key (dave was handed the whole proxy) it spends.
+	if _, err := w.bank2.DepositCheck(c, []principal.ID{dave}, "dave"); err != nil {
+		t.Fatal(err)
+	}
+	// A copied certificate chain without the key is worthless.
+	c2, _ := WriteCheck(WriteCheckParams{
+		Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+		Currency: "dollars", Amount: 50,
+		Lifetime: time.Hour, Clock: w.clk,
+	})
+	c2.Proxy.Key = nil
+	if _, err := w.bank2.DepositCheck(c2, []principal.ID{dave}, "dave"); !errors.Is(err, ErrBadCheck) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEndorsementDirectsProceeds(t *testing.T) {
+	// The service endorses the check for deposit to its account at
+	// bank1; bank1 refuses to credit any other account.
+	w := newWorld(t)
+	if err := w.bank1.CreateAccount("other", dave); err != nil {
+		t.Fatal(err)
+	}
+	c := w.carolCheck(75)
+	endorsed, err := c.Endorse(w.ids[srvS], w.bank1.ID, w.bank1.ID, w.bank1.Global("service"), true, w.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.bank1.DepositCheck(endorsed, []principal.ID{w.bank1.ID}, "other"); !errors.Is(err, ErrBadCheck) {
+		t.Fatalf("misdirected deposit err = %v", err)
+	}
+	if _, err := w.bank1.DepositCheck(endorsed, []principal.ID{w.bank1.ID}, "service"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoRouteError(t *testing.T) {
+	w := newWorld(t)
+	lonely := NewServer(w.register(principal.New("lonely", "ISI.EDU")), w.dir.Resolver(), w.clk)
+	if err := lonely.CreateAccount("acct", dave); err != nil {
+		t.Fatal(err)
+	}
+	c, err := w.carolCheck(10).Endorse(w.ids[srvS], lonely.ID, lonely.ID, lonely.Global("acct"), true, w.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lonely.DepositCheck(c, []principal.ID{srvS}, "acct"); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCertifiedCheck(t *testing.T) {
+	w := newWorld(t)
+	c := w.carolCheck(400)
+	cc, err := w.bank2.Certify("carol", []principal.ID{carol}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hold reduced the available balance immediately.
+	if got := w.balance(w.bank2, "carol", carol); got != 600 {
+		t.Fatalf("carol after hold = %d", got)
+	}
+	// An end-server can verify the certification.
+	envS := w.bank1.env // any env with the directory resolver works
+	if err := VerifyCertification(cc, envS, srvS); err != nil {
+		t.Fatal(err)
+	}
+	// Carol drains the rest of her account; the certified check still
+	// clears from the hold.
+	if err := w.bank2.CreateAccount("sink", carol); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.bank2.Transfer("carol", "sink", "dollars", 600, []principal.ID{carol}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := w.bank1.DepositCheck(w.endorseTo(cc.Check, srvS, w.bank1, "service"), []principal.ID{srvS}, "service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Amount != 400 {
+		t.Fatalf("receipt = %+v", r)
+	}
+	if got := w.balance(w.bank1, "service", srvS); got != 400 {
+		t.Fatalf("service = %d", got)
+	}
+}
+
+func TestCertifyValidation(t *testing.T) {
+	w := newWorld(t)
+	c := w.carolCheck(100)
+	// Only holders of debit rights can certify.
+	if _, err := w.bank2.Certify("carol", []principal.ID{dave}, c); !errors.Is(err, ErrDeniedByACL) {
+		t.Fatalf("err = %v", err)
+	}
+	// Double certification of the same number fails.
+	if _, err := w.bank2.Certify("carol", []principal.ID{carol}, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.bank2.Certify("carol", []principal.ID{carol}, c); !errors.Is(err, ErrHoldExists) {
+		t.Fatalf("err = %v", err)
+	}
+	// Certification beyond the balance fails.
+	big := w.carolCheck(5000)
+	if _, err := w.bank2.Certify("carol", []principal.ID{carol}, big); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("err = %v", err)
+	}
+	// Wrong bank / wrong account.
+	if _, err := w.bank1.Certify("carol", []principal.ID{carol}, w.carolCheck(1)); !errors.Is(err, ErrBadCheck) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExpiredHoldsReleased(t *testing.T) {
+	w := newWorld(t)
+	c := w.carolCheck(300)
+	if _, err := w.bank2.Certify("carol", []principal.ID{carol}, c); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.balance(w.bank2, "carol", carol); got != 700 {
+		t.Fatalf("after hold = %d", got)
+	}
+	w.clk.Advance(25 * time.Hour)
+	if n := w.bank2.ReleaseExpiredHolds(); n != 1 {
+		t.Fatalf("released = %d", n)
+	}
+	if got := w.balance(w.bank2, "carol", carol); got != 1000 {
+		t.Fatalf("after release = %d", got)
+	}
+}
+
+func TestCashiersCheck(t *testing.T) {
+	w := newWorld(t)
+	c, err := w.bank2.CashiersCheck("carol", []principal.ID{carol}, srvS, "dollars", 150, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Carol paid immediately.
+	if got := w.balance(w.bank2, "carol", carol); got != 850 {
+		t.Fatalf("carol = %d", got)
+	}
+	// The check is drawn on the bank itself and always clears.
+	r, err := w.bank1.DepositCheck(w.endorseTo(c, srvS, w.bank1, "service"), []principal.ID{srvS}, "service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Amount != 150 {
+		t.Fatalf("receipt = %+v", r)
+	}
+	if got := w.balance(w.bank1, "service", srvS); got != 150 {
+		t.Fatalf("service = %d", got)
+	}
+}
+
+func TestQuotaAllocateRelease(t *testing.T) {
+	w := newWorld(t)
+	if err := w.bank2.CreateAccount("printer-held", dave); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.bank2.Mint("carol", "pages", 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.bank2.AllocateQuota("carol", "printer-held", "pages", 20, []principal.ID{carol}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := w.bank2.Balance("carol", "pages", []principal.ID{carol}); got != 10 {
+		t.Fatalf("carol pages = %d", got)
+	}
+	// Over-allocation fails: the quota is exhausted.
+	if err := w.bank2.AllocateQuota("carol", "printer-held", "pages", 15, []principal.ID{carol}); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("err = %v", err)
+	}
+	// Release returns the unused portion.
+	if err := w.bank2.ReleaseQuota("printer-held", "carol", "pages", 5, []principal.ID{dave}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := w.bank2.Balance("carol", "pages", []principal.ID{carol}); got != 15 {
+		t.Fatalf("carol pages = %d", got)
+	}
+}
+
+func TestTransferValidation(t *testing.T) {
+	w := newWorld(t)
+	if err := w.bank2.CreateAccount("dave", dave); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.bank2.Transfer("carol", "dave", "dollars", 10, []principal.ID{dave}); !errors.Is(err, ErrDeniedByACL) {
+		t.Fatalf("acl err = %v", err)
+	}
+	if err := w.bank2.Transfer("carol", "dave", "dollars", -5, []principal.ID{carol}); !errors.Is(err, ErrBadCheck) {
+		t.Fatalf("negative err = %v", err)
+	}
+	if err := w.bank2.Transfer("ghost", "dave", "dollars", 1, []principal.ID{carol}); !errors.Is(err, ErrNoAccount) {
+		t.Fatalf("missing src err = %v", err)
+	}
+	if err := w.bank2.Transfer("carol", "ghost", "dollars", 1, []principal.ID{carol}); !errors.Is(err, ErrNoAccount) {
+		t.Fatalf("missing dst err = %v", err)
+	}
+}
+
+func TestBalanceRequiresReadRight(t *testing.T) {
+	w := newWorld(t)
+	if _, err := w.bank2.Balance("carol", "dollars", []principal.ID{dave}); !errors.Is(err, ErrDeniedByACL) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := w.bank2.UncollectedBalance("carol", "dollars", []principal.ID{dave}); !errors.Is(err, ErrDeniedByACL) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCreateAccountValidation(t *testing.T) {
+	w := newWorld(t)
+	if err := w.bank2.CreateAccount("carol", carol); !errors.Is(err, ErrAccountExists) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := w.bank2.AccountACL("ghost"); !errors.Is(err, ErrNoAccount) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := w.bank2.Mint("ghost", "dollars", 1); !errors.Is(err, ErrNoAccount) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteCheckValidation(t *testing.T) {
+	w := newWorld(t)
+	if _, err := WriteCheck(WriteCheckParams{
+		Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+		Currency: "dollars", Amount: 0, Clock: w.clk,
+	}); !errors.Is(err, ErrBadCheck) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMultipleCurrenciesIndependent(t *testing.T) {
+	w := newWorld(t)
+	if err := w.bank2.Mint("carol", "pages", 7); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := w.bank2.Balance("carol", "pages", []principal.ID{carol}); got != 7 {
+		t.Fatalf("pages = %d", got)
+	}
+	if got, _ := w.bank2.Balance("carol", "dollars", []principal.ID{carol}); got != 1000 {
+		t.Fatalf("dollars = %d", got)
+	}
+	if got, _ := w.bank2.Balance("carol", "yen", []principal.ID{carol}); got != 0 {
+		t.Fatalf("yen = %d", got)
+	}
+}
+
+func TestBouncedCheckCanBeRedeposited(t *testing.T) {
+	// A check that bounces for insufficient funds is returned, not
+	// voided: once the payor funds the account, the same check clears.
+	w := newWorld(t)
+	if err := w.bank2.CreateAccount("dave", dave); err != nil {
+		t.Fatal(err)
+	}
+	c, err := WriteCheck(WriteCheckParams{
+		Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+		Payee: dave, Currency: "dollars", Amount: 5000,
+		Lifetime: time.Hour, Clock: w.clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.bank2.DepositCheck(c, []principal.ID{dave}, "dave"); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := w.bank2.Mint("carol", "dollars", 5000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.bank2.DepositCheck(c, []principal.ID{dave}, "dave"); err != nil {
+		t.Fatalf("re-deposit after funding failed: %v", err)
+	}
+	// And only once: the successful deposit consumes the number.
+	if _, err := w.bank2.DepositCheck(c, []principal.ID{dave}, "dave"); !errors.Is(err, ErrDuplicateCheck) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+package accounting
+
+import (
+	"fmt"
+	"time"
+
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/restrict"
+)
+
+// CertifiedCheck couples a check with the bank's certification proxy:
+// "The accounting server places a hold on the resources and returns an
+// authorization proxy to the client certifying that the client has
+// sufficient resources to cover the check. The client presents the
+// authorization proxy and the check to the end-server along with its
+// application request."
+type CertifiedCheck struct {
+	// Check is the underlying check.
+	Check *Check
+	// Certification is the bank-signed proxy asserting the hold.
+	Certification *proxy.Proxy
+}
+
+// certifiedObject is the restriction object naming a certified check.
+func certifiedObject(number string) string { return "certified:" + number }
+
+// OpVerifyFunds is the operation a certification proxy authorizes.
+const OpVerifyFunds = "verify-funds"
+
+// issueCertification builds the bank-signed authorization proxy for a
+// held check.
+func (s *Server) issueCertification(c *Check, lifetime time.Duration) (*proxy.Proxy, error) {
+	if lifetime <= 0 {
+		return nil, fmt.Errorf("%w: certification lifetime", ErrBadCheck)
+	}
+	rs := restrict.Set{
+		restrict.Authorized{Entries: []restrict.AuthorizedEntry{
+			{Object: certifiedObject(c.Number), Ops: []string{OpVerifyFunds}},
+		}},
+		restrict.Quota{Currency: c.Currency, Limit: c.Amount},
+	}
+	return proxy.Grant(proxy.GrantParams{
+		Grantor:       s.ID,
+		GrantorSigner: s.identity.Signer(),
+		Restrictions:  rs,
+		Lifetime:      lifetime,
+		Mode:          proxy.ModePublicKey,
+		Clock:         s.clk,
+	})
+}
+
+// VerifyCertification lets an end-server check a certification before
+// performing work: the proxy must be signed by the check's drawee bank
+// and assert at least the check's amount for the check's number.
+func VerifyCertification(cc *CertifiedCheck, env *proxy.VerifyEnv, server principal.ID) error {
+	if cc == nil || cc.Check == nil || cc.Certification == nil {
+		return fmt.Errorf("%w: incomplete certified check", ErrBadCheck)
+	}
+	v, err := env.VerifyChain(cc.Certification.Certs)
+	if err != nil {
+		return fmt.Errorf("%w: certification: %v", ErrBadCheck, err)
+	}
+	if v.Grantor != cc.Check.Bank {
+		return fmt.Errorf("%w: certification signed by %s, check drawn on %s",
+			ErrBadCheck, v.Grantor, cc.Check.Bank)
+	}
+	ctx := &restrict.Context{
+		Server:    server,
+		Object:    certifiedObject(cc.Check.Number),
+		Operation: OpVerifyFunds,
+		Amounts:   map[string]int64{cc.Check.Currency: cc.Check.Amount},
+		Now:       env.Clock.Now(),
+	}
+	if err := v.Authorize(ctx); err != nil {
+		return fmt.Errorf("%w: certification: %v", ErrBadCheck, err)
+	}
+	return nil
+}

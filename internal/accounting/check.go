@@ -1,0 +1,192 @@
+package accounting
+
+import (
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"proxykit/internal/clock"
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/pubkey"
+	"proxykit/internal/restrict"
+)
+
+// Check is a numbered delegate proxy authorizing a transfer from the
+// payor's account: "A principal authorized to debit an account (the
+// payor) issues a numbered delegate proxy (a check) authorizing the
+// payee to transfer funds from the payor's account to that of the
+// payee."
+//
+// The metadata fields mirror the proxy's restrictions for convenience;
+// the signed restrictions are authoritative and banks re-derive
+// everything from them.
+type Check struct {
+	// Number is the check number (an accept-once identifier).
+	Number string
+	// Bank the check is drawn on.
+	Bank principal.ID
+	// Account is the payor's local account name at Bank.
+	Account string
+	// Currency and Amount of the payment.
+	Currency string
+	Amount   int64
+	// Payee is the named payee; zero for a bearer check.
+	Payee principal.ID
+	// Proxy is the underlying restricted proxy (certificate chain plus,
+	// for bearer checks, the proxy key).
+	Proxy *proxy.Proxy
+}
+
+// debitObject is the restriction object name for debiting an account.
+func debitObject(account string) string { return "account:" + account }
+
+// WriteCheckParams describes a check to be written.
+type WriteCheckParams struct {
+	// Payor signs the check; the payor must hold debit rights on the
+	// account at the bank.
+	Payor *pubkey.Identity
+	// Bank the check is drawn on.
+	Bank principal.ID
+	// Account is the payor's account at Bank.
+	Account string
+	// Payee the check is payable to; zero writes a bearer check.
+	Payee principal.ID
+	// Currency and Amount of the payment.
+	Currency string
+	Amount   int64
+	// Lifetime bounds the check's validity (and the duplicate-number
+	// retention window, §7.7).
+	Lifetime time.Duration
+	// Clock supplies the issue time; nil uses the system clock.
+	Clock clock.Clock
+}
+
+// WriteCheck creates and signs a check. The restrictions encode the
+// figure-5 check "[ckno, amount, S]C": accept-once carries the number,
+// quota the amount, grantee the payee, authorized the payor account
+// debit, and issued-for the drawee bank.
+func WriteCheck(p WriteCheckParams) (*Check, error) {
+	if p.Amount <= 0 {
+		return nil, fmt.Errorf("%w: non-positive amount", ErrBadCheck)
+	}
+	if p.Lifetime <= 0 {
+		p.Lifetime = 30 * 24 * time.Hour
+	}
+	num, err := kcrypto.Nonce(12)
+	if err != nil {
+		return nil, err
+	}
+	number := hex.EncodeToString(num)
+	rs := restrict.Set{
+		restrict.AcceptOnce{ID: number},
+		restrict.Quota{Currency: p.Currency, Limit: p.Amount},
+		restrict.Authorized{Entries: []restrict.AuthorizedEntry{
+			{Object: debitObject(p.Account), Ops: []string{OpDebit}},
+		}},
+		restrict.IssuedFor{Servers: []principal.ID{p.Bank}},
+	}
+	if !p.Payee.IsZero() {
+		rs = append(rs, restrict.Grantee{Principals: []principal.ID{p.Payee}})
+	}
+	px, err := proxy.Grant(proxy.GrantParams{
+		Grantor:       p.Payor.ID,
+		GrantorSigner: p.Payor.Signer(),
+		Restrictions:  rs,
+		Lifetime:      p.Lifetime,
+		Mode:          proxy.ModePublicKey,
+		Clock:         p.Clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Check{
+		Number:   number,
+		Bank:     p.Bank,
+		Account:  p.Account,
+		Currency: p.Currency,
+		Amount:   p.Amount,
+		Payee:    p.Payee,
+		Proxy:    px,
+	}, nil
+}
+
+// Endorse adds an endorsement: a cascaded proxy naming the next holder
+// and directing the proceeds. honoringBank is the bank that must honor
+// the deposit instruction; depositTo is the account (at honoringBank)
+// the proceeds must be credited to.
+//
+// A restricted ("for deposit only") endorsement is a delegate cascade —
+// the endorser signs with its identity, leaving an audit trail. An
+// unrestricted endorsement is a bearer cascade signed with the check's
+// proxy key (only possible while holding the key, i.e. for bearer
+// checks).
+func (c *Check) Endorse(endorser *pubkey.Identity, nextHolder principal.ID, honoringBank principal.ID, depositTo principal.Global, restricted bool, clk clock.Clock) (*Check, error) {
+	added := restrict.Set{
+		restrict.Limit{
+			Servers:      []principal.ID{honoringBank},
+			Restrictions: restrict.Set{restrict.DepositTo{Account: depositTo}},
+		},
+	}
+	if !nextHolder.IsZero() {
+		added = append(added, restrict.Grantee{Principals: []principal.ID{nextHolder}})
+	}
+	if clk == nil {
+		clk = clock.System{}
+	}
+	lifetime := c.Proxy.Expires().Sub(clk.Now())
+	if lifetime <= 0 {
+		return nil, fmt.Errorf("%w: check expired", ErrBadCheck)
+	}
+	cp := proxy.CascadeParams{
+		Added:    added,
+		Lifetime: lifetime,
+		Mode:     proxy.ModePublicKey,
+		Clock:    clk,
+	}
+	var px *proxy.Proxy
+	var err error
+	if restricted {
+		px, err = c.Proxy.CascadeDelegate(endorser.ID, endorser.Signer(), cp)
+	} else {
+		px, err = c.Proxy.CascadeBearer(cp)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("accounting: endorse: %w", err)
+	}
+	out := *c
+	out.Proxy = px
+	return &out, nil
+}
+
+// depositInstructionFor extracts the deposit-to instruction scoped to
+// server, if any: the innermost (latest) limit-restriction naming the
+// server wins, matching endorsement order.
+func depositInstructionFor(rs restrict.Set, server principal.ID) (principal.Global, bool) {
+	var out principal.Global
+	found := false
+	for _, r := range rs {
+		l, ok := r.(restrict.Limit)
+		if !ok {
+			continue
+		}
+		applies := false
+		for _, sv := range l.Servers {
+			if sv == server {
+				applies = true
+				break
+			}
+		}
+		if !applies {
+			continue
+		}
+		for _, inner := range l.Restrictions {
+			if dt, ok := inner.(restrict.DepositTo); ok {
+				out = dt.Account
+				found = true
+			}
+		}
+	}
+	return out, found
+}

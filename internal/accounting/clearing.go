@@ -1,0 +1,357 @@
+package accounting
+
+import (
+	"fmt"
+	"time"
+
+	"proxykit/internal/acl"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/restrict"
+)
+
+// clearingAccount names the local account holding a collector bank's
+// cleared funds at this bank.
+func clearingAccount(collector principal.ID) string {
+	return "clearing:" + collector.String()
+}
+
+// Receipt reports the outcome of a deposit.
+type Receipt struct {
+	// Number is the check number.
+	Number string
+	// Currency and Amount transferred.
+	Currency string
+	Amount   int64
+	// Collected reports whether funds are final (true) or awaiting
+	// clearing (never false on success in the synchronous model, but
+	// recorded for the daemon version).
+	Collected bool
+	// Hops is the number of banks that processed the check, including
+	// this one (Fig. 5: same-bank = 1, one endorsement step = 2, ...).
+	Hops int
+}
+
+// DepositCheck deposits a check into a local account. presenters are
+// the authenticated identities of the depositing party. If the check is
+// drawn on this bank it is redeemed immediately; otherwise the funds are
+// marked uncollected, the bank endorses the check onward ("the payee
+// grants its own accounting server a cascaded proxy (endorsement) for
+// the check allowing the accounting server to collect the resources on
+// its behalf. Subsequent accounting servers repeat the process until the
+// payor's accounting server is reached"), and on success the funds
+// become collected.
+func (s *Server) DepositCheck(c *Check, presenters []principal.ID, creditAccount string) (*Receipt, error) {
+	if c == nil || c.Proxy == nil {
+		return nil, fmt.Errorf("%w: nil check", ErrBadCheck)
+	}
+	// Validate the chain's integrity and signatures regardless of which
+	// bank we are.
+	v, err := s.env.VerifyChain(c.Proxy.Certs)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheck, err)
+	}
+	number, ok := checkNumber(v.Restrictions)
+	if !ok {
+		return nil, fmt.Errorf("%w: no check number", ErrBadCheck)
+	}
+
+	// Honor any deposit instruction addressed to this bank.
+	if target, ok := depositInstructionFor(v.Restrictions, s.ID); ok {
+		if target != s.Global(creditAccount) {
+			return nil, fmt.Errorf("%w: endorsement directs proceeds to %s, not %s",
+				ErrBadCheck, target, s.Global(creditAccount))
+		}
+	}
+
+	// A bearer check (no grantee anywhere in the chain) is payable to
+	// whoever holds the proxy key — so possession must be proven, or a
+	// copied certificate chain would spend like cash.
+	if len(v.Restrictions.Grantees()) == 0 {
+		if c.Proxy.Key == nil {
+			return nil, fmt.Errorf("%w: bearer check without proxy key", ErrBadCheck)
+		}
+		ch, err := proxy.NewChallenge()
+		if err != nil {
+			return nil, err
+		}
+		proof, err := c.Proxy.Prove(ch, s.ID)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCheck, err)
+		}
+		if err := s.env.VerifyPossession(v, c.Proxy.Certs[len(c.Proxy.Certs)-1], ch, proof); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCheck, err)
+		}
+	}
+
+	// Each bank accepts a given check number once (§7.7). If the
+	// deposit ultimately fails (e.g. insufficient funds), the number is
+	// forgotten so the check can be re-presented once the problem is
+	// fixed — a bounced check is returned, not voided.
+	if err := s.registry.Accept(v.GrantorKeyID, number, v.Expires); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDuplicateCheck, err)
+	}
+	var receipt *Receipt
+	var depErr error
+	if c.Bank == s.ID {
+		receipt, depErr = s.redeemLocal(c, v, presenters, creditAccount)
+	} else {
+		receipt, depErr = s.collectRemote(c, creditAccount)
+	}
+	if depErr != nil {
+		s.registry.Forget(v.GrantorKeyID, number)
+		return nil, depErr
+	}
+	return receipt, nil
+}
+
+// checkNumber extracts the accept-once identifier.
+func checkNumber(rs restrict.Set) (string, bool) {
+	for _, r := range rs {
+		if ao, ok := r.(restrict.AcceptOnce); ok {
+			return ao.ID, true
+		}
+	}
+	return "", false
+}
+
+// redeemLocal performs the final transfer at the drawee bank.
+func (s *Server) redeemLocal(c *Check, v *proxy.Verified, presenters []principal.ID, creditAccount string) (*Receipt, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	payor, ok := s.accounts[c.Account]
+	if !ok {
+		return nil, fmt.Errorf("%w: payor %s", ErrNoAccount, c.Account)
+	}
+	dst, ok := s.accounts[creditAccount]
+	if !ok {
+		return nil, fmt.Errorf("%w: credit %s", ErrNoAccount, creditAccount)
+	}
+
+	// Evaluate the check's accumulated restrictions: the drawee bank is
+	// the end-server the check was issued for. The bank itself counts
+	// among the client identities — it is the final holder processing
+	// the instrument.
+	ctx := &restrict.Context{
+		Server:           s.ID,
+		Object:           debitObject(c.Account),
+		Operation:        OpDebit,
+		ClientIdentities: append(append([]principal.ID{}, presenters...), s.ID),
+		Amounts:          map[string]int64{c.Currency: c.Amount},
+		DepositAccount:   s.Global(creditAccount),
+		Now:              s.clk.Now(),
+		AcceptOnce:       nopRegistry{}, // number already consumed above
+	}
+	if err := v.Authorize(ctx); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheck, err)
+	}
+
+	// The grantor must hold debit rights on the payor account.
+	if _, err := payor.acl.Match(acl.Query{Op: OpDebit, Identities: []principal.ID{v.Grantor}}); err != nil {
+		return nil, fmt.Errorf("%w: grantor %s cannot debit %s", ErrDeniedByACL, v.Grantor, c.Account)
+	}
+
+	// Certified check? Transfer from the hold.
+	if h, ok := payor.holds[c.Number]; ok {
+		if h.currency != c.Currency || h.amount < c.Amount {
+			return nil, fmt.Errorf("%w: hold mismatch for %s", ErrBadCheck, c.Number)
+		}
+		delete(payor.holds, c.Number)
+		if h.amount > c.Amount { // return the difference
+			payor.balances[h.currency] += h.amount - c.Amount
+		}
+	} else {
+		if payor.balances[c.Currency] < c.Amount {
+			return nil, fmt.Errorf("%w: account %s has %d %s, check for %d",
+				ErrInsufficientFunds, c.Account, payor.balances[c.Currency], c.Currency, c.Amount)
+		}
+		payor.balances[c.Currency] -= c.Amount
+	}
+	dst.balances[c.Currency] += c.Amount
+	now := s.clk.Now()
+	payor.record(Transaction{Time: now, Kind: TxCheckPaid, Currency: c.Currency, Amount: c.Amount, Counterparty: creditAccount, CheckNumber: c.Number})
+	dst.record(Transaction{Time: now, Kind: TxCheckDeposited, Currency: c.Currency, Amount: c.Amount, Counterparty: c.Account, CheckNumber: c.Number})
+	return &Receipt{Number: c.Number, Currency: c.Currency, Amount: c.Amount, Collected: true, Hops: 1}, nil
+}
+
+// collectRemote credits the deposit as uncollected, endorses the check
+// to the next bank toward the drawee, and finalizes on success.
+func (s *Server) collectRemote(c *Check, creditAccount string) (*Receipt, error) {
+	s.mu.Lock()
+	dst, ok := s.accounts[creditAccount]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: credit %s", ErrNoAccount, creditAccount)
+	}
+	next := s.peers[c.Bank]
+	if next == nil {
+		next = s.nextHop
+	}
+	if next == nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoRoute, c.Bank)
+	}
+	// Mark the deposit uncollected while clearing is in flight.
+	dst.uncollected[c.Currency] += c.Amount
+	s.ForwardedChecks++
+	s.mu.Unlock()
+
+	// Endorse onward: the next bank becomes the holder, and must credit
+	// this bank's clearing account there.
+	endorsed, err := c.Endorse(s.identity, next.ID, next.ID, next.Global(clearingAccount(s.ID)), true, s.clk)
+	if err != nil {
+		s.rollbackUncollected(creditAccount, c.Currency, c.Amount)
+		return nil, err
+	}
+	// Ensure the clearing account exists at the next bank.
+	if err := next.ensureAccount(clearingAccount(s.ID), s.ID); err != nil {
+		s.rollbackUncollected(creditAccount, c.Currency, c.Amount)
+		return nil, err
+	}
+	receipt, err := next.DepositCheck(endorsed, []principal.ID{s.ID}, clearingAccount(s.ID))
+	if err != nil {
+		s.rollbackUncollected(creditAccount, c.Currency, c.Amount)
+		return nil, fmt.Errorf("accounting: clearing via %s: %w", next.ID, err)
+	}
+
+	// Funds collected: convert uncollected to final balance.
+	s.mu.Lock()
+	dst.uncollected[c.Currency] -= c.Amount
+	dst.balances[c.Currency] += c.Amount
+	dst.record(Transaction{Time: s.clk.Now(), Kind: TxCheckDeposited, Currency: c.Currency, Amount: c.Amount, CheckNumber: c.Number})
+	s.mu.Unlock()
+	return &Receipt{
+		Number:    c.Number,
+		Currency:  c.Currency,
+		Amount:    c.Amount,
+		Collected: true,
+		Hops:      receipt.Hops + 1,
+	}, nil
+}
+
+func (s *Server) rollbackUncollected(name, currency string, amount int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a, ok := s.accounts[name]; ok {
+		a.uncollected[currency] -= amount
+	}
+}
+
+// ensureAccount creates an account if absent (used for clearing
+// accounts).
+func (s *Server) ensureAccount(name string, owner principal.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.accounts[name]; ok {
+		return nil
+	}
+	return s.createAccountLocked(name, owner)
+}
+
+// nopRegistry satisfies accept-once checks for numbers the bank has
+// already consumed in DepositCheck.
+type nopRegistry struct{}
+
+// Accept implements restrict.AcceptOnceRegistry.
+func (nopRegistry) Accept(string, string, time.Time) error { return nil }
+
+// Certify places a hold for a certified check (§4): "The accounting
+// server places a hold on the resources and returns an authorization
+// proxy to the client certifying that the client has sufficient
+// resources to cover the check." requesters need debit rights.
+func (s *Server) Certify(accountName string, requesters []principal.ID, c *Check) (*CertifiedCheck, error) {
+	if c.Bank != s.ID {
+		return nil, fmt.Errorf("%w: check drawn on %s", ErrBadCheck, c.Bank)
+	}
+	if c.Account != accountName {
+		return nil, fmt.Errorf("%w: check drawn on account %s", ErrBadCheck, c.Account)
+	}
+	s.mu.Lock()
+	a, ok := s.accounts[accountName]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoAccount, accountName)
+	}
+	if _, err := a.acl.Match(acl.Query{Op: OpDebit, Identities: requesters}); err != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: debit %s", ErrDeniedByACL, accountName)
+	}
+	if _, ok := a.holds[c.Number]; ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrHoldExists, c.Number)
+	}
+	if a.balances[c.Currency] < c.Amount {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s has %d %s", ErrInsufficientFunds, accountName, a.balances[c.Currency], c.Currency)
+	}
+	expires := c.Proxy.Expires()
+	a.balances[c.Currency] -= c.Amount
+	a.holds[c.Number] = &hold{currency: c.Currency, amount: c.Amount, expires: expires}
+	a.record(Transaction{Time: s.clk.Now(), Kind: TxHold, Currency: c.Currency, Amount: c.Amount, CheckNumber: c.Number})
+	s.mu.Unlock()
+
+	// The certification proxy: the bank asserts funds are held.
+	lifetime := expires.Sub(s.clk.Now())
+	px, err := s.issueCertification(c, lifetime)
+	if err != nil {
+		// Undo the hold on failure.
+		s.mu.Lock()
+		if h, ok := a.holds[c.Number]; ok {
+			delete(a.holds, c.Number)
+			a.balances[h.currency] += h.amount
+		}
+		s.mu.Unlock()
+		return nil, err
+	}
+	return &CertifiedCheck{Check: c, Certification: px}, nil
+}
+
+// ReleaseExpiredHolds returns expired certified-check holds to their
+// accounts and reports how many were released.
+func (s *Server) ReleaseExpiredHolds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clk.Now()
+	released := 0
+	for _, a := range s.accounts {
+		for num, h := range a.holds {
+			if now.After(h.expires) {
+				a.balances[h.currency] += h.amount
+				delete(a.holds, num)
+				a.record(Transaction{Time: now, Kind: TxHoldReleased, Currency: h.currency, Amount: h.amount, CheckNumber: num})
+				released++
+			}
+		}
+	}
+	return released
+}
+
+// CashiersCheck sells a check drawn on the bank's own operating account:
+// the purchaser pays immediately, and the resulting check is always
+// good. purchaser needs debit rights on purchaseAccount.
+func (s *Server) CashiersCheck(purchaseAccount string, requesters []principal.ID, payee principal.ID, currency string, amount int64, lifetime time.Duration) (*Check, error) {
+	const operating = "cashier:operating"
+	if err := s.ensureAccount(operating, s.ID); err != nil {
+		return nil, err
+	}
+	// Move the purchaser's funds into the operating account first.
+	if err := s.Transfer(purchaseAccount, operating, currency, amount, requesters); err != nil {
+		return nil, err
+	}
+	c, err := WriteCheck(WriteCheckParams{
+		Payor:    s.identity,
+		Bank:     s.ID,
+		Account:  operating,
+		Payee:    payee,
+		Currency: currency,
+		Amount:   amount,
+		Lifetime: lifetime,
+		Clock:    s.clk,
+	})
+	if err != nil {
+		// Refund on failure.
+		_ = s.Transfer(operating, purchaseAccount, currency, amount, []principal.ID{s.ID})
+		return nil, err
+	}
+	return c, nil
+}

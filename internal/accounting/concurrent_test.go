@@ -1,0 +1,110 @@
+package accounting
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"proxykit/internal/acl"
+	"proxykit/internal/principal"
+)
+
+// TestConcurrentDuplicateDeposit races many depositors with copies of
+// the same check: exactly one transfer must happen.
+func TestConcurrentDuplicateDeposit(t *testing.T) {
+	w := newWorld(t)
+	if err := w.bank2.CreateAccount("dave", dave); err != nil {
+		t.Fatal(err)
+	}
+	c, err := WriteCheck(WriteCheckParams{
+		Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+		Payee: dave, Currency: "dollars", Amount: 100,
+		Lifetime: time.Hour, Clock: w.clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const racers = 16
+	var wg sync.WaitGroup
+	successes := make(chan *Receipt, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r, err := w.bank2.DepositCheck(c, []principal.ID{dave}, "dave"); err == nil {
+				successes <- r
+			} else if !errors.Is(err, ErrDuplicateCheck) {
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(successes)
+	n := 0
+	for range successes {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("%d concurrent deposits of one check succeeded", n)
+	}
+	if got := w.balance(w.bank2, "carol", carol); got != 900 {
+		t.Fatalf("carol = %d", got)
+	}
+	if got := w.balance(w.bank2, "dave", dave); got != 100 {
+		t.Fatalf("dave = %d", got)
+	}
+}
+
+// TestConcurrentTransfersConserve races transfers between two accounts
+// in both directions and checks conservation and non-negativity.
+func TestConcurrentTransfersConserve(t *testing.T) {
+	w := newWorld(t)
+	if err := w.bank2.CreateAccount("dave", dave); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.bank2.Mint("dave", "dollars", 1000); err != nil {
+		t.Fatal(err)
+	}
+	// Both can debit both accounts for this test.
+	carolACL, err := w.bank2.AccountACL("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	carolACL.Add(acl.PrincipalEntry(dave, OpDebit, OpCredit, OpRead))
+	daveACL, err := w.bank2.AccountACL("dave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	daveACL.Add(acl.PrincipalEntry(carol, OpDebit, OpCredit, OpRead))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = w.bank2.Transfer("carol", "dave", "dollars", 7, []principal.ID{carol})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = w.bank2.Transfer("dave", "carol", "dollars", 5, []principal.ID{dave})
+			}
+		}()
+	}
+	wg.Wait()
+	cb := w.balance(w.bank2, "carol", carol)
+	db, err := w.bank2.Balance("dave", "dollars", []principal.ID{dave})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb < 0 || db < 0 {
+		t.Fatalf("negative balance: carol=%d dave=%d", cb, db)
+	}
+	if cb+db != 2000 {
+		t.Fatalf("money not conserved: %d + %d != 2000", cb, db)
+	}
+}

@@ -1,0 +1,178 @@
+package accounting
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"proxykit/internal/principal"
+)
+
+// TestPropertyConservation drives a random workload of transfers,
+// checks (same-bank and cross-bank), certifications, and releases, and
+// asserts the conservation invariant: the total of every currency
+// across all accounts, uncollected balances, and holds in the economy
+// never changes.
+func TestPropertyConservation(t *testing.T) {
+	w := newWorld(t)
+	rng := rand.New(rand.NewSource(2026))
+
+	// Extra accounts on both banks.
+	if err := w.bank2.CreateAccount("dave", dave); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.bank1.CreateAccount("dave1", dave); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.bank1.Mint("dave1", "dollars", 500); err != nil {
+		t.Fatal(err)
+	}
+
+	// Customer money must be conserved. Clearing accounts are interbank
+	// float: bank1's asset at bank2 backing what bank1 credited its
+	// customer — they grow by exactly the settled cross-bank volume.
+	banks := []*Server{w.bank1, w.bank2}
+	totals := func() (customer, clearing int64) {
+		for _, b := range banks {
+			b.mu.Lock()
+			for name, a := range b.accounts {
+				sub := a.balances["dollars"] + a.uncollected["dollars"]
+				for _, h := range a.holds {
+					if h.currency == "dollars" {
+						sub += h.amount
+					}
+				}
+				if strings.HasPrefix(name, "clearing:") {
+					clearing += sub
+				} else {
+					customer += sub
+				}
+			}
+			b.mu.Unlock()
+		}
+		return customer, clearing
+	}
+
+	initial, _ := totals()
+	var settled int64
+	ops := 0
+	for i := 0; i < 300; i++ {
+		switch rng.Intn(5) {
+		case 0: // local transfer at bank2
+			err := w.bank2.Transfer("carol", "dave", "dollars", int64(rng.Intn(50)), []principal.ID{carol})
+			if err == nil {
+				ops++
+			}
+		case 1: // same-bank check carol -> dave
+			amt := int64(1 + rng.Intn(40))
+			c, err := WriteCheck(WriteCheckParams{
+				Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+				Payee: dave, Currency: "dollars", Amount: amt,
+				Lifetime: time.Hour, Clock: w.clk,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.bank2.DepositCheck(c, []principal.ID{dave}, "dave"); err == nil {
+				ops++
+			}
+		case 2: // cross-bank check carol@bank2 -> service@bank1
+			amt := int64(1 + rng.Intn(40))
+			c, err := WriteCheck(WriteCheckParams{
+				Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+				Payee: srvS, Currency: "dollars", Amount: amt,
+				Lifetime: time.Hour, Clock: w.clk,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			endorsed, err := c.Endorse(w.ids[srvS], w.bank1.ID, w.bank1.ID, w.bank1.Global("service"), true, w.clk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.bank1.DepositCheck(endorsed, []principal.ID{srvS}, "service"); err == nil {
+				ops++
+				settled += amt
+			}
+		case 3: // certify (places a hold)
+			amt := int64(1 + rng.Intn(30))
+			c, err := WriteCheck(WriteCheckParams{
+				Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+				Payee: dave, Currency: "dollars", Amount: amt,
+				Lifetime: time.Minute, Clock: w.clk,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.bank2.Certify("carol", []principal.ID{carol}, c); err == nil {
+				ops++
+			}
+		case 4: // time passes; expired holds release
+			w.clk.Advance(time.Duration(rng.Intn(90)) * time.Second)
+			w.bank2.ReleaseExpiredHolds()
+		}
+		customer, clearing := totals()
+		if customer != initial {
+			t.Fatalf("op %d (after %d successful): customer total %d != initial %d", i, ops, customer, initial)
+		}
+		if clearing != settled {
+			t.Fatalf("op %d: clearing float %d != settled volume %d", i, clearing, settled)
+		}
+	}
+	if ops < 50 {
+		t.Fatalf("workload too skewed: only %d successful operations", ops)
+	}
+}
+
+// TestPropertyNoOverdraft drives random checks and verifies an account
+// can never go negative, even when checks exceed the balance.
+func TestPropertyNoOverdraft(t *testing.T) {
+	w := newWorld(t)
+	if err := w.bank2.CreateAccount("dave", dave); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		amt := int64(1 + rng.Intn(400)) // often exceeds what's left
+		c, err := WriteCheck(WriteCheckParams{
+			Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+			Payee: dave, Currency: "dollars", Amount: amt,
+			Lifetime: time.Hour, Clock: w.clk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = w.bank2.DepositCheck(c, []principal.ID{dave}, "dave")
+		bal, err := w.bank2.Balance("carol", "dollars", []principal.ID{carol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bal < 0 {
+			t.Fatalf("iteration %d: carol overdrawn: %d", i, bal)
+		}
+	}
+}
+
+// TestPropertyCheckNumberUniqueness verifies that independently written
+// checks never collide on (grantor, number) — the accept-once namespace.
+func TestPropertyCheckNumberUniqueness(t *testing.T) {
+	w := newWorld(t)
+	seen := make(map[string]bool)
+	for i := 0; i < 500; i++ {
+		c, err := WriteCheck(WriteCheckParams{
+			Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+			Payee: dave, Currency: "dollars", Amount: 1,
+			Lifetime: time.Hour, Clock: w.clk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := fmt.Sprintf("%s/%s", c.Proxy.Grantor(), c.Number)
+		if seen[key] {
+			t.Fatalf("duplicate check number %s", key)
+		}
+		seen[key] = true
+	}
+}

@@ -1,0 +1,102 @@
+package accounting
+
+import (
+	"fmt"
+	"time"
+
+	"proxykit/internal/acl"
+	"proxykit/internal/principal"
+)
+
+// TxKind classifies a statement entry.
+type TxKind uint8
+
+// Transaction kinds.
+const (
+	TxMint TxKind = iota + 1
+	TxTransferIn
+	TxTransferOut
+	TxCheckPaid      // payor side: a check drawn on this account cleared
+	TxCheckDeposited // payee side: a deposited check's proceeds arrived
+	TxHold           // certified-check hold placed
+	TxHoldReleased   // expired hold returned
+)
+
+// String implements fmt.Stringer.
+func (k TxKind) String() string {
+	switch k {
+	case TxMint:
+		return "mint"
+	case TxTransferIn:
+		return "transfer-in"
+	case TxTransferOut:
+		return "transfer-out"
+	case TxCheckPaid:
+		return "check-paid"
+	case TxCheckDeposited:
+		return "check-deposited"
+	case TxHold:
+		return "hold"
+	case TxHoldReleased:
+		return "hold-released"
+	default:
+		return fmt.Sprintf("tx(%d)", uint8(k))
+	}
+}
+
+// Transaction is one statement line.
+type Transaction struct {
+	// Time of the transaction.
+	Time time.Time
+	// Kind of movement.
+	Kind TxKind
+	// Currency and Amount moved; Amount is always positive, Kind gives
+	// the direction.
+	Currency string
+	Amount   int64
+	// Counterparty is the other account (local name) when applicable.
+	Counterparty string
+	// CheckNumber for check-related entries.
+	CheckNumber string
+}
+
+// String renders one statement line.
+func (tx Transaction) String() string {
+	s := fmt.Sprintf("%s %-15s %6d %s", tx.Time.UTC().Format(time.RFC3339), tx.Kind, tx.Amount, tx.Currency)
+	if tx.Counterparty != "" {
+		s += " <-> " + tx.Counterparty
+	}
+	if tx.CheckNumber != "" {
+		s += " ck:" + tx.CheckNumber[:min(8, len(tx.CheckNumber))]
+	}
+	return s
+}
+
+// maxStatementLen bounds per-account history retention.
+const maxStatementLen = 4096
+
+// record appends a transaction to an account's history; callers hold
+// s.mu.
+func (a *account) record(tx Transaction) {
+	a.history = append(a.history, tx)
+	if len(a.history) > maxStatementLen {
+		a.history = a.history[len(a.history)-maxStatementLen:]
+	}
+}
+
+// Statement returns an account's retained transaction history, oldest
+// first. Requesters need read rights.
+func (s *Server) Statement(name string, requesters []principal.ID) ([]Transaction, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoAccount, name)
+	}
+	if _, err := a.acl.Match(acl.Query{Op: OpRead, Identities: requesters}); err != nil {
+		return nil, fmt.Errorf("%w: read %s: %v", ErrDeniedByACL, name, err)
+	}
+	out := make([]Transaction, len(a.history))
+	copy(out, a.history)
+	return out, nil
+}

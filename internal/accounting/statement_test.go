@@ -1,0 +1,145 @@
+package accounting
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"proxykit/internal/principal"
+)
+
+func TestStatementRecordsLifecycle(t *testing.T) {
+	w := newWorld(t)
+	if err := w.bank2.CreateAccount("dave", dave); err != nil {
+		t.Fatal(err)
+	}
+
+	// mint -> transfer -> check paid -> hold -> hold released
+	if err := w.bank2.Transfer("carol", "dave", "dollars", 100, []principal.ID{carol}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := WriteCheck(WriteCheckParams{
+		Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+		Payee: dave, Currency: "dollars", Amount: 50,
+		Lifetime: time.Hour, Clock: w.clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.bank2.DepositCheck(c, []principal.ID{dave}, "dave"); err != nil {
+		t.Fatal(err)
+	}
+	held, err := WriteCheck(WriteCheckParams{
+		Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+		Payee: dave, Currency: "dollars", Amount: 25,
+		Lifetime: time.Minute, Clock: w.clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.bank2.Certify("carol", []principal.ID{carol}, held); err != nil {
+		t.Fatal(err)
+	}
+	w.clk.Advance(2 * time.Minute)
+	if n := w.bank2.ReleaseExpiredHolds(); n != 1 {
+		t.Fatalf("released %d", n)
+	}
+
+	stmt, err := w.bank2.Statement("carol", []principal.ID{carol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]TxKind, len(stmt))
+	for i, tx := range stmt {
+		kinds[i] = tx.Kind
+	}
+	want := []TxKind{TxMint, TxTransferOut, TxCheckPaid, TxHold, TxHoldReleased}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("entry %d kind = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+	// Line rendering includes the essentials.
+	line := stmt[2].String()
+	for _, needle := range []string{"check-paid", "50 dollars", "dave", "ck:"} {
+		if !strings.Contains(line, needle) {
+			t.Fatalf("statement line %q missing %q", line, needle)
+		}
+	}
+
+	// The payee side sees the deposit.
+	daveStmt, err := w.bank2.Statement("dave", []principal.ID{dave})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tx := range daveStmt {
+		if tx.Kind == TxCheckDeposited && tx.Amount == 50 && tx.Counterparty == "carol" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("deposit not in dave's statement: %v", daveStmt)
+	}
+}
+
+func TestStatementRequiresReadRight(t *testing.T) {
+	w := newWorld(t)
+	if _, err := w.bank2.Statement("carol", []principal.ID{dave}); !errors.Is(err, ErrDeniedByACL) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := w.bank2.Statement("ghost", []principal.ID{carol}); !errors.Is(err, ErrNoAccount) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStatementIsCopy(t *testing.T) {
+	w := newWorld(t)
+	stmt, err := w.bank2.Statement("carol", []principal.ID{carol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt) == 0 {
+		t.Fatal("no mint entry")
+	}
+	stmt[0].Amount = 999999
+	again, _ := w.bank2.Statement("carol", []principal.ID{carol})
+	if again[0].Amount == 999999 {
+		t.Fatal("Statement returned aliased history")
+	}
+}
+
+func TestStatementRetentionBounded(t *testing.T) {
+	w := newWorld(t)
+	if err := w.bank2.CreateAccount("dave", dave); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxStatementLen+50; i++ {
+		if err := w.bank2.Transfer("carol", "dave", "dollars", 0, []principal.ID{carol}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stmt, err := w.bank2.Statement("carol", []principal.ID{carol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt) > maxStatementLen {
+		t.Fatalf("history unbounded: %d", len(stmt))
+	}
+}
+
+func TestTxKindString(t *testing.T) {
+	for k, want := range map[TxKind]string{
+		TxMint: "mint", TxTransferIn: "transfer-in", TxTransferOut: "transfer-out",
+		TxCheckPaid: "check-paid", TxCheckDeposited: "check-deposited",
+		TxHold: "hold", TxHoldReleased: "hold-released", TxKind(99): "tx(99)",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package acl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"proxykit/internal/principal"
+	"proxykit/internal/restrict"
+)
+
+var (
+	alice = principal.New("alice", "ISI.EDU")
+	bob   = principal.New("bob", "ISI.EDU")
+	host1 = principal.New("host/wks1", "ISI.EDU")
+	staff = principal.NewGlobal(principal.New("groups", "ISI.EDU"), "staff")
+	admin = principal.NewGlobal(principal.New("groups", "ISI.EDU"), "admin")
+)
+
+func TestPrincipalEntryMatch(t *testing.T) {
+	a := New(PrincipalEntry(alice, "read", "write"))
+
+	tests := []struct {
+		name string
+		q    Query
+		ok   bool
+	}{
+		{"allowed op", Query{Op: "read", Identities: []principal.ID{alice}}, true},
+		{"second op", Query{Op: "write", Identities: []principal.ID{alice}}, true},
+		{"op not listed", Query{Op: "delete", Identities: []principal.ID{alice}}, false},
+		{"wrong principal", Query{Op: "read", Identities: []principal.ID{bob}}, false},
+		{"no identities", Query{Op: "read"}, false},
+		{"extra identities fine", Query{Op: "read", Identities: []principal.ID{bob, alice}}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := a.Match(tt.q)
+			if tt.ok != (err == nil) {
+				t.Fatalf("ok=%v err=%v", tt.ok, err)
+			}
+			if err != nil && !errors.Is(err, ErrDenied) {
+				t.Fatalf("err = %v", err)
+			}
+		})
+	}
+}
+
+func TestWildcardAndEmptyOps(t *testing.T) {
+	a := New(
+		Entry{Subject: Subject{Principals: principal.NewCompound(alice)}, Ops: []string{AllOps}},
+		Entry{Subject: Subject{Principals: principal.NewCompound(bob)}}, // empty = all
+	)
+	for _, q := range []Query{
+		{Op: "anything", Identities: []principal.ID{alice}},
+		{Op: "anything", Identities: []principal.ID{bob}},
+	} {
+		if _, err := a.Match(q); err != nil {
+			t.Fatalf("%+v: %v", q, err)
+		}
+	}
+}
+
+func TestCompoundPrincipalConcurrence(t *testing.T) {
+	// §3.5: require both user and host credentials.
+	e := Entry{
+		Subject: Subject{Principals: principal.NewCompound(alice, host1)},
+		Ops:     []string{"launch"},
+	}
+	a := New(e)
+	if _, err := a.Match(Query{Op: "launch", Identities: []principal.ID{alice}}); err == nil {
+		t.Fatal("user alone satisfied compound entry")
+	}
+	if _, err := a.Match(Query{Op: "launch", Identities: []principal.ID{alice, host1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupEntry(t *testing.T) {
+	a := New(GroupEntry(staff, "read"))
+	groups := map[principal.Global]bool{staff: true}
+	if _, err := a.Match(Query{Op: "read", Identities: []principal.ID{bob}, Groups: groups}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Match(Query{Op: "read", Identities: []principal.ID{bob}}); err == nil {
+		t.Fatal("matched without group assertion")
+	}
+}
+
+func TestMixedSubjectPrincipalPlusGroup(t *testing.T) {
+	// Separation of privilege: a named user AND an asserted group.
+	e := Entry{
+		Subject: Subject{
+			Principals: principal.NewCompound(alice),
+			Groups:     []principal.Global{admin},
+		},
+		Ops: []string{"shutdown"},
+	}
+	a := New(e)
+	q := Query{Op: "shutdown", Identities: []principal.ID{alice}}
+	if _, err := a.Match(q); err == nil {
+		t.Fatal("matched without group")
+	}
+	q.Groups = map[principal.Global]bool{admin: true}
+	if _, err := a.Match(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptySubjectNeverMatches(t *testing.T) {
+	a := New(Entry{Ops: []string{AllOps}})
+	if _, err := a.Match(Query{Op: "read", Identities: []principal.ID{alice}}); err == nil {
+		t.Fatal("empty subject matched")
+	}
+}
+
+func TestFirstMatchWinsAndRestrictionsReturned(t *testing.T) {
+	narrow := restrict.Set{restrict.Quota{Currency: "pages", Limit: 5}}
+	a := New(
+		Entry{Subject: Subject{Principals: principal.NewCompound(alice)}, Ops: []string{"print"}, Restrictions: narrow},
+		PrincipalEntry(alice, "print"),
+	)
+	e, err := a.Match(Query{Op: "print", Identities: []principal.ID{alice}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Restrictions) != 1 {
+		t.Fatalf("restrictions = %v", e.Restrictions)
+	}
+}
+
+func TestAddAndEntriesCopy(t *testing.T) {
+	a := New()
+	a.Add(PrincipalEntry(alice, "read"))
+	es := a.Entries()
+	if len(es) != 1 {
+		t.Fatalf("entries = %v", es)
+	}
+	es[0] = PrincipalEntry(bob, "read") // mutating the copy must not affect the ACL
+	if _, err := a.Match(Query{Op: "read", Identities: []principal.ID{alice}}); err != nil {
+		t.Fatal("Entries() returned aliased slice")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	e := Entry{
+		Subject:      Subject{Principals: principal.NewCompound(alice), Groups: []principal.Global{staff}},
+		Ops:          []string{"read"},
+		Restrictions: restrict.Set{restrict.Quota{Currency: "p", Limit: 1}},
+	}
+	s := e.String()
+	for _, want := range []string{"alice@ISI.EDU", "staff%groups@ISI.EDU", "read", "quota"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("entry string %q missing %q", s, want)
+		}
+	}
+	if got := (Subject{}).String(); got != "<empty>" {
+		t.Fatal(got)
+	}
+	a := New(e, PrincipalEntry(bob))
+	if lines := strings.Split(a.String(), "\n"); len(lines) != 2 {
+		t.Fatalf("acl string = %q", a.String())
+	}
+}

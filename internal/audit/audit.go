@@ -1,0 +1,159 @@
+// Package audit records authorization decisions, preserving the audit
+// trail that delegate proxies create: "An important difference between
+// the two approaches to cascaded authorization is that the use of a
+// delegate proxy leaves an audit trail since the new proxy identifies
+// the intermediate server" (§3.4).
+package audit
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"proxykit/internal/principal"
+)
+
+// Outcome classifies a decision.
+type Outcome uint8
+
+// Decision outcomes.
+const (
+	OutcomeGranted Outcome = iota + 1
+	OutcomeDenied
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeGranted:
+		return "GRANTED"
+	case OutcomeDenied:
+		return "DENIED"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// Record is one authorization decision.
+type Record struct {
+	// Time of the decision.
+	Time time.Time
+	// Server that decided.
+	Server principal.ID
+	// Grantor whose rights were exercised (zero for direct requests by
+	// the presenter's own identity).
+	Grantor principal.ID
+	// Presenters are the authenticated identities that made the request.
+	Presenters []principal.ID
+	// Trail lists delegate-cascade intermediates, in chain order.
+	Trail []principal.ID
+	// Object and Op name the requested action.
+	Object string
+	Op     string
+	// Outcome and Reason summarize the decision.
+	Outcome Outcome
+	Reason  string
+}
+
+// String renders one line suitable for an audit log file.
+func (r Record) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s %q %q", r.Time.UTC().Format(time.RFC3339), r.Server, r.Outcome, r.Op, r.Object)
+	if !r.Grantor.IsZero() {
+		fmt.Fprintf(&b, " grantor=%s", r.Grantor)
+	}
+	if len(r.Presenters) > 0 {
+		parts := make([]string, len(r.Presenters))
+		for i, p := range r.Presenters {
+			parts[i] = p.String()
+		}
+		fmt.Fprintf(&b, " by=%s", strings.Join(parts, ","))
+	}
+	if len(r.Trail) > 0 {
+		parts := make([]string, len(r.Trail))
+		for i, p := range r.Trail {
+			parts[i] = p.String()
+		}
+		fmt.Fprintf(&b, " via=%s", strings.Join(parts, "->"))
+	}
+	if r.Reason != "" {
+		fmt.Fprintf(&b, " reason=%q", r.Reason)
+	}
+	return b.String()
+}
+
+// Log is a bounded in-memory audit log. The zero value is unusable; use
+// NewLog.
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+	start   int
+	count   int
+}
+
+// NewLog returns a log retaining up to capacity records (oldest evicted
+// first).
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Log{records: make([]Record, capacity)}
+}
+
+// Append stores a record, evicting the oldest when full.
+func (l *Log) Append(r Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idx := (l.start + l.count) % len(l.records)
+	l.records[idx] = r
+	if l.count < len(l.records) {
+		l.count++
+	} else {
+		l.start = (l.start + 1) % len(l.records)
+	}
+}
+
+// Records returns the retained records, oldest first.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, 0, l.count)
+	for i := 0; i < l.count; i++ {
+		out = append(out, l.records[(l.start+i)%len(l.records)])
+	}
+	return out
+}
+
+// Len reports the number of retained records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// ByGrantor returns retained records whose rights came from grantor.
+func (l *Log) ByGrantor(grantor principal.ID) []Record {
+	var out []Record
+	for _, r := range l.Records() {
+		if r.Grantor == grantor {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ByIntermediate returns retained records whose delegation trail
+// includes id — the query the paper's audit-trail argument enables.
+func (l *Log) ByIntermediate(id principal.ID) []Record {
+	var out []Record
+	for _, r := range l.Records() {
+		for _, t := range r.Trail {
+			if t == id {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}

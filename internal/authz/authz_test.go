@@ -1,0 +1,273 @@
+package authz
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"proxykit/internal/acl"
+	"proxykit/internal/clock"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/pubkey"
+	"proxykit/internal/restrict"
+)
+
+var (
+	alice  = principal.New("alice", "ISI.EDU")
+	bob    = principal.New("bob", "ISI.EDU")
+	fileSv = principal.New("file/sv1", "ISI.EDU")
+	mailSv = principal.New("mail/sv1", "ISI.EDU")
+	grpSv  = principal.New("groups", "ISI.EDU")
+	staff  = principal.NewGlobal(grpSv, "staff")
+)
+
+type world struct {
+	t   *testing.T
+	clk *clock.Fake
+	dir *pubkey.Directory
+	srv *Server
+	env *proxy.VerifyEnv
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	clk := clock.NewFake(time.Unix(9_000_000, 0))
+	dir := pubkey.NewDirectory()
+	ident, err := pubkey.NewIdentity(principal.New("authz", "ISI.EDU"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir.RegisterIdentity(ident)
+	srv := New(ident, clk)
+	env := &proxy.VerifyEnv{
+		Server:          fileSv,
+		Clock:           clk,
+		ResolveIdentity: dir.Resolver(),
+	}
+	return &world{t: t, clk: clk, dir: dir, srv: srv, env: env}
+}
+
+func (w *world) addReadRule() {
+	w.srv.AddRule(Rule{
+		EndServer: fileSv,
+		Object:    "/etc/motd",
+		Subject:   acl.Subject{Principals: principal.NewCompound(alice)},
+		Ops:       []string{"read"},
+	})
+}
+
+func TestGrantAuthorizedClient(t *testing.T) {
+	w := newWorld(t)
+	w.addReadRule()
+
+	p, err := w.srv.Grant(&GrantRequest{Client: alice, EndServer: fileSv, Lifetime: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := w.env.VerifyChain(p.Certs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Grantor != w.srv.ID {
+		t.Fatalf("grantor = %v", v.Grantor)
+	}
+
+	// The proxy authorizes exactly the database's grant.
+	ctx := &restrict.Context{Server: fileSv, Object: "/etc/motd", Operation: "read"}
+	if err := v.Authorize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ctx.Operation = "write"
+	if err := v.Authorize(ctx); err == nil {
+		t.Fatal("write authorized beyond database")
+	}
+}
+
+func TestGrantDeniedForUnknownClient(t *testing.T) {
+	w := newWorld(t)
+	w.addReadRule()
+	if _, err := w.srv.Grant(&GrantRequest{Client: bob, EndServer: fileSv}); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGrantDeniedForWrongEndServer(t *testing.T) {
+	w := newWorld(t)
+	w.addReadRule()
+	if _, err := w.srv.Grant(&GrantRequest{Client: alice, EndServer: mailSv}); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIssuedForConfinesProxy(t *testing.T) {
+	w := newWorld(t)
+	w.addReadRule()
+	p, err := w.srv.Grant(&GrantRequest{Client: alice, EndServer: fileSv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := w.env.VerifyChain(p.Certs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Presented at a different server, the issued-for restriction
+	// rejects it.
+	ctx := &restrict.Context{Server: mailSv, Object: "/etc/motd", Operation: "read"}
+	if err := v.Authorize(ctx); err == nil {
+		t.Fatal("proxy usable at unintended server")
+	}
+}
+
+func TestRequestedSubsetIntersection(t *testing.T) {
+	w := newWorld(t)
+	w.srv.AddRule(Rule{
+		EndServer: fileSv,
+		Object:    "/data",
+		Subject:   acl.Subject{Principals: principal.NewCompound(alice)},
+		Ops:       []string{"read", "write", "delete"},
+	})
+	p, err := w.srv.Grant(&GrantRequest{
+		Client:    alice,
+		EndServer: fileSv,
+		Objects:   []RequestedObject{{Object: "/data", Ops: []string{"read", "chmod"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := w.env.VerifyChain(p.Certs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &restrict.Context{Server: fileSv, Object: "/data", Operation: "read"}
+	if err := v.Authorize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"write", "chmod", "delete"} {
+		ctx.Operation = op
+		if err := v.Authorize(ctx); err == nil {
+			t.Fatalf("op %q granted beyond intersection", op)
+		}
+	}
+}
+
+func TestRequestedObjectNotInDatabase(t *testing.T) {
+	w := newWorld(t)
+	w.addReadRule()
+	if _, err := w.srv.Grant(&GrantRequest{
+		Client:    alice,
+		EndServer: fileSv,
+		Objects:   []RequestedObject{{Object: "/etc/passwd"}},
+	}); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRuleRestrictionsCopied(t *testing.T) {
+	// §3.5: "the restrictions field of a matching access-control-list
+	// entry can be copied to the restrictions field of the resulting
+	// proxy."
+	w := newWorld(t)
+	w.srv.AddRule(Rule{
+		EndServer:    fileSv,
+		Object:       "/printer",
+		Subject:      acl.Subject{Principals: principal.NewCompound(alice)},
+		Ops:          []string{"print"},
+		Restrictions: restrict.Set{restrict.Quota{Currency: "pages", Limit: 20}},
+	})
+	p, err := w.srv.Grant(&GrantRequest{Client: alice, EndServer: fileSv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := p.Restrictions().Quotas()["pages"]; q != 20 {
+		t.Fatalf("quota = %d", q)
+	}
+}
+
+func TestGroupBackedRule(t *testing.T) {
+	w := newWorld(t)
+	w.srv.AddRule(Rule{
+		EndServer: fileSv,
+		Object:    "/shared",
+		Subject:   acl.Subject{Groups: []principal.Global{staff}},
+		Ops:       []string{"read"},
+	})
+	// Without group proof: denied.
+	if _, err := w.srv.Grant(&GrantRequest{Client: bob, EndServer: fileSv}); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("err = %v", err)
+	}
+	// With verified staff membership: granted.
+	p, err := w.srv.Grant(&GrantRequest{
+		Client:    bob,
+		EndServer: fileSv,
+		Groups:    map[principal.Global]bool{staff: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Restrictions()) == 0 {
+		t.Fatal("no restrictions on issued proxy")
+	}
+}
+
+func TestDelegateGrantNamesClient(t *testing.T) {
+	w := newWorld(t)
+	w.addReadRule()
+	p, err := w.srv.Grant(&GrantRequest{Client: alice, EndServer: fileSv, Delegate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := p.Restrictions().Grantees()
+	if len(gs) != 1 || gs[0] != alice {
+		t.Fatalf("grantees = %v", gs)
+	}
+}
+
+func TestPropagatedRestrictionsCarried(t *testing.T) {
+	w := newWorld(t)
+	w.addReadRule()
+	// A limit restriction that applies only to mailSv is dropped when
+	// the proxy is confined to fileSv (§7.9); a quota always carries.
+	propagated := restrict.Set{
+		restrict.Quota{Currency: "pages", Limit: 2},
+		restrict.Limit{Servers: []principal.ID{mailSv}, Restrictions: restrict.Set{restrict.Quota{Currency: "msgs", Limit: 1}}},
+	}
+	p, err := w.srv.Grant(&GrantRequest{Client: alice, EndServer: fileSv, Propagated: propagated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := p.Restrictions()
+	if q := rs.Quotas()["pages"]; q != 2 {
+		t.Fatalf("quota = %d", q)
+	}
+	for _, r := range rs {
+		if r.Type() == restrict.TypeLimit {
+			t.Fatal("irrelevant limit restriction propagated")
+		}
+	}
+}
+
+func TestRulesCopy(t *testing.T) {
+	w := newWorld(t)
+	w.addReadRule()
+	rules := w.srv.Rules()
+	if len(rules) != 1 {
+		t.Fatalf("rules = %v", rules)
+	}
+	rules[0].Object = "/mutated"
+	if w.srv.Rules()[0].Object != "/etc/motd" {
+		t.Fatal("Rules() aliased internal slice")
+	}
+}
+
+func TestDefaultLifetime(t *testing.T) {
+	w := newWorld(t)
+	w.addReadRule()
+	p, err := w.srv.Grant(&GrantRequest{Client: alice, EndServer: fileSv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Expires().After(w.clk.Now()) {
+		t.Fatal("proxy already expired")
+	}
+}

@@ -1,0 +1,229 @@
+// Package amoeba implements the prepay bank-server baseline of §5:
+// "In Amoeba, a client must contact the bank and transfer funds into
+// the server's account before it contacts the server. The server will
+// then provide services until the pre-paid funds have been exhausted."
+//
+// Experiment E8 compares its message pattern against check-based
+// accounting: prepay requires bank round trips on the request path
+// (client prepays, server confirms), while a check travels with the
+// request and clears off the critical path.
+package amoeba
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"proxykit/internal/principal"
+	"proxykit/internal/transport"
+	"proxykit/internal/wire"
+)
+
+// Errors returned by the bank and servers.
+var (
+	ErrNoAccount         = errors.New("amoeba: no such account")
+	ErrInsufficientFunds = errors.New("amoeba: insufficient funds")
+	ErrNotPrepaid        = errors.New("amoeba: no prepaid funds")
+)
+
+// Bank is the central bank server. Accounts are keyed by principal;
+// prepaid service funds live in sub-accounts keyed by (server, client).
+type Bank struct {
+	mu       sync.Mutex
+	accounts map[string]map[string]int64 // account key -> currency -> balance
+}
+
+// NewBank returns an empty bank.
+func NewBank() *Bank {
+	return &Bank{accounts: make(map[string]map[string]int64)}
+}
+
+func accountKey(p principal.ID) string { return "acct:" + p.String() }
+
+func prepaidKey(server, client principal.ID) string {
+	return "prepaid:" + server.String() + ":" + client.String()
+}
+
+func (b *Bank) balanceOf(key, currency string) int64 {
+	if a, ok := b.accounts[key]; ok {
+		return a[currency]
+	}
+	return 0
+}
+
+func (b *Bank) credit(key, currency string, amount int64) {
+	a, ok := b.accounts[key]
+	if !ok {
+		a = make(map[string]int64)
+		b.accounts[key] = a
+	}
+	a[currency] += amount
+}
+
+// Mint provisions a client account.
+func (b *Bank) Mint(p principal.ID, currency string, amount int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.credit(accountKey(p), currency, amount)
+}
+
+// Balance reports a principal's main account balance.
+func (b *Bank) Balance(p principal.ID, currency string) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.balanceOf(accountKey(p), currency)
+}
+
+// Prepay moves funds from the client's account into the (server,
+// client) prepaid pool.
+func (b *Bank) Prepay(client, server principal.ID, currency string, amount int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.balanceOf(accountKey(client), currency) < amount {
+		return fmt.Errorf("%w: %s", ErrInsufficientFunds, client)
+	}
+	b.credit(accountKey(client), currency, -amount)
+	b.credit(prepaidKey(server, client), currency, amount)
+	return nil
+}
+
+// Consume draws down prepaid funds on behalf of the server and deposits
+// them into the server's account.
+func (b *Bank) Consume(server, client principal.ID, currency string, amount int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	key := prepaidKey(server, client)
+	if b.balanceOf(key, currency) < amount {
+		return fmt.Errorf("%w: %s at %s", ErrNotPrepaid, client, server)
+	}
+	b.credit(key, currency, -amount)
+	b.credit(accountKey(server), currency, amount)
+	return nil
+}
+
+// PrepaidBalance reports the remaining prepaid funds for (server,
+// client).
+func (b *Bank) PrepaidBalance(server, client principal.ID, currency string) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.balanceOf(prepaidKey(server, client), currency)
+}
+
+// RPC method names.
+const (
+	PrepayMethod  = "amoeba.prepay"
+	ConsumeMethod = "amoeba.consume"
+	BalanceMethod = "amoeba.prepaid-balance"
+)
+
+// Mux serves the bank over a transport.
+func (b *Bank) Mux() *transport.Mux {
+	m := transport.NewMux()
+	m.Handle(PrepayMethod, func(body []byte) ([]byte, error) {
+		client, server, cur, amt, err := decodeOp(body)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Prepay(client, server, cur, amt); err != nil {
+			return nil, err
+		}
+		return []byte{1}, nil
+	})
+	m.Handle(ConsumeMethod, func(body []byte) ([]byte, error) {
+		client, server, cur, amt, err := decodeOp(body)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Consume(server, client, cur, amt); err != nil {
+			return nil, err
+		}
+		return []byte{1}, nil
+	})
+	m.Handle(BalanceMethod, func(body []byte) ([]byte, error) {
+		client, server, cur, _, err := decodeOp(body)
+		if err != nil {
+			return nil, err
+		}
+		bal := b.PrepaidBalance(server, client, cur)
+		return []byte(strconv.FormatInt(bal, 10)), nil
+	})
+	return m
+}
+
+// EncodeOp builds the wire body shared by the bank methods.
+func EncodeOp(client, server principal.ID, currency string, amount int64) []byte {
+	e := wire.NewEncoder(64)
+	client.Encode(e)
+	server.Encode(e)
+	e.String(currency)
+	e.Int64(amount)
+	return e.Bytes()
+}
+
+func decodeOp(b []byte) (client, server principal.ID, currency string, amount int64, err error) {
+	d := wire.NewDecoder(b)
+	client = principal.DecodeID(d)
+	server = principal.DecodeID(d)
+	currency = d.String()
+	amount = d.Int64()
+	if e := d.Finish(); e != nil {
+		return principal.ID{}, principal.ID{}, "", 0, e
+	}
+	return client, server, currency, amount, nil
+}
+
+// Service is an application server charging per request via the bank:
+// each request verifies and draws down prepaid funds with one bank round
+// trip.
+type Service struct {
+	// ID is the server's identity at the bank.
+	ID principal.ID
+	// CostPerRequest in Currency.
+	CostPerRequest int64
+	// Currency charged.
+	Currency string
+
+	bank transport.Client
+}
+
+// NewService returns a service charging via the bank client.
+func NewService(id principal.ID, bank transport.Client, currency string, cost int64) *Service {
+	return &Service{ID: id, bank: bank, Currency: currency, CostPerRequest: cost}
+}
+
+// Serve performs one chargeable request for client: it consumes prepaid
+// funds (one bank round trip) and fails if the client has not prepaid
+// enough — the Amoeba model.
+func (s *Service) Serve(client principal.ID) error {
+	_, err := s.bank.Call(ConsumeMethod, EncodeOp(client, s.ID, s.Currency, s.CostPerRequest))
+	if err != nil {
+		var re *transport.RemoteError
+		if errors.As(err, &re) && strings.Contains(re.Msg, "no prepaid funds") {
+			return fmt.Errorf("%w: %s", ErrNotPrepaid, client)
+		}
+		return err
+	}
+	return nil
+}
+
+// Client is the client side: it must prepay before using a service.
+type Client struct {
+	// ID is the client principal.
+	ID principal.ID
+
+	bank transport.Client
+}
+
+// NewClient returns a bank client for id.
+func NewClient(id principal.ID, bank transport.Client) *Client {
+	return &Client{ID: id, bank: bank}
+}
+
+// Prepay transfers funds to the (server, client) pool — the mandatory
+// pre-contact bank round trip.
+func (c *Client) Prepay(server principal.ID, currency string, amount int64) error {
+	_, err := c.bank.Call(PrepayMethod, EncodeOp(c.ID, server, currency, amount))
+	return err
+}

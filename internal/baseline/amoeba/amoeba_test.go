@@ -1,0 +1,128 @@
+package amoeba
+
+import (
+	"errors"
+	"testing"
+
+	"proxykit/internal/principal"
+	"proxykit/internal/transport"
+)
+
+var (
+	client1 = principal.New("client1", "ISI.EDU")
+	client2 = principal.New("client2", "ISI.EDU")
+	server1 = principal.New("server1", "ISI.EDU")
+)
+
+func setup(t *testing.T) (*Bank, *transport.Network, transport.Client) {
+	t.Helper()
+	b := NewBank()
+	b.Mint(client1, "credits", 100)
+	net := transport.NewNetwork()
+	net.Register("bank", b.Mux())
+	return b, net, net.MustDial("bank")
+}
+
+func TestPrepayThenServe(t *testing.T) {
+	b, net, bc := setup(t)
+	c := NewClient(client1, bc)
+	svc := NewService(server1, bc, "credits", 10)
+
+	if err := c.Prepay(server1, "credits", 30); err != nil {
+		t.Fatal(err)
+	}
+	// Three requests consume the prepaid pool.
+	for i := 0; i < 3; i++ {
+		if err := svc.Serve(client1); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	// The fourth fails: funds exhausted.
+	if err := svc.Serve(client1); !errors.Is(err, ErrNotPrepaid) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := b.Balance(client1, "credits"); got != 70 {
+		t.Fatalf("client balance = %d", got)
+	}
+	if got := b.Balance(server1, "credits"); got != 30 {
+		t.Fatalf("server balance = %d", got)
+	}
+	// Message pattern: 1 prepay + 4 consume attempts = 5 round trips.
+	if _, rts, _ := net.Stats().Snapshot(); rts != 5 {
+		t.Fatalf("round trips = %d, want 5", rts)
+	}
+}
+
+func TestServeWithoutPrepayFails(t *testing.T) {
+	_, _, bc := setup(t)
+	svc := NewService(server1, bc, "credits", 10)
+	if err := svc.Serve(client2); !errors.Is(err, ErrNotPrepaid) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPrepayInsufficientFunds(t *testing.T) {
+	_, _, bc := setup(t)
+	c := NewClient(client1, bc)
+	if err := c.Prepay(server1, "credits", 1000); err == nil {
+		t.Fatal("overdraft prepay accepted")
+	}
+}
+
+func TestPrepaidPoolsIsolated(t *testing.T) {
+	b, _, bc := setup(t)
+	b.Mint(client2, "credits", 50)
+	c1 := NewClient(client1, bc)
+	c2 := NewClient(client2, bc)
+	if err := c1.Prepay(server1, "credits", 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Prepay(server1, "credits", 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.PrepaidBalance(server1, client1, "credits"); got != 20 {
+		t.Fatalf("pool1 = %d", got)
+	}
+	if got := b.PrepaidBalance(server1, client2, "credits"); got != 5 {
+		t.Fatalf("pool2 = %d", got)
+	}
+	// client2's pool can't cover a 10-credit request even though
+	// client1's can.
+	svc := NewService(server1, bc, "credits", 10)
+	if err := svc.Serve(client2); !errors.Is(err, ErrNotPrepaid) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := svc.Serve(client1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleCurrencies(t *testing.T) {
+	b := NewBank()
+	b.Mint(client1, "credits", 10)
+	b.Mint(client1, "pages", 3)
+	if b.Balance(client1, "credits") != 10 || b.Balance(client1, "pages") != 3 {
+		t.Fatal("currencies mixed")
+	}
+	if err := b.Prepay(client1, server1, "pages", 3); err != nil {
+		t.Fatal(err)
+	}
+	if b.Balance(client1, "credits") != 10 {
+		t.Fatal("prepay crossed currencies")
+	}
+}
+
+func TestBalanceMethodOverTransport(t *testing.T) {
+	_, _, bc := setup(t)
+	c := NewClient(client1, bc)
+	if err := c.Prepay(server1, "credits", 42); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := bc.Call(BalanceMethod, EncodeOp(client1, server1, "credits", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "42" {
+		t.Fatalf("balance = %q", resp)
+	}
+}

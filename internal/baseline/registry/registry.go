@@ -1,0 +1,102 @@
+// Package registry implements the Grapevine / Yellow-Pages style
+// baseline of §5: "end-servers query registration servers to determine
+// whether a client is a member of a particular group. ... In both
+// approaches, the authorization decision remains with the local system."
+//
+// Every authorization decision costs the end-server one registration-
+// server round trip; with group proxies the client fetches a proxy once
+// and the end-server decides offline. Experiment E3 measures the
+// difference.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"proxykit/internal/principal"
+	"proxykit/internal/transport"
+	"proxykit/internal/wire"
+)
+
+// ErrNotMember is returned when membership does not hold.
+var ErrNotMember = errors.New("registry: not a member")
+
+// Server is the registration server holding group membership files
+// (the /etc/group of Sun's Yellow Pages).
+type Server struct {
+	mu     sync.RWMutex
+	groups map[string]principal.Set
+}
+
+// NewServer returns an empty registration server.
+func NewServer() *Server {
+	return &Server{groups: make(map[string]principal.Set)}
+}
+
+// AddMember records membership.
+func (s *Server) AddMember(group string, p principal.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[group]
+	if !ok {
+		g = principal.NewSet()
+		s.groups[group] = g
+	}
+	g.Add(p)
+}
+
+// IsMember answers a membership query.
+func (s *Server) IsMember(group string, p principal.ID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, ok := s.groups[group]
+	return ok && g.Contains(p)
+}
+
+// IsMemberMethod is the RPC method name for membership queries.
+const IsMemberMethod = "registry.is-member"
+
+// Mux serves membership queries over a transport.
+func (s *Server) Mux() *transport.Mux {
+	m := transport.NewMux()
+	m.Handle(IsMemberMethod, func(body []byte) ([]byte, error) {
+		d := wire.NewDecoder(body)
+		group := d.String()
+		p := principal.DecodeID(d)
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		if !s.IsMember(group, p) {
+			return nil, fmt.Errorf("%w: %s in %s", ErrNotMember, p, group)
+		}
+		return []byte{1}, nil
+	})
+	return m
+}
+
+// EndServer is an application server that delegates no decisions: it
+// queries the registration server on every request.
+type EndServer struct {
+	// RequiredGroup gates every operation.
+	RequiredGroup string
+
+	reg transport.Client
+}
+
+// NewEndServer returns an end-server gating on group via the
+// registration-server client.
+func NewEndServer(group string, reg transport.Client) *EndServer {
+	return &EndServer{RequiredGroup: group, reg: reg}
+}
+
+// Authorize performs one decision: one registration-server round trip.
+func (e *EndServer) Authorize(client principal.ID) error {
+	enc := wire.NewEncoder(64)
+	enc.String(e.RequiredGroup)
+	client.Encode(enc)
+	if _, err := e.reg.Call(IsMemberMethod, enc.Bytes()); err != nil {
+		return fmt.Errorf("registry: authorize %s: %w", client, err)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+
+	"proxykit/internal/principal"
+	"proxykit/internal/transport"
+)
+
+var (
+	alice = principal.New("alice", "ISI.EDU")
+	bob   = principal.New("bob", "ISI.EDU")
+)
+
+func TestAuthorizePerRequestRoundTrip(t *testing.T) {
+	reg := NewServer()
+	reg.AddMember("staff", alice)
+	net := transport.NewNetwork()
+	net.Register("reg", reg.Mux())
+	es := NewEndServer("staff", net.MustDial("reg"))
+
+	// Every decision costs one registration-server round trip — the
+	// Grapevine pattern E3 compares against.
+	for i := 0; i < 5; i++ {
+		if err := es.Authorize(alice); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if _, rts, _ := net.Stats().Snapshot(); rts != 5 {
+		t.Fatalf("round trips = %d, want 5", rts)
+	}
+
+	if err := es.Authorize(bob); err == nil {
+		t.Fatal("non-member authorized")
+	}
+	var re *transport.RemoteError
+	if err := es.Authorize(bob); !errors.As(err, &re) {
+		t.Fatalf("expected remote error, got %v", err)
+	}
+}
+
+func TestIsMemberDirect(t *testing.T) {
+	reg := NewServer()
+	reg.AddMember("staff", alice)
+	if !reg.IsMember("staff", alice) {
+		t.Fatal("member missing")
+	}
+	if reg.IsMember("staff", bob) || reg.IsMember("ghosts", alice) {
+		t.Fatal("phantom membership")
+	}
+}

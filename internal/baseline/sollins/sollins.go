@@ -1,0 +1,197 @@
+// Package sollins implements the cascaded-authentication baseline the
+// paper compares against (§3.4, §5): Sollins's 1988 scheme in which
+// restrictions are passed from party to party, but "the end-server has
+// to contact the authentication server to verify the authenticity of a
+// chain of proxies."
+//
+// Each link is authenticated with a key the issuer shares only with the
+// authentication server, so the end-server cannot check any link
+// locally: verification costs one authentication-server round trip per
+// link. The restricted-proxy model removes exactly this cost, which
+// experiment E4 measures.
+package sollins
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/principal"
+	"proxykit/internal/restrict"
+	"proxykit/internal/transport"
+	"proxykit/internal/wire"
+)
+
+// Errors returned by the baseline.
+var (
+	ErrUnknownPrincipal = errors.New("sollins: unknown principal")
+	ErrBadLink          = errors.New("sollins: link verification failed")
+	ErrBadChain         = errors.New("sollins: invalid chain")
+)
+
+// Link is one hop of a cascaded-authentication chain: From passes its
+// rights to To with added restrictions, sealed with the key From shares
+// with the authentication server.
+type Link struct {
+	// From is the delegating principal.
+	From principal.ID
+	// To is the receiving principal.
+	To principal.ID
+	// Restrictions added at this hop.
+	Restrictions restrict.Set
+	// MAC authenticates the link under From's AS-shared key.
+	MAC []byte
+}
+
+// linkBytes is the canonical MAC input.
+func linkBytes(from, to principal.ID, rs restrict.Set) []byte {
+	e := wire.NewEncoder(128)
+	e.String("sollins-link-v1")
+	from.Encode(e)
+	to.Encode(e)
+	rs.Encode(e)
+	return e.Bytes()
+}
+
+// AuthServer is the central authentication server that registered every
+// principal's key and verifies links on demand.
+type AuthServer struct {
+	mu   sync.RWMutex
+	keys map[principal.ID]*kcrypto.SymmetricKey
+}
+
+// NewAuthServer returns an empty authentication server.
+func NewAuthServer() *AuthServer {
+	return &AuthServer{keys: make(map[principal.ID]*kcrypto.SymmetricKey)}
+}
+
+// Register provisions a principal and returns its shared key.
+func (a *AuthServer) Register(id principal.ID) (*kcrypto.SymmetricKey, error) {
+	key, err := kcrypto.NewSymmetricKey()
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.keys[id] = key
+	return key, nil
+}
+
+// VerifyLink checks one link's MAC.
+func (a *AuthServer) VerifyLink(l *Link) error {
+	a.mu.RLock()
+	key, ok := a.keys[l.From]
+	a.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPrincipal, l.From)
+	}
+	if err := key.Verify(linkBytes(l.From, l.To, l.Restrictions), l.MAC); err != nil {
+		return fmt.Errorf("%w: %s -> %s", ErrBadLink, l.From, l.To)
+	}
+	return nil
+}
+
+// VerifyLinkMethod is the RPC method name for link verification.
+const VerifyLinkMethod = "sollins.verify-link"
+
+// Mux serves link verification over a transport.
+func (a *AuthServer) Mux() *transport.Mux {
+	m := transport.NewMux()
+	m.Handle(VerifyLinkMethod, func(body []byte) ([]byte, error) {
+		l, err := decodeLink(body)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.VerifyLink(l); err != nil {
+			return nil, err
+		}
+		return []byte{1}, nil
+	})
+	return m
+}
+
+// NewLink creates a MAC'd link from a principal holding its AS-shared
+// key.
+func NewLink(from principal.ID, key *kcrypto.SymmetricKey, to principal.ID, rs restrict.Set) (*Link, error) {
+	mac, err := key.Sign(linkBytes(from, to, rs))
+	if err != nil {
+		return nil, err
+	}
+	return &Link{From: from, To: to, Restrictions: rs, MAC: mac}, nil
+}
+
+// Chain is an ordered sequence of links from the original grantor to the
+// final holder.
+type Chain []*Link
+
+// Extend appends a hop.
+func (c Chain) Extend(l *Link) Chain {
+	out := make(Chain, len(c)+1)
+	copy(out, c)
+	out[len(c)] = l
+	return out
+}
+
+// Restrictions returns the accumulated restriction set.
+func (c Chain) Restrictions() restrict.Set {
+	var out restrict.Set
+	for _, l := range c {
+		out = out.Merge(l.Restrictions)
+	}
+	return out
+}
+
+// Verify validates the chain at an end-server: structural continuity
+// locally, plus one authentication-server round trip per link — the
+// cost the restricted-proxy model eliminates. It returns the accumulated
+// restrictions and the number of server round trips performed.
+func Verify(c Chain, holder principal.ID, as transport.Client) (restrict.Set, int, error) {
+	if len(c) == 0 {
+		return nil, 0, fmt.Errorf("%w: empty", ErrBadChain)
+	}
+	for i := 1; i < len(c); i++ {
+		if c[i].From != c[i-1].To {
+			return nil, 0, fmt.Errorf("%w: hop %d from %s, previous to %s",
+				ErrBadChain, i, c[i].From, c[i-1].To)
+		}
+	}
+	if c[len(c)-1].To != holder {
+		return nil, 0, fmt.Errorf("%w: final hop to %s, holder is %s",
+			ErrBadChain, c[len(c)-1].To, holder)
+	}
+	trips := 0
+	for i, l := range c {
+		trips++
+		if _, err := as.Call(VerifyLinkMethod, encodeLink(l)); err != nil {
+			return nil, trips, fmt.Errorf("link %d: %w", i, err)
+		}
+	}
+	return c.Restrictions(), trips, nil
+}
+
+func encodeLink(l *Link) []byte {
+	e := wire.NewEncoder(256)
+	l.From.Encode(e)
+	l.To.Encode(e)
+	l.Restrictions.Encode(e)
+	e.Bytes32(l.MAC)
+	return e.Bytes()
+}
+
+func decodeLink(b []byte) (*Link, error) {
+	d := wire.NewDecoder(b)
+	l := &Link{}
+	l.From = principal.DecodeID(d)
+	l.To = principal.DecodeID(d)
+	rs, err := restrict.Decode(d)
+	if err != nil {
+		return nil, err
+	}
+	l.Restrictions = rs
+	l.MAC = d.Bytes32()
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

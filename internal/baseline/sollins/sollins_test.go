@@ -1,0 +1,123 @@
+package sollins
+
+import (
+	"errors"
+	"testing"
+
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/principal"
+	"proxykit/internal/restrict"
+	"proxykit/internal/transport"
+)
+
+var (
+	alice = principal.New("alice", "ISI.EDU")
+	bob   = principal.New("bob", "ISI.EDU")
+	carol = principal.New("carol", "ISI.EDU")
+)
+
+func setup(t *testing.T) (*transport.Network, transport.Client, map[principal.ID]*kcrypto.SymmetricKey) {
+	t.Helper()
+	as := NewAuthServer()
+	keys := make(map[principal.ID]*kcrypto.SymmetricKey)
+	for _, id := range []principal.ID{alice, bob, carol} {
+		k, err := as.Register(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[id] = k
+	}
+	net := transport.NewNetwork()
+	net.Register("as", as.Mux())
+	return net, net.MustDial("as"), keys
+}
+
+func TestChainVerifyCountsRoundTrips(t *testing.T) {
+	net, asClient, keys := setup(t)
+
+	l1, err := NewLink(alice, keys[alice], bob, restrict.Set{restrict.Quota{Currency: "p", Limit: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := NewLink(bob, keys[bob], carol, restrict.Set{restrict.Quota{Currency: "p", Limit: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := Chain{}.Extend(l1).Extend(l2)
+
+	rs, trips, err := Verify(chain, carol, asClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trips != 2 {
+		t.Fatalf("trips = %d, want 2 (one per link)", trips)
+	}
+	if q := rs.Quotas()["p"]; q != 5 {
+		t.Fatalf("accumulated quota = %d", q)
+	}
+	if _, rts, _ := net.Stats().Snapshot(); rts != 2 {
+		t.Fatalf("network round trips = %d", rts)
+	}
+}
+
+func TestChainContinuityChecked(t *testing.T) {
+	_, asClient, keys := setup(t)
+	l1, _ := NewLink(alice, keys[alice], bob, nil)
+	l2, _ := NewLink(alice, keys[alice], carol, nil) // should be from bob
+	if _, _, err := Verify(Chain{l1, l2}, carol, asClient); !errors.Is(err, ErrBadChain) {
+		t.Fatalf("err = %v", err)
+	}
+	// Wrong final holder.
+	if _, _, err := Verify(Chain{l1}, carol, asClient); !errors.Is(err, ErrBadChain) {
+		t.Fatalf("holder err = %v", err)
+	}
+	// Empty chain.
+	if _, _, err := Verify(nil, carol, asClient); !errors.Is(err, ErrBadChain) {
+		t.Fatalf("empty err = %v", err)
+	}
+}
+
+func TestForgedLinkRejected(t *testing.T) {
+	_, asClient, keys := setup(t)
+	// Bob forges a link claiming to be from alice, using his own key.
+	forged, _ := NewLink(alice, keys[bob], bob, nil)
+	if _, _, err := Verify(Chain{forged}, bob, asClient); err == nil {
+		t.Fatal("forged link accepted")
+	}
+}
+
+func TestTamperedRestrictionsRejected(t *testing.T) {
+	_, asClient, keys := setup(t)
+	l, _ := NewLink(alice, keys[alice], bob, restrict.Set{restrict.Quota{Currency: "p", Limit: 1}})
+	l.Restrictions = restrict.Set{restrict.Quota{Currency: "p", Limit: 1 << 40}}
+	if _, _, err := Verify(Chain{l}, bob, asClient); err == nil {
+		t.Fatal("tampered restrictions accepted")
+	}
+}
+
+func TestUnknownPrincipalRejected(t *testing.T) {
+	_, asClient, keys := setup(t)
+	ghost := principal.New("ghost", "ISI.EDU")
+	l, _ := NewLink(ghost, keys[alice], bob, nil)
+	if _, _, err := Verify(Chain{l}, bob, asClient); err == nil {
+		t.Fatal("unknown principal accepted")
+	}
+}
+
+func TestVerifyLinkDirect(t *testing.T) {
+	as := NewAuthServer()
+	k, err := as.Register(alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLink(alice, k, bob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.VerifyLink(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.VerifyLink(&Link{From: principal.New("x", "Y"), To: bob}); !errors.Is(err, ErrUnknownPrincipal) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,59 @@
+// Package clock provides an injectable time source so that protocol
+// components (ticket lifetimes, proxy expiry, replay windows) can be
+// tested deterministically.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source used by every component in proxykit that
+// needs the current time. Production code uses System; tests use a Fake.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+}
+
+// System is a Clock backed by the real system time.
+type System struct{}
+
+// Now implements Clock.
+func (System) Now() time.Time { return time.Now() }
+
+// Fake is a manually advanced Clock for tests. The zero value starts at
+// the zero time; NewFake starts it at a supplied instant.
+type Fake struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFake returns a Fake clock frozen at start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Advance moves the clock forward by d. Negative durations move it back,
+// which tests use to simulate clock skew between hosts.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+// Set pins the clock to t.
+func (f *Fake) Set(t time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = t
+}
+
+var _ Clock = System{}
+var _ Clock = (*Fake)(nil)

@@ -1,0 +1,57 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSystemAdvances(t *testing.T) {
+	var c System
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatal("system clock went backwards")
+	}
+}
+
+func TestFakeAdvanceAndSet(t *testing.T) {
+	start := time.Unix(1000, 0)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("now = %v", f.Now())
+	}
+	f.Advance(time.Minute)
+	if !f.Now().Equal(start.Add(time.Minute)) {
+		t.Fatalf("after advance: %v", f.Now())
+	}
+	f.Advance(-2 * time.Minute) // skew simulation
+	if !f.Now().Equal(start.Add(-time.Minute)) {
+		t.Fatalf("after negative advance: %v", f.Now())
+	}
+	pinned := time.Unix(9999, 0)
+	f.Set(pinned)
+	if !f.Now().Equal(pinned) {
+		t.Fatalf("after set: %v", f.Now())
+	}
+}
+
+func TestFakeConcurrentAccess(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				f.Advance(time.Millisecond)
+				_ = f.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Unix(0, 0).Add(1600 * time.Millisecond)
+	if !f.Now().Equal(want) {
+		t.Fatalf("now = %v, want %v", f.Now(), want)
+	}
+}

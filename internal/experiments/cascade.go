@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"proxykit/internal/baseline/sollins"
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/restrict"
+	"proxykit/internal/transport"
+)
+
+// E1GrantVerify characterizes Fig. 1: the cost of granting and
+// verifying a restricted proxy as the restriction set grows.
+func E1GrantVerify() (*Table, error) {
+	w, err := newWorld("alice", "file")
+	if err != nil {
+		return nil, err
+	}
+	env := w.env("file")
+	t := &Table{
+		ID:      "E1",
+		Title:   "restricted proxy grant and verify cost",
+		Paper:   "Fig. 1 (certificate + proxy key)",
+		Headers: []string{"kind", "restrictions", "grant_us", "verify_us", "cert_bytes"},
+		Notes:   "verification is local: no authentication-server contact at any size",
+	}
+	const iters = 300
+	for _, kind := range []string{"bearer", "delegate"} {
+		for _, n := range []int{0, 4, 8, 16} {
+			rs := nRestrictions(n)
+			if kind == "delegate" {
+				rs = rs.Merge(restrict.Set{restrict.Grantee{Principals: []principal.ID{w.id("file")}}})
+			}
+			var p *proxy.Proxy
+			grantTime, err := timeOp(iters, func() error {
+				var err error
+				p, err = proxy.Grant(proxy.GrantParams{
+					Grantor:       w.id("alice"),
+					GrantorSigner: w.ident("alice").Signer(),
+					Restrictions:  rs,
+					Lifetime:      time.Hour,
+					Mode:          proxy.ModePublicKey,
+				})
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			verifyTime, err := timeOp(iters, func() error {
+				_, err := env.VerifyChain(p.Certs)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				kind, itoa(n), us(grantTime), us(verifyTime), itoa(len(p.MarshalCerts())),
+			})
+		}
+	}
+	return t, nil
+}
+
+// E4Cascade reproduces Fig. 4: cascaded proxies verified offline,
+// against the Sollins baseline that contacts the authentication server
+// once per link.
+func E4Cascade() (*Table, error) {
+	w, err := newWorld("alice", "file")
+	if err != nil {
+		return nil, err
+	}
+	env := w.env("file")
+
+	// Sollins setup: an authentication server on a metered network.
+	as := sollins.NewAuthServer()
+	holder := principal.New("holder", realmName)
+	hops := []principal.ID{principal.New("p0", realmName)}
+	keys := map[principal.ID]*kcrypto.SymmetricKey{}
+	k, err := as.Register(hops[0])
+	if err != nil {
+		return nil, err
+	}
+	keys[hops[0]] = k
+	net := transport.NewNetwork()
+	net.Register("as", as.Mux())
+	asClient := net.MustDial("as")
+
+	const oneWay = 5 * time.Millisecond
+	t := &Table{
+		ID:      "E4",
+		Title:   "cascaded authorization: offline chains vs Sollins online verification",
+		Paper:   "Fig. 4 (cascaded proxies), §3.4 comparison",
+		Headers: []string{"chain_len", "proxykit_verify_us", "proxykit_AS_rts", "sollins_AS_rts", "sollins_net_ms@5ms"},
+		Notes:   "proxykit's verification cost grows only with chain length; Sollins adds a server round trip per link",
+	}
+	const iters = 200
+	for _, chainLen := range []int{1, 2, 4, 8, 16} {
+		// Build a proxykit bearer chain of chainLen certificates.
+		p, err := proxy.Grant(proxy.GrantParams{
+			Grantor:       w.id("alice"),
+			GrantorSigner: w.ident("alice").Signer(),
+			Restrictions:  nRestrictions(2),
+			Lifetime:      time.Hour,
+			Mode:          proxy.ModePublicKey,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := 1; i < chainLen; i++ {
+			p, err = p.CascadeBearer(proxy.CascadeParams{
+				Added:    nRestrictions(1),
+				Lifetime: time.Hour,
+				Mode:     proxy.ModePublicKey,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		verifyTime, err := timeOp(iters, func() error {
+			_, err := env.VerifyChain(p.Certs)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Build the equivalent Sollins chain.
+		for len(hops) < chainLen+1 {
+			next := principal.New(fmt.Sprintf("p%d", len(hops)), realmName)
+			nk, err := as.Register(next)
+			if err != nil {
+				return nil, err
+			}
+			keys[next] = nk
+			hops = append(hops, next)
+		}
+		chain := sollins.Chain{}
+		for i := 0; i < chainLen; i++ {
+			to := holder
+			if i < chainLen-1 {
+				to = hops[i+1]
+			}
+			l, err := sollins.NewLink(hops[i], keys[hops[i]], to, nRestrictions(1))
+			if err != nil {
+				return nil, err
+			}
+			chain = chain.Extend(l)
+		}
+		_, trips, err := sollins.Verify(chain, holder, asClient)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(chainLen),
+			us(verifyTime),
+			"0",
+			itoa(trips),
+			ms(time.Duration(trips) * 2 * oneWay),
+		})
+	}
+	return t, nil
+}
+
+// E6PublicKey reproduces Fig. 6: public-key proxies compared with the
+// conventional-cryptography integration for the same restriction set.
+func E6PublicKey() (*Table, error) {
+	w, err := newWorld("alice", "file")
+	if err != nil {
+		return nil, err
+	}
+	env := w.env("file")
+	endKey, err := kcrypto.NewSymmetricKey()
+	if err != nil {
+		return nil, err
+	}
+	env.UnsealProxyKey = proxy.UnsealWith(endKey)
+	// In conventional mode the grantor signs with a key the end-server
+	// can check: a session key shared with the end-server (§6.2).
+	session, err := kcrypto.NewSymmetricKey()
+	if err != nil {
+		return nil, err
+	}
+	convResolver := func(id principal.ID) (kcrypto.Verifier, error) {
+		return session, nil
+	}
+
+	t := &Table{
+		ID:      "E6",
+		Title:   "public-key vs conventional proxies",
+		Paper:   "Fig. 6 (public-key restricted proxy), §6",
+		Headers: []string{"mode", "grant_us", "present_us", "verify_present_us", "cert_bytes"},
+		Notes:   "conventional certificates are smaller and faster but bind to one end-server; public-key proxies verify anywhere (hence issued-for, §7.3)",
+	}
+	serverECDH, err := kcrypto.NewECDHKey()
+	if err != nil {
+		return nil, err
+	}
+	const iters = 300
+	rs := nRestrictions(4)
+	for _, variant := range []string{"public-key", "conventional", "hybrid"} {
+		params := proxy.GrantParams{
+			Grantor:       w.id("alice"),
+			GrantorSigner: w.ident("alice").Signer(),
+			Restrictions:  rs,
+			Lifetime:      time.Hour,
+			Mode:          proxy.ModePublicKey,
+		}
+		e := env
+		switch variant {
+		case "conventional":
+			params.Mode = proxy.ModeConventional
+			params.EndServerKey = endKey
+			params.GrantorSigner = session
+			convEnv := *env
+			convEnv.ResolveIdentity = convResolver
+			convEnv.UnsealProxyKey = proxy.UnsealWith(endKey)
+			e = &convEnv
+		case "hybrid":
+			// §6.1 hybrid: identity-signed certificate, conventional
+			// proxy key sealed to the end-server's public key.
+			params.Mode = proxy.ModeConventional
+			params.EndServerECDH = serverECDH.PublicBytes()
+			hybEnv := *env
+			hybEnv.UnsealProxyKey = proxy.UnsealWithECDH(serverECDH)
+			e = &hybEnv
+		}
+		var p *proxy.Proxy
+		grantTime, err := timeOp(iters, func() error {
+			var err error
+			p, err = proxy.Grant(params)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		ch, err := proxy.NewChallenge()
+		if err != nil {
+			return nil, err
+		}
+		var pres *proxy.Presentation
+		presentTime, err := timeOp(iters, func() error {
+			var err error
+			pres, err = p.Present(ch, w.id("file"))
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		verifyTime, err := timeOp(iters, func() error {
+			_, err := e.VerifyPresentation(pres, ch)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			variant, us(grantTime), us(presentTime), us(verifyTime), itoa(len(p.MarshalCerts())),
+		})
+	}
+	return t, nil
+}

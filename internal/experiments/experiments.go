@@ -1,0 +1,121 @@
+// Package experiments implements the evaluation harness of DESIGN.md:
+// one experiment per figure of the paper (the paper has no quantitative
+// tables; each figure's protocol is reproduced and characterized), plus
+// executable versions of the related-work comparisons of §5.
+//
+// Each experiment returns a Table; cmd/benchproxy prints them and
+// EXPERIMENTS.md records paper-claim vs measured-shape for each.
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	// ID is the experiment identifier from DESIGN.md (E1..E10).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Paper names the paper artifact reproduced.
+	Paper string
+	// Headers and Rows hold the result grid.
+	Headers []string
+	Rows    [][]string
+	// Notes records the qualitative claim being checked.
+	Notes string
+}
+
+// Render formats the table for terminal output.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n   reproduces: %s\n", t.ID, t.Title, t.Paper)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "   %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Runner is one experiment entry point.
+type Runner struct {
+	// ID matches the Table it produces.
+	ID string
+	// Run executes the experiment.
+	Run func() (*Table, error)
+}
+
+// All returns every experiment in order.
+func All() []Runner {
+	return []Runner{
+		{"E1", E1GrantVerify},
+		{"E2", E2FullStack},
+		{"E3", E3Authorization},
+		{"E4", E4Cascade},
+		{"E5", E5Checks},
+		{"E6", E6PublicKey},
+		{"E7", E7Restrictions},
+		{"E8", E8AmoebaVsChecks},
+		{"E9", E9TGSProxy},
+		{"E10", E10ACLCapability},
+		{"E11", E11CrossRealm},
+	}
+}
+
+// timeOp measures the mean duration of op over iters iterations.
+func timeOp(iters int, op func() error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := op(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(iters), nil
+}
+
+// us formats a duration as microseconds with two decimals.
+func us(d time.Duration) string {
+	return strconv.FormatFloat(float64(d.Nanoseconds())/1000, 'f', 2, 64)
+}
+
+// ms formats a duration as milliseconds with one decimal.
+func ms(d time.Duration) string {
+	return strconv.FormatFloat(float64(d.Nanoseconds())/1e6, 'f', 1, 64)
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func i64(v int64) string { return strconv.FormatInt(v, 10) }
+
+func u64(v uint64) string { return strconv.FormatUint(v, 10) }

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAllExperimentsProduceTables smoke-runs the full suite: every
+// experiment must succeed and produce a non-empty, well-formed table.
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is timing-heavy")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			table, err := r.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if table.ID != r.ID {
+				t.Fatalf("table ID %q != runner ID %q", table.ID, r.ID)
+			}
+			if len(table.Headers) == 0 || len(table.Rows) == 0 {
+				t.Fatalf("empty table: %+v", table)
+			}
+			for i, row := range table.Rows {
+				if len(row) != len(table.Headers) {
+					t.Fatalf("row %d has %d cells, want %d", i, len(row), len(table.Headers))
+				}
+			}
+			out := table.Render()
+			if !strings.Contains(out, r.ID) || !strings.Contains(out, table.Title) {
+				t.Fatalf("render missing id/title:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestE4ShapeOfflineVsOnline pins the headline claim: proxykit performs
+// zero authentication-server round trips at every chain length, Sollins
+// performs one per link.
+func TestE4ShapeOfflineVsOnline(t *testing.T) {
+	table, err := E4Cascade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table.Rows {
+		chainLen, pkRTs, sollinsRTs := row[0], row[2], row[3]
+		if pkRTs != "0" {
+			t.Fatalf("chain %s: proxykit used %s AS round trips", chainLen, pkRTs)
+		}
+		if sollinsRTs != chainLen {
+			t.Fatalf("chain %s: sollins used %s round trips", chainLen, sollinsRTs)
+		}
+	}
+}
+
+// TestE8ShapeOnPathTraffic pins the accounting claim: checks put zero
+// bank round trips on the request path.
+func TestE8ShapeOnPathTraffic(t *testing.T) {
+	table, err := E8AmoebaVsChecks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var amoebaOnPath, checksOnPath string
+	for _, row := range table.Rows {
+		switch row[0] {
+		case "amoeba prepay":
+			amoebaOnPath = row[1]
+		case "restricted-proxy checks":
+			checksOnPath = row[1]
+		}
+	}
+	if checksOnPath != "0" {
+		t.Fatalf("checks on-path RTs = %s", checksOnPath)
+	}
+	if amoebaOnPath == "0" || amoebaOnPath == "" {
+		t.Fatalf("amoeba on-path RTs = %s", amoebaOnPath)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	table := &Table{
+		ID: "EX", Title: "title", Paper: "Fig. 0",
+		Headers: []string{"a", "long_header"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   "note",
+	}
+	out := table.Render()
+	for _, want := range []string{"== EX: title", "Fig. 0", "long_header", "333", "note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if us(1500*time.Nanosecond) != "1.50" {
+		t.Fatal(us(1500 * time.Nanosecond))
+	}
+	if ms(1500*time.Microsecond) != "1.5" {
+		t.Fatal(ms(1500 * time.Microsecond))
+	}
+	if itoa(7) != "7" || i64(-2) != "-2" || u64(9) != "9" {
+		t.Fatal("format helpers")
+	}
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"proxykit/internal/kerberos"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/restrict"
+	"proxykit/internal/svc"
+	"proxykit/internal/transport"
+)
+
+// E9TGSProxy reproduces the §6.3 trade-off: a conventional proxy works
+// at one end-server, so delegation across N servers goes through a
+// proxy for the ticket-granting service (one TGS round trip per
+// server); a public-key proxy verifies everywhere with no KDC traffic,
+// relying on issued-for to confine it.
+func E9TGSProxy() (*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Title:   "delegation across N end-servers: TGS proxy vs public-key proxy",
+		Paper:   "§6.2/§6.3 (Kerberos integration, proxy for the TGS)",
+		Headers: []string{"servers", "kerberos_kdc_rts", "kerberos_us_per_server", "pk_kdc_rts", "pk_grant_us_total"},
+		Notes:   "the conventional grantee pays one TGS exchange per end-server; the public-key grantee pays none",
+	}
+
+	for _, n := range []int{1, 4, 16} {
+		// Kerberos side: a KDC over a metered network.
+		kdc, err := kerberos.NewKDC(realmName, nil)
+		if err != nil {
+			return nil, err
+		}
+		aliceID := principal.New("alice", realmName)
+		aliceKey, err := kdc.RegisterWithPassword(aliceID, "pw")
+		if err != nil {
+			return nil, err
+		}
+		serverIDs := make([]principal.ID, n)
+		for i := range serverIDs {
+			serverIDs[i] = principal.New(fmt.Sprintf("srv%d", i), realmName)
+			if _, err := kdc.RegisterWithPassword(serverIDs[i], "spw"); err != nil {
+				return nil, err
+			}
+		}
+		net := transport.NewNetwork()
+		net.Register("kdc", svc.NewKDCService(kdc).Mux())
+		kc := svc.NewKDCClient(net.MustDial("kdc"))
+
+		alice := kerberos.NewClient(aliceID, aliceKey, nil)
+		tgt, err := alice.Login(kc, kdc.TGS(), time.Hour, nil)
+		if err != nil {
+			return nil, err
+		}
+		px, err := kerberos.MakeProxy(tgt, restrict.Set{
+			restrict.Authorized{Entries: []restrict.AuthorizedEntry{{Object: "/doc", Ops: []string{"read"}}}},
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		net.Stats().Reset() // count only the per-server acquisition
+
+		bobID := principal.New("bob", realmName)
+		start := time.Now()
+		for _, sid := range serverIDs {
+			if _, err := kerberos.RequestTicketWithProxy(kc, px, bobID, sid, time.Hour, nil); err != nil {
+				return nil, err
+			}
+		}
+		kerbElapsed := time.Since(start)
+		_, kerbRTs, _ := net.Stats().Snapshot()
+
+		// Public-key side: one grant confined to the same N servers,
+		// verifiable at each with no further infrastructure traffic.
+		w, err := newWorld("alice")
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if _, err := w.addIdentity(fmt.Sprintf("srv%d", i)); err != nil {
+				return nil, err
+			}
+		}
+		pkStart := time.Now()
+		pkProxy, err := proxy.Grant(proxy.GrantParams{
+			Grantor:       w.id("alice"),
+			GrantorSigner: w.ident("alice").Signer(),
+			Restrictions: restrict.Set{
+				restrict.IssuedFor{Servers: serverIDs},
+				restrict.Authorized{Entries: []restrict.AuthorizedEntry{{Object: "/doc", Ops: []string{"read"}}}},
+			},
+			Lifetime: time.Hour,
+			Mode:     proxy.ModePublicKey,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pkElapsed := time.Since(pkStart)
+		// Sanity: it verifies at each server.
+		for i := 0; i < n; i++ {
+			if _, err := w.env(fmt.Sprintf("srv%d", i)).VerifyChain(pkProxy.Certs); err != nil {
+				return nil, err
+			}
+		}
+
+		t.Rows = append(t.Rows, []string{
+			itoa(n),
+			u64(kerbRTs),
+			us(kerbElapsed / time.Duration(n)),
+			"0",
+			us(pkElapsed),
+		})
+	}
+	return t, nil
+}
+
+// E11CrossRealm characterizes the cross-realm extension: KDC traffic
+// and latency for reaching services across a federated realm boundary,
+// compared with in-realm access.
+func E11CrossRealm() (*Table, error) {
+	t := &Table{
+		ID:      "E11",
+		Title:   "cross-realm access: extra cost of crossing a federated boundary",
+		Paper:   "extension (supports §9: \"the resulting mechanisms scale\")",
+		Headers: []string{"path", "kdc_rts", "us_per_ticket", "restrictions_carried"},
+		Notes:   "a cross-realm service ticket costs one extra TGS exchange; authorization-data crosses intact",
+	}
+	kdcA, err := kerberos.NewKDC("ALPHA.EXP", nil)
+	if err != nil {
+		return nil, err
+	}
+	kdcB, err := kerberos.NewKDC("BETA.EXP", nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := kerberos.Federate(kdcA, kdcB); err != nil {
+		return nil, err
+	}
+	aliceID := principal.New("alice", "ALPHA.EXP")
+	aliceKey, err := kdcA.RegisterWithPassword(aliceID, "pw")
+	if err != nil {
+		return nil, err
+	}
+	localSv := principal.New("svc", "ALPHA.EXP")
+	if _, err := kdcA.RegisterWithPassword(localSv, "s1"); err != nil {
+		return nil, err
+	}
+	remoteSv := principal.New("svc", "BETA.EXP")
+	if _, err := kdcB.RegisterWithPassword(remoteSv, "s2"); err != nil {
+		return nil, err
+	}
+
+	netA := transport.NewNetwork()
+	netA.Register("kdcA", svc.NewKDCService(kdcA).Mux())
+	netB := transport.NewNetwork()
+	netB.Register("kdcB", svc.NewKDCService(kdcB).Mux())
+	kcA := svc.NewKDCClient(netA.MustDial("kdcA"))
+	kcB := svc.NewKDCClient(netB.MustDial("kdcB"))
+
+	alice := kerberos.NewClient(aliceID, aliceKey, nil)
+	rs := restrict.Set{restrict.Quota{Currency: "mb", Limit: 10}}
+	tgt, err := alice.Login(kcA, kdcA.TGS(), time.Hour, rs)
+	if err != nil {
+		return nil, err
+	}
+	netA.Stats().Reset()
+
+	const iters = 100
+	// In-realm ticket.
+	inRealm, err := timeOp(iters, func() error {
+		_, err := alice.RequestTicket(kcA, tgt, localSv, time.Hour, nil)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	_, localRTs, _ := netA.Stats().Snapshot()
+	t.Rows = append(t.Rows, []string{
+		"in-realm", fmt.Sprintf("%.0f", float64(localRTs)/iters), us(inRealm), "yes",
+	})
+
+	// Cross-realm ticket.
+	netA.Stats().Reset()
+	netB.Stats().Reset()
+	var lastAuthz restrict.Set
+	crossRealm, err := timeOp(iters, func() error {
+		creds, err := alice.CrossRealmTicket(kcA, kcB, tgt, "BETA.EXP", remoteSv, time.Hour, nil)
+		if err != nil {
+			return err
+		}
+		lastAuthz = creds.AuthzData
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	_, aRTs, _ := netA.Stats().Snapshot()
+	_, bRTs, _ := netB.Stats().Snapshot()
+	carried := "no"
+	if lastAuthz.Quotas()["mb"] == 10 {
+		carried = "yes"
+	}
+	t.Rows = append(t.Rows, []string{
+		"cross-realm", fmt.Sprintf("%.0f", float64(aRTs+bRTs)/iters), us(crossRealm), carried,
+	})
+	return t, nil
+}

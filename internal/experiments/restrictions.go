@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"proxykit/internal/clock"
+	"proxykit/internal/principal"
+	"proxykit/internal/replay"
+	"proxykit/internal/restrict"
+)
+
+// E7Restrictions characterizes §7: evaluation cost per restriction type
+// and accept-once registry scaling.
+func E7Restrictions() (*Table, error) {
+	w, err := newWorld("alice", "bob", "file", "groups")
+	if err != nil {
+		return nil, err
+	}
+	staff := principal.NewGlobal(w.id("groups"), "staff")
+	clk := clock.NewFake(time.Unix(30_000_000, 0))
+	registry := replay.New(clk)
+
+	ctxFor := func(i int) *restrict.Context {
+		return &restrict.Context{
+			Server:           w.id("file"),
+			Object:           "/obj",
+			Operation:        "read",
+			ClientIdentities: []principal.ID{w.id("alice"), w.id("bob")},
+			VerifiedGroups:   map[principal.Global]bool{staff: true},
+			AssertedGroups:   []principal.Global{staff},
+			Amounts:          map[string]int64{"pages": 5},
+			DepositAccount:   principal.NewGlobal(w.id("file"), "acct"),
+			Now:              clk.Now(),
+			Expires:          clk.Now().Add(time.Hour),
+			GrantorKeyID:     "g",
+			AcceptOnce:       registry,
+		}
+	}
+
+	t := &Table{
+		ID:      "E7",
+		Title:   "restriction evaluation cost by type",
+		Paper:   "§7 (common restrictions)",
+		Headers: []string{"restriction", "eval_ns"},
+		Notes:   "per-restriction check cost on a passing request; accept-once includes registry insertion",
+	}
+	cases := []struct {
+		name string
+		r    restrict.Restriction
+	}{
+		{"grantee", restrict.Grantee{Principals: []principal.ID{w.id("alice")}}},
+		{"for-use-by-group", restrict.ForUseByGroup{Groups: []principal.Global{staff}}},
+		{"issued-for", restrict.IssuedFor{Servers: []principal.ID{w.id("file")}}},
+		{"quota", restrict.Quota{Currency: "pages", Limit: 100}},
+		{"authorized (4 entries)", restrict.Authorized{Entries: []restrict.AuthorizedEntry{
+			{Object: "/a"}, {Object: "/b"}, {Object: "/c"}, {Object: "/obj", Ops: []string{"read"}},
+		}}},
+		{"group-membership", restrict.GroupMembership{Groups: []principal.Global{staff}}},
+		{"limit (applies)", restrict.Limit{
+			Servers:      []principal.ID{w.id("file")},
+			Restrictions: restrict.Set{restrict.Quota{Currency: "pages", Limit: 100}},
+		}},
+		{"limit (skipped)", restrict.Limit{
+			Servers:      []principal.ID{w.id("groups")},
+			Restrictions: restrict.Set{restrict.Quota{Currency: "pages", Limit: 1}},
+		}},
+		{"deposit-to", restrict.DepositTo{Account: principal.NewGlobal(w.id("file"), "acct")}},
+	}
+	const iters = 20000
+	for _, c := range cases {
+		ctx := ctxFor(0)
+		d, err := timeOp(iters, func() error { return c.r.Check(ctx) })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{c.name, i64(d.Nanoseconds())})
+	}
+	// accept-once inserts a fresh identifier each time.
+	i := 0
+	d, err := timeOp(iters, func() error {
+		i++
+		r := restrict.AcceptOnce{ID: fmt.Sprintf("id-%d", i)}
+		return r.Check(ctxFor(i))
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"accept-once (fresh id)", i64(d.Nanoseconds())})
+
+	// Registry scaling: accept cost with a large retained population.
+	for _, pop := range []int{1_000, 100_000} {
+		reg := replay.New(clk)
+		reg.SweepEvery = 0
+		for j := 0; j < pop; j++ {
+			if err := reg.Accept("g", fmt.Sprintf("pre-%d", j), clk.Now().Add(time.Hour)); err != nil {
+				return nil, err
+			}
+		}
+		j := 0
+		d, err := timeOp(10000, func() error {
+			j++
+			return reg.Accept("g", fmt.Sprintf("new-%d", j), clk.Now().Add(time.Hour))
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("accept-once (registry=%d)", pop), i64(d.Nanoseconds()),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"proxykit/internal/clock"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/pubkey"
+	"proxykit/internal/restrict"
+)
+
+// realmName is the realm all experiments run in.
+const realmName = "EXP.ORG"
+
+// world is the shared experiment fixture: a directory of identities.
+type world struct {
+	dir *pubkey.Directory
+	ids map[string]*pubkey.Identity
+	clk clock.Clock
+}
+
+// newWorld provisions identities for the given names.
+func newWorld(names ...string) (*world, error) {
+	w := &world{
+		dir: pubkey.NewDirectory(),
+		ids: make(map[string]*pubkey.Identity, len(names)),
+		clk: clock.System{},
+	}
+	for _, n := range names {
+		ident, err := pubkey.NewIdentity(principal.New(n, realmName))
+		if err != nil {
+			return nil, err
+		}
+		w.ids[n] = ident
+		w.dir.RegisterIdentity(ident)
+	}
+	return w, nil
+}
+
+// id returns a provisioned principal.
+func (w *world) id(name string) principal.ID {
+	return principal.New(name, realmName)
+}
+
+// ident returns a provisioned identity.
+func (w *world) ident(name string) *pubkey.Identity {
+	ident, ok := w.ids[name]
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown identity %q", name))
+	}
+	return ident
+}
+
+// env builds a verification environment for a named server.
+func (w *world) env(serverName string) *proxy.VerifyEnv {
+	return &proxy.VerifyEnv{
+		Server:          w.id(serverName),
+		Clock:           w.clk,
+		MaxSkew:         time.Minute,
+		ResolveIdentity: w.dir.Resolver(),
+	}
+}
+
+// addIdentity provisions one more identity into an existing world,
+// idempotently.
+func (w *world) addIdentity(name string) (*pubkey.Identity, error) {
+	if ident, ok := w.ids[name]; ok {
+		return ident, nil
+	}
+	ident, err := pubkey.NewIdentity(principal.New(name, realmName))
+	if err != nil {
+		return nil, err
+	}
+	w.ids[name] = ident
+	w.dir.RegisterIdentity(ident)
+	return ident, nil
+}
+
+// nRestrictions builds a restriction set of the requested size (a mix
+// of authorized entries and quotas, representative of real proxies).
+func nRestrictions(n int) restrict.Set {
+	rs := make(restrict.Set, 0, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			rs = append(rs, restrict.Authorized{Entries: []restrict.AuthorizedEntry{
+				{Object: fmt.Sprintf("/obj/%d", i), Ops: []string{"read", "write"}},
+			}})
+		} else {
+			rs = append(rs, restrict.Quota{Currency: fmt.Sprintf("cur%d", i), Limit: int64(i * 100)})
+		}
+	}
+	return rs
+}

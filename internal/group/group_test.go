@@ -1,0 +1,217 @@
+package group
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"proxykit/internal/clock"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/pubkey"
+	"proxykit/internal/restrict"
+)
+
+var (
+	alice  = principal.New("alice", "ISI.EDU")
+	bob    = principal.New("bob", "ISI.EDU")
+	carol  = principal.New("carol", "MIT.EDU")
+	fileSv = principal.New("file/sv1", "ISI.EDU")
+)
+
+type world struct {
+	t   *testing.T
+	clk *clock.Fake
+	srv *Server
+	env *proxy.VerifyEnv
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	clk := clock.NewFake(time.Unix(11_000_000, 0))
+	dir := pubkey.NewDirectory()
+	ident, err := pubkey.NewIdentity(principal.New("groups", "ISI.EDU"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir.RegisterIdentity(ident)
+	return &world{
+		t:   t,
+		clk: clk,
+		srv: New(ident, clk),
+		env: &proxy.VerifyEnv{Server: fileSv, Clock: clk, ResolveIdentity: dir.Resolver()},
+	}
+}
+
+func TestGrantMember(t *testing.T) {
+	w := newWorld(t)
+	w.srv.AddMember("staff", alice)
+
+	p, err := w.srv.Grant(&GrantRequest{Client: alice, Groups: []string{"staff"}, Lifetime: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := w.env.VerifyChain(p.Certs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Grantor != w.srv.ID {
+		t.Fatalf("grantor = %v", v.Grantor)
+	}
+	// The proxy asserts exactly "staff".
+	ctx := &restrict.Context{Server: fileSv, AssertedGroups: []principal.Global{w.srv.Global("staff")}}
+	if err := v.Authorize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ctx.AssertedGroups = []principal.Global{w.srv.Global("admin")}
+	if err := v.Authorize(ctx); err == nil {
+		t.Fatal("proxy asserted ungranted group")
+	}
+}
+
+func TestGrantNonMemberDenied(t *testing.T) {
+	w := newWorld(t)
+	w.srv.AddMember("staff", alice)
+	if _, err := w.srv.Grant(&GrantRequest{Client: bob, Groups: []string{"staff"}}); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGrantUnknownGroup(t *testing.T) {
+	w := newWorld(t)
+	if _, err := w.srv.Grant(&GrantRequest{Client: alice, Groups: []string{"ghosts"}}); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := w.srv.Grant(&GrantRequest{Client: alice}); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("empty request err = %v", err)
+	}
+}
+
+func TestMultiGroupGrantAllOrNothing(t *testing.T) {
+	w := newWorld(t)
+	w.srv.AddMember("staff", alice)
+	w.srv.AddMember("admin", bob)
+	if _, err := w.srv.Grant(&GrantRequest{Client: alice, Groups: []string{"staff", "admin"}}); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("err = %v", err)
+	}
+	w.srv.AddMember("admin", alice)
+	p, err := w.srv.Grant(&GrantRequest{Client: alice, Groups: []string{"staff", "admin"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := w.env.VerifyChain(p.Certs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &restrict.Context{
+		Server:         fileSv,
+		AssertedGroups: []principal.Global{w.srv.Global("staff"), w.srv.Global("admin")},
+	}
+	if err := v.Authorize(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedLocalGroups(t *testing.T) {
+	w := newWorld(t)
+	w.srv.AddMember("developers", alice)
+	w.srv.AddNestedGroup("staff", w.srv.Global("developers"))
+
+	ok, err := w.srv.IsMember("staff", alice, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("nested membership not found")
+	}
+	ok, _ = w.srv.IsMember("staff", bob, nil)
+	if ok {
+		t.Fatal("non-member found via nesting")
+	}
+}
+
+func TestNestedGroupCycleTerminates(t *testing.T) {
+	w := newWorld(t)
+	w.srv.AddGroup("a")
+	w.srv.AddGroup("b")
+	w.srv.AddNestedGroup("a", w.srv.Global("b"))
+	w.srv.AddNestedGroup("b", w.srv.Global("a"))
+	w.srv.AddMember("b", alice)
+	ok, err := w.srv.IsMember("a", alice, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("membership through cyclic nesting not found")
+	}
+	if ok, _ := w.srv.IsMember("a", bob, nil); ok {
+		t.Fatal("phantom membership")
+	}
+}
+
+func TestForeignNestedGroupViaVerified(t *testing.T) {
+	// carol is a member of visitors%othergroups@MIT.EDU, which is nested
+	// in our "staff". She proves it with a verified group proxy from the
+	// foreign server.
+	w := newWorld(t)
+	foreign := principal.NewGlobal(principal.New("othergroups", "MIT.EDU"), "visitors")
+	w.srv.AddGroup("staff")
+	w.srv.AddNestedGroup("staff", foreign)
+
+	ok, err := w.srv.IsMember("staff", carol, nil)
+	if err != nil || ok {
+		t.Fatalf("unproven foreign membership: ok=%v err=%v", ok, err)
+	}
+	ok, err = w.srv.IsMember("staff", carol, map[principal.Global]bool{foreign: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("verified foreign membership rejected")
+	}
+
+	// And a grant based on it works end to end.
+	p, err := w.srv.Grant(&GrantRequest{
+		Client:         carol,
+		Groups:         []string{"staff"},
+		VerifiedGroups: map[principal.Global]bool{foreign: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.env.VerifyChain(p.Certs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveMember(t *testing.T) {
+	w := newWorld(t)
+	w.srv.AddMember("staff", alice)
+	w.srv.RemoveMember("staff", alice)
+	if _, err := w.srv.Grant(&GrantRequest{Client: alice, Groups: []string{"staff"}}); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("err = %v", err)
+	}
+	w.srv.RemoveMember("nonexistent", alice) // must not panic
+}
+
+func TestDelegateGroupProxy(t *testing.T) {
+	w := newWorld(t)
+	w.srv.AddMember("staff", alice)
+	p, err := w.srv.Grant(&GrantRequest{Client: alice, Groups: []string{"staff"}, Delegate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := p.Restrictions().Grantees()
+	if len(gs) != 1 || gs[0] != alice {
+		t.Fatalf("grantees = %v", gs)
+	}
+}
+
+func TestGroupsListing(t *testing.T) {
+	w := newWorld(t)
+	w.srv.AddGroup("a")
+	w.srv.AddMember("b", alice)
+	if got := w.srv.Groups(); len(got) != 2 {
+		t.Fatalf("groups = %v", got)
+	}
+}

@@ -1,0 +1,210 @@
+package integration
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCommandLineDeployment builds the real cmd/ binaries and drives
+// the README deployment: proxyctl keygen, three daemons with JSON
+// config files, then the group-proxy → authorization-proxy → request
+// flow through proxyctl.
+func TestCommandLineDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and spawns processes")
+	}
+	bin := t.TempDir()
+	build := func(name string) string {
+		t.Helper()
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Dir = repoRoot(t)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		return out
+	}
+	proxyctl := build("proxyctl")
+	groupd := build("groupd")
+	authzd := build("authzd")
+	filed := build("filed")
+
+	work := t.TempDir()
+	state := filepath.Join(work, "state")
+
+	run := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(proxyctl, args...)
+		cmd.Dir = work
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("proxyctl %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+	runExpectFail := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(proxyctl, args...)
+		cmd.Dir = work
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("proxyctl %v unexpectedly succeeded:\n%s", args, out)
+		}
+		return string(out)
+	}
+
+	// Identities first, so daemons can resolve clients.
+	run("keygen", "-state", state, "-me", "alice")
+	run("keygen", "-state", state, "-me", "bob")
+
+	// Config files.
+	groupsJSON := filepath.Join(work, "groups.json")
+	writeFile(t, groupsJSON, `{"staff": ["bob@EXAMPLE.ORG"]}`)
+	rulesJSON := filepath.Join(work, "rules.json")
+	writeFile(t, rulesJSON, `[
+	  {"endServer": "file/srv1@EXAMPLE.ORG", "object": "/shared/doc",
+	   "groups": ["staff%groups@EXAMPLE.ORG"], "ops": ["read"]}
+	]`)
+	aclJSON := filepath.Join(work, "acl.json")
+	writeFile(t, aclJSON, `{
+	  "/shared/doc": [{"principals": ["authz@EXAMPLE.ORG"], "ops": ["read"]}]
+	}`)
+
+	// Daemons on ephemeral ports. The daemons register their own
+	// identities in the shared directory at startup, so start them
+	// before the client flows.
+	groupAddr := freePort(t)
+	authzAddr := freePort(t)
+	fileAddr := freePort(t)
+	startDaemon(t, work, groupd, "-state", state, "-name", "groups", "-listen", groupAddr, "-groups", groupsJSON)
+	waitListening(t, groupAddr)
+	startDaemon(t, work, authzd, "-state", state, "-name", "authz", "-listen", authzAddr, "-rules", rulesJSON)
+	waitListening(t, authzAddr)
+	startDaemon(t, work, filed, "-state", state, "-name", "file/srv1", "-listen", fileAddr, "-acl", aclJSON)
+	waitListening(t, fileAddr)
+
+	// bob's flow, exactly as in the README.
+	out := run("group-grant", "-state", state, "-me", "bob",
+		"-server", groupAddr, "-groups", "staff", "-out", "group.json")
+	if !strings.Contains(out, "group-membership(staff%groups@EXAMPLE.ORG)") {
+		t.Fatalf("group-grant output: %s", out)
+	}
+	out = run("authz-grant", "-state", state, "-me", "bob",
+		"-server", authzAddr, "-end-server", "file/srv1@EXAMPLE.ORG",
+		"-group-proxy", "group.json", "-out", "authz.json")
+	if !strings.Contains(out, "authorized(/shared/doc:read)") {
+		t.Fatalf("authz-grant output: %s", out)
+	}
+	out = run("request", "-state", state, "-me", "bob",
+		"-server", fileAddr, "-object", "/shared/doc", "-op", "read",
+		"-proxy", "authz.json")
+	if !strings.Contains(out, "GRANTED via authz@EXAMPLE.ORG") {
+		t.Fatalf("request output: %s", out)
+	}
+
+	// Denied paths come back as errors through the CLI.
+	out = runExpectFail("request", "-state", state, "-me", "bob",
+		"-server", fileAddr, "-object", "/shared/doc", "-op", "write",
+		"-proxy", "authz.json")
+	if !strings.Contains(out, "denied") {
+		t.Fatalf("write denial output: %s", out)
+	}
+	// alice is not staff.
+	out = runExpectFail("group-grant", "-state", state, "-me", "alice",
+		"-server", groupAddr, "-groups", "staff", "-out", "nope.json")
+	if !strings.Contains(out, "not a member") {
+		t.Fatalf("non-member output: %s", out)
+	}
+
+	// Local grant + cascade round-trips through files.
+	run("grant", "-state", state, "-me", "alice", "-out", "cap.json",
+		"-object", "/x", "-ops", "read", "-lifetime", "1h")
+	out = run("cascade", "-state", state, "-me", "alice", "-in", "cap.json",
+		"-out", "cap2.json", "-quota", "pages:5")
+	if !strings.Contains(out, "2 links") || !strings.Contains(out, "quota(5 pages)") {
+		t.Fatalf("cascade output: %s", out)
+	}
+}
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found")
+		}
+		dir = parent
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// freePort reserves an ephemeral port and returns host:port.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+	return addr
+}
+
+// startDaemon launches a daemon process and arranges for cleanup; its
+// output is surfaced through the test log for diagnosis.
+func startDaemon(t *testing.T, dir, bin string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	out := &strings.Builder{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+		if t.Failed() && out.Len() > 0 {
+			t.Logf("%s output:\n%s", filepath.Base(bin), out.String())
+		}
+	})
+}
+
+// waitListening polls until every address accepts connections.
+func waitListening(t *testing.T, addrs ...string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for _, addr := range addrs {
+		for {
+			conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+			if err == nil {
+				_ = conn.Close()
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon on %s never came up: %v", addr, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package integration
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end and checks
+// for its signature output line, so the examples in the README cannot
+// rot silently.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries")
+	}
+	root := repoRoot(t)
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"quickstart", "read /etc/motd: GRANTED"},
+		{"cascaded-printing", "audit trail through: [spooler@PRINT.EXAMPLE.ORG]"},
+		{"electronic-checks", "second deposit of the same check: REJECTED"},
+		{"group-authz", "GRANTED via authz@CAMPUS.ORG"},
+		{"kerberos-login", "read paper.tex: GRANTED"},
+		{"cross-realm", "bob requests 2 gpu-hours: DENIED as expected"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+c.dir)
+			cmd.Dir = root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("output missing %q:\n%s", c.want, out)
+			}
+		})
+	}
+}

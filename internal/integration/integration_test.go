@@ -1,0 +1,338 @@
+// Package integration exercises a full proxykit deployment over real
+// TCP sockets: the same wiring the cmd/ daemons use, driven end to end —
+// identities from a shared state directory, group + authorization +
+// file + accounting + KDC services, and the complete client flows.
+package integration
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"proxykit/internal/accounting"
+	"proxykit/internal/acl"
+	"proxykit/internal/authz"
+	"proxykit/internal/endserver"
+	"proxykit/internal/group"
+	"proxykit/internal/kerberos"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/pubkey"
+	"proxykit/internal/restrict"
+	"proxykit/internal/statefile"
+	"proxykit/internal/svc"
+	"proxykit/internal/transport"
+)
+
+const realm = "TCP.EXAMPLE.ORG"
+
+// deployment is a running multi-service TCP deployment.
+type deployment struct {
+	t     *testing.T
+	state string
+	dir   *pubkey.Directory
+
+	alice, bob *pubkey.Identity
+
+	groupSrv *group.Server
+	authzSrv *authz.Server
+	fileSrv  *endserver.Server
+	bank     *accounting.Server
+
+	addrs map[string]string
+}
+
+func newDeployment(t *testing.T) *deployment {
+	t.Helper()
+	d := &deployment{t: t, state: t.TempDir(), addrs: map[string]string{}}
+
+	var err error
+	if d.alice, err = statefile.CreateIdentity(d.state, principal.New("alice", realm)); err != nil {
+		t.Fatal(err)
+	}
+	if d.bob, err = statefile.CreateIdentity(d.state, principal.New("bob", realm)); err != nil {
+		t.Fatal(err)
+	}
+	groupIdent, err := statefile.CreateIdentity(d.state, principal.New("groups", realm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	authzIdent, err := statefile.CreateIdentity(d.state, principal.New("authz", realm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileIdent, err := statefile.CreateIdentity(d.state, principal.New("file/srv1", realm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bankIdent, err := statefile.CreateIdentity(d.state, principal.New("bank", realm))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every daemon loads the shared directory, as cmd/ binaries do.
+	if d.dir, err = statefile.LoadDirectory(d.state); err != nil {
+		t.Fatal(err)
+	}
+	resolve := d.dir.Resolver()
+
+	d.groupSrv = group.New(groupIdent, nil)
+	d.groupSrv.AddMember("staff", d.bob.ID)
+	d.serve("groups", svc.NewGroupService(d.groupSrv, resolve, nil).Mux())
+
+	d.authzSrv = authz.New(authzIdent, nil)
+	d.authzSrv.AddRule(authz.Rule{
+		EndServer: fileIdent.ID,
+		Object:    "/shared/doc",
+		Subject:   acl.Subject{Groups: []principal.Global{d.groupSrv.Global("staff")}},
+		Ops:       []string{"read"},
+	})
+	d.serve("authz", svc.NewAuthzService(d.authzSrv, resolve, nil).Mux())
+
+	env := &proxy.VerifyEnv{ResolveIdentity: resolve}
+	d.fileSrv = endserver.New(fileIdent.ID, env, nil)
+	d.fileSrv.SetACL("/shared/doc", acl.New(acl.PrincipalEntry(authzIdent.ID, "read")))
+	d.serve("file", svc.NewEndService(d.fileSrv, resolve, nil).Mux())
+
+	d.bank = accounting.NewServer(bankIdent, resolve, nil)
+	d.serve("bank", svc.NewAcctService(d.bank, resolve, nil).Mux())
+
+	return d
+}
+
+// serve starts a TCP server for mux and records its address.
+func (d *deployment) serve(name string, mux *transport.Mux) {
+	d.t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	srv := transport.NewTCPServer(l, mux)
+	d.t.Cleanup(func() { _ = srv.Close() })
+	d.addrs[name] = srv.Addr().String()
+}
+
+// dial connects to a named service.
+func (d *deployment) dial(name string) *transport.TCPClient {
+	d.t.Helper()
+	c, err := transport.DialTCP(d.addrs[name], 2*time.Second)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	d.t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestFullAuthorizationFlowOverTCP(t *testing.T) {
+	d := newDeployment(t)
+	fileID := principal.New("file/srv1", realm)
+
+	// bob: group proxy over TCP.
+	gc := svc.NewGroupClient(d.dial("groups"), d.bob, nil)
+	gp, err := gc.Grant(svc.GroupGrantParams{Groups: []string{"staff"}, Lifetime: time.Hour, Delegate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// bob: authorization proxy over TCP, presenting the group proxy.
+	ac := svc.NewAuthzClient(d.dial("authz"), d.bob, nil)
+	ap, err := ac.Grant(svc.GrantParams{
+		EndServer:    fileID,
+		Lifetime:     time.Hour,
+		Delegate:     true,
+		GroupProxies: []*proxy.Presentation{gp.PresentDelegate()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// bob: request over TCP.
+	ec := svc.NewEndClient(d.dial("file"), d.bob, nil)
+	dec, err := ec.Request(svc.RequestParams{
+		Object: "/shared/doc", Op: "read",
+		Proxies: []*proxy.Presentation{ap.PresentDelegate()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Via != principal.New("authz", realm) || !dec.ViaProxy {
+		t.Fatalf("decision = %+v", dec)
+	}
+
+	// Denials travel over the wire too: write is not authorized.
+	if _, err := ec.Request(svc.RequestParams{
+		Object: "/shared/doc", Op: "write",
+		Proxies: []*proxy.Presentation{ap.PresentDelegate()},
+	}); err == nil || !strings.Contains(err.Error(), "denied") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// alice is not staff: the group server refuses her over TCP.
+	acAlice := svc.NewGroupClient(d.dial("groups"), d.alice, nil)
+	if _, err := acAlice.Grant(svc.GroupGrantParams{Groups: []string{"staff"}}); err == nil {
+		t.Fatal("non-member granted over TCP")
+	}
+}
+
+func TestBearerCapabilityOverTCP(t *testing.T) {
+	d := newDeployment(t)
+	fileID := principal.New("file/srv1", realm)
+	d.fileSrv.SetACL("/cap/doc", acl.New(acl.PrincipalEntry(d.alice.ID, "read")))
+
+	cap, err := proxy.Grant(proxy.GrantParams{
+		Grantor:       d.alice.ID,
+		GrantorSigner: d.alice.Signer(),
+		Restrictions: restrict.Set{restrict.Authorized{Entries: []restrict.AuthorizedEntry{
+			{Object: "/cap/doc", Ops: []string{"read"}},
+		}}},
+		Lifetime: time.Hour,
+		Mode:     proxy.ModePublicKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The proxy survives a save/load cycle (how proxyctl hands it off).
+	path := d.state + "/cap.json"
+	if err := statefile.SaveProxy(path, cap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := statefile.LoadProxy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ec := svc.NewEndClient(d.dial("file"), d.bob, nil)
+	ch, err := ec.Challenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := loaded.Present(ch, fileID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ec.Request(svc.RequestParams{
+		Object: "/cap/doc", Op: "read",
+		Challenge: ch,
+		Proxies:   []*proxy.Presentation{pres},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Via != d.alice.ID {
+		t.Fatalf("via = %v", dec.Via)
+	}
+}
+
+func TestAccountingOverTCP(t *testing.T) {
+	d := newDeployment(t)
+
+	aliceAcct := svc.NewAcctClient(d.dial("bank"), d.alice, nil)
+	bobAcct := svc.NewAcctClient(d.dial("bank"), d.bob, nil)
+	if err := aliceAcct.CreateAccount("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bobAcct.CreateAccount("bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.bank.Mint("alice", "dollars", 300); err != nil {
+		t.Fatal(err)
+	}
+
+	check, err := accounting.WriteCheck(accounting.WriteCheckParams{
+		Payor: d.alice, Bank: d.bank.ID, Account: "alice",
+		Payee: d.bob.ID, Currency: "dollars", Amount: 120,
+		Lifetime: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	endorsed, err := check.Endorse(d.bob, d.bank.ID, d.bank.ID, d.bank.Global("bob"), true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := bobAcct.DepositCheck(endorsed, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Amount != 120 || r.Hops != 1 {
+		t.Fatalf("receipt = %+v", r)
+	}
+	bal, err := bobAcct.Balance("bob", "dollars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal != 120 {
+		t.Fatalf("bob = %d", bal)
+	}
+	// Duplicate deposit rejected across the wire.
+	if _, err := bobAcct.DepositCheck(endorsed, "bob"); err == nil {
+		t.Fatal("duplicate accepted over TCP")
+	}
+}
+
+func TestKDCOverTCP(t *testing.T) {
+	kdc, err := kerberos.NewKDC(realm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliceID := principal.New("alice", realm)
+	aliceKey, err := kdc.RegisterWithPassword(aliceID, "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileID := principal.New("file/srv1", realm)
+	fileKey, err := kdc.RegisterWithPassword(fileID, "spw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.NewTCPServer(l, svc.NewKDCService(kdc).Mux())
+	defer srv.Close()
+
+	tc, err := transport.DialTCP(srv.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	kc := svc.NewKDCClient(tc)
+
+	alice := kerberos.NewClient(aliceID, aliceKey, nil)
+	tgt, err := alice.Login(kc, kdc.TGS(), time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	creds, err := alice.RequestTicket(kc, tgt, fileID, time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileServer := kerberos.NewServer(fileID, fileKey, nil)
+	req, err := alice.MakeAPRequest(creds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fileServer.VerifyAPRequest(req, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// TGS proxy over TCP: bob obtains a restricted ticket.
+	px, err := kerberos.MakeProxy(tgt, restrict.Set{
+		restrict.Authorized{Entries: []restrict.AuthorizedEntry{{Object: "/x", Ops: []string{"read"}}}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := kerberos.RequestTicketWithProxy(kc, px, principal.New("bob", realm), fileID, time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived.Client != aliceID {
+		t.Fatalf("derived ticket names %v", derived.Client)
+	}
+	if len(derived.AuthzData) == 0 {
+		t.Fatal("restrictions lost over TCP TGS proxy flow")
+	}
+}

@@ -1,0 +1,70 @@
+package kcrypto
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+)
+
+// ECDHKey is an ephemeral X25519 key used to establish a pairwise
+// sealing key when a proxy key must cross the network: Fig. 3 returns
+// the proxy key "protected from disclosure by encrypting it under the
+// session key exchanged during authentication"; services that have no
+// standing session key derive one with an ephemeral exchange instead.
+type ECDHKey struct {
+	priv *ecdh.PrivateKey
+}
+
+// NewECDHKey generates an ephemeral X25519 key.
+func NewECDHKey() (*ECDHKey, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("kcrypto: ecdh: %w", err)
+	}
+	return &ECDHKey{priv: priv}, nil
+}
+
+// PublicBytes returns the public half for transmission.
+func (k *ECDHKey) PublicBytes() []byte {
+	return k.priv.PublicKey().Bytes()
+}
+
+// Bytes returns the private key material for persistence (protect it
+// like any private key).
+func (k *ECDHKey) Bytes() []byte {
+	return k.priv.Bytes()
+}
+
+// ECDHKeyFromBytes reconstructs a private key persisted with Bytes.
+func ECDHKeyFromBytes(b []byte) (*ECDHKey, error) {
+	priv, err := ecdh.X25519().NewPrivateKey(b)
+	if err != nil {
+		return nil, fmt.Errorf("kcrypto: ecdh private key: %w", err)
+	}
+	return &ECDHKey{priv: priv}, nil
+}
+
+// SharedKey derives the pairwise symmetric key from the peer's public
+// half.
+func (k *ECDHKey) SharedKey(peerPublic []byte) (*SymmetricKey, error) {
+	pub, err := ecdh.X25519().NewPublicKey(peerPublic)
+	if err != nil {
+		return nil, fmt.Errorf("kcrypto: ecdh peer key: %w", err)
+	}
+	secret, err := k.priv.ECDH(pub)
+	if err != nil {
+		return nil, fmt.Errorf("kcrypto: ecdh: %w", err)
+	}
+	derived := sha256.Sum256(append([]byte("proxykit-ecdh:"), secret...))
+	return SymmetricKeyFromBytes(derived[:])
+}
+
+// Seed returns the Ed25519 seed of the private key, used to transfer a
+// public-key proxy key to its grantee (always sealed; see ECDHKey).
+func (kp *KeyPair) Seed() []byte {
+	seed := make([]byte, ed25519.SeedSize)
+	copy(seed, kp.priv.Seed())
+	return seed
+}

@@ -1,0 +1,105 @@
+package kcrypto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestECDHSharedKeyAgreement(t *testing.T) {
+	a, err := NewECDHKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewECDHKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, err := a.SharedKey(b.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.SharedKey(a.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ka.Equal(kb) {
+		t.Fatal("shared keys disagree")
+	}
+	// The derived key seals and opens.
+	sealed, err := ka.Seal([]byte("proxy key material"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := kb.Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, []byte("proxy key material")) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestECDHDistinctPairsDistinctKeys(t *testing.T) {
+	a, _ := NewECDHKey()
+	b, _ := NewECDHKey()
+	c, _ := NewECDHKey()
+	kab, _ := a.SharedKey(b.PublicBytes())
+	kac, _ := a.SharedKey(c.PublicBytes())
+	if kab.Equal(kac) {
+		t.Fatal("different peers yielded the same key")
+	}
+}
+
+func TestECDHRejectsGarbagePeer(t *testing.T) {
+	a, _ := NewECDHKey()
+	if _, err := a.SharedKey([]byte("short")); err == nil {
+		t.Fatal("garbage peer key accepted")
+	}
+}
+
+func TestKeyPairSeedRoundTrip(t *testing.T) {
+	kp, err := NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := KeyPairFromSeed(kp.Seed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.KeyID() != kp.KeyID() {
+		t.Fatal("seed round trip changed identity")
+	}
+	// Mutating the returned seed must not affect the key pair.
+	s := kp.Seed()
+	s[0] ^= 0xff
+	again2, _ := KeyPairFromSeed(kp.Seed())
+	if again2.KeyID() != kp.KeyID() {
+		t.Fatal("Seed() aliased internal state")
+	}
+}
+
+func TestECDHKeyPersistenceRoundTrip(t *testing.T) {
+	k, err := NewECDHKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ECDHKeyFromBytes(k.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, _ := NewECDHKey()
+	s1, err := k.SharedKey(peer.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := again.SharedKey(peer.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Equal(s2) {
+		t.Fatal("persisted key derives different secrets")
+	}
+	if _, err := ECDHKeyFromBytes([]byte("short")); err == nil {
+		t.Fatal("bad key material accepted")
+	}
+}

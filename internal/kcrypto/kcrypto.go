@@ -1,0 +1,331 @@
+// Package kcrypto is the cryptographic substrate for proxykit.
+//
+// The 1993 paper is written against DES-era primitives; this package
+// provides the same three roles with modern stdlib algorithms:
+//
+//   - integrity signatures under a shared key (HMAC-SHA256), used to sign
+//     proxy certificates with a proxy key (Fig. 1 and Fig. 4 of the paper);
+//   - public-key signatures (Ed25519), used for public-key proxies
+//     (Fig. 6) and grantor identity signatures;
+//   - authenticated sealing (AES-256-CTR with encrypt-then-MAC), used to
+//     protect proxy keys and ticket bodies from disclosure in transit.
+//
+// All verification paths use constant-time comparison.
+package kcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Scheme identifies the algorithm family behind a Signer or Verifier.
+type Scheme uint8
+
+// Supported signature schemes.
+const (
+	SchemeHMAC Scheme = iota + 1
+	SchemeEd25519
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeHMAC:
+		return "hmac-sha256"
+	case SchemeEd25519:
+		return "ed25519"
+	default:
+		return fmt.Sprintf("scheme(%d)", uint8(s))
+	}
+}
+
+// Errors returned by verification and sealing operations.
+var (
+	ErrBadSignature  = errors.New("kcrypto: signature verification failed")
+	ErrBadCiphertext = errors.New("kcrypto: ciphertext authentication failed")
+	ErrShortKey      = errors.New("kcrypto: key too short")
+)
+
+// Signer produces integrity signatures over canonical message bytes.
+type Signer interface {
+	// Sign returns a signature over msg.
+	Sign(msg []byte) ([]byte, error)
+	// Scheme reports the algorithm family of the signatures produced.
+	Scheme() Scheme
+	// KeyID returns a short stable identifier for the signing key, used
+	// to select verification keys and to tag audit records. It reveals
+	// nothing about secret key material.
+	KeyID() string
+}
+
+// Verifier checks integrity signatures produced by the matching Signer.
+type Verifier interface {
+	// Verify returns nil iff sig is a valid signature of msg.
+	Verify(msg, sig []byte) error
+	// Scheme reports the algorithm family accepted.
+	Scheme() Scheme
+	// KeyID returns the identifier of the verification key.
+	KeyID() string
+}
+
+// SymmetricKeySize is the byte length of all symmetric keys (AES-256 and
+// HMAC-SHA256 share the same key length here for simplicity).
+const SymmetricKeySize = 32
+
+// SymmetricKey is a shared secret usable both as an integrity key
+// (HMAC signer/verifier) and as a sealing key. Proxy keys in the
+// conventional-cryptography mode of the paper are SymmetricKeys.
+type SymmetricKey struct {
+	k  []byte
+	id string
+}
+
+// NewSymmetricKey generates a fresh random symmetric key.
+func NewSymmetricKey() (*SymmetricKey, error) {
+	k := make([]byte, SymmetricKeySize)
+	if _, err := io.ReadFull(rand.Reader, k); err != nil {
+		return nil, fmt.Errorf("kcrypto: generate key: %w", err)
+	}
+	return SymmetricKeyFromBytes(k)
+}
+
+// SymmetricKeyFromBytes wraps existing key material. The slice is copied.
+func SymmetricKeyFromBytes(k []byte) (*SymmetricKey, error) {
+	if len(k) < 16 {
+		return nil, ErrShortKey
+	}
+	cp := make([]byte, len(k))
+	copy(cp, k)
+	return &SymmetricKey{k: cp, id: keyIDFor(cp)}, nil
+}
+
+// keyIDFor derives a non-reversible short identifier from key material.
+func keyIDFor(k []byte) string {
+	h := sha256.Sum256(append([]byte("proxykit-keyid:"), k...))
+	return hex.EncodeToString(h[:8])
+}
+
+// Bytes returns a copy of the raw key material. Callers transporting the
+// key must seal it first (see Seal).
+func (s *SymmetricKey) Bytes() []byte {
+	cp := make([]byte, len(s.k))
+	copy(cp, s.k)
+	return cp
+}
+
+// KeyID implements Signer and Verifier.
+func (s *SymmetricKey) KeyID() string { return s.id }
+
+// Scheme implements Signer and Verifier.
+func (s *SymmetricKey) Scheme() Scheme { return SchemeHMAC }
+
+// Sign implements Signer using HMAC-SHA256.
+func (s *SymmetricKey) Sign(msg []byte) ([]byte, error) {
+	m := hmac.New(sha256.New, s.k)
+	m.Write(msg)
+	return m.Sum(nil), nil
+}
+
+// Verify implements Verifier.
+func (s *SymmetricKey) Verify(msg, sig []byte) error {
+	want, err := s.Sign(msg)
+	if err != nil {
+		return err
+	}
+	if !hmac.Equal(want, sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Equal reports whether two keys hold identical material, in constant
+// time.
+func (s *SymmetricKey) Equal(o *SymmetricKey) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if len(s.k) != len(o.k) {
+		return false
+	}
+	return subtle.ConstantTimeCompare(s.k, o.k) == 1
+}
+
+// sealOverhead is IV (16) + MAC (32).
+const sealOverhead = aes.BlockSize + sha256.Size
+
+// Seal encrypts-then-MACs plaintext under the key. Layout:
+//
+//	IV (16) || ciphertext || HMAC-SHA256(IV || ciphertext)
+//
+// Encryption and MAC subkeys are derived from the key so that a single
+// SymmetricKey safely serves both purposes.
+func (s *SymmetricKey) Seal(plaintext []byte) ([]byte, error) {
+	encKey, macKey := s.deriveSubkeys()
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		return nil, fmt.Errorf("kcrypto: seal: %w", err)
+	}
+	out := make([]byte, sealOverhead+len(plaintext))
+	iv := out[:aes.BlockSize]
+	if _, err := io.ReadFull(rand.Reader, iv); err != nil {
+		return nil, fmt.Errorf("kcrypto: seal iv: %w", err)
+	}
+	ct := out[aes.BlockSize : aes.BlockSize+len(plaintext)]
+	cipher.NewCTR(block, iv).XORKeyStream(ct, plaintext)
+	m := hmac.New(sha256.New, macKey)
+	m.Write(out[:aes.BlockSize+len(plaintext)])
+	copy(out[aes.BlockSize+len(plaintext):], m.Sum(nil))
+	return out, nil
+}
+
+// Open authenticates and decrypts a sealed message produced by Seal.
+func (s *SymmetricKey) Open(sealed []byte) ([]byte, error) {
+	if len(sealed) < sealOverhead {
+		return nil, ErrBadCiphertext
+	}
+	encKey, macKey := s.deriveSubkeys()
+	body := sealed[:len(sealed)-sha256.Size]
+	tag := sealed[len(sealed)-sha256.Size:]
+	m := hmac.New(sha256.New, macKey)
+	m.Write(body)
+	if !hmac.Equal(m.Sum(nil), tag) {
+		return nil, ErrBadCiphertext
+	}
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		return nil, fmt.Errorf("kcrypto: open: %w", err)
+	}
+	iv := body[:aes.BlockSize]
+	pt := make([]byte, len(body)-aes.BlockSize)
+	cipher.NewCTR(block, iv).XORKeyStream(pt, body[aes.BlockSize:])
+	return pt, nil
+}
+
+// deriveSubkeys expands the key into independent encryption and MAC keys.
+func (s *SymmetricKey) deriveSubkeys() (encKey, macKey []byte) {
+	e := sha256.Sum256(append([]byte("proxykit-enc:"), s.k...))
+	m := sha256.Sum256(append([]byte("proxykit-mac:"), s.k...))
+	return e[:], m[:]
+}
+
+// KeyPair is an Ed25519 identity key pair used for public-key proxies and
+// grantor signatures.
+type KeyPair struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+	id   string
+}
+
+// NewKeyPair generates a fresh Ed25519 key pair.
+func NewKeyPair() (*KeyPair, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("kcrypto: generate keypair: %w", err)
+	}
+	return &KeyPair{pub: pub, priv: priv, id: keyIDFor(pub)}, nil
+}
+
+// KeyPairFromSeed derives a deterministic key pair from a 32-byte seed.
+// Tests use this for reproducible identities.
+func KeyPairFromSeed(seed []byte) (*KeyPair, error) {
+	if len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("kcrypto: seed must be %d bytes", ed25519.SeedSize)
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	pub := priv.Public().(ed25519.PublicKey)
+	return &KeyPair{pub: pub, priv: priv, id: keyIDFor(pub)}, nil
+}
+
+// Public returns the verification half of the pair.
+func (kp *KeyPair) Public() *PublicKey {
+	return &PublicKey{pub: kp.pub, id: kp.id}
+}
+
+// KeyID implements Signer.
+func (kp *KeyPair) KeyID() string { return kp.id }
+
+// Scheme implements Signer.
+func (kp *KeyPair) Scheme() Scheme { return SchemeEd25519 }
+
+// Sign implements Signer with Ed25519.
+func (kp *KeyPair) Sign(msg []byte) ([]byte, error) {
+	return ed25519.Sign(kp.priv, msg), nil
+}
+
+// Verify implements Verifier, allowing a KeyPair to verify its own
+// signatures.
+func (kp *KeyPair) Verify(msg, sig []byte) error {
+	return kp.Public().Verify(msg, sig)
+}
+
+// PublicKey is the verification half of a KeyPair.
+type PublicKey struct {
+	pub ed25519.PublicKey
+	id  string
+}
+
+// PublicKeyFromBytes wraps raw Ed25519 public key bytes.
+func PublicKeyFromBytes(b []byte) (*PublicKey, error) {
+	if len(b) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("kcrypto: public key must be %d bytes", ed25519.PublicKeySize)
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return &PublicKey{pub: cp, id: keyIDFor(cp)}, nil
+}
+
+// Bytes returns the raw public key bytes.
+func (p *PublicKey) Bytes() []byte {
+	cp := make([]byte, len(p.pub))
+	copy(cp, p.pub)
+	return cp
+}
+
+// KeyID implements Verifier.
+func (p *PublicKey) KeyID() string { return p.id }
+
+// Scheme implements Verifier.
+func (p *PublicKey) Scheme() Scheme { return SchemeEd25519 }
+
+// Verify implements Verifier.
+func (p *PublicKey) Verify(msg, sig []byte) error {
+	if !ed25519.Verify(p.pub, msg, sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Nonce returns n cryptographically random bytes, used for challenges,
+// check numbers and session identifiers.
+func Nonce(n int) ([]byte, error) {
+	b := make([]byte, n)
+	if _, err := io.ReadFull(rand.Reader, b); err != nil {
+		return nil, fmt.Errorf("kcrypto: nonce: %w", err)
+	}
+	return b, nil
+}
+
+// Digest returns the SHA-256 digest of msg; used to bind application
+// payloads into authenticators.
+func Digest(msg []byte) []byte {
+	d := sha256.Sum256(msg)
+	return d[:]
+}
+
+// Interface compliance.
+var (
+	_ Signer   = (*SymmetricKey)(nil)
+	_ Verifier = (*SymmetricKey)(nil)
+	_ Signer   = (*KeyPair)(nil)
+	_ Verifier = (*KeyPair)(nil)
+	_ Verifier = (*PublicKey)(nil)
+)

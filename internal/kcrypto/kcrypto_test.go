@@ -1,0 +1,298 @@
+package kcrypto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymmetricSignVerify(t *testing.T) {
+	k, err := NewSymmetricKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("restricted proxy certificate")
+	sig, err := k.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Verify(msg, sig); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestSymmetricVerifyRejectsTamper(t *testing.T) {
+	k, err := NewSymmetricKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("payload")
+	sig, _ := k.Sign(msg)
+
+	tests := []struct {
+		name string
+		msg  []byte
+		sig  []byte
+	}{
+		{"flipped message bit", []byte("paylobd"), sig},
+		{"truncated signature", msg, sig[:len(sig)-1]},
+		{"empty signature", msg, nil},
+		{"flipped signature bit", msg, flipBit(sig)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := k.Verify(tt.msg, tt.sig); !errors.Is(err, ErrBadSignature) {
+				t.Fatalf("got %v, want ErrBadSignature", err)
+			}
+		})
+	}
+}
+
+func TestSymmetricVerifyRejectsWrongKey(t *testing.T) {
+	k1, _ := NewSymmetricKey()
+	k2, _ := NewSymmetricKey()
+	msg := []byte("msg")
+	sig, _ := k1.Sign(msg)
+	if err := k2.Verify(msg, sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("got %v, want ErrBadSignature", err)
+	}
+}
+
+func TestSymmetricKeyFromBytesRejectsShort(t *testing.T) {
+	if _, err := SymmetricKeyFromBytes(make([]byte, 8)); !errors.Is(err, ErrShortKey) {
+		t.Fatalf("got %v, want ErrShortKey", err)
+	}
+}
+
+func TestSymmetricKeyFromBytesCopies(t *testing.T) {
+	raw := bytes.Repeat([]byte{7}, SymmetricKeySize)
+	k, err := SymmetricKeyFromBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] = 99 // mutating the caller's slice must not affect the key
+	k2, _ := SymmetricKeyFromBytes(bytes.Repeat([]byte{7}, SymmetricKeySize))
+	if !k.Equal(k2) {
+		t.Fatal("key was aliased to caller slice")
+	}
+}
+
+func TestBytesReturnsCopy(t *testing.T) {
+	k, _ := NewSymmetricKey()
+	b := k.Bytes()
+	b[0] ^= 0xff
+	k2, _ := SymmetricKeyFromBytes(k.Bytes())
+	if !k.Equal(k2) {
+		t.Fatal("Bytes() aliased internal key material")
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k, _ := NewSymmetricKey()
+	for _, size := range []int{0, 1, 15, 16, 17, 1000} {
+		pt := bytes.Repeat([]byte{0xab}, size)
+		sealed, err := k.Seal(pt)
+		if err != nil {
+			t.Fatalf("seal %d: %v", size, err)
+		}
+		got, err := k.Open(sealed)
+		if err != nil {
+			t.Fatalf("open %d: %v", size, err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("round trip mismatch at size %d", size)
+		}
+	}
+}
+
+func TestSealProducesFreshIVs(t *testing.T) {
+	k, _ := NewSymmetricKey()
+	a, _ := k.Seal([]byte("same plaintext"))
+	b, _ := k.Seal([]byte("same plaintext"))
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of identical plaintext produced identical ciphertext")
+	}
+}
+
+func TestOpenRejectsTamper(t *testing.T) {
+	k, _ := NewSymmetricKey()
+	sealed, _ := k.Seal([]byte("secret proxy key"))
+	for i := range sealed {
+		bad := make([]byte, len(sealed))
+		copy(bad, sealed)
+		bad[i] ^= 0x01
+		if _, err := k.Open(bad); !errors.Is(err, ErrBadCiphertext) {
+			t.Fatalf("tampered byte %d accepted: %v", i, err)
+		}
+	}
+}
+
+func TestOpenRejectsShortAndWrongKey(t *testing.T) {
+	k1, _ := NewSymmetricKey()
+	k2, _ := NewSymmetricKey()
+	if _, err := k1.Open([]byte("short")); !errors.Is(err, ErrBadCiphertext) {
+		t.Fatalf("short input: %v", err)
+	}
+	sealed, _ := k1.Seal([]byte("data"))
+	if _, err := k2.Open(sealed); !errors.Is(err, ErrBadCiphertext) {
+		t.Fatalf("wrong key: %v", err)
+	}
+}
+
+func TestKeyPairSignVerify(t *testing.T) {
+	kp, err := NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("public-key proxy certificate")
+	sig, err := kp.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kp.Public().Verify(msg, sig); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := kp.Verify(msg, sig); err != nil {
+		t.Fatalf("self verify: %v", err)
+	}
+	if err := kp.Public().Verify([]byte("other"), sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("wrong msg accepted: %v", err)
+	}
+}
+
+func TestKeyPairFromSeedDeterministic(t *testing.T) {
+	seed := bytes.Repeat([]byte{3}, 32)
+	a, err := KeyPairFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := KeyPairFromSeed(seed)
+	if a.KeyID() != b.KeyID() {
+		t.Fatal("same seed produced different identities")
+	}
+	if _, err := KeyPairFromSeed([]byte("short")); err == nil {
+		t.Fatal("short seed accepted")
+	}
+}
+
+func TestPublicKeyFromBytes(t *testing.T) {
+	kp, _ := NewKeyPair()
+	pk, err := PublicKeyFromBytes(kp.Public().Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.KeyID() != kp.KeyID() {
+		t.Fatal("round-tripped public key has different KeyID")
+	}
+	msg := []byte("m")
+	sig, _ := kp.Sign(msg)
+	if err := pk.Verify(msg, sig); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PublicKeyFromBytes([]byte("nope")); err == nil {
+		t.Fatal("bad length accepted")
+	}
+}
+
+func TestKeyIDsStableAndDistinct(t *testing.T) {
+	k1, _ := NewSymmetricKey()
+	k2, _ := NewSymmetricKey()
+	if k1.KeyID() == k2.KeyID() {
+		t.Fatal("distinct keys share KeyID")
+	}
+	k1b, _ := SymmetricKeyFromBytes(k1.Bytes())
+	if k1.KeyID() != k1b.KeyID() {
+		t.Fatal("KeyID not a pure function of key material")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if SchemeHMAC.String() != "hmac-sha256" {
+		t.Fatal(SchemeHMAC.String())
+	}
+	if SchemeEd25519.String() != "ed25519" {
+		t.Fatal(SchemeEd25519.String())
+	}
+	if Scheme(99).String() != "scheme(99)" {
+		t.Fatal(Scheme(99).String())
+	}
+}
+
+func TestNonceAndDigest(t *testing.T) {
+	a, err := Nonce(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Nonce(16)
+	if bytes.Equal(a, b) {
+		t.Fatal("nonces repeated")
+	}
+	if len(Digest([]byte("x"))) != 32 {
+		t.Fatal("digest size")
+	}
+}
+
+// Property: Seal/Open round-trips arbitrary plaintexts, and signatures
+// verify over arbitrary messages.
+func TestPropertySealOpen(t *testing.T) {
+	k, _ := NewSymmetricKey()
+	f := func(pt []byte) bool {
+		sealed, err := k.Seal(pt)
+		if err != nil {
+			return false
+		}
+		got, err := k.Open(sealed)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySignVerify(t *testing.T) {
+	k, _ := NewSymmetricKey()
+	kp, _ := NewKeyPair()
+	f := func(msg []byte) bool {
+		s1, err1 := k.Sign(msg)
+		s2, err2 := kp.Sign(msg)
+		return err1 == nil && err2 == nil &&
+			k.Verify(msg, s1) == nil && kp.Public().Verify(msg, s2) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a signature over msg never verifies over a different msg.
+func TestPropertySignatureBinding(t *testing.T) {
+	k, _ := NewSymmetricKey()
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return true
+		}
+		sig, _ := k.Sign(a)
+		return errors.Is(k.Verify(b, sig), ErrBadSignature)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualNilSafety(t *testing.T) {
+	var nilKey *SymmetricKey
+	k, _ := NewSymmetricKey()
+	if nilKey.Equal(k) || k.Equal(nilKey) {
+		t.Fatal("nil compared equal to real key")
+	}
+	if !nilKey.Equal(nil) {
+		t.Fatal("nil != nil")
+	}
+}
+
+func flipBit(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	out[0] ^= 0x80
+	return out
+}

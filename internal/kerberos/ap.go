@@ -1,0 +1,433 @@
+package kerberos
+
+import (
+	"fmt"
+	"time"
+
+	"proxykit/internal/clock"
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/principal"
+	"proxykit/internal/replay"
+	"proxykit/internal/restrict"
+	"proxykit/internal/wire"
+)
+
+// APRequest is the client-to-application-server exchange: "a client
+// sends the ticket to the end-server along with an authenticator which
+// has been encrypted using the session key."
+type APRequest struct {
+	// Ticket names the client and seals the session key toward the
+	// server.
+	Ticket *Ticket
+	// Authenticator is sealed under the session key and proves the
+	// client possesses it.
+	Authenticator []byte
+}
+
+// MakeAPRequest builds an AP request from credentials. checksum, if
+// non-nil, binds the accompanying application request.
+func (c *Client) MakeAPRequest(creds *Credentials, checksum []byte) (*APRequest, error) {
+	nonce, err := kcrypto.Nonce(16)
+	if err != nil {
+		return nil, err
+	}
+	auth := &Authenticator{
+		Client:    c.ID,
+		Timestamp: c.clk.Now(),
+		Checksum:  checksum,
+		Nonce:     nonce,
+	}
+	sealed, err := auth.seal(creds.SessionKey)
+	if err != nil {
+		return nil, err
+	}
+	return &APRequest{Ticket: creds.Ticket, Authenticator: sealed}, nil
+}
+
+// Server is the application end-server side of the protocol: it holds
+// the service's long-term key, validates AP requests and proxy
+// presentations, and maintains the replay cache.
+type Server struct {
+	// ID is the service principal.
+	ID principal.ID
+
+	key    *kcrypto.SymmetricKey
+	clk    clock.Clock
+	replay *replay.Cache
+	// MaxSkew is the tolerated authenticator clock skew.
+	MaxSkew time.Duration
+}
+
+// NewServer returns an application server for id holding its long-term
+// key.
+func NewServer(id principal.ID, key *kcrypto.SymmetricKey, clk clock.Clock) *Server {
+	if clk == nil {
+		clk = clock.System{}
+	}
+	return &Server{ID: id, key: key, clk: clk, replay: replay.New(clk), MaxSkew: MaxSkew}
+}
+
+// APContext is the outcome of a successful AP or proxy verification.
+type APContext struct {
+	// Client is the authenticated principal — for a proxy presentation,
+	// the grantor whose rights apply.
+	Client principal.ID
+	// Presenter is the proving party: equal to Client for a direct AP
+	// request; for proxies it is zero (bearer — identified only by key
+	// possession).
+	Presenter principal.ID
+	// SessionKey is shared with the presenter for the rest of the
+	// session (the proxy key for proxy presentations).
+	SessionKey *kcrypto.SymmetricKey
+	// Restrictions is the accumulated authorization-data.
+	Restrictions restrict.Set
+	// Expires is the ticket expiry.
+	Expires time.Time
+	// GrantorKeyID namespaces accept-once identifiers.
+	GrantorKeyID string
+}
+
+// openTicket decrypts and validates a ticket against the server's key
+// and clock.
+func (s *Server) openTicket(t *Ticket) (*ticketBody, error) {
+	if t == nil {
+		return nil, fmt.Errorf("%w: missing ticket", ErrBadTicket)
+	}
+	if t.Server != s.ID {
+		return nil, fmt.Errorf("%w: %s, this is %s", ErrWrongServer, t.Server, s.ID)
+	}
+	pt, err := s.key.Open(t.Sealed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTicket, err)
+	}
+	body, err := unmarshalTicketBody(pt)
+	if err != nil {
+		return nil, err
+	}
+	if !s.clk.Now().Before(body.Expires) {
+		return nil, fmt.Errorf("%w: at %v", ErrExpired, body.Expires)
+	}
+	return body, nil
+}
+
+// checkFresh validates an authenticator's timestamp and replay
+// uniqueness.
+func (s *Server) checkFresh(a *Authenticator, scope string) error {
+	now := s.clk.Now()
+	if a.Timestamp.Before(now.Add(-s.MaxSkew)) || a.Timestamp.After(now.Add(s.MaxSkew)) {
+		return fmt.Errorf("%w: authenticator at %v, now %v", ErrSkew, a.Timestamp, now)
+	}
+	key := fmt.Sprintf("%s:%s:%x", scope, a.Client, a.Nonce)
+	if err := s.replay.Seen(key, a.Timestamp.Add(2*s.MaxSkew)); err != nil {
+		return fmt.Errorf("%w: %v", ErrReplay, err)
+	}
+	return nil
+}
+
+// VerifyAPRequest validates a direct client AP request. checksum, if
+// non-nil, must match the authenticator's bound checksum.
+func (s *Server) VerifyAPRequest(req *APRequest, checksum []byte) (*APContext, error) {
+	body, err := s.openTicket(req.Ticket)
+	if err != nil {
+		return nil, err
+	}
+	sk, err := kcrypto.SymmetricKeyFromBytes(body.SessionKey)
+	if err != nil {
+		return nil, err
+	}
+	a, err := openAuthenticator(req.Authenticator, sk)
+	if err != nil {
+		return nil, err
+	}
+	if a.Client != body.Client {
+		return nil, fmt.Errorf("%w: %s != %s", ErrBadAuthenticator, a.Client, body.Client)
+	}
+	if err := s.checkFresh(a, "ap"); err != nil {
+		return nil, err
+	}
+	if checksum != nil && string(a.Checksum) != string(checksum) {
+		return nil, fmt.Errorf("%w: request checksum mismatch", ErrBadAuthenticator)
+	}
+	return &APContext{
+		Client:       body.Client,
+		Presenter:    body.Client,
+		SessionKey:   sk,
+		Restrictions: body.AuthzData.Merge(a.AuthzData),
+		Expires:      body.Expires,
+		GrantorKeyID: sk.KeyID(),
+	}, nil
+}
+
+// MutualReply produces the mutual-authentication reply: the
+// authenticator timestamp sealed under the session key.
+func (s *Server) MutualReply(ctx *APContext, ts time.Time) ([]byte, error) {
+	e := wire.NewEncoder(16)
+	e.Time(ts)
+	return ctx.SessionKey.Seal(e.Bytes())
+}
+
+// VerifyMutualReply lets the client confirm the server knew the session
+// key.
+func VerifyMutualReply(reply []byte, sessionKey *kcrypto.SymmetricKey, want time.Time) error {
+	pt, err := sessionKey.Open(reply)
+	if err != nil {
+		return fmt.Errorf("kerberos: mutual reply: %w", err)
+	}
+	d := wire.NewDecoder(pt)
+	ts := d.Time()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if !ts.Equal(want) {
+		return fmt.Errorf("kerberos: mutual reply timestamp mismatch")
+	}
+	return nil
+}
+
+// Proxy is a restricted proxy carried on Kerberos credentials (§6.2):
+// the ticket, a chain of grant authenticators (each establishing the
+// next proxy key and adding restrictions), and the final proxy key.
+type Proxy struct {
+	// Ticket is the underlying credential; it names the grantor.
+	Ticket *Ticket
+	// GrantChain holds sealed grant authenticators: [0] under the ticket
+	// session key, [i] under the subkey of [i-1].
+	GrantChain [][]byte
+	// Key is the final proxy key, transferred confidentially to the
+	// grantee.
+	Key *kcrypto.SymmetricKey
+	// Grantor is the ticket's client (informational; the ticket is
+	// authoritative).
+	Grantor principal.ID
+	// Expires is the ticket expiry (informational).
+	Expires time.Time
+}
+
+// MakeProxy creates a proxy from credentials: it generates a proxy key
+// and a grant authenticator carrying it in the subkey field together
+// with the added restrictions (§6.2).
+func MakeProxy(creds *Credentials, added restrict.Set, clk clock.Clock) (*Proxy, error) {
+	if clk == nil {
+		clk = clock.System{}
+	}
+	proxyKey, err := kcrypto.NewSymmetricKey()
+	if err != nil {
+		return nil, err
+	}
+	nonce, err := kcrypto.Nonce(16)
+	if err != nil {
+		return nil, err
+	}
+	grant := &Authenticator{
+		Client:    creds.Client,
+		Timestamp: clk.Now(),
+		Subkey:    proxyKey.Bytes(),
+		AuthzData: added,
+		Nonce:     nonce,
+	}
+	sealed, err := grant.seal(creds.SessionKey)
+	if err != nil {
+		return nil, err
+	}
+	return &Proxy{
+		Ticket:     creds.Ticket,
+		GrantChain: [][]byte{sealed},
+		Key:        proxyKey,
+		Grantor:    creds.Client,
+		Expires:    creds.Expires,
+	}, nil
+}
+
+// Cascade adds a link: a new grant authenticator sealed under the
+// current proxy key, carrying added restrictions and a fresh proxy key
+// (Fig. 4 realized on Kerberos credentials).
+func (p *Proxy) Cascade(added restrict.Set, clk clock.Clock) (*Proxy, error) {
+	if clk == nil {
+		clk = clock.System{}
+	}
+	newKey, err := kcrypto.NewSymmetricKey()
+	if err != nil {
+		return nil, err
+	}
+	nonce, err := kcrypto.Nonce(16)
+	if err != nil {
+		return nil, err
+	}
+	grant := &Authenticator{
+		Client:    p.Grantor,
+		Timestamp: clk.Now(),
+		Subkey:    newKey.Bytes(),
+		AuthzData: added,
+		Nonce:     nonce,
+	}
+	sealed, err := grant.seal(p.Key)
+	if err != nil {
+		return nil, err
+	}
+	chain := make([][]byte, len(p.GrantChain)+1)
+	copy(chain, p.GrantChain)
+	chain[len(p.GrantChain)] = sealed
+	return &Proxy{
+		Ticket:     p.Ticket,
+		GrantChain: chain,
+		Key:        newKey,
+		Grantor:    p.Grantor,
+		Expires:    p.Expires,
+	}, nil
+}
+
+// ProxyPresentation is what a grantee sends to the end-server: ticket,
+// grant chain, and a fresh proof authenticator sealed under the final
+// proxy key.
+type ProxyPresentation struct {
+	Ticket     *Ticket
+	GrantChain [][]byte
+	// Proof is a fresh authenticator under the final proxy key.
+	Proof []byte
+}
+
+// Present builds a presentation, proving possession of the proxy key.
+// checksum binds the accompanying application request. presenter names
+// the party proving possession (informational in the bearer case).
+func (p *Proxy) Present(presenter principal.ID, checksum []byte, clk clock.Clock) (*ProxyPresentation, error) {
+	if clk == nil {
+		clk = clock.System{}
+	}
+	nonce, err := kcrypto.Nonce(16)
+	if err != nil {
+		return nil, err
+	}
+	proof := &Authenticator{
+		Client:    presenter,
+		Timestamp: clk.Now(),
+		Checksum:  checksum,
+		Nonce:     nonce,
+	}
+	sealed, err := proof.seal(p.Key)
+	if err != nil {
+		return nil, err
+	}
+	return &ProxyPresentation{Ticket: p.Ticket, GrantChain: p.GrantChain, Proof: sealed}, nil
+}
+
+// VerifyProxy validates a proxy presentation: the ticket under the
+// server key, each grant under the chained proxy keys, and the fresh
+// proof under the final key. The returned context carries the grantor's
+// identity and the accumulated restrictions.
+func (s *Server) VerifyProxy(pp *ProxyPresentation, checksum []byte) (*APContext, error) {
+	body, err := s.openTicket(pp.Ticket)
+	if err != nil {
+		return nil, err
+	}
+	sk, err := kcrypto.SymmetricKeyFromBytes(body.SessionKey)
+	if err != nil {
+		return nil, err
+	}
+	if len(pp.GrantChain) == 0 {
+		return nil, fmt.Errorf("%w: empty grant chain", ErrBadAuthenticator)
+	}
+	authz := body.AuthzData
+	key := sk
+	for i, sealedGrant := range pp.GrantChain {
+		g, err := openAuthenticator(sealedGrant, key)
+		if err != nil {
+			return nil, fmt.Errorf("grant %d: %w", i, err)
+		}
+		// Grant authenticators carry the proxy's issue time; they must
+		// fall within the ticket's validity, but are not freshness
+		// checked — the proxy may be presented long after it was
+		// granted.
+		if g.Timestamp.Before(body.IssuedAt.Add(-s.MaxSkew)) || g.Timestamp.After(body.Expires) {
+			return nil, fmt.Errorf("grant %d: %w: granted at %v", i, ErrSkew, g.Timestamp)
+		}
+		if len(g.Subkey) == 0 {
+			return nil, fmt.Errorf("grant %d: %w: grant lacks subkey", i, ErrBadAuthenticator)
+		}
+		authz = authz.Merge(g.AuthzData)
+		if key, err = kcrypto.SymmetricKeyFromBytes(g.Subkey); err != nil {
+			return nil, fmt.Errorf("grant %d subkey: %w", i, err)
+		}
+	}
+	proof, err := openAuthenticator(pp.Proof, key)
+	if err != nil {
+		return nil, fmt.Errorf("proof: %w", err)
+	}
+	if err := s.checkFresh(proof, "proxy"); err != nil {
+		return nil, err
+	}
+	if checksum != nil && string(proof.Checksum) != string(checksum) {
+		return nil, fmt.Errorf("%w: request checksum mismatch", ErrBadAuthenticator)
+	}
+	return &APContext{
+		Client:       body.Client,
+		Presenter:    proof.Client,
+		SessionKey:   key,
+		Restrictions: authz,
+		Expires:      body.Expires,
+		GrantorKeyID: sk.KeyID(),
+	}, nil
+}
+
+// AcceptOnceRegistry exposes the server's replay cache for accept-once
+// restriction evaluation.
+func (s *Server) AcceptOnceRegistry() restrict.AcceptOnceRegistry { return s.replay }
+
+// RequestTicketWithProxy performs a TGS exchange using a proxy for the
+// ticket-granting service (§6.3): the grantee, holding a TGT proxy,
+// obtains tickets "with identical restrictions for additional
+// end-servers as needed". The issued credentials still name the grantor.
+func RequestTicketWithProxy(tgs TGS, p *Proxy, presenter principal.ID, server principal.ID, lifetime time.Duration, clk clock.Clock) (*Credentials, error) {
+	if clk == nil {
+		clk = clock.System{}
+	}
+	nonce, err := kcrypto.Nonce(16)
+	if err != nil {
+		return nil, err
+	}
+	anonce, err := kcrypto.Nonce(16)
+	if err != nil {
+		return nil, err
+	}
+	proof := &Authenticator{
+		Client:    presenter,
+		Timestamp: clk.Now(),
+		Nonce:     anonce,
+	}
+	sealedProof, err := proof.seal(p.Key)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := tgs.TicketGrantingService(&TGSRequest{
+		Ticket:        p.Ticket,
+		GrantChain:    p.GrantChain,
+		Authenticator: sealedProof,
+		Server:        server,
+		Lifetime:      lifetime,
+		Nonce:         nonce,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pt, err := p.Key.Open(reply.EncPart)
+	if err != nil {
+		return nil, fmt.Errorf("kerberos: open proxy TGS reply: %w", err)
+	}
+	enc, err := unmarshalEncReplyPart(pt)
+	if err != nil {
+		return nil, err
+	}
+	if string(enc.Nonce) != string(nonce) {
+		return nil, ErrBadNonce
+	}
+	sk, err := kcrypto.SymmetricKeyFromBytes(enc.SessionKey)
+	if err != nil {
+		return nil, err
+	}
+	return &Credentials{
+		Client:     p.Grantor,
+		Ticket:     reply.Ticket,
+		SessionKey: sk,
+		AuthzData:  enc.AuthzData,
+		Expires:    enc.Expires,
+	}, nil
+}

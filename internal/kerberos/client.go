@@ -1,0 +1,143 @@
+package kerberos
+
+import (
+	"fmt"
+	"time"
+
+	"proxykit/internal/clock"
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/principal"
+	"proxykit/internal/restrict"
+	"proxykit/internal/wire"
+)
+
+// AS is the authentication-server interface, implemented by *KDC
+// directly and by transport clients.
+type AS interface {
+	AuthService(*ASRequest) (*ASReply, error)
+}
+
+// TGS is the ticket-granting-server interface.
+type TGS interface {
+	TicketGrantingService(*TGSRequest) (*ASReply, error)
+}
+
+// Client performs the client side of the Kerberos exchanges for one
+// principal.
+type Client struct {
+	// ID is the client principal.
+	ID principal.ID
+
+	key *kcrypto.SymmetricKey
+	clk clock.Clock
+}
+
+// NewClient returns a client for id holding its long-term secret key.
+func NewClient(id principal.ID, key *kcrypto.SymmetricKey, clk clock.Clock) *Client {
+	if clk == nil {
+		clk = clock.System{}
+	}
+	return &Client{ID: id, key: key, clk: clk}
+}
+
+// NewClientWithPassword derives the long-term key from a password.
+func NewClientWithPassword(id principal.ID, password string, clk clock.Clock) (*Client, error) {
+	key, err := KeyFromPassword(id, password)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(id, key, clk), nil
+}
+
+// Login performs the AS exchange, returning initial credentials
+// (normally a TGT). Restrictions, if any, are sealed into the ticket's
+// authorization-data — the "initial authentication as proxy grant" of
+// §6.3.
+func (c *Client) Login(as AS, server principal.ID, lifetime time.Duration, restrictions restrict.Set) (*Credentials, error) {
+	nonce, err := kcrypto.Nonce(16)
+	if err != nil {
+		return nil, err
+	}
+	e := wire.NewEncoder(16)
+	e.Time(c.clk.Now())
+	preauth, err := c.key.Seal(e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	reply, err := as.AuthService(&ASRequest{
+		Client:       c.ID,
+		Server:       server,
+		Lifetime:     lifetime,
+		Nonce:        nonce,
+		Preauth:      preauth,
+		Restrictions: restrictions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.decodeReply(reply, nonce, c.key)
+}
+
+// decodeReply opens an AS/TGS reply with replyKey and validates the
+// nonce binding.
+func (c *Client) decodeReply(reply *ASReply, nonce []byte, replyKey *kcrypto.SymmetricKey) (*Credentials, error) {
+	pt, err := replyKey.Open(reply.EncPart)
+	if err != nil {
+		return nil, fmt.Errorf("kerberos: open reply: %w", err)
+	}
+	enc, err := unmarshalEncReplyPart(pt)
+	if err != nil {
+		return nil, fmt.Errorf("kerberos: parse reply: %w", err)
+	}
+	if string(enc.Nonce) != string(nonce) {
+		return nil, ErrBadNonce
+	}
+	sk, err := kcrypto.SymmetricKeyFromBytes(enc.SessionKey)
+	if err != nil {
+		return nil, err
+	}
+	return &Credentials{
+		Client:     c.ID,
+		Ticket:     reply.Ticket,
+		SessionKey: sk,
+		AuthzData:  enc.AuthzData,
+		Expires:    enc.Expires,
+	}, nil
+}
+
+// RequestTicket performs a TGS exchange: it presents credentials
+// (normally the TGT) and obtains a ticket for server. Restrictions in
+// added are merged into the new ticket's authorization-data; the
+// existing restrictions are always carried forward ("restrictions may be
+// added, but not removed", §6.2).
+func (c *Client) RequestTicket(tgs TGS, creds *Credentials, server principal.ID, lifetime time.Duration, added restrict.Set) (*Credentials, error) {
+	nonce, err := kcrypto.Nonce(16)
+	if err != nil {
+		return nil, err
+	}
+	anonce, err := kcrypto.Nonce(16)
+	if err != nil {
+		return nil, err
+	}
+	auth := &Authenticator{
+		Client:    c.ID,
+		Timestamp: c.clk.Now(),
+		AuthzData: added,
+		Nonce:     anonce,
+	}
+	sealed, err := auth.seal(creds.SessionKey)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := tgs.TicketGrantingService(&TGSRequest{
+		Ticket:        creds.Ticket,
+		Authenticator: sealed,
+		Server:        server,
+		Lifetime:      lifetime,
+		Nonce:         nonce,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.decodeReply(reply, nonce, creds.SessionKey)
+}

@@ -1,0 +1,99 @@
+package kerberos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/principal"
+	"proxykit/internal/restrict"
+)
+
+// Cross-realm authentication (an extension beyond the paper's single
+// realm, supporting its §9 claim that "the resulting mechanisms
+// scale"): two KDCs share an inter-realm key; the local TGS issues a
+// cross-realm TGT for the remote realm's ticket-granting service, and
+// the remote TGS accepts it and issues local service tickets.
+// Authorization-data — i.e. restricted proxies — crosses realms intact
+// and stays additive.
+
+// crossRealmPrincipal names the remote realm's TGS as registered in the
+// local realm: krbtgt/REMOTE@LOCAL.
+func crossRealmPrincipal(remoteRealm, localRealm string) principal.ID {
+	return principal.New("krbtgt/"+remoteRealm, localRealm)
+}
+
+// AcceptRealm configures the KDC to accept cross-realm TGTs issued by
+// peerRealm under the shared inter-realm key.
+func (k *KDC) AcceptRealm(peerRealm string, key *kcrypto.SymmetricKey) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.crossRealm == nil {
+		k.crossRealm = make(map[string]*kcrypto.SymmetricKey)
+	}
+	k.crossRealm[peerRealm] = key
+}
+
+// TrustRealm configures the KDC to issue cross-realm TGTs for
+// peerRealm under the shared inter-realm key: it registers the
+// principal krbtgt/PEER@LOCAL.
+func (k *KDC) TrustRealm(peerRealm string, key *kcrypto.SymmetricKey) error {
+	return k.Register(crossRealmPrincipal(peerRealm, k.realm), key)
+}
+
+// Federate establishes bidirectional trust between two KDCs with fresh
+// inter-realm keys (one per direction, as in Kerberos practice).
+func Federate(a, b *KDC) error {
+	abKey, err := kcrypto.NewSymmetricKey() // a's clients -> b's services
+	if err != nil {
+		return err
+	}
+	baKey, err := kcrypto.NewSymmetricKey() // b's clients -> a's services
+	if err != nil {
+		return err
+	}
+	if err := a.TrustRealm(b.realm, abKey); err != nil {
+		return err
+	}
+	b.AcceptRealm(a.realm, abKey)
+	if err := b.TrustRealm(a.realm, baKey); err != nil {
+		return err
+	}
+	a.AcceptRealm(b.realm, baKey)
+	return nil
+}
+
+// crossRealmTicketKey returns the key to open a presented TGS ticket:
+// the local TGS key for ordinary tickets, or the inter-realm key for a
+// cross-realm TGT issued by a trusted peer.
+func (k *KDC) crossRealmTicketKey(server principal.ID) (*kcrypto.SymmetricKey, error) {
+	if server == k.tgs {
+		return k.keyFor(k.tgs)
+	}
+	if strings.HasPrefix(server.Name, "krbtgt/") && server.Name == "krbtgt/"+k.realm {
+		k.mu.RLock()
+		key, ok := k.crossRealm[server.Realm]
+		k.mu.RUnlock()
+		if ok {
+			return key, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrWrongServer, server)
+}
+
+// CrossRealmTicket obtains a ticket for a service in another realm:
+// first a cross-realm TGT from the local TGS, then the service ticket
+// from the remote TGS. Restrictions added at either hop accumulate with
+// those already in the TGT (§6.2 additivity, across realms).
+func (c *Client) CrossRealmTicket(localTGS, remoteTGS TGS, tgt *Credentials, remoteRealm string, server principal.ID, lifetime time.Duration, added restrict.Set) (*Credentials, error) {
+	cross, err := c.RequestTicket(localTGS, tgt, crossRealmPrincipal(remoteRealm, c.ID.Realm), lifetime, added)
+	if err != nil {
+		return nil, fmt.Errorf("kerberos: cross-realm TGT: %w", err)
+	}
+	creds, err := c.RequestTicket(remoteTGS, cross, server, lifetime, nil)
+	if err != nil {
+		return nil, fmt.Errorf("kerberos: remote service ticket: %w", err)
+	}
+	return creds, nil
+}

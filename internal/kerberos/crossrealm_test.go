@@ -1,0 +1,199 @@
+package kerberos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"proxykit/internal/clock"
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/principal"
+	"proxykit/internal/restrict"
+)
+
+const (
+	realmA = "ALPHA.ORG"
+	realmB = "BETA.ORG"
+)
+
+type crossWorld struct {
+	t        *testing.T
+	clk      *clock.Fake
+	kdcA     *KDC
+	kdcB     *KDC
+	alice    *Client
+	remoteSv principal.ID
+	remoteK  *kcrypto.SymmetricKey
+}
+
+func newCrossWorld(t *testing.T) *crossWorld {
+	t.Helper()
+	clk := clock.NewFake(time.Unix(40_000_000, 0))
+	kdcA, err := NewKDC(realmA, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kdcB, err := NewKDC(realmB, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Federate(kdcA, kdcB); err != nil {
+		t.Fatal(err)
+	}
+	aliceID := principal.New("alice", realmA)
+	aliceKey, err := kdcA.RegisterWithPassword(aliceID, "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteSv := principal.New("file/remote", realmB)
+	remoteKey, err := kcrypto.NewSymmetricKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kdcB.Register(remoteSv, remoteKey); err != nil {
+		t.Fatal(err)
+	}
+	return &crossWorld{
+		t:        t,
+		clk:      clk,
+		kdcA:     kdcA,
+		kdcB:     kdcB,
+		alice:    NewClient(aliceID, aliceKey, clk),
+		remoteSv: remoteSv,
+		remoteK:  remoteKey,
+	}
+}
+
+func TestCrossRealmServiceTicket(t *testing.T) {
+	w := newCrossWorld(t)
+	tgt, err := w.alice.Login(w.kdcA, w.kdcA.TGS(), time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	creds, err := w.alice.CrossRealmTicket(w.kdcA, w.kdcB, tgt, realmB, w.remoteSv, time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if creds.Ticket.Server != w.remoteSv {
+		t.Fatalf("ticket for %v", creds.Ticket.Server)
+	}
+	if creds.Client != w.alice.ID {
+		t.Fatalf("client = %v", creds.Client)
+	}
+
+	// The remote end-server accepts it.
+	srv := NewServer(w.remoteSv, w.remoteK, w.clk)
+	req, err := w.alice.MakeAPRequest(creds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := srv.VerifyAPRequest(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Client != w.alice.ID {
+		t.Fatalf("remote server saw client %v", ctx.Client)
+	}
+}
+
+func TestCrossRealmRestrictionsAccumulate(t *testing.T) {
+	// Restrictions placed at login and at the cross-realm hop both
+	// arrive in the remote service ticket — additivity across realms.
+	w := newCrossWorld(t)
+	tgt, err := w.alice.Login(w.kdcA, w.kdcA.TGS(), time.Hour, restrict.Set{
+		restrict.Quota{Currency: "mb", Limit: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	creds, err := w.alice.CrossRealmTicket(w.kdcA, w.kdcB, tgt, realmB, w.remoteSv, time.Hour, restrict.Set{
+		restrict.Quota{Currency: "mb", Limit: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := creds.AuthzData.Quotas()["mb"]; q != 10 {
+		t.Fatalf("effective cross-realm quota = %d", q)
+	}
+	srv := NewServer(w.remoteSv, w.remoteK, w.clk)
+	req, _ := w.alice.MakeAPRequest(creds, nil)
+	ctx, err := srv.VerifyAPRequest(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := ctx.Restrictions.Quotas()["mb"]; q != 10 {
+		t.Fatalf("server-side quota = %d", q)
+	}
+}
+
+func TestCrossRealmRequiresFederation(t *testing.T) {
+	// A third, unfederated realm rejects cross TGTs.
+	w := newCrossWorld(t)
+	kdcC, err := NewKDC("GAMMA.ORG", w.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := w.alice.Login(w.kdcA, w.kdcA.TGS(), time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Realm A has no krbtgt/GAMMA.ORG principal: step 1 fails.
+	if _, err := w.alice.CrossRealmTicket(w.kdcA, kdcC, tgt, "GAMMA.ORG", principal.New("x", "GAMMA.ORG"), time.Hour, nil); !errors.Is(err, ErrUnknownPrincipal) {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Even with a forged one-sided trust, GAMMA rejects the ticket: it
+	// never accepted ALPHA.
+	key, _ := kcrypto.NewSymmetricKey()
+	if err := w.kdcA.TrustRealm("GAMMA.ORG", key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.alice.CrossRealmTicket(w.kdcA, kdcC, tgt, "GAMMA.ORG", principal.New("x", "GAMMA.ORG"), time.Hour, nil); !errors.Is(err, ErrWrongServer) {
+		t.Fatalf("one-sided trust err = %v", err)
+	}
+}
+
+func TestCrossRealmWrongKeyRejected(t *testing.T) {
+	// Federation with mismatched keys: the remote TGS cannot open the
+	// cross TGT.
+	clk := clock.NewFake(time.Unix(40_000_000, 0))
+	kdcA, _ := NewKDC(realmA, clk)
+	kdcB, _ := NewKDC(realmB, clk)
+	k1, _ := kcrypto.NewSymmetricKey()
+	k2, _ := kcrypto.NewSymmetricKey()
+	if err := kdcA.TrustRealm(realmB, k1); err != nil {
+		t.Fatal(err)
+	}
+	kdcB.AcceptRealm(realmA, k2) // wrong key
+
+	aliceID := principal.New("alice", realmA)
+	aliceKey, _ := kdcA.RegisterWithPassword(aliceID, "pw")
+	alice := NewClient(aliceID, aliceKey, clk)
+	tgt, err := alice.Login(kdcA, kdcA.TGS(), time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := principal.New("svc", realmB)
+	svKey, _ := kcrypto.NewSymmetricKey()
+	if err := kdcB.Register(sv, svKey); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.CrossRealmTicket(kdcA, kdcB, tgt, realmB, sv, time.Hour, nil); !errors.Is(err, ErrBadTicket) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCrossRealmDerivedTicketBoundedByTGT(t *testing.T) {
+	w := newCrossWorld(t)
+	tgt, err := w.alice.Login(w.kdcA, w.kdcA.TGS(), 30*time.Minute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	creds, err := w.alice.CrossRealmTicket(w.kdcA, w.kdcB, tgt, realmB, w.remoteSv, 10*time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if creds.Expires.After(tgt.Expires) {
+		t.Fatalf("cross-realm ticket %v outlives TGT %v", creds.Expires, tgt.Expires)
+	}
+}

@@ -1,0 +1,366 @@
+package kerberos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"proxykit/internal/clock"
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/principal"
+	"proxykit/internal/replay"
+	"proxykit/internal/restrict"
+	"proxykit/internal/wire"
+)
+
+// KDC is the key distribution center: the authentication server (AS) and
+// ticket-granting server (TGS) for one realm.
+type KDC struct {
+	realm  string
+	tgs    principal.ID
+	clk    clock.Clock
+	replay *replay.Cache
+	// MaxLife caps ticket lifetimes.
+	MaxLife time.Duration
+	// RequirePreauth makes the AS demand an encrypted-timestamp
+	// pre-authenticator (Kerberos V5 behavior).
+	RequirePreauth bool
+
+	mu   sync.RWMutex
+	keys map[principal.ID]*kcrypto.SymmetricKey
+	// crossRealm maps a trusted peer realm to the inter-realm key used
+	// to open cross-realm TGTs it issued (see crossrealm.go).
+	crossRealm map[string]*kcrypto.SymmetricKey
+}
+
+// NewKDC creates a KDC for realm. The TGS principal krbtgt/REALM@REALM
+// is provisioned automatically.
+func NewKDC(realm string, clk clock.Clock) (*KDC, error) {
+	if clk == nil {
+		clk = clock.System{}
+	}
+	k := &KDC{
+		realm:          realm,
+		tgs:            principal.New("krbtgt/"+realm, realm),
+		clk:            clk,
+		replay:         replay.New(clk),
+		MaxLife:        10 * time.Hour,
+		RequirePreauth: true,
+		keys:           make(map[principal.ID]*kcrypto.SymmetricKey),
+	}
+	tgsKey, err := kcrypto.NewSymmetricKey()
+	if err != nil {
+		return nil, err
+	}
+	k.keys[k.tgs] = tgsKey
+	return k, nil
+}
+
+// Realm returns the KDC's realm.
+func (k *KDC) Realm() string { return k.realm }
+
+// TGS returns the ticket-granting service's principal identity.
+func (k *KDC) TGS() principal.ID { return k.tgs }
+
+// Register provisions a principal with a secret key shared with the
+// KDC. It returns an error if the principal is outside the realm.
+func (k *KDC) Register(id principal.ID, key *kcrypto.SymmetricKey) error {
+	if id.Realm != k.realm {
+		return fmt.Errorf("kerberos: %s is not in realm %s", id, k.realm)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.keys[id] = key
+	return nil
+}
+
+// RegisterWithPassword provisions a principal from a password and
+// returns the derived key (which the principal also derives locally).
+func (k *KDC) RegisterWithPassword(id principal.ID, password string) (*kcrypto.SymmetricKey, error) {
+	key, err := KeyFromPassword(id, password)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.Register(id, key); err != nil {
+		return nil, err
+	}
+	return key, nil
+}
+
+func (k *KDC) keyFor(id principal.ID) (*kcrypto.SymmetricKey, error) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	key, ok := k.keys[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPrincipal, id)
+	}
+	return key, nil
+}
+
+// ASRequest asks the authentication server for initial credentials —
+// normally a ticket-granting ticket.
+type ASRequest struct {
+	// Client is the requesting principal.
+	Client principal.ID
+	// Server is the service the ticket should name; usually the TGS.
+	Server principal.ID
+	// Lifetime requested; capped by the KDC's MaxLife.
+	Lifetime time.Duration
+	// Nonce is echoed in the sealed reply to bind it to this request.
+	Nonce []byte
+	// Preauth is an encrypted-timestamp pre-authenticator: the current
+	// time sealed under the client's secret key.
+	Preauth []byte
+	// Restrictions to seal into the ticket's authorization-data at the
+	// client's request: "the initial authentication of a user can itself
+	// be thought of as the granting of a proxy and restrictions can be
+	// placed on the credentials" (§6.3).
+	Restrictions restrict.Set
+}
+
+// ASReply returns a ticket and the session key sealed under the client's
+// secret key.
+type ASReply struct {
+	// Ticket for the requested server.
+	Ticket *Ticket
+	// EncPart is sealed under the client's secret key and contains the
+	// session key, echoed nonce, and expiry.
+	EncPart []byte
+}
+
+// encReplyPart is the confidential portion of AS and TGS replies.
+type encReplyPart struct {
+	SessionKey []byte
+	Nonce      []byte
+	Server     principal.ID
+	Expires    time.Time
+	AuthzData  restrict.Set
+}
+
+func (p *encReplyPart) marshal() []byte {
+	e := wire.NewEncoder(128)
+	e.Bytes32(p.SessionKey)
+	e.Bytes32(p.Nonce)
+	p.Server.Encode(e)
+	e.Time(p.Expires)
+	p.AuthzData.Encode(e)
+	return e.Bytes()
+}
+
+func unmarshalEncReplyPart(b []byte) (*encReplyPart, error) {
+	d := wire.NewDecoder(b)
+	p := &encReplyPart{}
+	p.SessionKey = d.Bytes32()
+	p.Nonce = d.Bytes32()
+	p.Server = principal.DecodeID(d)
+	p.Expires = d.Time()
+	az, err := restrict.Decode(d)
+	if err != nil {
+		return nil, err
+	}
+	p.AuthzData = az
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// AuthService handles an AS exchange: it authenticates the client via
+// pre-authentication (if required) and issues a ticket for the requested
+// server, sealing the session key toward the client.
+func (k *KDC) AuthService(req *ASRequest) (*ASReply, error) {
+	clientKey, err := k.keyFor(req.Client)
+	if err != nil {
+		return nil, err
+	}
+	now := k.clk.Now()
+	if k.RequirePreauth {
+		if req.Preauth == nil {
+			return nil, ErrPreauthRequired
+		}
+		pt, err := clientKey.Open(req.Preauth)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPreauthFailed, err)
+		}
+		d := wire.NewDecoder(pt)
+		ts := d.Time()
+		if err := d.Finish(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPreauthFailed, err)
+		}
+		if ts.Before(now.Add(-MaxSkew)) || ts.After(now.Add(MaxSkew)) {
+			return nil, fmt.Errorf("%w: preauth timestamp %v", ErrSkew, ts)
+		}
+	}
+	server := req.Server
+	if server.IsZero() {
+		server = k.tgs
+	}
+	return k.issue(req.Client, server, req.Lifetime, req.Nonce, req.Restrictions, clientKey)
+}
+
+// issue builds a ticket for (client → server) and a reply sealed under
+// replyKey.
+func (k *KDC) issue(client, server principal.ID, lifetime time.Duration, nonce []byte, authz restrict.Set, replyKey *kcrypto.SymmetricKey) (*ASReply, error) {
+	serverKey, err := k.keyFor(server)
+	if err != nil {
+		return nil, err
+	}
+	sessionKey, err := kcrypto.NewSymmetricKey()
+	if err != nil {
+		return nil, err
+	}
+	if lifetime <= 0 || lifetime > k.MaxLife {
+		lifetime = k.MaxLife
+	}
+	now := k.clk.Now()
+	tnonce, err := kcrypto.Nonce(16)
+	if err != nil {
+		return nil, err
+	}
+	body := &ticketBody{
+		Client:     client,
+		SessionKey: sessionKey.Bytes(),
+		AuthzData:  authz,
+		IssuedAt:   now,
+		Expires:    now.Add(lifetime),
+		Nonce:      tnonce,
+	}
+	sealed, err := serverKey.Seal(body.marshal())
+	if err != nil {
+		return nil, err
+	}
+	enc := &encReplyPart{
+		SessionKey: sessionKey.Bytes(),
+		Nonce:      nonce,
+		Server:     server,
+		Expires:    body.Expires,
+		AuthzData:  authz,
+	}
+	encSealed, err := replyKey.Seal(enc.marshal())
+	if err != nil {
+		return nil, err
+	}
+	return &ASReply{
+		Ticket:  &Ticket{Server: server, Sealed: sealed},
+		EncPart: encSealed,
+	}, nil
+}
+
+// TGSRequest asks the ticket-granting server for a ticket to a new
+// server, based on existing credentials (normally a TGT). Restrictions
+// may be added but never removed (§6.2).
+type TGSRequest struct {
+	// Ticket is the TGT (or a proxy for the TGS, §6.3).
+	Ticket *Ticket
+	// GrantChain carries the proxy authenticators when the TGT is held
+	// as a proxy: GrantChain[0] is sealed under the TGT session key,
+	// GrantChain[i] under the subkey established by GrantChain[i-1].
+	// Each carries added restrictions and establishes the next proxy
+	// key. Empty for ordinary requests.
+	GrantChain [][]byte
+	// Authenticator is the fresh proof of possession: sealed under the
+	// final proxy key from GrantChain, or under the TGT session key when
+	// GrantChain is empty. Its authorization-data adds restrictions; its
+	// subkey, if set, seals the reply.
+	Authenticator []byte
+	// Server is the target service.
+	Server principal.ID
+	// Lifetime requested.
+	Lifetime time.Duration
+	// Nonce is echoed in the sealed reply.
+	Nonce []byte
+}
+
+// TicketGrantingService handles a TGS exchange: it opens the presented
+// ticket with its own key, validates the grant chain and the fresh
+// authenticator, and issues a ticket for the target carrying the
+// accumulated restrictions. When the TGT is held as a proxy, the issued
+// ticket still names the original client — the proxy conveys the
+// grantor's rights ("Such a proxy allows the grantee to obtain proxies
+// with identical restrictions for additional end-servers as needed",
+// §6.3).
+func (k *KDC) TicketGrantingService(req *TGSRequest) (*ASReply, error) {
+	if req.Ticket == nil {
+		return nil, fmt.Errorf("%w: missing ticket", ErrBadTicket)
+	}
+	tgsKey, err := k.crossRealmTicketKey(req.Ticket.Server)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := tgsKey.Open(req.Ticket.Sealed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTicket, err)
+	}
+	body, err := unmarshalTicketBody(pt)
+	if err != nil {
+		return nil, err
+	}
+	now := k.clk.Now()
+	if !now.Before(body.Expires) {
+		return nil, fmt.Errorf("%w: at %v", ErrExpired, body.Expires)
+	}
+	sessionKey, err := kcrypto.SymmetricKeyFromBytes(body.SessionKey)
+	if err != nil {
+		return nil, err
+	}
+
+	// Walk the grant chain: restrictions accumulate and each link hands
+	// the key to the next. Grant authenticators are not freshness
+	// checked — they were made when the proxy was granted — but must
+	// fall inside the ticket's validity.
+	authz := body.AuthzData
+	proofKey := sessionKey
+	for i, sealedGrant := range req.GrantChain {
+		a, err := openAuthenticator(sealedGrant, proofKey)
+		if err != nil {
+			return nil, fmt.Errorf("grant %d: %w", i, err)
+		}
+		if a.Timestamp.Before(body.IssuedAt.Add(-MaxSkew)) || a.Timestamp.After(body.Expires) {
+			return nil, fmt.Errorf("grant %d: %w: granted at %v", i, ErrSkew, a.Timestamp)
+		}
+		if len(a.Subkey) == 0 {
+			return nil, fmt.Errorf("grant %d: %w: proxy grant lacks subkey", i, ErrBadAuthenticator)
+		}
+		authz = authz.Merge(a.AuthzData)
+		if proofKey, err = kcrypto.SymmetricKeyFromBytes(a.Subkey); err != nil {
+			return nil, fmt.Errorf("grant %d subkey: %w", i, err)
+		}
+	}
+
+	// The final authenticator is the fresh proof of possession.
+	a, err := openAuthenticator(req.Authenticator, proofKey)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.checkAuthenticator(a, now); err != nil {
+		return nil, err
+	}
+	if len(req.GrantChain) == 0 && a.Client != body.Client {
+		return nil, fmt.Errorf("%w: authenticator client %s != ticket client %s",
+			ErrBadAuthenticator, a.Client, body.Client)
+	}
+	authz = authz.Merge(a.AuthzData)
+	replyKey := proofKey
+	if len(a.Subkey) > 0 {
+		if replyKey, err = kcrypto.SymmetricKeyFromBytes(a.Subkey); err != nil {
+			return nil, err
+		}
+	}
+
+	lifetime := req.Lifetime
+	if remaining := body.Expires.Sub(now); lifetime <= 0 || lifetime > remaining {
+		lifetime = remaining // derived tickets never outlive the TGT
+	}
+	return k.issue(body.Client, req.Server, lifetime, req.Nonce, authz, replyKey)
+}
+
+func (k *KDC) checkAuthenticator(a *Authenticator, now time.Time) error {
+	if a.Timestamp.Before(now.Add(-MaxSkew)) || a.Timestamp.After(now.Add(MaxSkew)) {
+		return fmt.Errorf("%w: authenticator at %v", ErrSkew, a.Timestamp)
+	}
+	key := fmt.Sprintf("tgs-auth:%s:%x", a.Client, a.Nonce)
+	if err := k.replay.Seen(key, a.Timestamp.Add(2*MaxSkew)); err != nil {
+		return fmt.Errorf("%w: %v", ErrReplay, err)
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+// Package kerberos is a miniature Kerberos V5-style authentication
+// substrate: an authentication server and ticket-granting server (the
+// KDC), tickets carrying authorization-data, and authenticators with
+// subkeys — exactly the features §6.2 of the paper relies on to carry
+// restricted proxies in conventional cryptography.
+//
+// "The Version 5 ticket and authenticator each have a new field called
+// authorization-data. ... Each subfield places additional restrictions
+// on the use of credentials, never removing restrictions or granting
+// additional privileges. ... To add restrictions to an existing ticket,
+// a client generates an authenticator specifying a proxy key in the
+// subkey field and specifying additional restrictions in the
+// authorization-data field. The ticket and authenticator are treated as
+// the new proxy and provided with the new proxy key to the grantee."
+//
+// The crypto is modernized (AES+HMAC sealing instead of DES) but the
+// protocol structure — what is sealed under which key, what each message
+// contains — follows the paper and the V5 specification it cites.
+package kerberos
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/principal"
+	"proxykit/internal/restrict"
+	"proxykit/internal/wire"
+)
+
+// Protocol errors.
+var (
+	ErrUnknownPrincipal = errors.New("kerberos: unknown principal")
+	ErrBadTicket        = errors.New("kerberos: ticket did not decrypt or parse")
+	ErrBadAuthenticator = errors.New("kerberos: authenticator did not decrypt or parse")
+	ErrExpired          = errors.New("kerberos: ticket expired")
+	ErrSkew             = errors.New("kerberos: clock skew exceeded")
+	ErrReplay           = errors.New("kerberos: authenticator replayed")
+	ErrPreauthRequired  = errors.New("kerberos: pre-authentication required")
+	ErrPreauthFailed    = errors.New("kerberos: pre-authentication failed")
+	ErrBadNonce         = errors.New("kerberos: reply nonce mismatch")
+	ErrWrongServer      = errors.New("kerberos: ticket issued for another server")
+)
+
+// MaxSkew is the default tolerated clock skew, matching Kerberos
+// practice.
+const MaxSkew = 5 * time.Minute
+
+// Ticket is a credential naming an authenticated client, sealed under
+// the secret key shared by the end-server and the KDC. Only the server
+// name travels in the clear.
+type Ticket struct {
+	// Server is the service the ticket is for.
+	Server principal.ID
+	// Sealed is the ticket body, sealed under the server's secret key.
+	Sealed []byte
+}
+
+// ticketBody is the confidential interior of a Ticket.
+type ticketBody struct {
+	Client     principal.ID
+	SessionKey []byte
+	// AuthzData carries the restrictions placed on these credentials
+	// (the ticket's authorization-data field).
+	AuthzData restrict.Set
+	IssuedAt  time.Time
+	Expires   time.Time
+	Nonce     []byte
+}
+
+func (tb *ticketBody) marshal() []byte {
+	e := wire.NewEncoder(256)
+	e.String("krb-ticket-v1")
+	tb.Client.Encode(e)
+	e.Bytes32(tb.SessionKey)
+	tb.AuthzData.Encode(e)
+	e.Time(tb.IssuedAt)
+	e.Time(tb.Expires)
+	e.Bytes32(tb.Nonce)
+	return e.Bytes()
+}
+
+func unmarshalTicketBody(b []byte) (*ticketBody, error) {
+	d := wire.NewDecoder(b)
+	if magic := d.String(); magic != "krb-ticket-v1" {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTicket)
+	}
+	tb := &ticketBody{}
+	tb.Client = principal.DecodeID(d)
+	tb.SessionKey = d.Bytes32()
+	az, err := restrict.Decode(d)
+	if err != nil {
+		return nil, fmt.Errorf("%w: authz-data: %v", ErrBadTicket, err)
+	}
+	tb.AuthzData = az
+	tb.IssuedAt = d.Time()
+	tb.Expires = d.Time()
+	tb.Nonce = d.Bytes32()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTicket, err)
+	}
+	return tb, nil
+}
+
+// Marshal encodes the ticket for the wire.
+func (t *Ticket) Marshal() []byte {
+	e := wire.NewEncoder(64 + len(t.Sealed))
+	t.Server.Encode(e)
+	e.Bytes32(t.Sealed)
+	return e.Bytes()
+}
+
+// UnmarshalTicket parses a wire-encoded ticket.
+func UnmarshalTicket(b []byte) (*Ticket, error) {
+	d := wire.NewDecoder(b)
+	t := &Ticket{}
+	t.Server = principal.DecodeID(d)
+	t.Sealed = d.Bytes32()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTicket, err)
+	}
+	return t, nil
+}
+
+// Credentials couple a ticket with the session key the client uses with
+// it. "Credentials consist of two parts: a ticket, and a session key."
+type Credentials struct {
+	// Client is the authenticated principal.
+	Client principal.ID
+	// Ticket is presented to the end-server.
+	Ticket *Ticket
+	// SessionKey is shared with the end-server via the ticket; it never
+	// crosses the network in the clear.
+	SessionKey *kcrypto.SymmetricKey
+	// AuthzData mirrors the restrictions sealed into the ticket so the
+	// client knows what it holds.
+	AuthzData restrict.Set
+	// Expires is the ticket's expiry.
+	Expires time.Time
+}
+
+// Authenticator proves possession of a session key (or subkey) at a
+// point in time, and optionally establishes a subkey and additional
+// authorization-data restrictions — the proxy mechanism of §6.2.
+type Authenticator struct {
+	// Client is the principal generating the authenticator.
+	Client principal.ID
+	// Timestamp is the generation instant; servers reject stale or
+	// replayed authenticators.
+	Timestamp time.Time
+	// Subkey optionally establishes a new key — the proxy key when the
+	// authenticator creates a proxy.
+	Subkey []byte
+	// AuthzData carries additional restrictions, never removals.
+	AuthzData restrict.Set
+	// Checksum binds the application request the authenticator
+	// accompanies.
+	Checksum []byte
+	// Nonce makes the authenticator unique for replay detection.
+	Nonce []byte
+}
+
+func (a *Authenticator) marshal() []byte {
+	e := wire.NewEncoder(256)
+	e.String("krb-auth-v1")
+	a.Client.Encode(e)
+	e.Time(a.Timestamp)
+	e.Bytes32(a.Subkey)
+	a.AuthzData.Encode(e)
+	e.Bytes32(a.Checksum)
+	e.Bytes32(a.Nonce)
+	return e.Bytes()
+}
+
+func unmarshalAuthenticator(b []byte) (*Authenticator, error) {
+	d := wire.NewDecoder(b)
+	if magic := d.String(); magic != "krb-auth-v1" {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadAuthenticator)
+	}
+	a := &Authenticator{}
+	a.Client = principal.DecodeID(d)
+	a.Timestamp = d.Time()
+	a.Subkey = d.Bytes32()
+	az, err := restrict.Decode(d)
+	if err != nil {
+		return nil, fmt.Errorf("%w: authz-data: %v", ErrBadAuthenticator, err)
+	}
+	a.AuthzData = az
+	a.Checksum = d.Bytes32()
+	a.Nonce = d.Bytes32()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadAuthenticator, err)
+	}
+	return a, nil
+}
+
+// seal encrypts the authenticator under key.
+func (a *Authenticator) seal(key *kcrypto.SymmetricKey) ([]byte, error) {
+	return key.Seal(a.marshal())
+}
+
+// openAuthenticator decrypts and parses an authenticator sealed under
+// key.
+func openAuthenticator(sealed []byte, key *kcrypto.SymmetricKey) (*Authenticator, error) {
+	pt, err := key.Open(sealed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadAuthenticator, err)
+	}
+	return unmarshalAuthenticator(pt)
+}
+
+// KeyFromPassword derives a principal's long-term secret key from a
+// password (string-to-key).
+func KeyFromPassword(id principal.ID, password string) (*kcrypto.SymmetricKey, error) {
+	material := kcrypto.Digest([]byte("krb-s2k:" + id.String() + ":" + password))
+	return kcrypto.SymmetricKeyFromBytes(material)
+}

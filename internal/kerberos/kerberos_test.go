@@ -1,0 +1,551 @@
+package kerberos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"proxykit/internal/clock"
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/principal"
+	"proxykit/internal/restrict"
+)
+
+const realm = "ISI.EDU"
+
+var (
+	uAlice = principal.New("alice", realm)
+	uBob   = principal.New("bob", realm)
+	svFile = principal.New("file/sv1", realm)
+)
+
+type world struct {
+	t      *testing.T
+	clk    *clock.Fake
+	kdc    *KDC
+	alice  *Client
+	bob    *Client
+	fileSv *Server
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	clk := clock.NewFake(time.Unix(5_000_000, 0))
+	kdc, err := NewKDC(realm, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &world{t: t, clk: clk, kdc: kdc}
+
+	aliceKey, err := kdc.RegisterWithPassword(uAlice, "alice-password")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.alice = NewClient(uAlice, aliceKey, clk)
+
+	bobKey, err := kdc.RegisterWithPassword(uBob, "bob-password")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.bob = NewClient(uBob, bobKey, clk)
+
+	fileKey, err := kcrypto.NewSymmetricKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kdc.Register(svFile, fileKey); err != nil {
+		t.Fatal(err)
+	}
+	w.fileSv = NewServer(svFile, fileKey, clk)
+	return w
+}
+
+func (w *world) login() *Credentials {
+	w.t.Helper()
+	tgt, err := w.alice.Login(w.kdc, w.kdc.TGS(), time.Hour, nil)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return tgt
+}
+
+func (w *world) fileCreds(tgt *Credentials) *Credentials {
+	w.t.Helper()
+	creds, err := w.alice.RequestTicket(w.kdc, tgt, svFile, time.Hour, nil)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return creds
+}
+
+func TestLoginAndAPExchange(t *testing.T) {
+	w := newWorld(t)
+	tgt := w.login()
+	if tgt.Client != uAlice || tgt.Ticket.Server != w.kdc.TGS() {
+		t.Fatalf("tgt = %+v", tgt)
+	}
+	creds := w.fileCreds(tgt)
+	if creds.Ticket.Server != svFile {
+		t.Fatalf("server = %v", creds.Ticket.Server)
+	}
+
+	req, err := w.alice.MakeAPRequest(creds, kcrypto.Digest([]byte("read /etc/motd")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := w.fileSv.VerifyAPRequest(req, kcrypto.Digest([]byte("read /etc/motd")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Client != uAlice || ctx.Presenter != uAlice {
+		t.Fatalf("ctx = %+v", ctx)
+	}
+
+	// Mutual authentication round trip.
+	ts := w.clk.Now()
+	reply, err := w.fileSv.MutualReply(ctx, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMutualReply(reply, creds.SessionKey, ts); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMutualReply(reply, creds.SessionKey, ts.Add(time.Second)); err == nil {
+		t.Fatal("wrong timestamp accepted")
+	}
+}
+
+func TestLoginWrongPassword(t *testing.T) {
+	w := newWorld(t)
+	badKey, _ := KeyFromPassword(uAlice, "wrong")
+	impostor := NewClient(uAlice, badKey, w.clk)
+	if _, err := impostor.Login(w.kdc, w.kdc.TGS(), time.Hour, nil); !errors.Is(err, ErrPreauthFailed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoginUnknownPrincipal(t *testing.T) {
+	w := newWorld(t)
+	key, _ := kcrypto.NewSymmetricKey()
+	ghost := NewClient(principal.New("ghost", realm), key, w.clk)
+	if _, err := ghost.Login(w.kdc, w.kdc.TGS(), time.Hour, nil); !errors.Is(err, ErrUnknownPrincipal) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPreauthRequired(t *testing.T) {
+	w := newWorld(t)
+	if _, err := w.kdc.AuthService(&ASRequest{Client: uAlice}); !errors.Is(err, ErrPreauthRequired) {
+		t.Fatalf("err = %v", err)
+	}
+	w.kdc.RequirePreauth = false
+	if _, err := w.kdc.AuthService(&ASRequest{Client: uAlice, Lifetime: time.Hour}); err != nil {
+		t.Fatalf("preauth disabled: %v", err)
+	}
+}
+
+func TestPreauthStaleTimestamp(t *testing.T) {
+	w := newWorld(t)
+	tgtReq := func() error {
+		_, err := w.alice.Login(w.kdc, w.kdc.TGS(), time.Hour, nil)
+		return err
+	}
+	if err := tgtReq(); err != nil {
+		t.Fatal(err)
+	}
+	// A client whose clock is far behind fails preauth.
+	w.clk.Advance(-time.Hour)
+	slow := NewClient(uAlice, w.alice.key, clock.NewFake(w.clk.Now().Add(-2*time.Hour)))
+	_ = slow
+	w.clk.Advance(time.Hour)
+	skewed := NewClient(uAlice, w.alice.key, clock.NewFake(w.clk.Now().Add(-time.Hour)))
+	if _, err := skewed.Login(w.kdc, w.kdc.TGS(), time.Hour, nil); !errors.Is(err, ErrSkew) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTicketExpiry(t *testing.T) {
+	w := newWorld(t)
+	tgt := w.login()
+	creds := w.fileCreds(tgt)
+	w.clk.Advance(2 * time.Hour)
+	req, err := w.alice.MakeAPRequest(creds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.fileSv.VerifyAPRequest(req, nil); !errors.Is(err, ErrExpired) {
+		t.Fatalf("err = %v", err)
+	}
+	// Expired TGT can't fetch new tickets either.
+	if _, err := w.alice.RequestTicket(w.kdc, tgt, svFile, time.Hour, nil); !errors.Is(err, ErrExpired) {
+		t.Fatalf("tgs err = %v", err)
+	}
+}
+
+func TestDerivedTicketNeverOutlivesTGT(t *testing.T) {
+	w := newWorld(t)
+	tgt, err := w.alice.Login(w.kdc, w.kdc.TGS(), 30*time.Minute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	creds, err := w.alice.RequestTicket(w.kdc, tgt, svFile, 10*time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if creds.Expires.After(tgt.Expires) {
+		t.Fatalf("derived ticket %v outlives TGT %v", creds.Expires, tgt.Expires)
+	}
+}
+
+func TestAPReplayRejected(t *testing.T) {
+	w := newWorld(t)
+	creds := w.fileCreds(w.login())
+	req, err := w.alice.MakeAPRequest(creds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.fileSv.VerifyAPRequest(req, nil); err != nil {
+		t.Fatal(err)
+	}
+	// An eavesdropper replays the same request.
+	if _, err := w.fileSv.VerifyAPRequest(req, nil); !errors.Is(err, ErrReplay) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAPSkewRejected(t *testing.T) {
+	w := newWorld(t)
+	creds := w.fileCreds(w.login())
+	req, err := w.alice.MakeAPRequest(creds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.clk.Advance(MaxSkew + time.Minute)
+	if _, err := w.fileSv.VerifyAPRequest(req, nil); !errors.Is(err, ErrSkew) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAPChecksumBinding(t *testing.T) {
+	w := newWorld(t)
+	creds := w.fileCreds(w.login())
+	req, err := w.alice.MakeAPRequest(creds, kcrypto.Digest([]byte("real request")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.fileSv.VerifyAPRequest(req, kcrypto.Digest([]byte("forged request"))); !errors.Is(err, ErrBadAuthenticator) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTicketForWrongServerRejected(t *testing.T) {
+	w := newWorld(t)
+	tgt := w.login()
+	// Present the TGT (for krbtgt) to the file server.
+	req, err := w.alice.MakeAPRequest(tgt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.fileSv.VerifyAPRequest(req, nil); !errors.Is(err, ErrWrongServer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStolenTicketWithoutSessionKeyUseless(t *testing.T) {
+	w := newWorld(t)
+	creds := w.fileCreds(w.login())
+	// Attacker has the ticket but fabricates an authenticator under a
+	// guessed key.
+	guess, _ := kcrypto.NewSymmetricKey()
+	forged := &Authenticator{Client: uAlice, Timestamp: w.clk.Now(), Nonce: []byte("n")}
+	sealed, _ := forged.seal(guess)
+	req := &APRequest{Ticket: creds.Ticket, Authenticator: sealed}
+	if _, err := w.fileSv.VerifyAPRequest(req, nil); !errors.Is(err, ErrBadAuthenticator) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRestrictionsCarriedAndAdditive(t *testing.T) {
+	w := newWorld(t)
+	// Login with an initial restriction (§6.3).
+	initial := restrict.Set{restrict.Quota{Currency: "pages", Limit: 100}}
+	tgt, err := w.alice.Login(w.kdc, w.kdc.TGS(), time.Hour, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tgt.AuthzData) != 1 {
+		t.Fatalf("tgt authz = %v", tgt.AuthzData)
+	}
+	// Request a service ticket adding a narrower quota.
+	added := restrict.Set{restrict.Quota{Currency: "pages", Limit: 10}}
+	creds, err := w.alice.RequestTicket(w.kdc, tgt, svFile, time.Hour, added)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := creds.AuthzData.Quotas()["pages"]; q != 10 {
+		t.Fatalf("effective quota = %d", q)
+	}
+	// The end-server sees the accumulated set inside the ticket.
+	req, err := w.alice.MakeAPRequest(creds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := w.fileSv.VerifyAPRequest(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := ctx.Restrictions.Quotas()["pages"]; q != 10 {
+		t.Fatalf("server-side quota = %d", q)
+	}
+}
+
+func TestProxyGrantPresentVerify(t *testing.T) {
+	w := newWorld(t)
+	creds := w.fileCreds(w.login())
+
+	// Alice creates a read-only proxy and hands it to Bob.
+	added := restrict.Set{restrict.Authorized{Entries: []restrict.AuthorizedEntry{
+		{Object: "/etc/motd", Ops: []string{"read"}},
+	}}}
+	px, err := MakeProxy(creds, added, w.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bob presents it (bearer: possession of the proxy key).
+	pp, err := px.Present(uBob, nil, w.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := w.fileSv.VerifyProxy(pp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Client != uAlice {
+		t.Fatalf("rights of %v, want alice", ctx.Client)
+	}
+	if ctx.Presenter != uBob {
+		t.Fatalf("presenter = %v", ctx.Presenter)
+	}
+	rctx := &restrict.Context{Server: svFile, Object: "/etc/motd", Operation: "read"}
+	if err := ctx.Restrictions.Check(rctx); err != nil {
+		t.Fatal(err)
+	}
+	rctx.Operation = "write"
+	if err := ctx.Restrictions.Check(rctx); err == nil {
+		t.Fatal("write allowed through read-only proxy")
+	}
+}
+
+func TestProxyCascadeAccumulates(t *testing.T) {
+	w := newWorld(t)
+	creds := w.fileCreds(w.login())
+	px, err := MakeProxy(creds, restrict.Set{restrict.Quota{Currency: "pages", Limit: 100}}, w.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	px2, err := px.Cascade(restrict.Set{restrict.Quota{Currency: "pages", Limit: 5}}, w.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := px2.Present(uBob, nil, w.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := w.fileSv.VerifyProxy(pp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := ctx.Restrictions.Quotas()["pages"]; q != 5 {
+		t.Fatalf("quota = %d, want 5", q)
+	}
+	// The original (wider) proxy key can no longer present the extended
+	// chain.
+	forged := &ProxyPresentation{Ticket: px2.Ticket, GrantChain: px2.GrantChain}
+	proof := &Authenticator{Client: uBob, Timestamp: w.clk.Now(), Nonce: []byte("x")}
+	sealed, _ := proof.seal(px.Key) // old key
+	forged.Proof = sealed
+	if _, err := w.fileSv.VerifyProxy(forged, nil); err == nil {
+		t.Fatal("old proxy key accepted for extended chain")
+	}
+}
+
+func TestProxyProofReplayRejected(t *testing.T) {
+	w := newWorld(t)
+	creds := w.fileCreds(w.login())
+	px, err := MakeProxy(creds, nil, w.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := px.Present(uBob, nil, w.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.fileSv.VerifyProxy(pp, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.fileSv.VerifyProxy(pp, nil); !errors.Is(err, ErrReplay) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProxyPresentationLongAfterGrant(t *testing.T) {
+	w := newWorld(t)
+	creds := w.fileCreds(w.login())
+	px, err := MakeProxy(creds, nil, w.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 minutes pass (well beyond authenticator skew but within ticket
+	// life) — the proxy must still be presentable.
+	w.clk.Advance(30 * time.Minute)
+	pp, err := px.Present(uBob, nil, w.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.fileSv.VerifyProxy(pp, nil); err != nil {
+		t.Fatalf("aged proxy rejected: %v", err)
+	}
+}
+
+func TestProxyEmptyChainRejected(t *testing.T) {
+	w := newWorld(t)
+	creds := w.fileCreds(w.login())
+	pp := &ProxyPresentation{Ticket: creds.Ticket, Proof: []byte("junk")}
+	if _, err := w.fileSv.VerifyProxy(pp, nil); !errors.Is(err, ErrBadAuthenticator) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTGSProxyFlow(t *testing.T) {
+	w := newWorld(t)
+	// Alice takes a TGT and grants Bob a proxy for the ticket-granting
+	// service itself (§6.3), restricted to reading one file.
+	tgt := w.login()
+	rs := restrict.Set{restrict.Authorized{Entries: []restrict.AuthorizedEntry{
+		{Object: "/etc/motd", Ops: []string{"read"}},
+	}}}
+	px, err := MakeProxy(tgt, rs, w.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bob uses the proxy to obtain a ticket for the file server.
+	creds, err := RequestTicketWithProxy(w.kdc, px, uBob, svFile, time.Hour, w.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if creds.Client != uAlice {
+		t.Fatalf("ticket names %v, want alice (grantor's rights)", creds.Client)
+	}
+	// The restriction followed the proxy into the new ticket.
+	if len(creds.AuthzData) == 0 {
+		t.Fatal("restrictions not carried into derived ticket")
+	}
+
+	// Bob presents the derived credentials to the file server.
+	bobView := NewClient(uAlice, nil, w.clk) // session key in creds is what matters
+	req, err := bobView.MakeAPRequest(creds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := w.fileSv.VerifyAPRequest(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rctx := &restrict.Context{Server: svFile, Object: "/etc/motd", Operation: "read"}
+	if err := ctx.Restrictions.Check(rctx); err != nil {
+		t.Fatal(err)
+	}
+	rctx.Object = "/etc/passwd"
+	if err := ctx.Restrictions.Check(rctx); err == nil {
+		t.Fatal("derived ticket exceeded proxy restrictions")
+	}
+}
+
+func TestTGSRejectsNonTGSTicket(t *testing.T) {
+	w := newWorld(t)
+	creds := w.fileCreds(w.login())
+	_, err := w.alice.RequestTicket(w.kdc, creds, svFile, time.Hour, nil)
+	if !errors.Is(err, ErrWrongServer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTGSAuthenticatorClientMismatch(t *testing.T) {
+	w := newWorld(t)
+	tgt := w.login()
+	// Bob steals Alice's TGT and session key is unknown to him; but even
+	// with the session key (insider), the authenticator client must
+	// match the ticket client.
+	stolen := &Credentials{Client: uBob, Ticket: tgt.Ticket, SessionKey: tgt.SessionKey, Expires: tgt.Expires}
+	if _, err := w.bob.RequestTicket(w.kdc, stolen, svFile, time.Hour, nil); !errors.Is(err, ErrBadAuthenticator) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTicketMarshalRoundTrip(t *testing.T) {
+	w := newWorld(t)
+	tgt := w.login()
+	b := tgt.Ticket.Marshal()
+	got, err := UnmarshalTicket(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Server != tgt.Ticket.Server || string(got.Sealed) != string(tgt.Ticket.Sealed) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := UnmarshalTicket([]byte("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRegisterOutsideRealmRejected(t *testing.T) {
+	w := newWorld(t)
+	key, _ := kcrypto.NewSymmetricKey()
+	if err := w.kdc.Register(principal.New("x", "OTHER.REALM"), key); err == nil {
+		t.Fatal("foreign principal registered")
+	}
+}
+
+func TestTamperedTicketRejected(t *testing.T) {
+	w := newWorld(t)
+	creds := w.fileCreds(w.login())
+	bad := &Ticket{Server: creds.Ticket.Server, Sealed: append([]byte{}, creds.Ticket.Sealed...)}
+	bad.Sealed[len(bad.Sealed)/2] ^= 0x01
+	req, err := w.alice.MakeAPRequest(&Credentials{
+		Client: uAlice, Ticket: bad, SessionKey: creds.SessionKey, Expires: creds.Expires,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.fileSv.VerifyAPRequest(req, nil); !errors.Is(err, ErrBadTicket) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewClientWithPassword(t *testing.T) {
+	w := newWorld(t)
+	c, err := NewClientWithPassword(uAlice, "alice-password", w.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Login(w.kdc, w.kdc.TGS(), time.Hour, nil); err != nil {
+		t.Fatalf("password-derived client cannot log in: %v", err)
+	}
+	if w.kdc.Realm() != realm {
+		t.Fatalf("realm = %q", w.kdc.Realm())
+	}
+}
+
+func TestServerAcceptOnceRegistry(t *testing.T) {
+	w := newWorld(t)
+	reg := w.fileSv.AcceptOnceRegistry()
+	exp := w.clk.Now().Add(time.Hour)
+	if err := reg.Accept("g", "check-1", exp); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Accept("g", "check-1", exp); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}

@@ -1,0 +1,238 @@
+// Package principal defines the naming model for parties in proxykit.
+//
+// A principal is identified by a name within a realm, written
+// "name@REALM" (the paper builds on Kerberos naming, §6.2). Groups and
+// accounts are named globally as the composition of the identity of the
+// server maintaining them and a local name on that server (§3.3, §4),
+// written "local%server@REALM". Compound principals (§3.5) express the
+// required concurrence of several principals in a single ACL entry.
+package principal
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"proxykit/internal/wire"
+)
+
+// Parsing errors.
+var (
+	ErrBadName   = errors.New("principal: malformed principal name")
+	ErrBadGlobal = errors.New("principal: malformed global name")
+)
+
+// ID identifies a principal: a user, host, or service within a realm.
+// The zero value is the anonymous principal.
+type ID struct {
+	// Name is the principal's name within the realm, e.g. "bcn" or
+	// "file/server1".
+	Name string
+	// Realm is the administrative domain, e.g. "ISI.EDU".
+	Realm string
+}
+
+// New returns the ID for name within realm.
+func New(name, realm string) ID { return ID{Name: name, Realm: realm} }
+
+// Parse parses "name@REALM". The name part may contain '/' components
+// (service names) but not '@' or '%'.
+func Parse(s string) (ID, error) {
+	at := strings.LastIndexByte(s, '@')
+	if at <= 0 || at == len(s)-1 {
+		return ID{}, fmt.Errorf("%w: %q", ErrBadName, s)
+	}
+	name, realm := s[:at], s[at+1:]
+	if strings.ContainsAny(name, "@%") || strings.ContainsAny(realm, "@%/") {
+		return ID{}, fmt.Errorf("%w: %q", ErrBadName, s)
+	}
+	return ID{Name: name, Realm: realm}, nil
+}
+
+// String renders the ID as "name@REALM".
+func (id ID) String() string {
+	if id.IsZero() {
+		return "<anonymous>"
+	}
+	return id.Name + "@" + id.Realm
+}
+
+// IsZero reports whether the ID is the anonymous principal.
+func (id ID) IsZero() bool { return id.Name == "" && id.Realm == "" }
+
+// Less orders IDs lexicographically by realm then name, giving compound
+// principals a canonical form.
+func (id ID) Less(o ID) bool {
+	if id.Realm != o.Realm {
+		return id.Realm < o.Realm
+	}
+	return id.Name < o.Name
+}
+
+// Encode appends the ID to e in canonical form.
+func (id ID) Encode(e *wire.Encoder) {
+	e.String(id.Name)
+	e.String(id.Realm)
+}
+
+// DecodeID reads an ID encoded by Encode.
+func DecodeID(d *wire.Decoder) ID {
+	name := d.String()
+	realm := d.String()
+	return ID{Name: name, Realm: realm}
+}
+
+// Global names an object maintained by a particular server: a group on a
+// group server (§3.3) or an account on an accounting server (§4). The
+// paper: "a global name of a group is composed of the name of the group
+// server, and the name of the group on that server."
+type Global struct {
+	// Server is the principal identity of the maintaining server.
+	Server ID
+	// Name is the object's local name on that server.
+	Name string
+}
+
+// NewGlobal composes a global name.
+func NewGlobal(server ID, name string) Global {
+	return Global{Server: server, Name: name}
+}
+
+// ParseGlobal parses "local%server@REALM".
+func ParseGlobal(s string) (Global, error) {
+	pct := strings.IndexByte(s, '%')
+	if pct <= 0 || pct == len(s)-1 {
+		return Global{}, fmt.Errorf("%w: %q", ErrBadGlobal, s)
+	}
+	srv, err := Parse(s[pct+1:])
+	if err != nil {
+		return Global{}, fmt.Errorf("%w: %q: %v", ErrBadGlobal, s, err)
+	}
+	return Global{Server: srv, Name: s[:pct]}, nil
+}
+
+// String renders the global name as "local%server@REALM".
+func (g Global) String() string { return g.Name + "%" + g.Server.String() }
+
+// IsZero reports whether the name is empty.
+func (g Global) IsZero() bool { return g.Server.IsZero() && g.Name == "" }
+
+// Encode appends the global name to e.
+func (g Global) Encode(e *wire.Encoder) {
+	g.Server.Encode(e)
+	e.String(g.Name)
+}
+
+// DecodeGlobal reads a Global encoded by Encode.
+func DecodeGlobal(d *wire.Decoder) Global {
+	srv := DecodeID(d)
+	name := d.String()
+	return Global{Server: srv, Name: name}
+}
+
+// Compound is a conjunction of principals that must all concur for an
+// operation (§3.5): e.g. both a user and a host credential. A Compound of
+// one ID is equivalent to that ID.
+type Compound []ID
+
+// NewCompound returns a canonical (sorted, deduplicated) compound
+// principal.
+func NewCompound(ids ...ID) Compound {
+	c := make(Compound, 0, len(ids))
+	c = append(c, ids...)
+	sort.Slice(c, func(i, j int) bool { return c[i].Less(c[j]) })
+	out := c[:0]
+	for i, id := range c {
+		if i == 0 || id != c[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// String renders the compound as "a@R+b@R".
+func (c Compound) String() string {
+	parts := make([]string, len(c))
+	for i, id := range c {
+		parts[i] = id.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// SatisfiedBy reports whether every member of the compound appears in
+// present.
+func (c Compound) SatisfiedBy(present []ID) bool {
+	for _, want := range c {
+		found := false
+		for _, have := range present {
+			if have == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode appends the compound to e.
+func (c Compound) Encode(e *wire.Encoder) {
+	e.Uint32(uint32(len(c)))
+	for _, id := range c {
+		id.Encode(e)
+	}
+}
+
+// DecodeCompound reads a Compound encoded by Encode.
+func DecodeCompound(d *wire.Decoder) Compound {
+	n := d.Uint32()
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	if n > wire.MaxSliceLen {
+		return nil
+	}
+	out := make(Compound, 0, min(int(n), 64))
+	for i := uint32(0); i < n; i++ {
+		out = append(out, DecodeID(d))
+		if d.Err() != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// Set is an unordered collection of principal IDs with set operations,
+// used for delegate lists and ACL matching.
+type Set map[ID]struct{}
+
+// NewSet builds a Set from ids.
+func NewSet(ids ...ID) Set {
+	s := make(Set, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports membership.
+func (s Set) Contains(id ID) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// Add inserts id.
+func (s Set) Add(id ID) { s[id] = struct{}{} }
+
+// Slice returns the members in canonical order.
+func (s Set) Slice() []ID {
+	out := make([]ID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

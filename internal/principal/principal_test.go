@@ -1,0 +1,214 @@
+package principal
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"proxykit/internal/wire"
+)
+
+func TestParseValid(t *testing.T) {
+	tests := []struct {
+		in          string
+		name, realm string
+	}{
+		{"bcn@ISI.EDU", "bcn", "ISI.EDU"},
+		{"file/server1@ATHENA.MIT.EDU", "file/server1", "ATHENA.MIT.EDU"},
+		{"krbtgt/ISI.EDU@ISI.EDU", "krbtgt/ISI.EDU", "ISI.EDU"},
+	}
+	for _, tt := range tests {
+		id, err := Parse(tt.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tt.in, err)
+		}
+		if id.Name != tt.name || id.Realm != tt.realm {
+			t.Fatalf("Parse(%q) = %+v", tt.in, id)
+		}
+		if id.String() != tt.in {
+			t.Fatalf("String() = %q, want %q", id.String(), tt.in)
+		}
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	for _, in := range []string{"", "noat", "@REALM", "name@", "a@b@", "a%b@R"} {
+		if _, err := Parse(in); !errors.Is(err, ErrBadName) {
+			t.Fatalf("Parse(%q) err = %v, want ErrBadName", in, err)
+		}
+	}
+}
+
+func TestZeroID(t *testing.T) {
+	var id ID
+	if !id.IsZero() {
+		t.Fatal("zero ID not IsZero")
+	}
+	if id.String() != "<anonymous>" {
+		t.Fatalf("String() = %q", id.String())
+	}
+	if New("a", "R").IsZero() {
+		t.Fatal("real ID IsZero")
+	}
+}
+
+func TestIDEncodeDecode(t *testing.T) {
+	id := New("bcn", "ISI.EDU")
+	e := wire.NewEncoder(0)
+	id.Encode(e)
+	d := wire.NewDecoder(e.Bytes())
+	got := DecodeID(d)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got != id {
+		t.Fatalf("round trip: %v != %v", got, id)
+	}
+}
+
+func TestGlobalParseAndString(t *testing.T) {
+	g, err := ParseGlobal("staff%groups@ISI.EDU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "staff" || g.Server != New("groups", "ISI.EDU") {
+		t.Fatalf("g = %+v", g)
+	}
+	if g.String() != "staff%groups@ISI.EDU" {
+		t.Fatalf("String() = %q", g.String())
+	}
+	for _, in := range []string{"", "nopercent@R", "%srv@R", "name%", "name%bad"} {
+		if _, err := ParseGlobal(in); !errors.Is(err, ErrBadGlobal) {
+			t.Fatalf("ParseGlobal(%q) err = %v", in, err)
+		}
+	}
+}
+
+func TestGlobalEncodeDecode(t *testing.T) {
+	g := NewGlobal(New("acct", "BANK.COM"), "alice-checking")
+	e := wire.NewEncoder(0)
+	g.Encode(e)
+	d := wire.NewDecoder(e.Bytes())
+	got := DecodeGlobal(d)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got != g {
+		t.Fatalf("round trip: %v != %v", got, g)
+	}
+	if g.IsZero() {
+		t.Fatal("IsZero on real global")
+	}
+	var zero Global
+	if !zero.IsZero() {
+		t.Fatal("zero global not IsZero")
+	}
+}
+
+func TestCompoundCanonical(t *testing.T) {
+	a, b := New("a", "R"), New("b", "R")
+	c1 := NewCompound(b, a, b)
+	c2 := NewCompound(a, b)
+	if c1.String() != c2.String() {
+		t.Fatalf("%q != %q", c1.String(), c2.String())
+	}
+	if len(c1) != 2 {
+		t.Fatalf("dedup failed: %v", c1)
+	}
+	if c1.String() != "a@R+b@R" {
+		t.Fatalf("String() = %q", c1.String())
+	}
+}
+
+func TestCompoundSatisfiedBy(t *testing.T) {
+	user, host := New("bcn", "ISI.EDU"), New("host/wks1", "ISI.EDU")
+	c := NewCompound(user, host)
+	tests := []struct {
+		name    string
+		present []ID
+		want    bool
+	}{
+		{"both present", []ID{user, host}, true},
+		{"extra identities ok", []ID{host, New("x", "R"), user}, true},
+		{"user only", []ID{user}, false},
+		{"none", nil, false},
+	}
+	for _, tt := range tests {
+		if got := c.SatisfiedBy(tt.present); got != tt.want {
+			t.Fatalf("%s: got %v", tt.name, got)
+		}
+	}
+	if !NewCompound().SatisfiedBy(nil) {
+		t.Fatal("empty compound should be trivially satisfied")
+	}
+}
+
+func TestCompoundEncodeDecode(t *testing.T) {
+	c := NewCompound(New("a", "R1"), New("b", "R2"))
+	e := wire.NewEncoder(0)
+	c.Encode(e)
+	d := wire.NewDecoder(e.Bytes())
+	got := DecodeCompound(d)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != c.String() {
+		t.Fatalf("round trip: %v != %v", got, c)
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a, b, c := New("a", "R"), New("b", "R"), New("c", "R")
+	s := NewSet(a, b)
+	if !s.Contains(a) || !s.Contains(b) || s.Contains(c) {
+		t.Fatal("membership wrong")
+	}
+	s.Add(c)
+	if !s.Contains(c) {
+		t.Fatal("Add failed")
+	}
+	sl := s.Slice()
+	if len(sl) != 3 || sl[0] != a || sl[2] != c {
+		t.Fatalf("Slice() = %v", sl)
+	}
+}
+
+func TestIDLessOrdering(t *testing.T) {
+	if !New("a", "R1").Less(New("a", "R2")) {
+		t.Fatal("realm should dominate")
+	}
+	if !New("a", "R").Less(New("b", "R")) {
+		t.Fatal("name tiebreak")
+	}
+	if New("b", "R").Less(New("a", "R")) {
+		t.Fatal("not antisymmetric")
+	}
+}
+
+// Property: String/Parse round-trips for well-formed names.
+func TestPropertyParseRoundTrip(t *testing.T) {
+	f := func(nameSeed, realmSeed uint8) bool {
+		name := "user" + string(rune('a'+nameSeed%26))
+		realm := "REALM" + string(rune('A'+realmSeed%26))
+		id := New(name, realm)
+		got, err := Parse(id.String())
+		return err == nil && got == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding garbage never panics.
+func TestPropertyDecodeNoPanic(t *testing.T) {
+	f := func(garbage []byte) bool {
+		d := wire.NewDecoder(garbage)
+		_ = DecodeID(d)
+		_ = DecodeGlobal(d)
+		_ = DecodeCompound(d)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+package proxy
+
+import (
+	"fmt"
+	"time"
+
+	"proxykit/internal/clock"
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/principal"
+	"proxykit/internal/restrict"
+)
+
+// GrantParams describes a request to create the first certificate of a
+// proxy chain.
+type GrantParams struct {
+	// Grantor is the principal on whose behalf the proxy allows access.
+	Grantor principal.ID
+	// GrantorSigner signs the certificate: the grantor's Ed25519 key
+	// pair in public-key mode, or (in conventional mode) a key the
+	// end-server can verify — typically the session key established with
+	// the end-server by the underlying authentication system (§6.2).
+	GrantorSigner kcrypto.Signer
+	// Restrictions to place on the proxy. An empty set grants the
+	// grantor's full rights (an unrestricted proxy).
+	Restrictions restrict.Set
+	// Lifetime bounds the proxy's validity from the moment of grant.
+	Lifetime time.Duration
+	// Mode selects conventional or public-key integration.
+	Mode Mode
+	// EndServerKey seals the proxy key in conventional mode so only the
+	// intended end-server can use it to check proof of possession.
+	// Ignored in public-key mode. Exactly one of EndServerKey and
+	// EndServerECDH must be set in conventional mode.
+	EndServerKey *kcrypto.SymmetricKey
+	// EndServerECDH selects the hybrid mode of §6.1: the symmetric proxy
+	// key is sealed toward the end-server's long-term X25519 public key
+	// via an ephemeral exchange, so no prior shared key is needed.
+	EndServerECDH []byte
+	// Clock supplies the issue time; nil uses the system clock.
+	Clock clock.Clock
+}
+
+// Grant creates a restricted proxy (Fig. 1): it generates a fresh proxy
+// key, binds its verification material into a certificate enumerating
+// the restrictions, and signs the certificate with the grantor's signer.
+func Grant(p GrantParams) (*Proxy, error) {
+	if p.GrantorSigner == nil {
+		return nil, fmt.Errorf("proxy: grant: nil grantor signer")
+	}
+	if p.Lifetime <= 0 {
+		return nil, fmt.Errorf("proxy: grant: nonpositive lifetime")
+	}
+	clk := p.Clock
+	if clk == nil {
+		clk = clock.System{}
+	}
+	key, binding, err := newProxyKey(p.Mode, p.EndServerKey, p.EndServerECDH)
+	if err != nil {
+		return nil, err
+	}
+	now := clk.Now()
+	cert := &Certificate{
+		Grantor:      p.Grantor,
+		Restrictions: p.Restrictions,
+		IssuedAt:     now,
+		Expires:      now.Add(p.Lifetime),
+		Binding:      binding,
+		SigScheme:    p.GrantorSigner.Scheme(),
+	}
+	if cert.Nonce, err = kcrypto.Nonce(16); err != nil {
+		return nil, err
+	}
+	if cert.Signature, err = p.GrantorSigner.Sign(cert.signedBytes()); err != nil {
+		return nil, fmt.Errorf("proxy: grant: sign: %w", err)
+	}
+	return &Proxy{Certs: []*Certificate{cert}, Key: key}, nil
+}
+
+// newProxyKey generates the proxy key for a new certificate and the
+// binding an end-server needs to verify possession.
+func newProxyKey(mode Mode, endServerKey *kcrypto.SymmetricKey, endServerECDH []byte) (kcrypto.Signer, VerifierBinding, error) {
+	switch mode {
+	case ModeConventional:
+		key, err := kcrypto.NewSymmetricKey()
+		if err != nil {
+			return nil, VerifierBinding{}, err
+		}
+		switch {
+		case endServerKey != nil:
+			sealed, err := endServerKey.Seal(key.Bytes())
+			if err != nil {
+				return nil, VerifierBinding{}, err
+			}
+			return key, VerifierBinding{
+				Scheme: kcrypto.SchemeHMAC,
+				KeyID:  key.KeyID(),
+				Sealed: sealed,
+			}, nil
+		case endServerECDH != nil:
+			// Hybrid mode (§6.1): seal the conventional proxy key to the
+			// end-server's public key via an ephemeral exchange.
+			eph, err := kcrypto.NewECDHKey()
+			if err != nil {
+				return nil, VerifierBinding{}, err
+			}
+			shared, err := eph.SharedKey(endServerECDH)
+			if err != nil {
+				return nil, VerifierBinding{}, err
+			}
+			sealed, err := shared.Seal(key.Bytes())
+			if err != nil {
+				return nil, VerifierBinding{}, err
+			}
+			return key, VerifierBinding{
+				Scheme: kcrypto.SchemeHMAC,
+				KeyID:  key.KeyID(),
+				Sealed: sealed,
+				EphPub: eph.PublicBytes(),
+			}, nil
+		default:
+			return nil, VerifierBinding{}, fmt.Errorf("proxy: conventional mode requires an end-server key (shared or ECDH) to seal the proxy key")
+		}
+	case ModePublicKey:
+		kp, err := kcrypto.NewKeyPair()
+		if err != nil {
+			return nil, VerifierBinding{}, err
+		}
+		return kp, VerifierBinding{
+			Scheme: kcrypto.SchemeEd25519,
+			KeyID:  kp.KeyID(),
+			Public: kp.Public().Bytes(),
+		}, nil
+	default:
+		return nil, VerifierBinding{}, fmt.Errorf("%w: %s", ErrUnsupportedMode, mode)
+	}
+}
+
+// CascadeParams describes adding a link to an existing chain (§3.4).
+type CascadeParams struct {
+	// Added restrictions for the new link; they accumulate with the
+	// chain's existing restrictions and cannot remove any.
+	Added restrict.Set
+	// Lifetime bounds the new certificate; the effective chain expiry is
+	// the minimum over all links.
+	Lifetime time.Duration
+	// Mode of the new proxy key.
+	Mode Mode
+	// EndServerKey seals the new proxy key in conventional mode.
+	EndServerKey *kcrypto.SymmetricKey
+	// EndServerECDH selects hybrid sealing (§6.1) for the new key.
+	EndServerECDH []byte
+	// Clock supplies the issue time; nil uses the system clock.
+	Clock clock.Clock
+}
+
+// CascadeBearer extends a bearer chain: the new certificate is signed
+// with the current proxy key ("Restrictions are added by signing a new
+// proxy with the proxy key from the original proxy", §3.4). The caller
+// must hold the proxy key. The returned proxy carries the whole chain
+// and only the new proxy key.
+func (p *Proxy) CascadeBearer(cp CascadeParams) (*Proxy, error) {
+	if p.Key == nil {
+		return nil, ErrNoKey
+	}
+	if len(p.Certs) >= maxChainLen {
+		return nil, fmt.Errorf("%w: chain too long", ErrBadChain)
+	}
+	if cp.Lifetime <= 0 {
+		return nil, fmt.Errorf("proxy: cascade: nonpositive lifetime")
+	}
+	clk := cp.Clock
+	if clk == nil {
+		clk = clock.System{}
+	}
+	key, binding, err := newProxyKey(cp.Mode, cp.EndServerKey, cp.EndServerECDH)
+	if err != nil {
+		return nil, err
+	}
+	now := clk.Now()
+	cert := &Certificate{
+		Grantor:          principal.ID{}, // anonymous: identified by the previous proxy key
+		SignedByProxyKey: true,
+		Restrictions:     cp.Added,
+		IssuedAt:         now,
+		Expires:          now.Add(cp.Lifetime),
+		Binding:          binding,
+		SigScheme:        p.Key.Scheme(),
+	}
+	if cert.Nonce, err = kcrypto.Nonce(16); err != nil {
+		return nil, err
+	}
+	if cert.Signature, err = p.Key.Sign(cert.signedBytes()); err != nil {
+		return nil, fmt.Errorf("proxy: cascade: sign: %w", err)
+	}
+	certs := make([]*Certificate, len(p.Certs)+1)
+	copy(certs, p.Certs)
+	certs[len(p.Certs)] = cert
+	return &Proxy{Certs: certs, Key: key}, nil
+}
+
+// CascadeDelegate extends a delegate chain: the intermediate server,
+// which must be named as a grantee of the existing chain, signs the new
+// certificate directly with its own identity ("Instead of signing the
+// new proxy with the proxy key from the original proxy, it is signed
+// directly by the intermediate server", §3.4). This leaves an audit
+// trail: the new certificate identifies the intermediate.
+func (p *Proxy) CascadeDelegate(intermediate principal.ID, signer kcrypto.Signer, cp CascadeParams) (*Proxy, error) {
+	if signer == nil {
+		return nil, fmt.Errorf("proxy: delegate cascade: nil signer")
+	}
+	if len(p.Certs) >= maxChainLen {
+		return nil, fmt.Errorf("%w: chain too long", ErrBadChain)
+	}
+	if cp.Lifetime <= 0 {
+		return nil, fmt.Errorf("proxy: cascade: nonpositive lifetime")
+	}
+	named := false
+	for _, g := range p.Restrictions().Grantees() {
+		if g == intermediate {
+			named = true
+			break
+		}
+	}
+	if !named {
+		return nil, fmt.Errorf("%w: %s", ErrNotDelegate, intermediate)
+	}
+	clk := cp.Clock
+	if clk == nil {
+		clk = clock.System{}
+	}
+	key, binding, err := newProxyKey(cp.Mode, cp.EndServerKey, cp.EndServerECDH)
+	if err != nil {
+		return nil, err
+	}
+	now := clk.Now()
+	cert := &Certificate{
+		Grantor:      intermediate,
+		Restrictions: cp.Added,
+		IssuedAt:     now,
+		Expires:      now.Add(cp.Lifetime),
+		Binding:      binding,
+		SigScheme:    signer.Scheme(),
+	}
+	if cert.Nonce, err = kcrypto.Nonce(16); err != nil {
+		return nil, err
+	}
+	if cert.Signature, err = signer.Sign(cert.signedBytes()); err != nil {
+		return nil, fmt.Errorf("proxy: delegate cascade: sign: %w", err)
+	}
+	certs := make([]*Certificate, len(p.Certs)+1)
+	copy(certs, p.Certs)
+	certs[len(p.Certs)] = cert
+	return &Proxy{Certs: certs, Key: key}, nil
+}

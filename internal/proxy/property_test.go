@@ -1,0 +1,166 @@
+package proxy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"proxykit/internal/principal"
+	"proxykit/internal/restrict"
+)
+
+// randomRestrictions builds a random restriction set from a seeded RNG.
+func randomRestrictions(rng *rand.Rand) restrict.Set {
+	var rs restrict.Set
+	n := rng.Intn(4)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			rs = append(rs, restrict.Quota{
+				Currency: fmt.Sprintf("c%d", rng.Intn(3)),
+				Limit:    int64(rng.Intn(1000)),
+			})
+		case 1:
+			rs = append(rs, restrict.Authorized{Entries: []restrict.AuthorizedEntry{
+				{Object: fmt.Sprintf("/o%d", rng.Intn(5)), Ops: []string{"read", "write"}[0 : 1+rng.Intn(1)]},
+			}})
+		case 2:
+			rs = append(rs, restrict.IssuedFor{Servers: []principal.ID{
+				principal.New(fmt.Sprintf("sv%d", rng.Intn(3)), "ISI.EDU"),
+			}})
+		case 3:
+			rs = append(rs, restrict.Grantee{Principals: []principal.ID{
+				principal.New(fmt.Sprintf("u%d", rng.Intn(3)), "ISI.EDU"),
+			}})
+		}
+	}
+	return rs
+}
+
+// randomContext builds a random evaluation context.
+func randomContext(rng *rand.Rand, now time.Time) *restrict.Context {
+	return &restrict.Context{
+		Server:    principal.New(fmt.Sprintf("sv%d", rng.Intn(3)), "ISI.EDU"),
+		Object:    fmt.Sprintf("/o%d", rng.Intn(5)),
+		Operation: []string{"read", "write"}[rng.Intn(2)],
+		ClientIdentities: []principal.ID{
+			principal.New(fmt.Sprintf("u%d", rng.Intn(3)), "ISI.EDU"),
+		},
+		Amounts: map[string]int64{
+			fmt.Sprintf("c%d", rng.Intn(3)): int64(rng.Intn(1200)),
+		},
+		Now: now,
+	}
+}
+
+// TestPropertyCascadeMonotonic checks the paper's central invariant
+// (§6.2): "restrictions may be added, but not removed" — for random
+// chains and random requests, anything the base chain denies remains
+// denied after any cascade.
+func TestPropertyCascadeMonotonic(t *testing.T) {
+	w := newWorld(t)
+	rng := rand.New(rand.NewSource(42))
+	clk := w.clk
+
+	for trial := 0; trial < 200; trial++ {
+		base := w.grantPK(alice, randomRestrictions(rng))
+		extended, err := base.CascadeBearer(CascadeParams{
+			Added:    randomRestrictions(rng),
+			Lifetime: time.Hour,
+			Mode:     ModePublicKey,
+			Clock:    clk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vBase, err := w.env.VerifyChain(base.Certs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vExt, err := w.env.VerifyChain(extended.Certs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 20; probe++ {
+			ctx1 := randomContext(rng, clk.Now())
+			ctx2 := *ctx1 // same request against both chains
+			baseErr := vBase.Authorize(ctx1)
+			extErr := vExt.Authorize(&ctx2)
+			if baseErr != nil && extErr == nil {
+				t.Fatalf("trial %d probe %d: base denied (%v) but cascade allowed\nbase: %s\next: %s",
+					trial, probe, baseErr, vBase.Restrictions, vExt.Restrictions)
+			}
+		}
+	}
+}
+
+// TestPropertyChainExpiryMonotonic checks that cascading never extends
+// a chain's effective lifetime.
+func TestPropertyChainExpiryMonotonic(t *testing.T) {
+	w := newWorld(t)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		p, err := Grant(GrantParams{
+			Grantor:       alice,
+			GrantorSigner: w.identities[alice],
+			Lifetime:      time.Duration(1+rng.Intn(100)) * time.Minute,
+			Mode:          ModePublicKey,
+			Clock:         w.clk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		expiry := p.Expires()
+		for hop := 0; hop < 3; hop++ {
+			p, err = p.CascadeBearer(CascadeParams{
+				Lifetime: time.Duration(1+rng.Intn(100)) * time.Minute,
+				Mode:     ModePublicKey,
+				Clock:    w.clk,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Expires().After(expiry) {
+				t.Fatalf("trial %d hop %d: cascade extended expiry %v -> %v",
+					trial, hop, expiry, p.Expires())
+			}
+			expiry = p.Expires()
+		}
+	}
+}
+
+// TestPropertyVerifiedMatchesLocalView checks that the verifier's
+// accumulated restriction view matches the holder's local view for
+// random chains.
+func TestPropertyVerifiedMatchesLocalView(t *testing.T) {
+	w := newWorld(t)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		p := w.grantPK(alice, randomRestrictions(rng))
+		hops := rng.Intn(4)
+		for i := 0; i < hops; i++ {
+			var err error
+			p, err = p.CascadeBearer(CascadeParams{
+				Added:    randomRestrictions(rng),
+				Lifetime: time.Hour,
+				Mode:     ModePublicKey,
+				Clock:    w.clk,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		v, err := w.env.VerifyChain(p.Certs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Restrictions.String() != p.Restrictions().String() {
+			t.Fatalf("trial %d: verifier view %s != holder view %s",
+				trial, v.Restrictions, p.Restrictions())
+		}
+		if v.ChainLen != len(p.Certs) {
+			t.Fatalf("chain len %d != %d", v.ChainLen, len(p.Certs))
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package proxy
+
+import (
+	"fmt"
+	"time"
+
+	"proxykit/internal/clock"
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/principal"
+	"proxykit/internal/restrict"
+	"proxykit/internal/wire"
+)
+
+// VerifyEnv supplies an end-server's environment for validating proxy
+// chains: its identity, time source, and how it resolves the keys of
+// grantors and unseals conventional proxy keys.
+type VerifyEnv struct {
+	// Server is the verifying end-server's identity.
+	Server principal.ID
+	// Clock supplies the verification instant; nil uses the system
+	// clock.
+	Clock clock.Clock
+	// MaxSkew is the tolerated clock skew for IssuedAt checks.
+	MaxSkew time.Duration
+	// ResolveIdentity returns the verifier for a principal's identity
+	// signatures: a directory lookup in public-key mode (§6.1), or the
+	// session key established by the authentication system in
+	// conventional mode (§6.2).
+	ResolveIdentity func(principal.ID) (kcrypto.Verifier, error)
+	// UnsealProxyKey recovers a conventional proxy key from a
+	// certificate's sealed binding. Unused in pure public-key chains.
+	UnsealProxyKey func(*Certificate) (*kcrypto.SymmetricKey, error)
+}
+
+// UnsealWith returns an UnsealProxyKey function that opens sealed proxy
+// keys with the supplied shared key — the common case where every
+// binding in a chain was sealed toward the same end-server.
+func UnsealWith(k *kcrypto.SymmetricKey) func(*Certificate) (*kcrypto.SymmetricKey, error) {
+	return func(c *Certificate) (*kcrypto.SymmetricKey, error) {
+		raw, err := k.Open(c.Binding.Sealed)
+		if err != nil {
+			return nil, err
+		}
+		return kcrypto.SymmetricKeyFromBytes(raw)
+	}
+}
+
+// UnsealWithECDH returns an UnsealProxyKey function for hybrid-mode
+// bindings (§6.1): the end-server derives the pairwise key from its
+// long-term ECDH key and the grantor's ephemeral public half carried in
+// the binding.
+func UnsealWithECDH(priv *kcrypto.ECDHKey) func(*Certificate) (*kcrypto.SymmetricKey, error) {
+	return func(c *Certificate) (*kcrypto.SymmetricKey, error) {
+		if len(c.Binding.EphPub) == 0 {
+			return nil, fmt.Errorf("proxy: binding carries no ephemeral key")
+		}
+		shared, err := priv.SharedKey(c.Binding.EphPub)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := shared.Open(c.Binding.Sealed)
+		if err != nil {
+			return nil, err
+		}
+		return kcrypto.SymmetricKeyFromBytes(raw)
+	}
+}
+
+// Verified is the outcome of successful chain verification: everything
+// an end-server needs to evaluate a request against the proxy.
+type Verified struct {
+	// Grantor is the original grantor, whose rights (as limited by the
+	// restrictions) the presenter exercises.
+	Grantor principal.ID
+	// GrantorKeyID identifies the grantor's signing key; the namespace
+	// for accept-once identifiers.
+	GrantorKeyID string
+	// Restrictions is the accumulated set over the whole chain.
+	Restrictions restrict.Set
+	// Expires is the earliest expiry over the chain.
+	Expires time.Time
+	// Bearer reports bearer semantics: no grantee restriction applies at
+	// this server, so possession of the proxy key is the sole check.
+	Bearer bool
+	// Trail lists the identities of delegate-cascade intermediates in
+	// chain order — the audit trail of §3.4.
+	Trail []principal.ID
+	// ChainLen is the number of certificates verified.
+	ChainLen int
+
+	finalVerifier kcrypto.Verifier
+}
+
+// VerifyChain validates a certificate chain (Fig. 4): the first
+// certificate against the grantor's identity, each bearer link against
+// the previous link's proxy key, and each delegate link against the
+// intermediate's identity plus its presence in the accumulated grantee
+// list. It checks validity windows and accumulates restrictions. It does
+// NOT check proof of possession; see VerifyPossession and
+// VerifyPresentation.
+func (env *VerifyEnv) VerifyChain(certs []*Certificate) (*Verified, error) {
+	if len(certs) == 0 {
+		return nil, fmt.Errorf("%w: empty chain", ErrBadChain)
+	}
+	if len(certs) > maxChainLen {
+		return nil, fmt.Errorf("%w: chain length %d", ErrBadChain, len(certs))
+	}
+	if env.ResolveIdentity == nil {
+		return nil, fmt.Errorf("proxy: verify: no identity resolver")
+	}
+	clk := env.Clock
+	if clk == nil {
+		clk = clock.System{}
+	}
+	now := clk.Now()
+
+	out := &Verified{
+		Grantor:  certs[0].Grantor,
+		Expires:  certs[0].Expires,
+		ChainLen: len(certs),
+	}
+	var accumulated restrict.Set
+	for i, c := range certs {
+		if err := env.checkValidity(c, now); err != nil {
+			return nil, fmt.Errorf("certificate %d: %w", i, err)
+		}
+		verifier, err := env.linkVerifier(i, c, certs, accumulated)
+		if err != nil {
+			return nil, err
+		}
+		if verifier.Scheme() != c.SigScheme {
+			return nil, fmt.Errorf("%w: certificate %d signed with %s but verifier is %s",
+				ErrBadChain, i, c.SigScheme, verifier.Scheme())
+		}
+		if err := verifier.Verify(c.signedBytes(), c.Signature); err != nil {
+			return nil, fmt.Errorf("%w: certificate %d: %v", ErrBadChain, i, err)
+		}
+		if i == 0 {
+			out.GrantorKeyID = verifier.KeyID()
+		}
+		if i > 0 && !c.SignedByProxyKey {
+			out.Trail = append(out.Trail, c.Grantor)
+		}
+		accumulated = accumulated.Merge(c.Restrictions)
+		if c.Expires.Before(out.Expires) {
+			out.Expires = c.Expires
+		}
+	}
+	out.Restrictions = accumulated
+	out.Bearer = !accumulated.HasGrantee(env.Server)
+	final := certs[len(certs)-1]
+	fv, err := env.bindingVerifier(final)
+	if err != nil {
+		return nil, fmt.Errorf("final binding: %w", err)
+	}
+	out.finalVerifier = fv
+	return out, nil
+}
+
+func (env *VerifyEnv) checkValidity(c *Certificate, now time.Time) error {
+	if c.IssuedAt.After(now.Add(env.MaxSkew)) {
+		return fmt.Errorf("%w: issued %v, now %v", ErrNotYetValid, c.IssuedAt, now)
+	}
+	if !now.Before(c.Expires) {
+		return fmt.Errorf("%w: expired %v, now %v", ErrExpired, c.Expires, now)
+	}
+	return nil
+}
+
+// linkVerifier determines which key must have signed certificate i.
+func (env *VerifyEnv) linkVerifier(i int, c *Certificate, certs []*Certificate, accumulated restrict.Set) (kcrypto.Verifier, error) {
+	if i == 0 {
+		if c.SignedByProxyKey {
+			return nil, fmt.Errorf("%w: first certificate signed by a proxy key", ErrBadChain)
+		}
+		v, err := env.ResolveIdentity(c.Grantor)
+		if err != nil {
+			return nil, fmt.Errorf("%w: resolve grantor %s: %v", ErrBadChain, c.Grantor, err)
+		}
+		return v, nil
+	}
+	if c.SignedByProxyKey {
+		// Bearer cascade: signed with the previous certificate's proxy
+		// key (§3.4).
+		return env.bindingVerifier(certs[i-1])
+	}
+	// Delegate cascade: signed directly by an intermediate that the
+	// chain so far names as a grantee.
+	named := false
+	for _, g := range accumulated.Grantees() {
+		if g == c.Grantor {
+			named = true
+			break
+		}
+	}
+	if !named {
+		return nil, fmt.Errorf("%w: certificate %d signer %s", ErrNotDelegate, i, c.Grantor)
+	}
+	v, err := env.ResolveIdentity(c.Grantor)
+	if err != nil {
+		return nil, fmt.Errorf("%w: resolve intermediate %s: %v", ErrBadChain, c.Grantor, err)
+	}
+	return v, nil
+}
+
+// bindingVerifier recovers the verifier for a certificate's proxy key.
+func (env *VerifyEnv) bindingVerifier(c *Certificate) (kcrypto.Verifier, error) {
+	switch c.Binding.Scheme {
+	case kcrypto.SchemeEd25519:
+		return kcrypto.PublicKeyFromBytes(c.Binding.Public)
+	case kcrypto.SchemeHMAC:
+		if env.UnsealProxyKey == nil {
+			return nil, fmt.Errorf("%w: no unsealer for conventional proxy key", ErrBadChain)
+		}
+		k, err := env.UnsealProxyKey(c)
+		if err != nil {
+			return nil, fmt.Errorf("%w: unseal proxy key: %v", ErrBadChain, err)
+		}
+		return k, nil
+	default:
+		return nil, fmt.Errorf("%w: binding scheme %s", ErrBadChain, c.Binding.Scheme)
+	}
+}
+
+// NewChallenge generates a server challenge for proof of possession.
+func NewChallenge() ([]byte, error) { return kcrypto.Nonce(32) }
+
+// popBytes is the canonical message signed to prove possession: it binds
+// the challenge, the responding server, and the final certificate so a
+// proof cannot be replayed against another chain or server.
+func popBytes(challenge []byte, server principal.ID, final *Certificate) []byte {
+	e := wire.NewEncoder(128)
+	e.String("proxykit-pop-v1")
+	e.Bytes32(challenge)
+	server.Encode(e)
+	e.Bytes32(kcrypto.Digest(final.Marshal()))
+	return e.Bytes()
+}
+
+// Prove signs a server challenge with the proxy key, demonstrating
+// proper possession ("proving possession of the proxy key thus
+// preventing an attacker from using a proxy obtained by eavesdropping on
+// the network", §7.1).
+func (p *Proxy) Prove(challenge []byte, server principal.ID) ([]byte, error) {
+	if p.Key == nil {
+		return nil, ErrNoKey
+	}
+	final := p.Final()
+	if final == nil {
+		return nil, fmt.Errorf("%w: empty chain", ErrBadChain)
+	}
+	return p.Key.Sign(popBytes(challenge, server, final))
+}
+
+// VerifyPossession checks a proof produced by Prove against the final
+// certificate's binding.
+func (env *VerifyEnv) VerifyPossession(v *Verified, final *Certificate, challenge, proof []byte) error {
+	if v.finalVerifier == nil {
+		return fmt.Errorf("%w: verified chain lacks binding verifier", ErrBadChain)
+	}
+	if err := v.finalVerifier.Verify(popBytes(challenge, env.Server, final), proof); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadProof, err)
+	}
+	return nil
+}
+
+// Presentation is what a grantee sends to an end-server: the certificate
+// chain, and — for bearer use — a proof of possession over the server's
+// challenge. Delegate presenters instead authenticate their own identity
+// through the authentication substrate; the end-server places those
+// identities in the restriction Context.
+type Presentation struct {
+	// Certs is the certificate chain.
+	Certs []*Certificate
+	// Challenge is the server-issued nonce the proof covers.
+	Challenge []byte
+	// Proof is the signature over the challenge with the proxy key; nil
+	// for delegate presentation.
+	Proof []byte
+}
+
+// Present prepares a bearer presentation for a server challenge.
+func (p *Proxy) Present(challenge []byte, server principal.ID) (*Presentation, error) {
+	proof, err := p.Prove(challenge, server)
+	if err != nil {
+		return nil, err
+	}
+	return &Presentation{Certs: p.Certs, Challenge: challenge, Proof: proof}, nil
+}
+
+// PresentDelegate prepares a delegate presentation: certificates only;
+// the presenter authenticates separately under its own identity (§2).
+func (p *Proxy) PresentDelegate() *Presentation {
+	return &Presentation{Certs: p.Certs}
+}
+
+// VerifyPresentation validates a presentation end to end: chain
+// verification, then — for bearer semantics — mandatory proof of
+// possession. It returns the Verified summary for restriction
+// evaluation.
+func (env *VerifyEnv) VerifyPresentation(pr *Presentation, challenge []byte) (*Verified, error) {
+	v, err := env.VerifyChain(pr.Certs)
+	if err != nil {
+		return nil, err
+	}
+	if pr.Proof == nil {
+		if v.Bearer {
+			return nil, ErrBearerNeedsKey
+		}
+		return v, nil
+	}
+	final := pr.Certs[len(pr.Certs)-1]
+	if err := env.VerifyPossession(v, final, challenge, pr.Proof); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Authorize evaluates the verified proxy's accumulated restrictions
+// against a request context, filling in the chain-derived fields
+// (expiry, grantor key) the restrictions need.
+//
+// Delegate-cascade intermediates count as authenticated: a grantee that
+// signed a later link in the chain has cryptographically participated,
+// which is the paper's rule that the intermediate "grants the
+// subordinate a new proxy allowing the subordinate to act as the
+// intermediate server for the purpose of executing the original proxy"
+// (§3.4). Their identities are appended to the context's client
+// identities so a Grantee restriction naming them is satisfied by the
+// chain itself.
+func (v *Verified) Authorize(ctx *restrict.Context) error {
+	ctx.Expires = v.Expires
+	ctx.GrantorKeyID = v.GrantorKeyID
+	if len(v.Trail) > 0 {
+		ids := make([]principal.ID, 0, len(ctx.ClientIdentities)+len(v.Trail))
+		ids = append(ids, ctx.ClientIdentities...)
+		ids = append(ids, v.Trail...)
+		ctx.ClientIdentities = ids
+	}
+	return v.Restrictions.Check(ctx)
+}
+
+// Marshal encodes the presentation for transport.
+func (pr *Presentation) Marshal() []byte {
+	e := wire.NewEncoder(1024)
+	e.Uint32(uint32(len(pr.Certs)))
+	for _, c := range pr.Certs {
+		c.encode(e)
+	}
+	e.Bytes32(pr.Challenge)
+	e.Bytes32(pr.Proof)
+	return e.Bytes()
+}
+
+// UnmarshalPresentation parses a presentation.
+func UnmarshalPresentation(b []byte) (*Presentation, error) {
+	d := wire.NewDecoder(b)
+	n := d.Uint32()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	if n == 0 || n > maxChainLen {
+		return nil, fmt.Errorf("%w: chain length %d", ErrMalformed, n)
+	}
+	pr := &Presentation{Certs: make([]*Certificate, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		c, err := decodeCertificate(d)
+		if err != nil {
+			return nil, err
+		}
+		pr.Certs = append(pr.Certs, c)
+	}
+	pr.Challenge = d.Bytes32()
+	pr.Proof = d.Bytes32()
+	if len(pr.Proof) == 0 {
+		pr.Proof = nil
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return pr, nil
+}

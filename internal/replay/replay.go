@@ -1,0 +1,145 @@
+// Package replay provides the once-only registries required by the
+// accept-once restriction (§7.7 of the paper) and by authenticator
+// replay detection in the Kerberos substrate (§6.2).
+//
+// "Once a check is paid, the accounting server keeps track of the check
+// number until the expiration time on the check. If, within that period,
+// another check with the same number is seen, it is rejected."
+//
+// Retired entries are garbage-collected with expiry buckets: each entry
+// is filed under its expiry minute, and a sweep visits only buckets
+// whose minute has passed — O(expired), not O(retained). The E7 ablation
+// (BenchmarkE7AcceptOnce*) measures the difference against a full-scan
+// sweep.
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"proxykit/internal/clock"
+)
+
+// ErrDuplicate is returned when an identifier is presented again within
+// its retention window.
+var ErrDuplicate = errors.New("replay: identifier already accepted")
+
+// bucketGranularity is the width of one expiry bucket.
+const bucketGranularity = time.Minute
+
+// Cache is a thread-safe once-only registry with bucketed expiry GC.
+type Cache struct {
+	mu      sync.Mutex
+	clk     clock.Clock
+	entries map[string]time.Time
+	buckets map[int64][]string
+	ops     int
+	// SweepEvery controls amortized garbage collection: every
+	// SweepEvery accepted entries, expired buckets are reclaimed.
+	// <=0 disables automatic sweeping (callers must call Sweep).
+	SweepEvery int
+}
+
+// New returns a Cache using clk (nil means the system clock).
+func New(clk clock.Clock) *Cache {
+	if clk == nil {
+		clk = clock.System{}
+	}
+	return &Cache{
+		clk:        clk,
+		entries:    make(map[string]time.Time),
+		buckets:    make(map[int64][]string),
+		SweepEvery: 1024,
+	}
+}
+
+// compositeKey makes (grantor, id) injective via a length prefix.
+func compositeKey(grantorKeyID, id string) string {
+	return fmt.Sprintf("%d:%s:%s", len(grantorKeyID), grantorKeyID, id)
+}
+
+// bucketOf files an expiry instant into its bucket.
+func bucketOf(expires time.Time) int64 {
+	return expires.UnixNano() / int64(bucketGranularity)
+}
+
+// Accept implements restrict.AcceptOnceRegistry: it records the
+// (grantor, id) pair until expires, rejecting duplicates still within
+// their window.
+func (c *Cache) Accept(grantorKeyID, id string, expires time.Time) error {
+	return c.Seen(compositeKey(grantorKeyID, id), expires)
+}
+
+// Seen records an arbitrary key until expires, returning ErrDuplicate if
+// the key is already present and unexpired. A zero expires is rejected —
+// retention must be bounded.
+func (c *Cache) Seen(key string, expires time.Time) error {
+	if expires.IsZero() {
+		return fmt.Errorf("replay: entry %q has no expiry", key)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clk.Now()
+	if exp, ok := c.entries[key]; ok && now.Before(exp) {
+		return fmt.Errorf("%w: %q", ErrDuplicate, key)
+	}
+	c.entries[key] = expires
+	b := bucketOf(expires)
+	c.buckets[b] = append(c.buckets[b], key)
+	c.ops++
+	if c.SweepEvery > 0 && c.ops >= c.SweepEvery {
+		c.sweepLocked(now)
+		c.ops = 0
+	}
+	return nil
+}
+
+// Forget removes a previously accepted (grantor, id) pair — used when
+// the operation the acceptance guarded ultimately failed, so a retry of
+// the same identifier is not treated as a replay. The bucket reference
+// is left behind and skipped at sweep time.
+func (c *Cache) Forget(grantorKeyID, id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, compositeKey(grantorKeyID, id))
+}
+
+// Sweep removes expired entries immediately and reports how many were
+// removed.
+func (c *Cache) Sweep() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sweepLocked(c.clk.Now())
+}
+
+// sweepLocked reclaims every bucket whose minute has fully passed. An
+// entry is deleted only if its recorded expiry has really passed — it
+// may have been re-accepted with a later expiry, in which case it lives
+// in a newer bucket too.
+func (c *Cache) sweepLocked(now time.Time) int {
+	removed := 0
+	nowBucket := bucketOf(now)
+	for b, keys := range c.buckets {
+		if b >= nowBucket {
+			continue
+		}
+		for _, k := range keys {
+			if exp, ok := c.entries[k]; ok && !now.Before(exp) {
+				delete(c.entries, k)
+				removed++
+			}
+		}
+		delete(c.buckets, b)
+	}
+	return removed
+}
+
+// Len reports the number of retained entries (including expired entries
+// not yet swept).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,215 @@
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"proxykit/internal/clock"
+)
+
+func TestAcceptRejectsDuplicate(t *testing.T) {
+	clk := clock.NewFake(time.Unix(100, 0))
+	c := New(clk)
+	exp := clk.Now().Add(time.Hour)
+
+	if err := c.Accept("grantor1", "check-1", exp); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Accept("grantor1", "check-1", exp); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAcceptNamespacedByGrantor(t *testing.T) {
+	clk := clock.NewFake(time.Unix(100, 0))
+	c := New(clk)
+	exp := clk.Now().Add(time.Hour)
+	if err := c.Accept("g1", "check-1", exp); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Accept("g2", "check-1", exp); err != nil {
+		t.Fatalf("different grantor rejected: %v", err)
+	}
+	// A crafted grantor/id pair must not collide with another pair via
+	// string concatenation.
+	if err := c.Accept("g3\x00x", "y", exp); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Accept("g3", "x\x00y", exp); err != nil {
+		t.Fatalf("separator collision: %v", err)
+	}
+}
+
+func TestExpiryAllowsReuse(t *testing.T) {
+	clk := clock.NewFake(time.Unix(100, 0))
+	c := New(clk)
+	if err := c.Accept("g", "id", clk.Now().Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Minute)
+	// Past the retention window the identifier may appear again — the
+	// certificate carrying it would itself have expired.
+	if err := c.Accept("g", "id", clk.Now().Add(time.Minute)); err != nil {
+		t.Fatalf("expired entry still blocking: %v", err)
+	}
+}
+
+func TestZeroExpiryRejected(t *testing.T) {
+	c := New(clock.NewFake(time.Unix(100, 0)))
+	if err := c.Accept("g", "id", time.Time{}); err == nil {
+		t.Fatal("unbounded retention accepted")
+	}
+}
+
+func TestSweepRemovesExpired(t *testing.T) {
+	clk := clock.NewFake(time.Unix(100, 0))
+	c := New(clk)
+	c.SweepEvery = 0 // manual sweeping only
+	for i := 0; i < 10; i++ {
+		if err := c.Seen(fmt.Sprintf("k%d", i), clk.Now().Add(time.Duration(i+1)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reclamation is bucketed: entries are reclaimed once their expiry
+	// bucket (one minute wide) has fully passed, so advance past the
+	// fifth entry's bucket.
+	clk.Advance(6 * time.Minute)
+	removed := c.Sweep()
+	if removed != 5 {
+		t.Fatalf("removed %d, want 5", removed)
+	}
+	if c.Len() != 5 {
+		t.Fatalf("len = %d, want 5", c.Len())
+	}
+	// Even before being swept, an expired entry never blocks
+	// re-acceptance (Seen checks expiry directly).
+	if err := c.Seen("k5", clk.Now().Add(time.Hour)); err != nil {
+		t.Fatalf("expired entry blocked reuse: %v", err)
+	}
+}
+
+func TestAmortizedSweep(t *testing.T) {
+	clk := clock.NewFake(time.Unix(100, 0))
+	c := New(clk)
+	c.SweepEvery = 4
+	for i := 0; i < 4; i++ {
+		if err := c.Seen(fmt.Sprintf("old%d", i), clk.Now().Add(time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(time.Minute)
+	// The 4th insert after advancing triggers a sweep of the expired
+	// entries.
+	for i := 0; i < 4; i++ {
+		if err := c.Seen(fmt.Sprintf("new%d", i), clk.Now().Add(time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len = %d, want 4 (expired entries not swept)", c.Len())
+	}
+}
+
+func TestConcurrentAcceptOnlyOneWins(t *testing.T) {
+	clk := clock.NewFake(time.Unix(100, 0))
+	c := New(clk)
+	exp := clk.Now().Add(time.Hour)
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	wins := make(chan struct{}, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c.Accept("g", "contested", exp) == nil {
+				wins <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	n := 0
+	for range wins {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("%d acceptances of the same identifier", n)
+	}
+}
+
+func TestNilClockDefaultsToSystem(t *testing.T) {
+	c := New(nil)
+	if err := c.Seen("k", time.Now().Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForgetAllowsRetry(t *testing.T) {
+	clk := clock.NewFake(time.Unix(100, 0))
+	c := New(clk)
+	exp := clk.Now().Add(time.Hour)
+	if err := c.Accept("g", "id", exp); err != nil {
+		t.Fatal(err)
+	}
+	c.Forget("g", "id")
+	if err := c.Accept("g", "id", exp); err != nil {
+		t.Fatalf("retry after forget rejected: %v", err)
+	}
+	c.Forget("g", "never-accepted") // must not panic
+}
+
+// TestPropertyBucketedGC drives random accepts, forgets, and time
+// advances, checking the registry's core invariants throughout:
+// an unexpired accepted identifier is always rejected, an expired one is
+// always re-acceptable, and sweeping reclaims every sufficiently old
+// entry.
+func TestPropertyBucketedGC(t *testing.T) {
+	clk := clock.NewFake(time.Unix(1000, 0))
+	c := New(clk)
+	c.SweepEvery = 7
+
+	rng := rand.New(rand.NewSource(5))
+	expiries := make(map[string]time.Time) // id -> latest accepted expiry
+	var ids []string
+	for i := 0; i < 2000; i++ {
+		switch rng.Intn(4) {
+		case 0, 1: // accept a fresh id
+			id := fmt.Sprintf("id-%d", i)
+			exp := clk.Now().Add(time.Duration(1+rng.Intn(300)) * time.Second)
+			if err := c.Accept("g", id, exp); err != nil {
+				t.Fatalf("fresh accept rejected: %v", err)
+			}
+			expiries[id] = exp
+			ids = append(ids, id)
+		case 2: // duplicate attempt on a random accepted id
+			if len(ids) == 0 {
+				continue
+			}
+			id := ids[rng.Intn(len(ids))]
+			newExp := clk.Now().Add(time.Hour)
+			err := c.Accept("g", id, newExp)
+			if clk.Now().Before(expiries[id]) {
+				if err == nil {
+					t.Fatalf("unexpired %q re-accepted", id)
+				}
+			} else if err != nil {
+				t.Fatalf("expired %q still blocked: %v", id, err)
+			} else {
+				expiries[id] = newExp
+			}
+		case 3: // time passes
+			clk.Advance(time.Duration(rng.Intn(90)) * time.Second)
+		}
+	}
+	// After everything expires and a sweep, the registry is empty.
+	clk.Advance(2 * time.Hour)
+	c.Sweep()
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after full expiry sweep", c.Len())
+	}
+}

@@ -1,0 +1,167 @@
+package restrict
+
+import (
+	"fmt"
+
+	"proxykit/internal/principal"
+	"proxykit/internal/wire"
+)
+
+// maxNesting bounds Limit recursion during decoding so hostile
+// certificates cannot cause unbounded recursion.
+const maxNesting = 8
+
+// Encode appends the set to e in canonical form: a count followed by
+// (type, length-prefixed body) for each restriction, in set order.
+func (s Set) Encode(e *wire.Encoder) {
+	e.Uint32(uint32(len(s)))
+	for _, r := range s {
+		e.Uint8(uint8(r.Type()))
+		body := wire.NewEncoder(64)
+		r.encodeBody(body)
+		e.Bytes32(body.Bytes())
+	}
+}
+
+// Marshal returns the canonical encoding of the set.
+func (s Set) Marshal() []byte {
+	e := wire.NewEncoder(128)
+	s.Encode(e)
+	return e.Bytes()
+}
+
+// Decode reads a Set encoded by Encode.
+func Decode(d *wire.Decoder) (Set, error) {
+	return decodeSet(d, 0)
+}
+
+// Unmarshal decodes a Set from its complete canonical encoding.
+func Unmarshal(b []byte) (Set, error) {
+	d := wire.NewDecoder(b)
+	s, err := Decode(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func decodeSet(d *wire.Decoder, depth int) (Set, error) {
+	if depth > maxNesting {
+		return nil, fmt.Errorf("%w: limit-restriction nesting exceeds %d", ErrMalformed, maxNesting)
+	}
+	n := d.Uint32()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n > wire.MaxSliceLen {
+		return nil, fmt.Errorf("%w: restriction count %d", ErrMalformed, n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make(Set, 0, min(int(n), 64))
+	for i := uint32(0); i < n; i++ {
+		typ := Type(d.Uint8())
+		body := d.Bytes32()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		r, err := decodeOne(typ, body, depth)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func decodeOne(typ Type, body []byte, depth int) (Restriction, error) {
+	d := wire.NewDecoder(body)
+	var r Restriction
+	switch typ {
+	case TypeGrantee:
+		g := Grantee{Needed: int(d.Uint32())}
+		g.Principals = decodeIDs(d)
+		r = g
+	case TypeForUseByGroup:
+		f := ForUseByGroup{Needed: int(d.Uint32())}
+		f.Groups = decodeGlobals(d)
+		r = f
+	case TypeIssuedFor:
+		r = IssuedFor{Servers: decodeIDs(d)}
+	case TypeQuota:
+		r = Quota{Currency: d.String(), Limit: d.Int64()}
+	case TypeAuthorized:
+		n := d.Uint32()
+		if d.Err() == nil && n > wire.MaxSliceLen {
+			return nil, fmt.Errorf("%w: authorized entry count", ErrMalformed)
+		}
+		entries := make([]AuthorizedEntry, 0, min(int(n), 64))
+		for i := uint32(0); i < n && d.Err() == nil; i++ {
+			entries = append(entries, AuthorizedEntry{
+				Object: d.String(),
+				Ops:    d.StringSlice(),
+			})
+		}
+		r = Authorized{Entries: entries}
+	case TypeGroupMembership:
+		r = GroupMembership{Groups: decodeGlobals(d)}
+	case TypeAcceptOnce:
+		r = AcceptOnce{ID: d.String()}
+	case TypeDepositTo:
+		r = DepositTo{Account: principal.DecodeGlobal(d)}
+	case TypeLimit:
+		l := Limit{Servers: decodeIDs(d)}
+		inner, err := decodeSet(d, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		l.Restrictions = inner
+		r = l
+	default:
+		// Unknown restriction types fail closed: a verifier that cannot
+		// interpret a restriction cannot guarantee it is enforced, and
+		// restrictions are only ever narrowing.
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(typ))
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrMalformed, typ, err)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrMalformed, typ, err)
+	}
+	return r, nil
+}
+
+func decodeIDs(d *wire.Decoder) []principal.ID {
+	n := d.Uint32()
+	if d.Err() != nil || n == 0 || n > wire.MaxSliceLen {
+		return nil
+	}
+	out := make([]principal.ID, 0, min(int(n), 64))
+	for i := uint32(0); i < n; i++ {
+		out = append(out, principal.DecodeID(d))
+		if d.Err() != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func decodeGlobals(d *wire.Decoder) []principal.Global {
+	n := d.Uint32()
+	if d.Err() != nil || n == 0 || n > wire.MaxSliceLen {
+		return nil
+	}
+	out := make([]principal.Global, 0, min(int(n), 64))
+	for i := uint32(0); i < n; i++ {
+		out = append(out, principal.DecodeGlobal(d))
+		if d.Err() != nil {
+			return nil
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package restrict
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"proxykit/internal/principal"
+	"proxykit/internal/wire"
+)
+
+func sampleSet() Set {
+	return Set{
+		Grantee{Principals: []principal.ID{alice, bob}, Needed: 2},
+		ForUseByGroup{Groups: []principal.Global{principal.NewGlobal(grpSv, "staff")}, Needed: 1},
+		IssuedFor{Servers: []principal.ID{fileSv, mailSv}},
+		Quota{Currency: "pages", Limit: 42},
+		Authorized{Entries: []AuthorizedEntry{
+			{Object: "/a", Ops: []string{"read", "write"}},
+			{Object: "/b"},
+		}},
+		GroupMembership{Groups: []principal.Global{principal.NewGlobal(grpSv, "staff")}},
+		AcceptOnce{ID: "check-7"},
+		Limit{
+			Servers:      []principal.ID{mailSv},
+			Restrictions: Set{Quota{Currency: "msgs", Limit: 3}},
+		},
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	s := sampleSet()
+	b := s.Marshal()
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != s.String() {
+		t.Fatalf("round trip:\n got %s\nwant %s", got, s)
+	}
+	if len(got) != len(s) {
+		t.Fatalf("len = %d, want %d", len(got), len(s))
+	}
+	for i := range s {
+		if got[i].Type() != s[i].Type() {
+			t.Fatalf("restriction %d type %s, want %s", i, got[i].Type(), s[i].Type())
+		}
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	if !bytes.Equal(sampleSet().Marshal(), sampleSet().Marshal()) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+func TestEmptySetRoundTrip(t *testing.T) {
+	b := Set(nil).Marshal()
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestUnknownTypeFailsClosed(t *testing.T) {
+	e := wire.NewEncoder(0)
+	e.Uint32(1)
+	e.Uint8(99) // unknown restriction type
+	e.Bytes32([]byte("whatever"))
+	if _, err := Unmarshal(e.Bytes()); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMalformedBodyRejected(t *testing.T) {
+	e := wire.NewEncoder(0)
+	e.Uint32(1)
+	e.Uint8(uint8(TypeQuota))
+	e.Bytes32([]byte{1, 2}) // too short for currency+limit
+	if _, err := Unmarshal(e.Bytes()); err == nil {
+		t.Fatal("malformed quota accepted")
+	}
+}
+
+func TestTrailingBytesInBodyRejected(t *testing.T) {
+	body := wire.NewEncoder(0)
+	body.String("pages")
+	body.Int64(5)
+	body.Uint8(0xee) // trailing garbage inside the restriction body
+	e := wire.NewEncoder(0)
+	e.Uint32(1)
+	e.Uint8(uint8(TypeQuota))
+	e.Bytes32(body.Bytes())
+	if _, err := Unmarshal(e.Bytes()); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTrailingBytesAfterSetRejected(t *testing.T) {
+	b := append(sampleSet().Marshal(), 0xff)
+	if _, err := Unmarshal(b); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestNestingDepthLimit(t *testing.T) {
+	// Build limit(limit(limit(... quota))) beyond maxNesting.
+	inner := Set{Quota{Currency: "x", Limit: 1}}
+	for i := 0; i < maxNesting+2; i++ {
+		inner = Set{Limit{Servers: []principal.ID{fileSv}, Restrictions: inner}}
+	}
+	if _, err := Unmarshal(inner.Marshal()); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v", err)
+	}
+	// At a legal depth it decodes fine.
+	legal := Set{Quota{Currency: "x", Limit: 1}}
+	for i := 0; i < maxNesting-1; i++ {
+		legal = Set{Limit{Servers: []principal.ID{fileSv}, Restrictions: legal}}
+	}
+	if _, err := Unmarshal(legal.Marshal()); err != nil {
+		t.Fatalf("legal depth rejected: %v", err)
+	}
+}
+
+func TestAbsurdCountRejected(t *testing.T) {
+	e := wire.NewEncoder(0)
+	e.Uint32(wire.MaxSliceLen + 1)
+	if _, err := Unmarshal(e.Bytes()); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: decoding arbitrary bytes never panics and never produces a
+// set that re-encodes to something that fails to decode.
+func TestPropertyDecodeGarbageNoPanic(t *testing.T) {
+	f := func(garbage []byte) bool {
+		s, err := Unmarshal(garbage)
+		if err != nil {
+			return true
+		}
+		// Whatever decoded must round-trip.
+		again, err := Unmarshal(s.Marshal())
+		return err == nil && again.String() == s.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quota sets built from arbitrary limits round-trip and report
+// minimum quotas correctly.
+func TestPropertyQuotaMin(t *testing.T) {
+	f := func(limits []int64) bool {
+		if len(limits) == 0 {
+			return true
+		}
+		s := make(Set, 0, len(limits))
+		minimum := limits[0]
+		for _, l := range limits {
+			if l < 0 {
+				l = -l
+			}
+			s = append(s, Quota{Currency: "c", Limit: l})
+			if l < minimum || minimum < 0 {
+				minimum = l
+			}
+		}
+		got, err := Unmarshal(s.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.Quotas()["c"] == s.Quotas()["c"]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package restrict
+
+import (
+	"time"
+
+	"proxykit/internal/principal"
+)
+
+// AcceptOnceRegistry records once-only identifiers (§7.7). End-servers
+// and accounting servers supply an implementation (internal/replay); the
+// registry must reject an identifier already accepted from the same
+// grantor within the expiry window.
+type AcceptOnceRegistry interface {
+	// Accept records (grantor, id) until expires, returning an error if
+	// the pair was already accepted and has not yet expired.
+	Accept(grantorKeyID, id string, expires time.Time) error
+}
+
+// Context describes one presented request; the evaluation engine checks
+// a proxy chain's accumulated restrictions against it. The end-server
+// constructs the Context after authenticating the presenter.
+type Context struct {
+	// Server is the identity of the end-server performing evaluation.
+	Server principal.ID
+
+	// Object and Operation name the requested action in
+	// server-interpreted form (§7.5).
+	Object    string
+	Operation string
+
+	// ClientIdentities are the principals the presenter has
+	// authenticated as (its own identity for delegate proxies, possibly
+	// several for compound requirements).
+	ClientIdentities []principal.ID
+
+	// VerifiedGroups are group memberships the server has verified via
+	// accompanying group proxies (§7.2).
+	VerifiedGroups map[principal.Global]bool
+
+	// AssertedGroups are the memberships the presenter is asserting with
+	// this proxy — checked against GroupMembership restrictions (§7.6).
+	AssertedGroups []principal.Global
+
+	// Amounts is the resource quantity requested per currency, checked
+	// against Quota restrictions (§7.4).
+	Amounts map[string]int64
+
+	// DepositAccount is the account credited by this transaction, if
+	// any, checked against DepositTo endorsement restrictions (§4).
+	DepositAccount principal.Global
+
+	// Now is the evaluation instant.
+	Now time.Time
+
+	// Expires is the expiry of the outermost certificate in the chain;
+	// accept-once records are retained until then (§7.7).
+	Expires time.Time
+
+	// GrantorKeyID identifies the original grantor's signing key, the
+	// namespace for accept-once identifiers.
+	GrantorKeyID string
+
+	// AcceptOnce is the server's once-only registry; nil fails any
+	// accept-once restriction closed.
+	AcceptOnce AcceptOnceRegistry
+}

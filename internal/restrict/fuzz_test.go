@@ -1,0 +1,38 @@
+package restrict
+
+import (
+	"testing"
+
+	"proxykit/internal/principal"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to the restriction-set decoder:
+// no panics, and accepted sets must round-trip stably.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(sampleSet().Marshal())
+	f.Add(Set(nil).Marshal())
+	f.Add([]byte{0xff, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		again, err := Unmarshal(s.Marshal())
+		if err != nil {
+			t.Fatalf("accepted set failed round trip: %v", err)
+		}
+		if again.String() != s.String() {
+			t.Fatalf("round trip changed set: %s != %s", again, s)
+		}
+		// Evaluation over a fixed context must not panic either.
+		ctx := &Context{
+			Server:           principal.New("sv", "R"),
+			Object:           "/o",
+			Operation:        "read",
+			ClientIdentities: []principal.ID{principal.New("u", "R")},
+			Amounts:          map[string]int64{"c": 1},
+		}
+		_ = s.Check(ctx)
+	})
+}

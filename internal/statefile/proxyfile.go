@@ -1,0 +1,81 @@
+package statefile
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/proxy"
+)
+
+// proxyFile is the on-disk form of a proxy: public certificates plus,
+// when held, the secret proxy key. The file is written 0600 because the
+// key is the bearer credential.
+type proxyFile struct {
+	CertsB64 string `json:"certs"`
+	KeyKind  string `json:"keyKind,omitempty"` // "symmetric" | "ed25519"
+	KeyB64   string `json:"key,omitempty"`
+}
+
+// SaveProxy writes a proxy (certificates and key) to path.
+func SaveProxy(path string, p *proxy.Proxy) error {
+	f := proxyFile{CertsB64: base64.StdEncoding.EncodeToString(p.MarshalCerts())}
+	switch key := p.Key.(type) {
+	case nil:
+	case *kcrypto.SymmetricKey:
+		f.KeyKind = "symmetric"
+		f.KeyB64 = base64.StdEncoding.EncodeToString(key.Bytes())
+	case *kcrypto.KeyPair:
+		f.KeyKind = "ed25519"
+		f.KeyB64 = base64.StdEncoding.EncodeToString(key.Seed())
+	default:
+		return fmt.Errorf("statefile: unsupported proxy key type %T", p.Key)
+	}
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o600)
+}
+
+// LoadProxy reads a proxy written by SaveProxy.
+func LoadProxy(path string) (*proxy.Proxy, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("statefile: %w", err)
+	}
+	var f proxyFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("statefile: parse proxy: %w", err)
+	}
+	certsRaw, err := base64.StdEncoding.DecodeString(f.CertsB64)
+	if err != nil {
+		return nil, fmt.Errorf("statefile: decode certs: %w", err)
+	}
+	certs, err := proxy.UnmarshalCerts(certsRaw)
+	if err != nil {
+		return nil, err
+	}
+	p := &proxy.Proxy{Certs: certs}
+	if f.KeyKind == "" {
+		return p, nil
+	}
+	keyRaw, err := base64.StdEncoding.DecodeString(f.KeyB64)
+	if err != nil {
+		return nil, fmt.Errorf("statefile: decode key: %w", err)
+	}
+	switch f.KeyKind {
+	case "symmetric":
+		p.Key, err = kcrypto.SymmetricKeyFromBytes(keyRaw)
+	case "ed25519":
+		p.Key, err = kcrypto.KeyPairFromSeed(keyRaw)
+	default:
+		return nil, fmt.Errorf("statefile: unknown key kind %q", f.KeyKind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}

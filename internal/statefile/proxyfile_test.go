@@ -1,0 +1,118 @@
+package statefile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/pubkey"
+)
+
+func grantTestProxy(t *testing.T, mode proxy.Mode) (*proxy.Proxy, *pubkey.Identity, *kcrypto.SymmetricKey) {
+	t.Helper()
+	ident, err := pubkey.NewIdentity(principal.New("alice", "R"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	endKey, err := kcrypto.NewSymmetricKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := proxy.Grant(proxy.GrantParams{
+		Grantor:       ident.ID,
+		GrantorSigner: ident.Signer(),
+		Lifetime:      time.Hour,
+		Mode:          mode,
+		EndServerKey:  endKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, ident, endKey
+}
+
+func TestProxyFileRoundTripEd25519(t *testing.T) {
+	p, ident, _ := grantTestProxy(t, proxy.ModePublicKey)
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := SaveProxy(path, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProxy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key == nil || got.Key.KeyID() != p.Key.KeyID() {
+		t.Fatal("proxy key not preserved")
+	}
+	// The reloaded proxy still verifies and proves possession.
+	dir := pubkey.NewDirectory()
+	dir.RegisterIdentity(ident)
+	env := &proxy.VerifyEnv{Server: principal.New("sv", "R"), ResolveIdentity: dir.Resolver()}
+	ch, _ := proxy.NewChallenge()
+	pres, err := got.Present(ch, principal.New("sv", "R"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.VerifyPresentation(pres, ch); err != nil {
+		t.Fatal(err)
+	}
+	// The file is private.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Fatalf("proxy file mode = %v", info.Mode().Perm())
+	}
+}
+
+func TestProxyFileRoundTripSymmetric(t *testing.T) {
+	p, _, _ := grantTestProxy(t, proxy.ModeConventional)
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := SaveProxy(path, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProxy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key == nil || got.Key.KeyID() != p.Key.KeyID() {
+		t.Fatal("symmetric proxy key not preserved")
+	}
+}
+
+func TestProxyFileKeyless(t *testing.T) {
+	p, _, _ := grantTestProxy(t, proxy.ModePublicKey)
+	p.Key = nil // certificates only (delegate transfer)
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := SaveProxy(path, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProxy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != nil {
+		t.Fatal("phantom key appeared")
+	}
+	if len(got.Certs) != 1 {
+		t.Fatal("certs lost")
+	}
+}
+
+func TestLoadProxyErrors(t *testing.T) {
+	if _, err := LoadProxy(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProxy(bad); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+}

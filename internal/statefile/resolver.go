@@ -1,0 +1,35 @@
+package statefile
+
+import (
+	"sync"
+
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/principal"
+	"proxykit/internal/pubkey"
+)
+
+// DynamicResolver returns an identity resolver backed by the state
+// directory that re-reads directory.json whenever a lookup misses —
+// so daemons see principals registered after they started (e.g. a peer
+// daemon creating its identity during its own startup).
+func DynamicResolver(stateDir string) func(principal.ID) (kcrypto.Verifier, error) {
+	var (
+		mu  sync.Mutex
+		dir *pubkey.Directory
+	)
+	return func(id principal.ID) (kcrypto.Verifier, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if dir != nil {
+			if pk, err := dir.Lookup(id); err == nil {
+				return pk, nil
+			}
+		}
+		fresh, err := LoadDirectory(stateDir)
+		if err != nil {
+			return nil, err
+		}
+		dir = fresh
+		return dir.Lookup(id)
+	}
+}

@@ -1,0 +1,220 @@
+// Package statefile persists deployment state for the cmd/ daemons: a
+// shared public-key directory file (the name server's database) and
+// per-principal identity files holding private key seeds.
+//
+// The layout under a state directory is:
+//
+//	directory.json          name -> base64 public key
+//	identities/<name>.json  private key seed (mode 0600)
+//
+// This is a development-deployment convenience; the trust root is the
+// shared directory file, standing in for the authentication/name server
+// of §6.1.
+package statefile
+
+import (
+	"crypto/ed25519"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/principal"
+	"proxykit/internal/pubkey"
+)
+
+// ErrNoIdentity is returned when an identity file does not exist.
+var ErrNoIdentity = errors.New("statefile: identity not found")
+
+// directoryFile is the shared directory's on-disk name.
+const directoryFile = "directory.json"
+
+// identityFile holds one principal's private keys: the Ed25519 signing
+// seed and the X25519 encryption key.
+type identityFile struct {
+	Principal string `json:"principal"`
+	SeedB64   string `json:"seed"`
+	EncB64    string `json:"enc,omitempty"`
+}
+
+// identityPath returns the path for a principal's identity file.
+func identityPath(stateDir string, id principal.ID) string {
+	safe := strings.NewReplacer("/", "_", "@", "_at_").Replace(id.String())
+	return filepath.Join(stateDir, "identities", safe+".json")
+}
+
+// CreateIdentity generates a new identity, saves its seed, and adds its
+// public key to the shared directory.
+func CreateIdentity(stateDir string, id principal.ID) (*pubkey.Identity, error) {
+	seed, err := kcrypto.Nonce(ed25519.SeedSize)
+	if err != nil {
+		return nil, err
+	}
+	ident, err := pubkey.IdentityFromSeed(id, seed)
+	if err != nil {
+		return nil, err
+	}
+	path := identityPath(stateDir, id)
+	if err := os.MkdirAll(filepath.Dir(path), 0o700); err != nil {
+		return nil, fmt.Errorf("statefile: %w", err)
+	}
+	raw, err := json.MarshalIndent(identityFile{
+		Principal: id.String(),
+		SeedB64:   base64.StdEncoding.EncodeToString(seed),
+		EncB64:    base64.StdEncoding.EncodeToString(ident.ECDH().Bytes()),
+	}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		return nil, fmt.Errorf("statefile: %w", err)
+	}
+	if err := AddToDirectory(stateDir, id, ident.Public()); err != nil {
+		return nil, err
+	}
+	return ident, nil
+}
+
+// LoadIdentity reads a previously created identity.
+func LoadIdentity(stateDir string, id principal.ID) (*pubkey.Identity, error) {
+	raw, err := os.ReadFile(identityPath(stateDir, id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNoIdentity, id)
+		}
+		return nil, fmt.Errorf("statefile: %w", err)
+	}
+	var f identityFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("statefile: parse identity: %w", err)
+	}
+	seed, err := base64.StdEncoding.DecodeString(f.SeedB64)
+	if err != nil {
+		return nil, fmt.Errorf("statefile: decode seed: %w", err)
+	}
+	if f.EncB64 == "" {
+		// Legacy file without an encryption key: derive the signing
+		// identity and a fresh encryption key.
+		return pubkey.IdentityFromSeed(id, seed)
+	}
+	encPriv, err := base64.StdEncoding.DecodeString(f.EncB64)
+	if err != nil {
+		return nil, fmt.Errorf("statefile: decode enc key: %w", err)
+	}
+	return pubkey.IdentityFromKeys(id, seed, encPriv)
+}
+
+// LoadOrCreateIdentity loads an identity, creating it on first use.
+func LoadOrCreateIdentity(stateDir string, id principal.ID) (*pubkey.Identity, error) {
+	ident, err := LoadIdentity(stateDir, id)
+	if err == nil {
+		return ident, nil
+	}
+	if !errors.Is(err, ErrNoIdentity) {
+		return nil, err
+	}
+	return CreateIdentity(stateDir, id)
+}
+
+// AddToDirectory records a public key binding in the shared directory
+// file. Concurrent registrations (several daemons starting at once) are
+// serialized with a lock file and committed with an atomic rename so a
+// registration can neither be lost nor observed half-written.
+func AddToDirectory(stateDir string, id principal.ID, pk *kcrypto.PublicKey) error {
+	if err := os.MkdirAll(stateDir, 0o700); err != nil {
+		return fmt.Errorf("statefile: %w", err)
+	}
+	unlock, err := lockDir(stateDir)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+
+	path := filepath.Join(stateDir, directoryFile)
+	entries := map[string]string{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &entries); err != nil {
+			return fmt.Errorf("statefile: parse directory: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("statefile: %w", err)
+	}
+	entries[id.String()] = base64.StdEncoding.EncodeToString(pk.Bytes())
+	raw, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("statefile: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("statefile: %w", err)
+	}
+	return nil
+}
+
+// lockDir takes an exclusive advisory lock on the state directory via a
+// lock file, retrying briefly; it returns an unlock function. Stale
+// locks older than a minute are broken (a crashed daemon must not wedge
+// the deployment forever).
+func lockDir(stateDir string) (func(), error) {
+	lock := filepath.Join(stateDir, ".lock")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
+		if err == nil {
+			_ = f.Close()
+			return func() { _ = os.Remove(lock) }, nil
+		}
+		if !os.IsExist(err) {
+			return nil, fmt.Errorf("statefile: lock: %w", err)
+		}
+		if info, serr := os.Stat(lock); serr == nil && time.Since(info.ModTime()) > time.Minute {
+			_ = os.Remove(lock)
+			continue
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("statefile: lock: timed out waiting for %s", lock)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// LoadDirectory reads the shared directory file into a Directory. A
+// missing file yields an empty directory.
+func LoadDirectory(stateDir string) (*pubkey.Directory, error) {
+	dir := pubkey.NewDirectory()
+	raw, err := os.ReadFile(filepath.Join(stateDir, directoryFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return dir, nil
+		}
+		return nil, fmt.Errorf("statefile: %w", err)
+	}
+	entries := map[string]string{}
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return nil, fmt.Errorf("statefile: parse directory: %w", err)
+	}
+	for name, b64 := range entries {
+		id, err := principal.Parse(name)
+		if err != nil {
+			return nil, fmt.Errorf("statefile: directory entry %q: %w", name, err)
+		}
+		keyRaw, err := base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			return nil, fmt.Errorf("statefile: directory entry %q: %w", name, err)
+		}
+		pk, err := kcrypto.PublicKeyFromBytes(keyRaw)
+		if err != nil {
+			return nil, fmt.Errorf("statefile: directory entry %q: %w", name, err)
+		}
+		dir.Register(id, pk)
+	}
+	return dir, nil
+}

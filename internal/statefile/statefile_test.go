@@ -1,0 +1,172 @@
+package statefile
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"proxykit/internal/principal"
+)
+
+func TestCreateLoadIdentity(t *testing.T) {
+	dir := t.TempDir()
+	id := principal.New("alice", "EXAMPLE.ORG")
+
+	created, err := CreateIdentity(dir, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIdentity(dir, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.Public().KeyID() != loaded.Public().KeyID() {
+		t.Fatal("loaded identity differs from created")
+	}
+
+	// The directory picked up the binding.
+	d, err := LoadDirectory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := d.Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.KeyID() != created.Public().KeyID() {
+		t.Fatal("directory key mismatch")
+	}
+}
+
+func TestLoadIdentityMissing(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadIdentity(dir, principal.New("ghost", "R")); !errors.Is(err, ErrNoIdentity) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadOrCreateIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	id := principal.New("svc/host", "EXAMPLE.ORG")
+	a, err := LoadOrCreateIdentity(dir, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadOrCreateIdentity(dir, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Public().KeyID() != b.Public().KeyID() {
+		t.Fatal("LoadOrCreate regenerated the identity")
+	}
+}
+
+func TestEmptyDirectory(t *testing.T) {
+	d, err := LoadDirectory(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatal("phantom entries")
+	}
+}
+
+func TestMultipleIdentitiesShareDirectory(t *testing.T) {
+	dir := t.TempDir()
+	ids := []principal.ID{
+		principal.New("alice", "R"),
+		principal.New("file/srv1", "R"),
+		principal.New("bank", "R"),
+	}
+	for _, id := range ids {
+		if _, err := CreateIdentity(dir, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := LoadDirectory(filepath.Clean(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("directory len = %d", d.Len())
+	}
+}
+
+func TestDynamicResolverSeesLateRegistrations(t *testing.T) {
+	dir := t.TempDir()
+	resolve := DynamicResolver(dir)
+
+	// Nothing registered yet.
+	if _, err := resolve(principal.New("late", "R")); err == nil {
+		t.Fatal("resolved before registration")
+	}
+	// Register after the resolver was created (another daemon starting
+	// up later) — the resolver must pick it up.
+	ident, err := CreateIdentity(dir, principal.New("late", "R"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := resolve(principal.New("late", "R"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.KeyID() != ident.Public().KeyID() {
+		t.Fatal("resolved wrong key")
+	}
+	// Cached thereafter.
+	if _, err := resolve(principal.New("late", "R")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentIdentityCreation(t *testing.T) {
+	dir := t.TempDir()
+	const n = 12
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			_, err := CreateIdentity(dir, principal.New(fmt.Sprintf("svc%d", i), "R"))
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every registration survived the concurrent read-modify-write.
+	d, err := LoadDirectory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != n {
+		t.Fatalf("directory has %d entries, want %d", d.Len(), n)
+	}
+}
+
+func TestIdentityEncryptionKeyPersisted(t *testing.T) {
+	dir := t.TempDir()
+	id := principal.New("srv", "R")
+	created, err := CreateIdentity(dir, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIdentity(dir, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The encryption key must round-trip: something sealed to the
+	// created identity's public half opens with the loaded private half.
+	shared1, err := created.ECDH().SharedKey(loaded.ECDH().PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared2, err := loaded.ECDH().SharedKey(created.ECDH().PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shared1.Equal(shared2) {
+		t.Fatal("encryption key not persisted")
+	}
+}

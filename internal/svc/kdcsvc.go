@@ -1,0 +1,182 @@
+package svc
+
+import (
+	"fmt"
+	"time"
+
+	"proxykit/internal/kerberos"
+	"proxykit/internal/principal"
+	"proxykit/internal/restrict"
+	"proxykit/internal/transport"
+	"proxykit/internal/wire"
+)
+
+// KDC RPC methods.
+const (
+	ASMethod  = "krb.as"
+	TGSMethod = "krb.tgs"
+)
+
+// KDCService mounts a KDC on the transport layer. Kerberos messages are
+// self-protecting (everything sensitive is sealed under long-term or
+// session keys), so no envelope is needed.
+type KDCService struct {
+	kdc *kerberos.KDC
+}
+
+// NewKDCService wraps kdc.
+func NewKDCService(kdc *kerberos.KDC) *KDCService {
+	return &KDCService{kdc: kdc}
+}
+
+// Mux returns the service's transport mux.
+func (s *KDCService) Mux() *transport.Mux {
+	m := transport.NewMux()
+	m.Handle(ASMethod, func(body []byte) ([]byte, error) {
+		req, err := decodeASRequest(body)
+		if err != nil {
+			return nil, err
+		}
+		reply, err := s.kdc.AuthService(req)
+		if err != nil {
+			return nil, err
+		}
+		return encodeASReply(reply), nil
+	})
+	m.Handle(TGSMethod, func(body []byte) ([]byte, error) {
+		req, err := decodeTGSRequest(body)
+		if err != nil {
+			return nil, err
+		}
+		reply, err := s.kdc.TicketGrantingService(req)
+		if err != nil {
+			return nil, err
+		}
+		return encodeASReply(reply), nil
+	})
+	return m
+}
+
+func encodeASRequest(r *kerberos.ASRequest) []byte {
+	e := wire.NewEncoder(256)
+	r.Client.Encode(e)
+	r.Server.Encode(e)
+	e.Int64(int64(r.Lifetime))
+	e.Bytes32(r.Nonce)
+	e.Bytes32(r.Preauth)
+	r.Restrictions.Encode(e)
+	return e.Bytes()
+}
+
+func decodeASRequest(b []byte) (*kerberos.ASRequest, error) {
+	d := wire.NewDecoder(b)
+	r := &kerberos.ASRequest{}
+	r.Client = principal.DecodeID(d)
+	r.Server = principal.DecodeID(d)
+	r.Lifetime = time.Duration(d.Int64())
+	r.Nonce = d.Bytes32()
+	r.Preauth = d.Bytes32()
+	rs, err := restrict.Decode(d)
+	if err != nil {
+		return nil, err
+	}
+	r.Restrictions = rs
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("svc: decode AS request: %w", err)
+	}
+	if len(r.Preauth) == 0 {
+		r.Preauth = nil
+	}
+	return r, nil
+}
+
+func encodeASReply(r *kerberos.ASReply) []byte {
+	e := wire.NewEncoder(512)
+	e.Bytes32(r.Ticket.Marshal())
+	e.Bytes32(r.EncPart)
+	return e.Bytes()
+}
+
+func decodeASReply(b []byte) (*kerberos.ASReply, error) {
+	d := wire.NewDecoder(b)
+	traw := d.Bytes32()
+	enc := d.Bytes32()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("svc: decode AS reply: %w", err)
+	}
+	t, err := kerberos.UnmarshalTicket(traw)
+	if err != nil {
+		return nil, err
+	}
+	return &kerberos.ASReply{Ticket: t, EncPart: enc}, nil
+}
+
+func encodeTGSRequest(r *kerberos.TGSRequest) []byte {
+	e := wire.NewEncoder(512)
+	e.Bytes32(r.Ticket.Marshal())
+	e.BytesSlice(r.GrantChain)
+	e.Bytes32(r.Authenticator)
+	r.Server.Encode(e)
+	e.Int64(int64(r.Lifetime))
+	e.Bytes32(r.Nonce)
+	return e.Bytes()
+}
+
+func decodeTGSRequest(b []byte) (*kerberos.TGSRequest, error) {
+	d := wire.NewDecoder(b)
+	traw := d.Bytes32()
+	chain := d.BytesSlice()
+	auth := d.Bytes32()
+	server := principal.DecodeID(d)
+	lifetime := time.Duration(d.Int64())
+	nonce := d.Bytes32()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("svc: decode TGS request: %w", err)
+	}
+	t, err := kerberos.UnmarshalTicket(traw)
+	if err != nil {
+		return nil, err
+	}
+	return &kerberos.TGSRequest{
+		Ticket:        t,
+		GrantChain:    chain,
+		Authenticator: auth,
+		Server:        server,
+		Lifetime:      lifetime,
+		Nonce:         nonce,
+	}, nil
+}
+
+// KDCClient implements kerberos.AS and kerberos.TGS over a transport
+// client, so kerberos.Client works unchanged against a remote KDC.
+type KDCClient struct {
+	client transport.Client
+}
+
+// NewKDCClient wraps a transport client.
+func NewKDCClient(c transport.Client) *KDCClient {
+	return &KDCClient{client: c}
+}
+
+// AuthService implements kerberos.AS.
+func (k *KDCClient) AuthService(req *kerberos.ASRequest) (*kerberos.ASReply, error) {
+	resp, err := k.client.Call(ASMethod, encodeASRequest(req))
+	if err != nil {
+		return nil, err
+	}
+	return decodeASReply(resp)
+}
+
+// TicketGrantingService implements kerberos.TGS.
+func (k *KDCClient) TicketGrantingService(req *kerberos.TGSRequest) (*kerberos.ASReply, error) {
+	resp, err := k.client.Call(TGSMethod, encodeTGSRequest(req))
+	if err != nil {
+		return nil, err
+	}
+	return decodeASReply(resp)
+}
+
+var (
+	_ kerberos.AS  = (*KDCClient)(nil)
+	_ kerberos.TGS = (*KDCClient)(nil)
+)

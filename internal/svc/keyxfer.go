@@ -1,0 +1,84 @@
+package svc
+
+import (
+	"fmt"
+
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/proxy"
+	"proxykit/internal/wire"
+)
+
+// Proxy-key kinds on the wire.
+const (
+	keyKindNone      uint8 = 0
+	keyKindSymmetric uint8 = 1
+	keyKindEd25519   uint8 = 2
+)
+
+// sealProxy encodes a granted proxy for the reply: certificates in the
+// clear (they are public) and the proxy key sealed under the requester's
+// ephemeral shared key.
+func sealProxy(p *proxy.Proxy, shared *kcrypto.SymmetricKey) ([]byte, error) {
+	e := wire.NewEncoder(1024)
+	e.Bytes32(p.MarshalCerts())
+	switch key := p.Key.(type) {
+	case nil:
+		e.Uint8(keyKindNone)
+		e.Bytes32(nil)
+	case *kcrypto.SymmetricKey:
+		sealed, err := shared.Seal(key.Bytes())
+		if err != nil {
+			return nil, err
+		}
+		e.Uint8(keyKindSymmetric)
+		e.Bytes32(sealed)
+	case *kcrypto.KeyPair:
+		sealed, err := shared.Seal(key.Seed())
+		if err != nil {
+			return nil, err
+		}
+		e.Uint8(keyKindEd25519)
+		e.Bytes32(sealed)
+	default:
+		return nil, fmt.Errorf("svc: unsupported proxy key type %T", p.Key)
+	}
+	return e.Bytes(), nil
+}
+
+// openProxy decodes a sealed proxy reply.
+func openProxy(raw []byte, shared *kcrypto.SymmetricKey) (*proxy.Proxy, error) {
+	d := wire.NewDecoder(raw)
+	certsRaw := d.Bytes32()
+	kind := d.Uint8()
+	sealedKey := d.Bytes32()
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	certs, err := proxy.UnmarshalCerts(certsRaw)
+	if err != nil {
+		return nil, err
+	}
+	p := &proxy.Proxy{Certs: certs}
+	switch kind {
+	case keyKindNone:
+	case keyKindSymmetric:
+		raw, err := shared.Open(sealedKey)
+		if err != nil {
+			return nil, fmt.Errorf("svc: open proxy key: %w", err)
+		}
+		if p.Key, err = kcrypto.SymmetricKeyFromBytes(raw); err != nil {
+			return nil, err
+		}
+	case keyKindEd25519:
+		seed, err := shared.Open(sealedKey)
+		if err != nil {
+			return nil, fmt.Errorf("svc: open proxy key: %w", err)
+		}
+		if p.Key, err = kcrypto.KeyPairFromSeed(seed); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("svc: unknown proxy key kind %d", kind)
+	}
+	return p, nil
+}

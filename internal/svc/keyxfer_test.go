@@ -1,0 +1,123 @@
+package svc
+
+import (
+	"testing"
+	"time"
+
+	"proxykit/internal/kcrypto"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/pubkey"
+)
+
+func grantFor(t *testing.T, mode proxy.Mode) *proxy.Proxy {
+	t.Helper()
+	ident, err := pubkey.NewIdentity(principal.New("g", "R"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	endKey, err := kcrypto.NewSymmetricKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := proxy.Grant(proxy.GrantParams{
+		Grantor:       ident.ID,
+		GrantorSigner: ident.Signer(),
+		Lifetime:      time.Hour,
+		Mode:          mode,
+		EndServerKey:  endKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func sharedKey(t *testing.T) *kcrypto.SymmetricKey {
+	t.Helper()
+	k, err := kcrypto.NewSymmetricKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestSealOpenProxyEd25519(t *testing.T) {
+	p := grantFor(t, proxy.ModePublicKey)
+	shared := sharedKey(t)
+	raw, err := sealProxy(p, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := openProxy(raw, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key == nil || got.Key.KeyID() != p.Key.KeyID() {
+		t.Fatal("ed25519 proxy key not preserved")
+	}
+}
+
+func TestSealOpenProxySymmetric(t *testing.T) {
+	p := grantFor(t, proxy.ModeConventional)
+	shared := sharedKey(t)
+	raw, err := sealProxy(p, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := openProxy(raw, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key == nil || got.Key.KeyID() != p.Key.KeyID() {
+		t.Fatal("symmetric proxy key not preserved")
+	}
+}
+
+func TestSealOpenProxyKeyless(t *testing.T) {
+	p := grantFor(t, proxy.ModePublicKey)
+	p.Key = nil
+	shared := sharedKey(t)
+	raw, err := sealProxy(p, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := openProxy(raw, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != nil {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestOpenProxyWrongSharedKey(t *testing.T) {
+	p := grantFor(t, proxy.ModePublicKey)
+	raw, err := sealProxy(p, sharedKey(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openProxy(raw, sharedKey(t)); err == nil {
+		t.Fatal("wrong shared key opened the proxy key")
+	}
+}
+
+func TestOpenProxyGarbage(t *testing.T) {
+	if _, err := openProxy([]byte("garbage"), sharedKey(t)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+type oddSigner struct{}
+
+func (oddSigner) Sign([]byte) ([]byte, error) { return nil, nil }
+func (oddSigner) Scheme() kcrypto.Scheme      { return kcrypto.SchemeHMAC }
+func (oddSigner) KeyID() string               { return "odd" }
+
+func TestSealProxyUnsupportedKeyType(t *testing.T) {
+	p := grantFor(t, proxy.ModePublicKey)
+	p.Key = oddSigner{}
+	if _, err := sealProxy(p, sharedKey(t)); err == nil {
+		t.Fatal("unsupported key type accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"proxykit/internal/wire"
+)
+
+// TCPServer serves a Mux on a listener, one goroutine per connection,
+// frames per request. Close stops the listener and waits for active
+// connections to finish.
+type TCPServer struct {
+	mux *Mux
+	l   net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewTCPServer starts serving mux on l.
+func NewTCPServer(l net.Listener, mux *Mux) *TCPServer {
+	s := &TCPServer{mux: mux, l: l, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener's address.
+func (s *TCPServer) Addr() net.Addr { return s.l.Addr() }
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		method, body, err := decodeRequest(req)
+		if err != nil {
+			return // malformed peer; drop the connection
+		}
+		resp, herr := dispatchSafely(s.mux, method, body)
+		if err := wire.WriteFrame(conn, encodeResponse(resp, herr)); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes active connections, and waits for
+// handler goroutines to exit.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.l.Close()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// dispatchSafely converts a handler panic into an error so one bad
+// request cannot take the whole server down.
+func dispatchSafely(m *Mux, method string, body []byte) (resp []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, fmt.Errorf("transport: handler panic in %s: %v", method, r)
+		}
+	}()
+	return m.Dispatch(method, body)
+}
+
+// TCPClient is a Client over a single TCP connection. Calls are
+// serialized; services are stateless per request so one connection
+// suffices for the CLI tools.
+type TCPClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// DialTCP connects to a proxykit service at addr.
+func DialTCP(addr string, timeout time.Duration) (*TCPClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &TCPClient{conn: conn}, nil
+}
+
+// Call implements Client.
+func (c *TCPClient) Call(method string, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, ErrClosed
+	}
+	if err := wire.WriteFrame(c.conn, encodeRequest(method, body)); err != nil {
+		return nil, err
+	}
+	resp, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResponse(method, resp)
+}
+
+// Close closes the connection.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+var (
+	_ Client = (*memClient)(nil)
+	_ Client = (*TCPClient)(nil)
+)

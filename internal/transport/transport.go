@@ -1,0 +1,250 @@
+// Package transport provides the message substrate the proxykit services
+// run on: a request/response RPC abstraction with two implementations —
+// an in-memory network that meters messages and injects latency (the
+// measurement substrate for the experiments), and a TCP transport for
+// the cmd/ daemons.
+//
+// The paper's design arguments are about message counts and round trips
+// (e.g. offline proxy-chain verification vs Sollins's per-link
+// authentication-server contact, §3.4); the in-memory network counts
+// both so experiments can report them exactly.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"proxykit/internal/wire"
+)
+
+// Errors returned by transports.
+var (
+	ErrUnknownService = errors.New("transport: unknown service")
+	ErrUnknownMethod  = errors.New("transport: unknown method")
+	ErrClosed         = errors.New("transport: closed")
+)
+
+// RemoteError carries an application-level error string returned by a
+// remote handler.
+type RemoteError struct {
+	// Method is the RPC that failed.
+	Method string
+	// Msg is the remote error text.
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: remote %s: %s", e.Method, e.Msg)
+}
+
+// Handler processes one request body and returns a response body.
+type Handler func(body []byte) ([]byte, error)
+
+// Client issues RPCs to one service.
+type Client interface {
+	// Call invokes method with body and returns the response body; a
+	// *RemoteError reports handler-level failures.
+	Call(method string, body []byte) ([]byte, error)
+}
+
+// Mux routes methods to handlers. The zero value is not usable; call
+// NewMux.
+type Mux struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewMux returns an empty Mux.
+func NewMux() *Mux {
+	return &Mux{handlers: make(map[string]Handler)}
+}
+
+// Handle registers h for method, replacing any existing handler.
+func (m *Mux) Handle(method string, h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[method] = h
+}
+
+// Dispatch runs the handler for method.
+func (m *Mux) Dispatch(method string, body []byte) ([]byte, error) {
+	m.mu.RLock()
+	h, ok := m.handlers[method]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownMethod, method)
+	}
+	return h(body)
+}
+
+// Stats counts traffic through an in-memory Network.
+type Stats struct {
+	// Messages is the total message count (each call is two: request and
+	// response).
+	Messages atomic.Uint64
+	// RoundTrips is the number of completed calls.
+	RoundTrips atomic.Uint64
+	// Bytes is the total payload bytes in both directions.
+	Bytes atomic.Uint64
+}
+
+// Snapshot returns a point-in-time copy of the counters.
+func (s *Stats) Snapshot() (messages, roundTrips, bytes uint64) {
+	return s.Messages.Load(), s.RoundTrips.Load(), s.Bytes.Load()
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() {
+	s.Messages.Store(0)
+	s.RoundTrips.Store(0)
+	s.Bytes.Store(0)
+}
+
+// Network is an in-memory service fabric. Services register under names;
+// clients dial by name. Every call is metered and optionally delayed by
+// a configured per-round-trip latency.
+type Network struct {
+	mu       sync.RWMutex
+	services map[string]*Mux
+	latency  time.Duration
+	sleep    bool
+	stats    Stats
+}
+
+// NewNetwork returns an empty in-memory network.
+func NewNetwork() *Network {
+	return &Network{services: make(map[string]*Mux)}
+}
+
+// SetLatency configures the simulated one-way latency. If sleep is true
+// each call really sleeps 2×latency (request + response); otherwise the
+// latency is only modeled (see ModeledLatency).
+func (n *Network) SetLatency(oneWay time.Duration, sleep bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = oneWay
+	n.sleep = sleep
+}
+
+// Register exposes mux as a service under name.
+func (n *Network) Register(name string, mux *Mux) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.services[name] = mux
+}
+
+// Stats exposes the network's counters.
+func (n *Network) Stats() *Stats { return &n.stats }
+
+// ModeledLatency returns the network latency the recorded traffic would
+// have experienced at the configured one-way latency: round trips ×
+// 2 × latency.
+func (n *Network) ModeledLatency() time.Duration {
+	n.mu.RLock()
+	lat := n.latency
+	n.mu.RUnlock()
+	return time.Duration(n.stats.RoundTrips.Load()) * 2 * lat
+}
+
+// Dial returns a Client for the named service.
+func (n *Network) Dial(name string) (Client, error) {
+	n.mu.RLock()
+	mux, ok := n.services[name]
+	n.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownService, name)
+	}
+	return &memClient{net: n, mux: mux, service: name}, nil
+}
+
+// MustDial is Dial for wiring code where the service is known to exist;
+// it panics on unknown services (program construction error, not a
+// runtime condition).
+func (n *Network) MustDial(name string) Client {
+	c, err := n.Dial(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+type memClient struct {
+	net     *Network
+	mux     *Mux
+	service string
+}
+
+// Call implements Client.
+func (c *memClient) Call(method string, body []byte) ([]byte, error) {
+	c.net.mu.RLock()
+	lat, sleep := c.net.latency, c.net.sleep
+	c.net.mu.RUnlock()
+	if sleep && lat > 0 {
+		time.Sleep(lat)
+	}
+	c.net.stats.Messages.Add(1)
+	c.net.stats.Bytes.Add(uint64(len(body)))
+	resp, err := dispatchSafely(c.mux, method, body)
+	if sleep && lat > 0 {
+		time.Sleep(lat)
+	}
+	c.net.stats.Messages.Add(1)
+	c.net.stats.Bytes.Add(uint64(len(resp)))
+	c.net.stats.RoundTrips.Add(1)
+	if err != nil {
+		// Model the error crossing the network, as TCP transport does.
+		return nil, &RemoteError{Method: method, Msg: err.Error()}
+	}
+	return resp, nil
+}
+
+// encodeRequest/decodeRequest define the on-wire RPC envelope shared
+// with the TCP transport.
+func encodeRequest(method string, body []byte) []byte {
+	e := wire.NewEncoder(64 + len(body))
+	e.String(method)
+	e.Bytes32(body)
+	return e.Bytes()
+}
+
+func decodeRequest(b []byte) (method string, body []byte, err error) {
+	d := wire.NewDecoder(b)
+	method = d.String()
+	body = d.Bytes32()
+	if err := d.Finish(); err != nil {
+		return "", nil, err
+	}
+	return method, body, nil
+}
+
+func encodeResponse(body []byte, herr error) []byte {
+	e := wire.NewEncoder(64 + len(body))
+	if herr != nil {
+		e.Bool(true)
+		e.String(herr.Error())
+		return e.Bytes()
+	}
+	e.Bool(false)
+	e.Bytes32(body)
+	return e.Bytes()
+}
+
+func decodeResponse(method string, b []byte) ([]byte, error) {
+	d := wire.NewDecoder(b)
+	if d.Bool() {
+		msg := d.String()
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		return nil, &RemoteError{Method: method, Msg: msg}
+	}
+	body := d.Bytes32()
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

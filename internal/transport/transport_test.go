@@ -1,0 +1,313 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func echoMux() *Mux {
+	m := NewMux()
+	m.Handle("echo", func(body []byte) ([]byte, error) {
+		return body, nil
+	})
+	m.Handle("fail", func(body []byte) ([]byte, error) {
+		return nil, errors.New("handler exploded")
+	})
+	return m
+}
+
+func TestMemNetworkCall(t *testing.T) {
+	n := NewNetwork()
+	n.Register("svc", echoMux())
+	c, err := n.Dial("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Call("echo", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMemNetworkRemoteError(t *testing.T) {
+	n := NewNetwork()
+	n.Register("svc", echoMux())
+	c := n.MustDial("svc")
+	_, err := c.Call("fail", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v", err)
+	}
+	if re.Msg != "handler exploded" || re.Method != "fail" {
+		t.Fatalf("re = %+v", re)
+	}
+}
+
+func TestMemNetworkUnknowns(t *testing.T) {
+	n := NewNetwork()
+	n.Register("svc", echoMux())
+	if _, err := n.Dial("nope"); !errors.Is(err, ErrUnknownService) {
+		t.Fatalf("dial err = %v", err)
+	}
+	c := n.MustDial("svc")
+	_, err := c.Call("nope", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("unknown method should arrive as remote error, got %v", err)
+	}
+}
+
+func TestMustDialPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewNetwork().MustDial("missing")
+}
+
+func TestStatsCounting(t *testing.T) {
+	n := NewNetwork()
+	n.Register("svc", echoMux())
+	c := n.MustDial("svc")
+	for i := 0; i < 3; i++ {
+		if _, err := c.Call("echo", []byte("abcd")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs, rts, bytesN := n.Stats().Snapshot()
+	if msgs != 6 {
+		t.Fatalf("messages = %d, want 6", msgs)
+	}
+	if rts != 3 {
+		t.Fatalf("round trips = %d, want 3", rts)
+	}
+	if bytesN != 3*8 { // 4 bytes each way per call
+		t.Fatalf("bytes = %d, want 24", bytesN)
+	}
+	n.Stats().Reset()
+	if m, r, b := n.Stats().Snapshot(); m|r|b != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestModeledLatency(t *testing.T) {
+	n := NewNetwork()
+	n.Register("svc", echoMux())
+	n.SetLatency(5*time.Millisecond, false) // modeled only, no sleeping
+	c := n.MustDial("svc")
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if _, err := c.Call("echo", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("modeled latency slept: %v", elapsed)
+	}
+	if got := n.ModeledLatency(); got != 40*time.Millisecond {
+		t.Fatalf("modeled latency = %v, want 40ms", got)
+	}
+}
+
+func TestSleepLatency(t *testing.T) {
+	n := NewNetwork()
+	n.Register("svc", echoMux())
+	n.SetLatency(10*time.Millisecond, true)
+	c := n.MustDial("svc")
+	start := time.Now()
+	if _, err := c.Call("echo", nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("call returned in %v, want >= 20ms", elapsed)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	n := NewNetwork()
+	n.Register("svc", echoMux())
+	c := n.MustDial("svc")
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := []byte(fmt.Sprintf("msg-%d", i))
+			got, err := c.Call("echo", msg)
+			if err != nil || !bytes.Equal(got, msg) {
+				t.Errorf("call %d: %v %q", i, err, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if _, rts, _ := n.Stats().Snapshot(); rts != 50 {
+		t.Fatalf("round trips = %d", rts)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewTCPServer(l, echoMux())
+	defer srv.Close()
+
+	c, err := DialTCP(srv.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	got, err := c.Call("echo", []byte("over tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("over tcp")) {
+		t.Fatalf("got %q", got)
+	}
+
+	// Errors cross the wire as RemoteError.
+	_, err = c.Call("fail", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Msg != "handler exploded" {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Multiple sequential calls on one connection.
+	for i := 0; i < 10; i++ {
+		if _, err := c.Call("echo", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCPServerClose(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewTCPServer(l, echoMux())
+	c, err := DialTCP(srv.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call("echo", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := c.Call("echo", nil); err == nil {
+		t.Fatal("call succeeded after server close")
+	}
+	_ = c.Close()
+	if _, err := c.Call("echo", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed client err = %v", err)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewTCPServer(l, echoMux())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := DialTCP(srv.Addr().String(), time.Second)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				msg := []byte(fmt.Sprintf("%d-%d", i, j))
+				got, err := c.Call("echo", msg)
+				if err != nil || !bytes.Equal(got, msg) {
+					t.Errorf("client %d call %d: %v", i, j, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestDialTCPFailure(t *testing.T) {
+	if _, err := DialTCP("127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestRequestResponseEncoding(t *testing.T) {
+	b := encodeRequest("method.name", []byte("body"))
+	m, body, err := decodeRequest(b)
+	if err != nil || m != "method.name" || !bytes.Equal(body, []byte("body")) {
+		t.Fatalf("%q %q %v", m, body, err)
+	}
+	if _, _, err := decodeRequest([]byte("garbage")); err == nil {
+		t.Fatal("garbage request accepted")
+	}
+
+	r := encodeResponse([]byte("ok"), nil)
+	body, err = decodeResponse("m", r)
+	if err != nil || !bytes.Equal(body, []byte("ok")) {
+		t.Fatalf("%q %v", body, err)
+	}
+	r = encodeResponse(nil, errors.New("boom"))
+	_, err = decodeResponse("m", r)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Msg != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := decodeResponse("m", []byte{2, 3}); err == nil {
+		t.Fatal("garbage response accepted")
+	}
+}
+
+func TestTCPServerSurvivesHandlerPanic(t *testing.T) {
+	m := NewMux()
+	m.Handle("boom", func([]byte) ([]byte, error) { panic("handler bug") })
+	m.Handle("ok", func(b []byte) ([]byte, error) { return b, nil })
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewTCPServer(l, m)
+	defer srv.Close()
+	c, err := DialTCP(srv.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, err = c.Call("boom", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "panic") {
+		t.Fatalf("err = %v", err)
+	}
+	// The connection and server are still serviceable.
+	got, err := c.Call("ok", []byte("still alive"))
+	if err != nil || string(got) != "still alive" {
+		t.Fatalf("after panic: %q %v", got, err)
+	}
+}

@@ -1,0 +1,158 @@
+package proxykit
+
+import (
+	"proxykit/internal/accounting"
+	"proxykit/internal/acl"
+	"proxykit/internal/audit"
+	"proxykit/internal/endserver"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/restrict"
+)
+
+// Naming types (see internal/principal).
+type (
+	// Principal identifies a user, host, or service: "name@REALM".
+	Principal = principal.ID
+	// Global names an object on a maintaining server: "name%server@R".
+	Global = principal.Global
+	// Compound requires the concurrence of several principals (§3.5).
+	Compound = principal.Compound
+)
+
+// Naming constructors.
+var (
+	// NewPrincipal builds a Principal from name and realm.
+	NewPrincipal = principal.New
+	// ParsePrincipal parses "name@REALM".
+	ParsePrincipal = principal.Parse
+	// NewGlobalName composes a global name from a server and local name.
+	NewGlobalName = principal.NewGlobal
+	// ParseGlobalName parses "local%server@REALM".
+	ParseGlobalName = principal.ParseGlobal
+	// NewCompound builds a canonical compound principal.
+	NewCompound = principal.NewCompound
+)
+
+// Restriction types (§7 of the paper; see internal/restrict).
+type (
+	// Restriction is one typed condition on a proxy's use.
+	Restriction = restrict.Restriction
+	// Restrictions is a conjunctive set of restrictions.
+	Restrictions = restrict.Set
+	// Grantee restricts use to named principals (§7.1).
+	Grantee = restrict.Grantee
+	// ForUseByGroup restricts use to group members (§7.2).
+	ForUseByGroup = restrict.ForUseByGroup
+	// IssuedFor restricts accepting servers (§7.3).
+	IssuedFor = restrict.IssuedFor
+	// Quota limits resource consumption (§7.4).
+	Quota = restrict.Quota
+	// Authorized enumerates permitted objects and operations (§7.5).
+	Authorized = restrict.Authorized
+	// AuthorizedEntry is one (object, operations) pair.
+	AuthorizedEntry = restrict.AuthorizedEntry
+	// GroupMembership limits assertable groups (§7.6).
+	GroupMembership = restrict.GroupMembership
+	// AcceptOnce makes a proxy single-use (§7.7).
+	AcceptOnce = restrict.AcceptOnce
+	// Limit scopes embedded restrictions to named servers (§7.8).
+	Limit = restrict.Limit
+	// DepositTo directs check proceeds (§4).
+	DepositTo = restrict.DepositTo
+	// EvalContext describes a request during restriction evaluation.
+	EvalContext = restrict.Context
+)
+
+// Proxy types (§2; see internal/proxy).
+type (
+	// Proxy couples a certificate chain with its secret proxy key.
+	Proxy = proxy.Proxy
+	// Certificate is one signed link of a chain.
+	Certificate = proxy.Certificate
+	// Presentation is what a grantee sends to an end-server.
+	Presentation = proxy.Presentation
+	// Verified summarizes a validated chain.
+	Verified = proxy.Verified
+	// VerifyEnv is an end-server's verification environment.
+	VerifyEnv = proxy.VerifyEnv
+	// GrantOptions parameterize proxy creation.
+	GrantOptions = proxy.GrantParams
+	// CascadeOptions parameterize chain extension (§3.4).
+	CascadeOptions = proxy.CascadeParams
+)
+
+// Proxy modes.
+const (
+	// ModeConventional uses shared-key cryptography (§6.2).
+	ModeConventional = proxy.ModeConventional
+	// ModePublicKey uses public-key cryptography (§6.1).
+	ModePublicKey = proxy.ModePublicKey
+)
+
+// Grant creates a restricted proxy; see proxy.Grant.
+var Grant = proxy.Grant
+
+// ACL types (§3.5; see internal/acl).
+type (
+	// ACL is an ordered access-control list.
+	ACL = acl.ACL
+	// ACLEntryT is one ACL line.
+	ACLEntryT = acl.Entry
+	// ACLSubject is an entry's subject.
+	ACLSubject = acl.Subject
+	// ACLQuery is one authorization question.
+	ACLQuery = acl.Query
+)
+
+// ACL constructors.
+var (
+	// NewACL builds an ACL from entries.
+	NewACL = acl.New
+	// ACLEntry builds a single-principal entry.
+	ACLEntry = acl.PrincipalEntry
+	// ACLGroupEntry builds a single-group entry.
+	ACLGroupEntry = acl.GroupEntry
+)
+
+// End-server types (see internal/endserver).
+type (
+	// EndServer authorizes requests against ACLs and proxies.
+	EndServer = endserver.Server
+	// Request is one authorization question to an end-server.
+	Request = endserver.Request
+	// Decision reports how a request was authorized.
+	Decision = endserver.Decision
+)
+
+// Accounting types (§4; see internal/accounting).
+type (
+	// AccountingServer maintains accounts and clears checks.
+	AccountingServer = accounting.Server
+	// Check is a numbered delegate proxy authorizing a transfer.
+	Check = accounting.Check
+	// CheckParams describe a check to write.
+	CheckParams = accounting.WriteCheckParams
+	// CertifiedCheck couples a check with its bank certification.
+	CertifiedCheck = accounting.CertifiedCheck
+	// Receipt reports a deposit's outcome.
+	Receipt = accounting.Receipt
+)
+
+// WriteCheck creates and signs a check; see accounting.WriteCheck.
+var WriteCheck = accounting.WriteCheck
+
+// VerifyCertification lets an end-server validate a bank's certified-
+// check proxy; see accounting.VerifyCertification.
+var VerifyCertification = accounting.VerifyCertification
+
+// Audit types (§3.4; see internal/audit).
+type (
+	// AuditLog is a bounded in-memory decision log.
+	AuditLog = audit.Log
+	// AuditRecord is one logged decision.
+	AuditRecord = audit.Record
+)
+
+// NewAuditLog builds a bounded audit log.
+var NewAuditLog = audit.NewLog

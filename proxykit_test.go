@@ -1,0 +1,295 @@
+package proxykit_test
+
+import (
+	"testing"
+	"time"
+
+	"proxykit"
+	"proxykit/internal/clock"
+	"proxykit/internal/group"
+)
+
+func TestRealmQuickstartFlow(t *testing.T) {
+	realm := proxykit.NewRealm("EXAMPLE.ORG")
+	realm.Clock = clock.NewFake(time.Unix(21_000_000, 0))
+
+	alice, err := realm.NewIdentity("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileServer, err := realm.NewEndServer("file/srv1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileServer.SetACL("/etc/motd", proxykit.NewACL(
+		proxykit.ACLEntry(alice.ID, "read", "write")))
+
+	capability, err := realm.GrantCapability(alice, time.Hour,
+		proxykit.Authorized{Entries: []proxykit.AuthorizedEntry{
+			{Object: "/etc/motd", Ops: []string{"read"}},
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ch, err := fileServer.Challenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := capability.Present(ch, fileServer.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := fileServer.Authorize(&proxykit.Request{
+		Object: "/etc/motd", Op: "read",
+		Proxies:   []*proxykit.Presentation{pres},
+		Challenge: ch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Via != alice.ID || !dec.ViaProxy {
+		t.Fatalf("decision = %+v", dec)
+	}
+
+	// The capability cannot write.
+	ch2, _ := fileServer.Challenge()
+	pres2, _ := capability.Present(ch2, fileServer.ID)
+	if _, err := fileServer.Authorize(&proxykit.Request{
+		Object: "/etc/motd", Op: "write",
+		Proxies:   []*proxykit.Presentation{pres2},
+		Challenge: ch2,
+	}); err == nil {
+		t.Fatal("capability exceeded its restriction")
+	}
+}
+
+func TestRealmDelegateFlow(t *testing.T) {
+	realm := proxykit.NewRealm("EXAMPLE.ORG")
+	realm.Clock = clock.NewFake(time.Unix(21_000_000, 0))
+	alice, _ := realm.NewIdentity("alice")
+	bobIdent, _ := realm.NewIdentity("bob")
+	bob := bobIdent.ID
+	srv, err := realm.NewEndServer("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetACL("/doc", proxykit.NewACL(proxykit.ACLEntry(alice.ID, "read")))
+
+	del, err := realm.GrantDelegate(alice, []proxykit.Principal{bob}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := srv.Authorize(&proxykit.Request{
+		Object: "/doc", Op: "read",
+		Identities: []proxykit.Principal{bob},
+		Proxies:    []*proxykit.Presentation{del.PresentDelegate()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Via != alice.ID {
+		t.Fatalf("via = %v", dec.Via)
+	}
+}
+
+func TestRealmAccounting(t *testing.T) {
+	realm := proxykit.NewRealm("BANKS.ORG")
+	realm.Clock = clock.NewFake(time.Unix(21_000_000, 0))
+	carol, _ := realm.NewIdentity("carol")
+	dave, _ := realm.NewIdentity("dave")
+	bank, err := realm.NewAccountingServer("bank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bank.CreateAccount("carol", carol.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := bank.CreateAccount("dave", dave.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := bank.Mint("carol", "dollars", 100); err != nil {
+		t.Fatal(err)
+	}
+	check, err := proxykit.WriteCheck(proxykit.CheckParams{
+		Payor: carol, Bank: bank.ID, Account: "carol",
+		Payee: dave.ID, Currency: "dollars", Amount: 40,
+		Lifetime: time.Hour, Clock: realm.Clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bank.DepositCheck(check, []proxykit.Principal{dave.ID}, "dave"); err != nil {
+		t.Fatal(err)
+	}
+	bal, err := bank.Balance("dave", "dollars", []proxykit.Principal{dave.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal != 40 {
+		t.Fatalf("dave = %d", bal)
+	}
+}
+
+func TestRealmDuplicateIdentityRejected(t *testing.T) {
+	realm := proxykit.NewRealm("EXAMPLE.ORG")
+	if _, err := realm.NewIdentity("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := realm.NewIdentity("alice"); err == nil {
+		t.Fatal("duplicate identity accepted")
+	}
+	if _, ok := realm.Identity("alice"); !ok {
+		t.Fatal("identity lookup failed")
+	}
+	if _, ok := realm.Identity("ghost"); ok {
+		t.Fatal("phantom identity")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	p, err := proxykit.ParsePrincipal("alice@EXAMPLE.ORG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != proxykit.NewPrincipal("alice", "EXAMPLE.ORG") {
+		t.Fatal("parse mismatch")
+	}
+	g, err := proxykit.ParseGlobalName("staff%groups@EXAMPLE.ORG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "staff" {
+		t.Fatalf("g = %v", g)
+	}
+}
+
+func TestRealmServiceConstructors(t *testing.T) {
+	realm := proxykit.NewRealm("SVC.ORG")
+	realm.Clock = clock.NewFake(time.Unix(21_000_000, 0))
+	bobIdent, err := realm.NewIdentity("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	groups, err := realm.NewGroupServer("groups")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups.AddMember("staff", bobIdent.ID)
+
+	authzSrv, err := realm.NewAuthzServer("authz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if authzSrv.ID != proxykit.NewPrincipal("authz", "SVC.ORG") {
+		t.Fatalf("authz id = %v", authzSrv.ID)
+	}
+
+	// The realm directory resolves every created identity.
+	if _, err := realm.Directory().Lookup(groups.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := realm.Directory().Lookup(authzSrv.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate server names are refused (identity collision).
+	if _, err := realm.NewGroupServer("groups"); err == nil {
+		t.Fatal("duplicate server identity accepted")
+	}
+	if _, err := realm.NewAuthzServer("authz"); err == nil {
+		t.Fatal("duplicate authz identity accepted")
+	}
+	if _, err := realm.NewEndServer("authz"); err == nil {
+		t.Fatal("end-server reused existing identity")
+	}
+	if _, err := realm.NewAccountingServer("authz"); err == nil {
+		t.Fatal("accounting server reused existing identity")
+	}
+
+	// A group proxy from the realm-built group server verifies under a
+	// realm-built env.
+	gp, err := groups.Grant(&group.GrantRequest{
+		Client: bobIdent.ID, Groups: []string{"staff"}, Lifetime: time.Hour, Delegate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := realm.VerifyEnvFor(proxykit.NewPrincipal("file", "SVC.ORG"))
+	if _, err := env.VerifyChain(gp.Certs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealmHybridConventionalCapability(t *testing.T) {
+	realm := proxykit.NewRealm("HYBRID.ORG")
+	realm.Clock = clock.NewFake(time.Unix(21_000_000, 0))
+	alice, _ := realm.NewIdentity("alice")
+	srv, err := realm.NewEndServer("file/srv1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetACL("/doc", proxykit.NewACL(proxykit.ACLEntry(alice.ID, "read")))
+
+	// A conventional (HMAC) capability sealed to the server's published
+	// encryption key — no pre-shared key between alice and the server.
+	cap, err := realm.GrantConventional(alice, srv.ID, time.Hour,
+		proxykit.Authorized{Entries: []proxykit.AuthorizedEntry{
+			{Object: "/doc", Ops: []string{"read"}},
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := srv.Challenge()
+	pres, err := cap.Present(ch, srv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := srv.Authorize(&proxykit.Request{
+		Object: "/doc", Op: "read",
+		Proxies:   []*proxykit.Presentation{pres},
+		Challenge: ch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Via != alice.ID {
+		t.Fatalf("via = %v", dec.Via)
+	}
+
+	// A second end-server cannot accept it: the issued-for restriction
+	// confines it, and it cannot unseal the proxy key anyway.
+	other, err := realm.NewEndServer("file/srv2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.SetACL("/doc", proxykit.NewACL(proxykit.ACLEntry(alice.ID, "read")))
+	ch2, _ := other.Challenge()
+	pres2, err := cap.Present(ch2, other.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Authorize(&proxykit.Request{
+		Object: "/doc", Op: "read",
+		Proxies:   []*proxykit.Presentation{pres2},
+		Challenge: ch2,
+	}); err == nil {
+		t.Fatal("hybrid capability accepted by the wrong server")
+	}
+}
+
+func TestStatefileIdentityECDHRoundTrip(t *testing.T) {
+	// Exercised through the facade to also cover IdentityFromKeys.
+	realm := proxykit.NewRealm("R.ORG")
+	alice, _ := realm.NewIdentity("alice")
+	if alice.ECDH() == nil {
+		t.Fatal("identity lacks encryption key")
+	}
+	if _, err := realm.Directory().LookupEncryption(alice.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := realm.GrantConventional(alice, proxykit.NewPrincipal("ghost", "R.ORG"), time.Hour); err == nil {
+		t.Fatal("grant to unpublished server accepted")
+	}
+}

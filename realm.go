@@ -1,0 +1,190 @@
+package proxykit
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"proxykit/internal/authz"
+	"proxykit/internal/clock"
+	"proxykit/internal/endserver"
+	"proxykit/internal/group"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/pubkey"
+	"proxykit/internal/restrict"
+
+	acctpkg "proxykit/internal/accounting"
+)
+
+// Identity couples a principal with its signing keys.
+type Identity = pubkey.Identity
+
+// AuthzServer is an authorization server (§3.2).
+type AuthzServer = authz.Server
+
+// AuthzRule is one authorization-database rule.
+type AuthzRule = authz.Rule
+
+// GroupServer is a group server (§3.3).
+type GroupServer = group.Server
+
+// Realm wires an in-process proxykit deployment: a public-key directory
+// (the name server of §6.1), a shared clock, and constructors for every
+// service. It is the quickest way to use the library; distributed
+// deployments use the cmd/ daemons instead.
+type Realm struct {
+	// Name is the realm name appended to principal names.
+	Name string
+	// Clock is the time source shared by all components; replace it
+	// before creating identities/servers to control time in tests.
+	Clock clock.Clock
+
+	mu        sync.Mutex
+	directory *pubkey.Directory
+	ids       map[principal.ID]*pubkey.Identity
+}
+
+// NewRealm creates a realm using the system clock.
+func NewRealm(name string) *Realm {
+	return &Realm{
+		Name:      name,
+		Clock:     clock.System{},
+		directory: pubkey.NewDirectory(),
+		ids:       make(map[principal.ID]*pubkey.Identity),
+	}
+}
+
+// Directory exposes the realm's key directory.
+func (r *Realm) Directory() *pubkey.Directory { return r.directory }
+
+// NewIdentity creates and registers an identity for name@realm.
+func (r *Realm) NewIdentity(name string) (*Identity, error) {
+	id := principal.New(name, r.Name)
+	ident, err := pubkey.NewIdentity(id)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.ids[id]; ok {
+		return nil, fmt.Errorf("proxykit: identity %s already exists", id)
+	}
+	r.ids[id] = ident
+	r.directory.RegisterIdentity(ident)
+	return ident, nil
+}
+
+// Identity returns a previously created identity.
+func (r *Realm) Identity(name string) (*Identity, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ident, ok := r.ids[principal.New(name, r.Name)]
+	return ident, ok
+}
+
+// VerifyEnvFor builds a verification environment for a server identity.
+// If the realm holds the server's identity, the environment can also
+// unseal hybrid-mode proxy keys addressed to it (§6.1).
+func (r *Realm) VerifyEnvFor(server Principal) *VerifyEnv {
+	env := &proxy.VerifyEnv{
+		Server:          server,
+		Clock:           r.Clock,
+		MaxSkew:         time.Minute,
+		ResolveIdentity: r.directory.Resolver(),
+	}
+	r.mu.Lock()
+	ident, ok := r.ids[server]
+	r.mu.Unlock()
+	if ok && ident.ECDH() != nil {
+		env.UnsealProxyKey = proxy.UnsealWithECDH(ident.ECDH())
+	}
+	return env
+}
+
+// GrantCapability creates a bearer proxy from grantor with the given
+// restrictions — a capability in the sense of §3.1.
+func (r *Realm) GrantCapability(grantor *Identity, lifetime time.Duration, restrictions ...Restriction) (*Proxy, error) {
+	return proxy.Grant(proxy.GrantParams{
+		Grantor:       grantor.ID,
+		GrantorSigner: grantor.Signer(),
+		Restrictions:  restrict.Set(restrictions),
+		Lifetime:      lifetime,
+		Mode:          proxy.ModePublicKey,
+		Clock:         r.Clock,
+	})
+}
+
+// GrantConventional creates a conventional-cryptography capability in
+// hybrid mode (§6.1): the proxy key is sealed to the end-server's
+// published X25519 key, looked up in the realm directory, so only that
+// server can check proof of possession.
+func (r *Realm) GrantConventional(grantor *Identity, endServer Principal, lifetime time.Duration, restrictions ...Restriction) (*Proxy, error) {
+	encPub, err := r.directory.LookupEncryption(endServer)
+	if err != nil {
+		return nil, err
+	}
+	rs := restrict.Set(restrictions)
+	rs = rs.Merge(restrict.Set{restrict.IssuedFor{Servers: []Principal{endServer}}})
+	return proxy.Grant(proxy.GrantParams{
+		Grantor:       grantor.ID,
+		GrantorSigner: grantor.Signer(),
+		Restrictions:  rs,
+		Lifetime:      lifetime,
+		Mode:          proxy.ModeConventional,
+		EndServerECDH: encPub,
+		Clock:         r.Clock,
+	})
+}
+
+// GrantDelegate creates a delegate proxy from grantor usable only by
+// the named grantees.
+func (r *Realm) GrantDelegate(grantor *Identity, grantees []Principal, lifetime time.Duration, restrictions ...Restriction) (*Proxy, error) {
+	rs := restrict.Set{restrict.Grantee{Principals: grantees}}
+	rs = rs.Merge(restrict.Set(restrictions))
+	return proxy.Grant(proxy.GrantParams{
+		Grantor:       grantor.ID,
+		GrantorSigner: grantor.Signer(),
+		Restrictions:  rs,
+		Lifetime:      lifetime,
+		Mode:          proxy.ModePublicKey,
+		Clock:         r.Clock,
+	})
+}
+
+// NewEndServer creates an application end-server with an identity in
+// the realm.
+func (r *Realm) NewEndServer(name string) (*EndServer, error) {
+	ident, err := r.NewIdentity(name)
+	if err != nil {
+		return nil, err
+	}
+	return endserver.New(ident.ID, r.VerifyEnvFor(ident.ID), r.Clock), nil
+}
+
+// NewAuthzServer creates an authorization server (§3.2).
+func (r *Realm) NewAuthzServer(name string) (*AuthzServer, error) {
+	ident, err := r.NewIdentity(name)
+	if err != nil {
+		return nil, err
+	}
+	return authz.New(ident, r.Clock), nil
+}
+
+// NewGroupServer creates a group server (§3.3).
+func (r *Realm) NewGroupServer(name string) (*GroupServer, error) {
+	ident, err := r.NewIdentity(name)
+	if err != nil {
+		return nil, err
+	}
+	return group.New(ident, r.Clock), nil
+}
+
+// NewAccountingServer creates an accounting server (§4).
+func (r *Realm) NewAccountingServer(name string) (*AccountingServer, error) {
+	ident, err := r.NewIdentity(name)
+	if err != nil {
+		return nil, err
+	}
+	return acctpkg.NewServer(ident, r.directory.Resolver(), r.Clock), nil
+}
