@@ -2,21 +2,30 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples cover fuzz clean
+.PHONY: all build vet test race check bench experiments examples cover fuzz clean
 
-all: build vet test
+all: check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
 
+# The packages with concurrent hot paths (atomic metrics, TCP RPC,
+# check clearing) run under the race detector; `make check` includes
+# this, the full suite does not need it on every run.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/transport/... ./internal/obs/... ./internal/accounting/...
+
+check: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -11,6 +11,10 @@
 //	]
 //
 //	authzd -state ./state -name authz -listen :8090 -rules rules.json
+//
+// With -metrics-addr set, a side HTTP listener serves /metrics
+// (Prometheus text; ?format=json for JSON), /healthz, /traces (recent
+// RPC spans), and /debug/pprof. See OBSERVABILITY.md.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 
 	"proxykit/internal/acl"
 	"proxykit/internal/authz"
+	"proxykit/internal/obs"
 	"proxykit/internal/principal"
 	"proxykit/internal/statefile"
 	"proxykit/internal/svc"
@@ -48,13 +53,23 @@ func main() {
 
 func run() error {
 	var (
-		state  = flag.String("state", "./state", "shared state directory")
-		name   = flag.String("name", "authz", "server principal name")
-		realm  = flag.String("realm", "EXAMPLE.ORG", "realm name")
-		listen = flag.String("listen", "127.0.0.1:8090", "listen address")
-		rules  = flag.String("rules", "", "JSON rules file")
+		state       = flag.String("state", "./state", "shared state directory")
+		name        = flag.String("name", "authz", "server principal name")
+		realm       = flag.String("realm", "EXAMPLE.ORG", "realm name")
+		listen      = flag.String("listen", "127.0.0.1:8090", "listen address")
+		rules       = flag.String("rules", "", "JSON rules file")
+		metricsAddr = flag.String("metrics-addr", "", "observability HTTP listen address serving /metrics, /healthz, /traces, and /debug/pprof (disabled when empty)")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		msrv, maddr, err := obs.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		log.Printf("metrics listening on http://%s/metrics", maddr)
+	}
 
 	ident, err := statefile.LoadOrCreateIdentity(*state, principal.New(*name, *realm))
 	if err != nil {

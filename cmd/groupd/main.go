@@ -10,6 +10,10 @@
 //	}
 //
 //	groupd -state ./state -name groups -listen :8091 -groups groups.json
+//
+// With -metrics-addr set, a side HTTP listener serves /metrics
+// (Prometheus text; ?format=json for JSON), /healthz, /traces (recent
+// RPC spans), and /debug/pprof. See OBSERVABILITY.md.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"syscall"
 
 	"proxykit/internal/group"
+	"proxykit/internal/obs"
 	"proxykit/internal/principal"
 	"proxykit/internal/statefile"
 	"proxykit/internal/svc"
@@ -38,13 +43,23 @@ func main() {
 
 func run() error {
 	var (
-		state  = flag.String("state", "./state", "shared state directory")
-		name   = flag.String("name", "groups", "server principal name")
-		realm  = flag.String("realm", "EXAMPLE.ORG", "realm name")
-		listen = flag.String("listen", "127.0.0.1:8091", "listen address")
-		groups = flag.String("groups", "", "JSON groups file")
+		state       = flag.String("state", "./state", "shared state directory")
+		name        = flag.String("name", "groups", "server principal name")
+		realm       = flag.String("realm", "EXAMPLE.ORG", "realm name")
+		listen      = flag.String("listen", "127.0.0.1:8091", "listen address")
+		groups      = flag.String("groups", "", "JSON groups file")
+		metricsAddr = flag.String("metrics-addr", "", "observability HTTP listen address serving /metrics, /healthz, /traces, and /debug/pprof (disabled when empty)")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		msrv, maddr, err := obs.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		log.Printf("metrics listening on http://%s/metrics", maddr)
+	}
 
 	ident, err := statefile.LoadOrCreateIdentity(*state, principal.New(*name, *realm))
 	if err != nil {

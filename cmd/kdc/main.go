@@ -7,6 +7,10 @@
 // password to derive the matching key).
 //
 //	kdc -realm ATHENA.EXAMPLE.ORG -listen :8088 -passwd passwd.txt
+//
+// With -metrics-addr set, a side HTTP listener serves /metrics
+// (Prometheus text; ?format=json for JSON), /healthz, /traces (recent
+// RPC spans), and /debug/pprof. See OBSERVABILITY.md.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"syscall"
 
 	"proxykit/internal/kerberos"
+	"proxykit/internal/obs"
 	"proxykit/internal/principal"
 	"proxykit/internal/svc"
 	"proxykit/internal/transport"
@@ -34,11 +39,21 @@ func main() {
 
 func run() error {
 	var (
-		realm  = flag.String("realm", "EXAMPLE.ORG", "realm name")
-		listen = flag.String("listen", "127.0.0.1:8088", "listen address")
-		passwd = flag.String("passwd", "", "password file: principal:password per line")
+		realm       = flag.String("realm", "EXAMPLE.ORG", "realm name")
+		listen      = flag.String("listen", "127.0.0.1:8088", "listen address")
+		passwd      = flag.String("passwd", "", "password file: principal:password per line")
+		metricsAddr = flag.String("metrics-addr", "", "observability HTTP listen address serving /metrics, /healthz, /traces, and /debug/pprof (disabled when empty)")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		msrv, maddr, err := obs.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		log.Printf("metrics listening on http://%s/metrics", maddr)
+	}
 
 	kdc, err := kerberos.NewKDC(*realm, nil)
 	if err != nil {

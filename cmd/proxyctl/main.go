@@ -63,6 +63,8 @@ func main() {
 		err = cmdBalance(args)
 	case "statement":
 		err = cmdStatement(args)
+	case "metrics":
+		err = cmdMetrics(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -83,7 +85,8 @@ commands:
   authz-grant  obtain an authorization proxy from an authorization server
   request      present proxies to an end-server and perform an operation
   balance      read an account balance from an accounting server
-  statement    print an account's transaction history`)
+  statement    print an account's transaction history
+  metrics      scrape and pretty-print a daemon's /metrics endpoint`)
 }
 
 // commonFlags registers the flags every subcommand shares.

@@ -1,0 +1,292 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// cmdMetrics scrapes a daemon's -metrics-addr listener and
+// pretty-prints its counters, gauges, and histograms. With -raw it
+// relays the exposition text untouched (for piping into other tools).
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "daemon metrics address (host:port of its -metrics-addr)")
+	match := fs.String("match", "", "only show metrics whose name contains this substring")
+	raw := fs.Bool("raw", false, "print the raw Prometheus exposition text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + *addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics: %s returned %s", *addr, resp.Status)
+	}
+	if *raw {
+		_, err := io.Copy(os.Stdout, resp.Body)
+		return err
+	}
+	fams, err := parseExposition(resp.Body)
+	if err != nil {
+		return err
+	}
+	return printFamilies(os.Stdout, fams, *match)
+}
+
+// sample is one exposition line.
+type sample struct {
+	labels string // rendered {k="v"} block, "" when unlabeled
+	value  float64
+}
+
+// expoFamily is one metric family as scraped.
+type expoFamily struct {
+	name    string
+	typ     string
+	samples []sample          // counters/gauges
+	hists   map[string]*histo // histograms keyed by non-le label block
+	order   []string          // insertion order of hists keys
+}
+
+// histo accumulates one histogram child's series.
+type histo struct {
+	bounds []float64 // upper bounds excluding +Inf, scrape order
+	counts []float64 // cumulative counts parallel to bounds
+	inf    float64
+	sum    float64
+	count  float64
+}
+
+// parseExposition reads the Prometheus text format produced by the obs
+// registry (the subset: HELP/TYPE comments, integer/float samples).
+func parseExposition(r io.Reader) (map[string]*expoFamily, error) {
+	fams := make(map[string]*expoFamily)
+	family := func(name string) *expoFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &expoFamily{name: name, typ: "untyped", hists: make(map[string]*histo)}
+			fams[name] = f
+		}
+		return f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				family(fields[2]).typ = fields[3]
+			}
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			continue
+		}
+		value, err := strconv.ParseFloat(line[idx+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: bad sample line %q", line)
+		}
+		series := line[:idx]
+		name, labels := series, ""
+		if b := strings.IndexByte(series, '{'); b >= 0 {
+			name, labels = series[:b], series[b:]
+		}
+		// Fold histogram series into their base family.
+		base, part := name, ""
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name && fams[trimmed] != nil && fams[trimmed].typ == "histogram" {
+				base, part = trimmed, suffix
+				break
+			}
+		}
+		f := family(base)
+		if part == "" {
+			f.samples = append(f.samples, sample{labels: labels, value: value})
+			continue
+		}
+		key, le := splitLE(labels)
+		h, ok := f.hists[key]
+		if !ok {
+			h = &histo{}
+			f.hists[key] = h
+			f.order = append(f.order, key)
+		}
+		switch part {
+		case "_sum":
+			h.sum = value
+		case "_count":
+			h.count = value
+		case "_bucket":
+			if le == "+Inf" {
+				h.inf = value
+			} else if b, err := strconv.ParseFloat(le, 64); err == nil {
+				h.bounds = append(h.bounds, b)
+				h.counts = append(h.counts, value)
+			}
+		}
+	}
+	return fams, sc.Err()
+}
+
+// splitLE removes the le="..." pair from a label block, returning the
+// remaining block and the le value.
+func splitLE(labels string) (rest, le string) {
+	if labels == "" {
+		return "", ""
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var kept []string
+	for _, pair := range splitPairs(inner) {
+		if v, ok := strings.CutPrefix(pair, `le=`); ok {
+			le = strings.Trim(v, `"`)
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if len(kept) == 0 {
+		return "", le
+	}
+	return "{" + strings.Join(kept, ",") + "}", le
+}
+
+// splitPairs splits k="v" pairs on commas outside quotes.
+func splitPairs(s string) []string {
+	var out []string
+	var b strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\\' && inQuote && i+1 < len(s):
+			b.WriteByte(c)
+			i++
+			b.WriteByte(s[i])
+		case c == '"':
+			inQuote = !inQuote
+			b.WriteByte(c)
+		case c == ',' && !inQuote:
+			out = append(out, b.String())
+			b.Reset()
+		default:
+			b.WriteByte(c)
+		}
+	}
+	if b.Len() > 0 {
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// quantile estimates q (0..1) by linear interpolation over the
+// cumulative buckets, Prometheus histogram_quantile style.
+func (h *histo) quantile(q float64) float64 {
+	total := h.inf
+	if total == 0 {
+		return 0
+	}
+	rank := q * total
+	prevBound, prevCount := 0.0, 0.0
+	for i, c := range h.counts {
+		if c >= rank {
+			width := h.bounds[i] - prevBound
+			inBucket := c - prevCount
+			if inBucket == 0 {
+				return h.bounds[i]
+			}
+			return prevBound + width*(rank-prevCount)/inBucket
+		}
+		prevBound, prevCount = h.bounds[i], c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// printFamilies renders the scraped families as an aligned table:
+// counters and gauges one line per series, histograms as
+// count/mean/p50/p99 summaries.
+func printFamilies(w io.Writer, fams map[string]*expoFamily, match string) error {
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	shown := 0
+	for _, name := range names {
+		if match != "" && !strings.Contains(name, match) {
+			continue
+		}
+		f := fams[name]
+		for _, s := range f.samples {
+			fmt.Fprintf(tw, "%s%s\t%s\t%s\n", name, s.labels, f.typ, formatValue(s.value))
+			shown++
+		}
+		// Only *_seconds histograms get time units; chain/hop
+		// histograms are unitless counts.
+		unit := formatValue
+		if strings.HasSuffix(name, "_seconds") {
+			unit = formatSeconds
+		}
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		for _, key := range keys {
+			h := f.hists[key]
+			mean := 0.0
+			if h.count > 0 {
+				mean = h.sum / h.count
+			}
+			fmt.Fprintf(tw, "%s%s\thistogram\tcount=%s mean=%s p50=%s p99=%s\n",
+				name, key, formatValue(h.count), unit(mean),
+				unit(h.quantile(0.50)), unit(h.quantile(0.99)))
+			shown++
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if shown == 0 {
+		fmt.Fprintln(w, "(no metrics matched)")
+	}
+	return nil
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// formatSeconds renders a seconds quantity with a readable unit.
+func formatSeconds(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 1e-3:
+		return fmt.Sprintf("%.1fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.2fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", v)
+	}
+}

@@ -42,4 +42,11 @@
 //	})
 //
 // See examples/ for complete programs.
+//
+// # Observability
+//
+// The cmd/ daemons accept -metrics-addr to serve Prometheus metrics,
+// recent RPC trace spans, and net/http/pprof on a side HTTP listener;
+// the instrumentation (internal/obs) is standard-library only. The
+// metric catalogue and operator guide live in OBSERVABILITY.md.
 package proxykit

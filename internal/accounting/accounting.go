@@ -183,6 +183,7 @@ func (s *Server) Mint(name, currency string, amount int64) error {
 
 // Balance returns the collected balance, requiring read rights.
 func (s *Server) Balance(name, currency string, requesters []principal.ID) (int64, error) {
+	mBalanceReads.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	a, ok := s.accounts[name]
@@ -197,6 +198,7 @@ func (s *Server) Balance(name, currency string, requesters []principal.ID) (int6
 
 // UncollectedBalance returns deposited-but-unclear funds.
 func (s *Server) UncollectedBalance(name, currency string, requesters []principal.ID) (int64, error) {
+	mBalanceReads.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	a, ok := s.accounts[name]
@@ -214,7 +216,14 @@ func (s *Server) UncollectedBalance(name, currency string, requesters []principa
 // implemented by transferring funds of the appropriate currency out of
 // an account when the resource is allocated and transferring the funds
 // back when the resource is released."
-func (s *Server) Transfer(from, to, currency string, amount int64, requesters []principal.ID) error {
+func (s *Server) Transfer(from, to, currency string, amount int64, requesters []principal.ID) (err error) {
+	defer func() {
+		if err != nil {
+			mTransfers.With("error").Inc()
+		} else {
+			mTransfers.With("ok").Inc()
+		}
+	}()
 	if amount < 0 {
 		return fmt.Errorf("%w: negative amount", ErrBadCheck)
 	}

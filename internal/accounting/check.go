@@ -101,6 +101,7 @@ func WriteCheck(p WriteCheckParams) (*Check, error) {
 	if err != nil {
 		return nil, err
 	}
+	mChecksWritten.Inc()
 	return &Check{
 		Number:   number,
 		Bank:     p.Bank,

@@ -1,6 +1,7 @@
 package accounting
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -42,6 +43,20 @@ type Receipt struct {
 // payor's accounting server is reached"), and on success the funds
 // become collected.
 func (s *Server) DepositCheck(c *Check, presenters []principal.ID, creditAccount string) (*Receipt, error) {
+	r, err := s.depositCheck(c, presenters, creditAccount)
+	switch {
+	case err == nil:
+		mDeposits.With("ok").Inc()
+		mClearingHops.Observe(float64(r.Hops))
+	case errors.Is(err, ErrDuplicateCheck):
+		mDeposits.With("duplicate").Inc()
+	default:
+		mDeposits.With("error").Inc()
+	}
+	return r, err
+}
+
+func (s *Server) depositCheck(c *Check, presenters []principal.ID, creditAccount string) (*Receipt, error) {
 	if c == nil || c.Proxy == nil {
 		return nil, fmt.Errorf("%w: nil check", ErrBadCheck)
 	}
@@ -89,6 +104,7 @@ func (s *Server) DepositCheck(c *Check, presenters []principal.ID, creditAccount
 	// forgotten so the check can be re-presented once the problem is
 	// fixed — a bounced check is returned, not voided.
 	if err := s.registry.Accept(v.GrantorKeyID, number, v.Expires); err != nil {
+		mAcceptOnceRejections.Inc()
 		return nil, fmt.Errorf("%w: %v", ErrDuplicateCheck, err)
 	}
 	var receipt *Receipt
@@ -194,6 +210,7 @@ func (s *Server) collectRemote(c *Check, creditAccount string) (*Receipt, error)
 	// Mark the deposit uncollected while clearing is in flight.
 	dst.uncollected[c.Currency] += c.Amount
 	s.ForwardedChecks++
+	mClearingForwards.Inc()
 	s.mu.Unlock()
 
 	// Endorse onward: the next bank becomes the holder, and must credit
@@ -288,6 +305,7 @@ func (s *Server) Certify(accountName string, requesters []principal.ID, c *Check
 	a.balances[c.Currency] -= c.Amount
 	a.holds[c.Number] = &hold{currency: c.Currency, amount: c.Amount, expires: expires}
 	a.record(Transaction{Time: s.clk.Now(), Kind: TxHold, Currency: c.Currency, Amount: c.Amount, CheckNumber: c.Number})
+	mHoldsPlaced.Inc()
 	s.mu.Unlock()
 
 	// The certification proxy: the bank asserts funds are held.
@@ -323,6 +341,7 @@ func (s *Server) ReleaseExpiredHolds() int {
 			}
 		}
 	}
+	mHoldsReleased.Add(uint64(released))
 	return released
 }
 

@@ -1,0 +1,29 @@
+package accounting
+
+import "proxykit/internal/obs"
+
+// Accounting metrics: balance reads, transfers (the quota primitive),
+// the check lifecycle (§4, Fig. 5) — written, deposited, cleared
+// through correspondent banks — and the accept-once duplicate
+// suppression of §7.7.
+var (
+	mBalanceReads = obs.Default.NewCounter("proxykit_acct_balance_reads_total",
+		"Balance and uncollected-balance read requests.")
+	mTransfers = obs.Default.NewCounterVec("proxykit_acct_transfers_total",
+		"Local transfers (including quota allocate/release), by outcome (ok, error).", "outcome")
+	mChecksWritten = obs.Default.NewCounter("proxykit_acct_checks_written_total",
+		"Checks written (signed numbered delegate proxies).")
+	mDeposits = obs.Default.NewCounterVec("proxykit_acct_check_deposits_total",
+		"Check deposits, by outcome (ok, duplicate, error).", "outcome")
+	mClearingHops = obs.Default.NewHistogram("proxykit_acct_clearing_hops",
+		"Banks that processed a successfully deposited check (Fig. 5: same-bank = 1).",
+		obs.DefChainBuckets)
+	mClearingForwards = obs.Default.NewCounter("proxykit_acct_clearing_forwards_total",
+		"Checks endorsed onward to another bank for collection.")
+	mAcceptOnceRejections = obs.Default.NewCounter("proxykit_acct_accept_once_rejections_total",
+		"Deposits rejected because the check number was already accepted (§7.7).")
+	mHoldsPlaced = obs.Default.NewCounter("proxykit_acct_holds_placed_total",
+		"Certified-check holds placed.")
+	mHoldsReleased = obs.Default.NewCounter("proxykit_acct_holds_released_total",
+		"Expired certified-check holds returned to their accounts.")
+)

@@ -126,7 +126,14 @@ type GrantRequest struct {
 // (object, ops) list, an issued-for restriction confining it to the
 // end-server, the restrictions of every matched rule, and the
 // propagated restrictions.
-func (s *Server) Grant(req *GrantRequest) (*proxy.Proxy, error) {
+func (s *Server) Grant(req *GrantRequest) (p *proxy.Proxy, err error) {
+	defer func() {
+		if err != nil {
+			mGrants.With("denied").Inc()
+		} else {
+			mGrants.With("granted").Inc()
+		}
+	}()
 	identities := req.Identities
 	if len(identities) == 0 && !req.Client.IsZero() {
 		identities = []principal.ID{req.Client}

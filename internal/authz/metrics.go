@@ -1,0 +1,8 @@
+package authz
+
+import "proxykit/internal/obs"
+
+// mGrants counts authorization-proxy issuance (§3.2, Fig. 3) by
+// outcome.
+var mGrants = obs.Default.NewCounterVec("proxykit_authzsrv_grants_total",
+	"Authorization-server proxy grant requests, by outcome (granted, denied).", "outcome")

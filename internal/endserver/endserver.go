@@ -173,6 +173,7 @@ func (s *Server) Challenge() ([]byte, error) {
 		}
 	}
 	s.challenges[hex.EncodeToString(ch)] = now.Add(challengeLifetime)
+	mChallengesIssued.Inc()
 	return ch, nil
 }
 
@@ -183,8 +184,10 @@ func (s *Server) consumeChallenge(ch []byte) error {
 	defer s.mu.Unlock()
 	exp, ok := s.challenges[key]
 	if !ok || s.clk.Now().After(exp) {
+		mChallengesConsumed.With("rejected").Inc()
 		return ErrBadChallenge
 	}
+	mChallengesConsumed.With("ok").Inc()
 	delete(s.challenges, key)
 	now := s.clk.Now()
 	for k, e := range s.challenges { // opportunistic cleanup
@@ -236,6 +239,11 @@ type Decision struct {
 // decision is recorded in the attached audit log, if any.
 func (s *Server) Authorize(req *Request) (*Decision, error) {
 	d, err := s.authorize(req)
+	if err != nil {
+		mDecisions.With("denied").Inc()
+	} else {
+		mDecisions.With("granted").Inc()
+	}
 	s.auditDecision(req, d, err)
 	return d, err
 }
@@ -321,6 +329,7 @@ func (s *Server) authorize(req *Request) (*Decision, error) {
 			}
 			continue
 		}
+		mChainLength.Observe(float64(v.ChainLen))
 		return &Decision{
 			Via:      v.Grantor,
 			ViaProxy: true,

@@ -1,0 +1,18 @@
+package endserver
+
+import "proxykit/internal/obs"
+
+// Authorization metrics: decision outcomes, the verified
+// cascade-chain-length distribution (§3.4 — how deep delegation runs
+// in practice), and the bearer-challenge lifecycle (§7.1).
+var (
+	mDecisions = obs.Default.NewCounterVec("proxykit_authz_decisions_total",
+		"Authorization decisions by end-servers, by outcome (granted, denied).", "outcome")
+	mChainLength = obs.Default.NewHistogram("proxykit_authz_chain_length",
+		"Certificate-chain length of the proxy that conveyed a granted decision.",
+		obs.DefChainBuckets)
+	mChallengesIssued = obs.Default.NewCounter("proxykit_authz_challenges_issued_total",
+		"Bearer-presentation challenges issued.")
+	mChallengesConsumed = obs.Default.NewCounterVec("proxykit_authz_challenges_consumed_total",
+		"Challenge consumption attempts, by outcome (ok, rejected).", "outcome")
+)

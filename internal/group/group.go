@@ -129,7 +129,14 @@ type GrantRequest struct {
 
 // Grant verifies membership and issues a proxy whose group-membership
 // restriction limits assertion to exactly the verified groups (§7.6).
-func (s *Server) Grant(req *GrantRequest) (*proxy.Proxy, error) {
+func (s *Server) Grant(req *GrantRequest) (p *proxy.Proxy, err error) {
+	defer func() {
+		if err != nil {
+			mGrants.With("denied").Inc()
+		} else {
+			mGrants.With("granted").Inc()
+		}
+	}()
 	if len(req.Groups) == 0 {
 		return nil, fmt.Errorf("%w: no groups requested", ErrUnknownGroup)
 	}

@@ -1,0 +1,7 @@
+package group
+
+import "proxykit/internal/obs"
+
+// mGrants counts group-membership proxy issuance (§3.3) by outcome.
+var mGrants = obs.Default.NewCounterVec("proxykit_group_grants_total",
+	"Group-membership proxy grant requests, by outcome (granted, denied).", "outcome")

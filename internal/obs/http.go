@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// scrapes counts /metrics scrapes served by this process — a liveness
+// signal for the monitoring pipeline itself.
+var scrapes = Default.NewCounter("proxykit_metrics_scrapes_total",
+	"Number of /metrics scrapes served by the metrics listener.")
+
+// Handler returns the side-listener HTTP handler every daemon mounts
+// when started with -metrics-addr:
+//
+//	/metrics       Prometheus text format (?format=json for JSON)
+//	/healthz       "ok" liveness probe
+//	/traces        recent RPC spans, newest first, as JSON
+//	/debug/pprof/  the standard net/http/pprof profiles
+//
+// reg and spans default to the process-wide Default registry and Spans
+// log when nil.
+func Handler(reg *Registry, spans *SpanLog) http.Handler {
+	if reg == nil {
+		reg = Default
+	}
+	if spans == nil {
+		spans = Spans
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		scrapes.Inc()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = spans.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability side listener on addr and returns the
+// running server and its bound address (useful with ":0"). The caller
+// should Close the server on shutdown. Pass nil reg/spans for the
+// process defaults.
+func Serve(addr string, reg *Registry, spans *SpanLog) (*http.Server, net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(reg, spans),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(l) }()
+	return srv, l.Addr(), nil
+}

@@ -1,0 +1,317 @@
+// Package obs is proxykit's zero-dependency observability substrate:
+// counters, gauges, and fixed-bucket latency histograms with atomic
+// hot paths, collected in a Registry that renders both the Prometheus
+// text-exposition format and an expvar-style JSON document, plus a
+// lightweight per-RPC trace context (request ID + parent span carried
+// through the transport wire envelope) recorded in a bounded span log.
+//
+// The package exists so the paper's measurable claims — verification
+// latency (§2.3), cascade-chain depth (§3.4), and check-clearing
+// traffic (§4, Fig. 5) — are visible from a running deployment, not
+// only from the offline experiment harness. Every instrument is built
+// on sync/atomic so the instrumented hot paths (RPC dispatch, proxy
+// verification, check clearing) pay one atomic add per event.
+//
+// Metric names follow the Prometheus convention: a `proxykit_` prefix,
+// a subsystem, and a unit-suffixed name (`_total` for counters,
+// `_seconds` for latency histograms). The full catalogue lives in
+// OBSERVABILITY.md at the repository root and is kept in sync with the
+// code by a test.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType enumerates the instrument kinds a Registry holds.
+type MetricType int
+
+// Instrument kinds.
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+// String returns the Prometheus TYPE keyword.
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// DefLatencyBuckets are the default latency histogram bounds, in
+// seconds. They span sub-millisecond in-process dispatch up to the
+// multi-second timeouts the TCP client enforces.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// DefChainBuckets are the default bounds for proxy cascade-chain-length
+// histograms (§3.4): chains are short integers, so unit buckets suffice.
+var DefChainBuckets = []float64{1, 2, 3, 4, 5, 6, 8, 12, 16}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram. Buckets are cumulative at
+// render time but stored per-interval so Observe is a single atomic
+// add; the sum is a CAS loop over the float bits.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; implicit +Inf after
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Buckets returns the upper bounds and the cumulative count at each,
+// ending with the +Inf bucket (== Count()).
+func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64) {
+	cumulative = make([]uint64, len(h.counts))
+	var c uint64
+	for i := range h.counts {
+		c += h.counts[i].Load()
+		cumulative[i] = c
+	}
+	return h.bounds, cumulative
+}
+
+// family is one named metric with a fixed label schema and one child
+// instrument per label-value combination.
+type family struct {
+	name   string
+	help   string
+	typ    MetricType
+	labels []string
+	bounds []float64 // histograms only
+
+	mu       sync.RWMutex
+	children map[string]any // joined label values -> *Counter | *Gauge | *Histogram
+}
+
+// labelKey joins label values with an unprintable separator.
+const labelSep = "\x1f"
+
+func (f *family) child(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	var m any
+	switch f.typ {
+	case TypeCounter:
+		m = &Counter{}
+	case TypeGauge:
+		m = &Gauge{}
+	case TypeHistogram:
+		m = newHistogram(f.bounds)
+	}
+	f.children[key] = m
+	return m
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).(*Counter) }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).(*Gauge) }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).(*Histogram) }
+
+// Registry holds metric families. The zero value is not usable; call
+// NewRegistry. Registration is idempotent: asking for an existing name
+// with the same type returns the existing instrument, so package-level
+// metric variables and tests can share the Default registry safely.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry the instrumented packages
+// register into and the daemons' -metrics-addr listener serves.
+var Default = NewRegistry()
+
+func (r *Registry) register(name, help string, typ MetricType, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different schema", name))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		typ:      typ,
+		labels:   append([]string(nil), labels...),
+		bounds:   append([]float64(nil), bounds...),
+		children: make(map[string]any),
+	}
+	r.families[name] = f
+	return f
+}
+
+// NewCounter registers (or returns) an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	return r.register(name, help, TypeCounter, nil, nil).child(nil).(*Counter)
+}
+
+// NewCounterVec registers (or returns) a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, TypeCounter, labels, nil)}
+}
+
+// NewGauge registers (or returns) an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	return r.register(name, help, TypeGauge, nil, nil).child(nil).(*Gauge)
+}
+
+// NewGaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, TypeGauge, labels, nil)}
+}
+
+// NewHistogram registers (or returns) an unlabeled histogram with the
+// given ascending upper bounds.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	return r.register(name, help, TypeHistogram, nil, bounds).child(nil).(*Histogram)
+}
+
+// NewHistogramVec registers (or returns) a labeled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, TypeHistogram, labels, bounds)}
+}
+
+// Names returns the sorted names of all registered metric families.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.families))
+	for name := range r.families {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedFamilies returns families in name order, and each family's
+// child keys in key order, for deterministic rendering.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (f *family) sortedChildren() (keys []string, children []any) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	keys = make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children = make([]any, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	return keys, children
+}

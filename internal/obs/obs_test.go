@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "help")
+	vec := r.NewCounterVec("test_labeled_total", "help", "method")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				vec.With("a").Inc()
+				vec.With("b").Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := vec.With("a").Value(); got != workers*perWorker {
+		t.Errorf("vec[a] = %d, want %d", got, workers*perWorker)
+	}
+	if got := vec.With("b").Value(); got != 2*workers*perWorker {
+		t.Errorf("vec[b] = %d, want %d", got, 2*workers*perWorker)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("test_gauge", "help")
+	g.Set(5)
+	g.Inc()
+	g.Add(3)
+	g.Dec()
+	if got := g.Value(); got != 8 {
+		t.Errorf("gauge = %d, want 8", got)
+	}
+	g.Set(-2)
+	if got := g.Value(); got != -2 {
+		t.Errorf("gauge = %d, want -2", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_hist", "help", []float64{1, 2, 5})
+	// Boundary values land in the bucket whose upper bound they equal
+	// (le is inclusive, as in Prometheus).
+	for _, v := range []float64{0.5, 1, 1.5, 2, 4, 5, 100} {
+		h.Observe(v)
+	}
+	bounds, cumulative := h.Buckets()
+	if len(bounds) != 3 || len(cumulative) != 4 {
+		t.Fatalf("shape = %d bounds / %d counts", len(bounds), len(cumulative))
+	}
+	want := []uint64{2, 4, 6, 7} // le=1: {0.5,1}; le=2: +{1.5,2}; le=5: +{4,5}; +Inf: +{100}
+	for i, w := range want {
+		if cumulative[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cumulative[i], w)
+		}
+	}
+	if got := h.Count(); got != 7 {
+		t.Errorf("count = %d, want 7", got)
+	}
+	if got := h.Sum(); got != 114 {
+		t.Errorf("sum = %g, want 114", got)
+	}
+}
+
+func TestHistogramConcurrentSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_hist", "help", []float64{1})
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := h.Sum(), 0.5*workers*perWorker; got != want {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("dup_total", "help")
+	b := r.NewCounter("dup_total", "help")
+	if a != b {
+		t.Error("re-registering the same schema should return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting re-registration should panic")
+		}
+	}()
+	r.NewGauge("dup_total", "help")
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("zz_last_total", "comes last").Add(3)
+	v := r.NewCounterVec("aa_req_total", "requests", "method")
+	v.With("get").Inc()
+	v.With("put").Add(2)
+	r.NewGauge("mm_inflight", "in flight").Set(4)
+	h := r.NewHistogram("hh_lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_req_total requests
+# TYPE aa_req_total counter
+aa_req_total{method="get"} 1
+aa_req_total{method="put"} 2
+# HELP hh_lat_seconds latency
+# TYPE hh_lat_seconds histogram
+hh_lat_seconds_bucket{le="0.1"} 1
+hh_lat_seconds_bucket{le="1"} 2
+hh_lat_seconds_bucket{le="+Inf"} 3
+hh_lat_seconds_sum 2.55
+hh_lat_seconds_count 3
+# HELP mm_inflight in flight
+# TYPE mm_inflight gauge
+mm_inflight 4
+# HELP zz_last_total comes last
+# TYPE zz_last_total counter
+zz_last_total 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("prometheus output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("plain_total", "help").Add(7)
+	r.NewCounterVec("labeled_total", "help", "op").With("read").Add(2)
+	h := r.NewHistogram("lat_seconds", "help", []float64{1})
+	h.Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if got := doc["plain_total"]; got != float64(7) {
+		t.Errorf("plain_total = %v, want 7", got)
+	}
+	labeled, ok := doc["labeled_total"].(map[string]any)
+	if !ok || labeled["op=read"] != float64(2) {
+		t.Errorf("labeled_total = %v, want {op=read: 2}", doc["labeled_total"])
+	}
+	hist, ok := doc["lat_seconds"].(map[string]any)
+	if !ok || hist["count"] != float64(1) || hist["sum"] != 0.5 {
+		t.Errorf("lat_seconds = %v", doc["lat_seconds"])
+	}
+}
+
+func TestNames(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("b_total", "")
+	r.NewGauge("a_gauge", "")
+	got := r.Names()
+	if len(got) != 2 || got[0] != "a_gauge" || got[1] != "b_total" {
+		t.Errorf("Names() = %v, want [a_gauge b_total]", got)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	root := NewTrace()
+	if root.TraceID == "" || root.SpanID == "" || root.Parent != "" {
+		t.Fatalf("bad root trace: %+v", root)
+	}
+	parsed := ParseTrace(root.String())
+	if parsed.TraceID != root.TraceID {
+		t.Errorf("trace ID not preserved: %q vs %q", parsed.TraceID, root.TraceID)
+	}
+	if parsed.Parent != root.SpanID {
+		t.Errorf("sender span should become parent: %q vs %q", parsed.Parent, root.SpanID)
+	}
+	if parsed.SpanID == root.SpanID {
+		t.Error("receiver should get a fresh span ID")
+	}
+
+	child := root.Child()
+	if child.TraceID != root.TraceID || child.Parent != root.SpanID || child.SpanID == root.SpanID {
+		t.Errorf("bad child: %+v", child)
+	}
+
+	for _, malformed := range []string{"", "nodash", "-x", "x-"} {
+		tr := ParseTrace(malformed)
+		if tr.TraceID == "" || tr.SpanID == "" {
+			t.Errorf("ParseTrace(%q) should yield a fresh root, got %+v", malformed, tr)
+		}
+	}
+	if (Trace{}).String() != "" {
+		t.Error("zero trace should render empty")
+	}
+}
+
+func TestSpanLogRing(t *testing.T) {
+	l := NewSpanLog(3)
+	for i := 0; i < 5; i++ {
+		l.Record(Span{Method: string(rune('a' + i)), Start: time.Unix(int64(i), 0)})
+	}
+	if got := l.Total(); got != 5 {
+		t.Errorf("total = %d, want 5", got)
+	}
+	recent := l.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("len(recent) = %d, want 3", len(recent))
+	}
+	// Newest first: e, d, c.
+	for i, want := range []string{"e", "d", "c"} {
+		if recent[i].Method != want {
+			t.Errorf("recent[%d] = %q, want %q", i, recent[i].Method, want)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("proxykit_demo_total", "demo").Inc()
+	spans := NewSpanLog(4)
+	spans.Record(Span{Method: "x.y", Kind: "server"})
+	h := Handler(r, spans)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "proxykit_demo_total 1") {
+		t.Errorf("/metrics: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Errorf("/metrics?format=json not JSON: %v", err)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Errorf("/healthz code = %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/traces", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "x.y") {
+		t.Errorf("/traces: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+}

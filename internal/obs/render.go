@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4), deterministically ordered by
+// family name and label values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		// Labeled families with no children yet still advertise their
+		// HELP/TYPE header, so scrapes show every metric the process
+		// can produce.
+		keys, children := f.sortedChildren()
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for i, key := range keys {
+			if err := writeSample(w, f, key, children[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, f *family, key string, child any) error {
+	base := labelString(f.labels, key, "", "")
+	switch m := child.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, base, m.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, base, m.Value())
+		return err
+	case *Histogram:
+		bounds, cumulative := m.Buckets()
+		for i, b := range bounds {
+			ls := labelString(f.labels, key, "le", formatFloat(b))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, ls, cumulative[i]); err != nil {
+				return err
+			}
+		}
+		ls := labelString(f.labels, key, "le", "+Inf")
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, ls, cumulative[len(cumulative)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, base, formatFloat(m.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, base, m.Count())
+		return err
+	}
+	return nil
+}
+
+// labelString renders {k="v",...}, appending one extra pair (the
+// histogram le label) when extraKey is non-empty. An empty schema with
+// no extra pair renders as "".
+func labelString(names []string, key, extraKey, extraVal string) string {
+	values := []string{}
+	if key != "" || len(names) > 0 {
+		values = strings.Split(key, labelSep)
+	}
+	var b strings.Builder
+	for i, name := range names {
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", name, v)
+	}
+	if extraKey != "" {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	if b.Len() == 0 {
+		return ""
+	}
+	return "{" + b.String() + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// jsonHistogram is the JSON shape of one histogram child.
+type jsonHistogram struct {
+	Buckets map[string]uint64 `json:"buckets"`
+	Sum     float64           `json:"sum"`
+	Count   uint64            `json:"count"`
+}
+
+// WriteJSON renders the registry as an expvar-style JSON document:
+// unlabeled metrics map name -> value; labeled metrics map name ->
+// {"k=v,...": value}; histograms render cumulative buckets keyed by
+// upper bound, plus sum and count.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := make(map[string]any)
+	for _, f := range r.sortedFamilies() {
+		keys, children := f.sortedChildren()
+		if len(keys) == 0 {
+			doc[f.name] = map[string]any{}
+			continue
+		}
+		if len(f.labels) == 0 {
+			doc[f.name] = jsonValue(children[0])
+			continue
+		}
+		m := make(map[string]any, len(keys))
+		for i, key := range keys {
+			values := strings.Split(key, labelSep)
+			pairs := make([]string, len(f.labels))
+			for j, name := range f.labels {
+				v := ""
+				if j < len(values) {
+					v = values[j]
+				}
+				pairs[j] = name + "=" + v
+			}
+			m[strings.Join(pairs, ",")] = jsonValue(children[i])
+		}
+		doc[f.name] = m
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func jsonValue(child any) any {
+	switch m := child.(type) {
+	case *Counter:
+		return m.Value()
+	case *Gauge:
+		return m.Value()
+	case *Histogram:
+		bounds, cumulative := m.Buckets()
+		buckets := make(map[string]uint64, len(cumulative))
+		for i, b := range bounds {
+			buckets[formatFloat(b)] = cumulative[i]
+		}
+		buckets["+Inf"] = cumulative[len(cumulative)-1]
+		return jsonHistogram{Buckets: buckets, Sum: m.Sum(), Count: m.Count()}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is the per-RPC trace context carried through the transport
+// wire envelope: a request (trace) ID shared by every span of one
+// logical operation, the current span ID, and the parent span ID (empty
+// for a root span). IDs are 8 random bytes rendered as hex — trace
+// correlation, not security tokens.
+type Trace struct {
+	// TraceID identifies the whole request tree.
+	TraceID string `json:"traceId"`
+	// SpanID identifies this hop.
+	SpanID string `json:"spanId"`
+	// Parent is the calling hop's span ID, empty at the root.
+	Parent string `json:"parent,omitempty"`
+}
+
+func newID() string {
+	return fmt.Sprintf("%016x", rand.Uint64())
+}
+
+// NewTrace starts a new trace with a fresh root span.
+func NewTrace() Trace {
+	return Trace{TraceID: newID(), SpanID: newID()}
+}
+
+// Child derives the context for an outgoing call made while handling
+// this span.
+func (t Trace) Child() Trace {
+	return Trace{TraceID: t.TraceID, SpanID: newID(), Parent: t.SpanID}
+}
+
+// String renders the wire form "traceID-spanID". The zero Trace renders
+// as "".
+func (t Trace) String() string {
+	if t.TraceID == "" {
+		return ""
+	}
+	return t.TraceID + "-" + t.SpanID
+}
+
+// ParseTrace parses the wire form produced by String. The sender's span
+// becomes the Parent of the receiver-side context; the receiver gets a
+// fresh SpanID. Malformed or empty input yields a new root trace, so a
+// server span is always well-formed.
+func ParseTrace(s string) Trace {
+	traceID, spanID, ok := strings.Cut(s, "-")
+	if !ok || traceID == "" || spanID == "" {
+		return NewTrace()
+	}
+	return Trace{TraceID: traceID, SpanID: newID(), Parent: spanID}
+}
+
+// Span is one completed, timed unit of work — an RPC as seen by the
+// server, or a client call.
+type Span struct {
+	Trace
+	// Kind is "server" or "client".
+	Kind string `json:"kind"`
+	// Method is the RPC method name.
+	Method string `json:"method"`
+	// Start is when the span began.
+	Start time.Time `json:"start"`
+	// Duration is the span's wall-clock length.
+	Duration time.Duration `json:"durationNs"`
+	// Err is the error text for failed spans, empty on success.
+	Err string `json:"err,omitempty"`
+}
+
+// SpanLog is a bounded ring of recently completed spans, served by the
+// metrics listener at /traces for post-hoc RPC inspection.
+type SpanLog struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	total uint64
+}
+
+// NewSpanLog returns a log retaining the last n spans.
+func NewSpanLog(n int) *SpanLog {
+	if n <= 0 {
+		n = 256
+	}
+	return &SpanLog{buf: make([]Span, 0, n)}
+}
+
+// Spans is the process-wide span log the transport records into.
+var Spans = NewSpanLog(256)
+
+// Record appends a completed span, evicting the oldest when full.
+func (l *SpanLog) Record(s Span) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, s)
+		return
+	}
+	l.buf[l.next] = s
+	l.next = (l.next + 1) % cap(l.buf)
+}
+
+// Recent returns the retained spans, newest first.
+func (l *SpanLog) Recent() []Span {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Span, 0, len(l.buf))
+	// Entries [next, len) are older than [0, next) once the ring wraps.
+	for i := l.next - 1; i >= 0; i-- {
+		out = append(out, l.buf[i])
+	}
+	for i := len(l.buf) - 1; i >= l.next; i-- {
+		out = append(out, l.buf[i])
+	}
+	return out
+}
+
+// Total returns how many spans were ever recorded (including evicted).
+func (l *SpanLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// WriteJSON renders the retained spans, newest first.
+func (l *SpanLog) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Total uint64 `json:"total"`
+		Spans []Span `json:"spans"`
+	}{l.Total(), l.Recent()})
+}

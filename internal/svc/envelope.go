@@ -82,6 +82,7 @@ func Seal(from *pubkey.Identity, method string, body []byte, clk clock.Clock) ([
 	e.Time(ts)
 	e.Bytes32(nonce)
 	e.Bytes32(sig)
+	mSeal.Inc()
 	return e.Bytes(), nil
 }
 
@@ -101,8 +102,15 @@ func NewOpener(resolve func(principal.ID) (kcrypto.Verifier, error), clk clock.C
 }
 
 // Open verifies a sealed envelope for method and returns the sender and
-// body.
-func (o *Opener) Open(method string, raw []byte) (principal.ID, []byte, error) {
+// body. Every verification outcome — including replay rejections — is
+// counted in the envelope metrics.
+func (o *Opener) Open(method string, raw []byte) (from principal.ID, body []byte, err error) {
+	from, body, err = o.open(method, raw)
+	mOpen.With(openOutcome(err)).Inc()
+	return from, body, err
+}
+
+func (o *Opener) open(method string, raw []byte) (principal.ID, []byte, error) {
 	d := wire.NewDecoder(raw)
 	from := principal.DecodeID(d)
 	gotMethod := d.String()

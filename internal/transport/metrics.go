@@ -1,0 +1,30 @@
+package transport
+
+import "proxykit/internal/obs"
+
+// RPC metrics, registered in the process-wide registry. Server-side
+// instruments cover TCPServer.serveConn; client-side instruments cover
+// TCPClient.Call. The in-memory Network keeps its own exact
+// message/round-trip Stats for the experiments and is deliberately not
+// routed through these (its hot loops are the measurement substrate).
+var (
+	mServerRequests = obs.Default.NewCounterVec("proxykit_rpc_requests_total",
+		"RPC requests dispatched by TCP servers, by method.", "method")
+	mServerErrors = obs.Default.NewCounterVec("proxykit_rpc_errors_total",
+		"RPC requests whose handler returned an error, by method.", "method")
+	mServerLatency = obs.Default.NewHistogramVec("proxykit_rpc_latency_seconds",
+		"Server-side RPC handler latency in seconds.", obs.DefLatencyBuckets, "method")
+	mServerInflight = obs.Default.NewGauge("proxykit_rpc_inflight",
+		"RPC requests currently being handled by TCP servers.")
+	mServerMalformed = obs.Default.NewCounter("proxykit_rpc_malformed_total",
+		"Connections dropped because a request frame failed to decode.")
+
+	mClientRequests = obs.Default.NewCounterVec("proxykit_rpc_client_requests_total",
+		"RPC calls issued by TCP clients, by method.", "method")
+	mClientErrors = obs.Default.NewCounterVec("proxykit_rpc_client_errors_total",
+		"TCP client calls that returned an error (transport or remote), by method.", "method")
+	mClientTimeouts = obs.Default.NewCounterVec("proxykit_rpc_client_timeouts_total",
+		"TCP client calls that hit the per-call deadline, by method.", "method")
+	mClientLatency = obs.Default.NewHistogramVec("proxykit_rpc_client_latency_seconds",
+		"Client-observed RPC round-trip latency in seconds.", obs.DefLatencyBuckets, "method")
+)

@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"proxykit/internal/obs"
 	"proxykit/internal/wire"
 )
 
@@ -66,11 +68,25 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		method, body, err := decodeRequest(req)
+		method, trace, body, err := decodeRequest(req)
 		if err != nil {
+			mServerMalformed.Inc()
 			return // malformed peer; drop the connection
 		}
+		tr := obs.ParseTrace(trace)
+		mServerInflight.Inc()
+		start := time.Now()
 		resp, herr := dispatchSafely(s.mux, method, body)
+		dur := time.Since(start)
+		mServerInflight.Dec()
+		mServerRequests.With(method).Inc()
+		mServerLatency.With(method).Observe(dur.Seconds())
+		span := obs.Span{Trace: tr, Kind: "server", Method: method, Start: start, Duration: dur}
+		if herr != nil {
+			mServerErrors.With(method).Inc()
+			span.Err = herr.Error()
+		}
+		obs.Spans.Record(span)
 		if err := wire.WriteFrame(conn, encodeResponse(resp, herr)); err != nil {
 			return
 		}
@@ -110,27 +126,69 @@ func dispatchSafely(m *Mux, method string, body []byte) (resp []byte, err error)
 // serialized; services are stateless per request so one connection
 // suffices for the CLI tools.
 type TCPClient struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
 }
 
-// DialTCP connects to a proxykit service at addr.
+// DialTCP connects to a proxykit service at addr. timeout bounds the
+// dial and becomes the default per-call deadline (see SetCallTimeout),
+// so a hung daemon cannot wedge the client forever.
 func DialTCP(addr string, timeout time.Duration) (*TCPClient, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return &TCPClient{conn: conn}, nil
+	return &TCPClient{conn: conn, timeout: timeout}, nil
 }
 
-// Call implements Client.
+// SetCallTimeout overrides the per-call deadline; zero disables it.
+func (c *TCPClient) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+// Call implements Client. Each call starts a fresh trace whose context
+// travels in the request envelope, arms the per-call deadline, and is
+// recorded in the client-side RPC metrics. A call that hits the
+// deadline closes the connection — after a timeout the stream may still
+// carry the stale response, so the connection cannot be reused.
 func (c *TCPClient) Call(method string, body []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
 		return nil, ErrClosed
 	}
-	if err := wire.WriteFrame(c.conn, encodeRequest(method, body)); err != nil {
+	tr := obs.NewTrace()
+	mClientRequests.With(method).Inc()
+	start := time.Now()
+	resp, err := c.callLocked(method, tr, body)
+	dur := time.Since(start)
+	mClientLatency.With(method).Observe(dur.Seconds())
+	span := obs.Span{Trace: tr, Kind: "client", Method: method, Start: start, Duration: dur}
+	if err != nil {
+		span.Err = err.Error()
+		mClientErrors.With(method).Inc()
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			mClientTimeouts.With(method).Inc()
+			_ = c.conn.Close()
+			c.conn = nil
+		}
+	}
+	obs.Spans.Record(span)
+	return resp, err
+}
+
+// callLocked performs one framed request/response exchange.
+func (c *TCPClient) callLocked(method string, tr obs.Trace, body []byte) ([]byte, error) {
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, err
+		}
+	}
+	if err := wire.WriteFrame(c.conn, encodeRequest(method, tr.String(), body)); err != nil {
 		return nil, err
 	}
 	resp, err := wire.ReadFrame(c.conn)

@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestTCPCallTimeout covers the per-call deadline: a server that never
+// responds must not hang the client forever, the timeout must be
+// counted, and the connection must be torn down (a late response would
+// desynchronize the frame stream).
+func TestTCPCallTimeout(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		<-done // hold the connection open without ever replying
+	}()
+
+	c, err := DialTCP(l.Addr().String(), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	before := mClientTimeouts.With("echo").Value()
+	start := time.Now()
+	_, err = c.Call("echo", []byte("ping"))
+	if err == nil {
+		t.Fatal("call to silent server succeeded")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("err = %v, want net timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("call took %v, deadline not applied", elapsed)
+	}
+	if got := mClientTimeouts.With("echo").Value(); got != before+1 {
+		t.Errorf("timeout counter = %d, want %d", got, before+1)
+	}
+
+	// The connection is closed after a timeout; further calls fail fast.
+	if _, err := c.Call("echo", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-timeout call err = %v, want ErrClosed", err)
+	}
+}
+
+// TestSetCallTimeout verifies the override is honored over the dial
+// timeout default.
+func TestSetCallTimeout(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		<-done
+	}()
+
+	c, err := DialTCP(l.Addr().String(), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetCallTimeout(50 * time.Millisecond)
+
+	start := time.Now()
+	if _, err := c.Call("echo", nil); err == nil {
+		t.Fatal("call to silent server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("call took %v, SetCallTimeout not honored", elapsed)
+	}
+}

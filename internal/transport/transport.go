@@ -203,22 +203,26 @@ func (c *memClient) Call(method string, body []byte) ([]byte, error) {
 }
 
 // encodeRequest/decodeRequest define the on-wire RPC envelope shared
-// with the TCP transport.
-func encodeRequest(method string, body []byte) []byte {
-	e := wire.NewEncoder(64 + len(body))
+// with the TCP transport. trace is the obs.Trace wire form
+// ("traceID-spanID", possibly empty): the request ID and parent span
+// that let the server correlate its span with the caller's.
+func encodeRequest(method, trace string, body []byte) []byte {
+	e := wire.NewEncoder(64 + len(trace) + len(body))
 	e.String(method)
+	e.String(trace)
 	e.Bytes32(body)
 	return e.Bytes()
 }
 
-func decodeRequest(b []byte) (method string, body []byte, err error) {
+func decodeRequest(b []byte) (method, trace string, body []byte, err error) {
 	d := wire.NewDecoder(b)
 	method = d.String()
+	trace = d.String()
 	body = d.Bytes32()
 	if err := d.Finish(); err != nil {
-		return "", nil, err
+		return "", "", nil, err
 	}
-	return method, body, nil
+	return method, trace, body, nil
 }
 
 func encodeResponse(body []byte, herr error) []byte {

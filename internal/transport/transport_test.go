@@ -259,12 +259,12 @@ func TestDialTCPFailure(t *testing.T) {
 }
 
 func TestRequestResponseEncoding(t *testing.T) {
-	b := encodeRequest("method.name", []byte("body"))
-	m, body, err := decodeRequest(b)
-	if err != nil || m != "method.name" || !bytes.Equal(body, []byte("body")) {
-		t.Fatalf("%q %q %v", m, body, err)
+	b := encodeRequest("method.name", "abc123-def456", []byte("body"))
+	m, trace, body, err := decodeRequest(b)
+	if err != nil || m != "method.name" || trace != "abc123-def456" || !bytes.Equal(body, []byte("body")) {
+		t.Fatalf("%q %q %q %v", m, trace, body, err)
 	}
-	if _, _, err := decodeRequest([]byte("garbage")); err == nil {
+	if _, _, _, err := decodeRequest([]byte("garbage")); err == nil {
 		t.Fatal("garbage request accepted")
 	}
 
