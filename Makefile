@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench experiments examples cover fuzz clean
+.PHONY: all build vet test race check audit-verify bench experiments examples cover fuzz clean
 
 all: check
 
@@ -26,6 +26,11 @@ race:
 	$(GO) test -race ./internal/transport/... ./internal/obs/... ./internal/accounting/...
 
 check: build vet test race
+
+# Round-trip an audit journal through the real `proxyctl audit verify`
+# binary: a clean chain exits 0, a single flipped byte exits non-zero.
+audit-verify:
+	$(GO) test ./internal/integration/ -run TestAuditVerifyCLI -v
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -14,21 +14,24 @@
 //
 // With -metrics-addr set, a side HTTP listener serves /metrics
 // (Prometheus text; ?format=json for JSON), /healthz, /traces (recent
-// RPC spans), and /debug/pprof. See OBSERVABILITY.md.
+// RPC spans), /audit (the audit journal tail), and /debug/pprof. See
+// OBSERVABILITY.md.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"proxykit/internal/acl"
+	"proxykit/internal/audit"
 	"proxykit/internal/authz"
+	"proxykit/internal/logging"
 	"proxykit/internal/obs"
 	"proxykit/internal/principal"
 	"proxykit/internal/statefile"
@@ -47,7 +50,8 @@ type ruleJSON struct {
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		slog.Error("authzd failed", "err", err)
+		os.Exit(1)
 	}
 }
 
@@ -58,17 +62,34 @@ func run() error {
 		realm       = flag.String("realm", "EXAMPLE.ORG", "realm name")
 		listen      = flag.String("listen", "127.0.0.1:8090", "listen address")
 		rules       = flag.String("rules", "", "JSON rules file")
-		metricsAddr = flag.String("metrics-addr", "", "observability HTTP listen address serving /metrics, /healthz, /traces, and /debug/pprof (disabled when empty)")
+		metricsAddr = flag.String("metrics-addr", "", "observability HTTP listen address serving /metrics, /healthz, /traces, /audit, and /debug/pprof (disabled when empty)")
+		auditFile   = flag.String("audit-file", "", "hash-chained audit journal path (JSONL, append-only); empty keeps the journal in memory only")
+		logOpts     logging.Options
 	)
+	logOpts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	logger, err := logOpts.Setup(nil)
+	if err != nil {
+		return err
+	}
+
+	journal, err := audit.New(audit.Options{Path: *auditFile, Logger: logger})
+	if err != nil {
+		return err
+	}
+	defer journal.Close()
+
 	if *metricsAddr != "" {
-		msrv, maddr, err := obs.Serve(*metricsAddr, nil, nil)
+		msrv, maddr, err := obs.ServeWith(*metricsAddr, obs.HandlerOpts{
+			Audit:  journal,
+			Health: journal.Health,
+		})
 		if err != nil {
 			return err
 		}
 		defer msrv.Close()
-		log.Printf("metrics listening on http://%s/metrics", maddr)
+		logger.Info("metrics listening", "url", fmt.Sprintf("http://%s/metrics", maddr))
 	}
 
 	ident, err := statefile.LoadOrCreateIdentity(*state, principal.New(*name, *realm))
@@ -77,12 +98,13 @@ func run() error {
 	}
 	resolve := statefile.DynamicResolver(*state)
 	srv := authz.New(ident, nil)
+	srv.SetJournal(journal)
 	if *rules != "" {
 		n, err := loadRules(srv, *rules)
 		if err != nil {
 			return err
 		}
-		log.Printf("loaded %d rules from %s", n, *rules)
+		logger.Info("loaded rules", "count", n, "file", *rules)
 	}
 
 	l, err := net.Listen("tcp", *listen)
@@ -90,7 +112,7 @@ func run() error {
 		return err
 	}
 	tcp := transport.NewTCPServer(l, svc.NewAuthzService(srv, resolve, nil).Mux())
-	log.Printf("authorization server %s listening on %s", ident.ID, tcp.Addr())
+	logger.Info("authorization server listening", "server", ident.ID.String(), "addr", tcp.Addr().String())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

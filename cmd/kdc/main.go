@@ -10,21 +10,24 @@
 //
 // With -metrics-addr set, a side HTTP listener serves /metrics
 // (Prometheus text; ?format=json for JSON), /healthz, /traces (recent
-// RPC spans), and /debug/pprof. See OBSERVABILITY.md.
+// RPC spans), /audit (the audit journal tail), and /debug/pprof. See
+// OBSERVABILITY.md.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
+	"proxykit/internal/audit"
 	"proxykit/internal/kerberos"
+	"proxykit/internal/logging"
 	"proxykit/internal/obs"
 	"proxykit/internal/principal"
 	"proxykit/internal/svc"
@@ -33,7 +36,8 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		slog.Error("kdc failed", "err", err)
+		os.Exit(1)
 	}
 }
 
@@ -42,17 +46,34 @@ func run() error {
 		realm       = flag.String("realm", "EXAMPLE.ORG", "realm name")
 		listen      = flag.String("listen", "127.0.0.1:8088", "listen address")
 		passwd      = flag.String("passwd", "", "password file: principal:password per line")
-		metricsAddr = flag.String("metrics-addr", "", "observability HTTP listen address serving /metrics, /healthz, /traces, and /debug/pprof (disabled when empty)")
+		metricsAddr = flag.String("metrics-addr", "", "observability HTTP listen address serving /metrics, /healthz, /traces, /audit, and /debug/pprof (disabled when empty)")
+		auditFile   = flag.String("audit-file", "", "hash-chained audit journal path (JSONL, append-only); empty keeps the journal in memory only")
+		logOpts     logging.Options
 	)
+	logOpts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	logger, err := logOpts.Setup(nil)
+	if err != nil {
+		return err
+	}
+
+	journal, err := audit.New(audit.Options{Path: *auditFile, Logger: logger})
+	if err != nil {
+		return err
+	}
+	defer journal.Close()
+
 	if *metricsAddr != "" {
-		msrv, maddr, err := obs.Serve(*metricsAddr, nil, nil)
+		msrv, maddr, err := obs.ServeWith(*metricsAddr, obs.HandlerOpts{
+			Audit:  journal,
+			Health: journal.Health,
+		})
 		if err != nil {
 			return err
 		}
 		defer msrv.Close()
-		log.Printf("metrics listening on http://%s/metrics", maddr)
+		logger.Info("metrics listening", "url", fmt.Sprintf("http://%s/metrics", maddr))
 	}
 
 	kdc, err := kerberos.NewKDC(*realm, nil)
@@ -64,7 +85,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		log.Printf("provisioned %d principals from %s", n, *passwd)
+		logger.Info("provisioned principals", "count", n, "file", *passwd)
 	}
 
 	l, err := net.Listen("tcp", *listen)
@@ -72,12 +93,12 @@ func run() error {
 		return err
 	}
 	srv := transport.NewTCPServer(l, svc.NewKDCService(kdc).Mux())
-	log.Printf("kdc for realm %s listening on %s (tgs: %s)", *realm, srv.Addr(), kdc.TGS())
+	logger.Info("kdc listening", "realm", *realm, "addr", srv.Addr().String(), "tgs", kdc.TGS().String())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Print("shutting down")
+	logger.Info("shutting down")
 	return srv.Close()
 }
 

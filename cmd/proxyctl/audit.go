@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"proxykit/internal/audit"
+)
+
+// cmdAudit dispatches the audit subcommands: tail and query read a
+// daemon's /audit endpoint; verify re-walks a journal's hash chain and
+// exits non-zero on any break.
+func cmdAudit(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: proxyctl audit <tail|query|verify> [flags]")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "tail":
+		return cmdAuditTail(rest)
+	case "query":
+		return cmdAuditQuery(rest)
+	case "verify":
+		return cmdAuditVerify(rest)
+	default:
+		return fmt.Errorf("audit: unknown subcommand %q (want tail, query, or verify)", sub)
+	}
+}
+
+// auditPage is the /audit response document.
+type auditPage struct {
+	Total    uint64         `json:"total"`
+	LastHash string         `json:"lastHash"`
+	Oldest   uint64         `json:"oldest"`
+	Cursor   uint64         `json:"cursor"`
+	Records  []audit.Record `json:"records"`
+}
+
+// fetchAudit reads one /audit page from a daemon's metrics listener.
+func fetchAudit(addr string, since uint64, limit int) (*auditPage, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	url := fmt.Sprintf("http://%s/audit?since=%d", addr, since)
+	if limit > 0 {
+		url += fmt.Sprintf("&limit=%d", limit)
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("audit: %s returned %s", addr, resp.Status)
+	}
+	var page auditPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return nil, fmt.Errorf("audit: decode %s: %w", addr, err)
+	}
+	return &page, nil
+}
+
+func cmdAuditTail(args []string) error {
+	fs := flag.NewFlagSet("audit tail", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "daemon metrics address (host:port of its -metrics-addr)")
+	since := fs.Uint64("since", 0, "return records with seq greater than this cursor")
+	limit := fs.Int("limit", 0, "maximum records to return (0 = all retained)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	page, err := fetchAudit(*addr, *since, *limit)
+	if err != nil {
+		return err
+	}
+	for _, r := range page.Records {
+		printAuditRecord(r)
+	}
+	fmt.Printf("(%d of %d records, cursor=%d, lastHash=%s)\n",
+		len(page.Records), page.Total, page.Cursor, short(page.LastHash))
+	return nil
+}
+
+func cmdAuditQuery(args []string) error {
+	fs := flag.NewFlagSet("audit query", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "daemon metrics address (host:port of its -metrics-addr)")
+	since := fs.Uint64("since", 0, "return records with seq greater than this cursor")
+	kind := fs.String("kind", "", "only records of this kind (e.g. acct.deposit)")
+	trace := fs.String("trace", "", "only records with this trace ID")
+	outcome := fs.String("outcome", "", "only records with this outcome: granted or denied")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	page, err := fetchAudit(*addr, *since, 0)
+	if err != nil {
+		return err
+	}
+	shown := 0
+	for _, r := range page.Records {
+		if *kind != "" && r.Kind != *kind {
+			continue
+		}
+		if *trace != "" && r.TraceID != *trace {
+			continue
+		}
+		if *outcome != "" && !strings.EqualFold(r.Outcome.String(), *outcome) {
+			continue
+		}
+		printAuditRecord(r)
+		shown++
+	}
+	fmt.Printf("(%d of %d records matched, cursor=%d)\n", shown, page.Total, page.Cursor)
+	return nil
+}
+
+func cmdAuditVerify(args []string) error {
+	fs := flag.NewFlagSet("audit verify", flag.ExitOnError)
+	file := fs.String("file", "", "journal file (JSONL) to verify")
+	addr := fs.String("addr", "", "daemon metrics address; verifies the served tail instead of a file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *file != "":
+		n, err := audit.VerifyFile(*file)
+		if err != nil {
+			return fmt.Errorf("audit verify: %s: chain broken after %d good records: %w", *file, n, err)
+		}
+		fmt.Printf("%s: chain intact, %d records\n", *file, n)
+		return nil
+	case *addr != "":
+		page, err := fetchAudit(*addr, 0, 0)
+		if err != nil {
+			return err
+		}
+		if err := audit.VerifyChain(page.Records); err != nil {
+			return fmt.Errorf("audit verify: %s: %w", *addr, err)
+		}
+		fmt.Printf("%s: chain intact, %d records in tail (%d total, lastHash=%s)\n",
+			*addr, len(page.Records), page.Total, short(page.LastHash))
+		return nil
+	default:
+		return fmt.Errorf("audit verify: -file or -addr is required")
+	}
+}
+
+// printAuditRecord renders one record compactly: seq, hash prefix, and
+// the record's own string form.
+func printAuditRecord(r audit.Record) {
+	fmt.Printf("#%d %s %s\n", r.Seq, short(r.Hash), r.String())
+}
+
+// short abbreviates a hex hash for display.
+func short(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	if h == "" {
+		return "-"
+	}
+	return h
+}

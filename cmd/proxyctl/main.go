@@ -22,13 +22,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"proxykit/internal/authz"
+	"proxykit/internal/logging"
 	"proxykit/internal/principal"
 	"proxykit/internal/proxy"
 	"proxykit/internal/pubkey"
@@ -39,12 +40,21 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	if len(os.Args) < 2 {
+	var logOpts logging.Options
+	global := flag.NewFlagSet("proxyctl", flag.ExitOnError)
+	global.Usage = usage
+	logOpts.RegisterFlags(global)
+	_ = global.Parse(os.Args[1:]) // ExitOnError
+	if _, err := logOpts.Setup(nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rest := global.Args()
+	if len(rest) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := rest[0], rest[1:]
 	var err error
 	switch cmd {
 	case "keygen":
@@ -65,17 +75,20 @@ func main() {
 		err = cmdStatement(args)
 	case "metrics":
 		err = cmdMetrics(args)
+	case "audit":
+		err = cmdAudit(args)
 	default:
 		usage()
 		os.Exit(2)
 	}
 	if err != nil {
-		log.Fatal(err)
+		slog.Error(cmd+" failed", "err", err)
+		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: proxyctl <command> [flags]
+	fmt.Fprintln(os.Stderr, `usage: proxyctl [-log-level L] [-log-format F] <command> [flags]
 
 commands:
   keygen       create an identity and register it in the directory
@@ -86,7 +99,8 @@ commands:
   request      present proxies to an end-server and perform an operation
   balance      read an account balance from an accounting server
   statement    print an account's transaction history
-  metrics      scrape and pretty-print a daemon's /metrics endpoint`)
+  metrics      scrape and pretty-print a daemon's /metrics and /healthz
+  audit        tail, query, or verify a daemon's audit journal`)
 }
 
 // commonFlags registers the flags every subcommand shares.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,7 +43,34 @@ func cmdMetrics(args []string) error {
 	if err != nil {
 		return err
 	}
+	printHealth(os.Stdout, client, *addr)
 	return printFamilies(os.Stdout, fams, *match)
+}
+
+// printHealth fetches /healthz and prints its fields sorted; failures
+// are reported but never fatal (the metrics table still prints).
+func printHealth(w io.Writer, client *http.Client, addr string) {
+	resp, err := client.Get("http://" + addr + "/healthz")
+	if err != nil {
+		fmt.Fprintf(w, "healthz: %v\n\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		fmt.Fprintf(w, "healthz: %v\n\n", err)
+		return
+	}
+	keys := make([]string, 0, len(doc))
+	for k := range doc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, doc[k]))
+	}
+	fmt.Fprintf(w, "healthz: %s\n\n", strings.Join(parts, " "))
 }
 
 // sample is one exposition line.
@@ -198,27 +226,7 @@ func splitPairs(s string) []string {
 // quantile estimates q (0..1) by linear interpolation over the
 // cumulative buckets, Prometheus histogram_quantile style.
 func (h *histo) quantile(q float64) float64 {
-	total := h.inf
-	if total == 0 {
-		return 0
-	}
-	rank := q * total
-	prevBound, prevCount := 0.0, 0.0
-	for i, c := range h.counts {
-		if c >= rank {
-			width := h.bounds[i] - prevBound
-			inBucket := c - prevCount
-			if inBucket == 0 {
-				return h.bounds[i]
-			}
-			return prevBound + width*(rank-prevCount)/inBucket
-		}
-		prevBound, prevCount = h.bounds[i], c
-	}
-	if len(h.bounds) == 0 {
-		return 0
-	}
-	return h.bounds[len(h.bounds)-1]
+	return histogramQuantile(h.bounds, h.counts, h.inf, q)
 }
 
 // printFamilies renders the scraped families as an aligned table:

@@ -1,0 +1,41 @@
+package main
+
+// histogramQuantile estimates the q-th quantile (0..1) of a cumulative
+// Prometheus-style histogram by linear interpolation within the bucket
+// holding the rank, histogram_quantile style. bounds are the finite
+// upper bounds in ascending order, counts the cumulative counts
+// parallel to them, and inf the +Inf bucket's cumulative count. The
+// total observation count is taken from the +Inf bucket when present,
+// falling back to the last finite bucket (scrapes that omit the +Inf
+// series must not zero every estimate).
+func histogramQuantile(bounds, counts []float64, inf float64, q float64) float64 {
+	total := inf
+	if n := len(counts); n > 0 && counts[n-1] > total {
+		total = counts[n-1]
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * total
+	prevBound, prevCount := 0.0, 0.0
+	for i, c := range counts {
+		if c >= rank {
+			width := bounds[i] - prevBound
+			inBucket := c - prevCount
+			if inBucket == 0 {
+				return bounds[i]
+			}
+			return prevBound + width*(rank-prevCount)/inBucket
+		}
+		prevBound, prevCount = bounds[i], c
+	}
+	// The rank falls in the +Inf bucket; clamp to the largest finite
+	// bound rather than inventing an upper edge.
+	return bounds[len(bounds)-1]
+}

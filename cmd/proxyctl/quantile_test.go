@@ -1,0 +1,87 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	if got := histogramQuantile(nil, nil, 0, 0.5); got != 0 {
+		t.Errorf("empty histogram: got %v, want 0", got)
+	}
+	if got := histogramQuantile([]float64{1, 2}, []float64{0, 0}, 0, 0.99); got != 0 {
+		t.Errorf("zero-count histogram: got %v, want 0", got)
+	}
+}
+
+func TestHistogramQuantileSingleBucketMass(t *testing.T) {
+	// All four observations land in (0, 1]; the median interpolates to
+	// the middle of the bucket.
+	if got := histogramQuantile([]float64{1}, []float64{4}, 4, 0.5); !almost(got, 0.5) {
+		t.Errorf("p50 = %v, want 0.5", got)
+	}
+	if got := histogramQuantile([]float64{1}, []float64{4}, 4, 1); !almost(got, 1) {
+		t.Errorf("p100 = %v, want 1", got)
+	}
+}
+
+func TestHistogramQuantileMissingInfBucket(t *testing.T) {
+	// A scrape without the +Inf series must still estimate from the
+	// finite buckets (the old implementation returned 0 here).
+	if got := histogramQuantile([]float64{1, 2}, []float64{3, 6}, 0, 0.5); !almost(got, 1) {
+		t.Errorf("p50 without +Inf = %v, want 1", got)
+	}
+}
+
+func TestHistogramQuantileInterpolationAtBucketEdges(t *testing.T) {
+	bounds := []float64{0.1, 0.5, 1}
+	counts := []float64{10, 90, 100}
+	// p50: rank 50 inside the second bucket, 40/80 of the way through.
+	if got := histogramQuantile(bounds, counts, 100, 0.5); !almost(got, 0.3) {
+		t.Errorf("p50 = %v, want 0.3", got)
+	}
+	// p99: rank 99 inside the third bucket, 9/10 of the way through.
+	if got := histogramQuantile(bounds, counts, 100, 0.99); !almost(got, 0.95) {
+		t.Errorf("p99 = %v, want 0.95", got)
+	}
+	// p10: rank 10 lands exactly on the first bucket's edge.
+	if got := histogramQuantile(bounds, counts, 100, 0.1); !almost(got, 0.1) {
+		t.Errorf("p10 = %v, want 0.1", got)
+	}
+}
+
+func TestHistogramQuantileEmptyBucketReturnsBound(t *testing.T) {
+	// q=0 lands in an empty first bucket; interpolation would divide by
+	// zero, so the bucket bound is returned.
+	bounds := []float64{1, 2}
+	counts := []float64{0, 5}
+	if got := histogramQuantile(bounds, counts, 5, 0); !almost(got, 1) {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	// A rank exactly on a bucket's cumulative count resolves to that
+	// bucket's upper bound, not the next bucket.
+	if got := histogramQuantile([]float64{1, 2, 4}, []float64{5, 5, 10}, 10, 0.5); !almost(got, 1) {
+		t.Errorf("p50 = %v, want 1", got)
+	}
+}
+
+func TestHistogramQuantileMassBeyondFiniteBuckets(t *testing.T) {
+	// Most observations exceeded every finite bound; the estimate
+	// clamps to the largest finite bound.
+	if got := histogramQuantile([]float64{1}, []float64{1}, 10, 0.99); !almost(got, 1) {
+		t.Errorf("p99 = %v, want 1", got)
+	}
+}
+
+func TestHistogramQuantileClampsQ(t *testing.T) {
+	bounds := []float64{1, 2}
+	counts := []float64{5, 10}
+	if got := histogramQuantile(bounds, counts, 10, -1); !almost(got, 0) {
+		t.Errorf("q<0 = %v, want 0", got)
+	}
+	if got := histogramQuantile(bounds, counts, 10, 2); !almost(got, 2) {
+		t.Errorf("q>1 = %v, want 2", got)
+	}
+}

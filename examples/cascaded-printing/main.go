@@ -48,7 +48,10 @@ func run() error {
 	fileServer.SetACL("/home/alice/thesis.ps", proxykit.NewACL(
 		proxykit.ACLEntry(alice.ID, "read", "write", "delete")))
 
+	// The end-server seals every decision — grants and denials — into
+	// a hash-chained audit journal.
 	audit := proxykit.NewAuditLog(128)
+	fileServer.SetAuditLog(audit)
 
 	// Step 1: alice grants the spooler a delegate proxy: read her
 	// thesis, nothing else, usable only by the spooler.
@@ -93,12 +96,6 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	audit.Append(proxykit.AuditRecord{
-		Time: time.Now(), Server: fileServer.ID,
-		Grantor: toPrintd.Grantor(), Presenters: []proxykit.Principal{printd.ID},
-		Trail: decision.Trail, Object: "/home/alice/thesis.ps", Op: "read",
-		Outcome: 1,
-	})
 	fmt.Printf("printd read thesis.ps: GRANTED with rights of %s\n", decision.Via)
 	fmt.Printf("audit trail through: %v\n\n", decision.Trail)
 
@@ -121,8 +118,14 @@ func run() error {
 	})
 	fmt.Printf("read diary.txt:  DENIED (%v)\n\n", err)
 
+	// Every decision above — the grant and both denials — is in the
+	// journal, each record hash-chained to its predecessor.
 	for _, rec := range audit.Records() {
-		fmt.Println("audit:", rec)
+		fmt.Printf("audit #%d %s..%s: %s\n", rec.Seq, rec.Prev[:min(8, len(rec.Prev))], rec.Hash[:8], rec)
 	}
+	if err := proxykit.VerifyAuditChain(audit.Records()); err != nil {
+		return fmt.Errorf("audit chain broken: %w", err)
+	}
+	fmt.Println("audit chain verified: each hash commits to the whole prefix")
 	return nil
 }

@@ -19,14 +19,18 @@
 package accounting
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"proxykit/internal/acl"
+	"proxykit/internal/audit"
 	"proxykit/internal/clock"
 	"proxykit/internal/kcrypto"
+	"proxykit/internal/obs"
 	"proxykit/internal/principal"
 	"proxykit/internal/proxy"
 	"proxykit/internal/pubkey"
@@ -84,10 +88,33 @@ type Server struct {
 	accounts map[string]*account
 	peers    map[principal.ID]*Server
 	nextHop  *Server
+	journal  *audit.Journal
 
 	// ForwardedChecks counts checks this server endorsed onward to
 	// another bank (clearing traffic, for the experiments).
 	ForwardedChecks int
+}
+
+// SetJournal attaches an audit journal; every balance-changing decision
+// (transfers, deposits, clearing hops, holds) is sealed into its chain.
+func (s *Server) SetJournal(j *audit.Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
+}
+
+// emit seals one record into the attached journal, if any. Callers must
+// not hold s.mu. The record's Time and Server are filled in.
+func (s *Server) emit(rec audit.Record) {
+	s.mu.Lock()
+	j := s.journal
+	s.mu.Unlock()
+	if j == nil {
+		return
+	}
+	rec.Time = s.clk.Now()
+	rec.Server = s.ID
+	j.Append(rec)
 }
 
 // NewServer creates an accounting server. resolve supplies grantor
@@ -216,13 +243,36 @@ func (s *Server) UncollectedBalance(name, currency string, requesters []principa
 // implemented by transferring funds of the appropriate currency out of
 // an account when the resource is allocated and transferring the funds
 // back when the resource is released."
-func (s *Server) Transfer(from, to, currency string, amount int64, requesters []principal.ID) (err error) {
+func (s *Server) Transfer(from, to, currency string, amount int64, requesters []principal.ID) error {
+	return s.TransferCtx(context.Background(), from, to, currency, amount, requesters)
+}
+
+// TransferCtx is Transfer with a request context; the context's trace
+// ID is stamped onto the audit record.
+func (s *Server) TransferCtx(ctx context.Context, from, to, currency string, amount int64, requesters []principal.ID) (err error) {
 	defer func() {
+		rec := audit.Record{
+			Kind:       audit.KindTransfer,
+			TraceID:    obs.TraceIDFrom(ctx),
+			Presenters: requesters,
+			Object:     debitObject(from),
+			Op:         OpDebit,
+			Outcome:    audit.OutcomeGranted,
+			Detail: map[string]string{
+				"from":     from,
+				"to":       to,
+				"currency": currency,
+				"amount":   strconv.FormatInt(amount, 10),
+			},
+		}
 		if err != nil {
 			mTransfers.With("error").Inc()
+			rec.Outcome = audit.OutcomeDenied
+			rec.Reason = err.Error()
 		} else {
 			mTransfers.With("ok").Inc()
 		}
+		s.emit(rec)
 	}()
 	if amount < 0 {
 		return fmt.Errorf("%w: negative amount", ErrBadCheck)

@@ -1,0 +1,151 @@
+package accounting
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"proxykit/internal/audit"
+	"proxykit/internal/obs"
+	"proxykit/internal/principal"
+)
+
+// TestClearingAuditTrailAcrossBanks deposits a cross-bank check and
+// reconstructs the full clearing hop sequence from the two banks'
+// journals alone: both files verify, every record carries the
+// originating request's trace ID, and the hop records name each other.
+func TestClearingAuditTrailAcrossBanks(t *testing.T) {
+	w := newWorld(t)
+	dir := t.TempDir()
+	path1 := filepath.Join(dir, "bank1.jsonl")
+	path2 := filepath.Join(dir, "bank2.jsonl")
+	j1, err := audit.New(audit.Options{Path: path1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := audit.New(audit.Options{Path: path2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.bank1.SetJournal(j1)
+	w.bank2.SetJournal(j2)
+
+	tr := obs.NewTrace()
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+
+	// Fig. 5: carol (banks at $2) pays the service (banks at $1); the
+	// service deposits at its own bank, which collects from carol's.
+	c := w.carolCheck(250)
+	endorsed := w.endorseTo(c, srvS, w.bank1, "service")
+	r, err := w.bank1.DepositCheckCtx(ctx, endorsed, []principal.ID{srvS}, "service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Collected || r.Hops != 2 {
+		t.Fatalf("receipt = %+v", r)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both journal files re-verify from disk.
+	for _, path := range []string{path1, path2} {
+		if n, err := audit.VerifyFile(path); err != nil {
+			t.Fatalf("verify %s: %v (after %d records)", path, err, n)
+		}
+	}
+
+	byKind := func(recs []audit.Record, kind string) *audit.Record {
+		var found *audit.Record
+		for i := range recs {
+			if recs[i].Kind == kind {
+				if found != nil {
+					t.Fatalf("duplicate %s record", kind)
+				}
+				found = &recs[i]
+			}
+		}
+		return found
+	}
+
+	// The payee's bank recorded the deposit and its onward hop; the
+	// drawee recorded the clearing deposit. All three share the trace.
+	recs1 := j1.Tail(0)
+	recs2 := j2.Tail(0)
+	dep1 := byKind(recs1, audit.KindDeposit)
+	hop1 := byKind(recs1, audit.KindClearingHop)
+	dep2 := byKind(recs2, audit.KindDeposit)
+	if dep1 == nil || hop1 == nil || dep2 == nil {
+		t.Fatalf("missing records: bank1=%v bank2=%v", recs1, recs2)
+	}
+	for _, rec := range []*audit.Record{dep1, hop1, dep2} {
+		if rec.TraceID != tr.TraceID {
+			t.Errorf("%s record trace = %q, want %q", rec.Kind, rec.TraceID, tr.TraceID)
+		}
+		if rec.Outcome != audit.OutcomeGranted {
+			t.Errorf("%s record outcome = %v", rec.Kind, rec.Outcome)
+		}
+		if rec.Detail["number"] != c.Number {
+			t.Errorf("%s record number = %q, want %q", rec.Kind, rec.Detail["number"], c.Number)
+		}
+	}
+
+	// Hop reconstruction: bank1 forwarded to bank2, and bank2 credited
+	// bank1's clearing account against carol's.
+	if hop1.Detail["next"] != w.bank2.ID.String() {
+		t.Errorf("hop next = %q, want %s", hop1.Detail["next"], w.bank2.ID)
+	}
+	if dep1.Detail["credit"] != "service" || dep1.Detail["hops"] != "2" {
+		t.Errorf("bank1 deposit detail = %v", dep1.Detail)
+	}
+	if dep2.Detail["credit"] != clearingAccount(w.bank1.ID) || dep2.Detail["hops"] != "1" {
+		t.Errorf("bank2 deposit detail = %v", dep2.Detail)
+	}
+	if dep1.Server != w.bank1.ID || dep2.Server != w.bank2.ID {
+		t.Errorf("server fields: %v / %v", dep1.Server, dep2.Server)
+	}
+}
+
+// TestJournalSurvivesTamperOnlyOnDisk flips one byte in a written
+// journal and checks VerifyFile reports the break.
+func TestClearingJournalFlippedByteDetected(t *testing.T) {
+	w := newWorld(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bank2.jsonl")
+	j, err := audit.New(audit.Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.bank2.SetJournal(j)
+	if err := w.bank2.Transfer("carol", "carol", "dollars", 1, []principal.ID{carol}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := -1
+	for k := 0; k < len(raw); k++ {
+		if raw[k] == '1' { // the amount digit inside the record
+			i = k
+			break
+		}
+	}
+	if i < 0 {
+		t.Fatalf("no amount byte found in %q", raw)
+	}
+	raw[i] = '2'
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := audit.VerifyFile(path); err == nil {
+		t.Fatal("flipped byte went undetected")
+	}
+}

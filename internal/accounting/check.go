@@ -3,8 +3,10 @@ package accounting
 import (
 	"encoding/hex"
 	"fmt"
+	"strconv"
 	"time"
 
+	"proxykit/internal/audit"
 	"proxykit/internal/clock"
 	"proxykit/internal/kcrypto"
 	"proxykit/internal/principal"
@@ -61,6 +63,9 @@ type WriteCheckParams struct {
 	Lifetime time.Duration
 	// Clock supplies the issue time; nil uses the system clock.
 	Clock clock.Clock
+	// Journal, when non-nil, records the check-write in an audit
+	// journal (payor-side instruments are written outside any server).
+	Journal *audit.Journal
 }
 
 // WriteCheck creates and signs a check. The restrictions encode the
@@ -102,6 +107,26 @@ func WriteCheck(p WriteCheckParams) (*Check, error) {
 		return nil, err
 	}
 	mChecksWritten.Inc()
+	if p.Journal != nil {
+		detail := map[string]string{
+			"number":   number,
+			"bank":     p.Bank.String(),
+			"currency": p.Currency,
+			"amount":   strconv.FormatInt(p.Amount, 10),
+		}
+		if !p.Payee.IsZero() {
+			detail["payee"] = p.Payee.String()
+		}
+		p.Journal.Append(audit.Record{
+			Kind:    audit.KindCheckWrite,
+			Server:  p.Bank,
+			Grantor: p.Payor.ID,
+			Object:  debitObject(p.Account),
+			Op:      "write-check",
+			Outcome: audit.OutcomeGranted,
+			Detail:  detail,
+		})
+	}
 	return &Check{
 		Number:   number,
 		Bank:     p.Bank,

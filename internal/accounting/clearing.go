@@ -1,11 +1,15 @@
 package accounting
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"proxykit/internal/acl"
+	"proxykit/internal/audit"
+	"proxykit/internal/obs"
 	"proxykit/internal/principal"
 	"proxykit/internal/proxy"
 	"proxykit/internal/restrict"
@@ -43,7 +47,15 @@ type Receipt struct {
 // payor's accounting server is reached"), and on success the funds
 // become collected.
 func (s *Server) DepositCheck(c *Check, presenters []principal.ID, creditAccount string) (*Receipt, error) {
-	r, err := s.depositCheck(c, presenters, creditAccount)
+	return s.DepositCheckCtx(context.Background(), c, presenters, creditAccount)
+}
+
+// DepositCheckCtx is DepositCheck with a request context. The context's
+// trace ID is stamped onto every audit record the deposit produces —
+// including the records written by downstream banks during clearing, so
+// a cleared check can be reconstructed hop-by-hop across journals.
+func (s *Server) DepositCheckCtx(ctx context.Context, c *Check, presenters []principal.ID, creditAccount string) (*Receipt, error) {
+	r, v, err := s.depositCheck(ctx, c, presenters, creditAccount)
 	switch {
 	case err == nil:
 		mDeposits.With("ok").Inc()
@@ -53,28 +65,68 @@ func (s *Server) DepositCheck(c *Check, presenters []principal.ID, creditAccount
 	default:
 		mDeposits.With("error").Inc()
 	}
+	s.auditDeposit(ctx, c, presenters, creditAccount, r, v, err)
 	return r, err
 }
 
-func (s *Server) depositCheck(c *Check, presenters []principal.ID, creditAccount string) (*Receipt, error) {
+// auditDeposit seals the deposit decision (and, for duplicate-number
+// refusals, a dedicated accept-once record) into the journal.
+func (s *Server) auditDeposit(ctx context.Context, c *Check, presenters []principal.ID, creditAccount string, r *Receipt, v *proxy.Verified, err error) {
+	rec := audit.Record{
+		Kind:       audit.KindDeposit,
+		TraceID:    obs.TraceIDFrom(ctx),
+		Presenters: presenters,
+		Op:         OpCredit,
+		Outcome:    audit.OutcomeGranted,
+		Detail:     map[string]string{"credit": creditAccount},
+	}
+	if c != nil {
+		rec.Object = debitObject(c.Account)
+		rec.Detail["number"] = c.Number
+		rec.Detail["bank"] = c.Bank.String()
+		rec.Detail["currency"] = c.Currency
+		rec.Detail["amount"] = strconv.FormatInt(c.Amount, 10)
+	}
+	if v != nil {
+		// The check's signer and the endorsement cascade: the paper's
+		// delegate-proxy audit trail (§3.4) applied to instruments.
+		rec.Grantor = v.Grantor
+		rec.Trail = v.Trail
+	}
+	if r != nil {
+		rec.Detail["hops"] = strconv.Itoa(r.Hops)
+	}
+	if err != nil {
+		rec.Outcome = audit.OutcomeDenied
+		rec.Reason = err.Error()
+		if errors.Is(err, ErrDuplicateCheck) {
+			dup := rec
+			dup.Kind = audit.KindAcceptOnceReject
+			s.emit(dup)
+		}
+	}
+	s.emit(rec)
+}
+
+func (s *Server) depositCheck(ctx context.Context, c *Check, presenters []principal.ID, creditAccount string) (*Receipt, *proxy.Verified, error) {
 	if c == nil || c.Proxy == nil {
-		return nil, fmt.Errorf("%w: nil check", ErrBadCheck)
+		return nil, nil, fmt.Errorf("%w: nil check", ErrBadCheck)
 	}
 	// Validate the chain's integrity and signatures regardless of which
 	// bank we are.
 	v, err := s.env.VerifyChain(c.Proxy.Certs)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadCheck, err)
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadCheck, err)
 	}
 	number, ok := checkNumber(v.Restrictions)
 	if !ok {
-		return nil, fmt.Errorf("%w: no check number", ErrBadCheck)
+		return nil, v, fmt.Errorf("%w: no check number", ErrBadCheck)
 	}
 
 	// Honor any deposit instruction addressed to this bank.
 	if target, ok := depositInstructionFor(v.Restrictions, s.ID); ok {
 		if target != s.Global(creditAccount) {
-			return nil, fmt.Errorf("%w: endorsement directs proceeds to %s, not %s",
+			return nil, v, fmt.Errorf("%w: endorsement directs proceeds to %s, not %s",
 				ErrBadCheck, target, s.Global(creditAccount))
 		}
 	}
@@ -84,18 +136,18 @@ func (s *Server) depositCheck(c *Check, presenters []principal.ID, creditAccount
 	// copied certificate chain would spend like cash.
 	if len(v.Restrictions.Grantees()) == 0 {
 		if c.Proxy.Key == nil {
-			return nil, fmt.Errorf("%w: bearer check without proxy key", ErrBadCheck)
+			return nil, v, fmt.Errorf("%w: bearer check without proxy key", ErrBadCheck)
 		}
 		ch, err := proxy.NewChallenge()
 		if err != nil {
-			return nil, err
+			return nil, v, err
 		}
 		proof, err := c.Proxy.Prove(ch, s.ID)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadCheck, err)
+			return nil, v, fmt.Errorf("%w: %v", ErrBadCheck, err)
 		}
 		if err := s.env.VerifyPossession(v, c.Proxy.Certs[len(c.Proxy.Certs)-1], ch, proof); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadCheck, err)
+			return nil, v, fmt.Errorf("%w: %v", ErrBadCheck, err)
 		}
 	}
 
@@ -105,20 +157,20 @@ func (s *Server) depositCheck(c *Check, presenters []principal.ID, creditAccount
 	// fixed — a bounced check is returned, not voided.
 	if err := s.registry.Accept(v.GrantorKeyID, number, v.Expires); err != nil {
 		mAcceptOnceRejections.Inc()
-		return nil, fmt.Errorf("%w: %v", ErrDuplicateCheck, err)
+		return nil, v, fmt.Errorf("%w: %v", ErrDuplicateCheck, err)
 	}
 	var receipt *Receipt
 	var depErr error
 	if c.Bank == s.ID {
 		receipt, depErr = s.redeemLocal(c, v, presenters, creditAccount)
 	} else {
-		receipt, depErr = s.collectRemote(c, creditAccount)
+		receipt, depErr = s.collectRemote(ctx, c, creditAccount)
 	}
 	if depErr != nil {
 		s.registry.Forget(v.GrantorKeyID, number)
-		return nil, depErr
+		return nil, v, depErr
 	}
-	return receipt, nil
+	return receipt, v, nil
 }
 
 // checkNumber extracts the accept-once identifier.
@@ -191,8 +243,10 @@ func (s *Server) redeemLocal(c *Check, v *proxy.Verified, presenters []principal
 }
 
 // collectRemote credits the deposit as uncollected, endorses the check
-// to the next bank toward the drawee, and finalizes on success.
-func (s *Server) collectRemote(c *Check, creditAccount string) (*Receipt, error) {
+// to the next bank toward the drawee, and finalizes on success. The
+// context (and with it the originating trace ID) travels to the next
+// bank, so every journal along the clearing path shares one trace.
+func (s *Server) collectRemote(ctx context.Context, c *Check, creditAccount string) (*Receipt, error) {
 	s.mu.Lock()
 	dst, ok := s.accounts[creditAccount]
 	if !ok {
@@ -225,7 +279,8 @@ func (s *Server) collectRemote(c *Check, creditAccount string) (*Receipt, error)
 		s.rollbackUncollected(creditAccount, c.Currency, c.Amount)
 		return nil, err
 	}
-	receipt, err := next.DepositCheck(endorsed, []principal.ID{s.ID}, clearingAccount(s.ID))
+	receipt, err := next.DepositCheckCtx(ctx, endorsed, []principal.ID{s.ID}, clearingAccount(s.ID))
+	s.auditClearingHop(ctx, c, next.ID, receipt, err)
 	if err != nil {
 		s.rollbackUncollected(creditAccount, c.Currency, c.Amount)
 		return nil, fmt.Errorf("accounting: clearing via %s: %w", next.ID, err)
@@ -244,6 +299,34 @@ func (s *Server) collectRemote(c *Check, creditAccount string) (*Receipt, error)
 		Collected: true,
 		Hops:      receipt.Hops + 1,
 	}, nil
+}
+
+// auditClearingHop seals the endorsement-forward record: this bank
+// endorsed the check to next for collection (Fig. 5).
+func (s *Server) auditClearingHop(ctx context.Context, c *Check, next principal.ID, receipt *Receipt, err error) {
+	rec := audit.Record{
+		Kind:    audit.KindClearingHop,
+		TraceID: obs.TraceIDFrom(ctx),
+		Object:  debitObject(c.Account),
+		Op:      "endorse",
+		Outcome: audit.OutcomeGranted,
+		Detail: map[string]string{
+			"number":    c.Number,
+			"bank":      c.Bank.String(),
+			"next":      next.String(),
+			"depositTo": clearingAccount(s.ID),
+			"currency":  c.Currency,
+			"amount":    strconv.FormatInt(c.Amount, 10),
+		},
+	}
+	if receipt != nil {
+		rec.Detail["hops"] = strconv.Itoa(receipt.Hops)
+	}
+	if err != nil {
+		rec.Outcome = audit.OutcomeDenied
+		rec.Reason = err.Error()
+	}
+	s.emit(rec)
 }
 
 func (s *Server) rollbackUncollected(name, currency string, amount int64) {
@@ -277,6 +360,32 @@ func (nopRegistry) Accept(string, string, time.Time) error { return nil }
 // proxy to the client certifying that the client has sufficient
 // resources to cover the check." requesters need debit rights.
 func (s *Server) Certify(accountName string, requesters []principal.ID, c *Check) (*CertifiedCheck, error) {
+	return s.CertifyCtx(context.Background(), accountName, requesters, c)
+}
+
+// CertifyCtx is Certify with a request context; the context's trace ID
+// is stamped onto the audit record.
+func (s *Server) CertifyCtx(ctx context.Context, accountName string, requesters []principal.ID, c *Check) (cc *CertifiedCheck, err error) {
+	defer func() {
+		rec := audit.Record{
+			Kind:       audit.KindHold,
+			TraceID:    obs.TraceIDFrom(ctx),
+			Presenters: requesters,
+			Object:     debitObject(accountName),
+			Op:         "certify",
+			Outcome:    audit.OutcomeGranted,
+			Detail: map[string]string{
+				"number":   c.Number,
+				"currency": c.Currency,
+				"amount":   strconv.FormatInt(c.Amount, 10),
+			},
+		}
+		if err != nil {
+			rec.Outcome = audit.OutcomeDenied
+			rec.Reason = err.Error()
+		}
+		s.emit(rec)
+	}()
 	if c.Bank != s.ID {
 		return nil, fmt.Errorf("%w: check drawn on %s", ErrBadCheck, c.Bank)
 	}
@@ -327,22 +436,41 @@ func (s *Server) Certify(accountName string, requesters []principal.ID, c *Check
 // ReleaseExpiredHolds returns expired certified-check holds to their
 // accounts and reports how many were released.
 func (s *Server) ReleaseExpiredHolds() int {
+	type releasedHold struct {
+		account  string
+		number   string
+		currency string
+		amount   int64
+	}
+	var freed []releasedHold
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	now := s.clk.Now()
-	released := 0
 	for _, a := range s.accounts {
 		for num, h := range a.holds {
 			if now.After(h.expires) {
 				a.balances[h.currency] += h.amount
 				delete(a.holds, num)
 				a.record(Transaction{Time: now, Kind: TxHoldReleased, Currency: h.currency, Amount: h.amount, CheckNumber: num})
-				released++
+				freed = append(freed, releasedHold{a.name, num, h.currency, h.amount})
 			}
 		}
 	}
-	mHoldsReleased.Add(uint64(released))
-	return released
+	s.mu.Unlock()
+	mHoldsReleased.Add(uint64(len(freed)))
+	for _, f := range freed {
+		s.emit(audit.Record{
+			Kind:    audit.KindHoldRelease,
+			Object:  debitObject(f.account),
+			Op:      "release-hold",
+			Outcome: audit.OutcomeGranted,
+			Detail: map[string]string{
+				"number":   f.number,
+				"currency": f.currency,
+				"amount":   strconv.FormatInt(f.amount, 10),
+			},
+		})
+	}
+	return len(freed)
 }
 
 // CashiersCheck sells a check drawn on the bank's own operating account:

@@ -8,7 +8,6 @@ package audit
 import (
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 
 	"proxykit/internal/principal"
@@ -35,12 +34,20 @@ func (o Outcome) String() string {
 	}
 }
 
-// Record is one authorization decision.
+// Record is one auditable decision. Seq, Prev, and Hash are assigned
+// by Journal.Append; everything else is supplied by the emitter.
 type Record struct {
+	// Seq is the record's 1-based position in its journal.
+	Seq uint64
 	// Time of the decision.
 	Time time.Time
+	// Kind classifies the decision point (one of the Kind* constants).
+	Kind string
 	// Server that decided.
 	Server principal.ID
+	// TraceID joins the record to the RPC trace span (internal/obs)
+	// that carried the request; "" for local/in-process calls.
+	TraceID string
 	// Grantor whose rights were exercised (zero for direct requests by
 	// the presenter's own identity).
 	Grantor principal.ID
@@ -54,12 +61,26 @@ type Record struct {
 	// Outcome and Reason summarize the decision.
 	Outcome Outcome
 	Reason  string
+	// Detail carries kind-specific fields (amounts, check numbers,
+	// next-hop banks) as strings.
+	Detail map[string]string
+	// Prev is the hex SHA-256 chain hash of the preceding record
+	// ("" for the first), Hash the record's own: SHA-256 over the
+	// canonical JSON with Hash empty.
+	Prev string
+	Hash string
 }
 
 // String renders one line suitable for an audit log file.
 func (r Record) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s %s %s %q %q", r.Time.UTC().Format(time.RFC3339), r.Server, r.Outcome, r.Op, r.Object)
+	if r.Kind != "" {
+		fmt.Fprintf(&b, " kind=%s", r.Kind)
+	}
+	if r.TraceID != "" {
+		fmt.Fprintf(&b, " trace=%s", r.TraceID)
+	}
 	if !r.Grantor.IsZero() {
 		fmt.Fprintf(&b, " grantor=%s", r.Grantor)
 	}
@@ -83,13 +104,12 @@ func (r Record) String() string {
 	return b.String()
 }
 
-// Log is a bounded in-memory audit log. The zero value is unusable; use
-// NewLog.
+// Log is a bounded in-memory audit log: the original package API, now
+// a thin view over a hash-chained Journal with a memory-only sink, so
+// records appended through it still carry Seq/Prev/Hash and can be
+// chain-verified. The zero value is unusable; use NewLog.
 type Log struct {
-	mu      sync.Mutex
-	records []Record
-	start   int
-	count   int
+	j *Journal
 }
 
 // NewLog returns a log retaining up to capacity records (oldest evicted
@@ -98,38 +118,27 @@ func NewLog(capacity int) *Log {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	return &Log{records: make([]Record, capacity)}
+	return &Log{j: NewMemory(capacity)}
 }
 
-// Append stores a record, evicting the oldest when full.
+// Journal exposes the underlying journal (for chain stats, HTTP
+// serving, or attaching the same sink to a server).
+func (l *Log) Journal() *Journal { return l.j }
+
+// Append seals a record into the log's chain, evicting the oldest
+// retained record when full.
 func (l *Log) Append(r Record) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	idx := (l.start + l.count) % len(l.records)
-	l.records[idx] = r
-	if l.count < len(l.records) {
-		l.count++
-	} else {
-		l.start = (l.start + 1) % len(l.records)
-	}
+	l.j.Append(r)
 }
 
 // Records returns the retained records, oldest first.
 func (l *Log) Records() []Record {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]Record, 0, l.count)
-	for i := 0; i < l.count; i++ {
-		out = append(out, l.records[(l.start+i)%len(l.records)])
-	}
-	return out
+	return l.j.Tail(0)
 }
 
 // Len reports the number of retained records.
 func (l *Log) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.count
+	return len(l.j.Tail(0))
 }
 
 // ByGrantor returns retained records whose rights came from grantor.

@@ -1,0 +1,545 @@
+package audit
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"proxykit/internal/principal"
+)
+
+// Record kinds, one per auditable decision point. Every kind must be
+// documented in OBSERVABILITY.md (enforced by the doc-catalogue test).
+const (
+	// KindAuthorize is an end-server authorization decision (§3.5),
+	// carrying the full delegate-cascade Trail of §3.4.
+	KindAuthorize = "end.authorize"
+	// KindAuthzGrant is an authorization-server proxy grant or refusal
+	// (§3.2, Fig. 3).
+	KindAuthzGrant = "authz.grant"
+	// KindGroupGrant is a group-membership proxy grant or refusal (§3.3).
+	KindGroupGrant = "group.grant"
+	// KindTransfer is a local accounting transfer, including quota
+	// allocate/release (§4).
+	KindTransfer = "acct.transfer"
+	// KindCheckWrite is a check written as a signed numbered delegate
+	// proxy (§4, Fig. 5).
+	KindCheckWrite = "acct.check-write"
+	// KindDeposit is a check deposit decision, granted or denied.
+	KindDeposit = "acct.deposit"
+	// KindClearingHop is a check endorsed onward to a correspondent
+	// bank for collection (Fig. 5).
+	KindClearingHop = "acct.clearing-hop"
+	// KindAcceptOnceReject is a deposit refused because the check
+	// number was already accepted (§7.7).
+	KindAcceptOnceReject = "acct.accept-once-reject"
+	// KindHold is a certified-check hold placed (or refused).
+	KindHold = "acct.hold"
+	// KindHoldRelease is an expired certified-check hold returned to
+	// its account.
+	KindHoldRelease = "acct.hold-release"
+)
+
+// Kinds returns every record kind the tree can emit, sorted.
+func Kinds() []string {
+	return []string{
+		KindAuthzGrant,
+		KindAcceptOnceReject,
+		KindCheckWrite,
+		KindClearingHop,
+		KindDeposit,
+		KindHold,
+		KindHoldRelease,
+		KindTransfer,
+		KindAuthorize,
+		KindGroupGrant,
+	}
+}
+
+// wireRecord is the canonical JSON form of a Record: the exact bytes
+// hashed into the chain and appended to the journal file. Field order
+// is fixed by this struct, principals render as "name@REALM" strings,
+// and time as RFC3339Nano UTC, so hashing is deterministic across
+// processes.
+type wireRecord struct {
+	Seq        uint64            `json:"seq"`
+	Time       string            `json:"time"`
+	Kind       string            `json:"kind,omitempty"`
+	Server     string            `json:"server,omitempty"`
+	TraceID    string            `json:"traceId,omitempty"`
+	Grantor    string            `json:"grantor,omitempty"`
+	Presenters []string          `json:"presenters,omitempty"`
+	Trail      []string          `json:"trail,omitempty"`
+	Object     string            `json:"object,omitempty"`
+	Op         string            `json:"op,omitempty"`
+	Outcome    string            `json:"outcome,omitempty"`
+	Reason     string            `json:"reason,omitempty"`
+	Detail     map[string]string `json:"detail,omitempty"`
+	Prev       string            `json:"prev"`
+	Hash       string            `json:"hash,omitempty"`
+}
+
+func idString(id principal.ID) string {
+	if id.IsZero() {
+		return ""
+	}
+	return id.String()
+}
+
+func parseID(s string) principal.ID {
+	if s == "" {
+		return principal.ID{}
+	}
+	id, err := principal.Parse(s)
+	if err != nil {
+		return principal.ID{Name: s}
+	}
+	return id
+}
+
+func idStrings(ids []principal.ID) []string {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = id.String()
+	}
+	return out
+}
+
+func parseIDs(ss []string) []principal.ID {
+	if len(ss) == 0 {
+		return nil
+	}
+	out := make([]principal.ID, len(ss))
+	for i, s := range ss {
+		out[i] = parseID(s)
+	}
+	return out
+}
+
+func outcomeString(o Outcome) string {
+	if o == 0 {
+		return ""
+	}
+	return o.String()
+}
+
+func parseOutcome(s string) Outcome {
+	switch s {
+	case "":
+		return 0
+	case "GRANTED":
+		return OutcomeGranted
+	case "DENIED":
+		return OutcomeDenied
+	}
+	var n uint8
+	if _, err := fmt.Sscanf(s, "outcome(%d)", &n); err == nil {
+		return Outcome(n)
+	}
+	return 0
+}
+
+func toWire(r Record) wireRecord {
+	return wireRecord{
+		Seq:        r.Seq,
+		Time:       r.Time.UTC().Format(time.RFC3339Nano),
+		Kind:       r.Kind,
+		Server:     idString(r.Server),
+		TraceID:    r.TraceID,
+		Grantor:    idString(r.Grantor),
+		Presenters: idStrings(r.Presenters),
+		Trail:      idStrings(r.Trail),
+		Object:     r.Object,
+		Op:         r.Op,
+		Outcome:    outcomeString(r.Outcome),
+		Reason:     r.Reason,
+		Detail:     r.Detail,
+		Prev:       r.Prev,
+		Hash:       r.Hash,
+	}
+}
+
+func fromWire(w wireRecord) Record {
+	t, err := time.Parse(time.RFC3339Nano, w.Time)
+	if err != nil {
+		t = time.Time{}
+	}
+	return Record{
+		Seq:        w.Seq,
+		Time:       t,
+		Kind:       w.Kind,
+		Server:     parseID(w.Server),
+		TraceID:    w.TraceID,
+		Grantor:    parseID(w.Grantor),
+		Presenters: parseIDs(w.Presenters),
+		Trail:      parseIDs(w.Trail),
+		Object:     w.Object,
+		Op:         w.Op,
+		Outcome:    parseOutcome(w.Outcome),
+		Reason:     w.Reason,
+		Detail:     w.Detail,
+		Prev:       w.Prev,
+		Hash:       w.Hash,
+	}
+}
+
+// hashWire computes the chain hash of a wire record: the hex SHA-256 of
+// its canonical JSON with the Hash field empty. Prev is included, so
+// each hash commits to the entire prefix of the journal.
+func hashWire(w wireRecord) string {
+	w.Hash = ""
+	b, err := json.Marshal(w)
+	if err != nil {
+		// wireRecord contains only strings and maps of strings;
+		// Marshal cannot fail on it.
+		panic("audit: marshal wire record: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Stats summarizes a journal for health reporting.
+type Stats struct {
+	// Records is the total number of records ever appended (the last
+	// sequence number), including records replayed from an existing
+	// file at open.
+	Records uint64 `json:"records"`
+	// LastHash is the chain hash of the most recent record, "" when
+	// the journal is empty.
+	LastHash string `json:"lastHash"`
+	// Path is the backing file, "" for memory-only journals.
+	Path string `json:"path,omitempty"`
+	// WriteErrors counts file appends that failed (records are still
+	// chained in memory).
+	WriteErrors uint64 `json:"writeErrors,omitempty"`
+}
+
+// Options configures a Journal.
+type Options struct {
+	// Tail bounds the in-memory tail served over HTTP and Tail();
+	// <= 0 defaults to 1024.
+	Tail int
+	// Path, when non-empty, appends each record as one JSONL line to
+	// this file. An existing file is replayed at open: the chain is
+	// verified and new records extend it.
+	Path string
+	// Logger, when non-nil, mirrors each record at Info level.
+	Logger *slog.Logger
+}
+
+// Journal is an append-only, hash-chained audit record stream: each
+// record carries the hex SHA-256 of its predecessor, so truncating or
+// altering any prefix is detectable by re-walking the chain
+// (VerifyReader). Records are kept in a bounded in-memory tail and,
+// when Options.Path is set, durably as JSON lines.
+type Journal struct {
+	mu       sync.Mutex
+	tail     []Record
+	start    int
+	count    int
+	seq      uint64
+	lastHash string
+	f        *os.File
+	path     string
+	logger   *slog.Logger
+	writeErr uint64
+}
+
+// NewMemory returns a memory-only journal retaining up to tailCap
+// records.
+func NewMemory(tailCap int) *Journal {
+	j, err := New(Options{Tail: tailCap})
+	if err != nil {
+		panic("audit: memory journal: " + err.Error())
+	}
+	return j
+}
+
+// New opens a journal. With Options.Path set, an existing file is
+// replayed (chain-verified — a tampered file refuses to open) and new
+// records extend its chain.
+func New(o Options) (*Journal, error) {
+	if o.Tail <= 0 {
+		o.Tail = 1024
+	}
+	j := &Journal{tail: make([]Record, o.Tail), logger: o.Logger, path: o.Path}
+	if o.Path == "" {
+		return j, nil
+	}
+	if err := j.replay(o.Path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(o.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("audit: open journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// replay loads an existing journal file, verifying the chain and
+// restoring seq/lastHash and the in-memory tail.
+func (j *Journal) replay(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("audit: open journal: %w", err)
+	}
+	defer f.Close()
+	err = walkChain(f, func(w wireRecord) {
+		j.seq = w.Seq
+		j.lastHash = w.Hash
+		j.push(fromWire(w))
+	})
+	if err != nil {
+		return fmt.Errorf("audit: replay %s: %w", path, err)
+	}
+	return nil
+}
+
+// push appends to the bounded tail ring; callers hold j.mu (or have
+// exclusive access during replay).
+func (j *Journal) push(r Record) {
+	idx := (j.start + j.count) % len(j.tail)
+	j.tail[idx] = r
+	if j.count < len(j.tail) {
+		j.count++
+	} else {
+		j.start = (j.start + 1) % len(j.tail)
+	}
+}
+
+// Append seals r into the chain: assigns the next sequence number,
+// links Prev to the last chain hash, computes the record's own hash,
+// stores it in the tail, appends one JSONL line to the backing file,
+// and mirrors it to the logger. The sealed record is returned.
+func (j *Journal) Append(r Record) Record {
+	j.mu.Lock()
+	if r.Time.IsZero() {
+		r.Time = time.Now()
+	}
+	r.Time = r.Time.UTC()
+	j.seq++
+	r.Seq = j.seq
+	r.Prev = j.lastHash
+	w := toWire(r)
+	r.Hash = hashWire(w)
+	w.Hash = r.Hash
+	j.lastHash = r.Hash
+	j.push(r)
+	if j.f != nil {
+		line, err := json.Marshal(w)
+		if err == nil {
+			// One Write call per record: O_APPEND makes the line
+			// append atomic with respect to other writers, the
+			// statefile idiom applied to a log.
+			_, err = j.f.Write(append(line, '\n'))
+		}
+		if err != nil {
+			j.writeErr++
+		}
+	}
+	logger := j.logger
+	j.mu.Unlock()
+	if logger != nil {
+		logger.Info("audit",
+			"seq", r.Seq,
+			"kind", r.Kind,
+			"outcome", outcomeString(r.Outcome),
+			"server", idString(r.Server),
+			"op", r.Op,
+			"object", r.Object,
+			"trace", r.TraceID,
+			"reason", r.Reason,
+			"hash", r.Hash,
+		)
+	}
+	return r
+}
+
+// Tail returns retained records with Seq > since, oldest first. Records
+// older than the in-memory tail are only available from the file sink.
+func (j *Journal) Tail(since uint64) []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Record, 0, j.count)
+	for i := 0; i < j.count; i++ {
+		r := j.tail[(j.start+i)%len(j.tail)]
+		if r.Seq > since {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Stats reports the journal's totals for health endpoints.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{Records: j.seq, LastHash: j.lastHash, Path: j.path, WriteErrors: j.writeErr}
+}
+
+// Health summarizes journal state as /healthz document fields.
+func (j *Journal) Health() map[string]any {
+	st := j.Stats()
+	h := map[string]any{
+		"auditRecords":     st.Records,
+		"auditLastHash":    st.LastHash,
+		"auditWriteErrors": st.WriteErrors,
+	}
+	if st.Path != "" {
+		h["auditPath"] = st.Path
+	}
+	return h
+}
+
+// Close closes the backing file, if any.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// ServeHTTP serves the in-memory tail as JSON. Cursor semantics:
+// ?since=<seq> returns records with Seq > since (at most ?limit); the
+// response's "cursor" is the highest Seq returned — feed it back as
+// the next request's since. "oldest" is the oldest retained Seq; a
+// since below oldest-1 means records have rotated out of the tail and
+// only the file sink has them.
+func (j *Journal) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	since, _ := strconv.ParseUint(req.URL.Query().Get("since"), 10, 64)
+	limit, _ := strconv.Atoi(req.URL.Query().Get("limit"))
+	recs := j.Tail(since)
+	if limit > 0 && len(recs) > limit {
+		recs = recs[:limit]
+	}
+	st := j.Stats()
+	cursor := since
+	wires := make([]wireRecord, len(recs))
+	for i, r := range recs {
+		wires[i] = toWire(r)
+		cursor = r.Seq
+	}
+	var oldest uint64
+	if all := j.Tail(0); len(all) > 0 {
+		oldest = all[0].Seq
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Total    uint64       `json:"total"`
+		LastHash string       `json:"lastHash"`
+		Oldest   uint64       `json:"oldest"`
+		Cursor   uint64       `json:"cursor"`
+		Records  []wireRecord `json:"records"`
+	}{st.Records, st.LastHash, oldest, cursor, wires})
+}
+
+// walkChain scans JSONL records from r, re-verifying the hash chain,
+// and calls fn for each valid record. It returns the first break:
+// malformed line, hash mismatch (tampering), or prev-link mismatch
+// (truncation/splice).
+func walkChain(r io.Reader, fn func(wireRecord)) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	prev := ""
+	var seq uint64
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var w wireRecord
+		if err := json.Unmarshal(raw, &w); err != nil {
+			return fmt.Errorf("line %d: malformed record: %w", line, err)
+		}
+		if w.Seq != seq+1 {
+			return fmt.Errorf("line %d: sequence break: have %d, want %d", line, w.Seq, seq+1)
+		}
+		if w.Prev != prev {
+			return fmt.Errorf("line %d: chain break: prev hash %.12q does not match %.12q", line, w.Prev, prev)
+		}
+		if got := hashWire(w); got != w.Hash {
+			return fmt.Errorf("line %d: record tampered: stored hash %.12q, recomputed %.12q", line, w.Hash, got)
+		}
+		seq = w.Seq
+		prev = w.Hash
+		if fn != nil {
+			fn(w)
+		}
+	}
+	return sc.Err()
+}
+
+// VerifyReader re-walks the hash chain of a JSONL journal stream,
+// returning the number of intact records and the first break found.
+func VerifyReader(r io.Reader) (int, error) {
+	n := 0
+	err := walkChain(r, func(wireRecord) { n++ })
+	return n, err
+}
+
+// VerifyFile re-walks the hash chain of a journal file.
+func VerifyFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return VerifyReader(f)
+}
+
+// VerifyChain re-verifies an in-memory record slice (e.g. a journal
+// tail) the same way VerifyReader checks a file.
+func VerifyChain(recs []Record) error {
+	prev := ""
+	for i, r := range recs {
+		if i > 0 && r.Seq != recs[i-1].Seq+1 {
+			return fmt.Errorf("record %d: sequence break: have %d, want %d", i, r.Seq, recs[i-1].Seq+1)
+		}
+		if i > 0 && r.Prev != prev {
+			return fmt.Errorf("record %d: chain break: prev hash %.12q does not match %.12q", i, r.Prev, prev)
+		}
+		if got := hashWire(toWire(r)); got != r.Hash {
+			return fmt.Errorf("record %d: record tampered: stored hash %.12q, recomputed %.12q", i, r.Hash, got)
+		}
+		prev = r.Hash
+	}
+	return nil
+}
+
+// MarshalJSON renders the record in its canonical wire form, so tails
+// served over HTTP and journal lines look identical.
+func (r Record) MarshalJSON() ([]byte, error) { return json.Marshal(toWire(r)) }
+
+// UnmarshalJSON parses the canonical wire form.
+func (r *Record) UnmarshalJSON(b []byte) error {
+	var w wireRecord
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*r = fromWire(w)
+	return nil
+}

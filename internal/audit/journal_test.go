@@ -1,0 +1,287 @@
+package audit
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"proxykit/internal/principal"
+)
+
+var (
+	jAlice = principal.New("alice", "ISI.EDU")
+	jSrv   = principal.New("file/srv", "ISI.EDU")
+)
+
+func journalRecord(op string) Record {
+	return Record{
+		Kind:       KindAuthorize,
+		Server:     jSrv,
+		TraceID:    "abc123",
+		Presenters: []principal.ID{jAlice},
+		Object:     "/etc/motd",
+		Op:         op,
+		Outcome:    OutcomeGranted,
+		Detail:     map[string]string{"note": "test"},
+	}
+}
+
+func TestJournalChainsRecords(t *testing.T) {
+	j := NewMemory(16)
+	r1 := j.Append(journalRecord("read"))
+	r2 := j.Append(journalRecord("write"))
+	if r1.Seq != 1 || r2.Seq != 2 {
+		t.Fatalf("seq = %d, %d; want 1, 2", r1.Seq, r2.Seq)
+	}
+	if r1.Prev != "" {
+		t.Fatalf("genesis Prev = %q; want empty", r1.Prev)
+	}
+	if r2.Prev != r1.Hash {
+		t.Fatalf("r2.Prev = %q; want r1.Hash %q", r2.Prev, r1.Hash)
+	}
+	if len(r1.Hash) != 64 {
+		t.Fatalf("hash length = %d; want 64 hex chars", len(r1.Hash))
+	}
+	if err := VerifyChain(j.Tail(0)); err != nil {
+		t.Fatalf("VerifyChain: %v", err)
+	}
+	st := j.Stats()
+	if st.Records != 2 || st.LastHash != r2.Hash {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestVerifyChainDetectsTampering(t *testing.T) {
+	j := NewMemory(16)
+	j.Append(journalRecord("read"))
+	j.Append(journalRecord("write"))
+	recs := j.Tail(0)
+	recs[0].Object = "/etc/shadow"
+	if err := VerifyChain(recs); err == nil || !strings.Contains(err.Error(), "tampered") {
+		t.Fatalf("VerifyChain after edit = %v; want tamper error", err)
+	}
+}
+
+func TestJournalFileSinkAndVerify(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := New(Options{Path: path, Tail: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		j.Append(journalRecord("read"))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := VerifyFile(path)
+	if err != nil {
+		t.Fatalf("VerifyFile: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("verified %d records; want 5", n)
+	}
+}
+
+func TestJournalFlippedByteDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := New(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(journalRecord("read"))
+	j.Append(journalRecord("write"))
+	j.Append(journalRecord("delete"))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the second record's object path.
+	idx := bytes.Index(raw, []byte("motd"))
+	idx = bytes.Index(raw[idx+1:], []byte("motd")) + idx + 1
+	tampered := append([]byte(nil), raw...)
+	tampered[idx] ^= 0x01
+	if err := os.WriteFile(path, tampered, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	n, err := VerifyFile(path)
+	if err == nil {
+		t.Fatal("VerifyFile accepted a flipped byte")
+	}
+	if n != 1 {
+		t.Fatalf("verified %d records before the break; want 1", n)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %q does not name line 2", err)
+	}
+}
+
+func TestJournalTruncationDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := New(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		j.Append(journalRecord("read"))
+	}
+	j.Close()
+	raw, _ := os.ReadFile(path)
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	// Drop the middle record: the splice breaks both seq and prev.
+	spliced := append(append([]byte(nil), lines[0]...), lines[2]...)
+	os.WriteFile(path, spliced, 0o600)
+	if _, err := VerifyFile(path); err == nil {
+		t.Fatal("VerifyFile accepted a spliced journal")
+	}
+}
+
+func TestJournalReplayResumesChain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := New(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(journalRecord("read"))
+	last := j.Append(journalRecord("write"))
+	j.Close()
+
+	j2, err := New(Options{Path: path})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	st := j2.Stats()
+	if st.Records != 2 || st.LastHash != last.Hash {
+		t.Fatalf("after replay stats = %+v; want 2 records, last hash %q", st, last.Hash)
+	}
+	r3 := j2.Append(journalRecord("delete"))
+	if r3.Seq != 3 || r3.Prev != last.Hash {
+		t.Fatalf("resumed record = seq %d prev %q; want 3, %q", r3.Seq, r3.Prev, last.Hash)
+	}
+	j2.Close()
+	if n, err := VerifyFile(path); err != nil || n != 3 {
+		t.Fatalf("VerifyFile after resume = %d, %v; want 3, nil", n, err)
+	}
+}
+
+func TestJournalRefusesTamperedFileAtOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _ := New(Options{Path: path})
+	j.Append(journalRecord("read"))
+	j.Close()
+	raw, _ := os.ReadFile(path)
+	os.WriteFile(path, bytes.Replace(raw, []byte("motd"), []byte("mote"), 1), 0o600)
+	if _, err := New(Options{Path: path}); err == nil {
+		t.Fatal("New opened a tampered journal")
+	}
+}
+
+func TestJournalHTTPCursor(t *testing.T) {
+	j := NewMemory(4)
+	for i := 0; i < 6; i++ {
+		j.Append(journalRecord("read"))
+	}
+	// Tail capacity 4 retains seqs 3..6.
+	srv := httptest.NewServer(j)
+	defer srv.Close()
+	get := func(url string) map[string]any {
+		resp, err := srv.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	body := get(srv.URL + "/audit?since=4")
+	if got := body["total"].(float64); got != 6 {
+		t.Fatalf("total = %v; want 6", got)
+	}
+	if got := body["oldest"].(float64); got != 3 {
+		t.Fatalf("oldest = %v; want 3", got)
+	}
+	recs := body["records"].([]any)
+	if len(recs) != 2 {
+		t.Fatalf("since=4 returned %d records; want 2", len(recs))
+	}
+	if got := body["cursor"].(float64); got != 6 {
+		t.Fatalf("cursor = %v; want 6", got)
+	}
+	// Feeding the cursor back yields nothing new.
+	if more := get(srv.URL + "/audit?since=6")["records"].([]any); len(more) != 0 {
+		t.Fatalf("since=cursor returned %d records; want 0", len(more))
+	}
+	if limited := get(srv.URL + "/audit?since=0&limit=1")["records"].([]any); len(limited) != 1 {
+		t.Fatalf("limit=1 returned %d records", len(limited))
+	}
+}
+
+func TestJournalMirrorsToSlog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	j, err := New(Options{Logger: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(journalRecord("read"))
+	out := buf.String()
+	for _, want := range []string{"msg=audit", "kind=end.authorize", "outcome=GRANTED", "trace=abc123"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("slog mirror %q missing %q", out, want)
+		}
+	}
+}
+
+func TestRecordJSONRoundTrip(t *testing.T) {
+	j := NewMemory(4)
+	in := journalRecord("read")
+	in.Grantor = jAlice
+	in.Trail = []principal.ID{jSrv}
+	in.Time = time.Date(2026, 8, 5, 12, 0, 0, 12345, time.UTC)
+	sealed := j.Append(in)
+	b, err := json.Marshal(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Record
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Grantor != jAlice || back.Server != jSrv || len(back.Trail) != 1 || back.Trail[0] != jSrv {
+		t.Fatalf("round trip lost principals: %+v", back)
+	}
+	if !back.Time.Equal(sealed.Time) {
+		t.Fatalf("round trip time = %v; want %v", back.Time, sealed.Time)
+	}
+	if back.Hash != sealed.Hash || back.Prev != sealed.Prev || back.Outcome != sealed.Outcome {
+		t.Fatalf("round trip lost chain fields: %+v", back)
+	}
+	if err := VerifyChain([]Record{back}); err != nil {
+		t.Fatalf("VerifyChain on round-tripped record: %v", err)
+	}
+}
+
+func TestKindsAreDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range Kinds() {
+		if seen[k] {
+			t.Fatalf("duplicate kind %q", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("got %d kinds; want 10", len(seen))
+	}
+}

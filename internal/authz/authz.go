@@ -12,13 +12,17 @@
 package authz
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"proxykit/internal/acl"
+	"proxykit/internal/audit"
 	"proxykit/internal/clock"
+	"proxykit/internal/obs"
 	"proxykit/internal/principal"
 	"proxykit/internal/proxy"
 	"proxykit/internal/pubkey"
@@ -56,8 +60,17 @@ type Server struct {
 	identity *pubkey.Identity
 	clk      clock.Clock
 
-	mu    sync.RWMutex
-	rules []Rule
+	mu      sync.RWMutex
+	rules   []Rule
+	journal *audit.Journal
+}
+
+// SetJournal attaches an audit journal; every Grant decision is sealed
+// into its chain.
+func (s *Server) SetJournal(j *audit.Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
 }
 
 // New creates an authorization server with the given signing identity.
@@ -126,13 +139,20 @@ type GrantRequest struct {
 // (object, ops) list, an issued-for restriction confining it to the
 // end-server, the restrictions of every matched rule, and the
 // propagated restrictions.
-func (s *Server) Grant(req *GrantRequest) (p *proxy.Proxy, err error) {
+func (s *Server) Grant(req *GrantRequest) (*proxy.Proxy, error) {
+	return s.GrantCtx(context.Background(), req)
+}
+
+// GrantCtx is Grant with a request context; the context's trace ID is
+// stamped onto the audit record.
+func (s *Server) GrantCtx(ctx context.Context, req *GrantRequest) (p *proxy.Proxy, err error) {
 	defer func() {
 		if err != nil {
 			mGrants.With("denied").Inc()
 		} else {
 			mGrants.With("granted").Inc()
 		}
+		s.auditGrant(ctx, req, err)
 	}()
 	identities := req.Identities
 	if len(identities) == 0 && !req.Client.IsZero() {
@@ -164,6 +184,43 @@ func (s *Server) Grant(req *GrantRequest) (p *proxy.Proxy, err error) {
 		Mode:          proxy.ModePublicKey,
 		Clock:         s.clk,
 	})
+}
+
+// auditGrant records one grant decision if a journal is attached.
+func (s *Server) auditGrant(ctx context.Context, req *GrantRequest, err error) {
+	s.mu.RLock()
+	j := s.journal
+	s.mu.RUnlock()
+	if j == nil {
+		return
+	}
+	objects := make([]string, len(req.Objects))
+	for i, o := range req.Objects {
+		objects[i] = o.Object
+	}
+	presenters := req.Identities
+	if len(presenters) == 0 && !req.Client.IsZero() {
+		presenters = []principal.ID{req.Client}
+	}
+	rec := audit.Record{
+		Time:       s.clk.Now(),
+		Kind:       audit.KindAuthzGrant,
+		Server:     s.ID,
+		TraceID:    obs.TraceIDFrom(ctx),
+		Presenters: presenters,
+		Object:     strings.Join(objects, ","),
+		Op:         "grant",
+		Outcome:    audit.OutcomeGranted,
+		Detail: map[string]string{
+			"endServer": req.EndServer.String(),
+			"delegate":  fmt.Sprint(req.Delegate),
+		},
+	}
+	if err != nil {
+		rec.Outcome = audit.OutcomeDenied
+		rec.Reason = err.Error()
+	}
+	j.Append(rec)
 }
 
 // match computes the granted (object, ops) entries for the client.

@@ -10,6 +10,7 @@
 package amoeba
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -121,7 +122,7 @@ const (
 // Mux serves the bank over a transport.
 func (b *Bank) Mux() *transport.Mux {
 	m := transport.NewMux()
-	m.Handle(PrepayMethod, func(body []byte) ([]byte, error) {
+	m.Handle(PrepayMethod, func(_ context.Context, body []byte) ([]byte, error) {
 		client, server, cur, amt, err := decodeOp(body)
 		if err != nil {
 			return nil, err
@@ -131,7 +132,7 @@ func (b *Bank) Mux() *transport.Mux {
 		}
 		return []byte{1}, nil
 	})
-	m.Handle(ConsumeMethod, func(body []byte) ([]byte, error) {
+	m.Handle(ConsumeMethod, func(_ context.Context, body []byte) ([]byte, error) {
 		client, server, cur, amt, err := decodeOp(body)
 		if err != nil {
 			return nil, err
@@ -141,7 +142,7 @@ func (b *Bank) Mux() *transport.Mux {
 		}
 		return []byte{1}, nil
 	})
-	m.Handle(BalanceMethod, func(body []byte) ([]byte, error) {
+	m.Handle(BalanceMethod, func(_ context.Context, body []byte) ([]byte, error) {
 		client, server, cur, _, err := decodeOp(body)
 		if err != nil {
 			return nil, err

@@ -10,6 +10,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -60,7 +61,7 @@ const IsMemberMethod = "registry.is-member"
 // Mux serves membership queries over a transport.
 func (s *Server) Mux() *transport.Mux {
 	m := transport.NewMux()
-	m.Handle(IsMemberMethod, func(body []byte) ([]byte, error) {
+	m.Handle(IsMemberMethod, func(_ context.Context, body []byte) ([]byte, error) {
 		d := wire.NewDecoder(body)
 		group := d.String()
 		p := principal.DecodeID(d)

@@ -12,6 +12,7 @@
 package sollins
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -98,7 +99,7 @@ const VerifyLinkMethod = "sollins.verify-link"
 // Mux serves link verification over a transport.
 func (a *AuthServer) Mux() *transport.Mux {
 	m := transport.NewMux()
-	m.Handle(VerifyLinkMethod, func(body []byte) ([]byte, error) {
+	m.Handle(VerifyLinkMethod, func(_ context.Context, body []byte) ([]byte, error) {
 		l, err := decodeLink(body)
 		if err != nil {
 			return nil, err

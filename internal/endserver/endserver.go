@@ -12,6 +12,7 @@
 package endserver
 
 import (
+	"context"
 	"crypto/subtle"
 	"encoding/hex"
 	"errors"
@@ -22,6 +23,7 @@ import (
 	"proxykit/internal/acl"
 	"proxykit/internal/audit"
 	"proxykit/internal/clock"
+	"proxykit/internal/obs"
 	"proxykit/internal/principal"
 	"proxykit/internal/proxy"
 	"proxykit/internal/replay"
@@ -51,7 +53,7 @@ type Server struct {
 	objects    map[string]*acl.ACL
 	defaultACL *acl.ACL
 	challenges map[string]time.Time
-	auditLog   *audit.Log
+	journal    *audit.Journal
 }
 
 // New creates a Server with the supplied proxy verification environment.
@@ -75,24 +77,33 @@ func New(id principal.ID, env *proxy.VerifyEnv, clk clock.Clock) *Server {
 }
 
 // SetAuditLog attaches an audit log; every Authorize decision is
-// recorded, preserving the delegation trail of §3.4.
+// recorded, preserving the delegation trail of §3.4. The log's
+// underlying journal becomes the server's journal.
 func (s *Server) SetAuditLog(l *audit.Log) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.auditLog = l
+	s.SetJournal(l.Journal())
 }
 
-// auditDecision records one decision if a log is attached.
-func (s *Server) auditDecision(req *Request, d *Decision, err error) {
+// SetJournal attaches a hash-chained audit journal; every Authorize
+// decision is sealed into its chain.
+func (s *Server) SetJournal(j *audit.Journal) {
 	s.mu.Lock()
-	l := s.auditLog
+	defer s.mu.Unlock()
+	s.journal = j
+}
+
+// auditDecision records one decision if a journal is attached.
+func (s *Server) auditDecision(ctx context.Context, req *Request, d *Decision, err error) {
+	s.mu.Lock()
+	j := s.journal
 	s.mu.Unlock()
-	if l == nil {
+	if j == nil {
 		return
 	}
 	rec := audit.Record{
 		Time:       s.clk.Now(),
+		Kind:       audit.KindAuthorize,
 		Server:     s.ID,
+		TraceID:    obs.TraceIDFrom(ctx),
 		Presenters: req.Identities,
 		Object:     req.Object,
 		Op:         req.Op,
@@ -107,7 +118,7 @@ func (s *Server) auditDecision(req *Request, d *Decision, err error) {
 		}
 		rec.Trail = d.Trail
 	}
-	l.Append(rec)
+	j.Append(rec)
 }
 
 // SetACL installs the ACL for an object.
@@ -236,15 +247,22 @@ type Decision struct {
 // searches for an authorized acting principal: each direct identity and
 // each proxy grantor in turn. The matched entry's restrictions and, for
 // a proxy path, the proxy's accumulated restrictions must all pass. The
-// decision is recorded in the attached audit log, if any.
+// decision is recorded in the attached audit journal, if any.
 func (s *Server) Authorize(req *Request) (*Decision, error) {
+	return s.AuthorizeCtx(context.Background(), req)
+}
+
+// AuthorizeCtx is Authorize with a request context; the context's
+// trace ID (obs.TraceFrom) is stamped onto the audit record, joining
+// the decision to the RPC span that carried it.
+func (s *Server) AuthorizeCtx(ctx context.Context, req *Request) (*Decision, error) {
 	d, err := s.authorize(req)
 	if err != nil {
 		mDecisions.With("denied").Inc()
 	} else {
 		mDecisions.With("granted").Inc()
 	}
-	s.auditDecision(req, d, err)
+	s.auditDecision(ctx, req, d, err)
 	return d, err
 }
 

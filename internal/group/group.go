@@ -9,12 +9,16 @@
 package group
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"proxykit/internal/audit"
 	"proxykit/internal/clock"
+	"proxykit/internal/obs"
 	"proxykit/internal/principal"
 	"proxykit/internal/proxy"
 	"proxykit/internal/pubkey"
@@ -42,8 +46,17 @@ type Server struct {
 	identity *pubkey.Identity
 	clk      clock.Clock
 
-	mu     sync.RWMutex
-	groups map[string]*members
+	mu      sync.RWMutex
+	groups  map[string]*members
+	journal *audit.Journal
+}
+
+// SetJournal attaches an audit journal; every Grant decision is sealed
+// into its chain.
+func (s *Server) SetJournal(j *audit.Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
 }
 
 // New creates a group server with the given signing identity.
@@ -129,13 +142,20 @@ type GrantRequest struct {
 
 // Grant verifies membership and issues a proxy whose group-membership
 // restriction limits assertion to exactly the verified groups (§7.6).
-func (s *Server) Grant(req *GrantRequest) (p *proxy.Proxy, err error) {
+func (s *Server) Grant(req *GrantRequest) (*proxy.Proxy, error) {
+	return s.GrantCtx(context.Background(), req)
+}
+
+// GrantCtx is Grant with a request context; the context's trace ID is
+// stamped onto the audit record.
+func (s *Server) GrantCtx(ctx context.Context, req *GrantRequest) (p *proxy.Proxy, err error) {
 	defer func() {
 		if err != nil {
 			mGrants.With("denied").Inc()
 		} else {
 			mGrants.With("granted").Inc()
 		}
+		s.auditGrant(ctx, req, err)
 	}()
 	if len(req.Groups) == 0 {
 		return nil, fmt.Errorf("%w: no groups requested", ErrUnknownGroup)
@@ -168,6 +188,32 @@ func (s *Server) Grant(req *GrantRequest) (p *proxy.Proxy, err error) {
 		Mode:          proxy.ModePublicKey,
 		Clock:         s.clk,
 	})
+}
+
+// auditGrant records one grant decision if a journal is attached.
+func (s *Server) auditGrant(ctx context.Context, req *GrantRequest, err error) {
+	s.mu.RLock()
+	j := s.journal
+	s.mu.RUnlock()
+	if j == nil {
+		return
+	}
+	rec := audit.Record{
+		Time:       s.clk.Now(),
+		Kind:       audit.KindGroupGrant,
+		Server:     s.ID,
+		TraceID:    obs.TraceIDFrom(ctx),
+		Presenters: []principal.ID{req.Client},
+		Object:     strings.Join(req.Groups, ","),
+		Op:         "grant",
+		Outcome:    audit.OutcomeGranted,
+		Detail:     map[string]string{"delegate": fmt.Sprint(req.Delegate)},
+	}
+	if err != nil {
+		rec.Outcome = audit.OutcomeDenied
+		rec.Reason = err.Error()
+	}
+	j.Append(rec)
 }
 
 // IsMember reports whether p belongs to the named local group, directly

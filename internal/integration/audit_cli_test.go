@@ -1,0 +1,85 @@
+package integration
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"proxykit/internal/audit"
+	"proxykit/internal/principal"
+)
+
+// TestAuditVerifyCLI round-trips a journal through the real proxyctl
+// binary: a clean chain verifies with exit 0, and a single flipped
+// byte makes `proxyctl audit verify` exit non-zero naming the break.
+func TestAuditVerifyCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and spawns processes")
+	}
+	bin := t.TempDir()
+	proxyctl := filepath.Join(bin, "proxyctl")
+	build := exec.Command("go", "build", "-o", proxyctl, "./cmd/proxyctl")
+	build.Dir = repoRoot(t)
+	if b, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build proxyctl: %v\n%s", err, b)
+	}
+
+	work := t.TempDir()
+	path := filepath.Join(work, "journal.jsonl")
+	j, err := audit.New(audit.Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := principal.New("filesrv", "EXAMPLE.ORG")
+	for _, object := range []string{"/a", "/b", "/c"} {
+		j.Append(audit.Record{
+			Kind:    audit.KindAuthorize,
+			Server:  server,
+			Object:  object,
+			Op:      "read",
+			Outcome: audit.OutcomeGranted,
+		})
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean journal: exit 0, reports the record count.
+	cmd := exec.Command(proxyctl, "audit", "verify", "-file", path)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("verify clean journal: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "chain intact, 3 records") {
+		t.Fatalf("verify output: %s", out)
+	}
+
+	// Flip a single byte inside the second record's object field.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(raw, []byte("/b"))
+	if i < 0 {
+		t.Fatalf("no /b in journal:\n%s", raw)
+	}
+	raw[i+1] = 'x'
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd = exec.Command(proxyctl, "audit", "verify", "-file", path)
+	out, err = cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("tampered journal verified clean:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() == 0 {
+		t.Fatalf("expected non-zero exit, got %v", err)
+	}
+	if !strings.Contains(string(out), "tampered") {
+		t.Fatalf("tamper output should name the break:\n%s", out)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"proxykit/internal/accounting"
+	"proxykit/internal/audit"
 	"proxykit/internal/obs"
 	"proxykit/internal/principal"
 	"proxykit/internal/proxy"
@@ -280,6 +281,49 @@ func TestObservabilityDocCatalogue(t *testing.T) {
 		}
 		if !registered[base] {
 			t.Errorf("OBSERVABILITY.md names %s, which is not a registered metric", name)
+		}
+	}
+}
+
+// auditKindRE matches backticked audit kinds like `acct.deposit` in
+// the documentation's kinds table.
+var auditKindRE = regexp.MustCompile("`((?:end|authz|group|acct)\\.[a-z-]+)`")
+
+// TestAuditKindDocCatalogue diffs audit.Kinds() against the "Audit
+// journal" section of OBSERVABILITY.md in both directions: every kind
+// the journal can emit must be documented, and every kind the doc
+// names must exist.
+func TestAuditKindDocCatalogue(t *testing.T) {
+	raw, err := os.ReadFile("../../OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, section, ok := strings.Cut(string(raw), "## Audit journal")
+	if !ok {
+		t.Fatal("OBSERVABILITY.md has no \"## Audit journal\" section")
+	}
+	if i := strings.Index(section, "\n## "); i >= 0 {
+		section = section[:i]
+	}
+	docKinds := make(map[string]bool)
+	for _, m := range auditKindRE.FindAllStringSubmatch(section, -1) {
+		docKinds[m[1]] = true
+	}
+	known := make(map[string]bool)
+	for _, k := range audit.Kinds() {
+		known[k] = true
+	}
+	if len(known) == 0 {
+		t.Fatal("audit.Kinds() is empty")
+	}
+	for k := range known {
+		if !docKinds[k] {
+			t.Errorf("audit kind %s is not documented in OBSERVABILITY.md", k)
+		}
+	}
+	for k := range docKinds {
+		if !known[k] {
+			t.Errorf("OBSERVABILITY.md names audit kind %s, which does not exist", k)
 		}
 	}
 }

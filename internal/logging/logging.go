@@ -1,0 +1,81 @@
+// Package logging configures structured logging (log/slog) for the
+// daemons and proxyctl. Every command registers the same two flags —
+// -log-level and -log-format — and routes both slog and the legacy
+// log package through one handler, so operational output is uniformly
+// greppable (text) or machine-parseable (json) across the system.
+package logging
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Options are the shared logging settings.
+type Options struct {
+	// Level is the minimum level emitted: debug, info, warn, or error.
+	Level string
+	// Format selects the handler: text or json.
+	Format string
+}
+
+// RegisterFlags registers -log-level and -log-format on fs with the
+// conventional defaults (info, text).
+func (o *Options) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&o.Level, "log-level", "info", "minimum log level: debug, info, warn, or error")
+	fs.StringVar(&o.Format, "log-format", "text", "log output format: text or json")
+}
+
+// ParseLevel maps a level name to its slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("logging: unknown level %q (want debug, info, warn, or error)", s)
+	}
+}
+
+// NewLogger builds a logger per the options, writing to w (os.Stderr
+// when nil).
+func (o Options) NewLogger(w io.Writer) (*slog.Logger, error) {
+	if w == nil {
+		w = os.Stderr
+	}
+	lvl, err := ParseLevel(o.Level)
+	if err != nil {
+		return nil, err
+	}
+	hopts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(strings.TrimSpace(o.Format)) {
+	case "", "text":
+		h = slog.NewTextHandler(w, hopts)
+	case "json":
+		h = slog.NewJSONHandler(w, hopts)
+	default:
+		return nil, fmt.Errorf("logging: unknown format %q (want text or json)", o.Format)
+	}
+	return slog.New(h), nil
+}
+
+// Setup builds the logger and installs it as the process default:
+// slog.Info et al. and the legacy log package (log.Printf, log.Fatal)
+// both route through it.
+func (o Options) Setup(w io.Writer) (*slog.Logger, error) {
+	l, err := o.NewLogger(w)
+	if err != nil {
+		return nil, err
+	}
+	slog.SetDefault(l)
+	return l, nil
+}

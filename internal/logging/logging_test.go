@@ -1,0 +1,87 @@
+package logging
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"":        slog.LevelInfo,
+		"info":    slog.LevelInfo,
+		"DEBUG":   slog.LevelDebug,
+		"warn":    slog.LevelWarn,
+		"warning": slog.LevelWarn,
+		"error":   slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil {
+			t.Fatalf("ParseLevel(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) should fail")
+	}
+}
+
+func TestRegisterFlags(t *testing.T) {
+	var o Options
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Level != "debug" || o.Format != "json" {
+		t.Errorf("parsed options = %+v", o)
+	}
+}
+
+func TestNewLoggerText(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := Options{Level: "warn", Format: "text"}.NewLogger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hidden")
+	l.Warn("shown", "key", "value")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info line emitted at warn level:\n%s", out)
+	}
+	if !strings.Contains(out, "msg=shown") || !strings.Contains(out, "key=value") {
+		t.Errorf("warn line missing fields:\n%s", out)
+	}
+}
+
+func TestNewLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := Options{Format: "json"}.NewLogger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("structured", "n", 7)
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	if doc["msg"] != "structured" || doc["n"] != float64(7) {
+		t.Errorf("unexpected document: %v", doc)
+	}
+}
+
+func TestNewLoggerRejectsBadInputs(t *testing.T) {
+	if _, err := (Options{Level: "loud"}).NewLogger(nil); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := (Options{Format: "xml"}).NewLogger(nil); err == nil {
+		t.Error("bad format accepted")
+	}
+}

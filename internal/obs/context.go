@@ -1,0 +1,26 @@
+package obs
+
+import "context"
+
+// traceKey keys the request Trace in a context.Context.
+type traceKey struct{}
+
+// ContextWithTrace attaches the trace context of an in-flight request,
+// so downstream decision points (audit records, fan-out calls) can join
+// the same trace.
+func ContextWithTrace(ctx context.Context, tr Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// TraceFrom returns the trace attached to ctx, if any.
+func TraceFrom(ctx context.Context) (Trace, bool) {
+	tr, ok := ctx.Value(traceKey{}).(Trace)
+	return tr, ok
+}
+
+// TraceIDFrom returns the trace ID attached to ctx, or "" — the form
+// audit records store.
+func TraceIDFrom(ctx context.Context) string {
+	tr, _ := TraceFrom(ctx)
+	return tr.TraceID
+}

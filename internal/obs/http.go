@@ -1,10 +1,13 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"time"
 )
 
@@ -13,20 +16,46 @@ import (
 var scrapes = Default.NewCounter("proxykit_metrics_scrapes_total",
 	"Number of /metrics scrapes served by the metrics listener.")
 
+// processStart anchors the uptime reported by /healthz.
+var processStart = time.Now()
+
+// HandlerOpts configures the side-listener handler beyond the process
+// defaults.
+type HandlerOpts struct {
+	// Registry defaults to Default when nil.
+	Registry *Registry
+	// Spans defaults to the process-wide Spans log when nil.
+	Spans *SpanLog
+	// Audit, when non-nil, is mounted at /audit — typically an
+	// *audit.Journal serving its in-memory tail.
+	Audit http.Handler
+	// Health, when non-nil, contributes extra top-level fields to the
+	// /healthz JSON document (e.g. audit journal status).
+	Health func() map[string]any
+}
+
 // Handler returns the side-listener HTTP handler every daemon mounts
 // when started with -metrics-addr:
 //
 //	/metrics       Prometheus text format (?format=json for JSON)
-//	/healthz       "ok" liveness probe
+//	/healthz       liveness + build info + uptime as JSON
 //	/traces        recent RPC spans, newest first, as JSON
+//	/audit         the daemon's audit-journal tail (when configured)
 //	/debug/pprof/  the standard net/http/pprof profiles
 //
 // reg and spans default to the process-wide Default registry and Spans
-// log when nil.
+// log when nil. HandlerWith exposes the remaining options.
 func Handler(reg *Registry, spans *SpanLog) http.Handler {
+	return HandlerWith(HandlerOpts{Registry: reg, Spans: spans})
+}
+
+// HandlerWith is Handler with the full option set.
+func HandlerWith(o HandlerOpts) http.Handler {
+	reg := o.Registry
 	if reg == nil {
 		reg = Default
 	}
+	spans := o.Spans
 	if spans == nil {
 		spans = Spans
 	}
@@ -42,13 +71,24 @@ func Handler(reg *Registry, spans *SpanLog) http.Handler {
 		_ = reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		doc := healthDoc()
+		if o.Health != nil {
+			for k, v := range o.Health() {
+				doc[k] = v
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
 	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = spans.WriteJSON(w)
 	})
+	if o.Audit != nil {
+		mux.Handle("/audit", o.Audit)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -57,17 +97,49 @@ func Handler(reg *Registry, spans *SpanLog) http.Handler {
 	return mux
 }
 
+// healthDoc builds the base /healthz document: status, uptime, and
+// build info from runtime/debug.ReadBuildInfo.
+func healthDoc() map[string]any {
+	doc := map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": time.Since(processStart).Seconds(),
+		"goVersion":     runtime.Version(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		doc["module"] = bi.Main.Path
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			doc["version"] = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				doc["vcsRevision"] = s.Value
+			case "vcs.time":
+				doc["vcsTime"] = s.Value
+			case "vcs.modified":
+				doc["vcsModified"] = s.Value == "true"
+			}
+		}
+	}
+	return doc
+}
+
 // Serve starts the observability side listener on addr and returns the
 // running server and its bound address (useful with ":0"). The caller
 // should Close the server on shutdown. Pass nil reg/spans for the
 // process defaults.
 func Serve(addr string, reg *Registry, spans *SpanLog) (*http.Server, net.Addr, error) {
+	return ServeWith(addr, HandlerOpts{Registry: reg, Spans: spans})
+}
+
+// ServeWith is Serve with the full option set.
+func ServeWith(addr string, o HandlerOpts) (*http.Server, net.Addr, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{
-		Handler:           Handler(reg, spans),
+		Handler:           HandlerWith(o),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() { _ = srv.Serve(l) }()

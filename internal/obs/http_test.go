@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHealthzDocument(t *testing.T) {
+	h := HandlerWith(HandlerOpts{
+		Registry: NewRegistry(),
+		Spans:    NewSpanLog(4),
+		Health: func() map[string]any {
+			return map[string]any{"audit": map[string]any{"records": 3}}
+		},
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/healthz code = %d", rec.Code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/healthz not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if doc["status"] != "ok" {
+		t.Errorf("status = %v", doc["status"])
+	}
+	if _, ok := doc["uptimeSeconds"].(float64); !ok {
+		t.Errorf("uptimeSeconds missing: %v", doc)
+	}
+	if _, ok := doc["goVersion"].(string); !ok {
+		t.Errorf("goVersion missing: %v", doc)
+	}
+	audit, ok := doc["audit"].(map[string]any)
+	if !ok || audit["records"].(float64) != 3 {
+		t.Errorf("Health extras not merged: %v", doc)
+	}
+}
+
+func TestAuditMount(t *testing.T) {
+	h := HandlerWith(HandlerOpts{
+		Registry: NewRegistry(),
+		Spans:    NewSpanLog(4),
+		Audit: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Write([]byte("journal"))
+		}),
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/audit?since=0", nil))
+	if rec.Code != 200 || rec.Body.String() != "journal" {
+		t.Fatalf("/audit: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	// Without an audit handler the path 404s.
+	rec = httptest.NewRecorder()
+	Handler(NewRegistry(), NewSpanLog(4)).ServeHTTP(rec, httptest.NewRequest("GET", "/audit", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("/audit without journal: code=%d", rec.Code)
+	}
+}
+
+func TestContextTrace(t *testing.T) {
+	if id := TraceIDFrom(context.Background()); id != "" {
+		t.Fatalf("TraceIDFrom(empty ctx) = %q", id)
+	}
+	tr := NewTrace()
+	ctx := ContextWithTrace(context.Background(), tr)
+	got, ok := TraceFrom(ctx)
+	if !ok || got != tr {
+		t.Fatalf("TraceFrom = %+v, %v; want %+v", got, ok, tr)
+	}
+	if TraceIDFrom(ctx) != tr.TraceID {
+		t.Fatalf("TraceIDFrom = %q; want %q", TraceIDFrom(ctx), tr.TraceID)
+	}
+}

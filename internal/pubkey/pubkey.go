@@ -5,6 +5,7 @@
 package pubkey
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -176,7 +177,7 @@ const LookupMethod = "pubkey.lookup"
 // Mux returns a transport mux serving directory lookups.
 func (d *Directory) Mux() *transport.Mux {
 	m := transport.NewMux()
-	m.Handle(LookupMethod, func(body []byte) ([]byte, error) {
+	m.Handle(LookupMethod, func(_ context.Context, body []byte) ([]byte, error) {
 		dec := wire.NewDecoder(body)
 		id := principal.DecodeID(dec)
 		if err := dec.Finish(); err != nil {

@@ -1,6 +1,7 @@
 package svc
 
 import (
+	"context"
 	"fmt"
 
 	"proxykit/internal/accounting"
@@ -47,7 +48,7 @@ func (s *AcctService) Mux() *transport.Mux {
 	return m
 }
 
-func (s *AcctService) handleStatement(raw []byte) ([]byte, error) {
+func (s *AcctService) handleStatement(_ context.Context, raw []byte) ([]byte, error) {
 	from, body, err := s.opener.Open(StatementMethod, raw)
 	if err != nil {
 		return nil, err
@@ -74,7 +75,7 @@ func (s *AcctService) handleStatement(raw []byte) ([]byte, error) {
 	return e.Bytes(), nil
 }
 
-func (s *AcctService) handleCreate(raw []byte) ([]byte, error) {
+func (s *AcctService) handleCreate(_ context.Context, raw []byte) ([]byte, error) {
 	from, body, err := s.opener.Open(CreateAccountMethod, raw)
 	if err != nil {
 		return nil, err
@@ -90,7 +91,7 @@ func (s *AcctService) handleCreate(raw []byte) ([]byte, error) {
 	return []byte{1}, nil
 }
 
-func (s *AcctService) handleBalance(raw []byte) ([]byte, error) {
+func (s *AcctService) handleBalance(_ context.Context, raw []byte) ([]byte, error) {
 	from, body, err := s.opener.Open(BalanceMethod, raw)
 	if err != nil {
 		return nil, err
@@ -110,7 +111,7 @@ func (s *AcctService) handleBalance(raw []byte) ([]byte, error) {
 	return e.Bytes(), nil
 }
 
-func (s *AcctService) handleTransfer(raw []byte) ([]byte, error) {
+func (s *AcctService) handleTransfer(ctx context.Context, raw []byte) ([]byte, error) {
 	from, body, err := s.opener.Open(TransferMethod, raw)
 	if err != nil {
 		return nil, err
@@ -123,13 +124,13 @@ func (s *AcctService) handleTransfer(raw []byte) ([]byte, error) {
 	if err := d.Finish(); err != nil {
 		return nil, err
 	}
-	if err := s.srv.Transfer(src, dst, currency, amount, []principal.ID{from}); err != nil {
+	if err := s.srv.TransferCtx(ctx, src, dst, currency, amount, []principal.ID{from}); err != nil {
 		return nil, err
 	}
 	return []byte{1}, nil
 }
 
-func (s *AcctService) handleDeposit(raw []byte) ([]byte, error) {
+func (s *AcctService) handleDeposit(ctx context.Context, raw []byte) ([]byte, error) {
 	from, body, err := s.opener.Open(DepositCheckMethod, raw)
 	if err != nil {
 		return nil, err
@@ -143,7 +144,7 @@ func (s *AcctService) handleDeposit(raw []byte) ([]byte, error) {
 	if err := d.Finish(); err != nil {
 		return nil, err
 	}
-	r, err := s.srv.DepositCheck(c, []principal.ID{from}, creditAccount)
+	r, err := s.srv.DepositCheckCtx(ctx, c, []principal.ID{from}, creditAccount)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package svc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -52,7 +53,7 @@ func (s *AuthzService) Mux() *transport.Mux {
 	return m
 }
 
-func (s *AuthzService) handleGrant(raw []byte) ([]byte, error) {
+func (s *AuthzService) handleGrant(ctx context.Context, raw []byte) ([]byte, error) {
 	from, body, err := s.opener.Open(GrantMethod, raw)
 	if err != nil {
 		return nil, err
@@ -76,7 +77,7 @@ func (s *AuthzService) handleGrant(raw []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := s.srv.Grant(&authz.GrantRequest{
+	p, err := s.srv.GrantCtx(ctx, &authz.GrantRequest{
 		Client:     from,
 		EndServer:  endServer,
 		Objects:    objs,

@@ -1,6 +1,7 @@
 package svc
 
 import (
+	"context"
 	"fmt"
 
 	"proxykit/internal/acl"
@@ -35,7 +36,7 @@ func NewEndService(srv *endserver.Server, resolve func(principal.ID) (kcrypto.Ve
 // Mux returns the service's transport mux.
 func (s *EndService) Mux() *transport.Mux {
 	m := transport.NewMux()
-	m.Handle(ChallengeMethod, func([]byte) ([]byte, error) {
+	m.Handle(ChallengeMethod, func(context.Context, []byte) ([]byte, error) {
 		return s.srv.Challenge()
 	})
 	m.Handle(RequestMethod, s.handleRequest)
@@ -46,7 +47,7 @@ func (s *EndService) Mux() *transport.Mux {
 // handleHints serves message 0 of Fig. 3: which subjects the object's
 // ACL names. Unauthenticated — the hint is addressed to prospective
 // clients.
-func (s *EndService) handleHints(body []byte) ([]byte, error) {
+func (s *EndService) handleHints(_ context.Context, body []byte) ([]byte, error) {
 	d := wire.NewDecoder(body)
 	object := d.String()
 	if err := d.Finish(); err != nil {
@@ -65,7 +66,7 @@ func (s *EndService) handleHints(body []byte) ([]byte, error) {
 	return e.Bytes(), nil
 }
 
-func (s *EndService) handleRequest(raw []byte) ([]byte, error) {
+func (s *EndService) handleRequest(ctx context.Context, raw []byte) ([]byte, error) {
 	from, body, err := s.opener.Open(RequestMethod, raw)
 	if err != nil {
 		return nil, err
@@ -98,7 +99,7 @@ func (s *EndService) handleRequest(raw []byte) ([]byte, error) {
 		}
 		req.Proxies = append(req.Proxies, p)
 	}
-	dec, err := s.srv.Authorize(req)
+	dec, err := s.srv.AuthorizeCtx(ctx, req)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package svc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -49,7 +50,7 @@ func (s *GroupService) Mux() *transport.Mux {
 	return m
 }
 
-func (s *GroupService) handleGrant(raw []byte) ([]byte, error) {
+func (s *GroupService) handleGrant(ctx context.Context, raw []byte) ([]byte, error) {
 	from, body, err := s.opener.Open(GroupGrantMethod, raw)
 	if err != nil {
 		return nil, err
@@ -68,7 +69,7 @@ func (s *GroupService) handleGrant(raw []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := s.srv.Grant(&group.GrantRequest{
+	p, err := s.srv.GrantCtx(ctx, &group.GrantRequest{
 		Client:         from,
 		Groups:         names,
 		VerifiedGroups: verified,

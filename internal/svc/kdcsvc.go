@@ -1,6 +1,7 @@
 package svc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -32,7 +33,7 @@ func NewKDCService(kdc *kerberos.KDC) *KDCService {
 // Mux returns the service's transport mux.
 func (s *KDCService) Mux() *transport.Mux {
 	m := transport.NewMux()
-	m.Handle(ASMethod, func(body []byte) ([]byte, error) {
+	m.Handle(ASMethod, func(_ context.Context, body []byte) ([]byte, error) {
 		req, err := decodeASRequest(body)
 		if err != nil {
 			return nil, err
@@ -43,7 +44,7 @@ func (s *KDCService) Mux() *transport.Mux {
 		}
 		return encodeASReply(reply), nil
 	})
-	m.Handle(TGSMethod, func(body []byte) ([]byte, error) {
+	m.Handle(TGSMethod, func(_ context.Context, body []byte) ([]byte, error) {
 		req, err := decodeTGSRequest(body)
 		if err != nil {
 			return nil, err

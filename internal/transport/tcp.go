@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -74,9 +75,10 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			return // malformed peer; drop the connection
 		}
 		tr := obs.ParseTrace(trace)
+		ctx := obs.ContextWithTrace(context.Background(), tr)
 		mServerInflight.Inc()
 		start := time.Now()
-		resp, herr := dispatchSafely(s.mux, method, body)
+		resp, herr := dispatchSafely(ctx, s.mux, method, body)
 		dur := time.Since(start)
 		mServerInflight.Dec()
 		mServerRequests.With(method).Inc()
@@ -113,13 +115,13 @@ func (s *TCPServer) Close() error {
 
 // dispatchSafely converts a handler panic into an error so one bad
 // request cannot take the whole server down.
-func dispatchSafely(m *Mux, method string, body []byte) (resp []byte, err error) {
+func dispatchSafely(ctx context.Context, m *Mux, method string, body []byte) (resp []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			resp, err = nil, fmt.Errorf("transport: handler panic in %s: %v", method, r)
 		}
 	}()
-	return m.Dispatch(method, body)
+	return m.Dispatch(ctx, method, body)
 }
 
 // TCPClient is a Client over a single TCP connection. Calls are

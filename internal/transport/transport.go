@@ -11,12 +11,14 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"proxykit/internal/obs"
 	"proxykit/internal/wire"
 )
 
@@ -41,8 +43,11 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("transport: remote %s: %s", e.Method, e.Msg)
 }
 
-// Handler processes one request body and returns a response body.
-type Handler func(body []byte) ([]byte, error)
+// Handler processes one request body and returns a response body. The
+// context carries the request's obs.Trace (obs.TraceFrom), so handlers
+// and the decision points behind them can tag audit records and
+// downstream calls with the originating trace ID.
+type Handler func(ctx context.Context, body []byte) ([]byte, error)
 
 // Client issues RPCs to one service.
 type Client interface {
@@ -71,14 +76,14 @@ func (m *Mux) Handle(method string, h Handler) {
 }
 
 // Dispatch runs the handler for method.
-func (m *Mux) Dispatch(method string, body []byte) ([]byte, error) {
+func (m *Mux) Dispatch(ctx context.Context, method string, body []byte) ([]byte, error) {
 	m.mu.RLock()
 	h, ok := m.handlers[method]
 	m.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownMethod, method)
 	}
-	return h(body)
+	return h(ctx, body)
 }
 
 // Stats counts traffic through an in-memory Network.
@@ -178,7 +183,9 @@ type memClient struct {
 	service string
 }
 
-// Call implements Client.
+// Call implements Client. Each call carries a fresh trace in its
+// context so handler-side audit records correlate, mirroring what the
+// TCP transport does on the wire (without the metering side effects).
 func (c *memClient) Call(method string, body []byte) ([]byte, error) {
 	c.net.mu.RLock()
 	lat, sleep := c.net.latency, c.net.sleep
@@ -188,7 +195,8 @@ func (c *memClient) Call(method string, body []byte) ([]byte, error) {
 	}
 	c.net.stats.Messages.Add(1)
 	c.net.stats.Bytes.Add(uint64(len(body)))
-	resp, err := dispatchSafely(c.mux, method, body)
+	ctx := obs.ContextWithTrace(context.Background(), obs.NewTrace())
+	resp, err := dispatchSafely(ctx, c.mux, method, body)
 	if sleep && lat > 0 {
 		time.Sleep(lat)
 	}

@@ -2,9 +2,11 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
+	"proxykit/internal/obs"
 	"strings"
 	"sync"
 	"testing"
@@ -13,10 +15,10 @@ import (
 
 func echoMux() *Mux {
 	m := NewMux()
-	m.Handle("echo", func(body []byte) ([]byte, error) {
+	m.Handle("echo", func(_ context.Context, body []byte) ([]byte, error) {
 		return body, nil
 	})
-	m.Handle("fail", func(body []byte) ([]byte, error) {
+	m.Handle("fail", func(_ context.Context, body []byte) ([]byte, error) {
 		return nil, errors.New("handler exploded")
 	})
 	return m
@@ -286,8 +288,8 @@ func TestRequestResponseEncoding(t *testing.T) {
 
 func TestTCPServerSurvivesHandlerPanic(t *testing.T) {
 	m := NewMux()
-	m.Handle("boom", func([]byte) ([]byte, error) { panic("handler bug") })
-	m.Handle("ok", func(b []byte) ([]byte, error) { return b, nil })
+	m.Handle("boom", func(context.Context, []byte) ([]byte, error) { panic("handler bug") })
+	m.Handle("ok", func(_ context.Context, b []byte) ([]byte, error) { return b, nil })
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -309,5 +311,62 @@ func TestTCPServerSurvivesHandlerPanic(t *testing.T) {
 	got, err := c.Call("ok", []byte("still alive"))
 	if err != nil || string(got) != "still alive" {
 		t.Fatalf("after panic: %q %v", got, err)
+	}
+}
+
+// TestHandlerContextCarriesTrace asserts both transports hand handlers
+// a context carrying the request trace, so audit records can join it.
+func TestHandlerContextCarriesTrace(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	m := NewMux()
+	m.Handle("trace", func(ctx context.Context, _ []byte) ([]byte, error) {
+		tr, ok := obs.TraceFrom(ctx)
+		if !ok {
+			return nil, errors.New("no trace in context")
+		}
+		mu.Lock()
+		seen = append(seen, tr.TraceID)
+		mu.Unlock()
+		return []byte(tr.TraceID), nil
+	})
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewTCPServer(l, m)
+	defer srv.Close()
+	c, err := DialTCP(srv.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Call("trace", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The handler-side trace ID must match what the client span recorded.
+	var clientTrace string
+	for _, s := range obs.Spans.Recent() {
+		if s.Kind == "client" && s.Method == "trace" {
+			clientTrace = s.TraceID
+			break
+		}
+	}
+	if clientTrace == "" || string(got) != clientTrace {
+		t.Fatalf("handler saw trace %q, client span has %q", got, clientTrace)
+	}
+
+	// In-memory network: a fresh trace per call, still present in ctx.
+	n := NewNetwork()
+	n.Register("svc", m)
+	if _, err := n.MustDial("svc").Call("trace", nil); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 || seen[0] == "" || seen[1] == "" {
+		t.Fatalf("handler trace IDs = %q", seen)
 	}
 }

@@ -146,13 +146,31 @@ var WriteCheck = accounting.WriteCheck
 // check proxy; see accounting.VerifyCertification.
 var VerifyCertification = accounting.VerifyCertification
 
-// Audit types (§3.4; see internal/audit).
+// Audit types (§3.4, §5; see internal/audit).
 type (
 	// AuditLog is a bounded in-memory decision log.
 	AuditLog = audit.Log
 	// AuditRecord is one logged decision.
 	AuditRecord = audit.Record
+	// AuditJournal is the append-only hash-chained record stream
+	// behind AuditLog: each record's hash commits to its predecessor,
+	// so truncation or tampering is detectable by re-walking the chain.
+	AuditJournal = audit.Journal
+	// AuditJournalOptions configure a journal: tail size, JSONL file
+	// sink, and an optional slog mirror.
+	AuditJournalOptions = audit.Options
 )
 
 // NewAuditLog builds a bounded audit log.
 var NewAuditLog = audit.NewLog
+
+// NewAuditJournal opens (or creates) an audit journal; an existing
+// file is replayed and chain-verified first.
+var NewAuditJournal = audit.New
+
+// VerifyAuditChain re-checks the hash chain of a record sequence.
+var VerifyAuditChain = audit.VerifyChain
+
+// VerifyAuditFile re-walks a journal file's hash chain, returning the
+// number of verified records.
+var VerifyAuditFile = audit.VerifyFile
