@@ -20,10 +20,12 @@ test:
 	$(GO) test ./...
 
 # The packages with concurrent hot paths (atomic metrics, TCP RPC,
-# check clearing) run under the race detector; `make check` includes
-# this, the full suite does not need it on every run.
+# check clearing, retrying clients, the chaos suite) run under the race
+# detector; `make check` includes this, the full suite does not need it
+# on every run.
 race:
-	$(GO) test -race ./internal/transport/... ./internal/obs/... ./internal/accounting/...
+	$(GO) test -race ./internal/transport/... ./internal/obs/... ./internal/accounting/... \
+		./internal/chaos/... ./internal/faultpoint/... ./internal/svc/...
 
 check: build vet test race
 
@@ -49,9 +51,15 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
+# Each fuzzer runs for a short fixed budget (override with
+# FUZZTIME=5m make fuzz for a longer local session).
+FUZZTIME ?= 30s
+
 fuzz:
-	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/restrict/
-	$(GO) test -fuzz=FuzzUnmarshalCertificate -fuzztime=30s ./internal/proxy/
+	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=$(FUZZTIME) ./internal/restrict/
+	$(GO) test -fuzz=FuzzUnmarshalCertificate -fuzztime=$(FUZZTIME) ./internal/proxy/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/wire/
+	$(GO) test -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) ./internal/wire/
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt

@@ -24,9 +24,11 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"proxykit/internal/accounting"
 	"proxykit/internal/audit"
+	"proxykit/internal/faultpoint"
 	"proxykit/internal/logging"
 	"proxykit/internal/obs"
 	"proxykit/internal/principal"
@@ -58,6 +60,9 @@ func run() error {
 		accounts    = flag.String("accounts", "", "JSON accounts file")
 		metricsAddr = flag.String("metrics-addr", "", "observability HTTP listen address serving /metrics, /healthz, /traces, /audit, and /debug/pprof (disabled when empty)")
 		auditFile   = flag.String("audit-file", "", "hash-chained audit journal path (JSONL, append-only); empty keeps the journal in memory only")
+		faultSpec   = flag.String("fault-spec", "", "server-side fault injection, e.g. 'acct.*:drop=0.1,dup=0.05;acct.balance:delay=50ms@0.2' (chaos testing; see internal/faultpoint)")
+		faultSeed   = flag.Int64("fault-seed", 1, "PRNG seed for -fault-spec decisions")
+		holdSweep   = flag.Duration("hold-sweep-interval", time.Minute, "how often expired certified-check holds are swept back to their accounts; 0 disables the sweeper")
 		logOpts     logging.Options
 	)
 	logOpts.RegisterFlags(flag.CommandLine)
@@ -101,11 +106,25 @@ func run() error {
 		logger.Info("provisioned accounts", "count", n, "file", *accounts)
 	}
 
+	if *holdSweep > 0 {
+		stop := srv.StartHoldSweeper(*holdSweep)
+		defer stop()
+		logger.Info("hold sweeper running", "interval", *holdSweep)
+	}
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
 	tcp := transport.NewTCPServer(l, svc.NewAcctService(srv, resolve, nil).Mux())
+	if *faultSpec != "" {
+		inj, err := faultpoint.Parse(*faultSpec, *faultSeed)
+		if err != nil {
+			return err
+		}
+		tcp.SetInjector(inj)
+		logger.Warn("fault injection active", "spec", *faultSpec, "seed", *faultSeed)
+	}
 	logger.Info("accounting server listening", "server", ident.ID.String(), "addr", tcp.Addr().String())
 
 	sig := make(chan os.Signal, 1)

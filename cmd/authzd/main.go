@@ -31,6 +31,7 @@ import (
 	"proxykit/internal/acl"
 	"proxykit/internal/audit"
 	"proxykit/internal/authz"
+	"proxykit/internal/faultpoint"
 	"proxykit/internal/logging"
 	"proxykit/internal/obs"
 	"proxykit/internal/principal"
@@ -64,6 +65,8 @@ func run() error {
 		rules       = flag.String("rules", "", "JSON rules file")
 		metricsAddr = flag.String("metrics-addr", "", "observability HTTP listen address serving /metrics, /healthz, /traces, /audit, and /debug/pprof (disabled when empty)")
 		auditFile   = flag.String("audit-file", "", "hash-chained audit journal path (JSONL, append-only); empty keeps the journal in memory only")
+		faultSpec   = flag.String("fault-spec", "", "server-side fault injection, e.g. 'authz.*:drop=0.1,delay=50ms@0.2' (chaos testing; see internal/faultpoint)")
+		faultSeed   = flag.Int64("fault-seed", 1, "PRNG seed for -fault-spec decisions")
 		logOpts     logging.Options
 	)
 	logOpts.RegisterFlags(flag.CommandLine)
@@ -112,6 +115,14 @@ func run() error {
 		return err
 	}
 	tcp := transport.NewTCPServer(l, svc.NewAuthzService(srv, resolve, nil).Mux())
+	if *faultSpec != "" {
+		inj, err := faultpoint.Parse(*faultSpec, *faultSeed)
+		if err != nil {
+			return err
+		}
+		tcp.SetInjector(inj)
+		logger.Warn("fault injection active", "spec", *faultSpec, "seed", *faultSeed)
+	}
 	logger.Info("authorization server listening", "server", ident.ID.String(), "addr", tcp.Addr().String())
 
 	sig := make(chan os.Signal, 1)

@@ -26,6 +26,7 @@ import (
 	"syscall"
 
 	"proxykit/internal/audit"
+	"proxykit/internal/faultpoint"
 	"proxykit/internal/kerberos"
 	"proxykit/internal/logging"
 	"proxykit/internal/obs"
@@ -48,6 +49,8 @@ func run() error {
 		passwd      = flag.String("passwd", "", "password file: principal:password per line")
 		metricsAddr = flag.String("metrics-addr", "", "observability HTTP listen address serving /metrics, /healthz, /traces, /audit, and /debug/pprof (disabled when empty)")
 		auditFile   = flag.String("audit-file", "", "hash-chained audit journal path (JSONL, append-only); empty keeps the journal in memory only")
+		faultSpec   = flag.String("fault-spec", "", "server-side fault injection, e.g. 'krb.*:drop=0.1,delay=50ms@0.2' (chaos testing; see internal/faultpoint)")
+		faultSeed   = flag.Int64("fault-seed", 1, "PRNG seed for -fault-spec decisions")
 		logOpts     logging.Options
 	)
 	logOpts.RegisterFlags(flag.CommandLine)
@@ -93,6 +96,14 @@ func run() error {
 		return err
 	}
 	srv := transport.NewTCPServer(l, svc.NewKDCService(kdc).Mux())
+	if *faultSpec != "" {
+		inj, err := faultpoint.Parse(*faultSpec, *faultSeed)
+		if err != nil {
+			return err
+		}
+		srv.SetInjector(inj)
+		logger.Warn("fault injection active", "spec", *faultSpec, "seed", *faultSeed)
+	}
 	logger.Info("kdc listening", "realm", *realm, "addr", srv.Addr().String(), "tgs", kdc.TGS().String())
 
 	sig := make(chan os.Signal, 1)

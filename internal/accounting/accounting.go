@@ -29,12 +29,14 @@ import (
 	"proxykit/internal/acl"
 	"proxykit/internal/audit"
 	"proxykit/internal/clock"
+	"proxykit/internal/faultpoint"
 	"proxykit/internal/kcrypto"
 	"proxykit/internal/obs"
 	"proxykit/internal/principal"
 	"proxykit/internal/proxy"
 	"proxykit/internal/pubkey"
 	"proxykit/internal/replay"
+	"proxykit/internal/transport"
 )
 
 // Account operations appearing in account ACLs.
@@ -89,6 +91,8 @@ type Server struct {
 	peers    map[principal.ID]*Server
 	nextHop  *Server
 	journal  *audit.Journal
+	hopRetry transport.RetryPolicy
+	hopInj   *faultpoint.Injector
 
 	// ForwardedChecks counts checks this server endorsed onward to
 	// another bank (clearing traffic, for the experiments).
@@ -157,6 +161,29 @@ func (s *Server) SetNextHop(p *Server) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextHop = p
+}
+
+// SetHopRetry configures retrying of outbound clearing hops. The zero
+// policy (the default) makes a single attempt, preserving the
+// synchronous Fig. 5 behavior. With retries enabled, a redelivered
+// deposit that the next bank rejects as a duplicate is treated as the
+// lost acknowledgment of an earlier success — the accept-once registry
+// (§7.7) is the ack of record — so clearing under loss converges to
+// exactly-once credit.
+func (s *Server) SetHopRetry(p transport.RetryPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hopRetry = p
+}
+
+// SetHopInjector installs a fault injector on outbound clearing hops
+// (method "acct.clearing-hop"): deliveries to the next bank can be
+// dropped before or after taking effect, duplicated, delayed, failed,
+// or partitioned. nil removes injection.
+func (s *Server) SetHopInjector(inj *faultpoint.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hopInj = inj
 }
 
 // CreateAccount creates an account owned by owner, who receives full

@@ -4,16 +4,24 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"strconv"
+	"sync"
 	"time"
 
 	"proxykit/internal/acl"
 	"proxykit/internal/audit"
+	"proxykit/internal/faultpoint"
 	"proxykit/internal/obs"
 	"proxykit/internal/principal"
 	"proxykit/internal/proxy"
 	"proxykit/internal/restrict"
+	"proxykit/internal/transport"
 )
+
+// HopMethod is the fault-injection and retry-metric label for the
+// inter-bank clearing hop (the Fig. 5 endorsement forward).
+const HopMethod = "acct.clearing-hop"
 
 // clearingAccount names the local account holding a collector bank's
 // cleared funds at this bank.
@@ -279,9 +287,14 @@ func (s *Server) collectRemote(ctx context.Context, c *Check, creditAccount stri
 		s.rollbackUncollected(creditAccount, c.Currency, c.Amount)
 		return nil, err
 	}
-	receipt, err := next.DepositCheckCtx(ctx, endorsed, []principal.ID{s.ID}, clearingAccount(s.ID))
-	s.auditClearingHop(ctx, c, next.ID, receipt, err)
+	receipt, attempts, err := s.deliverHop(ctx, next, endorsed)
+	s.auditClearingHop(ctx, c, next.ID, receipt, attempts, err)
 	if err != nil {
+		// Retry budget exhausted (or a hard refusal): roll the
+		// uncollected credit back. The check number is Forgotten
+		// upstream, so the depositor can re-present once the network
+		// heals.
+		mClearingAbandoned.Inc()
 		s.rollbackUncollected(creditAccount, c.Currency, c.Amount)
 		return nil, fmt.Errorf("accounting: clearing via %s: %w", next.ID, err)
 	}
@@ -301,9 +314,107 @@ func (s *Server) collectRemote(ctx context.Context, c *Check, creditAccount stri
 	}, nil
 }
 
+// deliverHop delivers the endorsed check to the next bank under the
+// server's hop retry policy and fault injector. It reports the receipt,
+// the number of delivery attempts made, and the final error.
+//
+// The exactly-once argument: every delivery of the same endorsed check
+// carries the same check number, and the next bank accepts a number at
+// most once (§7.7). If an earlier delivery landed but its
+// acknowledgment was lost, the redelivery is rejected as a duplicate —
+// which is precisely the proof that the funds were credited, so the
+// rejection is converted into a success ("duplicate ack"). A delivery
+// that failed for real Forgets the number at the next bank, so a later
+// attempt is fresh.
+func (s *Server) deliverHop(ctx context.Context, next *Server, endorsed *Check) (*Receipt, int, error) {
+	s.mu.Lock()
+	pol, inj := s.hopRetry, s.hopInj
+	s.mu.Unlock()
+	pol.Retryable = retryableHopError
+
+	deliver := func() (*Receipt, error) {
+		if inj != nil {
+			d := inj.Decide(HopMethod)
+			if d.Delay > 0 {
+				time.Sleep(d.Delay)
+			}
+			switch d.Action {
+			case faultpoint.ActPartition, faultpoint.ActDropRequest:
+				// The endorsement never reaches the next bank.
+				return nil, &faultpoint.Error{Action: d.Action, Method: HopMethod}
+			case faultpoint.ActError:
+				return nil, &transport.RemoteError{Method: HopMethod, Msg: faultpoint.RemoteErrMsg}
+			case faultpoint.ActDropResponse:
+				// Delivered and processed; the receipt is lost.
+				_, _ = next.DepositCheckCtx(ctx, endorsed, []principal.ID{s.ID}, clearingAccount(s.ID))
+				return nil, &faultpoint.Error{Action: d.Action, Method: HopMethod}
+			case faultpoint.ActDuplicate:
+				// Delivered twice; the second lands on accept-once.
+				r, err := next.DepositCheckCtx(ctx, endorsed, []principal.ID{s.ID}, clearingAccount(s.ID))
+				_, _ = next.DepositCheckCtx(ctx, endorsed, []principal.ID{s.ID}, clearingAccount(s.ID))
+				return r, err
+			}
+		}
+		return next.DepositCheckCtx(ctx, endorsed, []principal.ID{s.ID}, clearingAccount(s.ID))
+	}
+
+	var receipt *Receipt
+	attempts := 0
+	err := pol.Do(HopMethod, func(attempt int) error {
+		attempts = attempt + 1
+		if attempt > 0 {
+			mClearingRetries.Inc()
+		}
+		r, derr := deliver()
+		if derr != nil && attempt > 0 && errors.Is(derr, ErrDuplicateCheck) {
+			// Lost ack from an earlier attempt: the next bank's
+			// accept-once registry proves the deposit landed. Hops
+			// beyond the next bank are unknown on this path, so the
+			// receipt reports the minimum.
+			mClearingDupAcks.Inc()
+			receipt = &Receipt{
+				Number:    endorsed.Number,
+				Currency:  endorsed.Currency,
+				Amount:    endorsed.Amount,
+				Collected: true,
+				Hops:      1,
+			}
+			return nil
+		}
+		if derr != nil {
+			return derr
+		}
+		receipt = r
+		return nil
+	})
+	if err != nil {
+		return nil, attempts, err
+	}
+	return receipt, attempts, nil
+}
+
+// retryableHopError classifies hop failures: transport-shaped faults
+// (injected drops and partitions, network timeouts, closed
+// connections) are worth redelivering; accounting refusals — no such
+// account, insufficient funds, a bad chain — are answers, not losses.
+func retryableHopError(err error) bool {
+	var fe *faultpoint.Error
+	var nerr net.Error
+	switch {
+	case errors.As(err, &fe):
+		return true
+	case errors.As(err, &nerr) && nerr.Timeout():
+		return true
+	case errors.Is(err, transport.ErrClosed):
+		return true
+	}
+	return false
+}
+
 // auditClearingHop seals the endorsement-forward record: this bank
-// endorsed the check to next for collection (Fig. 5).
-func (s *Server) auditClearingHop(ctx context.Context, c *Check, next principal.ID, receipt *Receipt, err error) {
+// endorsed the check to next for collection (Fig. 5), in attempts
+// deliveries.
+func (s *Server) auditClearingHop(ctx context.Context, c *Check, next principal.ID, receipt *Receipt, attempts int, err error) {
 	rec := audit.Record{
 		Kind:    audit.KindClearingHop,
 		TraceID: obs.TraceIDFrom(ctx),
@@ -318,6 +429,9 @@ func (s *Server) auditClearingHop(ctx context.Context, c *Check, next principal.
 			"currency":  c.Currency,
 			"amount":    strconv.FormatInt(c.Amount, 10),
 		},
+	}
+	if attempts > 1 {
+		rec.Detail["attempts"] = strconv.Itoa(attempts)
 	}
 	if receipt != nil {
 		rec.Detail["hops"] = strconv.Itoa(receipt.Hops)
@@ -471,6 +585,34 @@ func (s *Server) ReleaseExpiredHolds() int {
 		})
 	}
 	return len(freed)
+}
+
+// StartHoldSweeper launches a goroutine that calls ReleaseExpiredHolds
+// every interval, so certified-check holds whose check was never
+// deposited return to their accounts without waiting for the next
+// deposit to stumble over them. The returned stop function halts the
+// sweeper and waits for it to exit; calling it again is a no-op.
+func (s *Server) StartHoldSweeper(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.ReleaseExpiredHolds()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
 }
 
 // CashiersCheck sells a check drawn on the bank's own operating account:

@@ -1,0 +1,132 @@
+package accounting
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"proxykit/internal/faultpoint"
+	"proxykit/internal/principal"
+	"proxykit/internal/transport"
+)
+
+// testHopRetry is a retry policy that never really sleeps and has a
+// fixed seed, so these tests are fast and deterministic.
+func testHopRetry(attempts int) transport.RetryPolicy {
+	return transport.RetryPolicy{
+		MaxAttempts: attempts,
+		Seed:        1,
+		Sleep:       func(time.Duration) {},
+	}
+}
+
+// TestClearingRetriesUnderLoss drives cross-bank clearing with lossy,
+// duplicating hop delivery and checks exactly-once convergence: every
+// check clears, carol is debited exactly once per check, and both the
+// retry and duplicate-ack machinery demonstrably fired. A dropped
+// response redelivers a deposit that already landed; the next bank's
+// accept-once rejection is then the ack of record.
+func TestClearingRetriesUnderLoss(t *testing.T) {
+	w := newWorld(t)
+	w.bank1.SetHopRetry(testHopRetry(10))
+	w.bank1.SetHopInjector(faultpoint.New(42,
+		faultpoint.Rule{Method: HopMethod, Drop: 0.4, Dup: 0.2}))
+
+	retriesBefore := mClearingRetries.Value()
+	dupAcksBefore := mClearingDupAcks.Value()
+
+	const n, amount = 20, 10
+	for i := 0; i < n; i++ {
+		c := w.carolCheck(amount)
+		endorsed := w.endorseTo(c, srvS, w.bank1, "service")
+		r, err := w.bank1.DepositCheck(endorsed, []principal.ID{srvS}, "service")
+		if err != nil {
+			t.Fatalf("check %d failed to clear under loss: %v", i, err)
+		}
+		if !r.Collected || r.Amount != amount {
+			t.Fatalf("check %d receipt = %+v", i, r)
+		}
+	}
+
+	if got := w.balance(w.bank2, "carol", carol); got != 1000-n*amount {
+		t.Errorf("carol = %d, want %d (exactly-once debit)", got, 1000-n*amount)
+	}
+	if got := w.balance(w.bank1, "service", srvS); got != n*amount {
+		t.Errorf("service = %d, want %d (exactly-once credit)", got, n*amount)
+	}
+	u, err := w.bank1.UncollectedBalance("service", "dollars", []principal.ID{srvS})
+	if err != nil || u != 0 {
+		t.Errorf("service uncollected = %d, %v; want 0", u, err)
+	}
+	if mClearingRetries.Value() == retriesBefore {
+		t.Error("no hop retries recorded under 40% loss — injection inactive?")
+	}
+	if mClearingDupAcks.Value() == dupAcksBefore {
+		t.Error("no duplicate-acks recorded — lost-response redelivery never exercised")
+	}
+}
+
+// TestClearingExhaustionRollsBack: under a full partition the hop retry
+// budget runs out, the uncollected credit is rolled back, and — because
+// the check number was Forgotten — the very same check clears once the
+// partition heals.
+func TestClearingExhaustionRollsBack(t *testing.T) {
+	w := newWorld(t)
+	w.bank1.SetHopRetry(testHopRetry(3))
+	w.bank1.SetHopInjector(faultpoint.New(7,
+		faultpoint.Rule{Method: HopMethod, Partition: true}))
+
+	abandonedBefore := mClearingAbandoned.Value()
+	c := w.carolCheck(100)
+	endorsed := w.endorseTo(c, srvS, w.bank1, "service")
+	_, err := w.bank1.DepositCheck(endorsed, []principal.ID{srvS}, "service")
+	if err == nil {
+		t.Fatal("deposit across a full partition succeeded")
+	}
+	var fe *faultpoint.Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want injected fault after exhaustion", err)
+	}
+	if mClearingAbandoned.Value() != abandonedBefore+1 {
+		t.Error("abandoned counter did not move")
+	}
+	u, uerr := w.bank1.UncollectedBalance("service", "dollars", []principal.ID{srvS})
+	if uerr != nil || u != 0 {
+		t.Fatalf("uncollected after rollback = %d, %v; want 0", u, uerr)
+	}
+	if got := w.balance(w.bank2, "carol", carol); got != 1000 {
+		t.Fatalf("carol = %d after failed clearing, want 1000", got)
+	}
+
+	// Partition heals: the same instrument is re-presented and clears.
+	w.bank1.SetHopInjector(nil)
+	r, err := w.bank1.DepositCheck(endorsed, []principal.ID{srvS}, "service")
+	if err != nil {
+		t.Fatalf("re-presenting bounced check: %v", err)
+	}
+	if !r.Collected || r.Hops != 2 {
+		t.Fatalf("receipt = %+v", r)
+	}
+	if got := w.balance(w.bank2, "carol", carol); got != 900 {
+		t.Errorf("carol = %d, want 900", got)
+	}
+	if got := w.balance(w.bank1, "service", srvS); got != 100 {
+		t.Errorf("service = %d, want 100", got)
+	}
+}
+
+// TestClearingDefaultSingleAttempt: without SetHopRetry a hop failure
+// surfaces immediately (the synchronous Fig. 5 behavior is preserved).
+func TestClearingDefaultSingleAttempt(t *testing.T) {
+	w := newWorld(t)
+	w.bank1.SetHopInjector(faultpoint.New(3,
+		faultpoint.Rule{Method: HopMethod, Drop: 1}))
+	c := w.carolCheck(50)
+	endorsed := w.endorseTo(c, srvS, w.bank1, "service")
+	if _, err := w.bank1.DepositCheck(endorsed, []principal.ID{srvS}, "service"); err == nil {
+		t.Fatal("zero-policy deposit survived a dropped hop")
+	}
+	if got := w.balance(w.bank2, "carol", carol); got != 1000 {
+		t.Fatalf("carol = %d, want 1000", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"proxykit/internal/acl"
+	"proxykit/internal/audit"
 	"proxykit/internal/principal"
 )
 
@@ -54,6 +55,71 @@ func TestConcurrentDuplicateDeposit(t *testing.T) {
 	}
 	if got := w.balance(w.bank2, "dave", dave); got != 100 {
 		t.Fatalf("dave = %d", got)
+	}
+}
+
+// TestConcurrentDuplicateDepositAudit is the journal-level property:
+// racing N depositors with copies of one numbered check credits the
+// payee exactly once, and the journal seals exactly one granted
+// deposit plus one accept-once rejection per suppressed duplicate — so
+// the exactly-once outcome is reconstructible from the audit chain
+// alone.
+func TestConcurrentDuplicateDepositAudit(t *testing.T) {
+	w := newWorld(t)
+	journal := audit.NewMemory(1024)
+	w.bank2.SetJournal(journal)
+	if err := w.bank2.CreateAccount("dave", dave); err != nil {
+		t.Fatal(err)
+	}
+	c, err := WriteCheck(WriteCheckParams{
+		Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+		Payee: dave, Currency: "dollars", Amount: 100,
+		Lifetime: time.Hour, Clock: w.clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const racers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = w.bank2.DepositCheck(c, []principal.ID{dave}, "dave")
+		}()
+	}
+	wg.Wait()
+
+	if got := w.balance(w.bank2, "dave", dave); got != 100 {
+		t.Fatalf("dave = %d, want exactly-once credit of 100", got)
+	}
+	recs := journal.Tail(0)
+	if err := audit.VerifyChain(recs); err != nil {
+		t.Fatalf("journal chain: %v", err)
+	}
+	var granted, denied, rejects int
+	for _, r := range recs {
+		if r.Detail["number"] != c.Number {
+			continue
+		}
+		switch {
+		case r.Kind == audit.KindDeposit && r.Outcome == audit.OutcomeGranted:
+			granted++
+		case r.Kind == audit.KindDeposit && r.Outcome == audit.OutcomeDenied:
+			denied++
+		case r.Kind == audit.KindAcceptOnceReject:
+			rejects++
+		}
+	}
+	if granted != 1 {
+		t.Errorf("journal: %d granted deposits, want 1", granted)
+	}
+	if rejects != racers-1 {
+		t.Errorf("journal: %d accept-once rejections, want %d (one per duplicate)", rejects, racers-1)
+	}
+	if denied != racers-1 {
+		t.Errorf("journal: %d denied deposits, want %d", denied, racers-1)
 	}
 }
 

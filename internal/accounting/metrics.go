@@ -26,4 +26,10 @@ var (
 		"Certified-check holds placed.")
 	mHoldsReleased = obs.Default.NewCounter("proxykit_acct_holds_released_total",
 		"Expired certified-check holds returned to their accounts.")
+	mClearingRetries = obs.Default.NewCounter("proxykit_acct_clearing_retries_total",
+		"Clearing-hop deliveries retried after a transport-shaped failure.")
+	mClearingDupAcks = obs.Default.NewCounter("proxykit_acct_clearing_duplicate_acks_total",
+		"Duplicate-check rejections on a retried hop treated as the lost ack of an earlier success.")
+	mClearingAbandoned = obs.Default.NewCounter("proxykit_acct_clearing_abandoned_total",
+		"Clearing hops abandoned (retry budget exhausted or hard refusal), uncollected credit rolled back.")
 )

@@ -1,0 +1,58 @@
+package accounting
+
+import (
+	"testing"
+	"time"
+
+	"proxykit/internal/principal"
+)
+
+// TestHoldSweeper: a background sweeper returns an expired
+// certified-check hold without any deposit touching the account, and
+// stop halts it cleanly.
+func TestHoldSweeper(t *testing.T) {
+	w := newWorld(t)
+	c := w.carolCheck(300)
+	if _, err := w.bank2.Certify("carol", []principal.ID{carol}, c); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.balance(w.bank2, "carol", carol); got != 700 {
+		t.Fatalf("after hold = %d", got)
+	}
+
+	stop := w.bank2.StartHoldSweeper(5 * time.Millisecond)
+	defer stop()
+
+	// Not yet expired: give the sweeper a few ticks and check the hold
+	// survives.
+	time.Sleep(25 * time.Millisecond)
+	if got := w.balance(w.bank2, "carol", carol); got != 700 {
+		t.Fatalf("sweeper released a live hold: carol = %d", got)
+	}
+
+	// Expire the hold (check lifetime is 24h) and wait for the sweeper.
+	w.clk.Advance(25 * time.Hour)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if got := w.balance(w.bank2, "carol", carol); got == 1000 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweeper never released the expired hold: carol = %d",
+				w.balance(w.bank2, "carol", carol))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// stop is synchronous and idempotent: after it returns no further
+	// sweeps run.
+	stop()
+	if _, err := w.bank2.Certify("carol", []principal.ID{carol}, w.carolCheck(100)); err != nil {
+		t.Fatal(err)
+	}
+	w.clk.Advance(25 * time.Hour)
+	time.Sleep(20 * time.Millisecond)
+	if got := w.balance(w.bank2, "carol", carol); got != 900 {
+		t.Fatalf("sweeper ran after stop: carol = %d", got)
+	}
+}

@@ -1,0 +1,13 @@
+// Package chaos holds the fault-injection integration suite: full
+// check-clearing flows (§4, Fig. 5) driven under seeded injected
+// drops, duplications, delays, and partitions (internal/faultpoint),
+// with retry/backoff at the transport and clearing layers.
+//
+// The suite's claim is exactly-once convergence: under loss and
+// duplication, a check deposited at one bank and cleared through
+// another credits the payee exactly once and debits the payor exactly
+// once — the accept-once restriction (§7.7) turns redelivery into an
+// acknowledgment — and the whole history is reconstructible from the
+// banks' tamper-evident audit journals. All tests use fixed PRNG
+// seeds, so failures reproduce deterministically.
+package chaos

@@ -1,0 +1,13 @@
+package faultpoint
+
+import "proxykit/internal/obs"
+
+// Fault-injection metrics: what the chaos harness actually did to the
+// system, so a converged chaos run can prove faults really occurred
+// (injections > 0) rather than passing vacuously.
+var (
+	mInjections = obs.Default.NewCounterVec("proxykit_fault_injections_total",
+		"Faults injected, by action (drop-request, drop-response, error, duplicate, partition).", "action")
+	mDelays = obs.Default.NewCounter("proxykit_fault_delays_total",
+		"Injected message delays.")
+)

@@ -1,0 +1,117 @@
+package faultpoint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse builds an Injector from a -fault-spec string:
+//
+//	spec   = rule *(";" rule)
+//	rule   = method ":" action *("," action)
+//	action = "drop=" prob | "dup=" prob | "err=" prob
+//	       | "delay=" duration ["@" prob] | "partition=" ("0"|"1")
+//
+// method is an exact RPC method, a prefix pattern ending in "*", or
+// "*". Examples:
+//
+//	acct.deposit-check:drop=0.3,dup=0.2
+//	acct.*:delay=5ms@0.5;*:drop=0.05
+//	*:partition=1
+//
+// An empty spec returns a nil Injector (no injection). seed drives the
+// injector's PRNG; the same seed and call sequence reproduce the same
+// fault sequence.
+func Parse(spec string, seed int64) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []Rule
+	for _, rs := range strings.Split(spec, ";") {
+		rs = strings.TrimSpace(rs)
+		if rs == "" {
+			continue
+		}
+		method, actions, ok := strings.Cut(rs, ":")
+		if !ok {
+			return nil, fmt.Errorf("faultpoint: rule %q has no method (want method:action=...)", rs)
+		}
+		r := Rule{Method: strings.TrimSpace(method)}
+		if r.Method == "" {
+			return nil, fmt.Errorf("faultpoint: rule %q has an empty method", rs)
+		}
+		for _, a := range strings.Split(actions, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			name, val, ok := strings.Cut(a, "=")
+			if !ok {
+				return nil, fmt.Errorf("faultpoint: action %q (want name=value)", a)
+			}
+			if err := applyAction(&r, name, val); err != nil {
+				return nil, err
+			}
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, nil
+	}
+	return New(seed, rules...), nil
+}
+
+func applyAction(r *Rule, name, val string) error {
+	switch name {
+	case "drop", "dup", "err":
+		p, err := parseProb(name, val)
+		if err != nil {
+			return err
+		}
+		switch name {
+		case "drop":
+			r.Drop = p
+		case "dup":
+			r.Dup = p
+		case "err":
+			r.Err = p
+		}
+	case "delay":
+		durStr, probStr, hasProb := strings.Cut(val, "@")
+		d, err := time.ParseDuration(durStr)
+		if err != nil || d < 0 {
+			return fmt.Errorf("faultpoint: delay %q: want a duration like 5ms", durStr)
+		}
+		r.Delay = d
+		if hasProb {
+			p, err := parseProb("delay", probStr)
+			if err != nil {
+				return err
+			}
+			r.DelayProb = p
+		}
+	case "partition":
+		switch val {
+		case "1", "true":
+			r.Partition = true
+		case "0", "false":
+			r.Partition = false
+		default:
+			return fmt.Errorf("faultpoint: partition=%q: want 0 or 1", val)
+		}
+	default:
+		return fmt.Errorf("faultpoint: unknown action %q (want drop, dup, err, delay, or partition)", name)
+	}
+	return nil
+}
+
+func parseProb(name, s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("faultpoint: %s=%q: want a probability in [0,1]", name, s)
+	}
+	return p, nil
+}

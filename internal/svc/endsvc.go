@@ -118,6 +118,7 @@ type EndClient struct {
 	client transport.Client
 	ident  *pubkey.Identity
 	clk    clock.Clock
+	retry  transport.RetryPolicy
 }
 
 // NewEndClient wraps a transport client.
@@ -128,10 +129,14 @@ func NewEndClient(c transport.Client, ident *pubkey.Identity, clk clock.Clock) *
 	return &EndClient{client: c, ident: ident, clk: clk}
 }
 
+// SetRetry enables retrying of this client's RPCs; authenticated
+// requests are re-sealed per attempt (fresh envelope nonce).
+func (c *EndClient) SetRetry(p transport.RetryPolicy) { c.retry = p }
+
 // Challenge fetches a fresh bearer-presentation challenge (one round
 // trip).
 func (c *EndClient) Challenge() ([]byte, error) {
-	return c.client.Call(ChallengeMethod, nil)
+	return rawCall(c.client, c.retry, ChallengeMethod, nil)
 }
 
 // Hints asks which subjects can authorize access to object (message 0
@@ -139,7 +144,7 @@ func (c *EndClient) Challenge() ([]byte, error) {
 func (c *EndClient) Hints(object string) ([]acl.Subject, error) {
 	e := wire.NewEncoder(64)
 	e.String(object)
-	resp, err := c.client.Call(HintsMethod, e.Bytes())
+	resp, err := rawCall(c.client, c.retry, HintsMethod, e.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -201,11 +206,7 @@ func (c *EndClient) Request(p RequestParams) (*Decision, error) {
 		e.String(cur)
 		e.Int64(amt)
 	}
-	sealed, err := Seal(c.ident, RequestMethod, e.Bytes(), c.clk)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.client.Call(RequestMethod, sealed)
+	resp, err := sealedCall(c.client, c.ident, c.clk, c.retry, RequestMethod, e.Bytes())
 	if err != nil {
 		return nil, err
 	}

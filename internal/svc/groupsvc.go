@@ -88,6 +88,7 @@ type GroupClient struct {
 	client transport.Client
 	ident  *pubkey.Identity
 	clk    clock.Clock
+	retry  transport.RetryPolicy
 }
 
 // NewGroupClient wraps a transport client.
@@ -97,6 +98,10 @@ func NewGroupClient(c transport.Client, ident *pubkey.Identity, clk clock.Clock)
 	}
 	return &GroupClient{client: c, ident: ident, clk: clk}
 }
+
+// SetRetry enables retrying of this client's RPCs; requests are
+// re-sealed per attempt (fresh envelope nonce).
+func (c *GroupClient) SetRetry(p transport.RetryPolicy) { c.retry = p }
 
 // GroupGrantParams are the client-side request parameters.
 type GroupGrantParams struct {
@@ -127,11 +132,7 @@ func (c *GroupClient) Grant(p GroupGrantParams) (*proxy.Proxy, error) {
 	}
 	e.BytesSlice(pres)
 
-	sealed, err := Seal(c.ident, GroupGrantMethod, e.Bytes(), c.clk)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.client.Call(GroupGrantMethod, sealed)
+	resp, err := sealedCall(c.client, c.ident, c.clk, c.retry, GroupGrantMethod, e.Bytes())
 	if err != nil {
 		return nil, err
 	}

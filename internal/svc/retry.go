@@ -1,0 +1,55 @@
+package svc
+
+import (
+	"errors"
+	"strings"
+
+	"proxykit/internal/accounting"
+	"proxykit/internal/clock"
+	"proxykit/internal/pubkey"
+	"proxykit/internal/transport"
+)
+
+// sealedCall performs one authenticated RPC under pol, re-sealing the
+// request on every attempt: Seal embeds a once-only nonce, so a
+// byte-identical resend would be rejected by the service's Opener as a
+// replay. This is why retry for sealed requests lives here rather than
+// in transport.RetryClient, which resends the same bytes.
+func sealedCall(client transport.Client, ident *pubkey.Identity, clk clock.Clock, pol transport.RetryPolicy, method string, body []byte) ([]byte, error) {
+	var resp []byte
+	err := pol.Do(method, func(int) error {
+		sealed, serr := Seal(ident, method, body, clk)
+		if serr != nil {
+			return serr
+		}
+		var cerr error
+		resp, cerr = client.Call(method, sealed)
+		return cerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// rawCall retries an unsealed RPC; the request carries no nonce, so the
+// same bytes are safe to resend.
+func rawCall(client transport.Client, pol transport.RetryPolicy, method string, body []byte) ([]byte, error) {
+	var resp []byte
+	err := pol.Do(method, func(int) error {
+		var cerr error
+		resp, cerr = client.Call(method, body)
+		return cerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// isRemoteDuplicate reports whether err is the wire form of the
+// accounting server's duplicate-check-number refusal (§7.7).
+func isRemoteDuplicate(err error) bool {
+	var re *transport.RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, accounting.ErrDuplicateCheck.Error())
+}

@@ -1,0 +1,134 @@
+package svc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"proxykit/internal/accounting"
+	"proxykit/internal/faultpoint"
+	"proxykit/internal/principal"
+	"proxykit/internal/transport"
+)
+
+// testRetry is a no-sleep, fixed-seed policy for deterministic tests.
+func testRetry(attempts int) transport.RetryPolicy {
+	return transport.RetryPolicy{
+		MaxAttempts: attempts,
+		Seed:        1,
+		Sleep:       func(time.Duration) {},
+	}
+}
+
+// acctFixture registers a bank service on the world's network and
+// funds an account for alice.
+func acctFixture(t *testing.T, w *world, svcName string) (*accounting.Server, *AcctClient) {
+	t.Helper()
+	bankIdent := w.ident(principal.New("bank-"+svcName, "ISI.EDU"))
+	bank := accounting.NewServer(bankIdent, w.dir.Resolver(), w.clk)
+	w.net.Register(svcName, NewAcctService(bank, w.dir.Resolver(), w.clk).Mux())
+	ac := NewAcctClient(w.net.MustDial(svcName), w.ids[alice], w.clk)
+	if err := ac.CreateAccount("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bank.Mint("alice", "dollars", 1000); err != nil {
+		t.Fatal(err)
+	}
+	return bank, ac
+}
+
+// TestSealedRetryUnderDrops: an AcctClient with a retry policy
+// completes every call across a lossy network because each attempt is
+// re-sealed with a fresh nonce.
+func TestSealedRetryUnderDrops(t *testing.T) {
+	w := newWorld(t)
+	_, ac := acctFixture(t, w, "bankA")
+	ac.SetRetry(testRetry(10))
+	w.net.SetInjector(faultpoint.New(11,
+		faultpoint.Rule{Method: BalanceMethod, Drop: 0.4}))
+
+	for i := 0; i < 50; i++ {
+		if bal, err := ac.Balance("alice", "dollars"); err != nil || bal != 1000 {
+			t.Fatalf("call %d: balance = %d, %v", i, bal, err)
+		}
+	}
+}
+
+// TestTransportRetryReplaysSealedEnvelope documents why retry for
+// authenticated requests lives in svc, not transport: resending the
+// identical sealed bytes after a lost response trips the service's
+// envelope replay cache.
+func TestTransportRetryReplaysSealedEnvelope(t *testing.T) {
+	w := newWorld(t)
+	_, _ = acctFixture(t, w, "bankB")
+	// Drop responses only after the request was processed (the request
+	// reached the service, consuming its nonce).
+	w.net.SetInjector(faultpoint.New(3, faultpoint.Rule{Method: BalanceMethod, Drop: 0.5}))
+
+	rc := transport.NewRetryClient(w.net.MustDial("bankB"), testRetry(10))
+	naive := NewAcctClient(rc, w.ids[alice], w.clk)
+	var replayed bool
+	for i := 0; i < 50 && !replayed; i++ {
+		_, err := naive.Balance("alice", "dollars")
+		var re *transport.RemoteError
+		if errors.As(err, &re) && strings.Contains(re.Msg, "replayed") {
+			replayed = true
+		}
+	}
+	if !replayed {
+		t.Fatal("byte-identical retry of a sealed envelope was never rejected as a replay; the re-seal requirement is untested")
+	}
+}
+
+// TestDepositDupAckOverWire: wire deposits under loss converge to
+// exactly-once credit. A deposit whose response was dropped is
+// redelivered, refused as a duplicate check number, and that refusal is
+// accepted as the lost ack.
+func TestDepositDupAckOverWire(t *testing.T) {
+	w := newWorld(t)
+	bank, ac := acctFixture(t, w, "bankC")
+	ac.SetRetry(testRetry(10))
+	w.net.SetInjector(faultpoint.New(29,
+		faultpoint.Rule{Method: DepositCheckMethod, Drop: 0.4}))
+
+	bobAcct := NewAcctClient(w.net.MustDial("bankC"), w.ids[bob], w.clk)
+	bobAcct.SetRetry(testRetry(10))
+	if err := bobAcct.CreateAccount("bob"); err != nil {
+		t.Fatal(err)
+	}
+
+	dupAcksBefore := mDepositDupAcks.Value()
+	const n, amount = 10, 10
+	for i := 0; i < n; i++ {
+		check, err := accounting.WriteCheck(accounting.WriteCheckParams{
+			Payor: w.ids[alice], Bank: bank.ID, Account: "alice",
+			Payee: bob, Currency: "dollars", Amount: amount,
+			Lifetime: time.Hour, Clock: w.clk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		endorsed, err := check.Endorse(w.ids[bob], bank.ID, bank.ID, bank.Global("bob"), true, w.clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := bobAcct.DepositCheck(endorsed, "bob")
+		if err != nil {
+			t.Fatalf("deposit %d failed under loss: %v", i, err)
+		}
+		if !r.Collected || r.Amount != amount {
+			t.Fatalf("deposit %d receipt = %+v", i, r)
+		}
+	}
+
+	if bal, err := ac.Balance("alice", "dollars"); err != nil || bal != 1000-n*amount {
+		t.Fatalf("alice = %d, %v; want %d (exactly-once debit)", bal, err, 1000-n*amount)
+	}
+	if bal, err := bobAcct.Balance("bob", "dollars"); err != nil || bal != n*amount {
+		t.Fatalf("bob = %d, %v; want %d (exactly-once credit)", bal, err, n*amount)
+	}
+	if mDepositDupAcks.Value() == dupAcksBefore {
+		t.Error("no duplicate-acks recorded — lost-response redelivery never exercised")
+	}
+}

@@ -27,4 +27,11 @@ var (
 		"TCP client calls that hit the per-call deadline, by method.", "method")
 	mClientLatency = obs.Default.NewHistogramVec("proxykit_rpc_client_latency_seconds",
 		"Client-observed RPC round-trip latency in seconds.", obs.DefLatencyBuckets, "method")
+	mClientRedials = obs.Default.NewCounter("proxykit_rpc_client_redials_total",
+		"TCP client reconnections after a timeout or injected fault closed the connection.")
+
+	mRetries = obs.Default.NewCounterVec("proxykit_rpc_retries_total",
+		"RPC attempts beyond the first made under a RetryPolicy, by method.", "method")
+	mRetryExhausted = obs.Default.NewCounterVec("proxykit_rpc_retry_exhausted_total",
+		"RPC calls abandoned after the retry attempt cap or time budget ran out, by method.", "method")
 )

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"proxykit/internal/faultpoint"
 	"proxykit/internal/obs"
 	"proxykit/internal/wire"
 )
@@ -19,10 +20,11 @@ type TCPServer struct {
 	mux *Mux
 	l   net.Listener
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	conns    map[net.Conn]struct{}
+	injector *faultpoint.Injector
+	wg       sync.WaitGroup
 }
 
 // NewTCPServer starts serving mux on l.
@@ -35,6 +37,23 @@ func NewTCPServer(l net.Listener, mux *Mux) *TCPServer {
 
 // Addr returns the listener's address.
 func (s *TCPServer) Addr() net.Addr { return s.l.Addr() }
+
+// SetInjector installs a fault injector on the server side of the
+// transport (the daemons' -fault-spec flag): matching requests can be
+// dropped (the client times out), duplicated (the handler runs twice,
+// one response), delayed, or failed with an injected remote error.
+// nil removes injection.
+func (s *TCPServer) SetInjector(inj *faultpoint.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.injector = inj
+}
+
+func (s *TCPServer) getInjector() *faultpoint.Injector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.injector
+}
 
 func (s *TCPServer) acceptLoop() {
 	defer s.wg.Done()
@@ -74,25 +93,60 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			mServerMalformed.Inc()
 			return // malformed peer; drop the connection
 		}
-		tr := obs.ParseTrace(trace)
-		ctx := obs.ContextWithTrace(context.Background(), tr)
-		mServerInflight.Inc()
-		start := time.Now()
-		resp, herr := dispatchSafely(ctx, s.mux, method, body)
-		dur := time.Since(start)
-		mServerInflight.Dec()
-		mServerRequests.With(method).Inc()
-		mServerLatency.With(method).Observe(dur.Seconds())
-		span := obs.Span{Trace: tr, Kind: "server", Method: method, Start: start, Duration: dur}
-		if herr != nil {
-			mServerErrors.With(method).Inc()
-			span.Err = herr.Error()
+		respond := true
+		if inj := s.getInjector(); inj != nil {
+			d := inj.Decide(method)
+			if d.Delay > 0 {
+				time.Sleep(d.Delay)
+			}
+			switch d.Action {
+			case faultpoint.ActPartition, faultpoint.ActDropRequest:
+				// Swallow the request; the client's deadline fires.
+				continue
+			case faultpoint.ActError:
+				// The client-side decoder wraps this as a RemoteError.
+				if werr := wire.WriteFrame(conn, encodeResponse(nil, errors.New(faultpoint.RemoteErrMsg))); werr != nil {
+					return
+				}
+				continue
+			case faultpoint.ActDropResponse:
+				// The handler runs; the reply is lost.
+				respond = false
+			case faultpoint.ActDuplicate:
+				// Duplicate delivery: the handler runs an extra time,
+				// as if the network replayed the request frame.
+				s.handleOne(trace, method, body)
+			}
 		}
-		obs.Spans.Record(span)
+		resp, herr := s.handleOne(trace, method, body)
+		if !respond {
+			continue
+		}
 		if err := wire.WriteFrame(conn, encodeResponse(resp, herr)); err != nil {
 			return
 		}
 	}
+}
+
+// handleOne dispatches one decoded request with metrics and a server
+// span.
+func (s *TCPServer) handleOne(trace, method string, body []byte) ([]byte, error) {
+	tr := obs.ParseTrace(trace)
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+	mServerInflight.Inc()
+	start := time.Now()
+	resp, herr := dispatchSafely(ctx, s.mux, method, body)
+	dur := time.Since(start)
+	mServerInflight.Dec()
+	mServerRequests.With(method).Inc()
+	mServerLatency.With(method).Observe(dur.Seconds())
+	span := obs.Span{Trace: tr, Kind: "server", Method: method, Start: start, Duration: dur}
+	if herr != nil {
+		mServerErrors.With(method).Inc()
+		span.Err = herr.Error()
+	}
+	obs.Spans.Record(span)
+	return resp, herr
 }
 
 // Close stops accepting, closes active connections, and waits for
@@ -127,10 +181,18 @@ func dispatchSafely(ctx context.Context, m *Mux, method string, body []byte) (re
 // TCPClient is a Client over a single TCP connection. Calls are
 // serialized; services are stateless per request so one connection
 // suffices for the CLI tools.
+//
+// A call that hits its deadline closes the connection (the stream may
+// still carry the stale response), but the client is not dead: the
+// next call dials a fresh connection automatically. Only Close is
+// terminal.
 type TCPClient struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	timeout time.Duration
+	mu       sync.Mutex
+	conn     net.Conn
+	addr     string
+	closed   bool
+	timeout  time.Duration
+	injector *faultpoint.Injector
 }
 
 // DialTCP connects to a proxykit service at addr. timeout bounds the
@@ -141,7 +203,7 @@ func DialTCP(addr string, timeout time.Duration) (*TCPClient, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return &TCPClient{conn: conn, timeout: timeout}, nil
+	return &TCPClient{conn: conn, addr: addr, timeout: timeout}, nil
 }
 
 // SetCallTimeout overrides the per-call deadline; zero disables it.
@@ -151,21 +213,40 @@ func (c *TCPClient) SetCallTimeout(d time.Duration) {
 	c.timeout = d
 }
 
+// SetInjector installs a client-side fault injector: outbound calls
+// can be dropped (observed as a timeout, connection torn down exactly
+// as a real deadline expiry would), duplicated on the wire, delayed,
+// failed remotely, or partitioned. nil removes injection.
+func (c *TCPClient) SetInjector(inj *faultpoint.Injector) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.injector = inj
+}
+
 // Call implements Client. Each call starts a fresh trace whose context
 // travels in the request envelope, arms the per-call deadline, and is
 // recorded in the client-side RPC metrics. A call that hits the
-// deadline closes the connection — after a timeout the stream may still
-// carry the stale response, so the connection cannot be reused.
+// deadline closes the connection — after a timeout the stream may
+// still carry the stale response, so the connection cannot be reused —
+// and the next call redials.
 func (c *TCPClient) Call(method string, body []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
+	if c.closed {
 		return nil, ErrClosed
+	}
+	if c.conn == nil {
+		conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout())
+		if err != nil {
+			return nil, fmt.Errorf("transport: redial %s: %w", c.addr, err)
+		}
+		mClientRedials.Inc()
+		c.conn = conn
 	}
 	tr := obs.NewTrace()
 	mClientRequests.With(method).Inc()
 	start := time.Now()
-	resp, err := c.callLocked(method, tr, body)
+	resp, err := c.callInjected(method, tr, body)
 	dur := time.Since(start)
 	mClientLatency.With(method).Observe(dur.Seconds())
 	span := obs.Span{Trace: tr, Kind: "client", Method: method, Start: start, Duration: dur}
@@ -175,12 +256,58 @@ func (c *TCPClient) Call(method string, body []byte) ([]byte, error) {
 		var nerr net.Error
 		if errors.As(err, &nerr) && nerr.Timeout() {
 			mClientTimeouts.With(method).Inc()
+		}
+		// Any non-application error leaves the frame stream in an
+		// unknown state (deadline expiry, reset, short read): tear the
+		// connection down and let the next call redial.
+		var re *RemoteError
+		if !errors.As(err, &re) && c.conn != nil {
 			_ = c.conn.Close()
 			c.conn = nil
 		}
 	}
 	obs.Spans.Record(span)
 	return resp, err
+}
+
+// dialTimeout returns a sane bound for redialing even when the
+// per-call deadline was disabled.
+func (c *TCPClient) dialTimeout() time.Duration {
+	if c.timeout > 0 {
+		return c.timeout
+	}
+	return 10 * time.Second
+}
+
+// callInjected applies any client-side fault decision around the real
+// exchange. Injected drops return a timeout-shaped error, so the
+// caller's deadline accounting (close + redial) applies unchanged.
+func (c *TCPClient) callInjected(method string, tr obs.Trace, body []byte) ([]byte, error) {
+	if c.injector != nil {
+		d := c.injector.Decide(method)
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+		switch d.Action {
+		case faultpoint.ActPartition, faultpoint.ActDropRequest:
+			return nil, &faultpoint.Error{Action: d.Action, Method: method}
+		case faultpoint.ActError:
+			return nil, &RemoteError{Method: method, Msg: faultpoint.RemoteErrMsg}
+		case faultpoint.ActDropResponse:
+			// The request goes out and is served; the reply is
+			// discarded unread, so the connection must be torn down
+			// like any timeout (the stale frame is still in flight).
+			_, _ = c.callLocked(method, tr, body)
+			return nil, &faultpoint.Error{Action: d.Action, Method: method}
+		case faultpoint.ActDuplicate:
+			// The frame is sent twice; both responses are read to
+			// keep the stream in sync, the first delivery's wins.
+			resp, err := c.callLocked(method, tr, body)
+			_, _ = c.callLocked(method, tr, body)
+			return resp, err
+		}
+	}
+	return c.callLocked(method, tr, body)
 }
 
 // callLocked performs one framed request/response exchange.
@@ -200,10 +327,12 @@ func (c *TCPClient) callLocked(method string, tr obs.Trace, body []byte) ([]byte
 	return decodeResponse(method, resp)
 }
 
-// Close closes the connection.
+// Close closes the connection and marks the client dead; subsequent
+// calls return ErrClosed rather than redialing.
 func (c *TCPClient) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	if c.conn == nil {
 		return nil
 	}

@@ -51,9 +51,17 @@ func TestTCPCallTimeout(t *testing.T) {
 		t.Errorf("timeout counter = %d, want %d", got, before+1)
 	}
 
-	// The connection is closed after a timeout; further calls fail fast.
+	// The timeout tore the connection down, but the client is not
+	// dead: the next call redials (and times out against the still-
+	// silent server — crucially not ErrClosed).
+	if _, err := c.Call("echo", nil); errors.Is(err, ErrClosed) {
+		t.Fatalf("post-timeout call err = %v; client wedged instead of redialing", err)
+	}
+
+	// Only an explicit Close is terminal.
+	_ = c.Close()
 	if _, err := c.Call("echo", nil); !errors.Is(err, ErrClosed) {
-		t.Fatalf("post-timeout call err = %v, want ErrClosed", err)
+		t.Fatalf("post-Close call err = %v, want ErrClosed", err)
 	}
 }
 

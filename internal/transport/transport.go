@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"proxykit/internal/faultpoint"
 	"proxykit/internal/obs"
 	"proxykit/internal/wire"
 )
@@ -117,6 +118,7 @@ type Network struct {
 	services map[string]*Mux
 	latency  time.Duration
 	sleep    bool
+	injector *faultpoint.Injector
 	stats    Stats
 }
 
@@ -133,6 +135,16 @@ func (n *Network) SetLatency(oneWay time.Duration, sleep bool) {
 	defer n.mu.Unlock()
 	n.latency = oneWay
 	n.sleep = sleep
+}
+
+// SetInjector installs a fault injector on every call through the
+// network, extending the latency hook into a full chaos substrate:
+// drops, duplicates, remote errors, and partitions, per-method and
+// seeded (see internal/faultpoint). nil removes injection.
+func (n *Network) SetInjector(inj *faultpoint.Injector) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.injector = inj
 }
 
 // Register exposes mux as a service under name.
@@ -186,17 +198,55 @@ type memClient struct {
 // Call implements Client. Each call carries a fresh trace in its
 // context so handler-side audit records correlate, mirroring what the
 // TCP transport does on the wire (without the metering side effects).
+// When an injector is installed, messages can be dropped, duplicated,
+// delayed, failed, or partitioned before they reach the handler.
 func (c *memClient) Call(method string, body []byte) ([]byte, error) {
 	c.net.mu.RLock()
-	lat, sleep := c.net.latency, c.net.sleep
+	lat, sleep, inj := c.net.latency, c.net.sleep, c.net.injector
 	c.net.mu.RUnlock()
 	if sleep && lat > 0 {
 		time.Sleep(lat)
 	}
+	if inj != nil {
+		d := inj.Decide(method)
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+		switch d.Action {
+		case faultpoint.ActPartition, faultpoint.ActDropRequest:
+			// The request never reaches the service.
+			return nil, &faultpoint.Error{Action: d.Action, Method: method}
+		case faultpoint.ActError:
+			return nil, &RemoteError{Method: method, Msg: faultpoint.RemoteErrMsg}
+		case faultpoint.ActDropResponse:
+			// The handler runs — its side effects happen — but the
+			// reply is lost; the caller observes a timeout.
+			_, _ = c.dispatch(method, body)
+			return nil, &faultpoint.Error{Action: d.Action, Method: method}
+		case faultpoint.ActDuplicate:
+			// Delivered twice; the caller sees the first delivery's
+			// outcome, the second is the network's doing.
+			resp, err := c.dispatch(method, body)
+			_, _ = c.dispatch(method, body)
+			return c.finish(method, resp, err, lat, sleep)
+		}
+	}
+	resp, err := c.dispatch(method, body)
+	return c.finish(method, resp, err, lat, sleep)
+}
+
+// dispatch delivers one request to the service, metering the request
+// message.
+func (c *memClient) dispatch(method string, body []byte) ([]byte, error) {
 	c.net.stats.Messages.Add(1)
 	c.net.stats.Bytes.Add(uint64(len(body)))
 	ctx := obs.ContextWithTrace(context.Background(), obs.NewTrace())
-	resp, err := dispatchSafely(ctx, c.mux, method, body)
+	return dispatchSafely(ctx, c.mux, method, body)
+}
+
+// finish meters the response leg and converts handler errors into
+// RemoteErrors, as the TCP transport does on the wire.
+func (c *memClient) finish(method string, resp []byte, err error, lat time.Duration, sleep bool) ([]byte, error) {
 	if sleep && lat > 0 {
 		time.Sleep(lat)
 	}
@@ -204,7 +254,6 @@ func (c *memClient) Call(method string, body []byte) ([]byte, error) {
 	c.net.stats.Bytes.Add(uint64(len(resp)))
 	c.net.stats.RoundTrips.Add(1)
 	if err != nil {
-		// Model the error crossing the network, as TCP transport does.
 		return nil, &RemoteError{Method: method, Msg: err.Error()}
 	}
 	return resp, nil
