@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check audit-verify bench experiments examples cover fuzz clean
+.PHONY: all build vet test race check audit-verify bench bench-smoke bench-rpc experiments examples cover fuzz clean
 
 all: check
 
@@ -25,7 +25,8 @@ test:
 # on every run.
 race:
 	$(GO) test -race ./internal/transport/... ./internal/obs/... ./internal/accounting/... \
-		./internal/chaos/... ./internal/faultpoint/... ./internal/svc/...
+		./internal/chaos/... ./internal/faultpoint/... ./internal/svc/... \
+		./internal/endserver/... ./internal/proxy/... ./internal/group/...
 
 check: build vet test race
 
@@ -35,7 +36,17 @@ audit-verify:
 	$(GO) test ./internal/integration/ -run TestAuditVerifyCLI -v
 
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem . ./internal/transport/
+
+# One iteration of every benchmark — a CI smoke test that the
+# benchmarks still compile and run, not a measurement.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' . ./internal/transport/
+
+# Regenerate BENCH_PR4.json (multiplexed-vs-serialized RPC throughput,
+# cold-vs-warm chain-cache authorize latency).
+bench-rpc:
+	$(GO) run ./cmd/benchrpc -o BENCH_PR4.json
 
 experiments:
 	$(GO) run ./cmd/benchproxy

@@ -587,6 +587,80 @@ func BenchmarkE10DecisionPaths(b *testing.B) {
 	}
 }
 
+// --- Verified-chain cache: cold vs cached authorize (DESIGN.md §6) ---
+
+// BenchmarkChainVerifyColdVsCached isolates what the cache buys on the
+// VerifyChain hot path: cache=false re-verifies every certificate
+// signature and key binding; cache=true skips the signature work on a
+// hit but still re-checks validity windows.
+func BenchmarkChainVerifyColdVsCached(b *testing.B) {
+	for _, length := range []int{1, 4} {
+		for _, cached := range []bool{false, true} {
+			b.Run(fmt.Sprintf("len=%d/cache=%v", length, cached), func(b *testing.B) {
+				w := newBenchWorld(b, "alice", "file")
+				p := buildChain(b, w, length)
+				env := w.env("file")
+				if cached {
+					env.Cache = proxy.NewChainCache(16)
+					if _, err := env.VerifyChain(p.Certs); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := env.VerifyChain(p.Certs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAuthorizeColdVsWarm runs the full end-server bearer
+// authorize path — fresh challenge, possession proof, replay check,
+// ACL — with and without a warm chain cache. Both variants pay the
+// per-request challenge/proof cost; the delta is the cached signature
+// verification.
+func BenchmarkAuthorizeColdVsWarm(b *testing.B) {
+	for _, cached := range []bool{false, true} {
+		b.Run(fmt.Sprintf("cache=%v", cached), func(b *testing.B) {
+			w := newBenchWorld(b, "alice", "file")
+			endSrv := endserver.New(w.id("file"), w.env("file"), nil)
+			if cached {
+				endSrv.SetChainCache(proxy.NewChainCache(16))
+			}
+			endSrv.SetACL("/doc", acl.New(acl.PrincipalEntry(w.id("alice"), "read")))
+			p, err := proxy.Grant(proxy.GrantParams{
+				Grantor:       w.id("alice"),
+				GrantorSigner: w.ids["alice"].Signer(),
+				Lifetime:      time.Hour,
+				Mode:          proxy.ModePublicKey,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ch, err := endSrv.Challenge()
+				if err != nil {
+					b.Fatal(err)
+				}
+				pr, err := p.Present(ch, w.id("file"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := endSrv.Authorize(&endserver.Request{
+					Object: "/doc", Op: "read",
+					Proxies: []*proxy.Presentation{pr}, Challenge: ch,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Ablation: restriction evaluation order (DESIGN.md §5) ---
 
 // BenchmarkE7EvalOrder compares evaluating a restriction set in

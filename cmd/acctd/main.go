@@ -63,6 +63,7 @@ func run() error {
 		faultSpec   = flag.String("fault-spec", "", "server-side fault injection, e.g. 'acct.*:drop=0.1,dup=0.05;acct.balance:delay=50ms@0.2' (chaos testing; see internal/faultpoint)")
 		faultSeed   = flag.Int64("fault-seed", 1, "PRNG seed for -fault-spec decisions")
 		holdSweep   = flag.Duration("hold-sweep-interval", time.Minute, "how often expired certified-check holds are swept back to their accounts; 0 disables the sweeper")
+		rpcWorkers  = flag.Int("rpc-workers", 0, "bound on concurrently handled RPC requests (0 = default pool size)")
 		logOpts     logging.Options
 	)
 	logOpts.RegisterFlags(flag.CommandLine)
@@ -116,7 +117,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	tcp := transport.NewTCPServer(l, svc.NewAcctService(srv, resolve, nil).Mux())
+	tcp := transport.NewTCPServerWorkers(l, svc.NewAcctService(srv, resolve, nil).Mux(), *rpcWorkers)
 	if *faultSpec != "" {
 		inj, err := faultpoint.Parse(*faultSpec, *faultSeed)
 		if err != nil {

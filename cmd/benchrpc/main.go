@@ -1,0 +1,246 @@
+// Command benchrpc measures the two PR-4 performance claims and emits
+// a machine-readable report:
+//
+//  1. RPC throughput: a serialized client (one call in flight) versus
+//     the multiplexed client (many calls in flight on one connection)
+//     against a TCP server whose handler simulates a fixed backend
+//     latency. Sleeping — not burning CPU — keeps the comparison
+//     meaningful on single-core machines: serialization is limited by
+//     round trips regardless of core count.
+//
+//  2. Authorization latency: the full end-server bearer authorize path
+//     (fresh challenge, possession proof, replay check, ACL) cold
+//     versus with a warm verified-chain cache.
+//
+//     benchrpc -o BENCH_PR4.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"proxykit/internal/acl"
+	"proxykit/internal/endserver"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/pubkey"
+	"proxykit/internal/restrict"
+	"proxykit/internal/transport"
+)
+
+type rpcSide struct {
+	Calls       int     `json:"calls"`
+	Goroutines  int     `json:"goroutines"`
+	Seconds     float64 `json:"seconds"`
+	CallsPerSec float64 `json:"callsPerSec"`
+}
+
+type report struct {
+	GOOS    string `json:"goos"`
+	GOARCH  string `json:"goarch"`
+	NumCPU  int    `json:"numCPU"`
+	Backend string `json:"simulatedBackendLatency"`
+
+	Serialized rpcSide `json:"serialized"`
+	Concurrent rpcSide `json:"concurrent"`
+	Speedup    float64 `json:"rpcThroughputSpeedup"`
+
+	AuthorizeIters   int     `json:"authorizeIterations"`
+	ColdNsPerOp      float64 `json:"authorizeColdNsPerOp"`
+	WarmNsPerOp      float64 `json:"authorizeWarmNsPerOp"`
+	AuthorizeSpeedup float64 `json:"authorizeWarmSpeedup"`
+}
+
+const (
+	backendLatency = 2 * time.Millisecond
+	benchRealm     = "BENCH.ORG"
+)
+
+func main() {
+	out := flag.String("o", "BENCH_PR4.json", "output file (- for stdout)")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out string) error {
+	r := report{
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		NumCPU:  runtime.NumCPU(),
+		Backend: backendLatency.String(),
+	}
+	if err := measureRPC(&r); err != nil {
+		return err
+	}
+	if err := measureAuthorize(&r); err != nil {
+		return err
+	}
+
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("serialized   %7.0f calls/s (%d calls, 1 in flight)\n",
+		r.Serialized.CallsPerSec, r.Serialized.Calls)
+	fmt.Printf("multiplexed  %7.0f calls/s (%d calls, %d in flight)\n",
+		r.Concurrent.CallsPerSec, r.Concurrent.Calls, r.Concurrent.Goroutines)
+	fmt.Printf("rpc throughput speedup: %.1fx\n\n", r.Speedup)
+	fmt.Printf("authorize cold %8.0f ns/op\n", r.ColdNsPerOp)
+	fmt.Printf("authorize warm %8.0f ns/op (chain cache)\n", r.WarmNsPerOp)
+	fmt.Printf("authorize speedup: %.2fx\n\nwrote %s\n", r.AuthorizeSpeedup, out)
+	return nil
+}
+
+func measureRPC(r *report) error {
+	mux := transport.NewMux()
+	mux.Handle("bench.echo", func(_ context.Context, body []byte) ([]byte, error) {
+		time.Sleep(backendLatency)
+		return body, nil
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := transport.NewTCPServer(l, mux)
+	defer srv.Close()
+	c, err := transport.DialTCP(srv.Addr().String(), 0)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	// Warm-up: establish the connection and page in both paths.
+	for i := 0; i < 5; i++ {
+		if _, err := c.Call("bench.echo", nil); err != nil {
+			return err
+		}
+	}
+
+	const serialCalls = 100
+	start := time.Now()
+	for i := 0; i < serialCalls; i++ {
+		if _, err := c.Call("bench.echo", nil); err != nil {
+			return err
+		}
+	}
+	el := time.Since(start)
+	r.Serialized = rpcSide{
+		Calls: serialCalls, Goroutines: 1,
+		Seconds: el.Seconds(), CallsPerSec: float64(serialCalls) / el.Seconds(),
+	}
+
+	const goroutines, perG = 16, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	start = time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := c.Call("bench.echo", nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return err
+	}
+	el = time.Since(start)
+	r.Concurrent = rpcSide{
+		Calls: goroutines * perG, Goroutines: goroutines,
+		Seconds: el.Seconds(), CallsPerSec: float64(goroutines*perG) / el.Seconds(),
+	}
+	r.Speedup = r.Concurrent.CallsPerSec / r.Serialized.CallsPerSec
+	return nil
+}
+
+func measureAuthorize(r *report) error {
+	dir := pubkey.NewDirectory()
+	alice, err := pubkey.NewIdentity(principal.New("alice", benchRealm))
+	if err != nil {
+		return err
+	}
+	dir.RegisterIdentity(alice)
+	fileID := principal.New("file", benchRealm)
+	env := &proxy.VerifyEnv{MaxSkew: time.Minute, ResolveIdentity: dir.Resolver()}
+	p, err := proxy.Grant(proxy.GrantParams{
+		Grantor:       alice.ID,
+		GrantorSigner: alice.Signer(),
+		Restrictions:  restrict.Set{},
+		Lifetime:      time.Hour,
+		Mode:          proxy.ModePublicKey,
+	})
+	if err != nil {
+		return err
+	}
+
+	const iters = 200
+	r.AuthorizeIters = iters
+	measure := func(cache *proxy.ChainCache) (float64, error) {
+		srv := endserver.New(fileID, env, nil)
+		if cache != nil {
+			srv.SetChainCache(cache)
+		}
+		srv.SetACL("/doc", acl.New(acl.PrincipalEntry(alice.ID, "read")))
+		authorize := func() error {
+			ch, err := srv.Challenge()
+			if err != nil {
+				return err
+			}
+			pr, err := p.Present(ch, fileID)
+			if err != nil {
+				return err
+			}
+			_, err = srv.Authorize(&endserver.Request{
+				Object: "/doc", Op: "read",
+				Proxies: []*proxy.Presentation{pr}, Challenge: ch,
+			})
+			return err
+		}
+		// Warm-up (and cache warm when enabled).
+		for i := 0; i < 3; i++ {
+			if err := authorize(); err != nil {
+				return 0, err
+			}
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := authorize(); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / iters, nil
+	}
+
+	if r.ColdNsPerOp, err = measure(nil); err != nil {
+		return err
+	}
+	if r.WarmNsPerOp, err = measure(proxy.NewChainCache(16)); err != nil {
+		return err
+	}
+	r.AuthorizeSpeedup = r.ColdNsPerOp / r.WarmNsPerOp
+	return nil
+}

@@ -66,6 +66,8 @@ func run() error {
 		auditFile   = flag.String("audit-file", "", "hash-chained audit journal path (JSONL, append-only); empty keeps the journal in memory only")
 		faultSpec   = flag.String("fault-spec", "", "server-side fault injection, e.g. 'end.*:drop=0.1,delay=50ms@0.2' (chaos testing; see internal/faultpoint)")
 		faultSeed   = flag.Int64("fault-seed", 1, "PRNG seed for -fault-spec decisions")
+		rpcWorkers  = flag.Int("rpc-workers", 0, "bound on concurrently handled RPC requests (0 = default pool size)")
+		chainCache  = flag.Int("chain-cache", proxy.DefaultChainCacheSize, "verified-chain cache capacity; 0 disables caching")
 		logOpts     logging.Options
 	)
 	logOpts.RegisterFlags(flag.CommandLine)
@@ -102,6 +104,10 @@ func run() error {
 	env := &proxy.VerifyEnv{ResolveIdentity: resolve}
 	srv := endserver.New(ident.ID, env, nil)
 	srv.SetJournal(journal)
+	if *chainCache > 0 {
+		srv.SetChainCache(proxy.NewChainCache(*chainCache))
+		logger.Info("verified-chain cache enabled", "capacity", *chainCache)
+	}
 	if *aclFile != "" {
 		n, err := loadACLs(srv, *aclFile)
 		if err != nil {
@@ -114,7 +120,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	tcp := transport.NewTCPServer(l, svc.NewEndService(srv, resolve, nil).Mux())
+	tcp := transport.NewTCPServerWorkers(l, svc.NewEndService(srv, resolve, nil).Mux(), *rpcWorkers)
 	if *faultSpec != "" {
 		inj, err := faultpoint.Parse(*faultSpec, *faultSeed)
 		if err != nil {

@@ -34,6 +34,7 @@ import (
 	"proxykit/internal/logging"
 	"proxykit/internal/obs"
 	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
 	"proxykit/internal/statefile"
 	"proxykit/internal/svc"
 	"proxykit/internal/transport"
@@ -57,6 +58,8 @@ func run() error {
 		auditFile   = flag.String("audit-file", "", "hash-chained audit journal path (JSONL, append-only); empty keeps the journal in memory only")
 		faultSpec   = flag.String("fault-spec", "", "server-side fault injection, e.g. 'group.*:drop=0.1,delay=50ms@0.2' (chaos testing; see internal/faultpoint)")
 		faultSeed   = flag.Int64("fault-seed", 1, "PRNG seed for -fault-spec decisions")
+		rpcWorkers  = flag.Int("rpc-workers", 0, "bound on concurrently handled RPC requests (0 = default pool size)")
+		chainCache  = flag.Int("chain-cache", proxy.DefaultChainCacheSize, "verified-chain cache capacity; 0 disables caching")
 		logOpts     logging.Options
 	)
 	logOpts.RegisterFlags(flag.CommandLine)
@@ -104,7 +107,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	tcp := transport.NewTCPServer(l, svc.NewGroupService(srv, resolve, nil).Mux())
+	gsvc := svc.NewGroupService(srv, resolve, nil)
+	if *chainCache > 0 {
+		gsvc.SetChainCache(proxy.NewChainCache(*chainCache))
+		logger.Info("verified-chain cache enabled", "capacity", *chainCache)
+	}
+	tcp := transport.NewTCPServerWorkers(l, gsvc.Mux(), *rpcWorkers)
 	if *faultSpec != "" {
 		inj, err := faultpoint.Parse(*faultSpec, *faultSeed)
 		if err != nil {

@@ -51,6 +51,7 @@ func run() error {
 		auditFile   = flag.String("audit-file", "", "hash-chained audit journal path (JSONL, append-only); empty keeps the journal in memory only")
 		faultSpec   = flag.String("fault-spec", "", "server-side fault injection, e.g. 'krb.*:drop=0.1,delay=50ms@0.2' (chaos testing; see internal/faultpoint)")
 		faultSeed   = flag.Int64("fault-seed", 1, "PRNG seed for -fault-spec decisions")
+		rpcWorkers  = flag.Int("rpc-workers", 0, "bound on concurrently handled RPC requests (0 = default pool size)")
 		logOpts     logging.Options
 	)
 	logOpts.RegisterFlags(flag.CommandLine)
@@ -95,7 +96,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv := transport.NewTCPServer(l, svc.NewKDCService(kdc).Mux())
+	srv := transport.NewTCPServerWorkers(l, svc.NewKDCService(kdc).Mux(), *rpcWorkers)
 	if *faultSpec != "" {
 		inj, err := faultpoint.Parse(*faultSpec, *faultSeed)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -559,8 +560,22 @@ func (s *Server) ReleaseExpiredHolds() int {
 	var freed []releasedHold
 	s.mu.Lock()
 	now := s.clk.Now()
-	for _, a := range s.accounts {
-		for num, h := range a.holds {
+	// Walk accounts and holds in sorted order so the ledger and audit
+	// journal record releases deterministically, not in map order.
+	names := make([]string, 0, len(s.accounts))
+	for name := range s.accounts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := s.accounts[name]
+		nums := make([]string, 0, len(a.holds))
+		for num := range a.holds {
+			nums = append(nums, num)
+		}
+		sort.Strings(nums)
+		for _, num := range nums {
+			h := a.holds[num]
 			if now.After(h.expires) {
 				a.balances[h.currency] += h.amount
 				delete(a.holds, num)

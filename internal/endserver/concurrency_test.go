@@ -1,0 +1,231 @@
+package endserver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"proxykit/internal/acl"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/restrict"
+)
+
+// TestNewDoesNotMutateCallerEnv is the regression test for the shared-
+// env bug: New wrote its server identity through the caller's
+// *proxy.VerifyEnv, so two servers built from one env both verified as
+// the LAST-created server — bearer proofs bound to the first server
+// (popBytes covers the server identity) stopped verifying.
+func TestNewDoesNotMutateCallerEnv(t *testing.T) {
+	w := newWorld(t)
+	env := &proxy.VerifyEnv{
+		ResolveIdentity: w.dir.Resolver(),
+		MaxSkew:         time.Minute,
+	}
+	mailSv := principal.New("mail/sv1", "ISI.EDU")
+
+	first := New(fileSv, env, w.clk)
+	second := New(mailSv, env, w.clk)
+
+	if env.Server != (principal.ID{}) {
+		t.Fatalf("caller env mutated: Server = %v", env.Server)
+	}
+
+	// Behavioral half: a bearer presentation bound to the FIRST server
+	// must still authorize there after the second server was created.
+	first.SetACL(w.motd, acl.New(acl.PrincipalEntry(alice, "read")))
+	second.SetACL(w.motd, acl.New(acl.PrincipalEntry(alice, "read")))
+	p := w.grant(alice, restrict.Set{})
+
+	ch, err := first.Challenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := p.Present(ch, fileSv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := first.Authorize(&Request{
+		Object: w.motd, Op: "read",
+		Proxies: []*proxy.Presentation{pr}, Challenge: ch,
+	})
+	if err != nil {
+		t.Fatalf("first server rejected its own presentation: %v", err)
+	}
+	if d.Via != alice || !d.ViaProxy {
+		t.Fatalf("decision = %+v", d)
+	}
+
+	// And the proof is NOT transferable to the second server (it would
+	// be if both shared one identity through the aliased env).
+	ch2, err := second.Challenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2 := &proxy.Presentation{Certs: pr.Certs, Challenge: ch2, Proof: pr.Proof}
+	if _, err := second.Authorize(&Request{
+		Object: w.motd, Op: "read",
+		Proxies: []*proxy.Presentation{pr2}, Challenge: ch2,
+	}); !errors.Is(err, proxy.ErrBadProof) {
+		t.Fatalf("replayed proof on second server: err = %v, want proxy.ErrBadProof", err)
+	}
+}
+
+// TestConcurrentChallengeLifecycle hammers Challenge and
+// consumeChallenge (via bearer Authorize) from many goroutines; run
+// under -race this covers the challenge map and its opportunistic
+// cleanup.
+func TestConcurrentChallengeLifecycle(t *testing.T) {
+	w := newWorld(t)
+	w.srv.SetACL(w.motd, acl.New(acl.PrincipalEntry(alice, "read")))
+	p := w.grant(alice, restrict.Set{})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				ch, err := w.srv.Challenge()
+				if err != nil {
+					t.Errorf("challenge: %v", err)
+					return
+				}
+				if i%3 == 0 {
+					continue // fetched but never used; cleanup's job
+				}
+				pr, err := p.Present(ch, fileSv)
+				if err != nil {
+					t.Errorf("present: %v", err)
+					return
+				}
+				if _, err := w.srv.Authorize(&Request{
+					Object: w.motd, Op: "read",
+					Proxies: []*proxy.Presentation{pr}, Challenge: ch,
+				}); err != nil {
+					t.Errorf("authorize: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestParallelAuthorize drives one server from many goroutines mixing
+// direct-identity and bearer-proxy requests over a shared chain cache;
+// under -race this covers the ACL map, replay registry, challenge map,
+// and ChainCache together.
+func TestParallelAuthorize(t *testing.T) {
+	w := newWorld(t)
+	w.srv.SetChainCache(proxy.NewChainCache(64))
+	w.srv.SetACL(w.motd, acl.New(
+		acl.PrincipalEntry(alice, "read"),
+		acl.PrincipalEntry(bob, "read"),
+	))
+	p := w.grant(alice, restrict.Set{})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if g%2 == 0 {
+					if _, err := w.srv.Authorize(&Request{
+						Object: w.motd, Op: "read",
+						Identities: []principal.ID{bob},
+					}); err != nil {
+						t.Errorf("direct authorize: %v", err)
+						return
+					}
+					continue
+				}
+				ch, err := w.srv.Challenge()
+				if err != nil {
+					t.Errorf("challenge: %v", err)
+					return
+				}
+				pr, err := p.Present(ch, fileSv)
+				if err != nil {
+					t.Errorf("present: %v", err)
+					return
+				}
+				if _, err := w.srv.Authorize(&Request{
+					Object: w.motd, Op: "read",
+					Proxies: []*proxy.Presentation{pr}, Challenge: ch,
+				}); err != nil {
+					t.Errorf("proxy authorize: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestExpiredCertRejectedOnWarmCacheHit: an end-server with a warm
+// chain cache must still refuse the chain once it expires —
+// revocation-by-expiry (§3.1) cannot be weakened by caching.
+func TestExpiredCertRejectedOnWarmCacheHit(t *testing.T) {
+	w := newWorld(t)
+	w.srv.SetChainCache(proxy.NewChainCache(0))
+	w.srv.SetACL(w.motd, acl.New(acl.PrincipalEntry(alice, "read")))
+	p := w.grant(alice, restrict.Set{}) // 1h lifetime
+
+	authorize := func() error {
+		ch, err := w.srv.Challenge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := p.Present(ch, fileSv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = w.srv.Authorize(&Request{
+			Object: w.motd, Op: "read",
+			Proxies: []*proxy.Presentation{pr}, Challenge: ch,
+		})
+		return err
+	}
+
+	// Warm the cache, then confirm a second authorize hits it.
+	if err := authorize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := authorize(); err != nil {
+		t.Fatal(err)
+	}
+
+	w.clk.Advance(2 * time.Hour)
+	if err := authorize(); !errors.Is(err, proxy.ErrExpired) {
+		t.Fatalf("expired chain on warm cache: err = %v, want proxy.ErrExpired", err)
+	}
+}
+
+// TestGroupListDeterministic: Decision.Groups comes out sorted, not in
+// map order.
+func TestGroupListDeterministic(t *testing.T) {
+	m := map[principal.Global]bool{}
+	var want []string
+	for i := 0; i < 8; i++ {
+		g := principal.NewGlobal(grpSv, fmt.Sprintf("g%02d", i))
+		m[g] = true
+	}
+	for i := 0; i < 8; i++ {
+		want = append(want, fmt.Sprintf("g%02d", i))
+	}
+	for trial := 0; trial < 4; trial++ {
+		got := groupList(m)
+		if len(got) != len(want) {
+			t.Fatalf("len = %d", len(got))
+		}
+		for i, g := range got {
+			if g.Name != want[i] {
+				t.Fatalf("trial %d: order %v", trial, got)
+			}
+		}
+	}
+}

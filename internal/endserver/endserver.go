@@ -17,6 +17,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -57,23 +58,36 @@ type Server struct {
 }
 
 // New creates a Server with the supplied proxy verification environment.
-// The environment's Server and Clock fields are set from the arguments.
+// The environment is copied — New never mutates the caller's env, so
+// one env can safely parameterize several servers — and the copy's
+// Server and Clock fields are set from the arguments.
 func New(id principal.ID, env *proxy.VerifyEnv, clk clock.Clock) *Server {
 	if clk == nil {
 		clk = clock.System{}
 	}
-	env.Server = id
-	if env.Clock == nil {
-		env.Clock = clk
+	e := *env
+	e.Server = id
+	if e.Clock == nil {
+		e.Clock = clk
 	}
 	return &Server{
 		ID:         id,
-		env:        env,
+		env:        &e,
 		clk:        clk,
 		registry:   replay.New(clk),
 		objects:    make(map[string]*acl.ACL),
 		challenges: make(map[string]time.Time),
 	}
+}
+
+// SetChainCache installs a verified-chain cache on the server's
+// verification environment: byte-identical pure public-key chains skip
+// signature re-verification on repeat presentations, while validity
+// windows, proof-of-possession, replay registration, and ACL
+// evaluation still run on every request. Call during setup, before the
+// server starts taking requests; nil disables caching.
+func (s *Server) SetChainCache(cc *proxy.ChainCache) {
+	s.env.Cache = cc
 }
 
 // SetAuditLog attaches an audit log; every Authorize decision is
@@ -256,7 +270,7 @@ func (s *Server) Authorize(req *Request) (*Decision, error) {
 // trace ID (obs.TraceFrom) is stamped onto the audit record, joining
 // the decision to the RPC span that carried it.
 func (s *Server) AuthorizeCtx(ctx context.Context, req *Request) (*Decision, error) {
-	d, err := s.authorize(req)
+	d, err := s.authorize(ctx, req)
 	if err != nil {
 		mDecisions.With("denied").Inc()
 	} else {
@@ -266,7 +280,7 @@ func (s *Server) AuthorizeCtx(ctx context.Context, req *Request) (*Decision, err
 	return d, err
 }
 
-func (s *Server) authorize(req *Request) (*Decision, error) {
+func (s *Server) authorize(ctx context.Context, req *Request) (*Decision, error) {
 	a := s.aclFor(req.Object)
 	if a == nil {
 		return nil, fmt.Errorf("%w: no ACL for object %q", ErrDenied, req.Object)
@@ -283,7 +297,7 @@ func (s *Server) authorize(req *Request) (*Decision, error) {
 			}
 			challengeUsed = true
 		}
-		v, err := s.env.VerifyPresentation(pr, req.Challenge)
+		v, err := s.verifyPresentation(ctx, pr, req.Challenge)
 		if err != nil {
 			return nil, fmt.Errorf("proxy %d: %w", i, err)
 		}
@@ -366,6 +380,27 @@ func (s *Server) authorize(req *Request) (*Decision, error) {
 	return nil, fmt.Errorf("%w: %v", ErrDenied, cause)
 }
 
+// verifyPresentation validates one presented proxy and records a
+// cache-aware "verify" span: the span's note distinguishes chains
+// served from the verified-chain cache from fully verified ones, so
+// /traces shows where Authorize latency went.
+func (s *Server) verifyPresentation(ctx context.Context, pr *proxy.Presentation, challenge []byte) (*proxy.Verified, error) {
+	tr, _ := obs.TraceFrom(ctx)
+	start := time.Now()
+	v, err := s.env.VerifyPresentation(pr, challenge)
+	span := obs.Span{Trace: tr, Kind: "verify", Method: "proxy.chain", Start: start, Duration: time.Since(start)}
+	switch {
+	case err != nil:
+		span.Err = err.Error()
+	case v.Cached:
+		span.Note = "chain-cache hit"
+	case s.env.Cache != nil:
+		span.Note = "chain-cache miss"
+	}
+	obs.Spans.Record(span)
+	return v, err
+}
+
 // creditGroups determines which group memberships the presented group
 // proxies can assert. Needed groups come from two places: groups named
 // in the object's ACL (§3.3) and groups demanded by for-use-by-group
@@ -431,11 +466,20 @@ func collectNeededGroups(rs restrict.Set, server principal.ID, out map[principal
 	}
 }
 
+// groupList flattens a credited-group set in sorted order, so
+// Decision.Groups (and the audit records built from it) are
+// deterministic rather than jittering with map iteration.
 func groupList(m map[principal.Global]bool) []principal.Global {
 	out := make([]principal.Global, 0, len(m))
 	for g := range m {
 		out = append(out, g)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Server != out[j].Server {
+			return out[i].Server.Less(out[j].Server)
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out
 }
 

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -258,7 +259,9 @@ func (s *Server) isMemberLocked(name string, p principal.ID, verified map[princi
 	return false, nil
 }
 
-// Groups returns the names of all local groups.
+// Groups returns the names of all local groups, sorted: listings (and
+// anything hashed or golden-tested downstream) must not jitter with
+// map iteration order.
 func (s *Server) Groups() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -266,5 +269,6 @@ func (s *Server) Groups() []string {
 	for name := range s.groups {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }

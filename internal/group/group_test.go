@@ -2,6 +2,8 @@ package group
 
 import (
 	"errors"
+	"slices"
+	"sort"
 	"testing"
 	"time"
 
@@ -213,5 +215,24 @@ func TestGroupsListing(t *testing.T) {
 	w.srv.AddMember("b", alice)
 	if got := w.srv.Groups(); len(got) != 2 {
 		t.Fatalf("groups = %v", got)
+	}
+}
+
+// TestGroupsListingSorted: the listing must be deterministic (sorted),
+// not map-iteration order — proxyctl listings and golden outputs
+// depend on it.
+func TestGroupsListingSorted(t *testing.T) {
+	w := newWorld(t)
+	names := []string{"zeta", "alpha", "mid", "beta", "omega", "gamma", "delta", "kappa"}
+	for _, n := range names {
+		w.srv.AddGroup(n)
+	}
+	want := append([]string(nil), names...)
+	sort.Strings(want)
+	for trial := 0; trial < 4; trial++ {
+		got := w.srv.Groups()
+		if !slices.Equal(got, want) {
+			t.Fatalf("trial %d: groups = %v, want %v", trial, got, want)
+		}
 	}
 }

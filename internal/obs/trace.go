@@ -74,6 +74,9 @@ type Span struct {
 	Duration time.Duration `json:"durationNs"`
 	// Err is the error text for failed spans, empty on success.
 	Err string `json:"err,omitempty"`
+	// Note carries an optional annotation (e.g. whether a chain
+	// verification was served from the verified-chain cache).
+	Note string `json:"note,omitempty"`
 }
 
 // SpanLog is a bounded ring of recently completed spans, served by the

@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -30,6 +31,11 @@ type VerifyEnv struct {
 	// UnsealProxyKey recovers a conventional proxy key from a
 	// certificate's sealed binding. Unused in pure public-key chains.
 	UnsealProxyKey func(*Certificate) (*kcrypto.SymmetricKey, error)
+	// Cache, when set, memoizes successful verifications of pure
+	// public-key chains by chain digest: a hit skips the per-link
+	// signature checks but still rechecks every validity window (see
+	// ChainCache). nil verifies every chain in full.
+	Cache *ChainCache
 }
 
 // UnsealWith returns an UnsealProxyKey function that opens sealed proxy
@@ -87,6 +93,10 @@ type Verified struct {
 	Trail []principal.ID
 	// ChainLen is the number of certificates verified.
 	ChainLen int
+	// Cached reports that signature verification was skipped because the
+	// byte-identical chain was found in the VerifyEnv's ChainCache
+	// (validity windows were still rechecked).
+	Cached bool
 
 	finalVerifier kcrypto.Verifier
 }
@@ -113,6 +123,30 @@ func (env *VerifyEnv) VerifyChain(certs []*Certificate) (*Verified, error) {
 		clk = clock.System{}
 	}
 	now := clk.Now()
+
+	// Consult the verified-chain cache. Only pure public-key chains are
+	// eligible (chainCacheable); a hit skips signature re-verification
+	// but every validity window is rechecked at the current instant, so
+	// revocation-by-expiry (§3.1) behaves identically warm or cold.
+	var cacheKey string
+	if env.Cache != nil {
+		if !chainCacheable(certs) {
+			mCacheUncacheable.Inc()
+		} else {
+			cacheKey = chainCacheKey(env.Server, certs)
+			if v, ok := env.Cache.get(cacheKey, now); ok {
+				for i, c := range certs {
+					if err := env.checkValidity(c, now); err != nil {
+						if errors.Is(err, ErrExpired) {
+							env.Cache.remove(cacheKey, "expired")
+						}
+						return nil, fmt.Errorf("certificate %d: %w", i, err)
+					}
+				}
+				return &v, nil
+			}
+		}
+	}
 
 	out := &Verified{
 		Grantor:  certs[0].Grantor,
@@ -154,6 +188,9 @@ func (env *VerifyEnv) VerifyChain(certs []*Certificate) (*Verified, error) {
 		return nil, fmt.Errorf("final binding: %w", err)
 	}
 	out.finalVerifier = fv
+	if cacheKey != "" {
+		env.Cache.put(cacheKey, out, now)
+	}
 	return out, nil
 }
 

@@ -46,6 +46,13 @@ func NewAuthzService(srv *authz.Server, resolve func(principal.ID) (kcrypto.Veri
 	}
 }
 
+// SetChainCache installs a verified-chain cache for the group proxies
+// presented with grant requests (see proxy.ChainCache). Call during
+// setup, before the service starts taking requests.
+func (s *AuthzService) SetChainCache(cc *proxy.ChainCache) {
+	s.env.Cache = cc
+}
+
 // Mux returns the service's transport mux.
 func (s *AuthzService) Mux() *transport.Mux {
 	m := transport.NewMux()

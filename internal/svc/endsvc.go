@@ -3,6 +3,7 @@ package svc
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"proxykit/internal/acl"
 	"proxykit/internal/clock"
@@ -201,10 +202,17 @@ func (c *EndClient) Request(p RequestParams) (*Decision, error) {
 		pres[i] = pr.Marshal()
 	}
 	e.BytesSlice(pres)
+	// Encode amounts in sorted currency order: map iteration would make
+	// byte-identical requests encode differently run to run.
 	e.Uint32(uint32(len(p.Amounts)))
-	for cur, amt := range p.Amounts {
+	curs := make([]string, 0, len(p.Amounts))
+	for cur := range p.Amounts {
+		curs = append(curs, cur)
+	}
+	sort.Strings(curs)
+	for _, cur := range curs {
 		e.String(cur)
-		e.Int64(amt)
+		e.Int64(p.Amounts[cur])
 	}
 	resp, err := sealedCall(c.client, c.ident, c.clk, c.retry, RequestMethod, e.Bytes())
 	if err != nil {

@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchBackendLatency models the server-side work behind each RPC (a
+// disk read, a signature verification, a downstream call). Sleeping —
+// rather than burning CPU — keeps the comparison honest on small
+// machines: a serialized client is limited by round trips regardless
+// of core count, while the multiplexed client overlaps them.
+const benchBackendLatency = 2 * time.Millisecond
+
+func newBenchServer(b *testing.B) net.Addr {
+	b.Helper()
+	mux := NewMux()
+	mux.Handle("bench.echo", func(_ context.Context, body []byte) ([]byte, error) {
+		time.Sleep(benchBackendLatency)
+		return body, nil
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewTCPServer(l, mux)
+	b.Cleanup(func() { srv.Close() })
+	return srv.Addr()
+}
+
+// BenchmarkTCPSerialized is the baseline: one call in flight at a
+// time, so each op pays a full round trip plus the simulated backend
+// latency.
+func BenchmarkTCPSerialized(b *testing.B) {
+	addr := newBenchServer(b)
+	c, err := DialTCP(addr.String(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	body := []byte("ping")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call("bench.echo", body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTCPMultiplexed keeps many calls in flight on one shared
+// client; responses demultiplex by request ID, so backend latencies
+// overlap instead of summing.
+func BenchmarkTCPMultiplexed(b *testing.B) {
+	for _, inflight := range []int{4, 16} {
+		b.Run(fmt.Sprintf("inflight=%d", inflight), func(b *testing.B) {
+			addr := newBenchServer(b)
+			c, err := DialTCP(addr.String(), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			body := []byte("ping")
+			b.SetParallelism(inflight) // goroutines = inflight × GOMAXPROCS
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := c.Call("bench.echo", body); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkTCPMultiplexedPool adds connection-level parallelism on
+// top of request multiplexing.
+func BenchmarkTCPMultiplexedPool(b *testing.B) {
+	addr := newBenchServer(b)
+	c, err := DialTCPPool(addr.String(), 0, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	body := []byte("ping")
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.Call("bench.echo", body); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestMuxThroughputAdvantage is the acceptance check behind the
+// benchmarks above in test form: with a 2ms backend, 16 concurrent
+// callers on one multiplexed connection must clear at least 4× the
+// serialized call rate.
+func TestMuxThroughputAdvantage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	mux := NewMux()
+	mux.Handle("bench.echo", func(_ context.Context, body []byte) ([]byte, error) {
+		time.Sleep(benchBackendLatency)
+		return body, nil
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewTCPServer(l, mux)
+	defer srv.Close()
+	c, err := DialTCP(srv.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const serialCalls = 50
+	start := time.Now()
+	for i := 0; i < serialCalls; i++ {
+		if _, err := c.Call("bench.echo", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serialRate := float64(serialCalls) / time.Since(start).Seconds()
+
+	const goroutines, perG = 16, 20
+	var wg sync.WaitGroup
+	start = time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := c.Call("bench.echo", nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	muxRate := float64(goroutines*perG) / time.Since(start).Seconds()
+
+	if muxRate < 4*serialRate {
+		t.Fatalf("multiplexed rate %.0f/s < 4x serialized %.0f/s", muxRate, serialRate)
+	}
+	t.Logf("serialized %.0f calls/s, multiplexed %.0f calls/s (%.1fx)", serialRate, muxRate, muxRate/serialRate)
+}

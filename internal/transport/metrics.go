@@ -28,7 +28,16 @@ var (
 	mClientLatency = obs.Default.NewHistogramVec("proxykit_rpc_client_latency_seconds",
 		"Client-observed RPC round-trip latency in seconds.", obs.DefLatencyBuckets, "method")
 	mClientRedials = obs.Default.NewCounter("proxykit_rpc_client_redials_total",
-		"TCP client reconnections after a timeout or injected fault closed the connection.")
+		"TCP client reconnections after a connection died (reset, write failure, server restart).")
+	mClientPending = obs.Default.NewGauge("proxykit_rpc_client_pending",
+		"RPC calls currently in flight on multiplexed TCP client connections.")
+	mClientStaleResponses = obs.Default.NewCounter("proxykit_rpc_client_stale_responses_total",
+		"Response frames discarded by the client demultiplexer because no call was waiting (timed-out call, injected duplicate).")
+
+	mServerWorkersBusy = obs.Default.NewGauge("proxykit_rpc_server_workers_busy",
+		"TCP server pool workers currently executing a request.")
+	mServerWorkerWait = obs.Default.NewHistogram("proxykit_rpc_server_worker_wait_seconds",
+		"Time request frames waited for a free server pool worker.", obs.DefLatencyBuckets)
 
 	mRetries = obs.Default.NewCounterVec("proxykit_rpc_retries_total",
 		"RPC attempts beyond the first made under a RetryPolicy, by method.", "method")

@@ -9,8 +9,9 @@ import (
 
 // TestTCPCallTimeout covers the per-call deadline: a server that never
 // responds must not hang the client forever, the timeout must be
-// counted, and the connection must be torn down (a late response would
-// desynchronize the frame stream).
+// counted, and only that call fails — the multiplexed connection stays
+// up (a late response is discarded by ID, it cannot desynchronize the
+// stream).
 func TestTCPCallTimeout(t *testing.T) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -51,11 +52,11 @@ func TestTCPCallTimeout(t *testing.T) {
 		t.Errorf("timeout counter = %d, want %d", got, before+1)
 	}
 
-	// The timeout tore the connection down, but the client is not
-	// dead: the next call redials (and times out against the still-
-	// silent server — crucially not ErrClosed).
+	// The timeout failed only that call; the client is not dead: the
+	// next call reuses the live connection (and times out against the
+	// still-silent server — crucially not ErrClosed).
 	if _, err := c.Call("echo", nil); errors.Is(err, ErrClosed) {
-		t.Fatalf("post-timeout call err = %v; client wedged instead of redialing", err)
+		t.Fatalf("post-timeout call err = %v; client wedged", err)
 	}
 
 	// Only an explicit Close is terminal.

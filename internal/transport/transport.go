@@ -12,6 +12,7 @@ package transport
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -259,31 +260,38 @@ func (c *memClient) finish(method string, resp []byte, err error, lat time.Durat
 	return resp, nil
 }
 
-// encodeRequest/decodeRequest define the on-wire RPC envelope shared
-// with the TCP transport. trace is the obs.Trace wire form
-// ("traceID-spanID", possibly empty): the request ID and parent span
+// encodeRequest/decodeRequest define the on-wire RPC envelope of the
+// TCP transport. id is the per-connection request ID that lets the
+// multiplexed client match responses (which may arrive out of order)
+// back to waiting calls. trace is the obs.Trace wire form
+// ("traceID-spanID", possibly empty): the trace context and parent span
 // that let the server correlate its span with the caller's.
-func encodeRequest(method, trace string, body []byte) []byte {
-	e := wire.NewEncoder(64 + len(trace) + len(body))
+func encodeRequest(id uint64, method, trace string, body []byte) []byte {
+	e := wire.NewEncoder(72 + len(trace) + len(body))
+	e.Uint64(id)
 	e.String(method)
 	e.String(trace)
 	e.Bytes32(body)
 	return e.Bytes()
 }
 
-func decodeRequest(b []byte) (method, trace string, body []byte, err error) {
+func decodeRequest(b []byte) (id uint64, method, trace string, body []byte, err error) {
 	d := wire.NewDecoder(b)
+	id = d.Uint64()
 	method = d.String()
 	trace = d.String()
 	body = d.Bytes32()
 	if err := d.Finish(); err != nil {
-		return "", "", nil, err
+		return 0, "", "", nil, err
 	}
-	return method, trace, body, nil
+	return id, method, trace, body, nil
 }
 
-func encodeResponse(body []byte, herr error) []byte {
-	e := wire.NewEncoder(64 + len(body))
+// encodeResponse echoes the request ID ahead of the response payload so
+// the client-side demultiplexer can route it without decoding the body.
+func encodeResponse(id uint64, body []byte, herr error) []byte {
+	e := wire.NewEncoder(72 + len(body))
+	e.Uint64(id)
 	if herr != nil {
 		e.Bool(true)
 		e.String(herr.Error())
@@ -292,6 +300,15 @@ func encodeResponse(body []byte, herr error) []byte {
 	e.Bool(false)
 	e.Bytes32(body)
 	return e.Bytes()
+}
+
+// splitResponseID peels the request ID off a response frame, returning
+// the remainder for decodeResponse in the waiting call's goroutine.
+func splitResponseID(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("%w: short response frame", wire.ErrTruncated)
+	}
+	return binary.BigEndian.Uint64(b[:8]), b[8:], nil
 }
 
 func decodeResponse(method string, b []byte) ([]byte, error) {

@@ -261,25 +261,36 @@ func TestDialTCPFailure(t *testing.T) {
 }
 
 func TestRequestResponseEncoding(t *testing.T) {
-	b := encodeRequest("method.name", "abc123-def456", []byte("body"))
-	m, trace, body, err := decodeRequest(b)
-	if err != nil || m != "method.name" || trace != "abc123-def456" || !bytes.Equal(body, []byte("body")) {
-		t.Fatalf("%q %q %q %v", m, trace, body, err)
+	b := encodeRequest(42, "method.name", "abc123-def456", []byte("body"))
+	id, m, trace, body, err := decodeRequest(b)
+	if err != nil || id != 42 || m != "method.name" || trace != "abc123-def456" || !bytes.Equal(body, []byte("body")) {
+		t.Fatalf("%d %q %q %q %v", id, m, trace, body, err)
 	}
-	if _, _, _, err := decodeRequest([]byte("garbage")); err == nil {
+	if _, _, _, _, err := decodeRequest([]byte("garbage")); err == nil {
 		t.Fatal("garbage request accepted")
 	}
 
-	r := encodeResponse([]byte("ok"), nil)
-	body, err = decodeResponse("m", r)
+	r := encodeResponse(42, []byte("ok"), nil)
+	id, rest, err := splitResponseID(r)
+	if err != nil || id != 42 {
+		t.Fatalf("split: id=%d err=%v", id, err)
+	}
+	body, err = decodeResponse("m", rest)
 	if err != nil || !bytes.Equal(body, []byte("ok")) {
 		t.Fatalf("%q %v", body, err)
 	}
-	r = encodeResponse(nil, errors.New("boom"))
-	_, err = decodeResponse("m", r)
+	r = encodeResponse(7, nil, errors.New("boom"))
+	id, rest, err = splitResponseID(r)
+	if err != nil || id != 7 {
+		t.Fatalf("split: id=%d err=%v", id, err)
+	}
+	_, err = decodeResponse("m", rest)
 	var re *RemoteError
 	if !errors.As(err, &re) || re.Msg != "boom" {
 		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := splitResponseID([]byte{2, 3}); err == nil {
+		t.Fatal("short response frame accepted")
 	}
 	if _, err := decodeResponse("m", []byte{2, 3}); err == nil {
 		t.Fatal("garbage response accepted")
