@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check audit-verify bench bench-smoke bench-rpc experiments examples cover fuzz clean
+.PHONY: all build vet test race check audit-verify bench bench-smoke bench-rpc bench-ledger crash experiments examples cover fuzz clean
 
 all: check
 
@@ -26,7 +26,8 @@ test:
 race:
 	$(GO) test -race ./internal/transport/... ./internal/obs/... ./internal/accounting/... \
 		./internal/chaos/... ./internal/faultpoint/... ./internal/svc/... \
-		./internal/endserver/... ./internal/proxy/... ./internal/group/...
+		./internal/endserver/... ./internal/proxy/... ./internal/group/... \
+		./internal/ledger/...
 
 check: build vet test race
 
@@ -35,18 +36,31 @@ check: build vet test race
 audit-verify:
 	$(GO) test ./internal/integration/ -run TestAuditVerifyCLI -v
 
+# Kill-and-recover chaos suite: SIGKILL a bank at a fault-injected WAL
+# append boundary, replay the ledger, and audit the recovered books
+# (internal/chaos/crash_recovery_test.go), plus the lossless-recovery
+# property tests over snapshot + WAL.
+crash:
+	$(GO) test ./internal/chaos/ -run TestCrashRecovery -v -count=1
+	$(GO) test ./internal/accounting/ -run 'TestRecovery' -v -count=1
+
 bench:
 	$(GO) test -bench=. -benchmem . ./internal/transport/
 
 # One iteration of every benchmark — a CI smoke test that the
 # benchmarks still compile and run, not a measurement.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run '^$$' . ./internal/transport/
+	$(GO) test -bench=. -benchtime=1x -run '^$$' . ./internal/transport/ ./internal/accounting/
 
 # Regenerate BENCH_PR4.json (multiplexed-vs-serialized RPC throughput,
 # cold-vs-warm chain-cache authorize latency).
 bench-rpc:
 	$(GO) run ./cmd/benchrpc -o BENCH_PR4.json
+
+# Regenerate BENCH_PR5.json (WAL transfer overhead: in-memory vs
+# fsync=off vs fsync=always).
+bench-ledger:
+	$(GO) run ./cmd/benchledger -o BENCH_PR5.json
 
 experiments:
 	$(GO) run ./cmd/benchproxy

@@ -17,6 +17,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -29,6 +30,7 @@ import (
 	"proxykit/internal/accounting"
 	"proxykit/internal/audit"
 	"proxykit/internal/faultpoint"
+	"proxykit/internal/ledger"
 	"proxykit/internal/logging"
 	"proxykit/internal/obs"
 	"proxykit/internal/principal"
@@ -64,6 +66,9 @@ func run() error {
 		faultSeed   = flag.Int64("fault-seed", 1, "PRNG seed for -fault-spec decisions")
 		holdSweep   = flag.Duration("hold-sweep-interval", time.Minute, "how often expired certified-check holds are swept back to their accounts; 0 disables the sweeper")
 		rpcWorkers  = flag.Int("rpc-workers", 0, "bound on concurrently handled RPC requests (0 = default pool size)")
+		ledgerDir   = flag.String("ledger-dir", "", "durable ledger directory (WAL + snapshots); empty keeps accounting state in memory only")
+		fsyncMode   = flag.String("fsync", "always", "WAL durability: always (fsync per append), interval (periodic fsync), off (buffered)")
+		snapEvery   = flag.Duration("snapshot-interval", time.Minute, "how often the ledger snapshots full state and truncates the WAL; 0 disables the background snapshotter")
 		logOpts     logging.Options
 	)
 	logOpts.RegisterFlags(flag.CommandLine)
@@ -98,6 +103,23 @@ func run() error {
 	}
 	resolve := statefile.DynamicResolver(*state)
 	srv := accounting.NewServer(ident, resolve, nil)
+	if *ledgerDir != "" {
+		mode, err := ledger.ParseFsyncMode(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		rec, err := srv.OpenLedger(ledger.Options{Dir: *ledgerDir, Fsync: mode, Logger: logger})
+		if err != nil {
+			return err
+		}
+		defer srv.CloseLedger()
+		logger.Info("ledger open", "dir", *ledgerDir, "fsync", mode.String(),
+			"replayed", len(rec.Entries), "snapshotSeq", rec.SnapshotSeq, "tornTail", rec.TornTail)
+		if *snapEvery > 0 {
+			stopSnap := srv.StartSnapshotter(*snapEvery)
+			defer stopSnap()
+		}
+	}
 	srv.SetJournal(journal)
 	if *accounts != "" {
 		n, err := loadAccounts(srv, *accounts)
@@ -149,6 +171,12 @@ func loadAccounts(srv *accounting.Server, path string) (int, error) {
 			return 0, err
 		}
 		if err := srv.CreateAccount(a.Name, owner); err != nil {
+			// Provisioning is idempotent across restarts: an account
+			// recovered from the ledger is left alone — re-minting its
+			// opening balance on every restart would print money.
+			if errors.Is(err, accounting.ErrAccountExists) {
+				continue
+			}
 			return 0, err
 		}
 		for currency, amount := range a.Mint {

@@ -27,10 +27,12 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"proxykit/internal/audit"
 	"proxykit/internal/faultpoint"
 	"proxykit/internal/group"
+	"proxykit/internal/ledger"
 	"proxykit/internal/logging"
 	"proxykit/internal/obs"
 	"proxykit/internal/principal"
@@ -60,6 +62,9 @@ func run() error {
 		faultSeed   = flag.Int64("fault-seed", 1, "PRNG seed for -fault-spec decisions")
 		rpcWorkers  = flag.Int("rpc-workers", 0, "bound on concurrently handled RPC requests (0 = default pool size)")
 		chainCache  = flag.Int("chain-cache", proxy.DefaultChainCacheSize, "verified-chain cache capacity; 0 disables caching")
+		ledgerDir   = flag.String("ledger-dir", "", "durable ledger directory (WAL + snapshots); empty keeps the group database in memory only")
+		fsyncMode   = flag.String("fsync", "always", "WAL durability: always (fsync per append), interval (periodic fsync), off (buffered)")
+		snapEvery   = flag.Duration("snapshot-interval", time.Minute, "how often the ledger snapshots the database and truncates the WAL; 0 disables the background snapshotter")
 		logOpts     logging.Options
 	)
 	logOpts.RegisterFlags(flag.CommandLine)
@@ -94,8 +99,29 @@ func run() error {
 	}
 	resolve := statefile.DynamicResolver(*state)
 	srv := group.New(ident, nil)
+	if *ledgerDir != "" {
+		mode, err := ledger.ParseFsyncMode(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		rec, err := srv.OpenLedger(ledger.Options{Dir: *ledgerDir, Fsync: mode, Logger: logger})
+		if err != nil {
+			return err
+		}
+		defer srv.CloseLedger()
+		logger.Info("ledger open", "dir", *ledgerDir, "fsync", mode.String(),
+			"replayed", len(rec.Entries), "snapshotSeq", rec.SnapshotSeq, "tornTail", rec.TornTail)
+		if *snapEvery > 0 {
+			stopSnap := srv.StartSnapshotter(*snapEvery)
+			defer stopSnap()
+		}
+	}
 	srv.SetJournal(journal)
-	if *groups != "" {
+	// Provision from the file only when the database came up empty —
+	// a ledger-recovered database already contains these groups (plus
+	// any later edits), and re-adding nested groups would duplicate
+	// their entries.
+	if *groups != "" && len(srv.Groups()) == 0 {
 		n, err := loadGroups(srv, *groups)
 		if err != nil {
 			return err

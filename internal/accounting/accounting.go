@@ -31,6 +31,7 @@ import (
 	"proxykit/internal/clock"
 	"proxykit/internal/faultpoint"
 	"proxykit/internal/kcrypto"
+	"proxykit/internal/ledger"
 	"proxykit/internal/obs"
 	"proxykit/internal/principal"
 	"proxykit/internal/proxy"
@@ -93,6 +94,7 @@ type Server struct {
 	journal  *audit.Journal
 	hopRetry transport.RetryPolicy
 	hopInj   *faultpoint.Injector
+	ledger   *ledger.Ledger
 
 	// ForwardedChecks counts checks this server endorsed onward to
 	// another bank (clearing traffic, for the experiments).
@@ -191,7 +193,10 @@ func (s *Server) SetHopInjector(inj *faultpoint.Injector) {
 func (s *Server) CreateAccount(name string, owner principal.ID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.createAccountLocked(name, owner)
+	if _, ok := s.accounts[name]; ok {
+		return fmt.Errorf("%w: %s", ErrAccountExists, name)
+	}
+	return s.commitLocked(&op{kind: opCreate, acct: name, owner: owner})
 }
 
 func (s *Server) createAccountLocked(name string, owner principal.ID) error {
@@ -223,16 +228,18 @@ func (s *Server) AccountACL(name string) (*acl.ACL, error) {
 // Mint credits an account out of thin air — provisioning for tests,
 // examples, and resource-currency servers (a printer server minting
 // "pages").
+// A non-positive amount is rejected: minting zero is meaningless and a
+// negative mint is a disguised debit that would bypass the account ACL.
 func (s *Server) Mint(name, currency string, amount int64) error {
+	if amount <= 0 {
+		return fmt.Errorf("%w: mint amount must be positive, got %d", ErrBadCheck, amount)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	a, ok := s.accounts[name]
-	if !ok {
+	if _, ok := s.accounts[name]; !ok {
 		return fmt.Errorf("%w: %s", ErrNoAccount, name)
 	}
-	a.balances[currency] += amount
-	a.record(Transaction{Time: s.clk.Now(), Kind: TxMint, Currency: currency, Amount: amount})
-	return nil
+	return s.commitLocked(&op{kind: opMint, time: s.clk.Now(), acct: name, currency: currency, amount: amount})
 }
 
 // Balance returns the collected balance, requiring read rights.
@@ -304,14 +311,20 @@ func (s *Server) TransferCtx(ctx context.Context, from, to, currency string, amo
 	if amount < 0 {
 		return fmt.Errorf("%w: negative amount", ErrBadCheck)
 	}
+	// A self-transfer is rejected rather than silently recorded: it
+	// would add two no-op statement lines per call and, through
+	// AllocateQuota/ReleaseQuota, let a consumer "reserve" quota into
+	// its own account without ever parting with the funds.
+	if from == to {
+		return fmt.Errorf("%w: transfer from %q to itself", ErrBadCheck, from)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	src, ok := s.accounts[from]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoAccount, from)
 	}
-	dst, ok := s.accounts[to]
-	if !ok {
+	if _, ok := s.accounts[to]; !ok {
 		return fmt.Errorf("%w: %s", ErrNoAccount, to)
 	}
 	if _, err := src.acl.Match(acl.Query{Op: OpDebit, Identities: requesters}); err != nil {
@@ -321,12 +334,7 @@ func (s *Server) TransferCtx(ctx context.Context, from, to, currency string, amo
 		return fmt.Errorf("%w: %s has %d %s, need %d", ErrInsufficientFunds,
 			from, src.balances[currency], currency, amount)
 	}
-	src.balances[currency] -= amount
-	dst.balances[currency] += amount
-	now := s.clk.Now()
-	src.record(Transaction{Time: now, Kind: TxTransferOut, Currency: currency, Amount: amount, Counterparty: to})
-	dst.record(Transaction{Time: now, Kind: TxTransferIn, Currency: currency, Amount: amount, Counterparty: from})
-	return nil
+	return s.commitLocked(&op{kind: opTransfer, time: s.clk.Now(), acct: from, to: to, currency: currency, amount: amount})
 }
 
 // AllocateQuota reserves amount of currency from the consumer's account

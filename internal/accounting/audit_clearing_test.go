@@ -121,7 +121,10 @@ func TestClearingJournalFlippedByteDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.bank2.SetJournal(j)
-	if err := w.bank2.Transfer("carol", "carol", "dollars", 1, []principal.ID{carol}); err != nil {
+	if err := w.bank2.CreateAccount("dave", dave); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.bank2.Transfer("carol", "dave", "dollars", 1, []principal.ID{carol}); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Close(); err != nil {

@@ -63,6 +63,9 @@ type WriteCheckParams struct {
 	Lifetime time.Duration
 	// Clock supplies the issue time; nil uses the system clock.
 	Clock clock.Clock
+	// Number overrides the generated check number when non-empty —
+	// re-presenting a bounced check, or deterministic tests.
+	Number string
 	// Journal, when non-nil, records the check-write in an audit
 	// journal (payor-side instruments are written outside any server).
 	Journal *audit.Journal
@@ -79,11 +82,14 @@ func WriteCheck(p WriteCheckParams) (*Check, error) {
 	if p.Lifetime <= 0 {
 		p.Lifetime = 30 * 24 * time.Hour
 	}
-	num, err := kcrypto.Nonce(12)
-	if err != nil {
-		return nil, err
+	number := p.Number
+	if number == "" {
+		num, err := kcrypto.Nonce(12)
+		if err != nil {
+			return nil, err
+		}
+		number = hex.EncodeToString(num)
 	}
-	number := hex.EncodeToString(num)
 	rs := restrict.Set{
 		restrict.AcceptOnce{ID: number},
 		restrict.Quota{Currency: p.Currency, Limit: p.Amount},

@@ -173,7 +173,7 @@ func (s *Server) depositCheck(ctx context.Context, c *Check, presenters []princi
 	if c.Bank == s.ID {
 		receipt, depErr = s.redeemLocal(c, v, presenters, creditAccount)
 	} else {
-		receipt, depErr = s.collectRemote(ctx, c, creditAccount)
+		receipt, depErr = s.collectRemote(ctx, c, v, creditAccount)
 	}
 	if depErr != nil {
 		s.registry.Forget(v.GrantorKeyID, number)
@@ -200,8 +200,7 @@ func (s *Server) redeemLocal(c *Check, v *proxy.Verified, presenters []principal
 	if !ok {
 		return nil, fmt.Errorf("%w: payor %s", ErrNoAccount, c.Account)
 	}
-	dst, ok := s.accounts[creditAccount]
-	if !ok {
+	if _, ok := s.accounts[creditAccount]; !ok {
 		return nil, fmt.Errorf("%w: credit %s", ErrNoAccount, creditAccount)
 	}
 
@@ -228,26 +227,26 @@ func (s *Server) redeemLocal(c *Check, v *proxy.Verified, presenters []principal
 		return nil, fmt.Errorf("%w: grantor %s cannot debit %s", ErrDeniedByACL, v.Grantor, c.Account)
 	}
 
-	// Certified check? Transfer from the hold.
+	// Certified check? It pays from the hold; otherwise the balance
+	// must cover the amount. Validation happens here, the mutation is
+	// one opRedeem record (accept-once entry + debit/hold-consume +
+	// credit) committed through the ledger.
 	if h, ok := payor.holds[c.Number]; ok {
 		if h.currency != c.Currency || h.amount < c.Amount {
 			return nil, fmt.Errorf("%w: hold mismatch for %s", ErrBadCheck, c.Number)
 		}
-		delete(payor.holds, c.Number)
-		if h.amount > c.Amount { // return the difference
-			payor.balances[h.currency] += h.amount - c.Amount
-		}
-	} else {
-		if payor.balances[c.Currency] < c.Amount {
-			return nil, fmt.Errorf("%w: account %s has %d %s, check for %d",
-				ErrInsufficientFunds, c.Account, payor.balances[c.Currency], c.Currency, c.Amount)
-		}
-		payor.balances[c.Currency] -= c.Amount
+	} else if payor.balances[c.Currency] < c.Amount {
+		return nil, fmt.Errorf("%w: account %s has %d %s, check for %d",
+			ErrInsufficientFunds, c.Account, payor.balances[c.Currency], c.Currency, c.Amount)
 	}
-	dst.balances[c.Currency] += c.Amount
-	now := s.clk.Now()
-	payor.record(Transaction{Time: now, Kind: TxCheckPaid, Currency: c.Currency, Amount: c.Amount, Counterparty: creditAccount, CheckNumber: c.Number})
-	dst.record(Transaction{Time: now, Kind: TxCheckDeposited, Currency: c.Currency, Amount: c.Amount, Counterparty: c.Account, CheckNumber: c.Number})
+	if err := s.commitLocked(&op{
+		kind: opRedeem, time: s.clk.Now(),
+		acct: c.Account, to: creditAccount,
+		currency: c.Currency, amount: c.Amount,
+		number: c.Number, grantorKey: v.GrantorKeyID, expires: v.Expires,
+	}); err != nil {
+		return nil, err
+	}
 	return &Receipt{Number: c.Number, Currency: c.Currency, Amount: c.Amount, Collected: true, Hops: 1}, nil
 }
 
@@ -255,10 +254,9 @@ func (s *Server) redeemLocal(c *Check, v *proxy.Verified, presenters []principal
 // to the next bank toward the drawee, and finalizes on success. The
 // context (and with it the originating trace ID) travels to the next
 // bank, so every journal along the clearing path shares one trace.
-func (s *Server) collectRemote(ctx context.Context, c *Check, creditAccount string) (*Receipt, error) {
+func (s *Server) collectRemote(ctx context.Context, c *Check, v *proxy.Verified, creditAccount string) (*Receipt, error) {
 	s.mu.Lock()
-	dst, ok := s.accounts[creditAccount]
-	if !ok {
+	if _, ok := s.accounts[creditAccount]; !ok {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: credit %s", ErrNoAccount, creditAccount)
 	}
@@ -270,8 +268,19 @@ func (s *Server) collectRemote(ctx context.Context, c *Check, creditAccount stri
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrNoRoute, c.Bank)
 	}
-	// Mark the deposit uncollected while clearing is in flight.
-	dst.uncollected[c.Currency] += c.Amount
+	// Mark the deposit uncollected while clearing is in flight. The
+	// pending record (accept-once entry + uncollected credit) is durable
+	// before the endorsement leaves this bank: a crash mid-clearing
+	// restarts with the check number accepted and the funds visibly
+	// in-doubt, never silently re-creditable.
+	if err := s.commitLocked(&op{
+		kind: opPending, time: s.clk.Now(), to: creditAccount,
+		currency: c.Currency, amount: c.Amount,
+		number: c.Number, grantorKey: v.GrantorKeyID, expires: v.Expires,
+	}); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
 	s.ForwardedChecks++
 	mClearingForwards.Inc()
 	s.mu.Unlock()
@@ -280,12 +289,12 @@ func (s *Server) collectRemote(ctx context.Context, c *Check, creditAccount stri
 	// this bank's clearing account there.
 	endorsed, err := c.Endorse(s.identity, next.ID, next.ID, next.Global(clearingAccount(s.ID)), true, s.clk)
 	if err != nil {
-		s.rollbackUncollected(creditAccount, c.Currency, c.Amount)
+		s.rollbackUncollected(creditAccount, c, v)
 		return nil, err
 	}
 	// Ensure the clearing account exists at the next bank.
 	if err := next.ensureAccount(clearingAccount(s.ID), s.ID); err != nil {
-		s.rollbackUncollected(creditAccount, c.Currency, c.Amount)
+		s.rollbackUncollected(creditAccount, c, v)
 		return nil, err
 	}
 	receipt, attempts, err := s.deliverHop(ctx, next, endorsed)
@@ -296,16 +305,20 @@ func (s *Server) collectRemote(ctx context.Context, c *Check, creditAccount stri
 		// upstream, so the depositor can re-present once the network
 		// heals.
 		mClearingAbandoned.Inc()
-		s.rollbackUncollected(creditAccount, c.Currency, c.Amount)
+		s.rollbackUncollected(creditAccount, c, v)
 		return nil, fmt.Errorf("accounting: clearing via %s: %w", next.ID, err)
 	}
 
 	// Funds collected: convert uncollected to final balance.
 	s.mu.Lock()
-	dst.uncollected[c.Currency] -= c.Amount
-	dst.balances[c.Currency] += c.Amount
-	dst.record(Transaction{Time: s.clk.Now(), Kind: TxCheckDeposited, Currency: c.Currency, Amount: c.Amount, CheckNumber: c.Number})
+	cerr := s.commitLocked(&op{
+		kind: opCollected, time: s.clk.Now(), to: creditAccount,
+		currency: c.Currency, amount: c.Amount, number: c.Number,
+	})
 	s.mu.Unlock()
+	if cerr != nil {
+		return nil, cerr
+	}
 	return &Receipt{
 		Number:    c.Number,
 		Currency:  c.Currency,
@@ -444,12 +457,20 @@ func (s *Server) auditClearingHop(ctx context.Context, c *Check, next principal.
 	s.emit(rec)
 }
 
-func (s *Server) rollbackUncollected(name, currency string, amount int64) {
+// rollbackUncollected undoes a pending deposit: the uncollected credit
+// comes back out and the accept-once entry is released, durably, so a
+// restarted bank lets the depositor re-present the bounced check.
+func (s *Server) rollbackUncollected(name string, c *Check, v *proxy.Verified) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if a, ok := s.accounts[name]; ok {
-		a.uncollected[currency] -= amount
+	if _, ok := s.accounts[name]; !ok {
+		return
 	}
+	_ = s.commitLocked(&op{
+		kind: opRollback, to: name,
+		currency: c.Currency, amount: c.Amount,
+		number: c.Number, grantorKey: v.GrantorKeyID,
+	})
 }
 
 // ensureAccount creates an account if absent (used for clearing
@@ -460,7 +481,7 @@ func (s *Server) ensureAccount(name string, owner principal.ID) error {
 	if _, ok := s.accounts[name]; ok {
 		return nil
 	}
-	return s.createAccountLocked(name, owner)
+	return s.commitLocked(&op{kind: opCreate, acct: name, owner: owner})
 }
 
 // nopRegistry satisfies accept-once checks for numbers the bank has
@@ -526,9 +547,14 @@ func (s *Server) CertifyCtx(ctx context.Context, accountName string, requesters 
 		return nil, fmt.Errorf("%w: %s has %d %s", ErrInsufficientFunds, accountName, a.balances[c.Currency], c.Currency)
 	}
 	expires := c.Proxy.Expires()
-	a.balances[c.Currency] -= c.Amount
-	a.holds[c.Number] = &hold{currency: c.Currency, amount: c.Amount, expires: expires}
-	a.record(Transaction{Time: s.clk.Now(), Kind: TxHold, Currency: c.Currency, Amount: c.Amount, CheckNumber: c.Number})
+	if err := s.commitLocked(&op{
+		kind: opHold, time: s.clk.Now(), acct: accountName,
+		currency: c.Currency, amount: c.Amount,
+		number: c.Number, expires: expires,
+	}); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
 	mHoldsPlaced.Inc()
 	s.mu.Unlock()
 
@@ -538,10 +564,7 @@ func (s *Server) CertifyCtx(ctx context.Context, accountName string, requesters 
 	if err != nil {
 		// Undo the hold on failure.
 		s.mu.Lock()
-		if h, ok := a.holds[c.Number]; ok {
-			delete(a.holds, c.Number)
-			a.balances[h.currency] += h.amount
-		}
+		_ = s.commitLocked(&op{kind: opHoldUndo, acct: accountName, number: c.Number})
 		s.mu.Unlock()
 		return nil, err
 	}
@@ -577,9 +600,9 @@ func (s *Server) ReleaseExpiredHolds() int {
 		for _, num := range nums {
 			h := a.holds[num]
 			if now.After(h.expires) {
-				a.balances[h.currency] += h.amount
-				delete(a.holds, num)
-				a.record(Transaction{Time: now, Kind: TxHoldReleased, Currency: h.currency, Amount: h.amount, CheckNumber: num})
+				if s.commitLocked(&op{kind: opHoldRelease, time: now, acct: name, number: num}) != nil {
+					continue // ledger failed closed; the hold stays put
+				}
 				freed = append(freed, releasedHold{a.name, num, h.currency, h.amount})
 			}
 		}

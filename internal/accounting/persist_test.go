@@ -1,0 +1,456 @@
+package accounting
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"proxykit/internal/clock"
+	"proxykit/internal/faultpoint"
+	"proxykit/internal/ledger"
+	"proxykit/internal/principal"
+	"proxykit/internal/pubkey"
+)
+
+// ---- ledger-integrity regression tests ----
+
+func TestMintRejectsNonPositive(t *testing.T) {
+	w := newWorld(t)
+	for _, amount := range []int64{0, -1, -1000} {
+		err := w.bank2.Mint("carol", "dollars", amount)
+		if !errors.Is(err, ErrBadCheck) {
+			t.Errorf("Mint(%d) = %v, want ErrBadCheck", amount, err)
+		}
+	}
+	// The balance survives untouched: a negative mint used to be a
+	// disguised, ACL-free debit.
+	bal, err := w.bank2.Balance("carol", "dollars", []principal.ID{carol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal != 1000 {
+		t.Errorf("balance after rejected mints = %d, want 1000", bal)
+	}
+}
+
+func TestTransferRejectsSelf(t *testing.T) {
+	w := newWorld(t)
+	err := w.bank2.Transfer("carol", "carol", "dollars", 10, []principal.ID{carol})
+	if !errors.Is(err, ErrBadCheck) {
+		t.Fatalf("self-transfer = %v, want ErrBadCheck", err)
+	}
+	// The quota primitives route through Transfer and must refuse a
+	// consumer "reserving" quota into its own account.
+	if err := w.bank2.AllocateQuota("carol", "carol", "pages", 1, []principal.ID{carol}); !errors.Is(err, ErrBadCheck) {
+		t.Fatalf("self AllocateQuota = %v, want ErrBadCheck", err)
+	}
+	st, err := w.bank2.Statement("carol", []principal.ID{carol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range st {
+		if tx.Kind == TxTransferIn || tx.Kind == TxTransferOut {
+			t.Fatalf("self-transfer left statement lines: %+v", tx)
+		}
+	}
+}
+
+// ---- recovery property test ----
+
+// pworld is a two-bank economy where bankL (the bank under test) runs
+// on a durable ledger and bankR is a plain in-memory peer.
+type pworld struct {
+	t     *testing.T
+	clk   *clock.Fake
+	dir   *pubkey.Directory
+	ids   map[principal.ID]*pubkey.Identity
+	bankL *Server
+	bankR *Server
+	ldir  string
+}
+
+var (
+	pCarol = principal.New("carol", "ISI.EDU")
+	pDave  = principal.New("dave", "ISI.EDU")
+	pSrv   = principal.New("service", "ISI.EDU")
+	pRita  = principal.New("rita", "ISI.EDU")
+	pBankL = principal.New("bankL", "ISI.EDU")
+	pBankR = principal.New("bankR", "ISI.EDU")
+)
+
+// seededIdentity derives a deterministic identity for id.
+func seededIdentity(t *testing.T, id principal.ID, n byte) *pubkey.Identity {
+	t.Helper()
+	seed := bytes.Repeat([]byte{n}, 32)
+	ident, err := pubkey.IdentityFromSeed(id, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ident
+}
+
+func newPWorld(t *testing.T, ldir string) *pworld {
+	t.Helper()
+	w := &pworld{
+		t:    t,
+		clk:  clock.NewFake(time.Unix(19_000_000, 0)),
+		dir:  pubkey.NewDirectory(),
+		ids:  make(map[principal.ID]*pubkey.Identity),
+		ldir: ldir,
+	}
+	for i, id := range []principal.ID{pCarol, pDave, pSrv, pRita, pBankL, pBankR} {
+		ident := seededIdentity(t, id, byte(i+1))
+		w.ids[id] = ident
+		w.dir.RegisterIdentity(ident)
+	}
+	w.bankL = NewServer(w.ids[pBankL], w.dir.Resolver(), w.clk)
+	w.bankR = NewServer(w.ids[pBankR], w.dir.Resolver(), w.clk)
+	// Disable amortized registry sweeping: a sweep mutates registry
+	// state outside the WAL, which would make recovered state diverge
+	// from the live reference by exactly the swept entries.
+	w.bankL.registry.SweepEvery = 0
+	w.bankR.registry.SweepEvery = 0
+	w.bankL.AddPeer(w.bankR)
+	w.bankR.AddPeer(w.bankL)
+
+	if _, err := w.bankL.OpenLedger(ledger.Options{Dir: ldir, Fsync: ledger.FsyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	mustDo(t, w.bankL.CreateAccount("carol", pCarol))
+	mustDo(t, w.bankL.CreateAccount("dave", pDave))
+	mustDo(t, w.bankL.CreateAccount("service", pSrv))
+	mustDo(t, w.bankL.Mint("carol", "dollars", 5_000))
+	mustDo(t, w.bankL.Mint("dave", "dollars", 5_000))
+	mustDo(t, w.bankR.CreateAccount("rita", pRita))
+	mustDo(t, w.bankR.Mint("rita", "dollars", 100_000))
+	return w
+}
+
+func mustDo(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// snap returns the marshaled state and covered WAL sequence of bankL.
+func (w *pworld) snap() ([]byte, uint64) {
+	state, seq, err := w.bankL.SnapshotState()
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return state, seq
+}
+
+// step runs one random operation against bankL. Business errors
+// (insufficient funds, duplicate numbers) are part of the workload.
+func (w *pworld) step(rng *rand.Rand, i int) {
+	w.clk.Advance(time.Duration(1+rng.Intn(90)) * time.Second)
+	accounts := []string{"carol", "dave", "service"}
+	owners := map[string]principal.ID{"carol": pCarol, "dave": pDave, "service": pSrv}
+	from := accounts[rng.Intn(len(accounts))]
+	to := accounts[rng.Intn(len(accounts))]
+	amount := int64(1 + rng.Intn(500))
+
+	switch rng.Intn(8) {
+	case 0:
+		_ = w.bankL.Mint(from, "dollars", amount)
+	case 1:
+		_ = w.bankL.Transfer(from, to, "dollars", amount, []principal.ID{owners[from]})
+	case 2: // local check: from's owner pays to
+		c, err := WriteCheck(WriteCheckParams{
+			Payor: w.ids[owners[from]], Bank: w.bankL.ID, Account: from,
+			Payee: owners[to], Currency: "dollars", Amount: amount,
+			Lifetime: time.Hour, Clock: w.clk,
+		})
+		if err != nil {
+			w.t.Fatal(err)
+		}
+		endorsed, err := c.Endorse(w.ids[owners[to]], w.bankL.ID, w.bankL.ID, w.bankL.Global(to), false, w.clk)
+		if err != nil {
+			w.t.Fatal(err)
+		}
+		_, _ = w.bankL.DepositCheck(endorsed, []principal.ID{owners[to]}, to)
+	case 3: // cross-bank: rita pays from's owner, cleared via bankR
+		c, err := WriteCheck(WriteCheckParams{
+			Payor: w.ids[pRita], Bank: w.bankR.ID, Account: "rita",
+			Payee: owners[from], Currency: "dollars", Amount: amount,
+			Lifetime: time.Hour, Clock: w.clk,
+		})
+		if err != nil {
+			w.t.Fatal(err)
+		}
+		endorsed, err := c.Endorse(w.ids[owners[from]], w.bankL.ID, w.bankR.ID, w.bankL.Global(from), false, w.clk)
+		if err != nil {
+			w.t.Fatal(err)
+		}
+		_, _ = w.bankL.DepositCheck(endorsed, []principal.ID{owners[from]}, from)
+	case 4: // cross-bank deposit that bounces: the hop is partitioned
+		w.bankL.SetHopInjector(faultpoint.New(int64(i), faultpoint.Rule{Method: HopMethod, Partition: true}))
+		c, err := WriteCheck(WriteCheckParams{
+			Payor: w.ids[pRita], Bank: w.bankR.ID, Account: "rita",
+			Payee: owners[from], Currency: "dollars", Amount: amount,
+			Lifetime: time.Hour, Clock: w.clk,
+		})
+		if err != nil {
+			w.t.Fatal(err)
+		}
+		endorsed, err := c.Endorse(w.ids[owners[from]], w.bankL.ID, w.bankR.ID, w.bankL.Global(from), false, w.clk)
+		if err != nil {
+			w.t.Fatal(err)
+		}
+		if _, err := w.bankL.DepositCheck(endorsed, []principal.ID{owners[from]}, from); err == nil {
+			w.t.Fatal("partitioned clearing hop unexpectedly succeeded")
+		}
+		w.bankL.SetHopInjector(nil)
+	case 5: // certify (hold) and usually deposit the certified check
+		c, err := WriteCheck(WriteCheckParams{
+			Payor: w.ids[owners[from]], Bank: w.bankL.ID, Account: from,
+			Payee: owners[to], Currency: "dollars", Amount: amount,
+			Lifetime: time.Duration(1+rng.Intn(10)) * time.Minute, Clock: w.clk,
+		})
+		if err != nil {
+			w.t.Fatal(err)
+		}
+		cc, err := w.bankL.Certify(from, []principal.ID{owners[from]}, c)
+		if err != nil {
+			return
+		}
+		if rng.Intn(3) > 0 {
+			endorsed, err := cc.Check.Endorse(w.ids[owners[to]], w.bankL.ID, w.bankL.ID, w.bankL.Global(to), false, w.clk)
+			if err != nil {
+				w.t.Fatal(err)
+			}
+			_, _ = w.bankL.DepositCheck(endorsed, []principal.ID{owners[to]}, to)
+		}
+	case 6: // let holds lapse and sweep them back
+		w.clk.Advance(time.Duration(rng.Intn(15)) * time.Minute)
+		w.bankL.ReleaseExpiredHolds()
+	case 7: // re-present a duplicate check number (accept-once refusal)
+		c, err := WriteCheck(WriteCheckParams{
+			Payor: w.ids[owners[from]], Bank: w.bankL.ID, Account: from,
+			Payee: owners[to], Currency: "dollars", Amount: amount,
+			Lifetime: time.Hour, Clock: w.clk, Number: fmt.Sprintf("dup-%d", rng.Intn(4)),
+		})
+		if err != nil {
+			w.t.Fatal(err)
+		}
+		endorsed, err := c.Endorse(w.ids[owners[to]], w.bankL.ID, w.bankL.ID, w.bankL.Global(to), false, w.clk)
+		if err != nil {
+			w.t.Fatal(err)
+		}
+		_, _ = w.bankL.DepositCheck(endorsed, []principal.ID{owners[to]}, to)
+	}
+}
+
+// recoverAt copies bankL's ledger directory with the WAL truncated to
+// walBytes and opens a fresh server on the copy, returning it and the
+// recovery report.
+func (w *pworld) recoverAt(walBytes int64) (*Server, *ledger.Recovery) {
+	w.t.Helper()
+	dst := w.t.TempDir()
+	if raw, err := os.ReadFile(ledger.SnapshotPath(w.ldir)); err == nil {
+		if err := os.WriteFile(ledger.SnapshotPath(dst), raw, 0o600); err != nil {
+			w.t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(ledger.WALPath(w.ldir))
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	if walBytes > int64(len(raw)) {
+		w.t.Fatalf("truncation point %d beyond WAL size %d", walBytes, len(raw))
+	}
+	if err := os.WriteFile(ledger.WALPath(dst), raw[:walBytes], 0o600); err != nil {
+		w.t.Fatal(err)
+	}
+	srv := NewServer(w.ids[pBankL], w.dir.Resolver(), clock.NewFake(w.clk.Now()))
+	srv.registry.SweepEvery = 0
+	rec, err := srv.OpenLedger(ledger.Options{Dir: dst, Fsync: ledger.FsyncOff})
+	if err != nil {
+		w.t.Fatalf("recovery at %d bytes: %v", walBytes, err)
+	}
+	return srv, rec
+}
+
+// TestRecoveryLosslessProperty drives a random operation sequence
+// against a ledger-backed bank, then simulates a crash at every WAL
+// record boundary — and inside every record — and checks the recovered
+// state deep-equals the reference state the live server had at exactly
+// that point. State equality is byte-equality of the canonical
+// (sorted) snapshot document.
+func TestRecoveryLosslessProperty(t *testing.T) {
+	const seed = 7
+	rng := rand.New(rand.NewSource(seed))
+	ldir := t.TempDir()
+	w := newPWorld(t, ldir)
+
+	// states[seq] is the reference state after the API call that
+	// committed WAL record seq. Boundaries inside a multi-record call
+	// (pending/collected/rollback) have no entry and are only checked
+	// for clean recovery.
+	states := map[uint64][]byte{}
+	st, seq := w.snap()
+	states[seq] = st
+	const steps = 60
+	for i := 0; i < steps; i++ {
+		w.step(rng, i)
+		st, seq := w.snap()
+		states[seq] = st
+	}
+	if err := w.bankL.CloseLedger(); err != nil {
+		t.Fatal(err)
+	}
+
+	offsets, err := ledger.ScanOffsets(ledger.WALPath(ldir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offsets) < 40 {
+		t.Fatalf("workload produced only %d WAL records", len(offsets))
+	}
+
+	check := func(walBytes int64, wantSeq uint64, wantTorn bool) {
+		srv, rec := w.recoverAt(walBytes)
+		defer srv.CloseLedger()
+		if wantTorn && !rec.TornTail {
+			t.Errorf("truncation at %d bytes: torn tail not reported", walBytes)
+		}
+		want, ok := states[wantSeq]
+		if !ok {
+			return // mid-call boundary: clean recovery is the assertion
+		}
+		got, _, err := srv.SnapshotState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("recovered state at %d bytes (seq %d) diverges from reference\n got: %s\nwant: %s",
+				walBytes, wantSeq, got, want)
+		}
+	}
+
+	check(0, 0, false) // crash before anything hit the WAL
+	prevEnd, prevSeq := int64(0), uint64(0)
+	for _, pos := range offsets {
+		check(pos.End, pos.Seq, false)
+		// A torn write inside this record recovers to the previous one.
+		if pos.End-prevEnd > 4 {
+			check(pos.End-3, prevSeq, true)
+		}
+		prevEnd, prevSeq = pos.End, pos.Seq
+	}
+}
+
+// TestRecoveryWithSnapshotProperty interleaves a snapshot into the
+// workload and crash-tests every boundary after it: recovery must
+// compose snapshot + WAL tail, and a crash with an empty tail must
+// land exactly on the snapshot state.
+func TestRecoveryWithSnapshotProperty(t *testing.T) {
+	const seed = 11
+	rng := rand.New(rand.NewSource(seed))
+	ldir := t.TempDir()
+	w := newPWorld(t, ldir)
+
+	states := map[uint64][]byte{}
+	for i := 0; i < 25; i++ {
+		w.step(rng, i)
+	}
+	if err := w.bankL.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	st, seq := w.snap()
+	states[seq] = st
+	snapSeq := seq
+	for i := 25; i < 50; i++ {
+		w.step(rng, i)
+		st, seq := w.snap()
+		states[seq] = st
+	}
+	if err := w.bankL.CloseLedger(); err != nil {
+		t.Fatal(err)
+	}
+
+	offsets, err := ledger.ScanOffsets(ledger.WALPath(ldir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offsets) == 0 {
+		t.Fatal("no WAL records after snapshot")
+	}
+
+	srv, rec := w.recoverAt(0)
+	if rec.SnapshotSeq != snapSeq {
+		t.Errorf("recovered snapshot seq = %d, want %d", rec.SnapshotSeq, snapSeq)
+	}
+	got, _, err := srv.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, states[snapSeq]) {
+		t.Errorf("empty-tail recovery diverges from snapshot state")
+	}
+	srv.CloseLedger()
+
+	for _, pos := range offsets {
+		want, ok := states[pos.Seq]
+		if !ok {
+			continue
+		}
+		srv, _ := w.recoverAt(pos.End)
+		got, _, err := srv.SnapshotState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("recovered state at seq %d diverges from reference", pos.Seq)
+		}
+		srv.CloseLedger()
+	}
+}
+
+// TestRecoveredBankRejectsPaidCheckNumber is the §7.7 durability claim
+// in miniature: pay a check, crash, restart — the restarted bank must
+// still refuse the number.
+func TestRecoveredBankRejectsPaidCheckNumber(t *testing.T) {
+	ldir := t.TempDir()
+	w := newPWorld(t, ldir)
+	writeNumbered := func(n string) *Check {
+		c, err := WriteCheck(WriteCheckParams{
+			Payor: w.ids[pCarol], Bank: w.bankL.ID, Account: "carol",
+			Payee: pSrv, Currency: "dollars", Amount: 100,
+			Lifetime: time.Hour, Clock: w.clk, Number: n,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		endorsed, err := c.Endorse(w.ids[pSrv], w.bankL.ID, w.bankL.ID, w.bankL.Global("service"), false, w.clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return endorsed
+	}
+	if _, err := w.bankL.DepositCheck(writeNumbered("ck-1"), []principal.ID{pSrv}, "service"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(ledger.WALPath(ldir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := w.recoverAt(int64(len(raw)))
+	defer srv.CloseLedger()
+	if _, err := srv.DepositCheck(writeNumbered("ck-1"), []principal.ID{pSrv}, "service"); !errors.Is(err, ErrDuplicateCheck) {
+		t.Fatalf("recovered bank accepted a paid check number: %v", err)
+	}
+	bal, err := srv.Balance("service", "dollars", []principal.ID{pSrv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal != 100 {
+		t.Fatalf("service balance after recovery = %d, want 100", bal)
+	}
+}

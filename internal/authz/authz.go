@@ -22,6 +22,7 @@ import (
 	"proxykit/internal/acl"
 	"proxykit/internal/audit"
 	"proxykit/internal/clock"
+	"proxykit/internal/ledger"
 	"proxykit/internal/obs"
 	"proxykit/internal/principal"
 	"proxykit/internal/proxy"
@@ -63,6 +64,7 @@ type Server struct {
 	mu      sync.RWMutex
 	rules   []Rule
 	journal *audit.Journal
+	ledger  *ledger.Ledger
 }
 
 // SetJournal attaches an audit journal; every Grant decision is sealed
@@ -81,11 +83,12 @@ func New(identity *pubkey.Identity, clk clock.Clock) *Server {
 	return &Server{ID: identity.ID, identity: identity, clk: clk}
 }
 
-// AddRule appends a rule to the database.
+// AddRule appends a rule to the database. With a ledger attached the
+// rule is durably logged before it becomes visible.
 func (s *Server) AddRule(r Rule) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.rules = append(s.rules, r)
+	_ = s.commitLocked(r)
 }
 
 // Rules returns a copy of the database.

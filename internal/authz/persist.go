@@ -1,0 +1,213 @@
+package authz
+
+// Durable authorization databases: each AddRule is one WAL record
+// appended before the rule becomes visible, with periodic snapshots
+// bounding replay. Rules change at administrative rates, so records are
+// JSON.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"proxykit/internal/ledger"
+	"proxykit/internal/principal"
+	"proxykit/internal/restrict"
+)
+
+// snapRule is the serialized form of one Rule.
+type snapRule struct {
+	EndServer    string   `json:"endServer"`
+	Object       string   `json:"object,omitempty"`
+	Principals   []string `json:"principals,omitempty"`
+	Groups       []string `json:"groups,omitempty"`
+	Ops          []string `json:"ops,omitempty"`
+	Restrictions []byte   `json:"restrictions,omitempty"` // restrict.Set wire bytes
+}
+
+type snapState struct {
+	Rules []snapRule `json:"rules"`
+}
+
+func encodeRule(r Rule) (snapRule, error) {
+	sr := snapRule{
+		EndServer: r.EndServer.String(),
+		Object:    r.Object,
+		Ops:       r.Ops,
+	}
+	for _, p := range r.Subject.Principals {
+		sr.Principals = append(sr.Principals, p.String())
+	}
+	for _, g := range r.Subject.Groups {
+		sr.Groups = append(sr.Groups, g.String())
+	}
+	if len(r.Restrictions) > 0 {
+		sr.Restrictions = r.Restrictions.Marshal()
+	}
+	return sr, nil
+}
+
+func decodeRule(sr snapRule) (Rule, error) {
+	end, err := principal.Parse(sr.EndServer)
+	if err != nil {
+		return Rule{}, fmt.Errorf("authz: restore end-server %q: %w", sr.EndServer, err)
+	}
+	r := Rule{EndServer: end, Object: sr.Object, Ops: sr.Ops}
+	for _, ps := range sr.Principals {
+		p, err := principal.Parse(ps)
+		if err != nil {
+			return Rule{}, fmt.Errorf("authz: restore principal %q: %w", ps, err)
+		}
+		r.Subject.Principals = append(r.Subject.Principals, p)
+	}
+	for _, gs := range sr.Groups {
+		g, err := principal.ParseGlobal(gs)
+		if err != nil {
+			return Rule{}, fmt.Errorf("authz: restore group %q: %w", gs, err)
+		}
+		r.Subject.Groups = append(r.Subject.Groups, g)
+	}
+	if len(sr.Restrictions) > 0 {
+		rs, err := restrict.Unmarshal(sr.Restrictions)
+		if err != nil {
+			return Rule{}, fmt.Errorf("authz: restore restrictions: %w", err)
+		}
+		r.Restrictions = rs
+	}
+	return r, nil
+}
+
+// commitLocked appends the rule record and applies it; callers hold the
+// write lock. An append failure skips the mutation (the ledger fails
+// closed).
+func (s *Server) commitLocked(r Rule) error {
+	if s.ledger != nil {
+		sr, err := encodeRule(r)
+		if err != nil {
+			return err
+		}
+		raw, err := json.Marshal(sr)
+		if err != nil {
+			return err
+		}
+		if _, err := s.ledger.Append(raw); err != nil {
+			return fmt.Errorf("authz: %w", err)
+		}
+	}
+	s.rules = append(s.rules, r)
+	return nil
+}
+
+// SnapshotState captures the full rule database and the WAL sequence
+// the capture covers.
+func (s *Server) SnapshotState() ([]byte, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := snapState{}
+	for _, r := range s.rules {
+		sr, err := encodeRule(r)
+		if err != nil {
+			return nil, 0, err
+		}
+		st.Rules = append(st.Rules, sr)
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		return nil, 0, err
+	}
+	var seq uint64
+	if s.ledger != nil {
+		seq = s.ledger.LastSeq()
+	}
+	return raw, seq, nil
+}
+
+// OpenLedger attaches a durable ledger to a fresh server, restoring any
+// snapshot and replaying the WAL tail.
+func (s *Server) OpenLedger(o ledger.Options) (*ledger.Recovery, error) {
+	lg, rec, err := ledger.Open(o)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ledger != nil {
+		lg.Close()
+		return nil, errors.New("authz: ledger already open")
+	}
+	if len(s.rules) != 0 {
+		lg.Close()
+		return nil, errors.New("authz: OpenLedger requires a server with no rules yet")
+	}
+	if rec.Snapshot != nil {
+		var st snapState
+		if err := json.Unmarshal(rec.Snapshot, &st); err != nil {
+			lg.Close()
+			return nil, fmt.Errorf("authz: restore snapshot: %w", err)
+		}
+		for _, sr := range st.Rules {
+			r, err := decodeRule(sr)
+			if err != nil {
+				lg.Close()
+				return nil, err
+			}
+			s.rules = append(s.rules, r)
+		}
+	}
+	for _, e := range rec.Entries {
+		var sr snapRule
+		if err := json.Unmarshal(e.Data, &sr); err != nil {
+			lg.Close()
+			return nil, fmt.Errorf("authz: WAL record %d: %w", e.Seq, err)
+		}
+		r, err := decodeRule(sr)
+		if err != nil {
+			lg.Close()
+			return nil, fmt.Errorf("authz: replay record %d: %w", e.Seq, err)
+		}
+		s.rules = append(s.rules, r)
+	}
+	s.ledger = lg
+	return rec, nil
+}
+
+// SnapshotNow captures the current database and commits it as a
+// snapshot.
+func (s *Server) SnapshotNow() error {
+	state, seq, err := s.SnapshotState()
+	if err != nil {
+		return err
+	}
+	s.mu.RLock()
+	lg := s.ledger
+	s.mu.RUnlock()
+	if lg == nil {
+		return errors.New("authz: no ledger attached")
+	}
+	return lg.WriteSnapshot(state, seq)
+}
+
+// StartSnapshotter runs SnapshotNow every interval while new WAL
+// records exist; the returned stop function halts it.
+func (s *Server) StartSnapshotter(interval time.Duration) (stop func()) {
+	s.mu.RLock()
+	lg := s.ledger
+	s.mu.RUnlock()
+	if lg == nil {
+		return func() {}
+	}
+	return lg.StartSnapshotter(interval, s.SnapshotNow)
+}
+
+// CloseLedger flushes and closes the attached ledger.
+func (s *Server) CloseLedger() error {
+	s.mu.Lock()
+	lg := s.ledger
+	s.ledger = nil
+	s.mu.Unlock()
+	if lg == nil {
+		return nil
+	}
+	return lg.Close()
+}

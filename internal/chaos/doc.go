@@ -10,4 +10,12 @@
 // acknowledgment — and the whole history is reconstructible from the
 // banks' tamper-evident audit journals. All tests use fixed PRNG
 // seeds, so failures reproduce deterministically.
+//
+// The crash-recovery half of the suite (crash_recovery_test.go, `make
+// crash`) extends the claim across process death: a child bank process
+// is SIGKILLed at a fault-injector-chosen WAL append boundary, and a
+// recovered bank replaying the ledger must still refuse every paid
+// check number, balance its books to the dollar, and sit exactly one
+// payment ahead of its hash-chained audit journal (the WAL frame
+// becomes durable before the journal line).
 package chaos

@@ -19,6 +19,7 @@ import (
 
 	"proxykit/internal/audit"
 	"proxykit/internal/clock"
+	"proxykit/internal/ledger"
 	"proxykit/internal/obs"
 	"proxykit/internal/principal"
 	"proxykit/internal/proxy"
@@ -50,6 +51,7 @@ type Server struct {
 	mu      sync.RWMutex
 	groups  map[string]*members
 	journal *audit.Journal
+	ledger  *ledger.Ledger
 }
 
 // SetJournal attaches an audit journal; every Grant decision is sealed
@@ -83,7 +85,7 @@ func (s *Server) AddGroup(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.groups[name]; !ok {
-		s.groups[name] = &members{principals: principal.NewSet()}
+		_ = s.commitLocked(&groupOp{Kind: gopAddGroup, Group: name})
 	}
 }
 
@@ -91,12 +93,7 @@ func (s *Server) AddGroup(name string) {
 func (s *Server) AddMember(name string, p principal.ID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	g, ok := s.groups[name]
-	if !ok {
-		g = &members{principals: principal.NewSet()}
-		s.groups[name] = g
-	}
-	g.principals.Add(p)
+	_ = s.commitLocked(&groupOp{Kind: gopAddMember, Group: name, Principal: p.String()})
 }
 
 // AddNestedGroup makes every member of sub a member of name. sub may be
@@ -104,12 +101,7 @@ func (s *Server) AddMember(name string, p principal.ID) {
 func (s *Server) AddNestedGroup(name string, sub principal.Global) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	g, ok := s.groups[name]
-	if !ok {
-		g = &members{principals: principal.NewSet()}
-		s.groups[name] = g
-	}
-	g.nested = append(g.nested, sub)
+	_ = s.commitLocked(&groupOp{Kind: gopAddNested, Group: name, Nested: sub.String()})
 }
 
 // RemoveMember removes a principal from a group. Outstanding group
@@ -118,8 +110,8 @@ func (s *Server) AddNestedGroup(name string, sub principal.Global) {
 func (s *Server) RemoveMember(name string, p principal.ID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if g, ok := s.groups[name]; ok {
-		delete(g.principals, p)
+	if _, ok := s.groups[name]; ok {
+		_ = s.commitLocked(&groupOp{Kind: gopRemoveMember, Group: name, Principal: p.String()})
 	}
 }
 

@@ -1,0 +1,241 @@
+package group
+
+// Durable group databases: each membership mutation is one WAL record
+// appended before the in-memory change becomes visible, and a periodic
+// snapshot bounds replay. Mutations are JSON-encoded — the group
+// database changes at administrative rates, not on any hot path.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"proxykit/internal/ledger"
+	"proxykit/internal/principal"
+)
+
+// groupOp is one WAL record.
+type groupOp struct {
+	Kind      string `json:"kind"` // add-group | add-member | add-nested | remove-member
+	Group     string `json:"group"`
+	Principal string `json:"principal,omitempty"`
+	Nested    string `json:"nested,omitempty"`
+}
+
+const (
+	gopAddGroup     = "add-group"
+	gopAddMember    = "add-member"
+	gopAddNested    = "add-nested"
+	gopRemoveMember = "remove-member"
+)
+
+// commitLocked appends the op and applies it; callers hold the write
+// lock. With no ledger attached the apply is immediate. An append
+// failure skips the mutation — the ledger fails closed, and a change
+// that is not durable must not become visible.
+func (s *Server) commitLocked(o *groupOp) error {
+	if s.ledger != nil {
+		raw, err := json.Marshal(o)
+		if err != nil {
+			return err
+		}
+		if _, err := s.ledger.Append(raw); err != nil {
+			return fmt.Errorf("group: %w", err)
+		}
+	}
+	return s.applyLocked(o)
+}
+
+// applyLocked mutates in-memory state for one op — shared by the live
+// mutators and recovery replay.
+func (s *Server) applyLocked(o *groupOp) error {
+	ensure := func() *members {
+		g, ok := s.groups[o.Group]
+		if !ok {
+			g = &members{principals: principal.NewSet()}
+			s.groups[o.Group] = g
+		}
+		return g
+	}
+	switch o.Kind {
+	case gopAddGroup:
+		ensure()
+	case gopAddMember:
+		p, err := principal.Parse(o.Principal)
+		if err != nil {
+			return fmt.Errorf("group: replay member %q: %w", o.Principal, err)
+		}
+		ensure().principals.Add(p)
+	case gopAddNested:
+		sub, err := principal.ParseGlobal(o.Nested)
+		if err != nil {
+			return fmt.Errorf("group: replay nested %q: %w", o.Nested, err)
+		}
+		g := ensure()
+		g.nested = append(g.nested, sub)
+	case gopRemoveMember:
+		p, err := principal.Parse(o.Principal)
+		if err != nil {
+			return fmt.Errorf("group: replay member %q: %w", o.Principal, err)
+		}
+		if g, ok := s.groups[o.Group]; ok {
+			delete(g.principals, p)
+		}
+	default:
+		return fmt.Errorf("group: replay: unknown op %q", o.Kind)
+	}
+	return nil
+}
+
+// snapGroup / snapState are the snapshot schema, sorted throughout so
+// identical databases marshal identically.
+type snapGroup struct {
+	Name       string   `json:"name"`
+	Principals []string `json:"principals,omitempty"`
+	Nested     []string `json:"nested,omitempty"`
+}
+
+type snapState struct {
+	Groups []snapGroup `json:"groups"`
+}
+
+// SnapshotState captures the full database and the WAL sequence the
+// capture covers.
+func (s *Server) SnapshotState() ([]byte, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := snapState{}
+	names := make([]string, 0, len(s.groups))
+	for name := range s.groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := s.groups[name]
+		sg := snapGroup{Name: name}
+		for p := range g.principals {
+			sg.Principals = append(sg.Principals, p.String())
+		}
+		sort.Strings(sg.Principals)
+		for _, sub := range g.nested {
+			sg.Nested = append(sg.Nested, sub.String())
+		}
+		st.Groups = append(st.Groups, sg)
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		return nil, 0, err
+	}
+	var seq uint64
+	if s.ledger != nil {
+		seq = s.ledger.LastSeq()
+	}
+	return raw, seq, nil
+}
+
+// restoreLocked rebuilds the database from a snapshot document.
+func (s *Server) restoreLocked(raw []byte) error {
+	var st snapState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("group: restore snapshot: %w", err)
+	}
+	for _, sg := range st.Groups {
+		g := &members{principals: principal.NewSet()}
+		for _, ps := range sg.Principals {
+			p, err := principal.Parse(ps)
+			if err != nil {
+				return fmt.Errorf("group: restore principal %q: %w", ps, err)
+			}
+			g.principals.Add(p)
+		}
+		for _, ns := range sg.Nested {
+			sub, err := principal.ParseGlobal(ns)
+			if err != nil {
+				return fmt.Errorf("group: restore nested %q: %w", ns, err)
+			}
+			g.nested = append(g.nested, sub)
+		}
+		s.groups[sg.Name] = g
+	}
+	return nil
+}
+
+// OpenLedger attaches a durable ledger to a fresh server, restoring any
+// snapshot and replaying the WAL tail.
+func (s *Server) OpenLedger(o ledger.Options) (*ledger.Recovery, error) {
+	lg, rec, err := ledger.Open(o)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ledger != nil {
+		lg.Close()
+		return nil, errors.New("group: ledger already open")
+	}
+	if len(s.groups) != 0 {
+		lg.Close()
+		return nil, errors.New("group: OpenLedger requires a server with no groups yet")
+	}
+	if rec.Snapshot != nil {
+		if err := s.restoreLocked(rec.Snapshot); err != nil {
+			lg.Close()
+			return nil, err
+		}
+	}
+	for _, e := range rec.Entries {
+		var o groupOp
+		if err := json.Unmarshal(e.Data, &o); err != nil {
+			lg.Close()
+			return nil, fmt.Errorf("group: WAL record %d: %w", e.Seq, err)
+		}
+		if err := s.applyLocked(&o); err != nil {
+			lg.Close()
+			return nil, fmt.Errorf("group: replay record %d: %w", e.Seq, err)
+		}
+	}
+	s.ledger = lg
+	return rec, nil
+}
+
+// SnapshotNow captures the current database and commits it as a
+// snapshot.
+func (s *Server) SnapshotNow() error {
+	state, seq, err := s.SnapshotState()
+	if err != nil {
+		return err
+	}
+	s.mu.RLock()
+	lg := s.ledger
+	s.mu.RUnlock()
+	if lg == nil {
+		return errors.New("group: no ledger attached")
+	}
+	return lg.WriteSnapshot(state, seq)
+}
+
+// StartSnapshotter runs SnapshotNow every interval while new WAL
+// records exist; the returned stop function halts it.
+func (s *Server) StartSnapshotter(interval time.Duration) (stop func()) {
+	s.mu.RLock()
+	lg := s.ledger
+	s.mu.RUnlock()
+	if lg == nil {
+		return func() {}
+	}
+	return lg.StartSnapshotter(interval, s.SnapshotNow)
+}
+
+// CloseLedger flushes and closes the attached ledger.
+func (s *Server) CloseLedger() error {
+	s.mu.Lock()
+	lg := s.ledger
+	s.ledger = nil
+	s.mu.Unlock()
+	if lg == nil {
+		return nil
+	}
+	return lg.Close()
+}

@@ -1,0 +1,337 @@
+package ledger
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// openT opens a ledger in dir, failing the test on error.
+func openT(t *testing.T, dir string, mode FsyncMode) (*Ledger, *Recovery) {
+	t.Helper()
+	l, rec, err := Open(Options{Dir: dir, Fsync: mode})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l, rec
+}
+
+func appendT(t *testing.T, l *Ledger, payload string) uint64 {
+	t.Helper()
+	seq, err := l.Append([]byte(payload))
+	if err != nil {
+		t.Fatalf("Append(%q): %v", payload, err)
+	}
+	return seq
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := openT(t, dir, FsyncAlways)
+	if rec.Replayed() != 0 || rec.Snapshot != nil {
+		t.Fatalf("fresh dir recovered %d records, snapshot %v", rec.Replayed(), rec.Snapshot)
+	}
+	for i := 0; i < 5; i++ {
+		if seq := appendT(t, l, fmt.Sprintf("record-%d", i)); seq != uint64(i+1) {
+			t.Fatalf("append %d: seq %d", i, seq)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec2 := openT(t, dir, FsyncAlways)
+	defer l2.Close()
+	if rec2.Replayed() != 5 {
+		t.Fatalf("replayed %d records, want 5", rec2.Replayed())
+	}
+	for i, e := range rec2.Entries {
+		if e.Seq != uint64(i+1) || string(e.Data) != fmt.Sprintf("record-%d", i) {
+			t.Fatalf("entry %d: seq %d data %q", i, e.Seq, e.Data)
+		}
+	}
+	// Appends continue the sequence.
+	if seq := appendT(t, l2, "after"); seq != 6 {
+		t.Fatalf("post-recovery append seq %d, want 6", seq)
+	}
+}
+
+func TestFsyncOffBufferedUntilSync(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, FsyncOff)
+	appendT(t, l, "buffered")
+	if fi, err := os.Stat(WALPath(dir)); err != nil || fi.Size() != 0 {
+		t.Fatalf("FsyncOff append hit disk before Sync: size %d err %v", fi.Size(), err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(WALPath(dir)); fi.Size() == 0 {
+		t.Fatal("Sync did not flush buffered frames")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, dir, FsyncOff)
+	if rec.Replayed() != 1 || string(rec.Entries[0].Data) != "buffered" {
+		t.Fatalf("recovered %v", rec.Entries)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, FsyncAlways)
+	appendT(t, l, "alpha")
+	appendT(t, l, "beta")
+	l.Close()
+
+	// Simulate a crash mid-append: a partial frame at the tail.
+	full, _ := os.ReadFile(WALPath(dir))
+	f, err := os.OpenFile(WALPath(dir), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := make([]byte, 11)
+	binary.LittleEndian.PutUint32(partial, 8+100) // claims 100 payload bytes
+	f.Write(partial)
+	f.Close()
+
+	l2, rec := openT(t, dir, FsyncAlways)
+	defer l2.Close()
+	if !rec.TornTail {
+		t.Fatal("torn tail not reported")
+	}
+	if rec.Replayed() != 2 {
+		t.Fatalf("replayed %d, want 2", rec.Replayed())
+	}
+	if got, _ := os.ReadFile(WALPath(dir)); !bytes.Equal(got, full) {
+		t.Fatalf("torn tail not truncated: %d bytes, want %d", len(got), len(full))
+	}
+	// The next append lands cleanly after the truncation.
+	if seq := appendT(t, l2, "gamma"); seq != 3 {
+		t.Fatalf("seq %d, want 3", seq)
+	}
+}
+
+func TestTornFinalChecksumTolerated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, FsyncAlways)
+	appendT(t, l, "alpha")
+	appendT(t, l, "beta")
+	l.Close()
+
+	// Flip a byte in the FINAL record's payload: full-length frame, bad
+	// checksum — still the tail, still dropped rather than refused.
+	data, _ := os.ReadFile(WALPath(dir))
+	data[len(data)-1] ^= 0xff
+	os.WriteFile(WALPath(dir), data, 0o600)
+
+	l2, rec := openT(t, dir, FsyncAlways)
+	defer l2.Close()
+	if !rec.TornTail || rec.Replayed() != 1 || string(rec.Entries[0].Data) != "alpha" {
+		t.Fatalf("torn=%v entries=%v", rec.TornTail, rec.Entries)
+	}
+}
+
+func TestCorruptMiddleRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, FsyncAlways)
+	appendT(t, l, "alpha")
+	appendT(t, l, "beta")
+	appendT(t, l, "gamma")
+	l.Close()
+
+	offsets, err := ScanOffsets(WALPath(dir))
+	if err != nil || len(offsets) != 3 {
+		t.Fatalf("ScanOffsets: %v %v", offsets, err)
+	}
+	data, _ := os.ReadFile(WALPath(dir))
+	data[offsets[0].End+frameHeaderLen+8] ^= 0xff // corrupt record 2's payload
+	os.WriteFile(WALPath(dir), data, 0o600)
+
+	_, _, err = Open(Options{Dir: dir, Fsync: FsyncAlways})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt middle: err %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSnapshotTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, FsyncAlways)
+	appendT(t, l, "a")
+	appendT(t, l, "b")
+	if err := l.WriteSnapshot([]byte(`{"v":2}`), l.LastSeq()); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(WALPath(dir)); fi.Size() != 0 {
+		t.Fatalf("WAL not truncated after covering snapshot: %d bytes", fi.Size())
+	}
+	appendT(t, l, "c") // seq 3, after the snapshot
+	l.Close()
+
+	l2, rec := openT(t, dir, FsyncAlways)
+	defer l2.Close()
+	if rec.SnapshotSeq != 2 || string(rec.Snapshot) != `{"v":2}` {
+		t.Fatalf("snapshot seq %d state %s", rec.SnapshotSeq, rec.Snapshot)
+	}
+	if rec.Replayed() != 1 || rec.Entries[0].Seq != 3 || string(rec.Entries[0].Data) != "c" {
+		t.Fatalf("entries %v", rec.Entries)
+	}
+	if seq := appendT(t, l2, "d"); seq != 4 {
+		t.Fatalf("seq %d, want 4", seq)
+	}
+}
+
+func TestSnapshotKeepsWALWhenBehind(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, FsyncAlways)
+	appendT(t, l, "a")
+	captured := l.LastSeq()
+	appendT(t, l, "b") // races past the captured state
+	if err := l.WriteSnapshot([]byte(`{"v":1}`), captured); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(WALPath(dir)); fi.Size() == 0 {
+		t.Fatal("WAL truncated despite records past the snapshot")
+	}
+	l.Close()
+
+	// Replay skips the covered record, keeps the raced one.
+	l2, rec := openT(t, dir, FsyncAlways)
+	defer l2.Close()
+	if rec.SnapshotSeq != 1 || rec.Replayed() != 1 || rec.Entries[0].Seq != 2 {
+		t.Fatalf("snapSeq %d entries %v", rec.SnapshotSeq, rec.Entries)
+	}
+}
+
+func TestCrashBetweenSnapshotAndTruncate(t *testing.T) {
+	// The crash window the sequence numbers exist for: snapshot.json is
+	// committed but the old WAL (fully covered by it) is still there.
+	dir := t.TempDir()
+	l, _ := openT(t, dir, FsyncAlways)
+	appendT(t, l, "a")
+	appendT(t, l, "b")
+	l.Close()
+
+	snap, err := os.ReadFile(WALPath(dir)) // keep WAL bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ = openT(t, dir, FsyncAlways)
+	if err := l.WriteSnapshot([]byte(`{"v":2}`), 2); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Resurrect the pre-truncation WAL, as if the truncate never ran.
+	os.WriteFile(WALPath(dir), snap, 0o600)
+
+	l2, rec := openT(t, dir, FsyncAlways)
+	defer l2.Close()
+	if rec.SnapshotSeq != 2 || rec.Replayed() != 0 {
+		t.Fatalf("snapSeq %d replayed %d, want 2 and 0", rec.SnapshotSeq, rec.Replayed())
+	}
+	if seq := appendT(t, l2, "c"); seq != 3 {
+		t.Fatalf("seq %d, want 3", seq)
+	}
+}
+
+func TestLeftoverSnapshotTmpDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, FsyncAlways)
+	appendT(t, l, "a")
+	l.Close()
+	os.WriteFile(SnapshotPath(dir)+".tmp", []byte("half-written"), 0o600)
+
+	l2, rec := openT(t, dir, FsyncAlways)
+	defer l2.Close()
+	if rec.Snapshot != nil || rec.Replayed() != 1 {
+		t.Fatalf("tmp snapshot leaked into recovery: %v", rec)
+	}
+	if _, err := os.Stat(SnapshotPath(dir) + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("snapshot tmp not removed")
+	}
+}
+
+func TestSequenceBreakRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, FsyncAlways)
+	appendT(t, l, "a")
+	appendT(t, l, "b")
+	appendT(t, l, "c")
+	l.Close()
+
+	offsets, _ := ScanOffsets(WALPath(dir))
+	data, _ := os.ReadFile(WALPath(dir))
+	// Splice record 2 out entirely: 1 then 3 is a sequence break.
+	spliced := append([]byte{}, data[:offsets[0].End]...)
+	spliced = append(spliced, data[offsets[1].End:]...)
+	os.WriteFile(WALPath(dir), spliced, 0o600)
+
+	_, _, err := Open(Options{Dir: dir, Fsync: FsyncAlways})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("sequence break: err %v, want ErrCorrupt", err)
+	}
+}
+
+func TestAppendHook(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, FsyncAlways)
+	defer l.Close()
+	var seen []uint64
+	l.SetAppendHook(func(seq uint64) { seen = append(seen, seq) })
+	appendT(t, l, "a")
+	appendT(t, l, "b")
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("hook saw %v", seen)
+	}
+}
+
+func TestFsyncIntervalSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, Fsync: FsyncInterval, FsyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendT(t, l, "a")
+	// Interval mode writes per append (fsync deferred): the bytes must
+	// already be visible to a reopen even before any timer tick.
+	if fi, _ := os.Stat(WALPath(dir)); fi.Size() == 0 {
+		t.Fatal("interval mode buffered instead of writing")
+	}
+	time.Sleep(5 * time.Millisecond) // let the timer fsync at least once
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, dir, FsyncInterval)
+	if rec.Replayed() != 1 {
+		t.Fatalf("replayed %d", rec.Replayed())
+	}
+}
+
+func TestParseFsyncMode(t *testing.T) {
+	for s, want := range map[string]FsyncMode{"always": FsyncAlways, "interval": FsyncInterval, "off": FsyncOff} {
+		got, err := ParseFsyncMode(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncMode(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Fatalf("String() = %q, want %q", got.String(), s)
+		}
+	}
+	if _, err := ParseFsyncMode("sometimes"); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestAppendAfterCloseRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, FsyncOff)
+	l.Close()
+	if _, err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+}

@@ -16,6 +16,7 @@ package replay
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -134,6 +135,41 @@ func (c *Cache) sweepLocked(now time.Time) int {
 		delete(c.buckets, b)
 	}
 	return removed
+}
+
+// Entry is one exported registry entry — the retained key and the
+// instant it may be forgotten. Snapshots of accounting state carry
+// these so a restarted bank still rejects paid check numbers (§7.7).
+type Entry struct {
+	Key     string    `json:"key"`
+	Expires time.Time `json:"expires"`
+}
+
+// Export returns every retained entry sorted by key (deterministic for
+// snapshot byte-comparison), including expired entries not yet swept.
+func (c *Cache) Export() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, len(c.entries))
+	for k, exp := range c.entries {
+		out = append(out, Entry{Key: k, Expires: exp})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Restore loads exported entries into an empty or existing cache,
+// bypassing the duplicate check — restoring the same key twice keeps
+// the later expiry's bucket alongside the earlier one, which the sweep
+// already tolerates.
+func (c *Cache) Restore(entries []Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range entries {
+		c.entries[e.Key] = e.Expires
+		b := bucketOf(e.Expires)
+		c.buckets[b] = append(c.buckets[b], e.Key)
+	}
 }
 
 // Len reports the number of retained entries (including expired entries

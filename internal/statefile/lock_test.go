@@ -1,0 +1,157 @@
+package statefile
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"proxykit/internal/principal"
+	"proxykit/internal/pubkey"
+)
+
+// TestUnlockKeepsForeignLock: a lock that was broken as stale and
+// re-acquired by someone else must survive the original owner's unlock.
+// Before the owner-token fix, the deferred unlock removed whatever file
+// sat at the lock path, silently unlocking a third party.
+func TestUnlockKeepsForeignLock(t *testing.T) {
+	dir := t.TempDir()
+	unlock, err := lockDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock := filepath.Join(dir, ".lock")
+
+	// Age the lock past the stale threshold and let a second locker
+	// break and re-acquire it, as it would after the owner crashed.
+	old := time.Now().Add(-2 * staleLockAge)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+	unlock2, err := lockDir(dir)
+	if err != nil {
+		t.Fatalf("second locker could not break stale lock: %v", err)
+	}
+	defer unlock2()
+
+	// The original owner's unlock fires late (crash recovery, deferred
+	// call): the second locker's lock must still be there.
+	unlock()
+	if _, err := os.Stat(lock); err != nil {
+		t.Fatalf("unlock removed a lock it no longer owned: %v", err)
+	}
+}
+
+// TestBreakStaleLockKeepsFreshLock: breaking a stale lock must not
+// delete a fresh lock that replaced it between the staleness check and
+// the removal.
+func TestBreakStaleLockKeepsFreshLock(t *testing.T) {
+	dir := t.TempDir()
+	lock := filepath.Join(dir, ".lock")
+	if err := os.WriteFile(lock, []byte("fresh-owner\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the laggard waiter: it Stat'ed an old lock earlier, and
+	// by the time it acts, the file at the path is fresh.
+	breakStaleLock(lock)
+	raw, err := os.ReadFile(lock)
+	if err != nil {
+		t.Fatalf("fresh lock was removed by a stale-lock break: %v", err)
+	}
+	if string(raw) != "fresh-owner\n" {
+		t.Fatalf("lock content changed: %q", raw)
+	}
+}
+
+func TestStaleLockBrokenAndReacquired(t *testing.T) {
+	dir := t.TempDir()
+	lock := filepath.Join(dir, ".lock")
+	if err := os.WriteFile(lock, []byte("crashed\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * staleLockAge)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+	unlock, err := lockDir(dir)
+	if err != nil {
+		t.Fatalf("stale lock not broken: %v", err)
+	}
+	unlock()
+	if _, err := os.Stat(lock); !os.IsNotExist(err) {
+		t.Fatalf("lock not released: %v", err)
+	}
+}
+
+// TestDirectoryLockMultiProcess exercises the advisory lock across real
+// process boundaries: several child processes concurrently register
+// identities into one shared state directory. Every registration must
+// survive — a lost update means two processes held the lock at once.
+func TestDirectoryLockMultiProcess(t *testing.T) {
+	if os.Getenv("STATEFILE_LOCK_CHILD") != "" {
+		return // child work happens in TestDirectoryLockChild
+	}
+	if testing.Short() {
+		t.Skip("multi-process test in -short mode")
+	}
+	dir := t.TempDir()
+	const procs = 4
+	errs := make(chan error, procs)
+	for i := 0; i < procs; i++ {
+		go func(i int) {
+			cmd := exec.Command(os.Args[0], "-test.run=^TestDirectoryLockChild$")
+			cmd.Env = append(os.Environ(),
+				"STATEFILE_LOCK_CHILD=1",
+				"STATEFILE_LOCK_DIR="+dir,
+				fmt.Sprintf("STATEFILE_LOCK_PROC=%d", i))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				err = fmt.Errorf("child %d: %v\n%s", i, err, out)
+			}
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < procs; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	pd, err := LoadDirectory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perProc = 8
+	for i := 0; i < procs; i++ {
+		for j := 0; j < perProc; j++ {
+			id := principal.New(fmt.Sprintf("p%d-%d", i, j), "EXAMPLE.ORG")
+			if _, err := pd.Lookup(id); err != nil {
+				t.Errorf("registration lost: %s: %v", id, err)
+			}
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".lock")); !os.IsNotExist(err) {
+		t.Errorf("lock file left behind: %v", err)
+	}
+}
+
+// TestDirectoryLockChild is the multi-process test's worker; it only
+// does anything when re-executed by TestDirectoryLockMultiProcess.
+func TestDirectoryLockChild(t *testing.T) {
+	if os.Getenv("STATEFILE_LOCK_CHILD") == "" {
+		t.Skip("child-only test")
+	}
+	dir := os.Getenv("STATEFILE_LOCK_DIR")
+	proc := os.Getenv("STATEFILE_LOCK_PROC")
+	for j := 0; j < 8; j++ {
+		id := principal.New(fmt.Sprintf("p%s-%d", proc, j), "EXAMPLE.ORG")
+		ident, err := pubkey.NewIdentity(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := AddToDirectory(dir, id, ident.Public()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -159,24 +159,56 @@ func AddToDirectory(stateDir string, id principal.ID, pk *kcrypto.PublicKey) err
 	return nil
 }
 
+// staleLockAge is how old a lock file must be before a waiter may break
+// it (a crashed daemon must not wedge the deployment forever).
+const staleLockAge = time.Minute
+
 // lockDir takes an exclusive advisory lock on the state directory via a
-// lock file, retrying briefly; it returns an unlock function. Stale
-// locks older than a minute are broken (a crashed daemon must not wedge
-// the deployment forever).
+// lock file, retrying briefly; it returns an unlock function.
+//
+// The lock file holds an owner token (random nonce + pid). The token
+// closes two races the bare create/remove protocol had:
+//
+//   - Unlock removes the file only while it still holds this owner's
+//     token. Without that check, a lock broken as stale and re-acquired
+//     by a second process would then be removed by the original owner's
+//     deferred unlock, silently unlocking the third waiter too.
+//
+//   - A stale lock is broken by renaming it to a unique name first and
+//     removing the renamed file. Rename is atomic, so of N waiters that
+//     all saw the same stale lock, exactly one wins; with a bare
+//     os.Remove, a laggard waiter could delete a *fresh* lock that a
+//     faster waiter had already created in the window.
 func lockDir(stateDir string) (func(), error) {
 	lock := filepath.Join(stateDir, ".lock")
+	nonce, err := kcrypto.Nonce(16)
+	if err != nil {
+		return nil, err
+	}
+	token := fmt.Sprintf("%x pid=%d\n", nonce, os.Getpid())
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
 		if err == nil {
-			_ = f.Close()
-			return func() { _ = os.Remove(lock) }, nil
+			_, werr := f.WriteString(token)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				_ = os.Remove(lock)
+				return nil, fmt.Errorf("statefile: lock: %w", werr)
+			}
+			return func() {
+				if cur, err := os.ReadFile(lock); err == nil && string(cur) == token {
+					_ = os.Remove(lock)
+				}
+			}, nil
 		}
 		if !os.IsExist(err) {
 			return nil, fmt.Errorf("statefile: lock: %w", err)
 		}
-		if info, serr := os.Stat(lock); serr == nil && time.Since(info.ModTime()) > time.Minute {
-			_ = os.Remove(lock)
+		if info, serr := os.Stat(lock); serr == nil && time.Since(info.ModTime()) > staleLockAge {
+			breakStaleLock(lock)
 			continue
 		}
 		if time.Now().After(deadline) {
@@ -184,6 +216,32 @@ func lockDir(stateDir string) (func(), error) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+}
+
+// breakStaleLock removes a stale lock file without racing other
+// waiters: the lock is renamed aside (atomic — of all waiters that saw
+// the same stale lock, exactly one rename succeeds) and deleted only if
+// the renamed file really is the stale one, not a fresh lock that
+// slipped in between the caller's Stat and the rename.
+func breakStaleLock(lock string) {
+	nonce, err := kcrypto.Nonce(8)
+	if err != nil {
+		return
+	}
+	aside := fmt.Sprintf("%s.stale.%x", lock, nonce)
+	if err := os.Rename(lock, aside); err != nil {
+		return // someone else broke or released it first
+	}
+	if info, err := os.Stat(aside); err == nil && time.Since(info.ModTime()) > staleLockAge {
+		_ = os.Remove(aside)
+		return
+	}
+	// A live lock was displaced: link it back under the lock name (Link
+	// never clobbers — if a new lock already took the name, the aside
+	// copy is dropped and the displaced owner's unlock sees a token
+	// mismatch and leaves the new lock alone).
+	_ = os.Link(aside, lock)
+	_ = os.Remove(aside)
 }
 
 // LoadDirectory reads the shared directory file into a Directory. A
