@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check audit-verify bench bench-smoke bench-rpc bench-ledger crash experiments examples cover fuzz clean
+.PHONY: all build vet test race check audit-verify gateway-smoke bench bench-smoke bench-rpc bench-ledger crash experiments examples cover fuzz clean
 
 all: check
 
@@ -27,7 +27,7 @@ race:
 	$(GO) test -race ./internal/transport/... ./internal/obs/... ./internal/accounting/... \
 		./internal/chaos/... ./internal/faultpoint/... ./internal/svc/... \
 		./internal/endserver/... ./internal/proxy/... ./internal/group/... \
-		./internal/ledger/...
+		./internal/ledger/... ./internal/gateway/...
 
 check: build vet test race
 
@@ -35,6 +35,13 @@ check: build vet test race
 # binary: a clean chain exits 0, a single flipped byte exits non-zero.
 audit-verify:
 	$(GO) test ./internal/integration/ -run TestAuditVerifyCLI -v
+
+# Stand up the full edge path — gatewayd core against live TCP daemons —
+# drive every HTTP API route (authorize, transfer, balance, check
+# write/deposit, introspection), and verify the audit hash chains of
+# the gateway, the end-server, and the bank afterwards.
+gateway-smoke:
+	$(GO) test ./internal/integration/ -run 'TestGateway(Smoke|EndToEnd|Impersonation|ErrorMapping|DocCatalogue)' -v -count=1
 
 # Kill-and-recover chaos suite: SIGKILL a bank at a fault-injected WAL
 # append boundary, replay the ledger, and audit the recovered books

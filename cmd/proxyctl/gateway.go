@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"proxykit/internal/gateway"
+)
+
+// cmdGateway inspects a running gatewayd over its HTTP API: the
+// caller's session, all sessions plus the redacted token↔principal
+// map, and the proxy cache. The bearer token is read from -token-file
+// or the GATEWAY_TOKEN environment variable — never from argv, where
+// it would leak into process listings and shell history.
+func cmdGateway(args []string) error {
+	fs := flag.NewFlagSet("gateway", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8095", "gatewayd base URL")
+	tokenFile := fs.String("token-file", "", "file holding the bearer token (default: $GATEWAY_TOKEN)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage: proxyctl gateway [flags] session|sessions|proxies
+
+  session    describe the token's own session
+  sessions   list all sessions and the token->principal map (admin token)
+  proxies    list cached proxies and renewal state (admin token)`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("gateway: exactly one of session|sessions|proxies required")
+	}
+	token := os.Getenv("GATEWAY_TOKEN")
+	if *tokenFile != "" {
+		raw, err := os.ReadFile(*tokenFile)
+		if err != nil {
+			return err
+		}
+		token = strings.TrimSpace(string(raw))
+	}
+	if token == "" {
+		return fmt.Errorf("gateway: no token (-token-file or GATEWAY_TOKEN)")
+	}
+
+	get := func(path string, v any) error {
+		req, err := http.NewRequest(http.MethodGet, strings.TrimSuffix(*url, "/")+path, nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Authorization", "Bearer "+token)
+		client := &http.Client{Timeout: 10 * time.Second}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var apiErr struct {
+				Error   string `json:"error"`
+				TraceID string `json:"traceId"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&apiErr)
+			return fmt.Errorf("gateway: %s: %s (%s, trace %s)", path, resp.Status, apiErr.Error, apiErr.TraceID)
+		}
+		return json.NewDecoder(resp.Body).Decode(v)
+	}
+
+	switch fs.Arg(0) {
+	case "session":
+		var s gateway.SessionInfo
+		if err := get("/v1/session", &s); err != nil {
+			return err
+		}
+		fmt.Printf("subject:      %s\nprincipal:    %s\ntokenRef:     %s\nimpersonated: %v\nadmin:        %v\ngroups:       %s\ncreated:      %s\nrequests:     %d\n",
+			s.Subject, s.Principal, s.TokenRef, s.Impersonated, s.Admin,
+			strings.Join(s.Groups, ","), s.Created.Format(time.RFC3339), s.Requests)
+		return nil
+	case "sessions":
+		var doc struct {
+			Sessions []gateway.SessionInfo  `json:"sessions"`
+			TokenMap []gateway.TokenMapInfo `json:"tokenMap"`
+		}
+		if err := get("/v1/sessions", &doc); err != nil {
+			return err
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "SUBJECT\tPRINCIPAL\tTOKEN\tIMP\tGROUPS\tREQS")
+		for _, s := range doc.Sessions {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%v\t%s\t%d\n",
+				s.Subject, s.Principal, s.TokenRef, s.Impersonated, strings.Join(s.Groups, ","), s.Requests)
+		}
+		fmt.Fprintln(w, "\nTOKEN\tSUBJECT\tPRINCIPAL\tIMPERSONATE\tADMIN")
+		sort.Slice(doc.TokenMap, func(i, j int) bool { return doc.TokenMap[i].Subject < doc.TokenMap[j].Subject })
+		for _, t := range doc.TokenMap {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%v\t%v\n", t.TokenRef, t.Subject, t.Principal, t.Impersonate, t.Admin)
+		}
+		return w.Flush()
+	case "proxies":
+		var doc struct {
+			Proxies []gateway.EntryInfo `json:"proxies"`
+		}
+		if err := get("/v1/proxies", &doc); err != nil {
+			return err
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "KEY\tGRANTOR\tEXPIRES\tRENEWING")
+		for _, p := range doc.Proxies {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%v\n", p.Key, p.Grantor, p.Expires.Format(time.RFC3339), p.Renewing)
+		}
+		return w.Flush()
+	default:
+		fs.Usage()
+		return fmt.Errorf("gateway: unknown subcommand %q", fs.Arg(0))
+	}
+}

@@ -77,6 +77,8 @@ func main() {
 		err = cmdMetrics(args)
 	case "audit":
 		err = cmdAudit(args)
+	case "gateway":
+		err = cmdGateway(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -100,7 +102,8 @@ commands:
   balance      read an account balance from an accounting server
   statement    print an account's transaction history
   metrics      scrape and pretty-print a daemon's /metrics and /healthz
-  audit        tail, query, or verify a daemon's audit journal`)
+  audit        tail, query, or verify a daemon's audit journal
+  gateway      inspect a gatewayd: sessions, token map, proxy cache`)
 }
 
 // commonFlags registers the flags every subcommand shares.

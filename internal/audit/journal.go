@@ -47,6 +47,14 @@ const (
 	// KindHoldRelease is an expired certified-check hold returned to
 	// its account.
 	KindHoldRelease = "acct.hold-release"
+	// KindGatewayMap is a gateway token/impersonation mapping decision:
+	// an external identity admitted as (or refused) a local principal.
+	KindGatewayMap = "gateway.map"
+	// KindGatewayRequest is one HTTP operation forwarded (or refused)
+	// by the gateway on behalf of a mapped principal.
+	KindGatewayRequest = "gateway.request"
+	// KindGatewayRenew is a background proxy-cache renewal outcome.
+	KindGatewayRenew = "gateway.proxy-renew"
 )
 
 // Kinds returns every record kind the tree can emit, sorted.
@@ -61,6 +69,9 @@ func Kinds() []string {
 		KindHoldRelease,
 		KindTransfer,
 		KindAuthorize,
+		KindGatewayMap,
+		KindGatewayRenew,
+		KindGatewayRequest,
 		KindGroupGrant,
 	}
 }

@@ -281,7 +281,7 @@ func TestKindsAreDistinct(t *testing.T) {
 		}
 		seen[k] = true
 	}
-	if len(seen) != 10 {
-		t.Fatalf("got %d kinds; want 10", len(seen))
+	if len(seen) != 13 {
+		t.Fatalf("got %d kinds; want 13", len(seen))
 	}
 }

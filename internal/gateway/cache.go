@@ -1,0 +1,200 @@
+package gateway
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"proxykit/internal/clock"
+	"proxykit/internal/obs"
+	"proxykit/internal/proxy"
+)
+
+// AcquireFunc obtains a fresh proxy for a cache key. The trace is the
+// request (or renewal) context the acquisition RPCs should join.
+type AcquireFunc func(tr obs.Trace) (*proxy.Proxy, error)
+
+// Cache holds acquired proxies keyed by (principal, restriction-set)
+// strings. A Get within renewWithin of a cached proxy's expiry still
+// serves the cached proxy but kicks off a background renewal, so the
+// steady-state request path never waits on a grant round trip; a Get
+// after expiry evicts and re-acquires synchronously — an expired proxy
+// is never served. A failed renewal leaves the old proxy in place
+// until it expires (requests keep working as long as the credential
+// does), after which the synchronous re-acquire surfaces the failure
+// to the caller as a clean denial.
+type Cache struct {
+	clk         clock.Clock
+	renewWithin time.Duration
+	// onRenew observes background renewal outcomes (audit hook);
+	// err is nil on success. May be nil.
+	onRenew func(key string, err error)
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	p        *proxy.Proxy
+	acquire  AcquireFunc
+	renewing bool // a background renewal is in flight
+}
+
+// NewCache builds a cache on clk (nil = system clock). renewWithin is
+// how close to expiry a cached proxy must be before a hit schedules
+// its background renewal.
+func NewCache(clk clock.Clock, renewWithin time.Duration, onRenew func(key string, err error)) *Cache {
+	if clk == nil {
+		clk = clock.System{}
+	}
+	return &Cache{
+		clk:         clk,
+		renewWithin: renewWithin,
+		onRenew:     onRenew,
+		entries:     make(map[string]*cacheEntry),
+	}
+}
+
+// Get returns the proxy for key, acquiring it with acquire on a miss
+// (or after expiry). The mutex is never held across an acquisition, so
+// a slow grant for one key cannot stall hits on others; two concurrent
+// misses on one key may both acquire, with the later insert winning —
+// grants are idempotent, so that costs a round trip, not correctness.
+func (c *Cache) Get(key string, tr obs.Trace, acquire AcquireFunc) (*proxy.Proxy, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		now := c.clk.Now()
+		exp := e.p.Expires()
+		if now.Before(exp) {
+			p := e.p
+			if exp.Sub(now) <= c.renewWithin && !e.renewing {
+				e.renewing = true
+				go c.renew(key)
+			}
+			c.mu.Unlock()
+			mCacheHits.Inc()
+			return p, nil
+		}
+		// Expired in place: evict; fall through to a synchronous
+		// re-acquire. The stale proxy must never be presented.
+		delete(c.entries, key)
+		mCacheExpired.Inc()
+		mCacheEntries.Set(int64(len(c.entries)))
+	}
+	c.mu.Unlock()
+	mCacheMisses.Inc()
+	p, err := acquire(tr)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.entries[key] = &cacheEntry{p: p, acquire: acquire}
+	mCacheEntries.Set(int64(len(c.entries)))
+	c.mu.Unlock()
+	return p, nil
+}
+
+// renew re-acquires key's proxy in the background under a fresh root
+// trace (a renewal belongs to no HTTP request). On failure the old
+// proxy stays cached until it expires.
+func (c *Cache) renew(key string) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	acquire := e.acquire
+	c.mu.Unlock()
+
+	p, err := acquire(obs.NewTrace())
+
+	c.mu.Lock()
+	if e2, ok := c.entries[key]; ok {
+		e2.renewing = false
+		if err == nil {
+			e2.p = p
+		}
+	}
+	c.mu.Unlock()
+	if err == nil {
+		mRenewals.With("ok").Inc()
+	} else {
+		mRenewals.With("error").Inc()
+	}
+	if c.onRenew != nil {
+		c.onRenew(key, err)
+	}
+}
+
+// Sweep walks the cache once: entries inside the renewal window are
+// renewed (in the background), expired entries are evicted. Called by
+// the renewal loop so idle sessions' proxies stay fresh even with no
+// request traffic to trigger renewal on a hit.
+func (c *Cache) Sweep() {
+	now := c.clk.Now()
+	c.mu.Lock()
+	for key, e := range c.entries {
+		exp := e.p.Expires()
+		switch {
+		case !now.Before(exp):
+			delete(c.entries, key)
+			mCacheExpired.Inc()
+		case exp.Sub(now) <= c.renewWithin && !e.renewing:
+			e.renewing = true
+			go c.renew(key)
+		}
+	}
+	mCacheEntries.Set(int64(len(c.entries)))
+	c.mu.Unlock()
+}
+
+// Start runs Sweep every interval until the returned stop function is
+// called.
+func (c *Cache) Start(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.Sweep()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// EntryInfo describes one cached proxy for introspection (/v1/proxies,
+// proxyctl gateway).
+type EntryInfo struct {
+	// Key is the cache key ("authz|alice@EXAMPLE.ORG|...").
+	Key string `json:"key"`
+	// Grantor signed the proxy's first certificate.
+	Grantor string `json:"grantor"`
+	// Expires is when the chain stops verifying.
+	Expires time.Time `json:"expires"`
+	// Renewing reports an in-flight background renewal.
+	Renewing bool `json:"renewing"`
+}
+
+// Entries lists the cached proxies, sorted by key.
+func (c *Cache) Entries() []EntryInfo {
+	c.mu.Lock()
+	out := make([]EntryInfo, 0, len(c.entries))
+	for key, e := range c.entries {
+		out = append(out, EntryInfo{
+			Key:      key,
+			Grantor:  e.p.Grantor().String(),
+			Expires:  e.p.Expires(),
+			Renewing: e.renewing,
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

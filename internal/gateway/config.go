@@ -1,0 +1,149 @@
+// Package gateway implements the HTTP edge daemon (gatewayd): it
+// terminates plain HTTP+JSON, maps bearer tokens — and, optionally,
+// impersonated external identities — onto proxykit principals, obtains
+// restricted proxies on the caller's behalf through the authorization
+// and group servers, caches them with background renewal, and forwards
+// operations to end-servers and banks over the multiplexed RPC
+// transport.
+//
+// The package is the repo's answer to ROADMAP item 4 ("web-shaped
+// workloads"): clients that cannot speak the native credential
+// protocol of the paper (Neuman 1993, §4–§6) get a front door that
+// hides proxy acquisition entirely, the way grid gateways mapped
+// web/Unix identities onto grid credentials. Every mapping decision is
+// audited (gateway.map), every forwarded operation is audited
+// (gateway.request), and every hop shares the HTTP request's trace ID.
+//
+// The full operator guide and HTTP API reference live in GATEWAY.md at
+// the repository root, kept in sync with the code by
+// TestGatewayDocCatalogue.
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"proxykit/internal/principal"
+)
+
+// TokenEntry maps one bearer token to a principal. Tokens are opaque
+// strings compared in constant time; they never appear in logs, audit
+// records, or API responses — only their RedactToken reference does.
+type TokenEntry struct {
+	// Token is the bearer secret presented in the Authorization header.
+	Token string `json:"token"`
+	// Subject is a human-readable owner label ("ci-deployer",
+	// "web-frontend"); it is what logs and audit records show.
+	Subject string `json:"subject"`
+	// Principal is the proxykit principal this token acts as
+	// ("alice@EXAMPLE.ORG"). Ignored for impersonation-only entries.
+	Principal string `json:"principal,omitempty"`
+	// Groups are local group names asserted when acquiring proxies.
+	Groups []string `json:"groups,omitempty"`
+	// Impersonate marks a trusted front-end token that may act for
+	// external identities via the X-Impersonate-Subject header, mapped
+	// through the Impersonation rules.
+	Impersonate bool `json:"impersonate,omitempty"`
+	// Admin grants access to the introspection routes (/v1/sessions,
+	// /v1/proxies).
+	Admin bool `json:"admin,omitempty"`
+}
+
+// ImpersonationRule maps external identities onto principals by
+// subject suffix: "alice@corp.example.com" with SubjectSuffix
+// "@corp.example.com" and Realm "EXAMPLE.ORG" becomes
+// alice@EXAMPLE.ORG. First matching rule wins.
+type ImpersonationRule struct {
+	// SubjectSuffix selects the external identities this rule maps
+	// (matched against the X-Impersonate-Subject header value).
+	SubjectSuffix string `json:"subjectSuffix"`
+	// Realm the mapped principal lands in.
+	Realm string `json:"realm"`
+	// Groups are local group names granted to identities mapped by
+	// this rule.
+	Groups []string `json:"groups,omitempty"`
+}
+
+// MappingConfig is the gateway's declarative token and impersonation
+// mapping, loaded from the -mapping JSON file.
+type MappingConfig struct {
+	// Tokens are the recognized bearer tokens.
+	Tokens []TokenEntry `json:"tokens"`
+	// Impersonation rules map external subjects onto principals.
+	Impersonation []ImpersonationRule `json:"impersonation,omitempty"`
+}
+
+// LoadMapping reads and validates a mapping config file.
+func LoadMapping(path string) (*MappingConfig, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: mapping: %w", err)
+	}
+	var cfg MappingConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("gateway: parse mapping %s: %w", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// Validate checks the config for the mistakes that would otherwise
+// surface as confusing per-request failures: empty or duplicate
+// tokens, unparsable principals, rules that can never match.
+func (c *MappingConfig) Validate() error {
+	if len(c.Tokens) == 0 {
+		return fmt.Errorf("gateway: mapping has no tokens")
+	}
+	seen := make(map[string]string, len(c.Tokens))
+	for i, t := range c.Tokens {
+		if t.Token == "" {
+			return fmt.Errorf("gateway: token %d (%q): empty token", i, t.Subject)
+		}
+		if t.Subject == "" {
+			return fmt.Errorf("gateway: token %d: empty subject", i)
+		}
+		if prev, dup := seen[t.Token]; dup {
+			return fmt.Errorf("gateway: tokens %q and %q share a secret", prev, t.Subject)
+		}
+		seen[t.Token] = t.Subject
+		if t.Principal == "" && !t.Impersonate {
+			return fmt.Errorf("gateway: token %q: no principal and not an impersonation token", t.Subject)
+		}
+		if t.Principal != "" {
+			if _, err := principal.Parse(t.Principal); err != nil {
+				return fmt.Errorf("gateway: token %q: %w", t.Subject, err)
+			}
+		}
+	}
+	for i, r := range c.Impersonation {
+		if r.SubjectSuffix == "" {
+			return fmt.Errorf("gateway: impersonation rule %d: empty subjectSuffix", i)
+		}
+		if r.Realm == "" {
+			return fmt.Errorf("gateway: impersonation rule %d (%q): empty realm", i, r.SubjectSuffix)
+		}
+	}
+	return nil
+}
+
+// mapSubject applies the impersonation rules to an external subject,
+// returning the mapped principal and the rule's groups. The local part
+// (subject with the rule suffix stripped) must be a plain name — a
+// subject like "bob@evil@corp" cannot smuggle realm syntax through.
+func (c *MappingConfig) mapSubject(subject string) (principal.ID, []string, error) {
+	for _, r := range c.Impersonation {
+		if !strings.HasSuffix(subject, r.SubjectSuffix) {
+			continue
+		}
+		local := strings.TrimSuffix(subject, r.SubjectSuffix)
+		if local == "" || strings.ContainsAny(local, "@/ ") {
+			return principal.ID{}, nil, fmt.Errorf("gateway: subject %q: invalid local part", subject)
+		}
+		return principal.New(local, r.Realm), r.Groups, nil
+	}
+	return principal.ID{}, nil, fmt.Errorf("gateway: subject %q matches no impersonation rule", subject)
+}

@@ -1,0 +1,129 @@
+package gateway
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMappingValidate(t *testing.T) {
+	valid := func() *MappingConfig {
+		return &MappingConfig{
+			Tokens: []TokenEntry{
+				{Token: "t1", Subject: "ci", Principal: "ci@X.ORG", Groups: []string{"staff"}},
+				{Token: "t2", Subject: "web", Impersonate: true},
+			},
+			Impersonation: []ImpersonationRule{
+				{SubjectSuffix: "@corp.example.com", Realm: "X.ORG", Groups: []string{"staff"}},
+			},
+		}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*MappingConfig)
+		want   string
+	}{
+		{"no tokens", func(c *MappingConfig) { c.Tokens = nil }, "no tokens"},
+		{"empty token", func(c *MappingConfig) { c.Tokens[0].Token = "" }, "empty token"},
+		{"empty subject", func(c *MappingConfig) { c.Tokens[0].Subject = "" }, "empty subject"},
+		{"duplicate secret", func(c *MappingConfig) { c.Tokens[1].Token = "t1" }, "share a secret"},
+		{"no principal", func(c *MappingConfig) { c.Tokens[0].Principal = "" }, "no principal"},
+		{"bad principal", func(c *MappingConfig) { c.Tokens[0].Principal = "not a principal" }, "ci"},
+		{"empty suffix", func(c *MappingConfig) { c.Impersonation[0].SubjectSuffix = "" }, "empty subjectSuffix"},
+		{"empty realm", func(c *MappingConfig) { c.Impersonation[0].Realm = "" }, "empty realm"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid()
+			tc.mutate(cfg)
+			err := cfg.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMapSubject(t *testing.T) {
+	cfg := &MappingConfig{
+		Tokens: []TokenEntry{{Token: "t", Subject: "web", Impersonate: true}},
+		Impersonation: []ImpersonationRule{
+			{SubjectSuffix: "@corp.example.com", Realm: "X.ORG", Groups: []string{"staff"}},
+			{SubjectSuffix: "@partner.example.net", Realm: "PARTNER.ORG"},
+		},
+	}
+
+	pid, groups, err := cfg.mapSubject("alice@corp.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pid.String() != "alice@X.ORG" || len(groups) != 1 || groups[0] != "staff" {
+		t.Fatalf("mapSubject = (%s, %v)", pid, groups)
+	}
+
+	pid, groups, err = cfg.mapSubject("bob@partner.example.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pid.String() != "bob@PARTNER.ORG" || len(groups) != 0 {
+		t.Fatalf("mapSubject = (%s, %v)", pid, groups)
+	}
+
+	for _, bad := range []string{
+		"eve@elsewhere.example.org",  // no rule
+		"@corp.example.com",          // empty local part
+		"a@b@corp.example.com",       // smuggled realm syntax
+		"a b@corp.example.com",       // space in local part
+		"path/name@corp.example.com", // slash in local part
+	} {
+		if _, _, err := cfg.mapSubject(bad); err == nil {
+			t.Errorf("mapSubject(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestLoadMapping(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mapping.json")
+	good := `{
+	  "tokens": [
+	    {"token": "t1", "subject": "ci", "principal": "ci@X.ORG"}
+	  ],
+	  "impersonation": [
+	    {"subjectSuffix": "@corp.example.com", "realm": "X.ORG"}
+	  ]
+	}`
+	if err := os.WriteFile(path, []byte(good), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadMapping(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Tokens) != 1 || cfg.Tokens[0].Subject != "ci" {
+		t.Fatalf("loaded %+v", cfg)
+	}
+
+	if _, err := LoadMapping(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMapping(bad); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	invalid := filepath.Join(dir, "invalid.json")
+	if err := os.WriteFile(invalid, []byte(`{"tokens": []}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMapping(invalid); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

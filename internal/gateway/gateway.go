@@ -1,0 +1,458 @@
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"proxykit/internal/audit"
+	"proxykit/internal/authz"
+	"proxykit/internal/clock"
+	"proxykit/internal/obs"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/pubkey"
+	"proxykit/internal/statefile"
+	"proxykit/internal/svc"
+	"proxykit/internal/transport"
+)
+
+// Default lifecycle parameters, overridable in Options.
+const (
+	// DefaultProxyLifetime is how long the gateway asks granted proxies
+	// to live.
+	DefaultProxyLifetime = 10 * time.Minute
+	// DefaultRenewWithin is how close to expiry a cached proxy must be
+	// before use triggers its background renewal.
+	DefaultRenewWithin = 2 * time.Minute
+	// DefaultRenewInterval is how often the background sweep renews
+	// near-expiry proxies for idle sessions.
+	DefaultRenewInterval = 30 * time.Second
+)
+
+// Options configure a Gateway.
+type Options struct {
+	// StateDir is the shared deployment state directory; the gateway
+	// creates (and registers) identities for mapped principals here, so
+	// downstream services can verify their sealed envelopes.
+	StateDir string
+	// ID is the gateway's own principal, stamped on audit records.
+	ID principal.ID
+	// Mapping is the token/impersonation config (required).
+	Mapping *MappingConfig
+
+	// AuthzClient, GroupClient, AcctClient, EndClient are transport
+	// clients for the four downstream services. GroupClient may be nil
+	// when no tokens assert groups.
+	AuthzClient transport.Client
+	GroupClient transport.Client
+	AcctClient  transport.Client
+	EndClient   transport.Client
+	// EndServerID is the end-server principal authz proxies target.
+	EndServerID principal.ID
+	// BankID is the accounting server's principal (check endorsement).
+	BankID principal.ID
+
+	// ProxyLifetime, RenewWithin, RenewInterval tune the proxy cache
+	// lifecycle; zero selects the defaults above.
+	ProxyLifetime time.Duration
+	RenewWithin   time.Duration
+	RenewInterval time.Duration
+
+	// Journal receives gateway.map / gateway.request /
+	// gateway.proxy-renew records; nil uses an in-memory journal.
+	Journal *audit.Journal
+	// Logger for operational logging; nil discards. Bearer tokens are
+	// never logged — only RedactToken references.
+	Logger *slog.Logger
+	// Clock for cache expiry and envelope timestamps; nil = system.
+	Clock clock.Clock
+}
+
+// session is one authenticated (token, subject) pair: the mapped
+// principal, its signing identity, and bookkeeping for introspection.
+type session struct {
+	Principal    principal.ID
+	Subject      string
+	Groups       []string
+	Impersonated bool
+	Admin        bool
+	TokenRef     string
+	Created      time.Time
+	requests     uint64
+
+	ident *pubkey.Identity
+}
+
+// Gateway is the HTTP edge daemon core: an http.Handler plus the
+// session table and proxy cache behind it.
+type Gateway struct {
+	opts  Options
+	auth  *authenticator
+	cache *Cache
+	clk   clock.Clock
+	log   *slog.Logger
+
+	mu       sync.Mutex
+	sessions map[string]*session
+
+	stopRenew func()
+}
+
+// New builds a Gateway. Call Start to begin background renewal and
+// Close to stop it.
+func New(opts Options) (*Gateway, error) {
+	if opts.Mapping == nil {
+		return nil, fmt.Errorf("gateway: nil mapping config")
+	}
+	if err := opts.Mapping.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.AuthzClient == nil || opts.AcctClient == nil || opts.EndClient == nil {
+		return nil, fmt.Errorf("gateway: authz, acct, and end clients are required")
+	}
+	if opts.ProxyLifetime <= 0 {
+		opts.ProxyLifetime = DefaultProxyLifetime
+	}
+	if opts.RenewWithin <= 0 {
+		opts.RenewWithin = DefaultRenewWithin
+	}
+	if opts.RenewInterval <= 0 {
+		opts.RenewInterval = DefaultRenewInterval
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.System{}
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if opts.Journal == nil {
+		j, err := audit.New(audit.Options{})
+		if err != nil {
+			return nil, err
+		}
+		opts.Journal = j
+	}
+	g := &Gateway{
+		opts:     opts,
+		auth:     newAuthenticator(opts.Mapping),
+		clk:      opts.Clock,
+		log:      opts.Logger,
+		sessions: make(map[string]*session),
+	}
+	g.cache = NewCache(opts.Clock, opts.RenewWithin, g.auditRenewal)
+	return g, nil
+}
+
+// Start launches the background renewal sweep.
+func (g *Gateway) Start() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.stopRenew == nil {
+		g.stopRenew = g.cache.Start(g.opts.RenewInterval)
+	}
+}
+
+// Close stops background renewal.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	stop := g.stopRenew
+	g.stopRenew = nil
+	g.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+}
+
+// Cache exposes the proxy cache (introspection, tests).
+func (g *Gateway) Cache() *Cache { return g.cache }
+
+// auditRenewal is the cache's renewal hook: outcome to the journal,
+// keyed by cache key (which names the principal and restriction set,
+// never a token).
+func (g *Gateway) auditRenewal(key string, err error) {
+	rec := audit.Record{
+		Kind:    audit.KindGatewayRenew,
+		Server:  g.opts.ID,
+		Object:  key,
+		Op:      "renew",
+		Outcome: audit.OutcomeGranted,
+	}
+	if err != nil {
+		rec.Outcome = audit.OutcomeDenied
+		rec.Reason = err.Error()
+		g.log.Warn("proxy renewal failed", "key", key, "err", err)
+	}
+	g.opts.Journal.Append(rec)
+}
+
+// authenticate resolves the request's bearer token (and optional
+// impersonated subject) to a session. It returns an HTTP status and
+// error on failure; the raw token never reaches a log or journal.
+func (g *Gateway) authenticate(r *http.Request, tr obs.Trace) (*session, int, error) {
+	const prefix = "Bearer "
+	h := r.Header.Get("Authorization")
+	if !strings.HasPrefix(h, prefix) {
+		mAuth.With("missing").Inc()
+		return nil, http.StatusUnauthorized, fmt.Errorf("missing bearer token")
+	}
+	token := strings.TrimSpace(strings.TrimPrefix(h, prefix))
+	entry, ok := g.auth.lookup(token)
+	if !ok {
+		mAuth.With("unknown-token").Inc()
+		g.log.Warn("unknown bearer token", "tokenRef", RedactToken(token))
+		return nil, http.StatusUnauthorized, fmt.Errorf("unknown bearer token")
+	}
+	tokenRef := RedactToken(token)
+
+	subject := entry.Subject
+	impersonated := false
+	var (
+		pid    principal.ID
+		groups []string
+	)
+	if imp := r.Header.Get("X-Impersonate-Subject"); imp != "" {
+		if !entry.Impersonate {
+			mAuth.With("denied").Inc()
+			mImpersonations.With("not-allowed").Inc()
+			g.auditMap(tr, tokenRef, entry.Subject, imp, principal.ID{}, nil, fmt.Errorf("token %q may not impersonate", entry.Subject))
+			return nil, http.StatusForbidden, fmt.Errorf("token not entitled to impersonate")
+		}
+		mapped, gset, err := g.opts.Mapping.mapSubject(imp)
+		if err != nil {
+			mAuth.With("denied").Inc()
+			mImpersonations.With("no-rule").Inc()
+			g.auditMap(tr, tokenRef, entry.Subject, imp, principal.ID{}, nil, err)
+			return nil, http.StatusForbidden, fmt.Errorf("subject matches no impersonation rule")
+		}
+		pid, groups, subject, impersonated = mapped, gset, imp, true
+		mImpersonations.With("ok").Inc()
+	} else {
+		if entry.Principal == "" {
+			mAuth.With("denied").Inc()
+			return nil, http.StatusForbidden, fmt.Errorf("impersonation token requires X-Impersonate-Subject")
+		}
+		pid, _ = principal.Parse(entry.Principal) // validated at load
+		groups = entry.Groups
+	}
+
+	key := tokenRef + "|" + subject
+	g.mu.Lock()
+	if s, ok := g.sessions[key]; ok {
+		s.requests++
+		g.mu.Unlock()
+		mAuth.With("ok").Inc()
+		return s, 0, nil
+	}
+	g.mu.Unlock()
+
+	// First sight of this (token, subject): materialize the principal's
+	// signing identity in the shared state directory, which also
+	// registers its public key for downstream envelope verification.
+	ident, err := statefile.LoadOrCreateIdentity(g.opts.StateDir, pid)
+	if err != nil {
+		g.auditMap(tr, tokenRef, entry.Subject, subject, pid, groups, err)
+		return nil, http.StatusInternalServerError, fmt.Errorf("provision identity: %v", err)
+	}
+	s := &session{
+		Principal:    pid,
+		Subject:      subject,
+		Groups:       groups,
+		Impersonated: impersonated,
+		Admin:        entry.Admin,
+		TokenRef:     tokenRef,
+		Created:      g.clk.Now(),
+		requests:     1,
+		ident:        ident,
+	}
+	g.mu.Lock()
+	if prior, ok := g.sessions[key]; ok {
+		// A concurrent first request won the race; keep its session.
+		prior.requests++
+		s = prior
+	} else {
+		g.sessions[key] = s
+		mSessions.Set(int64(len(g.sessions)))
+	}
+	g.mu.Unlock()
+	g.auditMap(tr, tokenRef, entry.Subject, subject, pid, groups, nil)
+	g.log.Info("session mapped", "tokenRef", tokenRef, "subject", subject,
+		"principal", pid.String(), "impersonated", impersonated)
+	mAuth.With("ok").Inc()
+	return s, 0, nil
+}
+
+// auditMap records one mapping decision (kind gateway.map).
+func (g *Gateway) auditMap(tr obs.Trace, tokenRef, tokenSubject, subject string, pid principal.ID, groups []string, err error) {
+	rec := audit.Record{
+		Kind:    audit.KindGatewayMap,
+		Server:  g.opts.ID,
+		TraceID: tr.TraceID,
+		Object:  subject,
+		Op:      "map",
+		Outcome: audit.OutcomeGranted,
+		Detail: map[string]string{
+			"tokenRef":     tokenRef,
+			"tokenSubject": tokenSubject,
+		},
+	}
+	if !pid.IsZero() {
+		rec.Presenters = []principal.ID{pid}
+	}
+	if len(groups) > 0 {
+		rec.Detail["groups"] = strings.Join(groups, ",")
+	}
+	if err != nil {
+		rec.Outcome = audit.OutcomeDenied
+		rec.Reason = err.Error()
+	}
+	g.opts.Journal.Append(rec)
+}
+
+// auditRequest records one forwarded operation (kind gateway.request).
+func (g *Gateway) auditRequest(tr obs.Trace, s *session, object, op string, err error) {
+	rec := audit.Record{
+		Kind:       audit.KindGatewayRequest,
+		Server:     g.opts.ID,
+		TraceID:    tr.TraceID,
+		Presenters: []principal.ID{s.Principal},
+		Object:     object,
+		Op:         op,
+		Outcome:    audit.OutcomeGranted,
+		Detail:     map[string]string{"subject": s.Subject, "tokenRef": s.TokenRef},
+	}
+	if err != nil {
+		rec.Outcome = audit.OutcomeDenied
+		rec.Reason = err.Error()
+	}
+	g.opts.Journal.Append(rec)
+}
+
+// groupProxy returns (possibly from cache) a delegate group proxy
+// asserting the session's groups, or nil when it has none.
+func (g *Gateway) groupProxy(s *session, tr obs.Trace) (*proxy.Proxy, error) {
+	if len(s.Groups) == 0 {
+		return nil, nil
+	}
+	if g.opts.GroupClient == nil {
+		return nil, fmt.Errorf("gateway: groups asserted but no group server configured")
+	}
+	groups := append([]string(nil), s.Groups...)
+	sort.Strings(groups)
+	key := "group|" + s.Principal.String() + "|" + strings.Join(groups, ",")
+	ident := s.ident
+	return g.cache.Get(key, tr, func(tr obs.Trace) (*proxy.Proxy, error) {
+		gc := svc.NewGroupClient(transport.WithTrace(g.opts.GroupClient, tr), ident, g.clk)
+		p, err := gc.Grant(svc.GroupGrantParams{
+			Groups:   groups,
+			Lifetime: g.opts.ProxyLifetime,
+			Delegate: true,
+		})
+		if err != nil {
+			mUpstreamErrors.With("group").Inc()
+		}
+		return p, err
+	})
+}
+
+// authzProxy returns (possibly from cache) a delegate authorization
+// proxy for (session, object, op), acquiring the session's group proxy
+// first when it asserts groups — the cascaded §3.4 path.
+func (g *Gateway) authzProxy(s *session, tr obs.Trace, object, op string) (*proxy.Proxy, error) {
+	key := "authz|" + s.Principal.String() + "|" + g.opts.EndServerID.String() + "|" + object + "|" + op
+	ident := s.ident
+	return g.cache.Get(key, tr, func(tr obs.Trace) (*proxy.Proxy, error) {
+		var groupPres []*proxy.Presentation
+		gp, err := g.groupProxy(s, tr)
+		if err != nil {
+			return nil, err
+		}
+		if gp != nil {
+			groupPres = append(groupPres, gp.PresentDelegate())
+		}
+		ac := svc.NewAuthzClient(transport.WithTrace(g.opts.AuthzClient, tr), ident, g.clk)
+		p, err := ac.Grant(svc.GrantParams{
+			EndServer:    g.opts.EndServerID,
+			Objects:      []authz.RequestedObject{{Object: object, Ops: []string{op}}},
+			Lifetime:     g.opts.ProxyLifetime,
+			Delegate:     true,
+			GroupProxies: groupPres,
+		})
+		if err != nil {
+			mUpstreamErrors.With("authz").Inc()
+		}
+		return p, err
+	})
+}
+
+// Sessions lists the live sessions for introspection, sorted by
+// creation time then subject.
+func (g *Gateway) Sessions() []SessionInfo {
+	g.mu.Lock()
+	out := make([]SessionInfo, 0, len(g.sessions))
+	for _, s := range g.sessions {
+		out = append(out, SessionInfo{
+			Subject:      s.Subject,
+			Principal:    s.Principal.String(),
+			Groups:       s.Groups,
+			Impersonated: s.Impersonated,
+			Admin:        s.Admin,
+			TokenRef:     s.TokenRef,
+			Created:      s.Created,
+			Requests:     s.requests,
+		})
+	}
+	g.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Created.Equal(out[j].Created) {
+			return out[i].Created.Before(out[j].Created)
+		}
+		return out[i].Subject < out[j].Subject
+	})
+	return out
+}
+
+// SessionInfo is one session as reported by /v1/sessions.
+type SessionInfo struct {
+	Subject      string    `json:"subject"`
+	Principal    string    `json:"principal"`
+	Groups       []string  `json:"groups,omitempty"`
+	Impersonated bool      `json:"impersonated,omitempty"`
+	Admin        bool      `json:"admin,omitempty"`
+	TokenRef     string    `json:"tokenRef"`
+	Created      time.Time `json:"created"`
+	Requests     uint64    `json:"requests"`
+}
+
+// TokenMapInfo is one mapping-file entry as reported by /v1/sessions:
+// the token↔principal map with secrets redacted.
+type TokenMapInfo struct {
+	TokenRef    string   `json:"tokenRef"`
+	Subject     string   `json:"subject"`
+	Principal   string   `json:"principal,omitempty"`
+	Groups      []string `json:"groups,omitempty"`
+	Impersonate bool     `json:"impersonate,omitempty"`
+	Admin       bool     `json:"admin,omitempty"`
+}
+
+// TokenMap reports the configured token mapping, redacted.
+func (g *Gateway) TokenMap() []TokenMapInfo {
+	out := make([]TokenMapInfo, 0, len(g.opts.Mapping.Tokens))
+	for _, t := range g.opts.Mapping.Tokens {
+		out = append(out, TokenMapInfo{
+			TokenRef:    RedactToken(t.Token),
+			Subject:     t.Subject,
+			Principal:   t.Principal,
+			Groups:      t.Groups,
+			Impersonate: t.Impersonate,
+			Admin:       t.Admin,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Subject < out[j].Subject })
+	return out
+}

@@ -1,0 +1,31 @@
+package gateway
+
+import "proxykit/internal/obs"
+
+// Gateway metrics, registered in the process-wide registry and
+// documented in GATEWAY.md (catalogue-enforced by
+// TestGatewayDocCatalogue alongside OBSERVABILITY.md).
+var (
+	mHTTPRequests = obs.Default.NewCounterVec("proxykit_gateway_http_requests_total",
+		"HTTP requests served by the gateway, by route and status code.", "route", "code")
+	mHTTPLatency = obs.Default.NewHistogramVec("proxykit_gateway_http_latency_seconds",
+		"Gateway HTTP request latency in seconds, by route.", obs.DefLatencyBuckets, "route")
+	mAuth = obs.Default.NewCounterVec("proxykit_gateway_auth_total",
+		"Bearer-token authentication attempts, by outcome (ok, unknown-token, missing, denied).", "outcome")
+	mImpersonations = obs.Default.NewCounterVec("proxykit_gateway_impersonations_total",
+		"Impersonated-subject mapping attempts, by outcome (ok, not-allowed, no-rule).", "outcome")
+	mSessions = obs.Default.NewGauge("proxykit_gateway_sessions",
+		"Live gateway sessions (distinct token/subject pairs seen).")
+	mCacheHits = obs.Default.NewCounter("proxykit_gateway_proxy_cache_hits_total",
+		"Proxy-cache lookups served from a cached, unexpired proxy.")
+	mCacheMisses = obs.Default.NewCounter("proxykit_gateway_proxy_cache_misses_total",
+		"Proxy-cache lookups that acquired a proxy synchronously (cold or expired).")
+	mCacheEntries = obs.Default.NewGauge("proxykit_gateway_proxy_cache_entries",
+		"Proxies currently held in the gateway's cache.")
+	mCacheExpired = obs.Default.NewCounter("proxykit_gateway_proxy_cache_expired_evictions_total",
+		"Cached proxies evicted because they expired before renewal.")
+	mRenewals = obs.Default.NewCounterVec("proxykit_gateway_proxy_renewals_total",
+		"Background proxy renewals, by outcome (ok, error).", "outcome")
+	mUpstreamErrors = obs.Default.NewCounterVec("proxykit_gateway_upstream_errors_total",
+		"Errors returned by downstream services, by service (authz, group, acct, end).", "service")
+)

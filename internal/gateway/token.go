@@ -1,0 +1,58 @@
+package gateway
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+)
+
+// RedactToken returns the loggable reference for a bearer token:
+// "tok-" plus the first 8 hex digits of its SHA-256. The reference is
+// stable (operators can correlate a journal entry with a mapping file
+// entry by hashing the secret themselves) but reveals nothing useful
+// to an attacker reading logs. Every log line, audit record, and API
+// response that needs to name a token uses this form; the raw secret
+// must never leave the Authorization header.
+func RedactToken(token string) string {
+	sum := sha256.Sum256([]byte(token))
+	return "tok-" + hex.EncodeToString(sum[:4])
+}
+
+// authenticator resolves presented bearer tokens to mapping entries in
+// constant time. Entries are stored as SHA-256 digests; a lookup
+// hashes the presented token once and compares it against every
+// stored digest with crypto/subtle, never breaking out early, so the
+// comparison cost is independent of which (if any) token matched and
+// of how many prefix bytes agree.
+type authenticator struct {
+	digests [][sha256.Size]byte
+	entries []TokenEntry
+}
+
+func newAuthenticator(cfg *MappingConfig) *authenticator {
+	a := &authenticator{
+		digests: make([][sha256.Size]byte, len(cfg.Tokens)),
+		entries: make([]TokenEntry, len(cfg.Tokens)),
+	}
+	for i, t := range cfg.Tokens {
+		a.digests[i] = sha256.Sum256([]byte(t.Token))
+		a.entries[i] = t
+	}
+	return a
+}
+
+// lookup resolves token to its entry. The scan visits every stored
+// digest regardless of where (or whether) a match occurs.
+func (a *authenticator) lookup(token string) (TokenEntry, bool) {
+	sum := sha256.Sum256([]byte(token))
+	match := -1
+	for i := range a.digests {
+		if subtle.ConstantTimeCompare(sum[:], a.digests[i][:]) == 1 && match < 0 {
+			match = i
+		}
+	}
+	if match < 0 {
+		return TokenEntry{}, false
+	}
+	return a.entries[match], true
+}

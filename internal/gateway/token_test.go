@@ -1,0 +1,185 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"proxykit/internal/audit"
+	"proxykit/internal/principal"
+	"proxykit/internal/transport"
+)
+
+func TestRedactToken(t *testing.T) {
+	const tok = "s3cret-token-value"
+	ref := RedactToken(tok)
+	if !strings.HasPrefix(ref, "tok-") || len(ref) != len("tok-")+8 {
+		t.Fatalf("RedactToken = %q, want tok-<8 hex digits>", ref)
+	}
+	if strings.Contains(ref, tok) || strings.Contains(tok, strings.TrimPrefix(ref, "tok-")) {
+		t.Fatalf("RedactToken %q leaks the secret", ref)
+	}
+	if RedactToken(tok) != ref {
+		t.Fatal("RedactToken is not stable")
+	}
+	if RedactToken("other") == ref {
+		t.Fatal("distinct tokens share a reference")
+	}
+}
+
+func TestAuthenticatorLookup(t *testing.T) {
+	cfg := &MappingConfig{Tokens: []TokenEntry{
+		{Token: "alpha", Subject: "a", Principal: "a@X.ORG"},
+		{Token: "bravo", Subject: "b", Principal: "b@X.ORG"},
+	}}
+	a := newAuthenticator(cfg)
+	if e, ok := a.lookup("bravo"); !ok || e.Subject != "b" {
+		t.Fatalf("lookup(bravo) = (%+v, %v)", e, ok)
+	}
+	if _, ok := a.lookup("charlie"); ok {
+		t.Fatal("unknown token matched")
+	}
+	// A prefix of a real token must not match.
+	if _, ok := a.lookup("alph"); ok {
+		t.Fatal("prefix matched")
+	}
+	if _, ok := a.lookup(""); ok {
+		t.Fatal("empty token matched")
+	}
+}
+
+// newLoggedGateway builds a Gateway whose slog output is captured in
+// the returned buffer, backed by an in-memory transport (no downstream
+// service is actually called by the routes these tests drive).
+func newLoggedGateway(t *testing.T, cfg *MappingConfig) (*Gateway, *bytes.Buffer, *audit.Journal) {
+	t.Helper()
+	net := transport.NewNetwork()
+	for _, name := range []string{"authz", "acct", "end"} {
+		net.Register(name, transport.NewMux())
+	}
+	var buf bytes.Buffer
+	journal, err := audit.New(audit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(Options{
+		StateDir:    t.TempDir(),
+		ID:          principal.New("gateway", "TEST.ORG"),
+		Mapping:     cfg,
+		AuthzClient: net.MustDial("authz"),
+		AcctClient:  net.MustDial("acct"),
+		EndClient:   net.MustDial("end"),
+		EndServerID: principal.New("files", "TEST.ORG"),
+		BankID:      principal.New("bank", "TEST.ORG"),
+		Journal:     journal,
+		Logger:      slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug})),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, &buf, journal
+}
+
+// TestTokenNeverLoggedOrAudited is the redaction regression test: it
+// drives authenticated requests, a bad token, and a refused
+// impersonation through the HTTP handler, then greps everything the
+// gateway wrote — log output and the full audit journal — for the raw
+// secrets. Only RedactToken references may appear.
+func TestTokenNeverLoggedOrAudited(t *testing.T) {
+	const (
+		goodToken = "super-secret-bearer-3492"
+		frontTok  = "front-end-secret-7781"
+	)
+	cfg := &MappingConfig{
+		Tokens: []TokenEntry{
+			{Token: goodToken, Subject: "ci", Principal: "ci@TEST.ORG", Admin: true},
+			{Token: frontTok, Subject: "web", Principal: "web@TEST.ORG"}, // Impersonate: false
+		},
+		Impersonation: []ImpersonationRule{{SubjectSuffix: "@corp.example.com", Realm: "TEST.ORG"}},
+	}
+	g, buf, journal := newLoggedGateway(t, cfg)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	do := func(token, impersonate string, wantCode int) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/session", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		if impersonate != "" {
+			req.Header.Set("X-Impersonate-Subject", impersonate)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body bytes.Buffer
+		if _, err := body.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != wantCode {
+			t.Fatalf("GET /v1/session token=%s imp=%q: code = %d, want %d (%s)",
+				RedactToken(token), impersonate, resp.StatusCode, wantCode, body.String())
+		}
+		for _, secret := range []string{goodToken, frontTok} {
+			if bytes.Contains(body.Bytes(), []byte(secret)) {
+				t.Fatalf("response body leaks a bearer token: %s", body.String())
+			}
+		}
+	}
+
+	do(goodToken, "", http.StatusOK)
+	do("wrong-token-entirely", "", http.StatusUnauthorized)
+	do(frontTok, "alice@corp.example.com", http.StatusForbidden) // not entitled to impersonate
+	do("", "", http.StatusUnauthorized)
+
+	// Sessions/token-map introspection must be redacted too.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/sessions", nil)
+	req.Header.Set("Authorization", "Bearer "+goodToken)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sessionsBody bytes.Buffer
+	if _, err := sessionsBody.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/sessions = %d: %s", resp.StatusCode, sessionsBody.String())
+	}
+
+	journalJSON, err := json.Marshal(journal.Tail(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	captured := map[string][]byte{
+		"log output":    buf.Bytes(),
+		"audit journal": journalJSON,
+		"/v1/sessions":  sessionsBody.Bytes(),
+	}
+	for where, data := range captured {
+		for _, secret := range []string{goodToken, frontTok} {
+			if bytes.Contains(data, []byte(secret)) {
+				t.Errorf("%s contains a raw bearer token:\n%s", where, data)
+			}
+		}
+	}
+	// The redacted reference must appear where the token was named, so
+	// operators can still correlate.
+	if !bytes.Contains(buf.Bytes(), []byte(RedactToken(goodToken))) {
+		t.Errorf("log output never names %s; redaction should keep the reference, not drop it", RedactToken(goodToken))
+	}
+	if !bytes.Contains(journalJSON, []byte(RedactToken(goodToken))) {
+		t.Errorf("audit journal never names %s", RedactToken(goodToken))
+	}
+}

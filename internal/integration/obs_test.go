@@ -287,7 +287,7 @@ func TestObservabilityDocCatalogue(t *testing.T) {
 
 // auditKindRE matches backticked audit kinds like `acct.deposit` in
 // the documentation's kinds table.
-var auditKindRE = regexp.MustCompile("`((?:end|authz|group|acct)\\.[a-z-]+)`")
+var auditKindRE = regexp.MustCompile("`((?:end|authz|group|acct|gateway)\\.[a-z-]+)`")
 
 // TestAuditKindDocCatalogue diffs audit.Kinds() against the "Audit
 // journal" section of OBSERVABILITY.md in both directions: every kind

@@ -136,7 +136,7 @@ func (s *AcctService) handleDeposit(ctx context.Context, raw []byte) ([]byte, er
 		return nil, err
 	}
 	d := wire.NewDecoder(body)
-	c, err := decodeCheck(d)
+	c, err := DecodeCheck(d)
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +169,10 @@ func EncodeCheck(e *wire.Encoder, c *accounting.Check) {
 	e.Bytes32(c.Proxy.MarshalCerts())
 }
 
-func decodeCheck(d *wire.Decoder) (*accounting.Check, error) {
+// DecodeCheck reverses EncodeCheck: the check's public parts only, so
+// a decoded check can be deposited or endorsed but never spent as the
+// payee's bearer instrument (the proxy key never travels).
+func DecodeCheck(d *wire.Decoder) (*accounting.Check, error) {
 	c := &accounting.Check{}
 	c.Number = d.String()
 	c.Bank = principal.DecodeID(d)

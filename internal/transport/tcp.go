@@ -499,6 +499,15 @@ func (c *TCPClient) getConn() (*clientConn, error) {
 // response or the per-call deadline — concurrent calls on one client
 // proceed in parallel and responses may return in any order.
 func (c *TCPClient) Call(method string, body []byte) ([]byte, error) {
+	return c.CallTrace(obs.Trace{}, method, body)
+}
+
+// CallTrace is Call with an explicit parent trace context: the outgoing
+// request travels as a child span of parent, so a multi-hop operation
+// (e.g. an HTTP request through the gateway) shares one trace ID from
+// the edge to every downstream RPC. A zero parent starts a fresh root
+// trace, which is what Call does.
+func (c *TCPClient) CallTrace(parent obs.Trace, method string, body []byte) ([]byte, error) {
 	c.mu.Lock()
 	closed, timeout, inj := c.closed, c.timeout, c.injector
 	c.mu.Unlock()
@@ -506,6 +515,9 @@ func (c *TCPClient) Call(method string, body []byte) ([]byte, error) {
 		return nil, ErrClosed
 	}
 	tr := obs.NewTrace()
+	if parent.TraceID != "" {
+		tr = parent.Child()
+	}
 	mClientRequests.With(method).Inc()
 	start := time.Now()
 	resp, err := c.callInjected(method, tr, body, timeout, inj)
@@ -640,6 +652,8 @@ func (c *TCPClient) Close() error {
 }
 
 var (
-	_ Client = (*memClient)(nil)
-	_ Client = (*TCPClient)(nil)
+	_ Client      = (*memClient)(nil)
+	_ Client      = (*TCPClient)(nil)
+	_ TraceClient = (*memClient)(nil)
+	_ TraceClient = (*TCPClient)(nil)
 )

@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"proxykit/internal/obs"
+)
+
+// traceEcho returns a mux whose one method reports the trace ID the
+// handler observed in its context.
+func traceEcho() *Mux {
+	mux := NewMux()
+	mux.Handle("echo.trace", func(ctx context.Context, body []byte) ([]byte, error) {
+		tr, _ := obs.TraceFrom(ctx)
+		return []byte(tr.TraceID), nil
+	})
+	return mux
+}
+
+func TestTCPCallTraceJoinsParent(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewTCPServer(l, traceEcho())
+	defer srv.Close()
+	c, err := DialTCP(l.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	parent := obs.NewTrace()
+	got, err := c.CallTrace(parent, "echo.trace", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != parent.TraceID {
+		t.Fatalf("handler saw trace %q, want caller's %q", got, parent.TraceID)
+	}
+
+	// A zero parent starts a fresh root, like Call.
+	got, err = c.CallTrace(obs.Trace{}, "echo.trace", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) == parent.TraceID {
+		t.Fatalf("zero-parent call reused trace %q", got)
+	}
+}
+
+func TestWithTraceWrapsMemClient(t *testing.T) {
+	net := NewNetwork()
+	net.Register("svc", traceEcho())
+	parent := obs.NewTrace()
+	c := WithTrace(net.MustDial("svc"), parent)
+	got, err := c.Call("echo.trace", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != parent.TraceID {
+		t.Fatalf("handler saw trace %q, want caller's %q", got, parent.TraceID)
+	}
+
+	// Zero parent: WithTrace is a no-op passthrough.
+	plain := net.MustDial("svc")
+	if WithTrace(plain, obs.Trace{}) != plain {
+		t.Fatal("WithTrace with zero parent should return the client unchanged")
+	}
+}

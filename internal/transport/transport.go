@@ -58,6 +58,40 @@ type Client interface {
 	Call(method string, body []byte) ([]byte, error)
 }
 
+// TraceClient is a Client whose calls can join an existing trace: the
+// outgoing request is recorded as a child span of parent instead of a
+// fresh root. Both transport implementations satisfy it.
+type TraceClient interface {
+	Client
+	// CallTrace is Call with an explicit parent trace context; a zero
+	// parent behaves like Call.
+	CallTrace(parent obs.Trace, method string, body []byte) ([]byte, error)
+}
+
+// WithTrace binds a parent trace to c: every Call through the returned
+// Client travels as a child span of parent. If c does not support trace
+// propagation the calls pass through unchanged (fresh root traces).
+// Service clients (svc.EndClient etc.) only see transport.Client, so
+// this is how an edge daemon threads its per-request trace into the
+// sealed-envelope call helpers without changing their signatures.
+func WithTrace(c Client, parent obs.Trace) Client {
+	tc, ok := c.(TraceClient)
+	if !ok || parent.TraceID == "" {
+		return c
+	}
+	return &tracedClient{tc: tc, parent: parent}
+}
+
+type tracedClient struct {
+	tc     TraceClient
+	parent obs.Trace
+}
+
+// Call implements Client, forwarding under the bound parent trace.
+func (t *tracedClient) Call(method string, body []byte) ([]byte, error) {
+	return t.tc.CallTrace(t.parent, method, body)
+}
+
 // Mux routes methods to handlers. The zero value is not usable; call
 // NewMux.
 type Mux struct {
@@ -202,6 +236,17 @@ type memClient struct {
 // When an injector is installed, messages can be dropped, duplicated,
 // delayed, failed, or partitioned before they reach the handler.
 func (c *memClient) Call(method string, body []byte) ([]byte, error) {
+	return c.CallTrace(obs.Trace{}, method, body)
+}
+
+// CallTrace is Call under an explicit parent trace; the handler-side
+// context carries a child of parent, as the TCP transport does on the
+// wire. A zero parent behaves like Call.
+func (c *memClient) CallTrace(parent obs.Trace, method string, body []byte) ([]byte, error) {
+	tr := obs.NewTrace()
+	if parent.TraceID != "" {
+		tr = parent.Child()
+	}
 	c.net.mu.RLock()
 	lat, sleep, inj := c.net.latency, c.net.sleep, c.net.injector
 	c.net.mu.RUnlock()
@@ -222,26 +267,28 @@ func (c *memClient) Call(method string, body []byte) ([]byte, error) {
 		case faultpoint.ActDropResponse:
 			// The handler runs — its side effects happen — but the
 			// reply is lost; the caller observes a timeout.
-			_, _ = c.dispatch(method, body)
+			_, _ = c.dispatch(tr, method, body)
 			return nil, &faultpoint.Error{Action: d.Action, Method: method}
 		case faultpoint.ActDuplicate:
 			// Delivered twice; the caller sees the first delivery's
 			// outcome, the second is the network's doing.
-			resp, err := c.dispatch(method, body)
-			_, _ = c.dispatch(method, body)
+			resp, err := c.dispatch(tr, method, body)
+			_, _ = c.dispatch(tr, method, body)
 			return c.finish(method, resp, err, lat, sleep)
 		}
 	}
-	resp, err := c.dispatch(method, body)
+	resp, err := c.dispatch(tr, method, body)
 	return c.finish(method, resp, err, lat, sleep)
 }
 
 // dispatch delivers one request to the service, metering the request
 // message.
-func (c *memClient) dispatch(method string, body []byte) ([]byte, error) {
+func (c *memClient) dispatch(tr obs.Trace, method string, body []byte) ([]byte, error) {
 	c.net.stats.Messages.Add(1)
 	c.net.stats.Bytes.Add(uint64(len(body)))
-	ctx := obs.ContextWithTrace(context.Background(), obs.NewTrace())
+	// Mirror the TCP server's receive side: the handler gets its own
+	// span within the caller's trace, parented on the client span.
+	ctx := obs.ContextWithTrace(context.Background(), obs.ParseTrace(tr.String()))
 	return dispatchSafely(ctx, c.mux, method, body)
 }
 
