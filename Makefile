@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check audit-verify gateway-smoke bench bench-smoke bench-rpc bench-ledger crash experiments examples cover fuzz clean
+.PHONY: all build vet test race check audit-verify gateway-smoke loadgen-smoke bench bench-smoke bench-rpc bench-ledger bench-loadgen crash experiments examples cover fuzz clean
 
 all: check
 
@@ -27,7 +27,7 @@ race:
 	$(GO) test -race ./internal/transport/... ./internal/obs/... ./internal/accounting/... \
 		./internal/chaos/... ./internal/faultpoint/... ./internal/svc/... \
 		./internal/endserver/... ./internal/proxy/... ./internal/group/... \
-		./internal/ledger/... ./internal/gateway/...
+		./internal/ledger/... ./internal/gateway/... ./internal/loadgen/...
 
 check: build vet test race
 
@@ -42,6 +42,13 @@ audit-verify:
 # the gateway, the end-server, and the bank afterwards.
 gateway-smoke:
 	$(GO) test ./internal/integration/ -run 'TestGateway(Smoke|EndToEnd|Impersonation|ErrorMapping|DocCatalogue)' -v -count=1
+
+# Seeded 5-second mixed workload (authorize/transfer/deposit/gateway)
+# through the full in-process topology via the open-loop generator:
+# asserts zero SLO parse errors, zero op errors, and a well-formed
+# BENCH_PR7.json report document.
+loadgen-smoke:
+	$(GO) test ./internal/loadgen/ -run TestLoadgenSmoke -v -count=1 -loadgen.duration=5s
 
 # Kill-and-recover chaos suite: SIGKILL a bank at a fault-injected WAL
 # append boundary, replay the ledger, and audit the recovered books
@@ -68,6 +75,11 @@ bench-rpc:
 # fsync=off vs fsync=always).
 bench-ledger:
 	$(GO) run ./cmd/benchledger -o BENCH_PR5.json
+
+# Regenerate BENCH_PR7.json (open-loop mixed workload against the
+# in-process topology, judged against the standard SLO objectives).
+bench-loadgen:
+	$(GO) run ./cmd/loadgen -o BENCH_PR7.json
 
 experiments:
 	$(GO) run ./cmd/benchproxy

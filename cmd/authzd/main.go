@@ -76,14 +76,22 @@ func run() error {
 		fsyncMode   = flag.String("fsync", "always", "WAL durability: always (fsync per append), interval (periodic fsync), off (buffered)")
 		snapEvery   = flag.Duration("snapshot-interval", time.Minute, "how often the ledger snapshots the database and truncates the WAL; 0 disables the background snapshotter")
 		logOpts     logging.Options
+		traceOpts   obs.TraceOptions
 	)
 	logOpts.RegisterFlags(flag.CommandLine)
+	traceOpts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	logger, err := logOpts.Setup(nil)
 	if err != nil {
 		return err
 	}
+
+	obsCleanup, err := traceOpts.Apply()
+	if err != nil {
+		return err
+	}
+	defer obsCleanup()
 
 	journal, err := audit.New(audit.Options{Path: *auditFile, Logger: logger})
 	if err != nil {

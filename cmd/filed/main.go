@@ -69,14 +69,22 @@ func run() error {
 		rpcWorkers  = flag.Int("rpc-workers", 0, "bound on concurrently handled RPC requests (0 = default pool size)")
 		chainCache  = flag.Int("chain-cache", proxy.DefaultChainCacheSize, "verified-chain cache capacity; 0 disables caching")
 		logOpts     logging.Options
+		traceOpts   obs.TraceOptions
 	)
 	logOpts.RegisterFlags(flag.CommandLine)
+	traceOpts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	logger, err := logOpts.Setup(nil)
 	if err != nil {
 		return err
 	}
+
+	obsCleanup, err := traceOpts.Apply()
+	if err != nil {
+		return err
+	}
+	defer obsCleanup()
 
 	journal, err := audit.New(audit.Options{Path: *auditFile, Logger: logger})
 	if err != nil {

@@ -55,6 +55,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	obsCleanup, err := opts.Trace.Apply()
+	if err != nil {
+		return err
+	}
+	defer obsCleanup()
 	if opts.Mapping == "" {
 		return fmt.Errorf("-mapping is required (see GATEWAY.md)")
 	}

@@ -53,14 +53,22 @@ func run() error {
 		faultSeed   = flag.Int64("fault-seed", 1, "PRNG seed for -fault-spec decisions")
 		rpcWorkers  = flag.Int("rpc-workers", 0, "bound on concurrently handled RPC requests (0 = default pool size)")
 		logOpts     logging.Options
+		traceOpts   obs.TraceOptions
 	)
 	logOpts.RegisterFlags(flag.CommandLine)
+	traceOpts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	logger, err := logOpts.Setup(nil)
 	if err != nil {
 		return err
 	}
+
+	obsCleanup, err := traceOpts.Apply()
+	if err != nil {
+		return err
+	}
+	defer obsCleanup()
 
 	journal, err := audit.New(audit.Options{Path: *auditFile, Logger: logger})
 	if err != nil {

@@ -77,6 +77,10 @@ func main() {
 		err = cmdMetrics(args)
 	case "audit":
 		err = cmdAudit(args)
+	case "trace":
+		err = cmdTrace(args)
+	case "slo":
+		err = cmdSLO(args)
 	case "gateway":
 		err = cmdGateway(args)
 	default:
@@ -103,6 +107,8 @@ commands:
   statement    print an account's transaction history
   metrics      scrape and pretty-print a daemon's /metrics and /healthz
   audit        tail, query, or verify a daemon's audit journal
+  trace        assemble and render one distributed trace across daemons
+  slo          report latency-objective compliance and error budgets
   gateway      inspect a gatewayd: sessions, token map, proxy cache`)
 }
 

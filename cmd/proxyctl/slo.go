@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"proxykit/internal/obs"
+)
+
+// sloDoc is the /slo response document.
+type sloDoc struct {
+	Objectives []obs.ObjectiveReport `json:"objectives"`
+}
+
+// fetchSLO reads one daemon's /slo compliance document.
+func fetchSLO(addr string) (*sloDoc, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(fmt.Sprintf("http://%s/slo", addr))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("slo: %s returned %s", addr, resp.Status)
+	}
+	var doc sloDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("slo: decode %s: %w", addr, err)
+	}
+	return &doc, nil
+}
+
+// cmdSLO scrapes /slo from every listed daemon and reports latency-
+// objective compliance: target vs observed quantile, burn counts,
+// remaining error budget, and exemplar trace IDs for breached
+// objectives (feed those to `proxyctl trace show`).
+func cmdSLO(args []string) error {
+	fs := flag.NewFlagSet("slo", flag.ExitOnError)
+	addrs := fs.String("addrs", "127.0.0.1:9090", "comma-separated daemon metrics addresses to scrape")
+	strict := fs.Bool("strict", false, "exit non-zero when any objective's error budget is exhausted")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	blown := 0
+	for _, addr := range strings.Split(*addrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		doc, err := fetchSLO(addr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s:\n", addr)
+		if len(doc.Objectives) == 0 {
+			fmt.Println("  (no objectives armed; start the daemon with -slo)")
+			continue
+		}
+		for _, o := range doc.Objectives {
+			status := "OK"
+			if !o.Compliant {
+				status = "BUDGET EXHAUSTED"
+				blown++
+			}
+			fmt.Printf("  %-28s p%g < %-8s observed=%-10s %d/%d over target  budget=%s  %s\n",
+				o.Method, o.Quantile*100, o.TargetText,
+				time.Duration(o.ObservedQuantileNs).Round(time.Microsecond),
+				o.Breaches, o.Total, fmtPpm(o.BudgetRemainingPpm), status)
+			if !o.Compliant && len(o.ExemplarTraceIDs) > 0 {
+				fmt.Printf("    exemplar traces: %s\n", strings.Join(o.ExemplarTraceIDs, " "))
+			}
+		}
+	}
+	if *strict && blown > 0 {
+		return fmt.Errorf("slo: %d objective(s) over budget", blown)
+	}
+	return nil
+}
+
+// fmtPpm renders a parts-per-million budget as a percentage.
+func fmtPpm(ppm int64) string {
+	return fmt.Sprintf("%.1f%%", float64(ppm)/10_000)
+}

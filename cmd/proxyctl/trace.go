@@ -1,0 +1,231 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"proxykit/internal/obs"
+)
+
+// cmdTrace dispatches the trace subcommands: show assembles one
+// distributed trace from every daemon's /traces endpoint and renders
+// the span tree; recent lists the trace IDs a daemon has seen.
+func cmdTrace(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: proxyctl trace <show|recent> [flags]")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "show":
+		return cmdTraceShow(rest)
+	case "recent":
+		return cmdTraceRecent(rest)
+	default:
+		return fmt.Errorf("trace: unknown subcommand %q (want show or recent)", sub)
+	}
+}
+
+// tracePage is the /traces response document.
+type tracePage struct {
+	Total  uint64     `json:"total"`
+	Oldest uint64     `json:"oldest"`
+	Cursor uint64     `json:"cursor"`
+	Spans  []obs.Span `json:"spans"`
+}
+
+// fetchTraces reads one /traces page from a daemon's metrics listener.
+func fetchTraces(addr string, since uint64, limit int, traceID string) (*tracePage, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	url := fmt.Sprintf("http://%s/traces?since=%d", addr, since)
+	if limit > 0 {
+		url += fmt.Sprintf("&limit=%d", limit)
+	}
+	if traceID != "" {
+		url += "&trace=" + traceID
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("traces: %s returned %s", addr, resp.Status)
+	}
+	var page tracePage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return nil, fmt.Errorf("traces: decode %s: %w", addr, err)
+	}
+	return &page, nil
+}
+
+// traceNode is one collected span plus the daemon it came from.
+type traceNode struct {
+	span obs.Span
+	addr string
+}
+
+func cmdTraceShow(args []string) error {
+	// The trace ID is positional: proxyctl trace show <id> -addrs ...
+	var id string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		id, args = args[0], args[1:]
+	}
+	fs := flag.NewFlagSet("trace show", flag.ExitOnError)
+	addrs := fs.String("addrs", "127.0.0.1:9090", "comma-separated daemon metrics addresses to scrape (every -metrics-addr in the deployment)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if id == "" && fs.NArg() > 0 {
+		id = fs.Arg(0)
+	}
+	if id == "" {
+		return fmt.Errorf("usage: proxyctl trace show <trace-id> -addrs host:port,...")
+	}
+
+	var nodes []traceNode
+	var errs []string
+	for _, addr := range strings.Split(*addrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		page, err := fetchTraces(addr, 0, 0, id)
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		for _, s := range page.Spans {
+			nodes = append(nodes, traceNode{span: s, addr: addr})
+		}
+	}
+	for _, e := range errs {
+		fmt.Printf("warning: %s\n", e)
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("trace %s: no spans found on %s (evicted from the rings? check -trace-file sinks)", id, *addrs)
+	}
+	printTraceTree(id, nodes)
+	return nil
+}
+
+// printTraceTree joins the collected spans by span ID and renders the
+// parent/child tree with per-hop durations. Spans whose parent was not
+// collected (e.g. a daemon without -metrics-addr, or evicted from its
+// ring) are rendered as additional roots, flagged as orphaned.
+func printTraceTree(id string, nodes []traceNode) {
+	daemons := map[string]bool{}
+	byID := map[string]int{}
+	for i, n := range nodes {
+		daemons[n.addr] = true
+		byID[n.span.SpanID] = i
+	}
+	children := map[string][]int{}
+	var roots, orphans []int
+	for i, n := range nodes {
+		switch {
+		case n.span.Parent == "":
+			roots = append(roots, i)
+		default:
+			if _, ok := byID[n.span.Parent]; ok {
+				children[n.span.Parent] = append(children[n.span.Parent], i)
+			} else {
+				orphans = append(orphans, i)
+			}
+		}
+	}
+	byStart := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool { return nodes[idx[a]].span.Start.Before(nodes[idx[b]].span.Start) })
+	}
+	byStart(roots)
+	byStart(orphans)
+	for _, idx := range children {
+		byStart(idx)
+	}
+
+	fmt.Printf("trace %s: %d spans from %d daemons\n", id, len(nodes), len(daemons))
+	var render func(i int, prefix string, last bool)
+	render = func(i int, prefix string, last bool) {
+		branch, indent := "├─ ", "│  "
+		if last {
+			branch, indent = "└─ ", "   "
+		}
+		fmt.Printf("%s%s%s\n", prefix, branch, spanLine(nodes[i]))
+		kids := children[nodes[i].span.SpanID]
+		for k, c := range kids {
+			render(c, prefix+indent, k == len(kids)-1)
+		}
+	}
+	for _, r := range roots {
+		fmt.Printf("%s\n", spanLine(nodes[r]))
+		kids := children[nodes[r].span.SpanID]
+		for k, c := range kids {
+			render(c, "", k == len(kids)-1)
+		}
+	}
+	for _, o := range orphans {
+		fmt.Printf("(parent %s not collected)\n", short(nodes[o].span.Parent))
+		fmt.Printf("%s\n", spanLine(nodes[o]))
+		kids := children[nodes[o].span.SpanID]
+		for k, c := range kids {
+			render(c, "", k == len(kids)-1)
+		}
+	}
+}
+
+// spanLine renders one span: method, kind, source daemon, duration,
+// and failure/annotation.
+func spanLine(n traceNode) string {
+	s := fmt.Sprintf("%s  [%s @%s]  %s", n.span.Method, n.span.Kind, n.addr, n.span.Duration.Round(time.Microsecond))
+	if n.span.Err != "" {
+		s += fmt.Sprintf("  ERR: %s", n.span.Err)
+	}
+	if n.span.Note != "" {
+		s += fmt.Sprintf("  (%s)", n.span.Note)
+	}
+	return s
+}
+
+func cmdTraceRecent(args []string) error {
+	fs := flag.NewFlagSet("trace recent", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "daemon metrics address (host:port of its -metrics-addr)")
+	since := fs.Uint64("since", 0, "return spans with seq greater than this cursor")
+	limit := fs.Int("limit", 0, "maximum spans to fetch (0 = all retained)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	page, err := fetchTraces(*addr, *since, *limit, "")
+	if err != nil {
+		return err
+	}
+	// One line per trace, newest first, with its span count and root
+	// method when the root is retained.
+	type agg struct {
+		count int
+		last  obs.Span
+	}
+	order := []string{}
+	traces := map[string]*agg{}
+	for _, s := range page.Spans {
+		a := traces[s.TraceID]
+		if a == nil {
+			a = &agg{}
+			traces[s.TraceID] = a
+			order = append(order, s.TraceID)
+		}
+		a.count++
+		a.last = s
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		tid := order[i]
+		a := traces[tid]
+		fmt.Printf("%s  %d span(s)  latest=%s %s\n", tid, a.count, a.last.Method, a.last.Duration.Round(time.Microsecond))
+	}
+	fmt.Printf("(%d spans, %d traces, cursor=%d, oldest=%d, total=%d)\n",
+		len(page.Spans), len(traces), page.Cursor, page.Oldest, page.Total)
+	return nil
+}

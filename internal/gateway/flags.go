@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"proxykit/internal/logging"
+	"proxykit/internal/obs"
 )
 
 // DaemonOptions are gatewayd's command-line settings. They live here —
@@ -35,7 +36,8 @@ type DaemonOptions struct {
 	RenewInterval time.Duration
 	DialTimeout   time.Duration
 
-	Log logging.Options
+	Log   logging.Options
+	Trace obs.TraceOptions
 }
 
 // RegisterFlags registers every gatewayd flag on fs, mirroring the
@@ -67,4 +69,5 @@ func (o *DaemonOptions) RegisterFlags(fs *flag.FlagSet) {
 	fs.DurationVar(&o.DialTimeout, "dial-timeout", 5*time.Second, "downstream dial timeout and default per-call RPC deadline")
 
 	o.Log.RegisterFlags(fs)
+	o.Trace.RegisterFlags(fs)
 }

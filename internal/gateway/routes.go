@@ -158,6 +158,7 @@ func (g *Gateway) route(label string, h func(http.ResponseWriter, *http.Request,
 			span.Err = http.StatusText(sw.code)
 		}
 		obs.Spans.Record(span)
+		obs.DefaultSLO.Observe(label, dur, tr.TraceID)
 	}
 }
 

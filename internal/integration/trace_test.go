@@ -1,0 +1,253 @@
+package integration
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"proxykit/internal/faultpoint"
+	"proxykit/internal/obs"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/svc"
+	"proxykit/internal/transport"
+)
+
+// Trace-continuity tests: ISSUE 7 requires one trace tree across the
+// three interesting boundaries — gateway HTTP → mux RPC → backend
+// daemon, a cascaded multi-link authorize, and a retried call under
+// fault injection (attempts as siblings, not new traces). They assert
+// against the process-global span ring the way `proxyctl trace show`
+// reads it: obs.Spans.Page filtered by trace ID.
+
+// spansFor pages every retained span of one trace out of the global
+// ring.
+func spansFor(traceID string) []obs.Span {
+	spans, _, _, _ := obs.Spans.Page(0, 0, traceID)
+	return spans
+}
+
+// ancestorOf walks s's parent links through byID and reports whether it
+// reaches root.
+func ancestorOf(byID map[string]obs.Span, s obs.Span, root string) bool {
+	for hops := 0; hops < 32; hops++ {
+		if s.Parent == "" {
+			return s.SpanID == root
+		}
+		if s.Parent == root {
+			return true
+		}
+		next, ok := byID[s.Parent]
+		if !ok {
+			return false
+		}
+		s = next
+	}
+	return false
+}
+
+// TestTraceTreeGatewayToBackend crosses the HTTP boundary: one
+// /v1/authorize call must yield a single trace whose root is the
+// gateway's HTTP server span and whose descendants include the
+// end-server's end.request server span, connected by parent links —
+// the tree `proxyctl trace show` renders.
+func TestTraceTreeGatewayToBackend(t *testing.T) {
+	d := newGatewayDeployment(t)
+	code, doc, traceID := d.call("POST", "/v1/authorize", ciToken, "",
+		map[string]any{"object": "/shared/doc", "op": "read"})
+	if code != 200 {
+		t.Fatalf("authorize = %d: %v", code, doc)
+	}
+	if traceID == "" {
+		t.Fatal("no X-Trace-Id header")
+	}
+
+	spans := spansFor(traceID)
+	if len(spans) < 3 {
+		t.Fatalf("trace %s has %d spans, want at least HTTP root + client + server", traceID, len(spans))
+	}
+	byID := make(map[string]obs.Span, len(spans))
+	for _, s := range spans {
+		byID[s.SpanID] = s
+	}
+
+	var root obs.Span
+	for _, s := range spans {
+		if s.Kind == "server" && s.Method == "POST /v1/authorize" {
+			root = s
+		}
+	}
+	if root.SpanID == "" {
+		t.Fatalf("trace %s has no gateway HTTP server span: %+v", traceID, spans)
+	}
+	if root.Parent != "" {
+		t.Errorf("gateway HTTP span has parent %q, want a root span", root.Parent)
+	}
+
+	// The end-server's server-side span must hang off the gateway root
+	// through its client span — one connected tree, no orphans.
+	var endSpan obs.Span
+	for _, s := range spans {
+		if s.Kind == "server" && s.Method == "end.request" {
+			endSpan = s
+		}
+	}
+	if endSpan.SpanID == "" {
+		t.Fatalf("trace %s has no end.request server span: %+v", traceID, spans)
+	}
+	if !ancestorOf(byID, endSpan, root.SpanID) {
+		t.Errorf("end.request span does not chain to the HTTP root: %+v", spans)
+	}
+
+	// Every span of the trace chains to the one root: durations beyond
+	// that are per-hop and positive.
+	for _, s := range spans {
+		if s.SpanID == root.SpanID {
+			continue
+		}
+		if !ancestorOf(byID, s, root.SpanID) {
+			t.Errorf("span %s %s/%s is disconnected from the root", s.SpanID, s.Kind, s.Method)
+		}
+		if s.Duration <= 0 {
+			t.Errorf("span %s %s/%s has non-positive duration %v", s.SpanID, s.Kind, s.Method, s.Duration)
+		}
+	}
+}
+
+// TestTraceCascadedAuthorize binds one root trace across the full
+// multi-link cascade — group proxy, then an authorization proxy
+// presenting it, then the end-server request presenting that — issued
+// over three different daemons' connections. All three RPCs must join
+// the same trace as children of the bound root.
+func TestTraceCascadedAuthorize(t *testing.T) {
+	d := newDeployment(t)
+	fileID := principal.New("file/srv1", realm)
+	root := obs.NewTrace()
+
+	gc := svc.NewGroupClient(transport.WithTrace(d.dial("groups"), root), d.bob, nil)
+	gp, err := gc.Grant(svc.GroupGrantParams{Groups: []string{"staff"}, Lifetime: time.Hour, Delegate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac := svc.NewAuthzClient(transport.WithTrace(d.dial("authz"), root), d.bob, nil)
+	ap, err := ac.Grant(svc.GrantParams{
+		EndServer: fileID, Lifetime: time.Hour, Delegate: true,
+		GroupProxies: []*proxy.Presentation{gp.PresentDelegate()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := svc.NewEndClient(transport.WithTrace(d.dial("file"), root), d.bob, nil)
+	if _, err := ec.Request(svc.RequestParams{
+		Object: "/shared/doc", Op: "read",
+		Proxies: []*proxy.Presentation{ap.PresentDelegate()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := spansFor(root.TraceID)
+	byID := make(map[string]obs.Span, len(spans))
+	for _, s := range spans {
+		byID[s.SpanID] = s
+	}
+	serverSeen := map[string]bool{}
+	for _, s := range spans {
+		if s.Kind == "server" {
+			serverSeen[s.Method] = true
+		}
+		// Client spans issued through the bound root are its direct
+		// children; server spans chain through them.
+		if !ancestorOf(byID, s, root.SpanID) {
+			t.Errorf("span %s %s/%s escaped the bound trace", s.SpanID, s.Kind, s.Method)
+		}
+	}
+	for _, method := range []string{"group.grant", "authz.grant", "end.request"} {
+		if !serverSeen[method] {
+			t.Errorf("cascade link %s has no server span under trace %s (have %v)", method, root.TraceID, serverSeen)
+		}
+	}
+}
+
+// TestTraceRetrySiblings crosses the retry boundary under fault
+// injection: a call whose first attempt is injected away must record
+// its attempts as sibling spans under one logical "call" parent, in a
+// single trace — not as a fresh root trace per attempt.
+func TestTraceRetrySiblings(t *testing.T) {
+	mux := transport.NewMux()
+	mux.Handle("echo", func(_ context.Context, body []byte) ([]byte, error) { return body, nil })
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.NewTCPServer(l, mux)
+	t.Cleanup(func() { _ = srv.Close() })
+	c, err := transport.DialTCP(srv.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	// Partition the client for exactly the first attempt: the retry
+	// policy's Sleep hook heals it before attempt two, so the schedule
+	// is fully deterministic.
+	inj := faultpoint.New(1, faultpoint.Rule{Method: "echo", Partition: true})
+	c.SetInjector(inj)
+	rc := transport.NewRetryClient(c, transport.RetryPolicy{
+		MaxAttempts: 3,
+		Sleep:       func(time.Duration) { inj.SetEnabled(false) },
+	})
+
+	before := obs.Spans.Total()
+	resp, err := rc.Call("echo", []byte("hi"))
+	if err != nil || string(resp) != "hi" {
+		t.Fatalf("retried call = %q, %v", resp, err)
+	}
+
+	// Find the logical root: the kind "call" span covering the retried
+	// operation.
+	newSpans, _, _, _ := obs.Spans.Page(before, 0, "")
+	var call obs.Span
+	for _, s := range newSpans {
+		if s.Kind == "call" && s.Method == "echo" {
+			call = s
+		}
+	}
+	if call.SpanID == "" {
+		t.Fatalf("no call-kind span recorded: %+v", newSpans)
+	}
+	if call.Err != "" {
+		t.Errorf("call span carries error %q though the operation succeeded", call.Err)
+	}
+
+	var attempts []obs.Span
+	traces := map[string]bool{}
+	for _, s := range newSpans {
+		if s.Method != "echo" {
+			continue
+		}
+		traces[s.TraceID] = true
+		if s.Kind == "client" {
+			attempts = append(attempts, s)
+		}
+	}
+	// The whole retried operation — failed attempt, successful attempt,
+	// server span, and the call root — lives in ONE trace.
+	if len(traces) != 1 || !traces[call.TraceID] {
+		t.Fatalf("retried call spread across traces %v, want only %s", traces, call.TraceID)
+	}
+	if len(attempts) != 2 {
+		t.Fatalf("recorded %d attempt spans, want 2: %+v", len(attempts), attempts)
+	}
+	for i, a := range attempts {
+		if a.Parent != call.SpanID {
+			t.Errorf("attempt %d has parent %q, want the call span %q (siblings under one parent)", i, a.Parent, call.SpanID)
+		}
+	}
+	if attempts[0].Err == "" {
+		t.Errorf("first attempt span records no error: %+v", attempts[0])
+	}
+	if attempts[1].Err != "" {
+		t.Errorf("second attempt span records error %q, want success", attempts[1].Err)
+	}
+}

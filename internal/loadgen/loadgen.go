@@ -1,0 +1,300 @@
+// Package loadgen is the standing measurement harness: an open-loop
+// load generator that drives a mixed authorize/transfer/deposit/
+// gateway-HTTP workload against a proxykit topology at a fixed arrival
+// rate, records full client-side latency distributions per operation,
+// and reports them alongside the server-side SLO engine's compliance
+// verdicts (internal/obs). Open-loop means arrivals are scheduled by
+// the clock, not by completions: a slow server does not slow the
+// generator down, so queueing delay shows up in the measured latencies
+// instead of being hidden by coordinated omission.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"proxykit/internal/obs"
+)
+
+// Op is one workload operation the generator can issue. Do is called
+// once per arrival with the index of the simulated principal acting;
+// it must be safe for concurrent use.
+type Op struct {
+	Name string
+	Do   func(principal int) error
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Rate is the offered arrival rate in operations per second.
+	Rate float64
+	// Duration is how long arrivals are generated.
+	Duration time.Duration
+	// Principals is how many simulated principals the workload cycles
+	// through.
+	Principals int
+	// Mix maps op name to relative weight (see ParseMix). Ops absent
+	// from the mix are not issued; an empty mix weights every op
+	// equally.
+	Mix map[string]float64
+	// Seed drives principal and op selection (reproducible workloads).
+	Seed int64
+	// SLO is the latency-objective spec armed on obs.DefaultSLO before
+	// the run, so the in-process servers' observations are judged
+	// (see OBSERVABILITY.md for the grammar).
+	SLO string
+}
+
+// ParseMix parses "authorize=0.4,transfer=0.3,deposit=0.2,gateway=0.1"
+// into a weight map. Weights are relative; they need not sum to 1.
+func ParseMix(s string) (map[string]float64, error) {
+	mix := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: mix %q: want name=weight", part)
+		}
+		w, err := strconv.ParseFloat(wstr, 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("loadgen: mix %q: bad weight", part)
+		}
+		mix[strings.TrimSpace(name)] = w
+	}
+	return mix, nil
+}
+
+// OpReport is one operation's client-observed latency distribution.
+type OpReport struct {
+	Count  int   `json:"count"`
+	Errors int   `json:"errors"`
+	P50Ns  int64 `json:"p50Ns"`
+	P99Ns  int64 `json:"p99Ns"`
+	P999Ns int64 `json:"p999Ns"`
+	MaxNs  int64 `json:"maxNs"`
+	MeanNs int64 `json:"meanNs"`
+}
+
+// Report is the run summary emitted as BENCH_PR7.json.
+type Report struct {
+	// Config echoes the run parameters.
+	Config struct {
+		Rate       float64 `json:"ratePerSec"`
+		DurationMs int64   `json:"durationMs"`
+		Principals int     `json:"principals"`
+		Mix        string  `json:"mix"`
+		Seed       int64   `json:"seed"`
+		SLO        string  `json:"slo"`
+	} `json:"config"`
+	// Offered and Completed count scheduled vs finished arrivals;
+	// AchievedRatePerSec is completions over the measured window.
+	Offered            int     `json:"offered"`
+	Completed          int     `json:"completed"`
+	AchievedRatePerSec float64 `json:"achievedRatePerSec"`
+	// Ops holds per-operation latency distributions, client-observed.
+	Ops map[string]*OpReport `json:"ops"`
+	// SLO is the server-side compliance report (in-process topology:
+	// the TCP servers share this process's obs.DefaultSLO engine).
+	SLO []obs.ObjectiveReport `json:"slo"`
+}
+
+// sampler accumulates one op's latency samples.
+type sampler struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	errors  int
+}
+
+func (s *sampler) add(d time.Duration, err error) {
+	s.mu.Lock()
+	s.samples = append(s.samples, d)
+	if err != nil {
+		s.errors++
+	}
+	s.mu.Unlock()
+}
+
+// report sorts the samples and extracts the distribution.
+func (s *sampler) report() *OpReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := &OpReport{Count: len(s.samples), Errors: s.errors}
+	if len(s.samples) == 0 {
+		return r
+	}
+	sorted := make([]time.Duration, len(s.samples))
+	copy(sorted, s.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	r.P50Ns = int64(quantile(sorted, 0.50))
+	r.P99Ns = int64(quantile(sorted, 0.99))
+	r.P999Ns = int64(quantile(sorted, 0.999))
+	r.MaxNs = int64(sorted[len(sorted)-1])
+	r.MeanNs = int64(sum) / int64(len(sorted))
+	return r
+}
+
+// quantile returns the q-th quantile of sorted samples (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Run arms the SLO engine and generates the open-loop workload:
+// arrivals at fixed interarrival time 1/Rate for Duration, each
+// dispatched to its own goroutine immediately (never waiting for
+// earlier operations), then waits for in-flight operations to drain.
+func Run(cfg Config, ops []Op) (*Report, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: rate must be positive")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be positive")
+	}
+	if cfg.Principals <= 0 {
+		cfg.Principals = 1
+	}
+	objs, err := obs.ParseSLO(cfg.SLO)
+	if err != nil {
+		return nil, err
+	}
+	obs.DefaultSLO.Configure(objs)
+
+	// Resolve the mix into a cumulative weight table over ops.
+	var active []Op
+	var weights []float64
+	totalW := 0.0
+	for _, op := range ops {
+		w, ok := cfg.Mix[op.Name]
+		if len(cfg.Mix) == 0 {
+			w, ok = 1, true
+		}
+		if !ok || w == 0 {
+			continue
+		}
+		active = append(active, op)
+		totalW += w
+		weights = append(weights, totalW)
+	}
+	if len(active) == 0 {
+		return nil, fmt.Errorf("loadgen: mix selects no ops (have %v)", opNames(ops))
+	}
+	for name := range cfg.Mix {
+		if !hasOp(ops, name) {
+			return nil, fmt.Errorf("loadgen: mix names unknown op %q (have %v)", name, opNames(ops))
+		}
+	}
+
+	samplers := map[string]*sampler{}
+	for _, op := range active {
+		samplers[op.Name] = &sampler{}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var rngMu sync.Mutex
+	pick := func() (Op, int) {
+		rngMu.Lock()
+		defer rngMu.Unlock()
+		x := rng.Float64() * totalW
+		p := rng.Intn(cfg.Principals)
+		for i, w := range weights {
+			if x < w {
+				return active[i], p
+			}
+		}
+		return active[len(active)-1], p
+	}
+
+	interarrival := time.Duration(float64(time.Second) / cfg.Rate)
+	begin := time.Now()
+	deadline := begin.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	offered := 0
+	for next := begin; next.Before(deadline); next = next.Add(interarrival) {
+		// Open loop: sleep until the scheduled arrival, never until
+		// the previous operation completed.
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		op, p := pick()
+		offered++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			err := op.Do(p)
+			samplers[op.Name].add(time.Since(start), err)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	rep := &Report{Ops: map[string]*OpReport{}, Offered: offered}
+	rep.Config.Rate = cfg.Rate
+	rep.Config.DurationMs = cfg.Duration.Milliseconds()
+	rep.Config.Principals = cfg.Principals
+	rep.Config.Mix = mixString(cfg.Mix)
+	rep.Config.Seed = cfg.Seed
+	rep.Config.SLO = cfg.SLO
+	for name, s := range samplers {
+		r := s.report()
+		rep.Ops[name] = r
+		rep.Completed += r.Count
+	}
+	if elapsed > 0 {
+		rep.AchievedRatePerSec = float64(rep.Completed) / elapsed.Seconds()
+	}
+	rep.SLO = obs.DefaultSLO.Report()
+	return rep, nil
+}
+
+func hasOp(ops []Op, name string) bool {
+	for _, op := range ops {
+		if op.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func opNames(ops []Op) []string {
+	names := make([]string, len(ops))
+	for i, op := range ops {
+		names[i] = op.Name
+	}
+	return names
+}
+
+// mixString renders a mix map deterministically (sorted by name).
+func mixString(mix map[string]float64) string {
+	names := make([]string, 0, len(mix))
+	for name := range mix {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s=%g", name, mix[name])
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,313 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"proxykit/internal/accounting"
+	"proxykit/internal/acl"
+	"proxykit/internal/authz"
+	"proxykit/internal/endserver"
+	"proxykit/internal/gateway"
+	"proxykit/internal/group"
+	"proxykit/internal/principal"
+	"proxykit/internal/proxy"
+	"proxykit/internal/pubkey"
+	"proxykit/internal/statefile"
+	"proxykit/internal/svc"
+	"proxykit/internal/transport"
+)
+
+// Realm is the topology's Kerberos-style realm name.
+const Realm = "LOAD.EXAMPLE.ORG"
+
+// sim is one simulated principal with everything pre-provisioned at
+// setup time so the measured operations are steady-state: an identity,
+// a funded account, a cascaded authorization proxy for the end-server
+// object, sealed-envelope service clients, and a gateway bearer token.
+type sim struct {
+	ident *pubkey.Identity
+	acct  string
+	authz *proxy.Proxy
+	end   *svc.EndClient
+	bank  *svc.AcctClient
+	token string
+}
+
+// Topology is a full in-process deployment — group, authz, end-server,
+// and accounting daemons over real TCP plus the HTTP gateway — with N
+// simulated principals provisioned against it. It is the fixture
+// `cmd/loadgen` and the loadgen-smoke CI target drive.
+type Topology struct {
+	StateDir string
+
+	GatewayURL string
+
+	bank    *accounting.Server
+	fileID  principal.ID
+	sims    []*sim
+	httpc   *http.Client
+	closers []func()
+}
+
+// Close tears down servers, clients, and the state directory.
+func (t *Topology) Close() {
+	for i := len(t.closers) - 1; i >= 0; i-- {
+		t.closers[i]()
+	}
+}
+
+// NewTopology stands up the deployment and provisions n principals:
+// every principal is in the "staff" group, staff may read /shared/doc
+// on the end-server, each principal owns a funded account, and each
+// holds a delegate authorization proxy acquired through the real
+// group-server → authz-server cascade.
+func NewTopology(n int) (*Topology, error) {
+	if n <= 0 {
+		n = 1
+	}
+	state, err := os.MkdirTemp("", "loadgen-state-")
+	if err != nil {
+		return nil, err
+	}
+	t := &Topology{StateDir: state}
+	t.closers = append(t.closers, func() { _ = os.RemoveAll(state) })
+	if err := t.build(n); err != nil {
+		t.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Topology) build(n int) error {
+	ids := map[string]*pubkey.Identity{}
+	for _, name := range []string{"groups", "authz", "file/srv1", "bank"} {
+		ident, err := statefile.CreateIdentity(t.StateDir, principal.New(name, Realm))
+		if err != nil {
+			return err
+		}
+		ids[name] = ident
+	}
+	t.fileID = ids["file/srv1"].ID
+	resolve := statefile.DynamicResolver(t.StateDir)
+
+	addrs := map[string]string{}
+	serve := func(name string, mux *transport.Mux) error {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := transport.NewTCPServer(l, mux)
+		t.closers = append(t.closers, func() { _ = srv.Close() })
+		addrs[name] = srv.Addr().String()
+		return nil
+	}
+	dial := func(name string) (*transport.TCPClient, error) {
+		c, err := transport.DialTCP(addrs[name], 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		t.closers = append(t.closers, func() { _ = c.Close() })
+		return c, nil
+	}
+
+	groupSrv := group.New(ids["groups"], nil)
+	authzSrv := authz.New(ids["authz"], nil)
+	authzSrv.AddRule(authz.Rule{
+		EndServer: t.fileID,
+		Object:    "/shared/doc",
+		Subject:   acl.Subject{Groups: []principal.Global{groupSrv.Global("staff")}},
+		Ops:       []string{"read"},
+	})
+	fileSrv := endserver.New(t.fileID, &proxy.VerifyEnv{ResolveIdentity: resolve}, nil)
+	fileSrv.SetACL("/shared/doc", acl.New(acl.PrincipalEntry(ids["authz"].ID, "read")))
+	t.bank = accounting.NewServer(ids["bank"], resolve, nil)
+
+	// Provision principals before the servers take traffic.
+	mapping := &gateway.MappingConfig{}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("p%d", i)
+		ident, err := statefile.CreateIdentity(t.StateDir, principal.New(name, Realm))
+		if err != nil {
+			return err
+		}
+		groupSrv.AddMember("staff", ident.ID)
+		if err := t.bank.CreateAccount(name, ident.ID); err != nil {
+			return err
+		}
+		if err := t.bank.Mint(name, "dollars", 1_000_000_000); err != nil {
+			return err
+		}
+		token := fmt.Sprintf("tok-%s-%s", name, ident.Public().KeyID())
+		mapping.Tokens = append(mapping.Tokens, gateway.TokenEntry{
+			Token:     token,
+			Subject:   name,
+			Principal: name + "@" + Realm,
+			Groups:    []string{"staff"},
+		})
+		t.sims = append(t.sims, &sim{ident: ident, acct: name, token: token})
+	}
+
+	if err := serve("groups", svc.NewGroupService(groupSrv, resolve, nil).Mux()); err != nil {
+		return err
+	}
+	if err := serve("authz", svc.NewAuthzService(authzSrv, resolve, nil).Mux()); err != nil {
+		return err
+	}
+	if err := serve("file", svc.NewEndService(fileSrv, resolve, nil).Mux()); err != nil {
+		return err
+	}
+	if err := serve("bank", svc.NewAcctService(t.bank, resolve, nil).Mux()); err != nil {
+		return err
+	}
+
+	groupC, err := dial("groups")
+	if err != nil {
+		return err
+	}
+	authzC, err := dial("authz")
+	if err != nil {
+		return err
+	}
+	fileC, err := dial("file")
+	if err != nil {
+		return err
+	}
+	bankC, err := dial("bank")
+	if err != nil {
+		return err
+	}
+
+	// Each principal walks the real cascade once at setup: group proxy
+	// from the group server, then a delegate authorization proxy from
+	// the authz server presenting it. The authorize op then presents
+	// that proxy per request — the paper's steady state, where grants
+	// are amortized over many end-server requests.
+	for _, s := range t.sims {
+		gp, err := svc.NewGroupClient(groupC, s.ident, nil).Grant(svc.GroupGrantParams{
+			Groups: []string{"staff"}, Lifetime: time.Hour, Delegate: true,
+		})
+		if err != nil {
+			return fmt.Errorf("provision %s: group grant: %w", s.acct, err)
+		}
+		ap, err := svc.NewAuthzClient(authzC, s.ident, nil).Grant(svc.GrantParams{
+			EndServer: t.fileID, Lifetime: time.Hour, Delegate: true,
+			GroupProxies: []*proxy.Presentation{gp.PresentDelegate()},
+		})
+		if err != nil {
+			return fmt.Errorf("provision %s: authz grant: %w", s.acct, err)
+		}
+		s.authz = ap
+		s.end = svc.NewEndClient(fileC, s.ident, nil)
+		s.bank = svc.NewAcctClient(bankC, s.ident, nil)
+	}
+
+	// The HTTP edge: a real gatewayd core on a real listener.
+	gw, err := gateway.New(gateway.Options{
+		StateDir:    t.StateDir,
+		ID:          principal.New("gateway", Realm),
+		Mapping:     mapping,
+		AuthzClient: authzC,
+		GroupClient: groupC,
+		AcctClient:  bankC,
+		EndClient:   fileC,
+		EndServerID: t.fileID,
+		BankID:      ids["bank"].ID,
+	})
+	if err != nil {
+		return err
+	}
+	t.closers = append(t.closers, gw.Close)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	web := &http.Server{Handler: gw.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = web.Serve(l) }()
+	t.closers = append(t.closers, func() { _ = web.Close() })
+	t.GatewayURL = "http://" + l.Addr().String()
+	t.httpc = &http.Client{Timeout: 30 * time.Second}
+	return nil
+}
+
+// Ops returns the four workload operations over this topology. The
+// principal index selects which sim acts.
+func (t *Topology) Ops() []Op {
+	return []Op{
+		{Name: "authorize", Do: t.opAuthorize},
+		{Name: "transfer", Do: t.opTransfer},
+		{Name: "deposit", Do: t.opDeposit},
+		{Name: "gateway", Do: t.opGateway},
+	}
+}
+
+// opAuthorize presents the principal's cascaded authorization proxy to
+// the end-server (method end.request).
+func (t *Topology) opAuthorize(p int) error {
+	s := t.sims[p%len(t.sims)]
+	_, err := s.end.Request(svc.RequestParams{
+		Object: "/shared/doc", Op: "read",
+		Proxies: []*proxy.Presentation{s.authz.PresentDelegate()},
+	})
+	return err
+}
+
+// opTransfer moves one dollar to the next principal's account (method
+// acct.transfer).
+func (t *Topology) opTransfer(p int) error {
+	s := t.sims[p%len(t.sims)]
+	to := t.sims[(p+1)%len(t.sims)]
+	if to == s {
+		return nil // a single principal cannot transfer to itself
+	}
+	return s.bank.Transfer(s.acct, to.acct, "dollars", 1)
+}
+
+// opDeposit writes a check to the next principal, who endorses and
+// deposits it (method acct.depositCheck). The check write and
+// endorsement are client-side crypto; only the deposit RPC is the
+// measured server interaction, but the full §7.7 instrument flow runs.
+func (t *Topology) opDeposit(p int) error {
+	payor := t.sims[p%len(t.sims)]
+	payee := t.sims[(p+1)%len(t.sims)]
+	check, err := accounting.WriteCheck(accounting.WriteCheckParams{
+		Payor: payor.ident, Bank: t.bank.ID, Account: payor.acct,
+		Payee: payee.ident.ID, Currency: "dollars", Amount: 1,
+		Lifetime: time.Hour,
+	})
+	if err != nil {
+		return err
+	}
+	endorsed, err := check.Endorse(payee.ident, t.bank.ID, t.bank.ID, t.bank.Global(payee.acct), true, nil)
+	if err != nil {
+		return err
+	}
+	_, err = payee.bank.DepositCheck(endorsed, payee.acct)
+	return err
+}
+
+// opGateway authorizes through the HTTP edge with the principal's
+// bearer token (route "POST /v1/authorize" → end.request downstream).
+func (t *Topology) opGateway(p int) error {
+	s := t.sims[p%len(t.sims)]
+	req, err := http.NewRequest("POST", t.GatewayURL+"/v1/authorize",
+		bytes.NewReader([]byte(`{"object":"/shared/doc","op":"read"}`)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+s.token)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("gateway authorize: %s", resp.Status)
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"time"
 )
 
@@ -32,6 +33,9 @@ type HandlerOpts struct {
 	// Health, when non-nil, contributes extra top-level fields to the
 	// /healthz JSON document (e.g. audit journal status).
 	Health func() map[string]any
+	// SLO defaults to the process-wide DefaultSLO engine when nil; it
+	// is mounted at /slo.
+	SLO *SLO
 }
 
 // Handler returns the side-listener HTTP handler every daemon mounts
@@ -39,7 +43,9 @@ type HandlerOpts struct {
 //
 //	/metrics       Prometheus text format (?format=json for JSON)
 //	/healthz       liveness + build info + uptime as JSON
-//	/traces        recent RPC spans, newest first, as JSON
+//	/traces        recent RPC spans; ?since=<cursor>&limit=<n> pages
+//	               incrementally, ?trace=<id> filters to one trace
+//	/slo           latency-objective compliance (see the -slo flag)
 //	/audit         the daemon's audit-journal tail (when configured)
 //	/debug/pprof/  the standard net/http/pprof profiles
 //
@@ -82,10 +88,14 @@ func HandlerWith(o HandlerOpts) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(doc)
 	})
-	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = spans.WriteJSON(w)
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		serveTraces(w, r, spans)
 	})
+	slo := o.SLO
+	if slo == nil {
+		slo = DefaultSLO
+	}
+	mux.Handle("/slo", slo)
 	if o.Audit != nil {
 		mux.Handle("/audit", o.Audit)
 	}
@@ -95,6 +105,31 @@ func HandlerWith(o HandlerOpts) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// serveTraces serves the span ring with /audit's cursor semantics:
+// ?since=<seq> returns spans with Seq > since, oldest first, at most
+// ?limit; ?trace=<id> filters to one trace. The response's "cursor"
+// (also the X-Trace-Cursor header) is the highest Seq returned — feed
+// it back as the next request's since so polling never re-reads or
+// misses a span. "oldest" is the oldest retained Seq; a since below
+// oldest-1 means spans rotated out of the ring (raise -trace-buffer or
+// attach -trace-file).
+func serveTraces(w http.ResponseWriter, r *http.Request, spans *SpanLog) {
+	q := r.URL.Query()
+	since, _ := strconv.ParseUint(q.Get("since"), 10, 64)
+	limit, _ := strconv.Atoi(q.Get("limit"))
+	page, cursor, oldest, total := spans.Page(since, limit, q.Get("trace"))
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Trace-Cursor", strconv.FormatUint(cursor, 10))
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Total  uint64 `json:"total"`
+		Oldest uint64 `json:"oldest"`
+		Cursor uint64 `json:"cursor"`
+		Spans  []Span `json:"spans"`
+	}{total, oldest, cursor, page})
 }
 
 // healthDoc builds the base /healthz document: status, uptime, and

@@ -1,0 +1,43 @@
+package obs
+
+import "flag"
+
+// TraceOptions carries the shared observability daemon flags: span
+// ring sizing (-trace-buffer), the JSONL span sink (-trace-file), and
+// latency objectives (-slo). Every daemon registers them via
+// RegisterFlags and calls Apply once flags are parsed, so the whole
+// fleet shares one spelling of the tracing/SLO surface.
+type TraceOptions struct {
+	// Buffer is the span ring capacity.
+	Buffer int
+	// File is the JSONL span sink path; empty disables the sink.
+	File string
+	// SLO is the latency-objective spec; empty arms nothing.
+	SLO string
+}
+
+// RegisterFlags registers -trace-buffer, -trace-file, and -slo on fs.
+func (o *TraceOptions) RegisterFlags(fs *flag.FlagSet) {
+	fs.IntVar(&o.Buffer, "trace-buffer", 256, "span ring capacity served at /traces; overflow is counted by proxykit_obs_spans_dropped_total")
+	fs.StringVar(&o.File, "trace-file", "", "JSONL span sink path (append-only); empty keeps spans in the in-memory ring only")
+	fs.StringVar(&o.SLO, "slo", "", "per-method latency objectives, e.g. 'end.request<5ms@p99,acct.transfer<10ms@p99.9'; compliance is served at /slo (see OBSERVABILITY.md)")
+}
+
+// Apply configures the process-wide Spans ring and DefaultSLO engine
+// from the parsed flag values and returns a cleanup that closes the
+// span sink.
+func (o TraceOptions) Apply() (func(), error) {
+	Spans.Resize(o.Buffer)
+	if o.File != "" {
+		if err := Spans.SetSink(o.File); err != nil {
+			return nil, err
+		}
+	}
+	objs, err := ParseSLO(o.SLO)
+	if err != nil {
+		_ = Spans.CloseSink()
+		return nil, err
+	}
+	DefaultSLO.Configure(objs)
+	return func() { _ = Spans.CloseSink() }, nil
+}

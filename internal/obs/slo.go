@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SLO spec grammar (the -slo daemon flag): a comma- or semicolon-
+// separated list of per-method latency objectives
+//
+//	method<target@pQuantile
+//
+// e.g. "end.request<5ms@p99,acct.transfer<10ms@p99.9". target is any
+// time.ParseDuration string; the quantile is a percentile like p50,
+// p99, or p99.9. An objective of "end.request<5ms@p99" reads: 99% of
+// end.request calls must complete within 5ms — equivalently, the error
+// budget is the 1% of calls allowed to run long. Every observation
+// over target burns budget; the remaining budget is exported as a
+// gauge, and the last few offending trace IDs are retained as
+// exemplars so a blown objective points at concrete trace trees.
+
+// Objective is one parsed per-method latency objective.
+type Objective struct {
+	// Method is the RPC method (or gateway route label) observed.
+	Method string `json:"method"`
+	// Target is the latency bound.
+	Target time.Duration `json:"targetNs"`
+	// Quantile is the fraction of calls that must meet Target,
+	// e.g. 0.99 for p99.
+	Quantile float64 `json:"quantile"`
+}
+
+// ParseSLO parses the -slo spec grammar above. An empty spec yields no
+// objectives and no error.
+func ParseSLO(spec string) ([]Objective, error) {
+	var out []Objective
+	for _, part := range strings.FieldsFunc(spec, func(r rune) bool { return r == ',' || r == ';' }) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		method, rest, ok := strings.Cut(part, "<")
+		method = strings.TrimSpace(method)
+		if !ok || method == "" {
+			return nil, fmt.Errorf("obs: slo %q: want method<target@pQuantile", part)
+		}
+		targetStr, quantStr, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("obs: slo %q: missing @pQuantile", part)
+		}
+		target, err := time.ParseDuration(strings.TrimSpace(targetStr))
+		if err != nil || target <= 0 {
+			return nil, fmt.Errorf("obs: slo %q: bad target %q", part, targetStr)
+		}
+		quantStr = strings.TrimSpace(quantStr)
+		if !strings.HasPrefix(quantStr, "p") {
+			return nil, fmt.Errorf("obs: slo %q: quantile %q must look like p99", part, quantStr)
+		}
+		pct, err := strconv.ParseFloat(quantStr[1:], 64)
+		if err != nil || pct <= 0 || pct >= 100 {
+			return nil, fmt.Errorf("obs: slo %q: quantile %q out of (p0, p100)", part, quantStr)
+		}
+		out = append(out, Objective{Method: method, Target: target, Quantile: pct / 100})
+	}
+	return out, nil
+}
+
+// sloExemplars is how many offending trace IDs each objective retains.
+const sloExemplars = 8
+
+var (
+	sloRequests = Default.NewCounterVec("proxykit_slo_requests_total",
+		"Observations counted against a configured latency objective, by method.", "method")
+	sloBreaches = Default.NewCounterVec("proxykit_slo_breaches_total",
+		"Observations that exceeded their objective's latency target (burned error budget), by method.", "method")
+	sloBudget = Default.NewGaugeVec("proxykit_slo_error_budget_remaining_ppm",
+		"Remaining error budget per objective in parts per million of the budget (1e6 = untouched, 0 = exhausted, negative = overspent), by method.", "method")
+	sloLatency = Default.NewHistogramVec("proxykit_slo_latency_seconds",
+		"Latency distribution of observations counted against an objective, by method.", DefLatencyBuckets, "method")
+)
+
+// objectiveState tracks one armed objective's burn.
+type objectiveState struct {
+	obj       Objective
+	targetSec float64
+	requests  *Counter
+	breaches  *Counter
+	budget    *Gauge
+	hist      *Histogram
+
+	mu        sync.Mutex
+	total     uint64
+	breached  uint64
+	exemplars []string // ring of the last sloExemplars offending trace IDs
+	exNext    int
+}
+
+// SLO evaluates per-method latency objectives as observations arrive.
+// The zero-armed fast path is a single atomic load, so wiring Observe
+// into every RPC costs nothing until -slo arms it.
+type SLO struct {
+	armed atomic.Bool
+	mu    sync.RWMutex
+	m     map[string]*objectiveState
+}
+
+// NewSLO returns an engine with no objectives armed.
+func NewSLO() *SLO { return &SLO{m: map[string]*objectiveState{}} }
+
+// DefaultSLO is the process-wide engine the transport and gateway
+// observe into; daemons arm it from their -slo flag.
+var DefaultSLO = NewSLO()
+
+// Configure arms the given objectives, replacing any previous set. A
+// repeated method keeps the last objective given for it.
+func (s *SLO) Configure(objs []Objective) {
+	m := make(map[string]*objectiveState, len(objs))
+	for _, o := range objs {
+		m[o.Method] = &objectiveState{
+			obj:       o,
+			targetSec: o.Target.Seconds(),
+			requests:  sloRequests.With(o.Method),
+			breaches:  sloBreaches.With(o.Method),
+			budget:    sloBudget.With(o.Method),
+			hist:      sloLatency.With(o.Method),
+			exemplars: make([]string, 0, sloExemplars),
+		}
+		m[o.Method].budget.Set(1_000_000)
+	}
+	s.mu.Lock()
+	s.m = m
+	s.mu.Unlock()
+	s.armed.Store(len(m) > 0)
+}
+
+// Observe counts one completed call against the method's objective, if
+// one is armed. traceID (may be empty) becomes an exemplar when the
+// call exceeds the target.
+func (s *SLO) Observe(method string, d time.Duration, traceID string) {
+	if !s.armed.Load() {
+		return
+	}
+	s.mu.RLock()
+	st := s.m[method]
+	s.mu.RUnlock()
+	if st == nil {
+		return
+	}
+	sec := d.Seconds()
+	st.requests.Inc()
+	st.hist.Observe(sec)
+	st.mu.Lock()
+	st.total++
+	if sec > st.targetSec {
+		st.breached++
+		st.breaches.Inc()
+		if len(st.exemplars) < sloExemplars {
+			st.exemplars = append(st.exemplars, traceID)
+		} else {
+			st.exemplars[st.exNext] = traceID
+		}
+		st.exNext = (st.exNext + 1) % sloExemplars
+	}
+	st.budget.Set(budgetPpm(st.total, st.breached, st.obj.Quantile))
+	st.mu.Unlock()
+}
+
+// budgetPpm converts a breach count into remaining error budget: the
+// budget is the (1 - quantile) fraction of calls allowed over target;
+// spending is linear in breaches. 1e6 = untouched, 0 = exactly spent,
+// negative = the objective is blown.
+func budgetPpm(total, breached uint64, quantile float64) int64 {
+	if total == 0 {
+		return 1_000_000
+	}
+	allowed := (1 - quantile) * float64(total)
+	if allowed <= 0 {
+		return 1_000_000
+	}
+	return int64(1_000_000 * (1 - float64(breached)/allowed))
+}
+
+// ObjectiveReport is one objective's compliance summary, served at
+// /slo and rendered by `proxyctl slo`.
+type ObjectiveReport struct {
+	Objective
+	// TargetText is Target as a human duration string ("5ms").
+	TargetText string `json:"target"`
+	// Total and Breaches count observations since arming.
+	Total    uint64 `json:"total"`
+	Breaches uint64 `json:"breaches"`
+	// BudgetRemainingPpm mirrors the gauge.
+	BudgetRemainingPpm int64 `json:"budgetRemainingPpm"`
+	// ObservedQuantileNs estimates the armed quantile from the
+	// objective's own latency histogram.
+	ObservedQuantileNs int64 `json:"observedQuantileNs"`
+	// Compliant is whether the breach rate is within the budget.
+	Compliant bool `json:"compliant"`
+	// ExemplarTraceIDs are the most recent offending trace IDs —
+	// feed them to `proxyctl trace show`.
+	ExemplarTraceIDs []string `json:"exemplarTraceIds,omitempty"`
+}
+
+// Report summarizes every armed objective, sorted by method.
+func (s *SLO) Report() []ObjectiveReport {
+	s.mu.RLock()
+	states := make([]*objectiveState, 0, len(s.m))
+	for _, st := range s.m {
+		states = append(states, st)
+	}
+	s.mu.RUnlock()
+	out := make([]ObjectiveReport, 0, len(states))
+	for _, st := range states {
+		st.mu.Lock()
+		r := ObjectiveReport{
+			Objective:          st.obj,
+			TargetText:         st.obj.Target.String(),
+			Total:              st.total,
+			Breaches:           st.breached,
+			BudgetRemainingPpm: budgetPpm(st.total, st.breached, st.obj.Quantile),
+			Compliant:          budgetPpm(st.total, st.breached, st.obj.Quantile) >= 0,
+		}
+		// Oldest exemplar first; drop empty IDs from untraced calls.
+		for i := 0; i < len(st.exemplars); i++ {
+			if id := st.exemplars[(st.exNext+i)%len(st.exemplars)]; id != "" {
+				r.ExemplarTraceIDs = append(r.ExemplarTraceIDs, id)
+			}
+		}
+		st.mu.Unlock()
+		bounds, cum := st.hist.Buckets()
+		r.ObservedQuantileNs = int64(histQuantile(bounds, cum, st.obj.Quantile) * float64(time.Second))
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Method < out[j].Method })
+	return out
+}
+
+// histQuantile estimates the q-th quantile of a cumulative histogram by
+// linear interpolation within the bucket holding the rank. bounds are
+// the finite upper bounds, cum the cumulative counts parallel to them
+// plus a final +Inf entry.
+func histQuantile(bounds []float64, cum []uint64, q float64) float64 {
+	if len(cum) == 0 {
+		return 0
+	}
+	total := float64(cum[len(cum)-1])
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	rank := q * total
+	prevBound, prevCount := 0.0, 0.0
+	for i, b := range bounds {
+		c := float64(cum[i])
+		if c >= rank {
+			if c == prevCount {
+				return b
+			}
+			return prevBound + (b-prevBound)*(rank-prevCount)/(c-prevCount)
+		}
+		prevBound, prevCount = b, c
+	}
+	// The rank falls in the +Inf bucket; clamp to the largest finite
+	// bound rather than inventing an upper edge.
+	return bounds[len(bounds)-1]
+}
+
+// ServeHTTP serves the /slo compliance document.
+func (s *SLO) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Objectives []ObjectiveReport `json:"objectives"`
+	}{s.Report()})
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestParseSLO(t *testing.T) {
+	objs, err := ParseSLO("end.request<5ms@p99, acct.transfer<10ms@p99.9; POST /v1/authorize<250ms@p50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Objective{
+		{Method: "end.request", Target: 5 * time.Millisecond, Quantile: 0.99},
+		{Method: "acct.transfer", Target: 10 * time.Millisecond, Quantile: 0.999},
+		{Method: "POST /v1/authorize", Target: 250 * time.Millisecond, Quantile: 0.50},
+	}
+	if len(objs) != len(want) {
+		t.Fatalf("parsed %d objectives, want %d", len(objs), len(want))
+	}
+	for i, o := range objs {
+		if o.Method != want[i].Method || o.Target != want[i].Target {
+			t.Errorf("objective %d = %+v, want %+v", i, o, want[i])
+		}
+		if diff := o.Quantile - want[i].Quantile; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("objective %d quantile = %v, want %v", i, o.Quantile, want[i].Quantile)
+		}
+	}
+
+	if objs, err := ParseSLO(""); err != nil || len(objs) != 0 {
+		t.Errorf("empty spec = %v, %v; want no objectives, no error", objs, err)
+	}
+	if objs, err := ParseSLO(" , ; "); err != nil || len(objs) != 0 {
+		t.Errorf("separator-only spec = %v, %v", objs, err)
+	}
+
+	for _, bad := range []string{
+		"nonsense",               // no '<'
+		"<5ms@p99",               // empty method
+		"end.request<5ms",        // missing @pQuantile
+		"end.request<banana@p99", // unparsable duration
+		"end.request<-5ms@p99",   // non-positive target
+		"end.request<5ms@99",     // quantile missing the p prefix
+		"end.request<5ms@p0",     // quantile at the open bound
+		"end.request<5ms@p100",   // quantile at the open bound
+		"end.request<5ms@pxyz",   // unparsable percentile
+	} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Errorf("ParseSLO(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+func TestSLOObserveAndReport(t *testing.T) {
+	s := NewSLO()
+	s.Configure([]Objective{{Method: "end.request", Target: 5 * time.Millisecond, Quantile: 0.90}})
+
+	// 9 fast calls and 1 slow one: exactly the p90 budget — compliant.
+	for i := 0; i < 9; i++ {
+		s.Observe("end.request", time.Millisecond, "")
+	}
+	s.Observe("end.request", 20*time.Millisecond, "trace-slow-1")
+	// Observations for unarmed methods are ignored.
+	s.Observe("acct.transfer", time.Hour, "ignored")
+
+	reps := s.Report()
+	if len(reps) != 1 {
+		t.Fatalf("Report = %d objectives, want 1", len(reps))
+	}
+	r := reps[0]
+	if r.Method != "end.request" || r.Total != 10 || r.Breaches != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+	// 1 breach out of 1 allowed (10% of 10): budget exactly spent.
+	if r.BudgetRemainingPpm != 0 || !r.Compliant {
+		t.Fatalf("budget = %d compliant = %v, want 0 ppm compliant", r.BudgetRemainingPpm, r.Compliant)
+	}
+	if len(r.ExemplarTraceIDs) != 1 || r.ExemplarTraceIDs[0] != "trace-slow-1" {
+		t.Fatalf("exemplars = %v", r.ExemplarTraceIDs)
+	}
+	if r.ObservedQuantileNs <= 0 {
+		t.Fatalf("observed quantile = %d, want > 0", r.ObservedQuantileNs)
+	}
+
+	// One more breach blows the objective.
+	s.Observe("end.request", 30*time.Millisecond, "trace-slow-2")
+	r = s.Report()[0]
+	if r.Compliant || r.BudgetRemainingPpm >= 0 {
+		t.Fatalf("after second breach: %+v, want blown", r)
+	}
+	if len(r.ExemplarTraceIDs) != 2 {
+		t.Fatalf("exemplars = %v, want both slow traces", r.ExemplarTraceIDs)
+	}
+}
+
+func TestSLOExemplarRing(t *testing.T) {
+	s := NewSLO()
+	s.Configure([]Objective{{Method: "m", Target: time.Millisecond, Quantile: 0.99}})
+	// More breaches than the ring retains: the oldest roll off.
+	ids := []string{"t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10"}
+	for _, id := range ids {
+		s.Observe("m", time.Second, id)
+	}
+	r := s.Report()[0]
+	if len(r.ExemplarTraceIDs) != sloExemplars {
+		t.Fatalf("retained %d exemplars, want %d", len(r.ExemplarTraceIDs), sloExemplars)
+	}
+	// Oldest-first, holding the most recent sloExemplars IDs.
+	want := ids[len(ids)-sloExemplars:]
+	for i, id := range r.ExemplarTraceIDs {
+		if id != want[i] {
+			t.Fatalf("exemplars = %v, want %v", r.ExemplarTraceIDs, want)
+		}
+	}
+}
+
+func TestSLOUnarmedIsInert(t *testing.T) {
+	s := NewSLO()
+	s.Observe("end.request", time.Hour, "tr") // must not panic or record
+	if reps := s.Report(); len(reps) != 0 {
+		t.Fatalf("unarmed Report = %+v", reps)
+	}
+	// Configure(nil) disarms a previously armed engine.
+	s.Configure([]Objective{{Method: "m", Target: time.Millisecond, Quantile: 0.5}})
+	s.Configure(nil)
+	if s.armed.Load() {
+		t.Fatal("Configure(nil) left the engine armed")
+	}
+}
+
+func TestBudgetPpm(t *testing.T) {
+	// Quantile 0.75 keeps the allowance exact in binary floating point,
+	// so the expected ppm values are exact too.
+	cases := []struct {
+		total, breached uint64
+		quantile        float64
+		want            int64
+	}{
+		{0, 0, 0.75, 1_000_000},     // no data: untouched
+		{100, 0, 0.75, 1_000_000},   // no breaches: untouched
+		{100, 25, 0.75, 0},          // exactly the allowance
+		{1000, 125, 0.75, 500_000},  // half spent
+		{100, 50, 0.75, -1_000_000}, // double the allowance: blown
+	}
+	for _, c := range cases {
+		if got := budgetPpm(c.total, c.breached, c.quantile); got != c.want {
+			t.Errorf("budgetPpm(%d, %d, %v) = %d, want %d", c.total, c.breached, c.quantile, got, c.want)
+		}
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	// Buckets: <=1, <=2, <=4, +Inf with 10, 10, 0, 0 observations.
+	bounds := []float64{1, 2, 4}
+	cum := []uint64{10, 20, 20, 20}
+	// p50 rank = 10 lands exactly on the first bucket's edge.
+	if q := histQuantile(bounds, cum, 0.5); q != 1 {
+		t.Errorf("p50 = %v, want 1", q)
+	}
+	// p75 rank = 15 interpolates halfway through (1, 2].
+	if q := histQuantile(bounds, cum, 0.75); q != 1.5 {
+		t.Errorf("p75 = %v, want 1.5", q)
+	}
+	// Everything in the overflow bucket clamps to the largest bound.
+	if q := histQuantile(bounds, []uint64{0, 0, 0, 7}, 0.5); q != 4 {
+		t.Errorf("overflow p50 = %v, want 4", q)
+	}
+	if q := histQuantile(bounds, []uint64{0, 0, 0, 0}, 0.5); q != 0 {
+		t.Errorf("empty histogram p50 = %v, want 0", q)
+	}
+}
+
+func TestSLOEndpoint(t *testing.T) {
+	s := NewSLO()
+	s.Configure([]Objective{{Method: "end.request", Target: 5 * time.Millisecond, Quantile: 0.99}})
+	s.Observe("end.request", time.Millisecond, "")
+
+	h := HandlerWith(HandlerOpts{Registry: NewRegistry(), Spans: NewSpanLog(4), SLO: s})
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/slo", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/slo = %d", rr.Code)
+	}
+	var doc struct {
+		Objectives []ObjectiveReport `json:"objectives"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Objectives) != 1 || doc.Objectives[0].Method != "end.request" ||
+		doc.Objectives[0].Total != 1 || !doc.Objectives[0].Compliant {
+		t.Fatalf("/slo document = %+v", doc)
+	}
+	if doc.Objectives[0].TargetText != "5ms" {
+		t.Fatalf("target text = %q", doc.Objectives[0].TargetText)
+	}
+}

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// record appends a minimal span with the given trace ID.
+func record(l *SpanLog, traceID, method string) {
+	l.Record(Span{
+		Trace:    Trace{TraceID: traceID, SpanID: newID()},
+		Kind:     "server",
+		Method:   method,
+		Start:    time.Now(),
+		Duration: time.Millisecond,
+	})
+}
+
+func TestSpanLogPageCursor(t *testing.T) {
+	l := NewSpanLog(16)
+	for i := 0; i < 5; i++ {
+		record(l, fmt.Sprintf("tr%d", i), "m")
+	}
+
+	// First page from zero returns everything oldest-first with a dense
+	// Seq starting at 1.
+	spans, cursor, oldest, total := l.Page(0, 0, "")
+	if len(spans) != 5 || cursor != 5 || oldest != 1 || total != 5 {
+		t.Fatalf("Page(0) = %d spans cursor=%d oldest=%d total=%d", len(spans), cursor, oldest, total)
+	}
+	for i, s := range spans {
+		if s.Seq != uint64(i+1) {
+			t.Fatalf("span %d Seq = %d, want %d", i, s.Seq, i+1)
+		}
+	}
+
+	// Feeding the cursor back returns nothing new and keeps the cursor.
+	spans, cursor, _, _ = l.Page(cursor, 0, "")
+	if len(spans) != 0 || cursor != 5 {
+		t.Fatalf("Page(5) = %d spans cursor=%d, want 0 spans cursor=5", len(spans), cursor)
+	}
+
+	// New spans appear after the cursor.
+	record(l, "tr5", "m")
+	spans, cursor, _, _ = l.Page(cursor, 0, "")
+	if len(spans) != 1 || spans[0].TraceID != "tr5" || cursor != 6 {
+		t.Fatalf("incremental page = %+v cursor=%d", spans, cursor)
+	}
+}
+
+func TestSpanLogPageLimit(t *testing.T) {
+	l := NewSpanLog(16)
+	for i := 0; i < 10; i++ {
+		record(l, "t", "m")
+	}
+	var got int
+	since := uint64(0)
+	for i := 0; i < 10; i++ {
+		spans, cursor, _, _ := l.Page(since, 3, "")
+		if len(spans) == 0 {
+			break
+		}
+		if len(spans) > 3 {
+			t.Fatalf("page %d returned %d spans, limit 3", i, len(spans))
+		}
+		got += len(spans)
+		since = cursor
+	}
+	if got != 10 {
+		t.Fatalf("paged %d spans total, want 10", got)
+	}
+}
+
+func TestSpanLogPageTraceFilter(t *testing.T) {
+	l := NewSpanLog(16)
+	record(l, "aaa", "m1")
+	record(l, "bbb", "m2")
+	record(l, "aaa", "m3")
+
+	spans, cursor, _, _ := l.Page(0, 0, "aaa")
+	if len(spans) != 2 || spans[0].Method != "m1" || spans[1].Method != "m3" {
+		t.Fatalf("trace filter = %+v", spans)
+	}
+	// Cursor is the highest Seq included, not the highest seen.
+	if cursor != 3 {
+		t.Fatalf("cursor = %d, want 3", cursor)
+	}
+	if spans, _, _, _ := l.Page(0, 0, "zzz"); len(spans) != 0 {
+		t.Fatalf("unknown trace returned %d spans", len(spans))
+	}
+}
+
+func TestSpanLogEvictionAndOldest(t *testing.T) {
+	l := NewSpanLog(4)
+	before := spansDropped.Value()
+	for i := 0; i < 10; i++ {
+		record(l, "t", "m")
+	}
+	if d := spansDropped.Value() - before; d != 6 {
+		t.Fatalf("dropped counter delta = %d, want 6", d)
+	}
+	spans, cursor, oldest, total := l.Page(0, 0, "")
+	if len(spans) != 4 || oldest != 7 || cursor != 10 || total != 10 {
+		t.Fatalf("after eviction: %d spans oldest=%d cursor=%d total=%d", len(spans), oldest, cursor, total)
+	}
+	// A since inside the evicted range still works: it returns what is
+	// retained, and oldest tells the caller spans were lost.
+	spans, _, oldest, _ = l.Page(2, 0, "")
+	if len(spans) != 4 || oldest != 7 {
+		t.Fatalf("page from evicted since: %d spans oldest=%d", len(spans), oldest)
+	}
+}
+
+func TestSpanLogResize(t *testing.T) {
+	l := NewSpanLog(8)
+	for i := 0; i < 8; i++ {
+		record(l, fmt.Sprintf("tr%d", i), "m")
+	}
+	// Shrinking keeps the newest spans and their Seq numbers.
+	l.Resize(3)
+	spans, _, oldest, total := l.Page(0, 0, "")
+	if len(spans) != 3 || oldest != 6 || total != 8 {
+		t.Fatalf("after shrink: %d spans oldest=%d total=%d", len(spans), oldest, total)
+	}
+	if spans[0].TraceID != "tr5" || spans[2].TraceID != "tr7" {
+		t.Fatalf("shrink kept wrong spans: %s..%s", spans[0].TraceID, spans[2].TraceID)
+	}
+	// Growing preserves content and admits more before evicting.
+	l.Resize(10)
+	record(l, "tr8", "m")
+	spans, _, _, _ = l.Page(0, 0, "")
+	if len(spans) != 4 || spans[3].TraceID != "tr8" {
+		t.Fatalf("after grow: %d spans, last %s", len(spans), spans[len(spans)-1].TraceID)
+	}
+}
+
+func TestSpanLogSink(t *testing.T) {
+	l := NewSpanLog(2) // smaller than the span count: the sink must outlive the ring
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	if err := l.SetSink(path); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		record(l, fmt.Sprintf("tr%d", i), "m")
+	}
+	if err := l.CloseSink(); err != nil {
+		t.Fatal(err)
+	}
+	// Recording after CloseSink must not write (or crash).
+	record(l, "tr-after", "m")
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines []Span
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, s)
+	}
+	if len(lines) != 5 {
+		t.Fatalf("sink holds %d spans, want 5 (ring only retains 2)", len(lines))
+	}
+	for i, s := range lines {
+		if s.Seq != uint64(i+1) || s.TraceID != fmt.Sprintf("tr%d", i) {
+			t.Fatalf("sink line %d = seq %d trace %s", i, s.Seq, s.TraceID)
+		}
+	}
+}
+
+// TestServeTraces drives the /traces endpoint end to end: cursor
+// paging, the X-Trace-Cursor header, and the trace filter.
+func TestServeTraces(t *testing.T) {
+	l := NewSpanLog(16)
+	record(l, "aaa", "m1")
+	record(l, "bbb", "m2")
+	record(l, "aaa", "m3")
+	h := Handler(NewRegistry(), l)
+
+	get := func(url string) (doc struct {
+		Total  uint64 `json:"total"`
+		Oldest uint64 `json:"oldest"`
+		Cursor uint64 `json:"cursor"`
+		Spans  []Span `json:"spans"`
+	}, header string) {
+		t.Helper()
+		req := httptest.NewRequest("GET", url, nil)
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != 200 {
+			t.Fatalf("GET %s = %d", url, rr.Code)
+		}
+		if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		return doc, rr.Header().Get("X-Trace-Cursor")
+	}
+
+	doc, hdr := get("/traces")
+	if len(doc.Spans) != 3 || doc.Cursor != 3 || doc.Total != 3 || doc.Oldest != 1 {
+		t.Fatalf("full page = %+v", doc)
+	}
+	if hdr != "3" {
+		t.Fatalf("X-Trace-Cursor = %q, want 3", hdr)
+	}
+	if doc.Spans[0].Seq != 1 {
+		t.Fatalf("spans not oldest-first: %+v", doc.Spans)
+	}
+
+	doc, _ = get("/traces?since=2")
+	if len(doc.Spans) != 1 || doc.Spans[0].Method != "m3" {
+		t.Fatalf("since=2 page = %+v", doc)
+	}
+
+	doc, _ = get("/traces?limit=2")
+	if len(doc.Spans) != 2 || doc.Cursor != 2 {
+		t.Fatalf("limit=2 page = %+v", doc)
+	}
+
+	doc, hdr = get("/traces?trace=aaa")
+	if len(doc.Spans) != 2 || doc.Spans[0].Method != "m1" || doc.Spans[1].Method != "m3" {
+		t.Fatalf("trace filter page = %+v", doc)
+	}
+	if hdr != "3" {
+		t.Fatalf("filtered X-Trace-Cursor = %q, want 3", hdr)
+	}
+
+	// An empty page echoes the caller's cursor back.
+	doc, hdr = get("/traces?since=3")
+	if len(doc.Spans) != 0 || doc.Cursor != 3 || hdr != "3" {
+		t.Fatalf("empty page = %+v header %q", doc, hdr)
+	}
+}
+
+func TestTraceOptionsApply(t *testing.T) {
+	defer func() {
+		Spans = NewSpanLog(256)
+		DefaultSLO.Configure(nil)
+	}()
+	Spans = NewSpanLog(256)
+
+	path := filepath.Join(t.TempDir(), "sink.jsonl")
+	o := TraceOptions{Buffer: 32, File: path, SLO: "end.request<5ms@p99"}
+	cleanup, err := o.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	Spans.Record(Span{Trace: NewTrace(), Kind: "server", Method: "end.request"})
+	cleanup()
+	raw, err := os.ReadFile(path)
+	if err != nil || len(raw) == 0 {
+		t.Fatalf("sink file after Apply: %v (%d bytes)", err, len(raw))
+	}
+	if len(DefaultSLO.Report()) != 1 {
+		t.Fatalf("Apply armed %d objectives, want 1", len(DefaultSLO.Report()))
+	}
+
+	// A bad SLO spec fails Apply and does not leak the sink.
+	bad := TraceOptions{Buffer: 32, File: path, SLO: "nonsense"}
+	if _, err := bad.Apply(); err == nil {
+		t.Fatal("Apply accepted a malformed -slo spec")
+	}
+}

@@ -16,6 +16,10 @@ import (
 // replay. This is why retry for sealed requests lives here rather than
 // in transport.RetryClient, which resends the same bytes.
 func sealedCall(client transport.Client, ident *pubkey.Identity, clk clock.Clock, pol transport.RetryPolicy, method string, body []byte) ([]byte, error) {
+	// All attempts share one logical trace (a re-seal changes the
+	// envelope bytes, not the operation), so retries render as sibling
+	// spans under one parent instead of fresh root traces.
+	c, finish := transport.TraceRetries(client, pol, method)
 	var resp []byte
 	err := pol.Do(method, func(int) error {
 		sealed, serr := Seal(ident, method, body, clk)
@@ -23,9 +27,10 @@ func sealedCall(client transport.Client, ident *pubkey.Identity, clk clock.Clock
 			return serr
 		}
 		var cerr error
-		resp, cerr = client.Call(method, sealed)
+		resp, cerr = c.Call(method, sealed)
 		return cerr
 	})
+	finish(err)
 	if err != nil {
 		return nil, err
 	}
@@ -35,12 +40,14 @@ func sealedCall(client transport.Client, ident *pubkey.Identity, clk clock.Clock
 // rawCall retries an unsealed RPC; the request carries no nonce, so the
 // same bytes are safe to resend.
 func rawCall(client transport.Client, pol transport.RetryPolicy, method string, body []byte) ([]byte, error) {
+	c, finish := transport.TraceRetries(client, pol, method)
 	var resp []byte
 	err := pol.Do(method, func(int) error {
 		var cerr error
-		resp, cerr = client.Call(method, body)
+		resp, cerr = c.Call(method, body)
 		return cerr
 	})
+	finish(err)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"proxykit/internal/obs"
 )
 
 // RetryPolicy configures retrying of failed RPCs: exponential backoff
@@ -164,12 +166,30 @@ func NewRetryClient(c Client, p RetryPolicy) *RetryClient {
 	return &RetryClient{c: c, p: p}
 }
 
-// Call implements Client with retries.
+// Call implements Client with retries. All attempts share one logical
+// trace (see TraceRetries), so a retried call renders as sibling spans
+// under a single parent rather than N unrelated root traces.
 func (r *RetryClient) Call(method string, body []byte) ([]byte, error) {
+	c, finish := TraceRetries(r.c, r.p, method)
+	resp, err := r.do(c, method, body)
+	finish(err)
+	return resp, err
+}
+
+// CallTrace implements TraceClient: attempts become children of parent
+// (siblings of each other), joining the caller's existing trace.
+func (r *RetryClient) CallTrace(parent obs.Trace, method string, body []byte) ([]byte, error) {
+	if parent.TraceID == "" {
+		return r.Call(method, body)
+	}
+	return r.do(WithTrace(r.c, parent), method, body)
+}
+
+func (r *RetryClient) do(c Client, method string, body []byte) ([]byte, error) {
 	var resp []byte
 	err := r.p.Do(method, func(int) error {
 		var cerr error
-		resp, cerr = r.c.Call(method, body)
+		resp, cerr = c.Call(method, body)
 		return cerr
 	})
 	if err != nil {
@@ -178,4 +198,29 @@ func (r *RetryClient) Call(method string, body []byte) ([]byte, error) {
 	return resp, nil
 }
 
-var _ Client = (*RetryClient)(nil)
+var _ TraceClient = (*RetryClient)(nil)
+
+// TraceRetries prepares the shared trace context for a retried call
+// with no ambient parent. When c supports trace propagation and p
+// allows more than one attempt, it mints one logical root span and
+// returns a client that issues every attempt as a child of it — so a
+// retry appears as sibling spans under one parent, not a fresh trace
+// per attempt — plus a finish func that records the root span (kind
+// "call") covering the whole retried operation, backoffs included.
+// Otherwise c is returned unchanged with a no-op finish. Callers that
+// already bound a parent (WithTrace) need none of this: their attempts
+// are siblings of the bound parent by construction.
+func TraceRetries(c Client, p RetryPolicy, method string) (Client, func(error)) {
+	if _, ok := c.(TraceClient); !ok || p.MaxAttempts < 2 {
+		return c, func(error) {}
+	}
+	tr := obs.NewTrace()
+	start := time.Now()
+	return WithTrace(c, tr), func(err error) {
+		span := obs.Span{Trace: tr, Kind: "call", Method: method, Start: start, Duration: time.Since(start)}
+		if err != nil {
+			span.Err = err.Error()
+		}
+		obs.Spans.Record(span)
+	}
+}

@@ -200,6 +200,7 @@ func (s *TCPServer) handleOne(trace, method string, body []byte) ([]byte, error)
 		span.Err = herr.Error()
 	}
 	obs.Spans.Record(span)
+	obs.DefaultSLO.Observe(method, dur, tr.TraceID)
 	return resp, herr
 }
 
