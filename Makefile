@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check audit-verify gateway-smoke loadgen-smoke bench bench-smoke bench-rpc bench-ledger bench-loadgen crash experiments examples cover fuzz clean
+.PHONY: all build vet test race check audit-verify gateway-smoke loadgen-smoke soak bench bench-smoke bench-rpc bench-ledger bench-loadgen crash experiments examples cover fuzz clean
 
 all: check
 
@@ -27,7 +27,8 @@ race:
 	$(GO) test -race ./internal/transport/... ./internal/obs/... ./internal/accounting/... \
 		./internal/chaos/... ./internal/faultpoint/... ./internal/svc/... \
 		./internal/endserver/... ./internal/proxy/... ./internal/group/... \
-		./internal/ledger/... ./internal/gateway/... ./internal/loadgen/...
+		./internal/ledger/... ./internal/gateway/... ./internal/loadgen/... \
+		./internal/soak/...
 
 check: build vet test race
 
@@ -57,6 +58,22 @@ loadgen-smoke:
 crash:
 	$(GO) test ./internal/chaos/ -run TestCrashRecovery -v -count=1
 	$(GO) test ./internal/accounting/ -run 'TestRecovery' -v -count=1
+
+# Continuous mixed-scenario soak storm (internal/soak): every workload
+# concurrently against a fresh multi-realm topology, fault injection on
+# the clearing hop, SIGKILL crash/recovery of the child-process bank,
+# and an always-on verifier asserting conservation, exactly-once
+# clearing, audit-chain integrity, and trace completeness. On a
+# violation the run fails with the seed and a reproduction command.
+# Override: make soak SOAK_TIME=10m SOAK_SEED=42
+SOAK_TIME ?= 60s
+SOAK_SEED ?= 1
+# go test's own watchdog; 0 disables it so multi-hour soaks can run.
+SOAK_TIMEOUT ?= 0
+
+soak:
+	$(GO) test ./internal/soak/ -run TestSoakStorm -v -count=1 \
+		-timeout $(SOAK_TIMEOUT) -soak.time=$(SOAK_TIME) -soak.seed=$(SOAK_SEED)
 
 bench:
 	$(GO) test -bench=. -benchmem . ./internal/transport/
@@ -104,6 +121,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzUnmarshalCertificate -fuzztime=$(FUZZTIME) ./internal/proxy/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/wire/
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) ./internal/wire/
+	$(GO) test -fuzz=FuzzVerifyFile -fuzztime=$(FUZZTIME) ./internal/audit/
+	$(GO) test -fuzz=FuzzReplayJournal -fuzztime=$(FUZZTIME) ./internal/ledger/
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt

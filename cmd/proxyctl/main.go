@@ -34,12 +34,16 @@ import (
 	"proxykit/internal/proxy"
 	"proxykit/internal/pubkey"
 	"proxykit/internal/restrict"
+	"proxykit/internal/soak"
 	"proxykit/internal/statefile"
 	"proxykit/internal/svc"
 	"proxykit/internal/transport"
 )
 
 func main() {
+	// A soak child process re-execs this binary; the env gate turns it
+	// into the child bank before any flag parsing.
+	soak.MaybeRunChild()
 	var logOpts logging.Options
 	global := flag.NewFlagSet("proxyctl", flag.ExitOnError)
 	global.Usage = usage
@@ -83,6 +87,8 @@ func main() {
 		err = cmdSLO(args)
 	case "gateway":
 		err = cmdGateway(args)
+	case "soak":
+		err = cmdSoak(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -109,7 +115,8 @@ commands:
   audit        tail, query, or verify a daemon's audit journal
   trace        assemble and render one distributed trace across daemons
   slo          report latency-objective compliance and error budgets
-  gateway      inspect a gatewayd: sessions, token map, proxy cache`)
+  gateway      inspect a gatewayd: sessions, token map, proxy cache
+  soak         run the continuous mixed-scenario storm with invariant verification`)
 }
 
 // commonFlags registers the flags every subcommand shares.

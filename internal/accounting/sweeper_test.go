@@ -23,9 +23,12 @@ func TestHoldSweeper(t *testing.T) {
 	stop := w.bank2.StartHoldSweeper(5 * time.Millisecond)
 	defer stop()
 
-	// Not yet expired: give the sweeper a few ticks and check the hold
-	// survives.
-	time.Sleep(25 * time.Millisecond)
+	// Not yet expired: a sweep right now must leave the live hold alone.
+	// Calling the sweep directly makes this deterministic — no fixed
+	// sleep hoping the background ticker fired enough times.
+	if n := w.bank2.ReleaseExpiredHolds(); n != 0 {
+		t.Fatalf("sweep released %d live holds", n)
+	}
 	if got := w.balance(w.bank2, "carol", carol); got != 700 {
 		t.Fatalf("sweeper released a live hold: carol = %d", got)
 	}
@@ -44,14 +47,14 @@ func TestHoldSweeper(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 
-	// stop is synchronous and idempotent: after it returns no further
-	// sweeps run.
+	// stop is synchronous and idempotent: once it returns the sweeper
+	// goroutine has exited, so the expired hold below can never be
+	// released — no grace sleep needed before asserting.
 	stop()
 	if _, err := w.bank2.Certify("carol", []principal.ID{carol}, w.carolCheck(100)); err != nil {
 		t.Fatal(err)
 	}
 	w.clk.Advance(25 * time.Hour)
-	time.Sleep(20 * time.Millisecond)
 	if got := w.balance(w.bank2, "carol", carol); got != 900 {
 		t.Fatalf("sweeper ran after stop: carol = %d", got)
 	}

@@ -1,0 +1,96 @@
+package accounting
+
+// Verification hooks for external invariant checkers (the soak world's
+// continuous verifier, recovery audits). They expose aggregate state
+// without the per-account read-ACL gate: a verifier is reconciling the
+// whole bank, not reading one customer's balance, and it holds no
+// principal identity of its own.
+
+import (
+	"sort"
+	"strings"
+)
+
+// ClearingAccountPrefix names the inter-bank settlement accounts a bank
+// creates for its correspondents during clearing (Fig. 5): funds a
+// drawee bank credits to "clearing:<collector>" belong to the collector
+// bank, not to this bank's customers.
+const ClearingAccountPrefix = "clearing:"
+
+// MoneyTotals is a per-currency census of where every unit of money on
+// one server sits. Customer money is Balances + Uncollected + Held;
+// Clearing is money owed to correspondent banks (it backs balances that
+// already appear on the collector's books, so a cross-bank conservation
+// check must not count it twice).
+type MoneyTotals struct {
+	// Balances sums collected balances across all accounts except
+	// clearing accounts.
+	Balances map[string]int64
+	// Uncollected sums deposited-but-unclear funds.
+	Uncollected map[string]int64
+	// Held sums outstanding certified-check holds.
+	Held map[string]int64
+	// Clearing sums the balances of ClearingAccountPrefix accounts.
+	Clearing map[string]int64
+}
+
+// Totals captures the server's money census under one lock acquisition,
+// so the four maps are a consistent snapshot.
+func (s *Server) Totals() MoneyTotals {
+	t := MoneyTotals{
+		Balances:    map[string]int64{},
+		Uncollected: map[string]int64{},
+		Held:        map[string]int64{},
+		Clearing:    map[string]int64{},
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, a := range s.accounts {
+		clearing := strings.HasPrefix(name, ClearingAccountPrefix)
+		for cur, v := range a.balances {
+			if clearing {
+				t.Clearing[cur] += v
+			} else {
+				t.Balances[cur] += v
+			}
+		}
+		for cur, v := range a.uncollected {
+			t.Uncollected[cur] += v
+		}
+		for _, h := range a.holds {
+			t.Held[h.currency] += h.amount
+		}
+	}
+	return t
+}
+
+// AccountBalances returns every account's collected balances as
+// account -> currency -> amount. The outer and inner maps are copies;
+// mutating them does not touch server state. Deterministic digests over
+// the result should sort both key levels (see SortedAccountNames).
+func (s *Server) AccountBalances() map[string]map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]map[string]int64, len(s.accounts))
+	for name, a := range s.accounts {
+		m := make(map[string]int64, len(a.balances))
+		for cur, v := range a.balances {
+			m[cur] = v
+		}
+		out[name] = m
+	}
+	return out
+}
+
+// SortedAccountNames lists all account names in sorted order — the
+// stable iteration order for state digests.
+func (s *Server) SortedAccountNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.accounts))
+	for name := range s.accounts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

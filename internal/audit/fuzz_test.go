@@ -1,0 +1,99 @@
+package audit
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzChain builds a small valid journal file's bytes for the corpus.
+func fuzzChain(t interface{ Fatal(...any) }, n int) []byte {
+	dir, err := os.MkdirTemp("", "audit-fuzz-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "audit.jsonl")
+	j, err := New(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		j.Append(Record{
+			Kind:    KindDeposit,
+			Object:  "acct:carol",
+			Op:      "credit",
+			Outcome: OutcomeGranted,
+			Detail:  map[string]string{"number": "ck-001", "amount": "10"},
+		})
+	}
+	_ = j.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzVerifyFile drives the journal chain verifier and walker over
+// arbitrary bytes: they must never panic, must agree with each other on
+// both the verified-record count and the verdict, and RepairTornTail
+// must only ever produce a file that verifies — or leave the file
+// alone.
+func FuzzVerifyFile(f *testing.F) {
+	valid := fuzzChain(f, 3)
+	f.Add(valid)
+	f.Add(append(append([]byte{}, valid...), []byte(`{"torn":`)...))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte{})
+	// Flip a byte mid-chain: tampering, not a torn tail.
+	tampered := append([]byte{}, valid...)
+	if len(tampered) > 4 {
+		tampered[len(tampered)/2] ^= 0x20
+	}
+	f.Add(tampered)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vn, verr := VerifyReader(bytes.NewReader(data))
+		wn, werr := WalkReader(bytes.NewReader(data), func(Record) {})
+		if vn != wn {
+			t.Fatalf("VerifyReader saw %d records, WalkReader %d", vn, wn)
+		}
+		if (verr == nil) != (werr == nil) {
+			t.Fatalf("verdicts disagree: verify=%v walk=%v", verr, werr)
+		}
+
+		dir := t.TempDir()
+		path := filepath.Join(dir, "audit.jsonl")
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		repaired, rerr := RepairTornTail(path)
+		after, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if verr == nil {
+			// A valid chain must never be "repaired".
+			if repaired || rerr != nil || !bytes.Equal(after, data) {
+				t.Fatalf("valid chain altered: repaired=%v err=%v", repaired, rerr)
+			}
+			return
+		}
+		if rerr != nil {
+			// Damage beyond a torn tail: the file must be untouched.
+			if !bytes.Equal(after, data) {
+				t.Fatal("RepairTornTail modified a file it refused to repair")
+			}
+			return
+		}
+		// Repair claimed success: the result must verify and be a prefix.
+		if _, err := VerifyReader(bytes.NewReader(after)); err != nil {
+			t.Fatalf("repaired file still broken: %v", err)
+		}
+		if !bytes.HasPrefix(data, after) {
+			t.Fatal("repair produced bytes that are not a prefix of the original")
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzWAL builds a valid n-record WAL image for the corpus.
+func fuzzWAL(payloads ...[]byte) []byte {
+	var out []byte
+	for i, p := range payloads {
+		body := make([]byte, 8+len(p))
+		binary.LittleEndian.PutUint64(body, uint64(i+1))
+		copy(body[8:], p)
+		frame := make([]byte, frameHeaderLen+len(body))
+		binary.LittleEndian.PutUint32(frame, uint32(len(body)))
+		binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(body))
+		copy(frame[frameHeaderLen:], body)
+		out = append(out, frame...)
+	}
+	return out
+}
+
+// FuzzReplayJournal drives the WAL frame scanner over arbitrary bytes:
+// it must never panic, the valid-prefix length it reports must itself
+// scan cleanly with the same record count, and a torn tail must never
+// be confused with mid-file corruption.
+func FuzzReplayJournal(f *testing.F) {
+	valid := fuzzWAL([]byte("op-1"), []byte("op-2"), []byte("op-3"))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn final frame
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1}) // impossible length
+	corrupt := append([]byte{}, valid...)
+	corrupt[frameHeaderLen+2] ^= 0x01 // flip a byte in record 1's body
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records := 0
+		size, err := scanFrames(data, func(uint64, []byte) { records++ })
+		if size < 0 || size > int64(len(data)) {
+			t.Fatalf("valid-prefix length %d out of range [0, %d]", size, len(data))
+		}
+		// The reported prefix must be exactly the valid frames seen:
+		// re-scanning it alone yields the same records and no error.
+		n2 := 0
+		size2, err2 := scanFrames(data[:size], func(uint64, []byte) { n2++ })
+		if err2 != nil || size2 != size || n2 != records {
+			t.Fatalf("prefix re-scan: records %d->%d size %d->%d err=%v",
+				records, n2, size, size2, err2)
+		}
+		if err == nil && size == int64(len(data)) && len(data) > 0 && records == 0 {
+			t.Fatal("clean full-length scan produced no records from non-empty data")
+		}
+
+		// VerifyWAL agrees with the raw scan.
+		dir := t.TempDir()
+		path := filepath.Join(dir, "wal.log")
+		if werr := os.WriteFile(path, data, 0o600); werr != nil {
+			t.Fatal(werr)
+		}
+		vrecords, torn, verr := VerifyWAL(path)
+		if vrecords != records || (verr == nil) != (err == nil) {
+			t.Fatalf("VerifyWAL (%d, %v) disagrees with scanFrames (%d, %v)",
+				vrecords, verr, records, err)
+		}
+		if verr == nil && torn != (size != int64(len(data))) {
+			t.Fatalf("torn=%v, but valid prefix is %d of %d bytes", torn, size, len(data))
+		}
+	})
+}

@@ -269,12 +269,15 @@ func Open(o Options) (*Ledger, *Recovery, error) {
 	return l, rec, nil
 }
 
-// scan walks the WAL frames in data, filling rec.Entries with records
-// past the snapshot and leaving l.size at the end of the last complete
-// frame and l.seq at the last sequence number seen.
-func (l *Ledger) scan(data []byte, rec *Recovery) error {
+// scanFrames walks the WAL frames in data, calling fn for each
+// complete, checksum-valid record, and returns the byte length of the
+// valid prefix. A partial final frame — or a checksum failure on the
+// final frame — is a torn tail: the walk stops there without error.
+// Damage anywhere earlier returns ErrCorrupt.
+func scanFrames(data []byte, fn func(seq uint64, payload []byte)) (int64, error) {
 	off := 0
 	var prevSeq uint64
+	var size int64
 	for off < len(data) {
 		if len(data)-off < frameHeaderLen {
 			break // torn: partial header at EOF
@@ -284,7 +287,7 @@ func (l *Ledger) scan(data []byte, rec *Recovery) error {
 			// Append-only writes tear by losing a suffix, never by
 			// garbling an earlier byte — an impossible length is
 			// corruption, not a torn tail.
-			return fmt.Errorf("%w: impossible record length %d at offset %d", ErrCorrupt, length, off)
+			return size, fmt.Errorf("%w: impossible record length %d at offset %d", ErrCorrupt, length, off)
 		}
 		end := off + frameHeaderLen + int(length)
 		if end > len(data) {
@@ -299,25 +302,55 @@ func (l *Ledger) scan(data []byte, rec *Recovery) error {
 				// it is still the tail, so drop it.
 				break
 			}
-			return fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
+			return size, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
 		}
 		seq := binary.LittleEndian.Uint64(body)
 		if prevSeq != 0 && seq != prevSeq+1 {
-			return fmt.Errorf("%w: sequence break %d -> %d at offset %d", ErrCorrupt, prevSeq, seq, off)
+			return size, fmt.Errorf("%w: sequence break %d -> %d at offset %d", ErrCorrupt, prevSeq, seq, off)
 		}
 		prevSeq = seq
-		if seq > l.snapSeq {
-			payload := make([]byte, len(body)-8)
-			copy(payload, body[8:])
-			rec.Entries = append(rec.Entries, Entry{Seq: seq, Data: payload})
+		if fn != nil {
+			fn(seq, body[8:])
 		}
 		off = end
-		l.size = int64(off)
+		size = int64(off)
 	}
-	if prevSeq > l.seq {
-		l.seq = prevSeq
+	return size, nil
+}
+
+// scan walks the WAL frames in data, filling rec.Entries with records
+// past the snapshot and leaving l.size at the end of the last complete
+// frame and l.seq at the last sequence number seen.
+func (l *Ledger) scan(data []byte, rec *Recovery) error {
+	size, err := scanFrames(data, func(seq uint64, payload []byte) {
+		if seq > l.seq {
+			l.seq = seq
+		}
+		if seq > l.snapSeq {
+			p := make([]byte, len(payload))
+			copy(p, payload)
+			rec.Entries = append(rec.Entries, Entry{Seq: seq, Data: p})
+		}
+	})
+	l.size = size
+	return err
+}
+
+// VerifyWAL re-walks a WAL file's frames — lengths, checksums, dense
+// sequence numbers — without opening a ledger. It returns the number of
+// intact records and whether trailing bytes past the last intact frame
+// were found (a torn tail, which recovery would drop). Damage anywhere
+// before the tail returns ErrCorrupt.
+func VerifyWAL(path string) (records int, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false, err
 	}
-	return nil
+	size, err := scanFrames(data, func(uint64, []byte) { records++ })
+	if err != nil {
+		return records, false, err
+	}
+	return records, size != int64(len(data)), nil
 }
 
 // SetAppendHook installs a function called after every append (outside

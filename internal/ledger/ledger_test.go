@@ -302,7 +302,21 @@ func TestFsyncIntervalSurvivesReopen(t *testing.T) {
 	if fi, _ := os.Stat(WALPath(dir)); fi.Size() == 0 {
 		t.Fatal("interval mode buffered instead of writing")
 	}
-	time.Sleep(5 * time.Millisecond) // let the timer fsync at least once
+	// Wait for the interval timer to flush (the dirty flag clears on
+	// fsync) instead of assuming a fixed sleep outruns the 1ms timer.
+	flushed := time.Now().Add(2 * time.Second)
+	for {
+		l.mu.Lock()
+		dirty := l.dirty
+		l.mu.Unlock()
+		if !dirty {
+			break
+		}
+		if time.Now().After(flushed) {
+			t.Fatal("interval fsync timer never flushed the append")
+		}
+		time.Sleep(time.Millisecond)
+	}
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}

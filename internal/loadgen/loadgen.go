@@ -33,8 +33,16 @@ type Op struct {
 type Config struct {
 	// Rate is the offered arrival rate in operations per second.
 	Rate float64
-	// Duration is how long arrivals are generated.
+	// Duration is how long arrivals are generated. Zero is allowed when
+	// MaxOps is set.
 	Duration time.Duration
+	// MaxOps, when positive, caps the number of arrivals generated: the
+	// run stops after exactly MaxOps operations even if Duration has not
+	// elapsed (and runs to MaxOps if Duration is zero). A fixed op count
+	// plus a fixed seed makes the whole schedule — and therefore the
+	// final topology state — deterministic, which duration-bounded runs
+	// are not.
+	MaxOps int
 	// Principals is how many simulated principals the workload cycles
 	// through.
 	Principals int
@@ -168,8 +176,8 @@ func Run(cfg Config, ops []Op) (*Report, error) {
 	if cfg.Rate <= 0 {
 		return nil, fmt.Errorf("loadgen: rate must be positive")
 	}
-	if cfg.Duration <= 0 {
-		return nil, fmt.Errorf("loadgen: duration must be positive")
+	if cfg.Duration <= 0 && cfg.MaxOps <= 0 {
+		return nil, fmt.Errorf("loadgen: duration or max ops must be positive")
 	}
 	if cfg.Principals <= 0 {
 		cfg.Principals = 1
@@ -230,7 +238,10 @@ func Run(cfg Config, ops []Op) (*Report, error) {
 	deadline := begin.Add(cfg.Duration)
 	var wg sync.WaitGroup
 	offered := 0
-	for next := begin; next.Before(deadline); next = next.Add(interarrival) {
+	for next := begin; cfg.Duration <= 0 || next.Before(deadline); next = next.Add(interarrival) {
+		if cfg.MaxOps > 0 && offered >= cfg.MaxOps {
+			break
+		}
 		// Open loop: sleep until the scheduled arrival, never until
 		// the previous operation completed.
 		if d := time.Until(next); d > 0 {

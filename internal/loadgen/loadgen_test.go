@@ -118,6 +118,52 @@ func TestRunOpenLoop(t *testing.T) {
 	}
 }
 
+// TestRunSeededDeterminism: a fixed seed plus a fixed op count pin the
+// whole schedule — two independent runs report the same per-op mix and
+// drive two fresh topologies into identical balance state (transfers
+// and deposits move fixed amounts, so the final balances depend only
+// on the drawn schedule, not on execution interleaving).
+func TestRunSeededDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("topology runs are not short")
+	}
+	run := func() (map[string]*OpReport, string) {
+		t.Helper()
+		topo, err := NewTopology(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer topo.Close()
+		rep, err := Run(Config{
+			Rate: 2000, MaxOps: 300, Principals: 4, Seed: 11,
+			Mix: map[string]float64{"authorize": 0.3, "transfer": 0.3, "deposit": 0.3, "gateway": 0.1},
+		}, topo.Ops())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Offered != 300 || rep.Completed != 300 {
+			t.Fatalf("offered=%d completed=%d, want 300 each", rep.Offered, rep.Completed)
+		}
+		// Determinism only holds if every op applied its state change.
+		for name, op := range rep.Ops {
+			if op.Errors != 0 {
+				t.Fatalf("op %s: %d/%d errors", name, op.Errors, op.Count)
+			}
+		}
+		return rep.Ops, topo.StateDigest()
+	}
+	ops1, dig1 := run()
+	ops2, dig2 := run()
+	for name, op := range ops1 {
+		if op.Count != ops2[name].Count {
+			t.Errorf("op %s count diverged: %d vs %d", name, op.Count, ops2[name].Count)
+		}
+	}
+	if dig1 != dig2 {
+		t.Errorf("seeded runs left different topology state:\n  %s\n  %s", dig1, dig2)
+	}
+}
+
 // TestLoadgenSmoke is the `make loadgen-smoke` entry point: the full
 // in-process topology under a seeded mixed workload, judged against
 // the standard SLO spec, with the report round-tripping as the

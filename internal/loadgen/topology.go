@@ -2,18 +2,25 @@ package loadgen
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
+	"sort"
+	"sync"
 	"time"
 
 	"proxykit/internal/accounting"
 	"proxykit/internal/acl"
+	"proxykit/internal/audit"
 	"proxykit/internal/authz"
 	"proxykit/internal/endserver"
 	"proxykit/internal/gateway"
 	"proxykit/internal/group"
+	"proxykit/internal/kerberos"
 	"proxykit/internal/principal"
 	"proxykit/internal/proxy"
 	"proxykit/internal/pubkey"
@@ -30,28 +37,71 @@ const Realm = "LOAD.EXAMPLE.ORG"
 // a funded account, a cascaded authorization proxy for the end-server
 // object, sealed-envelope service clients, and a gateway bearer token.
 type sim struct {
-	ident *pubkey.Identity
-	acct  string
-	authz *proxy.Proxy
-	end   *svc.EndClient
-	bank  *svc.AcctClient
-	token string
+	ident    *pubkey.Identity
+	acct     string
+	acct2    string // payor account at the second bank, "" without one
+	password string // KDC password, "" without a KDC
+	authz    *proxy.Proxy
+	end      *svc.EndClient
+	bank     *svc.AcctClient
+	token    string
 }
+
+// Options parameterizes NewTopologyWith. The zero value plus Principals
+// reproduces NewTopology.
+type Options struct {
+	// Principals is how many simulated principals to provision; <= 0
+	// means 1.
+	Principals int
+	// MintPerPrincipal is the dollars minted into each principal's
+	// account (and, with SecondBank, into each payor account there);
+	// <= 0 defaults to 1_000_000_000.
+	MintPerPrincipal int64
+	// JournalDir, when non-empty, attaches hash-chained file journals
+	// to the banks (bank1.jsonl, bank2.jsonl) so an external verifier
+	// can re-walk them while the workload runs.
+	JournalDir string
+	// SecondBank adds a drawee bank in a second realm with one funded
+	// payor account per principal ("c<i>"), peered with the main bank
+	// both ways — the Fig. 5 cross-bank clearing topology.
+	SecondBank bool
+	// ChurnGroups provisions this many churn groups ("churn-<w>"), an
+	// authz rule per group for /churn/doc, and the matching end-server
+	// ACL, enabling the group/ACL churn actor.
+	ChurnGroups int
+	// KDC stands up a key distribution center over TCP with every
+	// principal password-registered, enabling the login actor.
+	KDC bool
+}
+
+// SecondRealm is the drawee bank's realm when Options.SecondBank is set.
+const SecondRealm = "LOAD2.EXAMPLE.ORG"
 
 // Topology is a full in-process deployment — group, authz, end-server,
 // and accounting daemons over real TCP plus the HTTP gateway — with N
 // simulated principals provisioned against it. It is the fixture
-// `cmd/loadgen` and the loadgen-smoke CI target drive.
+// `cmd/loadgen`, the loadgen-smoke CI target, and the soak world drive.
 type Topology struct {
 	StateDir string
 
 	GatewayURL string
 
-	bank    *accounting.Server
-	fileID  principal.ID
-	sims    []*sim
-	httpc   *http.Client
-	closers []func()
+	opts     Options
+	bank     *accounting.Server
+	bank2    *accounting.Server
+	groupSrv *group.Server
+	authzSrv *authz.Server
+	kdc      *kerberos.KDC
+	kdcC     *svc.KDCClient
+	groupC   *transport.TCPClient
+	authzC   *transport.TCPClient
+	fileID   principal.ID
+	sims     []*sim
+	churnMu  []sync.Mutex
+	minted   map[string]int64
+	journals map[string]*audit.Journal
+	httpc    *http.Client
+	closers  []func()
 }
 
 // Close tears down servers, clients, and the state directory.
@@ -67,16 +117,29 @@ func (t *Topology) Close() {
 // holds a delegate authorization proxy acquired through the real
 // group-server → authz-server cascade.
 func NewTopology(n int) (*Topology, error) {
-	if n <= 0 {
-		n = 1
+	return NewTopologyWith(Options{Principals: n})
+}
+
+// NewTopologyWith stands up the deployment per opts.
+func NewTopologyWith(opts Options) (*Topology, error) {
+	if opts.Principals <= 0 {
+		opts.Principals = 1
+	}
+	if opts.MintPerPrincipal <= 0 {
+		opts.MintPerPrincipal = 1_000_000_000
 	}
 	state, err := os.MkdirTemp("", "loadgen-state-")
 	if err != nil {
 		return nil, err
 	}
-	t := &Topology{StateDir: state}
+	t := &Topology{
+		StateDir: state,
+		opts:     opts,
+		minted:   map[string]int64{},
+		journals: map[string]*audit.Journal{},
+	}
 	t.closers = append(t.closers, func() { _ = os.RemoveAll(state) })
-	if err := t.build(n); err != nil {
+	if err := t.build(opts.Principals); err != nil {
 		t.Close()
 		return nil, err
 	}
@@ -115,17 +178,62 @@ func (t *Topology) build(n int) error {
 		return c, nil
 	}
 
-	groupSrv := group.New(ids["groups"], nil)
-	authzSrv := authz.New(ids["authz"], nil)
-	authzSrv.AddRule(authz.Rule{
+	t.groupSrv = group.New(ids["groups"], nil)
+	t.authzSrv = authz.New(ids["authz"], nil)
+	t.authzSrv.AddRule(authz.Rule{
 		EndServer: t.fileID,
 		Object:    "/shared/doc",
-		Subject:   acl.Subject{Groups: []principal.Global{groupSrv.Global("staff")}},
+		Subject:   acl.Subject{Groups: []principal.Global{t.groupSrv.Global("staff")}},
 		Ops:       []string{"read"},
 	})
 	fileSrv := endserver.New(t.fileID, &proxy.VerifyEnv{ResolveIdentity: resolve}, nil)
 	fileSrv.SetACL("/shared/doc", acl.New(acl.PrincipalEntry(ids["authz"].ID, "read")))
 	t.bank = accounting.NewServer(ids["bank"], resolve, nil)
+	if err := t.attachJournal(t.bank, "bank1"); err != nil {
+		return err
+	}
+
+	// The churn world: groups whose membership the churn actor toggles,
+	// each entitling its members to read /churn/doc through the same
+	// group -> authz -> end-server cascade the staff group uses.
+	if t.opts.ChurnGroups > 0 {
+		for w := 0; w < t.opts.ChurnGroups; w++ {
+			g := churnGroupName(w)
+			t.groupSrv.AddGroup(g)
+			t.authzSrv.AddRule(authz.Rule{
+				EndServer: t.fileID,
+				Object:    "/churn/doc",
+				Subject:   acl.Subject{Groups: []principal.Global{t.groupSrv.Global(g)}},
+				Ops:       []string{"read"},
+			})
+		}
+		fileSrv.SetACL("/churn/doc", acl.New(acl.PrincipalEntry(ids["authz"].ID, "read")))
+	}
+
+	// The second realm's drawee bank, peered both ways for clearing.
+	if t.opts.SecondBank {
+		ident2, err := statefile.CreateIdentity(t.StateDir, principal.New("bank2", SecondRealm))
+		if err != nil {
+			return err
+		}
+		t.bank2 = accounting.NewServer(ident2, resolve, nil)
+		t.bank.AddPeer(t.bank2)
+		t.bank2.AddPeer(t.bank)
+		if err := t.attachJournal(t.bank2, "bank2"); err != nil {
+			return err
+		}
+	}
+
+	if t.opts.KDC {
+		kdc, err := kerberos.NewKDC(Realm, nil)
+		if err != nil {
+			return err
+		}
+		t.kdc = kdc
+		if _, err := kdc.RegisterWithPassword(t.fileID, "srv1-service-key"); err != nil {
+			return err
+		}
+	}
 
 	// Provision principals before the servers take traffic.
 	mapping := &gateway.MappingConfig{}
@@ -135,27 +243,46 @@ func (t *Topology) build(n int) error {
 		if err != nil {
 			return err
 		}
-		groupSrv.AddMember("staff", ident.ID)
+		t.groupSrv.AddMember("staff", ident.ID)
 		if err := t.bank.CreateAccount(name, ident.ID); err != nil {
 			return err
 		}
-		if err := t.bank.Mint(name, "dollars", 1_000_000_000); err != nil {
+		if err := t.bank.Mint(name, "dollars", t.opts.MintPerPrincipal); err != nil {
 			return err
 		}
-		token := fmt.Sprintf("tok-%s-%s", name, ident.Public().KeyID())
+		t.minted["dollars"] += t.opts.MintPerPrincipal
+		s := &sim{ident: ident, acct: name}
+		if t.bank2 != nil {
+			s.acct2 = fmt.Sprintf("c%d", i)
+			if err := t.bank2.CreateAccount(s.acct2, ident.ID); err != nil {
+				return err
+			}
+			if err := t.bank2.Mint(s.acct2, "dollars", t.opts.MintPerPrincipal); err != nil {
+				return err
+			}
+			t.minted["dollars"] += t.opts.MintPerPrincipal
+		}
+		if t.kdc != nil {
+			s.password = "pw-" + name
+			if _, err := t.kdc.RegisterWithPassword(ident.ID, s.password); err != nil {
+				return err
+			}
+		}
+		s.token = fmt.Sprintf("tok-%s-%s", name, ident.Public().KeyID())
 		mapping.Tokens = append(mapping.Tokens, gateway.TokenEntry{
-			Token:     token,
+			Token:     s.token,
 			Subject:   name,
 			Principal: name + "@" + Realm,
 			Groups:    []string{"staff"},
 		})
-		t.sims = append(t.sims, &sim{ident: ident, acct: name, token: token})
+		t.sims = append(t.sims, s)
 	}
+	t.churnMu = make([]sync.Mutex, len(t.sims))
 
-	if err := serve("groups", svc.NewGroupService(groupSrv, resolve, nil).Mux()); err != nil {
+	if err := serve("groups", svc.NewGroupService(t.groupSrv, resolve, nil).Mux()); err != nil {
 		return err
 	}
-	if err := serve("authz", svc.NewAuthzService(authzSrv, resolve, nil).Mux()); err != nil {
+	if err := serve("authz", svc.NewAuthzService(t.authzSrv, resolve, nil).Mux()); err != nil {
 		return err
 	}
 	if err := serve("file", svc.NewEndService(fileSrv, resolve, nil).Mux()); err != nil {
@@ -163,6 +290,11 @@ func (t *Topology) build(n int) error {
 	}
 	if err := serve("bank", svc.NewAcctService(t.bank, resolve, nil).Mux()); err != nil {
 		return err
+	}
+	if t.kdc != nil {
+		if err := serve("kdc", svc.NewKDCService(t.kdc).Mux()); err != nil {
+			return err
+		}
 	}
 
 	groupC, err := dial("groups")
@@ -180,6 +312,14 @@ func (t *Topology) build(n int) error {
 	bankC, err := dial("bank")
 	if err != nil {
 		return err
+	}
+	t.groupC, t.authzC = groupC, authzC
+	if t.kdc != nil {
+		kdcC, err := dial("kdc")
+		if err != nil {
+			return err
+		}
+		t.kdcC = svc.NewKDCClient(kdcC)
 	}
 
 	// Each principal walks the real cascade once at setup: group proxy
@@ -234,6 +374,95 @@ func (t *Topology) build(n int) error {
 	return nil
 }
 
+// attachJournal wires a hash-chained file journal under a bank when
+// Options.JournalDir is set.
+func (t *Topology) attachJournal(bank *accounting.Server, name string) error {
+	if t.opts.JournalDir == "" {
+		return nil
+	}
+	j, err := audit.New(audit.Options{Path: t.JournalPath(name), Tail: 16})
+	if err != nil {
+		return err
+	}
+	t.closers = append(t.closers, func() { _ = j.Close() })
+	t.journals[name] = j
+	bank.SetJournal(j)
+	return nil
+}
+
+func churnGroupName(w int) string { return fmt.Sprintf("churn-%d", w) }
+
+// ---- accessors for the soak world and external verifiers ----
+
+// Bank returns the main accounting server (the collector in Fig. 5).
+func (t *Topology) Bank() *accounting.Server { return t.bank }
+
+// SecondBank returns the drawee bank, nil unless Options.SecondBank.
+func (t *Topology) SecondBank() *accounting.Server { return t.bank2 }
+
+// GroupServer returns the group-membership server.
+func (t *Topology) GroupServer() *group.Server { return t.groupSrv }
+
+// EndServerID returns the end-server's principal identity.
+func (t *Topology) EndServerID() principal.ID { return t.fileID }
+
+// SimCount returns how many principals are provisioned.
+func (t *Topology) SimCount() int { return len(t.sims) }
+
+// SimIdentity returns principal i's identity.
+func (t *Topology) SimIdentity(i int) *pubkey.Identity { return t.sims[i%len(t.sims)].ident }
+
+// SimAccount returns principal i's account name at the main bank.
+func (t *Topology) SimAccount(i int) string { return t.sims[i%len(t.sims)].acct }
+
+// JournalPath returns the file path of a bank's journal ("bank1" or
+// "bank2"); meaningful only with Options.JournalDir set.
+func (t *Topology) JournalPath(name string) string {
+	return filepath.Join(t.opts.JournalDir, name+".jsonl")
+}
+
+// MintedSupply returns the total money provisioned into the topology,
+// per currency, across all banks. Nothing else creates money, so at
+// quiesce the per-currency sums over both banks' customer accounts must
+// equal it exactly.
+func (t *Topology) MintedSupply() map[string]int64 {
+	out := make(map[string]int64, len(t.minted))
+	for cur, v := range t.minted {
+		out[cur] = v
+	}
+	return out
+}
+
+// StateDigest hashes every account balance on every bank, in sorted
+// order: two topologies that executed the same op schedule digest
+// identically, regardless of interleaving.
+func (t *Topology) StateDigest() string {
+	h := sha256.New()
+	banks := []*accounting.Server{t.bank}
+	if t.bank2 != nil {
+		banks = append(banks, t.bank2)
+	}
+	for bi, b := range banks {
+		balances := b.AccountBalances()
+		names := make([]string, 0, len(balances))
+		for name := range balances {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			curs := make([]string, 0, len(balances[name]))
+			for cur := range balances[name] {
+				curs = append(curs, cur)
+			}
+			sort.Strings(curs)
+			for _, cur := range curs {
+				fmt.Fprintf(h, "%d/%s/%s=%d\n", bi, name, cur, balances[name][cur])
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Ops returns the four workload operations over this topology. The
 // principal index selects which sim acts.
 func (t *Topology) Ops() []Op {
@@ -248,23 +477,13 @@ func (t *Topology) Ops() []Op {
 // opAuthorize presents the principal's cascaded authorization proxy to
 // the end-server (method end.request).
 func (t *Topology) opAuthorize(p int) error {
-	s := t.sims[p%len(t.sims)]
-	_, err := s.end.Request(svc.RequestParams{
-		Object: "/shared/doc", Op: "read",
-		Proxies: []*proxy.Presentation{s.authz.PresentDelegate()},
-	})
-	return err
+	return t.Authorize(p)
 }
 
 // opTransfer moves one dollar to the next principal's account (method
 // acct.transfer).
 func (t *Topology) opTransfer(p int) error {
-	s := t.sims[p%len(t.sims)]
-	to := t.sims[(p+1)%len(t.sims)]
-	if to == s {
-		return nil // a single principal cannot transfer to itself
-	}
-	return s.bank.Transfer(s.acct, to.acct, "dollars", 1)
+	return t.Transfer(p, 1)
 }
 
 // opDeposit writes a check to the next principal, who endorses and
@@ -272,22 +491,7 @@ func (t *Topology) opTransfer(p int) error {
 // endorsement are client-side crypto; only the deposit RPC is the
 // measured server interaction, but the full §7.7 instrument flow runs.
 func (t *Topology) opDeposit(p int) error {
-	payor := t.sims[p%len(t.sims)]
-	payee := t.sims[(p+1)%len(t.sims)]
-	check, err := accounting.WriteCheck(accounting.WriteCheckParams{
-		Payor: payor.ident, Bank: t.bank.ID, Account: payor.acct,
-		Payee: payee.ident.ID, Currency: "dollars", Amount: 1,
-		Lifetime: time.Hour,
-	})
-	if err != nil {
-		return err
-	}
-	endorsed, err := check.Endorse(payee.ident, t.bank.ID, t.bank.ID, t.bank.Global(payee.acct), true, nil)
-	if err != nil {
-		return err
-	}
-	_, err = payee.bank.DepositCheck(endorsed, payee.acct)
-	return err
+	return t.Deposit(p, 1)
 }
 
 // opGateway authorizes through the HTTP edge with the principal's

@@ -1,0 +1,52 @@
+package soak
+
+import (
+	"os"
+	"time"
+
+	"proxykit/internal/accounting"
+	"proxykit/internal/faultpoint"
+	"proxykit/internal/loadgen"
+	"proxykit/internal/transport"
+)
+
+// newStormTopology stands up the multi-realm world the storm runs over:
+// the full loadgen deployment (group, authz, end-server, gateway over
+// real TCP) extended with a KDC, churn groups, a second bank for
+// cross-bank clearing, and file journals on both banks so the verifier
+// can re-walk them live. The collector's clearing hop gets a seeded
+// fault injector and a fast deterministic retry policy.
+func newStormTopology(cfg Config) (*loadgen.Topology, func(), error) {
+	journalDir, err := os.MkdirTemp("", "soak-journal-")
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanup := func() { _ = os.RemoveAll(journalDir) }
+	churn := cfg.Principals / 4
+	if churn < 2 {
+		churn = 2
+	}
+	topo, err := loadgen.NewTopologyWith(loadgen.Options{
+		Principals:  cfg.Principals,
+		JournalDir:  journalDir,
+		SecondBank:  true,
+		ChurnGroups: churn,
+		KDC:         true,
+	})
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	inj := faultpoint.New(cfg.Seed, faultpoint.Rule{
+		Method: accounting.HopMethod,
+		Drop:   cfg.FaultDrop,
+		Dup:    cfg.FaultDup,
+	})
+	topo.Bank().SetHopInjector(inj)
+	topo.Bank().SetHopRetry(transport.RetryPolicy{
+		MaxAttempts: 6,
+		Seed:        cfg.Seed,
+		Sleep:       func(time.Duration) {}, // injected faults, not real latency
+	})
+	return topo, cleanup, nil
+}

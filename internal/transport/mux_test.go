@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -13,7 +14,39 @@ import (
 	"time"
 
 	"proxykit/internal/faultpoint"
+	"proxykit/internal/obs"
 )
+
+// pollUntil spins until cond holds or the deadline passes, reporting
+// whether cond held. Tests use it in place of fixed sleeps so a loaded
+// machine cannot turn a scheduling hiccup into a flake.
+func pollUntil(d time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}
+
+// faultDelays reads the process-global injected-delay counter through
+// the registry's JSON rendering (the raw counter is private to
+// faultpoint).
+func faultDelays(t *testing.T) float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := obs.Default.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := map[string]any{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := doc["proxykit_fault_delays_total"].(float64)
+	return v
+}
 
 // slowEchoMux echoes its body after a per-call delay carried in the
 // first 8 bytes (nanoseconds, big-endian; see delayedBody); bodies
@@ -95,12 +128,17 @@ func TestMuxSlowCallDoesNotStallOthers(t *testing.T) {
 	}
 	defer c.Close()
 
+	inflightBefore := mServerInflight.Value()
 	slowDone := make(chan error, 1)
 	go func() {
 		_, err := c.Call("echo", delayedBody(400*time.Millisecond, []byte("slow")))
 		slowDone <- err
 	}()
-	time.Sleep(20 * time.Millisecond) // let the slow call get in flight
+	// Wait until the server reports the slow call in flight; its handler
+	// then sleeps 400ms, so the fast calls below race only against that.
+	if !pollUntil(2*time.Second, func() bool { return mServerInflight.Value() > inflightBefore }) {
+		t.Fatal("slow call never reached the server")
+	}
 
 	start := time.Now()
 	for i := 0; i < 5; i++ {
@@ -292,6 +330,7 @@ func TestMuxInjectedDelayDoesNotStallPeers(t *testing.T) {
 	}
 	c.SetInjector(inj)
 
+	delaysBefore := faultDelays(t)
 	delayed := make(chan struct{})
 	go func() {
 		defer close(delayed)
@@ -299,7 +338,12 @@ func TestMuxInjectedDelayDoesNotStallPeers(t *testing.T) {
 		// but only after the injected client-side delay.
 		_, _ = c.Call("slowmethod", nil)
 	}()
-	time.Sleep(20 * time.Millisecond) // delayed call is sleeping now
+	// The injector counts the delay verdict as it is decided, right
+	// before the sleep begins — once the counter moves, the delayed call
+	// has passed the lock acquisition and entered its injected sleep.
+	if !pollUntil(2*time.Second, func() bool { return faultDelays(t) > delaysBefore }) {
+		t.Fatal("injected delay was never decided")
+	}
 
 	start := time.Now()
 	if _, err := c.Call("echo", []byte("free")); err != nil {
