@@ -88,10 +88,15 @@ bench-smoke:
 bench-rpc:
 	$(GO) run ./cmd/benchrpc -o BENCH_PR4.json
 
-# Regenerate BENCH_PR5.json (WAL transfer overhead: in-memory vs
-# fsync=off vs fsync=always).
+# Regenerate BENCH_PR9.json: the PR-5 WAL overhead trio (in-memory vs
+# fsync=off vs fsync=always), the group-commit speedup matrix (8
+# concurrent committers at fsync=always, batched vs per-append fsync,
+# as raw ledger appends and striped bank transfers), and an open-loop
+# loadgen run compared per-op against the BENCH_PR7.json baseline.
 bench-ledger:
-	$(GO) run ./cmd/benchledger -o BENCH_PR5.json
+	$(GO) run ./cmd/loadgen -o .loadgen_pr9.json
+	$(GO) run ./cmd/benchledger -loadgen .loadgen_pr9.json -loadgen-baseline BENCH_PR7.json -o BENCH_PR9.json
+	rm -f .loadgen_pr9.json
 
 # Regenerate BENCH_PR7.json (open-loop mixed workload against the
 # in-process topology, judged against the standard SLO objectives).

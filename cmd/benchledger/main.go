@@ -1,17 +1,21 @@
-// Command benchledger measures the PR-5 durability claim and emits a
-// machine-readable report: the cost of routing every accounting
-// mutation through the write-ahead log, as transfer latency on one
-// bank in three configurations —
+// Command benchledger measures the durability hot path and emits a
+// machine-readable report.
 //
-//   - in-memory (no ledger attached): the pre-PR-5 baseline
+// The single-threaded section carries forward the PR-5 claim — the cost
+// of routing every accounting mutation through the write-ahead log, as
+// transfer latency on one bank in three configurations (in-memory,
+// fsync=off, fsync=always).
 //
-//   - WAL with fsync=off (buffered appends): the hot-path budget is
-//     within 2x of the in-memory baseline
+// The group-commit section measures the PR-9 claim: with concurrent
+// committers on an fsync=always ledger, commit-cohort batching (one
+// leader fsyncs the whole batch) must improve throughput at least 5x
+// over one fsync per append, both as raw ledger appends and as striped
+// bank transfers.
 //
-//   - WAL with fsync=always (fsync per append): full durability, paid
-//     for in disk-flush latency
+// With -loadgen and -loadgen-baseline, an open-loop loadgen report is
+// embedded and compared per-op against a baseline run (BENCH_PR7.json).
 //
-//     benchledger -o BENCH_PR5.json
+//	benchledger -o BENCH_PR9.json
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"proxykit/internal/accounting"
@@ -42,6 +47,40 @@ type report struct {
 	WALOffOverhead     float64 `json:"walOffOverhead"`
 	WALAlwaysOverhead  float64 `json:"walAlwaysOverhead"`
 	WALOffWithinBudget bool    `json:"walOffWithin2x"`
+
+	GroupCommitAppends   *groupCommitSection `json:"groupCommitAppends"`
+	GroupCommitTransfers *groupCommitSection `json:"groupCommitTransfers"`
+
+	Loadgen *loadgenCompare `json:"loadgen,omitempty"`
+}
+
+// groupCommitSection compares fsync=always throughput with concurrent
+// committers: one fsync per append (the baseline) vs commit-cohort
+// batching.
+type groupCommitSection struct {
+	Committers           int     `json:"committers"`
+	OpsPerCommitter      int     `json:"opsPerCommitter"`
+	PerAppendFsyncNsOp   float64 `json:"perAppendFsyncNsPerOp"`
+	GroupCommitNsOp      float64 `json:"groupCommitNsPerOp"`
+	PerAppendFsyncPerSec float64 `json:"perAppendFsyncOpsPerSec"`
+	GroupCommitPerSec    float64 `json:"groupCommitOpsPerSec"`
+	Speedup              float64 `json:"speedup"`
+	SpeedupAtLeast5x     bool    `json:"speedupAtLeast5x"`
+}
+
+// loadgenCompare embeds a per-op p99 comparison of one loadgen report
+// against a baseline report.
+type loadgenCompare struct {
+	Report   string              `json:"report"`
+	Baseline string              `json:"baseline"`
+	Ops      map[string]opDeltas `json:"ops"`
+}
+
+type opDeltas struct {
+	P99Ns         float64 `json:"p99Ns"`
+	BaselineP99Ns float64 `json:"baselineP99Ns"`
+	// Ratio is current/baseline: < 1 means this tree is faster.
+	Ratio float64 `json:"ratio"`
 }
 
 const (
@@ -50,17 +89,24 @@ const (
 	// fsync=always pays a real disk flush per transfer and uses fewer.
 	iters       = 20_000
 	alwaysIters = 1_000
+
+	// The group-commit matrix: committers is the acceptance floor for
+	// the PR-9 claim (>= 8 concurrent committers, >= 5x).
+	committers   = 8
+	opsPerWorker = 250
 )
 
 func main() {
-	out := flag.String("o", "BENCH_PR5.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_PR9.json", "output file (- for stdout)")
+	loadgenPath := flag.String("loadgen", "", "loadgen report to embed (optional)")
+	loadgenBase := flag.String("loadgen-baseline", "", "baseline loadgen report to compare against (optional)")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	if err := run(*out, *loadgenPath, *loadgenBase); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(out string) error {
+func run(out, loadgenPath, loadgenBase string) error {
 	r := report{
 		GOOS:             runtime.GOOS,
 		GOARCH:           runtime.GOARCH,
@@ -85,6 +131,19 @@ func run(out string) error {
 	r.WALAlwaysOverhead = r.WALAlwaysNsPerOp / r.InMemoryNsPerOp
 	r.WALOffWithinBudget = r.WALOffOverhead <= 2.0
 
+	if r.GroupCommitAppends, err = groupSection(measureAppends); err != nil {
+		return err
+	}
+	if r.GroupCommitTransfers, err = groupSection(measureTransfers); err != nil {
+		return err
+	}
+
+	if loadgenPath != "" && loadgenBase != "" {
+		if r.Loadgen, err = compareLoadgen(loadgenPath, loadgenBase); err != nil {
+			return err
+		}
+	}
+
 	raw, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
@@ -97,10 +156,201 @@ func run(out string) error {
 	if err := os.WriteFile(out, raw, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("in-memory %.0f ns/op, wal-off %.0f ns/op (%.2fx), wal-always %.0f ns/op (%.1fx) -> %s\n",
+	fmt.Printf("in-memory %.0f ns/op, wal-off %.0f ns/op (%.2fx), wal-always %.0f ns/op (%.1fx)\n",
 		r.InMemoryNsPerOp, r.WALOffNsPerOp, r.WALOffOverhead,
-		r.WALAlwaysNsPerOp, r.WALAlwaysOverhead, out)
+		r.WALAlwaysNsPerOp, r.WALAlwaysOverhead)
+	fmt.Printf("group commit, %d committers: appends %.1fx, transfers %.1fx -> %s\n",
+		committers, r.GroupCommitAppends.Speedup, r.GroupCommitTransfers.Speedup, out)
 	return nil
+}
+
+// groupSection runs one workload with group commit off, then on, and
+// packages the comparison. Each mode takes the best of three runs —
+// the minimum is the least-noise estimate when the dominant noise
+// source (disk flush latency) only ever adds time.
+func groupSection(workload func(group bool) (float64, error)) (*groupCommitSection, error) {
+	s := &groupCommitSection{Committers: committers, OpsPerCommitter: opsPerWorker}
+	best := func(group bool) (float64, error) {
+		min := 0.0
+		for i := 0; i < 3; i++ {
+			ns, err := workload(group)
+			if err != nil {
+				return 0, err
+			}
+			if min == 0 || ns < min {
+				min = ns
+			}
+		}
+		return min, nil
+	}
+	var err error
+	if s.PerAppendFsyncNsOp, err = best(false); err != nil {
+		return nil, err
+	}
+	if s.GroupCommitNsOp, err = best(true); err != nil {
+		return nil, err
+	}
+	s.PerAppendFsyncPerSec = 1e9 / s.PerAppendFsyncNsOp
+	s.GroupCommitPerSec = 1e9 / s.GroupCommitNsOp
+	s.Speedup = s.PerAppendFsyncNsOp / s.GroupCommitNsOp
+	s.SpeedupAtLeast5x = s.Speedup >= 5.0
+	return s, nil
+}
+
+// measureAppends times committers goroutines each appending
+// opsPerWorker records to one fsync=always ledger — the raw group
+// commit path, no accounting above it.
+func measureAppends(group bool) (nsPerOp float64, err error) {
+	dir, err := os.MkdirTemp("", "benchledger-gc-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	l, _, err := ledger.Open(ledger.Options{
+		Dir:           dir,
+		Fsync:         ledger.FsyncAlways,
+		NoGroupCommit: !group,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	payload := make([]byte, 64)
+	for i := 0; i < 32; i++ { // warm up the WAL file
+		if _, err := l.Append(payload); err != nil {
+			return 0, err
+		}
+	}
+	errs := make(chan error, committers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < committers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				if _, err := l.Append(payload); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return 0, err
+	default:
+	}
+	return float64(elapsed.Nanoseconds()) / float64(committers*opsPerWorker), nil
+}
+
+// measureTransfers times committers goroutines each ping-ponging
+// transfers on a disjoint account pair of one ledgered bank: striped
+// account locks let the commits reach the WAL concurrently, where
+// group commit batches their fsyncs.
+func measureTransfers(group bool) (nsPerOp float64, err error) {
+	alice := principal.New("alice", benchRealm)
+	ident, err := pubkey.NewIdentity(principal.New("bank", benchRealm))
+	if err != nil {
+		return 0, err
+	}
+	bank := accounting.NewServer(ident, nil, nil)
+	dir, err := os.MkdirTemp("", "benchledger-gct-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	if _, err := bank.OpenLedger(ledger.Options{
+		Dir:           dir,
+		Fsync:         ledger.FsyncAlways,
+		NoGroupCommit: !group,
+	}); err != nil {
+		return 0, err
+	}
+	defer bank.CloseLedger()
+	who := []principal.ID{alice}
+	for w := 0; w < committers; w++ {
+		for _, acct := range []string{fmt.Sprintf("a%d", w), fmt.Sprintf("b%d", w)} {
+			if err := bank.CreateAccount(acct, alice); err != nil {
+				return 0, err
+			}
+			if err := bank.Mint(acct, "dollars", opsPerWorker+1); err != nil {
+				return 0, err
+			}
+		}
+	}
+	errs := make(chan error, committers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < committers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a, b := fmt.Sprintf("a%d", w), fmt.Sprintf("b%d", w)
+			for i := 0; i < opsPerWorker; i++ {
+				from, to := a, b
+				if i%2 == 1 {
+					from, to = to, from
+				}
+				if err := bank.Transfer(from, to, "dollars", 1, who); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return 0, err
+	default:
+	}
+	return float64(elapsed.Nanoseconds()) / float64(committers*opsPerWorker), nil
+}
+
+// compareLoadgen reads two loadgen reports and compares per-op p99.
+func compareLoadgen(path, basePath string) (*loadgenCompare, error) {
+	cur, err := readLoadgenOps(path)
+	if err != nil {
+		return nil, err
+	}
+	base, err := readLoadgenOps(basePath)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &loadgenCompare{Report: path, Baseline: basePath, Ops: map[string]opDeltas{}}
+	for name, p99 := range cur {
+		d := opDeltas{P99Ns: p99}
+		if b, ok := base[name]; ok && b > 0 {
+			d.BaselineP99Ns = b
+			d.Ratio = p99 / b
+		}
+		cmp.Ops[name] = d
+	}
+	return cmp, nil
+}
+
+func readLoadgenOps(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Ops map[string]struct {
+			P99Ns float64 `json:"p99Ns"`
+		} `json:"ops"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(doc.Ops))
+	for name, op := range doc.Ops {
+		out[name] = op.P99Ns
+	}
+	return out, nil
 }
 
 // measure times n ping-pong transfers between two accounts on one

@@ -87,8 +87,24 @@ type Server struct {
 	clk      clock.Clock
 	registry *replay.Cache
 
-	mu       sync.Mutex
+	// createMu serializes account creation (the check-then-commit in
+	// CreateAccount/ensureAccount), so two racing creates of one name
+	// cannot both commit an opCreate record.
+	createMu sync.Mutex
+
+	// acctMu guards the accounts map itself (membership); the state
+	// inside each account is guarded by its stripe in locks.go.
+	acctMu   sync.RWMutex
 	accounts map[string]*account
+
+	// stripes are the hash-striped account locks; see locks.go for the
+	// order discipline.
+	stripes [lockStripes]sync.RWMutex
+
+	// cfgMu guards the mutable wiring below — peers, hops, journal,
+	// injectors, the ledger reference — and ForwardedChecks. It is a
+	// leaf lock: nothing else is acquired while holding it.
+	cfgMu    sync.Mutex
 	peers    map[principal.ID]*Server
 	nextHop  *Server
 	journal  *audit.Journal
@@ -97,24 +113,25 @@ type Server struct {
 	ledger   *ledger.Ledger
 
 	// ForwardedChecks counts checks this server endorsed onward to
-	// another bank (clearing traffic, for the experiments).
+	// another bank (clearing traffic, for the experiments). Guarded by
+	// cfgMu; read directly only in sequential tests.
 	ForwardedChecks int
 }
 
 // SetJournal attaches an audit journal; every balance-changing decision
 // (transfers, deposits, clearing hops, holds) is sealed into its chain.
 func (s *Server) SetJournal(j *audit.Journal) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.cfgMu.Lock()
+	defer s.cfgMu.Unlock()
 	s.journal = j
 }
 
 // emit seals one record into the attached journal, if any. Callers must
-// not hold s.mu. The record's Time and Server are filled in.
+// not hold account stripes. The record's Time and Server are filled in.
 func (s *Server) emit(rec audit.Record) {
-	s.mu.Lock()
+	s.cfgMu.Lock()
 	j := s.journal
-	s.mu.Unlock()
+	s.cfgMu.Unlock()
 	if j == nil {
 		return
 	}
@@ -152,16 +169,16 @@ func (s *Server) Global(name string) principal.Global {
 
 // AddPeer registers a directly reachable peer bank.
 func (s *Server) AddPeer(p *Server) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.cfgMu.Lock()
+	defer s.cfgMu.Unlock()
 	s.peers[p.ID] = p
 }
 
 // SetNextHop sets the correspondent bank used to clear checks drawn on
 // banks that are not direct peers.
 func (s *Server) SetNextHop(p *Server) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.cfgMu.Lock()
+	defer s.cfgMu.Unlock()
 	s.nextHop = p
 }
 
@@ -173,8 +190,8 @@ func (s *Server) SetNextHop(p *Server) {
 // (§7.7) is the ack of record — so clearing under loss converges to
 // exactly-once credit.
 func (s *Server) SetHopRetry(p transport.RetryPolicy) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.cfgMu.Lock()
+	defer s.cfgMu.Unlock()
 	s.hopRetry = p
 }
 
@@ -183,23 +200,31 @@ func (s *Server) SetHopRetry(p transport.RetryPolicy) {
 // dropped before or after taking effect, duplicated, delayed, failed,
 // or partitioned. nil removes injection.
 func (s *Server) SetHopInjector(inj *faultpoint.Injector) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.cfgMu.Lock()
+	defer s.cfgMu.Unlock()
 	s.hopInj = inj
 }
 
 // CreateAccount creates an account owned by owner, who receives full
 // rights on it.
 func (s *Server) CreateAccount(name string, owner principal.ID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.accounts[name]; ok {
+	s.createMu.Lock()
+	defer s.createMu.Unlock()
+	if _, ok := s.lookup(name); ok {
 		return fmt.Errorf("%w: %s", ErrAccountExists, name)
 	}
-	return s.commitLocked(&op{kind: opCreate, acct: name, owner: owner})
+	// The new account's stripe is held across the commit so whole-bank
+	// captures cannot observe the opCreate appended but not yet applied.
+	unlock := s.lockAccount(name)
+	defer unlock()
+	return s.commitOp(&op{kind: opCreate, acct: name, owner: owner})
 }
 
-func (s *Server) createAccountLocked(name string, owner principal.ID) error {
+// createAccountApply inserts the account into the map; the applyOp leg
+// of opCreate, for both the live path and recovery replay.
+func (s *Server) createAccountApply(name string, owner principal.ID) error {
+	s.acctMu.Lock()
+	defer s.acctMu.Unlock()
 	if _, ok := s.accounts[name]; ok {
 		return fmt.Errorf("%w: %s", ErrAccountExists, name)
 	}
@@ -214,11 +239,9 @@ func (s *Server) createAccountLocked(name string, owner principal.ID) error {
 }
 
 // AccountACL returns the account's ACL for extension (e.g. adding an
-// authorization server, §3.5).
+// authorization server, §3.5). The ACL is internally synchronized.
 func (s *Server) AccountACL(name string) (*acl.ACL, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[name]
+	a, ok := s.lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoAccount, name)
 	}
@@ -234,41 +257,41 @@ func (s *Server) Mint(name, currency string, amount int64) error {
 	if amount <= 0 {
 		return fmt.Errorf("%w: mint amount must be positive, got %d", ErrBadCheck, amount)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.accounts[name]; !ok {
+	if _, ok := s.lookup(name); !ok {
 		return fmt.Errorf("%w: %s", ErrNoAccount, name)
 	}
-	return s.commitLocked(&op{kind: opMint, time: s.clk.Now(), acct: name, currency: currency, amount: amount})
+	unlock := s.lockAccount(name)
+	defer unlock()
+	return s.commitOp(&op{kind: opMint, time: s.clk.Now(), acct: name, currency: currency, amount: amount})
 }
 
 // Balance returns the collected balance, requiring read rights.
 func (s *Server) Balance(name, currency string, requesters []principal.ID) (int64, error) {
 	mBalanceReads.Inc()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[name]
+	a, ok := s.lookup(name)
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNoAccount, name)
 	}
 	if _, err := a.acl.Match(acl.Query{Op: OpRead, Identities: requesters}); err != nil {
 		return 0, fmt.Errorf("%w: read %s: %v", ErrDeniedByACL, name, err)
 	}
+	unlock := s.rlockAccount(name)
+	defer unlock()
 	return a.balances[currency], nil
 }
 
 // UncollectedBalance returns deposited-but-unclear funds.
 func (s *Server) UncollectedBalance(name, currency string, requesters []principal.ID) (int64, error) {
 	mBalanceReads.Inc()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[name]
+	a, ok := s.lookup(name)
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNoAccount, name)
 	}
 	if _, err := a.acl.Match(acl.Query{Op: OpRead, Identities: requesters}); err != nil {
 		return 0, fmt.Errorf("%w: read %s: %v", ErrDeniedByACL, name, err)
 	}
+	unlock := s.rlockAccount(name)
+	defer unlock()
 	return a.uncollected[currency], nil
 }
 
@@ -318,23 +341,25 @@ func (s *Server) TransferCtx(ctx context.Context, from, to, currency string, amo
 	if from == to {
 		return fmt.Errorf("%w: transfer from %q to itself", ErrBadCheck, from)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	src, ok := s.accounts[from]
+	src, ok := s.lookup(from)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoAccount, from)
 	}
-	if _, ok := s.accounts[to]; !ok {
+	if _, ok := s.lookup(to); !ok {
 		return fmt.Errorf("%w: %s", ErrNoAccount, to)
 	}
 	if _, err := src.acl.Match(acl.Query{Op: OpDebit, Identities: requesters}); err != nil {
 		return fmt.Errorf("%w: debit %s: %v", ErrDeniedByACL, from, err)
 	}
+	// Both stripes, ascending: the funds check and the commit form one
+	// critical section, and opposite-direction transfers cannot deadlock.
+	unlock := s.lockPair(from, to)
+	defer unlock()
 	if src.balances[currency] < amount {
 		return fmt.Errorf("%w: %s has %d %s, need %d", ErrInsufficientFunds,
 			from, src.balances[currency], currency, amount)
 	}
-	return s.commitLocked(&op{kind: opTransfer, time: s.clk.Now(), acct: from, to: to, currency: currency, amount: amount})
+	return s.commitOp(&op{kind: opTransfer, time: s.clk.Now(), acct: from, to: to, currency: currency, amount: amount})
 }
 
 // AllocateQuota reserves amount of currency from the consumer's account

@@ -194,15 +194,17 @@ func checkNumber(rs restrict.Set) (string, bool) {
 
 // redeemLocal performs the final transfer at the drawee bank.
 func (s *Server) redeemLocal(c *Check, v *proxy.Verified, presenters []principal.ID, creditAccount string) (*Receipt, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	payor, ok := s.accounts[c.Account]
+	payor, ok := s.lookup(c.Account)
 	if !ok {
 		return nil, fmt.Errorf("%w: payor %s", ErrNoAccount, c.Account)
 	}
-	if _, ok := s.accounts[creditAccount]; !ok {
+	if _, ok := s.lookup(creditAccount); !ok {
 		return nil, fmt.Errorf("%w: credit %s", ErrNoAccount, creditAccount)
 	}
+	// Both stripes for the whole validate-then-commit: the hold/balance
+	// check and the opRedeem commit must be one critical section.
+	unlock := s.lockPair(c.Account, creditAccount)
+	defer unlock()
 
 	// Evaluate the check's accumulated restrictions: the drawee bank is
 	// the end-server the check was issued for. The bank itself counts
@@ -239,7 +241,7 @@ func (s *Server) redeemLocal(c *Check, v *proxy.Verified, presenters []principal
 		return nil, fmt.Errorf("%w: account %s has %d %s, check for %d",
 			ErrInsufficientFunds, c.Account, payor.balances[c.Currency], c.Currency, c.Amount)
 	}
-	if err := s.commitLocked(&op{
+	if err := s.commitOp(&op{
 		kind: opRedeem, time: s.clk.Now(),
 		acct: c.Account, to: creditAccount,
 		currency: c.Currency, amount: c.Amount,
@@ -255,17 +257,16 @@ func (s *Server) redeemLocal(c *Check, v *proxy.Verified, presenters []principal
 // context (and with it the originating trace ID) travels to the next
 // bank, so every journal along the clearing path shares one trace.
 func (s *Server) collectRemote(ctx context.Context, c *Check, v *proxy.Verified, creditAccount string) (*Receipt, error) {
-	s.mu.Lock()
-	if _, ok := s.accounts[creditAccount]; !ok {
-		s.mu.Unlock()
+	if _, ok := s.lookup(creditAccount); !ok {
 		return nil, fmt.Errorf("%w: credit %s", ErrNoAccount, creditAccount)
 	}
+	s.cfgMu.Lock()
 	next := s.peers[c.Bank]
 	if next == nil {
 		next = s.nextHop
 	}
+	s.cfgMu.Unlock()
 	if next == nil {
-		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrNoRoute, c.Bank)
 	}
 	// Mark the deposit uncollected while clearing is in flight. The
@@ -273,17 +274,20 @@ func (s *Server) collectRemote(ctx context.Context, c *Check, v *proxy.Verified,
 	// before the endorsement leaves this bank: a crash mid-clearing
 	// restarts with the check number accepted and the funds visibly
 	// in-doubt, never silently re-creditable.
-	if err := s.commitLocked(&op{
+	unlock := s.lockAccount(creditAccount)
+	err := s.commitOp(&op{
 		kind: opPending, time: s.clk.Now(), to: creditAccount,
 		currency: c.Currency, amount: c.Amount,
 		number: c.Number, grantorKey: v.GrantorKeyID, expires: v.Expires,
-	}); err != nil {
-		s.mu.Unlock()
+	})
+	unlock()
+	if err != nil {
 		return nil, err
 	}
+	s.cfgMu.Lock()
 	s.ForwardedChecks++
+	s.cfgMu.Unlock()
 	mClearingForwards.Inc()
-	s.mu.Unlock()
 
 	// Endorse onward: the next bank becomes the holder, and must credit
 	// this bank's clearing account there.
@@ -310,12 +314,12 @@ func (s *Server) collectRemote(ctx context.Context, c *Check, v *proxy.Verified,
 	}
 
 	// Funds collected: convert uncollected to final balance.
-	s.mu.Lock()
-	cerr := s.commitLocked(&op{
+	unlock = s.lockAccount(creditAccount)
+	cerr := s.commitOp(&op{
 		kind: opCollected, time: s.clk.Now(), to: creditAccount,
 		currency: c.Currency, amount: c.Amount, number: c.Number,
 	})
-	s.mu.Unlock()
+	unlock()
 	if cerr != nil {
 		return nil, cerr
 	}
@@ -341,9 +345,9 @@ func (s *Server) collectRemote(ctx context.Context, c *Check, v *proxy.Verified,
 // that failed for real Forgets the number at the next bank, so a later
 // attempt is fresh.
 func (s *Server) deliverHop(ctx context.Context, next *Server, endorsed *Check) (*Receipt, int, error) {
-	s.mu.Lock()
+	s.cfgMu.Lock()
 	pol, inj := s.hopRetry, s.hopInj
-	s.mu.Unlock()
+	s.cfgMu.Unlock()
 	pol.Retryable = retryableHopError
 
 	deliver := func() (*Receipt, error) {
@@ -461,12 +465,12 @@ func (s *Server) auditClearingHop(ctx context.Context, c *Check, next principal.
 // comes back out and the accept-once entry is released, durably, so a
 // restarted bank lets the depositor re-present the bounced check.
 func (s *Server) rollbackUncollected(name string, c *Check, v *proxy.Verified) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.accounts[name]; !ok {
+	if _, ok := s.lookup(name); !ok {
 		return
 	}
-	_ = s.commitLocked(&op{
+	unlock := s.lockAccount(name)
+	defer unlock()
+	_ = s.commitOp(&op{
 		kind: opRollback, to: name,
 		currency: c.Currency, amount: c.Amount,
 		number: c.Number, grantorKey: v.GrantorKeyID,
@@ -476,12 +480,14 @@ func (s *Server) rollbackUncollected(name string, c *Check, v *proxy.Verified) {
 // ensureAccount creates an account if absent (used for clearing
 // accounts).
 func (s *Server) ensureAccount(name string, owner principal.ID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.accounts[name]; ok {
+	s.createMu.Lock()
+	defer s.createMu.Unlock()
+	if _, ok := s.lookup(name); ok {
 		return nil
 	}
-	return s.commitLocked(&op{kind: opCreate, acct: name, owner: owner})
+	unlock := s.lockAccount(name)
+	defer unlock()
+	return s.commitOp(&op{kind: opCreate, acct: name, owner: owner})
 }
 
 // nopRegistry satisfies accept-once checks for numbers the bank has
@@ -528,44 +534,43 @@ func (s *Server) CertifyCtx(ctx context.Context, accountName string, requesters 
 	if c.Account != accountName {
 		return nil, fmt.Errorf("%w: check drawn on account %s", ErrBadCheck, c.Account)
 	}
-	s.mu.Lock()
-	a, ok := s.accounts[accountName]
+	a, ok := s.lookup(accountName)
 	if !ok {
-		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrNoAccount, accountName)
 	}
 	if _, err := a.acl.Match(acl.Query{Op: OpDebit, Identities: requesters}); err != nil {
-		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: debit %s", ErrDeniedByACL, accountName)
 	}
+	unlock := s.lockAccount(accountName)
 	if _, ok := a.holds[c.Number]; ok {
-		s.mu.Unlock()
+		unlock()
 		return nil, fmt.Errorf("%w: %s", ErrHoldExists, c.Number)
 	}
 	if a.balances[c.Currency] < c.Amount {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s has %d %s", ErrInsufficientFunds, accountName, a.balances[c.Currency], c.Currency)
+		bal := a.balances[c.Currency]
+		unlock()
+		return nil, fmt.Errorf("%w: %s has %d %s", ErrInsufficientFunds, accountName, bal, c.Currency)
 	}
 	expires := c.Proxy.Expires()
-	if err := s.commitLocked(&op{
+	if err := s.commitOp(&op{
 		kind: opHold, time: s.clk.Now(), acct: accountName,
 		currency: c.Currency, amount: c.Amount,
 		number: c.Number, expires: expires,
 	}); err != nil {
-		s.mu.Unlock()
+		unlock()
 		return nil, err
 	}
 	mHoldsPlaced.Inc()
-	s.mu.Unlock()
+	unlock()
 
 	// The certification proxy: the bank asserts funds are held.
 	lifetime := expires.Sub(s.clk.Now())
 	px, err := s.issueCertification(c, lifetime)
 	if err != nil {
 		// Undo the hold on failure.
-		s.mu.Lock()
-		_ = s.commitLocked(&op{kind: opHoldUndo, acct: accountName, number: c.Number})
-		s.mu.Unlock()
+		undo := s.lockAccount(accountName)
+		_ = s.commitOp(&op{kind: opHoldUndo, acct: accountName, number: c.Number})
+		undo()
 		return nil, err
 	}
 	return &CertifiedCheck{Check: c, Certification: px}, nil
@@ -581,17 +586,18 @@ func (s *Server) ReleaseExpiredHolds() int {
 		amount   int64
 	}
 	var freed []releasedHold
-	s.mu.Lock()
 	now := s.clk.Now()
 	// Walk accounts and holds in sorted order so the ledger and audit
-	// journal record releases deterministically, not in map order.
-	names := make([]string, 0, len(s.accounts))
-	for name := range s.accounts {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	// journal record releases deterministically, not in map order. Each
+	// account's stripe is held only while its own holds are swept, so
+	// the sweeper never stalls the whole bank.
+	names := s.SortedAccountNames()
 	for _, name := range names {
-		a := s.accounts[name]
+		a, ok := s.lookup(name)
+		if !ok {
+			continue
+		}
+		unlock := s.lockAccount(name)
 		nums := make([]string, 0, len(a.holds))
 		for num := range a.holds {
 			nums = append(nums, num)
@@ -600,14 +606,14 @@ func (s *Server) ReleaseExpiredHolds() int {
 		for _, num := range nums {
 			h := a.holds[num]
 			if now.After(h.expires) {
-				if s.commitLocked(&op{kind: opHoldRelease, time: now, acct: name, number: num}) != nil {
+				if s.commitOp(&op{kind: opHoldRelease, time: now, acct: name, number: num}) != nil {
 					continue // ledger failed closed; the hold stays put
 				}
 				freed = append(freed, releasedHold{a.name, num, h.currency, h.amount})
 			}
 		}
+		unlock()
 	}
-	s.mu.Unlock()
 	mHoldsReleased.Add(uint64(len(freed)))
 	for _, f := range freed {
 		s.emit(audit.Record{

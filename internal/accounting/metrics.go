@@ -32,4 +32,9 @@ var (
 		"Duplicate-check rejections on a retried hop treated as the lost ack of an earlier success.")
 	mClearingAbandoned = obs.Default.NewCounter("proxykit_acct_clearing_abandoned_total",
 		"Clearing hops abandoned (retry budget exhausted or hard refusal), uncollected credit rolled back.")
+	mStripeLocks = obs.Default.NewCounterVec("proxykit_acct_lock_stripe_acquisitions_total",
+		"Account-lock stripe acquisitions, by scope (single account, ordered pair, whole-bank all-stripes).", "scope")
+	mStripeWait = obs.Default.NewHistogram("proxykit_acct_lock_stripe_wait_seconds",
+		"Time spent waiting to acquire account-lock stripes — contention on the striped bank.",
+		obs.DefLatencyBuckets)
 )

@@ -1,11 +1,14 @@
 package accounting
 
 // Durable accounting state (§4: the accounting server is the system of
-// record). Every committed mutation is one WAL record appended — under
-// s.mu, so WAL order equals commit order — *before* the in-memory state
-// changes become visible, and both the live path and recovery replay go
-// through the same applyLocked, so a replayed server is the same state
-// machine, not a reimplementation of it.
+// record). Every committed mutation is one WAL record appended — while
+// holding the stripes of every account it touches, so WAL order equals
+// commit order for any two conflicting ops (ops on disjoint accounts
+// commute, so their relative WAL order is irrelevant to replay) —
+// *before* the in-memory state changes become visible, and both the
+// live path and recovery replay go through the same applyOp, so a
+// replayed server is the same state machine, not a reimplementation of
+// it.
 //
 // One record per *logical* mutation keeps replay all-or-nothing: a
 // check redemption is a single record carrying the accept-once entry,
@@ -66,9 +69,11 @@ type op struct {
 
 // encodeOp serializes an op with the wire codec — the WAL append is on
 // the transfer hot path, and the binary encoder is an order of
-// magnitude cheaper than JSON.
-func encodeOp(o *op) []byte {
-	e := wire.NewEncoder(64 + len(o.acct) + len(o.to) + len(o.number) + len(o.grantorKey))
+// magnitude cheaper than JSON. The returned encoder comes from the
+// shared pool; the caller releases it once the bytes have been
+// consumed (Ledger.Append copies them before returning).
+func encodeOp(o *op) *wire.Encoder {
+	e := wire.GetEncoder(64 + len(o.acct) + len(o.to) + len(o.number) + len(o.grantorKey))
 	e.Uint8(uint8(o.kind))
 	e.Time(o.time)
 	e.String(o.acct)
@@ -79,7 +84,7 @@ func encodeOp(o *op) []byte {
 	e.String(o.number)
 	e.String(o.grantorKey)
 	e.Time(o.expires)
-	return e.Bytes()
+	return e
 }
 
 // decodeOp parses a WAL record payload.
@@ -102,26 +107,40 @@ func decodeOp(b []byte) (*op, error) {
 	return o, nil
 }
 
-// commitLocked durably records the op, then applies it. Callers hold
-// s.mu and have fully validated the op; a failed append leaves the
-// in-memory state untouched (the mutation never happened).
-func (s *Server) commitLocked(o *op) error {
-	if s.ledger != nil {
-		if _, err := s.ledger.Append(encodeOp(o)); err != nil {
+// commitOp durably records the op, then applies it. Callers hold, in
+// write mode, the stripe of every account the op mutates, and have
+// fully validated it; a failed append leaves the in-memory state
+// untouched (the mutation never happened). Under the ledger's group
+// commit, concurrent commitOp calls on disjoint stripes share one
+// fsync.
+func (s *Server) commitOp(o *op) error {
+	if lg := s.ledgerRef(); lg != nil {
+		e := encodeOp(o)
+		_, err := lg.Append(e.Bytes())
+		e.Release()
+		if err != nil {
 			return fmt.Errorf("accounting: %w", err)
 		}
 	}
-	return s.applyLocked(o)
+	return s.applyOp(o)
 }
 
-// applyLocked mutates in-memory state for one op. It is the single
+// ledgerRef fetches the attached ledger under cfgMu.
+func (s *Server) ledgerRef() *ledger.Ledger {
+	s.cfgMu.Lock()
+	defer s.cfgMu.Unlock()
+	return s.ledger
+}
+
+// applyOp mutates in-memory state for one op. It is the single
 // mutation path: the live handlers call it after validating and
-// appending, and recovery calls it for every replayed record. It only
-// fails on states a validated-then-logged op cannot produce (a missing
-// account in a replayed record means the WAL is not ours).
-func (s *Server) applyLocked(o *op) error {
+// appending (holding the touched accounts' stripes), and recovery
+// calls it single-threaded for every replayed record. It only fails on
+// states a validated-then-logged op cannot produce (a missing account
+// in a replayed record means the WAL is not ours).
+func (s *Server) applyOp(o *op) error {
 	get := func(name string) (*account, error) {
-		a, ok := s.accounts[name]
+		a, ok := s.lookup(name)
 		if !ok {
 			return nil, fmt.Errorf("%w: %s", ErrNoAccount, name)
 		}
@@ -129,7 +148,7 @@ func (s *Server) applyLocked(o *op) error {
 	}
 	switch o.kind {
 	case opCreate:
-		return s.createAccountLocked(o.acct, o.owner)
+		return s.createAccountApply(o.acct, o.owner)
 	case opMint:
 		a, err := get(o.acct)
 		if err != nil {
@@ -277,16 +296,16 @@ type snapState struct {
 // SnapshotState captures the full server state (accounts, balances,
 // uncollected funds, holds, statement tails, accept-once entries) as a
 // deterministic JSON document, plus the WAL sequence number the capture
-// covers. Appends happen under s.mu, so the pair is consistent.
+// covers. Commits hold their accounts' stripes across append+apply, so
+// with every stripe held here no commit is mid-flight: the captured
+// state and the ledger's LastSeq agree.
 func (s *Server) SnapshotState() ([]byte, uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	unlock := s.lockAll()
+	defer unlock()
+	s.acctMu.RLock()
+	defer s.acctMu.RUnlock()
 	st := snapState{AcceptOnce: s.registry.Export()}
-	names := make([]string, 0, len(s.accounts))
-	for name := range s.accounts {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	names := s.sortedNamesLocked()
 	for _, name := range names {
 		a := s.accounts[name]
 		sa := snapAccount{
@@ -324,18 +343,21 @@ func (s *Server) SnapshotState() ([]byte, uint64, error) {
 		return nil, 0, fmt.Errorf("accounting: snapshot: %w", err)
 	}
 	var seq uint64
-	if s.ledger != nil {
-		seq = s.ledger.LastSeq()
+	if lg := s.ledgerRef(); lg != nil {
+		seq = lg.LastSeq()
 	}
 	return raw, seq, nil
 }
 
-// restoreLocked rebuilds in-memory state from a snapshot document.
-func (s *Server) restoreLocked(raw []byte) error {
+// restoreState rebuilds in-memory state from a snapshot document.
+// Called from OpenLedger before the server takes traffic.
+func (s *Server) restoreState(raw []byte) error {
 	var st snapState
 	if err := json.Unmarshal(raw, &st); err != nil {
 		return fmt.Errorf("accounting: restore snapshot: %w", err)
 	}
+	s.acctMu.Lock()
+	defer s.acctMu.Unlock()
 	for _, sa := range st.Accounts {
 		entries := make([]acl.Entry, 0, len(sa.ACL))
 		for _, se := range sa.ACL {
@@ -397,18 +419,19 @@ func (s *Server) OpenLedger(o ledger.Options) (*ledger.Recovery, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.ledger != nil {
+	if s.ledgerRef() != nil {
 		lg.Close()
 		return nil, errors.New("accounting: ledger already open")
 	}
-	if len(s.accounts) != 0 {
+	s.acctMu.RLock()
+	n := len(s.accounts)
+	s.acctMu.RUnlock()
+	if n != 0 {
 		lg.Close()
 		return nil, errors.New("accounting: OpenLedger requires a server with no accounts yet")
 	}
 	if rec.Snapshot != nil {
-		if err := s.restoreLocked(rec.Snapshot); err != nil {
+		if err := s.restoreState(rec.Snapshot); err != nil {
 			lg.Close()
 			return nil, err
 		}
@@ -419,21 +442,21 @@ func (s *Server) OpenLedger(o ledger.Options) (*ledger.Recovery, error) {
 			lg.Close()
 			return nil, fmt.Errorf("accounting: WAL record %d: %w", e.Seq, err)
 		}
-		if err := s.applyLocked(o); err != nil {
+		if err := s.applyOp(o); err != nil {
 			lg.Close()
 			return nil, fmt.Errorf("accounting: replay record %d: %w", e.Seq, err)
 		}
 	}
+	s.cfgMu.Lock()
 	s.ledger = lg
+	s.cfgMu.Unlock()
 	return rec, nil
 }
 
 // Ledger returns the attached ledger, nil when the server is in-memory
 // only.
 func (s *Server) Ledger() *ledger.Ledger {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ledger
+	return s.ledgerRef()
 }
 
 // SnapshotNow captures the current state and commits it as a snapshot,
@@ -463,10 +486,10 @@ func (s *Server) StartSnapshotter(interval time.Duration) (stop func()) {
 // CloseLedger flushes and closes the attached ledger; the server keeps
 // serving from memory afterwards.
 func (s *Server) CloseLedger() error {
-	s.mu.Lock()
+	s.cfgMu.Lock()
 	lg := s.ledger
 	s.ledger = nil
-	s.mu.Unlock()
+	s.cfgMu.Unlock()
 	if lg == nil {
 		return nil
 	}

@@ -36,7 +36,8 @@ func TestPropertyConservation(t *testing.T) {
 	banks := []*Server{w.bank1, w.bank2}
 	totals := func() (customer, clearing int64) {
 		for _, b := range banks {
-			b.mu.Lock()
+			unlock := b.lockAll()
+			b.acctMu.RLock()
 			for name, a := range b.accounts {
 				sub := a.balances["dollars"] + a.uncollected["dollars"]
 				for _, h := range a.holds {
@@ -50,7 +51,8 @@ func TestPropertyConservation(t *testing.T) {
 					customer += sub
 				}
 			}
-			b.mu.Unlock()
+			b.acctMu.RUnlock()
+			unlock()
 		}
 		return customer, clearing
 	}

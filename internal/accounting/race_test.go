@@ -1,0 +1,147 @@
+package accounting
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"proxykit/internal/principal"
+)
+
+// TestStripedTransferClearingRace hammers one bank pair from many
+// goroutines at once — local transfers, same-bank and cross-bank check
+// clearing, certified holds, expiry sweeps, and whole-bank snapshots —
+// the workload the striped account locks exist for. Run under -race
+// (make race) it checks the locking discipline; the final reconcile
+// checks that concurrency never minted or destroyed money.
+func TestStripedTransferClearingRace(t *testing.T) {
+	w := newWorld(t)
+	// A block of accounts on bank2 so transfers hit many stripes.
+	names := []string{"carol", "dave", "erin", "frank", "grace", "heidi"}
+	for _, n := range names[1:] {
+		if err := w.bank2.CreateAccount(n, dave); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.bank2.Mint("dave", "dollars", 1000); err != nil {
+		t.Fatal(err)
+	}
+	initial := bankDollars(w.bank2) + bankDollars(w.bank1)
+
+	const perWorker = 150
+	var settled atomic.Int64 // successful cross-bank volume
+	var wg sync.WaitGroup
+	run := func(fn func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				fn(i)
+			}
+		}()
+	}
+
+	// Local transfers in both directions across the account block:
+	// lockPair ordering under contention.
+	for wkr := 0; wkr < 4; wkr++ {
+		from, to := names[wkr%2], names[2+wkr%4]
+		run(func(i int) {
+			owner := carol
+			if from != "carol" {
+				owner = dave
+			}
+			_ = w.bank2.Transfer(from, to, "dollars", int64(1+i%7), []principal.ID{owner})
+			_ = w.bank2.Transfer(to, from, "dollars", int64(1+i%5), []principal.ID{dave})
+		})
+	}
+
+	// Same-bank check clearing: redeemLocal's payor/credit lockPair.
+	run(func(i int) {
+		c, err := WriteCheck(WriteCheckParams{
+			Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+			Payee: dave, Currency: "dollars", Amount: int64(1 + i%9),
+			Lifetime: time.Hour, Clock: w.clk,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, _ = w.bank2.DepositCheck(c, []principal.ID{dave}, "dave")
+	})
+
+	// Cross-bank clearing: uncollected credit, peer hop, collection —
+	// single-account stripes interleaved with the transfer traffic.
+	run(func(i int) {
+		amt := int64(1 + i%6)
+		c, err := WriteCheck(WriteCheckParams{
+			Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+			Payee: srvS, Currency: "dollars", Amount: amt,
+			Lifetime: time.Hour, Clock: w.clk,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		endorsed, err := c.Endorse(w.ids[srvS], w.bank1.ID, w.bank1.ID, w.bank1.Global("service"), true, w.clk)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := w.bank1.DepositCheck(endorsed, []principal.ID{srvS}, "service"); err == nil {
+			settled.Add(amt)
+		}
+	})
+
+	// Certified holds plus the expiry sweeper (lockAccount re-entry and
+	// ReleaseExpiredHolds's whole-bank walk).
+	run(func(i int) {
+		c, err := WriteCheck(WriteCheckParams{
+			Payor: w.ids[carol], Bank: w.bank2.ID, Account: "carol",
+			Payee: dave, Currency: "dollars", Amount: int64(1 + i%4),
+			Lifetime: time.Second, Clock: w.clk,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, _ = w.bank2.Certify("carol", []principal.ID{carol}, c)
+		if i%16 == 0 {
+			w.bank2.ReleaseExpiredHolds()
+		}
+	})
+
+	// Whole-bank readers: Totals/AccountBalances (all-stripes) and
+	// Statement (single stripe, read mode) racing the writers above.
+	run(func(i int) {
+		_ = w.bank2.Totals()
+		_ = w.bank2.AccountBalances()
+		_, _ = w.bank2.Statement("carol", []principal.ID{carol})
+		if i%32 == 0 {
+			w.clk.Advance(50 * time.Millisecond)
+		}
+	})
+
+	wg.Wait()
+	w.clk.Advance(time.Hour)
+	w.bank2.ReleaseExpiredHolds()
+
+	// Conservation: the cross-bank float (clearing accounts) grew by
+	// exactly the settled volume; customer money never changed.
+	final := bankDollars(w.bank2) + bankDollars(w.bank1)
+	if final != initial {
+		t.Fatalf("customer dollars not conserved: initial %d, final %d", initial, final)
+	}
+	t1, t2 := w.bank1.Totals(), w.bank2.Totals()
+	float := t1.Clearing["dollars"] + t2.Clearing["dollars"]
+	if float != settled.Load() {
+		t.Fatalf("clearing float %d != settled cross-bank volume %d", float, settled.Load())
+	}
+}
+
+// bankDollars sums a bank's customer dollars: balances, uncollected,
+// and outstanding holds (clearing float excluded).
+func bankDollars(s *Server) int64 {
+	t := s.Totals()
+	return t.Balances["dollars"] + t.Uncollected["dollars"] + t.Held["dollars"]
+}

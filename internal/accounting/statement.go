@@ -76,7 +76,7 @@ func (tx Transaction) String() string {
 const maxStatementLen = 4096
 
 // record appends a transaction to an account's history; callers hold
-// s.mu.
+// the account's stripe in write mode.
 func (a *account) record(tx Transaction) {
 	a.history = append(a.history, tx)
 	if len(a.history) > maxStatementLen {
@@ -87,15 +87,15 @@ func (a *account) record(tx Transaction) {
 // Statement returns an account's retained transaction history, oldest
 // first. Requesters need read rights.
 func (s *Server) Statement(name string, requesters []principal.ID) ([]Transaction, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[name]
+	a, ok := s.lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoAccount, name)
 	}
 	if _, err := a.acl.Match(acl.Query{Op: OpRead, Identities: requesters}); err != nil {
 		return nil, fmt.Errorf("%w: read %s: %v", ErrDeniedByACL, name, err)
 	}
+	unlock := s.rlockAccount(name)
+	defer unlock()
 	out := make([]Transaction, len(a.history))
 	copy(out, a.history)
 	return out, nil

@@ -7,7 +7,6 @@ package accounting
 // principal identity of its own.
 
 import (
-	"sort"
 	"strings"
 )
 
@@ -34,8 +33,9 @@ type MoneyTotals struct {
 	Clearing map[string]int64
 }
 
-// Totals captures the server's money census under one lock acquisition,
-// so the four maps are a consistent snapshot.
+// Totals captures the server's money census with every stripe held, so
+// the four maps are a consistent whole-bank snapshot (no commit is
+// mid-flight between its WAL append and its in-memory apply).
 func (s *Server) Totals() MoneyTotals {
 	t := MoneyTotals{
 		Balances:    map[string]int64{},
@@ -43,8 +43,10 @@ func (s *Server) Totals() MoneyTotals {
 		Held:        map[string]int64{},
 		Clearing:    map[string]int64{},
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	unlock := s.lockAll()
+	defer unlock()
+	s.acctMu.RLock()
+	defer s.acctMu.RUnlock()
 	for name, a := range s.accounts {
 		clearing := strings.HasPrefix(name, ClearingAccountPrefix)
 		for cur, v := range a.balances {
@@ -69,8 +71,10 @@ func (s *Server) Totals() MoneyTotals {
 // mutating them does not touch server state. Deterministic digests over
 // the result should sort both key levels (see SortedAccountNames).
 func (s *Server) AccountBalances() map[string]map[string]int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	unlock := s.lockAll()
+	defer unlock()
+	s.acctMu.RLock()
+	defer s.acctMu.RUnlock()
 	out := make(map[string]map[string]int64, len(s.accounts))
 	for name, a := range s.accounts {
 		m := make(map[string]int64, len(a.balances))
@@ -85,12 +89,7 @@ func (s *Server) AccountBalances() map[string]map[string]int64 {
 // SortedAccountNames lists all account names in sorted order — the
 // stable iteration order for state digests.
 func (s *Server) SortedAccountNames() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	names := make([]string, 0, len(s.accounts))
-	for name := range s.accounts {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
+	s.acctMu.RLock()
+	defer s.acctMu.RUnlock()
+	return s.sortedNamesLocked()
 }

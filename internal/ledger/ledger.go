@@ -33,11 +33,21 @@
 //
 // Fsync policy:
 //
-//	always    write(2) + fsync(2) per append — survives power loss
+//	always    write(2) + fsync(2) per append — survives power loss.
+//	          Concurrent appenders join a commit cohort (group commit):
+//	          one leader performs a single write+fsync for the whole
+//	          batch while followers block on its completion, so the
+//	          fsync cost is amortized across committers without
+//	          weakening the per-append durability guarantee.
 //	interval  write(2) per append, fsync on a timer — survives SIGKILL,
 //	          may lose the last interval on power loss
 //	off       buffered in-process, flushed on snapshot/sync/close —
 //	          survives a clean shutdown only; fastest
+//
+// Any write or fsync failure — including an interval-mode timer fsync —
+// fails the ledger closed: every subsequent Append is refused, because a
+// torn tail buried under a later successful append would read back as
+// mid-file corruption instead of a recoverable crash.
 package ledger
 
 import (
@@ -50,6 +60,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"time"
 )
@@ -121,6 +132,11 @@ type Options struct {
 	// FsyncInterval is the timer period for FsyncInterval mode;
 	// defaults to 100ms.
 	FsyncInterval time.Duration
+	// NoGroupCommit disables commit-cohort batching in FsyncAlways mode,
+	// reverting to one write+fsync per append. Group commit never weakens
+	// durability — Append still returns only after its record is synced —
+	// so this exists for benchmarking the amortization and bisection.
+	NoGroupCommit bool
 	// Logger receives recovery and snapshot diagnostics; nil discards.
 	Logger *slog.Logger
 }
@@ -154,20 +170,44 @@ type Ledger struct {
 	dir    string
 	mode   FsyncMode
 	logger *slog.Logger
+	group  bool // batch concurrent FsyncAlways appends into commit cohorts
 
-	mu      sync.Mutex
-	f       *os.File
-	buf     []byte // pending unwritten frames in FsyncOff mode
-	seq     uint64 // last assigned sequence number
-	snapSeq uint64 // sequence number covered by the snapshot file
-	size    int64  // bytes of complete frames in the WAL file
-	dirty   bool   // unsynced writes (FsyncInterval)
-	failed  bool   // a write failed; the tail may be torn, refuse appends
-	closed  bool
-	hook    func(seq uint64)
+	// syncMu serializes batch I/O — cohort flushes, Sync, Close, and
+	// snapshot truncation — against the group-commit leader, which
+	// writes outside l.mu. Lock order: syncMu before mu, never the
+	// reverse.
+	syncMu sync.Mutex
+
+	mu        sync.Mutex
+	f         *os.File
+	buf       []byte // pending unwritten frames in FsyncOff mode
+	pending   []byte // frames awaiting the open cohort's flush (group commit)
+	spare     []byte // recycled pending buffer from the last flushed cohort
+	cohort    *cohort
+	seq       uint64 // last assigned sequence number
+	snapSeq   uint64 // sequence number covered by the snapshot file
+	size      int64  // bytes of complete frames in the WAL file
+	dirty     bool   // unsynced writes (FsyncInterval)
+	failed    bool   // a write failed; the tail may be torn, refuse appends
+	failedErr error  // the error that failed the ledger closed
+	closed    bool
+	hook      func(seq uint64)
+	hookGate  chan struct{} // closed once the newest append's hook has run
+	syncFault func() error  // test hook: injected fsync failure (set before use)
 
 	stop   chan struct{}
 	exited chan struct{}
+}
+
+// cohort is one group-commit batch: the appends accumulated in
+// l.pending while a flush was in flight (or about to start). The
+// appender that opens a cohort is its leader and performs the single
+// write+fsync for every member; followers block on done and share err.
+// An error fails the whole cohort — and the ledger — closed.
+type cohort struct {
+	done chan struct{}
+	err  error
+	n    int // records in the batch
 }
 
 // WALPath returns the WAL file path inside a ledger directory.
@@ -226,6 +266,7 @@ func Open(o Options) (*Ledger, *Recovery, error) {
 		dir:     o.Dir,
 		mode:    o.Fsync,
 		logger:  logger,
+		group:   o.Fsync == FsyncAlways && !o.NoGroupCommit,
 		f:       f,
 		snapSeq: rec.SnapshotSeq,
 		seq:     rec.SnapshotSeq,
@@ -353,9 +394,14 @@ func VerifyWAL(path string) (records int, torn bool, err error) {
 	return records, size != int64(len(data)), nil
 }
 
-// SetAppendHook installs a function called after every append (outside
-// the ledger lock) with the record's sequence number. Used by crash
-// tests to die at the worst possible moments; nil removes it.
+// SetAppendHook installs a function called after every successful
+// append (outside the ledger lock) with the record's sequence number.
+// Hooks are delivered in sequence order even when appends commit
+// concurrently through a cohort: each append waits for its
+// predecessor's hook to finish before invoking its own, so a hook
+// observing seq N has already observed 1..N-1 (WAL shipping depends on
+// this). Used by crash tests to die at the worst possible moments; nil
+// removes it.
 func (l *Ledger) SetAppendHook(fn func(seq uint64)) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -383,9 +429,33 @@ func (l *Ledger) NeedsSnapshot() bool {
 	return l.seq > l.snapSeq
 }
 
+// appendFrame encodes one WAL frame for (seq, payload) onto dst.
+func appendFrame(dst []byte, seq uint64, payload []byte) []byte {
+	need := frameHeaderLen + 8 + len(payload)
+	off := len(dst)
+	if cap(dst)-off < need {
+		grown := make([]byte, off, 2*cap(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+need]
+	f := dst[off:]
+	binary.LittleEndian.PutUint32(f, uint32(8+len(payload)))
+	binary.LittleEndian.PutUint64(f[frameHeaderLen:], seq)
+	copy(f[frameHeaderLen+8:], payload)
+	binary.LittleEndian.PutUint32(f[4:], crc32.ChecksumIEEE(f[frameHeaderLen:]))
+	return dst
+}
+
 // Append commits one record, returning its sequence number. The record
 // is on its way to disk (per the fsync policy) before Append returns;
 // callers apply the in-memory mutation only after a successful Append.
+//
+// Under FsyncAlways with group commit, concurrent callers share one
+// write+fsync: the caller that opens a cohort leads it, everyone who
+// joins before the leader swaps the batch out rides along, and all of
+// them block until the cohort's single fsync completes (or fails, which
+// fails every member and the ledger itself).
 func (l *Ledger) Append(payload []byte) (uint64, error) {
 	l.mu.Lock()
 	if l.closed {
@@ -393,23 +463,37 @@ func (l *Ledger) Append(payload []byte) (uint64, error) {
 		return 0, ErrClosed
 	}
 	if l.failed {
+		cause := l.failedErr
 		l.mu.Unlock()
 		mAppendErrors.Inc()
+		if cause != nil {
+			return 0, fmt.Errorf("ledger: append after earlier write failure: %w", cause)
+		}
 		return 0, fmt.Errorf("ledger: append after earlier write failure")
 	}
 	l.seq++
 	seq := l.seq
-	frame := make([]byte, frameHeaderLen+8+len(payload))
-	binary.LittleEndian.PutUint32(frame, uint32(8+len(payload)))
-	binary.LittleEndian.PutUint64(frame[frameHeaderLen:], seq)
-	copy(frame[frameHeaderLen+8:], payload)
-	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(frame[frameHeaderLen:]))
+	frameLen := frameHeaderLen + 8 + len(payload)
 
 	var err error
-	switch l.mode {
-	case FsyncOff:
-		l.buf = append(l.buf, frame...)
+	var c *cohort
+	var leader bool
+	switch {
+	case l.mode == FsyncOff:
+		l.buf = appendFrame(l.buf, seq, payload)
+	case l.mode == FsyncAlways && l.group:
+		if l.pending == nil && l.spare != nil {
+			l.pending, l.spare = l.spare[:0], nil
+		}
+		l.pending = appendFrame(l.pending, seq, payload)
+		if l.cohort == nil {
+			l.cohort = &cohort{done: make(chan struct{})}
+			leader = true
+		}
+		c = l.cohort
+		c.n++
 	default:
+		frame := appendFrame(nil, seq, payload)
 		_, err = l.f.Write(frame)
 		if err == nil {
 			l.size += int64(len(frame))
@@ -425,18 +509,111 @@ func (l *Ledger) Append(payload []byte) (uint64, error) {
 		// torn, but a *successful* later append would bury it mid-file
 		// as corruption — so fail the ledger instead.
 		l.failed = true
+		l.failedErr = err
 		mAppendErrors.Inc()
 		l.mu.Unlock()
 		return 0, fmt.Errorf("ledger: append: %w", err)
 	}
+	// In-order hook delivery: chain one gate per hooked append so hooks
+	// fire in sequence order even when cohort members return
+	// concurrently.
 	hook := l.hook
-	l.mu.Unlock()
-	mAppends.Inc()
-	mAppendBytes.Add(uint64(len(frame)))
+	var prevGate, gate chan struct{}
 	if hook != nil {
-		hook(seq)
+		prevGate = l.hookGate
+		gate = make(chan struct{})
+		l.hookGate = gate
 	}
+	l.mu.Unlock()
+
+	if c != nil {
+		if leader {
+			l.flushCohort(c)
+		} else {
+			<-c.done
+		}
+		err = c.err
+	}
+	if gate != nil {
+		// Wait out the predecessor's hook so delivery order equals
+		// sequence order; always release our own gate — even on a
+		// cohort failure — or later appends would block forever.
+		if prevGate != nil {
+			<-prevGate
+		}
+		if err == nil {
+			hook(seq)
+		}
+		close(gate)
+	}
+	if err != nil {
+		mAppendErrors.Inc()
+		return 0, fmt.Errorf("ledger: append: %w", err)
+	}
+	mAppends.Inc()
+	mAppendBytes.Add(uint64(frameLen))
 	return seq, nil
+}
+
+// flushCohort writes and fsyncs every frame accumulated for c, as its
+// leader. The batch swap happens under l.mu — frame accumulation and
+// cohort membership are updated atomically by Append, so the swapped
+// batch holds exactly the cohort's records — while the write+fsync
+// happens under syncMu only, letting the next cohort form concurrently.
+func (l *Ledger) flushCohort(c *cohort) {
+	start := time.Now()
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+
+	// Join window: appenders released by the previous flush are racing
+	// to rejoin right now. Seal the batch only once membership stops
+	// growing (bounded scheduler yields, no clock), so steady-state
+	// batches approach the full set of concurrent committers instead of
+	// alternating halves of it. A lone appender breaks out after one
+	// yield — nanoseconds next to the fsync it is about to pay.
+	prev := 0
+	for spins := 0; spins < 64; spins++ {
+		l.mu.Lock()
+		n := c.n
+		l.mu.Unlock()
+		if n == prev {
+			break
+		}
+		prev = n
+		runtime.Gosched()
+	}
+
+	l.mu.Lock()
+	batch := l.pending
+	l.pending = nil
+	l.cohort = nil // appends from here on open the next cohort
+	f := l.f
+	l.mu.Unlock()
+
+	_, err := f.Write(batch)
+	if err == nil {
+		err = l.fsync(f)
+	}
+
+	l.mu.Lock()
+	if err != nil {
+		l.failed = true
+		if l.failedErr == nil {
+			l.failedErr = err
+		}
+	} else {
+		l.size += int64(len(batch))
+		if cap(batch) > cap(l.spare) {
+			l.spare = batch[:0]
+		}
+	}
+	l.mu.Unlock()
+
+	c.err = err
+	close(c.done)
+	mGroupCommitBatches.Inc()
+	mGroupCommitRecords.Observe(float64(c.n))
+	mGroupCommitSeconds.Observe(time.Since(start).Seconds())
 }
 
 // flushLocked writes buffered FsyncOff frames to the file.
@@ -447,6 +624,7 @@ func (l *Ledger) flushLocked() error {
 	n, err := l.f.Write(l.buf)
 	if err != nil {
 		l.failed = true
+		l.failedErr = err
 		return err
 	}
 	l.size += int64(n)
@@ -454,17 +632,31 @@ func (l *Ledger) flushLocked() error {
 	return nil
 }
 
+// fsync syncs f, timing the call and consulting the injected test
+// fault. Callers own whatever lock discipline their path requires.
+func (l *Ledger) fsync(f *os.File) error {
+	start := time.Now()
+	err := f.Sync()
+	mFsyncSeconds.Observe(time.Since(start).Seconds())
+	if err == nil && l.syncFault != nil {
+		err = l.syncFault()
+	}
+	return err
+}
+
 // syncLocked fsyncs the WAL file, timing the call.
 func (l *Ledger) syncLocked() error {
-	start := time.Now()
-	err := l.f.Sync()
-	mFsyncSeconds.Observe(time.Since(start).Seconds())
+	err := l.fsync(l.f)
 	l.dirty = false
 	return err
 }
 
-// Sync flushes buffered frames and fsyncs the WAL.
+// Sync flushes buffered frames and fsyncs the WAL. Frames owned by an
+// in-flight commit cohort are not touched — their cohort's leader is
+// responsible for them, and Append returns only once they are durable.
 func (l *Ledger) Sync() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -473,7 +665,14 @@ func (l *Ledger) Sync() error {
 	if err := l.flushLocked(); err != nil {
 		return fmt.Errorf("ledger: flush: %w", err)
 	}
-	return l.syncLocked()
+	if err := l.syncLocked(); err != nil {
+		l.failed = true
+		if l.failedErr == nil {
+			l.failedErr = err
+		}
+		return err
+	}
+	return nil
 }
 
 // syncLoop is the FsyncInterval timer.
@@ -485,9 +684,15 @@ func (l *Ledger) syncLoop(interval time.Duration) {
 		select {
 		case <-t.C:
 			l.mu.Lock()
-			if !l.closed && l.dirty {
+			if !l.closed && l.dirty && !l.failed {
 				if err := l.syncLocked(); err != nil {
-					l.logger.Error("ledger: interval fsync failed", "err", err)
+					// The unsynced tail may be torn on disk now; a later
+					// successful append would bury it mid-file as
+					// corruption. Fail the ledger closed — the documented
+					// contract — rather than only logging.
+					l.failed = true
+					l.failedErr = err
+					l.logger.Error("ledger: interval fsync failed; ledger fails closed", "err", err)
 				}
 			}
 			l.mu.Unlock()
@@ -520,6 +725,10 @@ func (l *Ledger) writeSnapshot(state []byte, seq uint64) error {
 	if err != nil {
 		return fmt.Errorf("ledger: snapshot: %w", err)
 	}
+	// syncMu first: a group-commit leader may be mid-write outside l.mu,
+	// and truncating underneath it would corrupt the WAL.
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -550,11 +759,13 @@ func (l *Ledger) writeSnapshot(state []byte, seq uint64) error {
 	if seq > l.snapSeq {
 		l.snapSeq = seq
 	}
-	if l.seq == seq && !l.failed {
+	if l.seq == seq && !l.failed && len(l.pending) == 0 {
 		// Nothing appended past the snapshot: the whole WAL (and any
 		// buffered frames, all covered by the state we just committed)
 		// can go. A crash before the truncate is harmless — replay
-		// skips records at or below snapSeq.
+		// skips records at or below snapSeq. Frames still pending for a
+		// forming cohort are not covered by the snapshot and keep the
+		// WAL alive.
 		l.buf = l.buf[:0]
 		if err := l.f.Truncate(0); err != nil {
 			return fmt.Errorf("ledger: truncate WAL: %w", err)
@@ -601,7 +812,9 @@ func (l *Ledger) StartSnapshotter(interval time.Duration, snapshot func() error)
 }
 
 // Close flushes buffered frames (and fsyncs unless the policy is off)
-// and closes the WAL.
+// and closes the WAL. Close waits for any in-flight commit cohort to
+// finish its flush; appends still forming a cohort when Close lands
+// fail (their leader finds the file closed) rather than racing it.
 func (l *Ledger) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -615,6 +828,8 @@ func (l *Ledger) Close() error {
 		close(stop)
 		<-l.exited
 	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	err := l.flushLocked()

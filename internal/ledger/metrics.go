@@ -26,4 +26,18 @@ var (
 		obs.DefLatencyBuckets)
 	mSnapshotBytes = obs.Default.NewGauge("proxykit_ledger_snapshot_bytes",
 		"Size of the last committed snapshot state, in bytes.")
+
+	mGroupCommitBatches = obs.Default.NewCounter("proxykit_ledger_group_commit_batches_total",
+		"Commit cohorts flushed — one batch write + one fsync each — in FsyncAlways group-commit mode.")
+	mGroupCommitRecords = obs.Default.NewHistogram("proxykit_ledger_group_commit_batch_records",
+		"Records per flushed commit cohort: the fsync amortization factor.",
+		batchBuckets)
+	mGroupCommitSeconds = obs.Default.NewHistogram("proxykit_ledger_group_commit_seconds",
+		"Leader-observed latency of a full cohort flush (batch write + fsync).",
+		obs.DefLatencyBuckets)
 )
+
+// batchBuckets sizes cohort histograms: a cohort is bounded by the
+// number of committers blocked during one flush, so small powers-ish of
+// two cover the useful range.
+var batchBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}

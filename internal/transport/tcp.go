@@ -123,11 +123,16 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	cw := &connWriter{conn: conn}
+	// decodeRequest copies every field out of the frame, so the read
+	// loop can recycle one scratch buffer across frames instead of
+	// allocating per request.
+	var scratch []byte
 	for {
-		req, err := wire.ReadFrame(conn)
+		req, next, err := wire.ReadFrameReuse(conn, scratch)
 		if err != nil {
 			return
 		}
+		scratch = next
 		id, method, trace, body, err := decodeRequest(req)
 		if err != nil {
 			mServerMalformed.Inc()
@@ -164,7 +169,9 @@ func (s *TCPServer) serveFrame(cw *connWriter, id uint64, method, trace string, 
 			return
 		case faultpoint.ActError:
 			// The client-side decoder wraps this as a RemoteError.
-			_ = cw.write(encodeResponse(id, nil, errors.New(faultpoint.RemoteErrMsg)))
+			e := encodeResponse(id, nil, errors.New(faultpoint.RemoteErrMsg))
+			_ = cw.write(e.Bytes())
+			e.Release()
 			return
 		case faultpoint.ActDropResponse:
 			// The handler runs; the reply is lost.
@@ -179,7 +186,9 @@ func (s *TCPServer) serveFrame(cw *connWriter, id uint64, method, trace string, 
 	if !respond {
 		return
 	}
-	_ = cw.write(encodeResponse(id, resp, herr))
+	e := encodeResponse(id, resp, herr)
+	_ = cw.write(e.Bytes())
+	e.Release()
 }
 
 // handleOne dispatches one decoded request with metrics and a server
@@ -562,7 +571,10 @@ func (c *TCPClient) callInjected(method string, tr obs.Trace, body []byte, timeo
 				return nil, err
 			}
 			id := c.next.Add(1)
-			if err := cc.send(encodeRequest(id, method, tr.String(), body), timeout); err != nil {
+			e := encodeRequest(id, method, tr.String(), body)
+			err = cc.send(e.Bytes(), timeout)
+			e.Release()
+			if err != nil {
 				return nil, err
 			}
 			return nil, &faultpoint.Error{Action: d.Action, Method: method}
@@ -590,13 +602,15 @@ func (c *TCPClient) exchange(method string, tr obs.Trace, body []byte, timeout t
 	}
 	mClientPending.Inc()
 	defer mClientPending.Dec()
-	frame := encodeRequest(id, method, tr.String(), body)
+	e := encodeRequest(id, method, tr.String(), body)
 	for i := 0; i < copies; i++ {
-		if err := cc.send(frame, timeout); err != nil {
+		if err := cc.send(e.Bytes(), timeout); err != nil {
+			e.Release()
 			cc.deregister(id)
 			return nil, err
 		}
 	}
+	e.Release()
 
 	var timer *time.Timer
 	var deadline <-chan time.Time

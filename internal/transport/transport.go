@@ -313,13 +313,16 @@ func (c *memClient) finish(method string, resp []byte, err error, lat time.Durat
 // back to waiting calls. trace is the obs.Trace wire form
 // ("traceID-spanID", possibly empty): the trace context and parent span
 // that let the server correlate its span with the caller's.
-func encodeRequest(id uint64, method, trace string, body []byte) []byte {
-	e := wire.NewEncoder(72 + len(trace) + len(body))
+//
+// Both encoders come from the wire pool; the caller must Release the
+// returned encoder after the frame has been written.
+func encodeRequest(id uint64, method, trace string, body []byte) *wire.Encoder {
+	e := wire.GetEncoder(72 + len(trace) + len(body))
 	e.Uint64(id)
 	e.String(method)
 	e.String(trace)
 	e.Bytes32(body)
-	return e.Bytes()
+	return e
 }
 
 func decodeRequest(b []byte) (id uint64, method, trace string, body []byte, err error) {
@@ -336,17 +339,18 @@ func decodeRequest(b []byte) (id uint64, method, trace string, body []byte, err 
 
 // encodeResponse echoes the request ID ahead of the response payload so
 // the client-side demultiplexer can route it without decoding the body.
-func encodeResponse(id uint64, body []byte, herr error) []byte {
-	e := wire.NewEncoder(72 + len(body))
+// The returned encoder is pooled; Release it after the write.
+func encodeResponse(id uint64, body []byte, herr error) *wire.Encoder {
+	e := wire.GetEncoder(72 + len(body))
 	e.Uint64(id)
 	if herr != nil {
 		e.Bool(true)
 		e.String(herr.Error())
-		return e.Bytes()
+		return e
 	}
 	e.Bool(false)
 	e.Bytes32(body)
-	return e.Bytes()
+	return e
 }
 
 // splitResponseID peels the request ID off a response frame, returning

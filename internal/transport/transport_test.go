@@ -261,8 +261,9 @@ func TestDialTCPFailure(t *testing.T) {
 }
 
 func TestRequestResponseEncoding(t *testing.T) {
-	b := encodeRequest(42, "method.name", "abc123-def456", []byte("body"))
-	id, m, trace, body, err := decodeRequest(b)
+	be := encodeRequest(42, "method.name", "abc123-def456", []byte("body"))
+	defer be.Release()
+	id, m, trace, body, err := decodeRequest(be.Bytes())
 	if err != nil || id != 42 || m != "method.name" || trace != "abc123-def456" || !bytes.Equal(body, []byte("body")) {
 		t.Fatalf("%d %q %q %q %v", id, m, trace, body, err)
 	}
@@ -271,7 +272,8 @@ func TestRequestResponseEncoding(t *testing.T) {
 	}
 
 	r := encodeResponse(42, []byte("ok"), nil)
-	id, rest, err := splitResponseID(r)
+	defer r.Release()
+	id, rest, err := splitResponseID(r.Bytes())
 	if err != nil || id != 42 {
 		t.Fatalf("split: id=%d err=%v", id, err)
 	}
@@ -279,8 +281,9 @@ func TestRequestResponseEncoding(t *testing.T) {
 	if err != nil || !bytes.Equal(body, []byte("ok")) {
 		t.Fatalf("%q %v", body, err)
 	}
-	r = encodeResponse(7, nil, errors.New("boom"))
-	id, rest, err = splitResponseID(r)
+	r2 := encodeResponse(7, nil, errors.New("boom"))
+	defer r2.Release()
+	id, rest, err = splitResponseID(r2.Bytes())
 	if err != nil || id != 7 {
 		t.Fatalf("split: id=%d err=%v", id, err)
 	}

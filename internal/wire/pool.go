@@ -1,0 +1,65 @@
+package wire
+
+import "sync"
+
+// Encoder and frame-buffer pooling. Every request/response on the hot
+// path allocates an encoder buffer and a frame payload; under load those
+// allocations dominate the transport profile. The pools below recycle
+// both, with a cap bound so one pathological message does not pin a
+// huge buffer forever.
+
+// maxPooledBuf bounds the capacity of buffers returned to the pools.
+// Larger buffers are dropped for the GC to reclaim.
+const maxPooledBuf = 64 << 10
+
+var encoderPool = sync.Pool{
+	New: func() any { return new(Encoder) },
+}
+
+// GetEncoder returns a pooled Encoder, reset and ready to use. If the
+// pooled buffer is smaller than sizeHint it is grown once up front.
+// Callers must not retain the encoder or its Bytes() past Release.
+func GetEncoder(sizeHint int) *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	if cap(e.buf) < sizeHint {
+		e.buf = make([]byte, 0, sizeHint)
+	} else {
+		e.buf = e.buf[:0]
+	}
+	return e
+}
+
+// Release returns the encoder to the pool. The encoder and any slice
+// previously obtained from Bytes() must not be used afterwards.
+// Oversized buffers are dropped rather than pooled.
+func (e *Encoder) Release() {
+	if cap(e.buf) > maxPooledBuf {
+		e.buf = nil
+	}
+	encoderPool.Put(e)
+}
+
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getFrameBuf(n int) *[]byte {
+	bp := framePool.Get().(*[]byte)
+	if cap(*bp) < n {
+		b := make([]byte, n)
+		*bp = b
+	} else {
+		*bp = (*bp)[:n]
+	}
+	return bp
+}
+
+func putFrameBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledBuf {
+		return
+	}
+	framePool.Put(bp)
+}

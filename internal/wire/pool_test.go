@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// writeRecorder records the size of every Write call.
+type writeRecorder struct {
+	buf    bytes.Buffer
+	writes []int
+}
+
+func (w *writeRecorder) Write(p []byte) (int, error) {
+	w.writes = append(w.writes, len(p))
+	return w.buf.Write(p)
+}
+
+// TestWriteFrameSingleWrite pins the torn-header fix: a frame must go
+// out in exactly one Write call. Two writes (header, then body) can
+// interleave with a concurrent sender's frame on a shared net.Conn,
+// corrupting the stream.
+func TestWriteFrameSingleWrite(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("ab"), 5000)}
+	for _, p := range payloads {
+		rec := &writeRecorder{}
+		if err := WriteFrame(rec, p); err != nil {
+			t.Fatalf("WriteFrame(%d bytes): %v", len(p), err)
+		}
+		if len(rec.writes) != 1 {
+			t.Fatalf("WriteFrame(%d bytes): %d Write calls, want exactly 1", len(p), len(rec.writes))
+		}
+		if rec.writes[0] != 4+len(p) {
+			t.Fatalf("WriteFrame(%d bytes): wrote %d bytes, want %d", len(p), rec.writes[0], 4+len(p))
+		}
+		got, err := ReadFrame(&rec.buf)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(p))
+		}
+	}
+}
+
+// TestReadFrameReuse verifies the reuse variant returns correct
+// payloads while recycling its scratch buffer across frames.
+func TestReadFrameReuse(t *testing.T) {
+	var stream bytes.Buffer
+	frames := [][]byte{
+		bytes.Repeat([]byte("a"), 100),
+		bytes.Repeat([]byte("b"), 10),
+		bytes.Repeat([]byte("c"), 500),
+		{},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&stream, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for i, want := range frames {
+		got, next, err := ReadFrameReuse(&stream, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload mismatch (%d vs %d bytes)", i, len(got), len(want))
+		}
+		if i > 0 && len(want) <= cap(scratch) && len(want) > 0 && &got[0] != &scratch[:1][0] {
+			t.Fatalf("frame %d: expected payload to reuse scratch buffer", i)
+		}
+		scratch = next
+	}
+}
+
+// TestGetEncoderReset verifies pooled encoders come back empty with at
+// least the hinted capacity, and that concurrent use is safe.
+func TestGetEncoderReset(t *testing.T) {
+	e := GetEncoder(128)
+	e.String("leftover state")
+	e.Release()
+
+	e2 := GetEncoder(64)
+	if e2.Len() != 0 {
+		t.Fatalf("pooled encoder not reset: Len=%d", e2.Len())
+	}
+	if cap(e2.buf) < 64 {
+		t.Fatalf("size hint not honored: cap=%d", cap(e2.buf))
+	}
+	e2.Uint64(42)
+	d := NewDecoder(e2.Bytes())
+	if v := d.Uint64(); v != 42 || d.Finish() != nil {
+		t.Fatalf("pooled encoder round trip: got %d, err %v", v, d.Finish())
+	}
+	e2.Release()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				e := GetEncoder(32)
+				e.Uint64(uint64(n))
+				e.Bytes32(bytes.Repeat([]byte{byte(n)}, 16))
+				d := NewDecoder(e.Bytes())
+				if v := d.Uint64(); v != uint64(n) {
+					t.Errorf("cross-goroutine encoder corruption: got %d want %d", v, n)
+				}
+				e.Release()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestPoolDropsOversized verifies buffers beyond the retention cap are
+// not pooled (preventing one huge message from pinning memory).
+func TestPoolDropsOversized(t *testing.T) {
+	e := GetEncoder(maxPooledBuf * 2)
+	e.Release()
+	if e.buf != nil {
+		t.Fatal("oversized encoder buffer retained after Release")
+	}
+}

@@ -290,24 +290,50 @@ func (d *Decoder) BytesSlice() [][]byte {
 	return out
 }
 
-// WriteFrame writes one length-prefixed message to w.
+// WriteFrame writes one length-prefixed message to w as a single Write
+// call. A single write matters when w is an unbuffered net.Conn shared
+// by concurrent senders: header and body issued as two writes can
+// interleave with another frame, tearing the stream irrecoverably.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameLen {
 		return ErrFrameSize
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: write frame header: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("wire: write frame body: %w", err)
+	bp := getFrameBuf(4 + len(payload))
+	frame := *bp
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	copy(frame[4:], payload)
+	_, err := w.Write(frame)
+	putFrameBuf(bp)
+	if err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
 	}
 	return nil
 }
 
-// ReadFrame reads one length-prefixed message from r.
+// ReadFrame reads one length-prefixed message from r. The payload is
+// freshly allocated and owned by the caller.
 func ReadFrame(r io.Reader) ([]byte, error) {
+	return readFrame(r, nil)
+}
+
+// ReadFrameReuse reads one length-prefixed message from r into scratch
+// when it has sufficient capacity, allocating only when the frame is
+// larger. It returns the payload (which may alias scratch) and a buffer
+// to pass as scratch on the next call. Only for read loops that fully
+// consume each frame before reading the next — the payload must not
+// escape the loop iteration.
+func ReadFrameReuse(r io.Reader, scratch []byte) (payload, next []byte, err error) {
+	payload, err = readFrame(r, scratch)
+	if err != nil {
+		return nil, scratch, err
+	}
+	if cap(payload) > cap(scratch) {
+		scratch = payload
+	}
+	return payload, scratch, nil
+}
+
+func readFrame(r io.Reader, scratch []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -316,7 +342,12 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	if n > MaxFrameLen {
 		return nil, ErrFrameSize
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if int(n) <= cap(scratch) {
+		payload = scratch[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("wire: read frame body: %w", err)
 	}
