@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check audit-verify gateway-smoke loadgen-smoke soak bench bench-smoke bench-rpc bench-ledger bench-loadgen crash experiments examples cover fuzz clean
+.PHONY: all build vet test race check audit-verify gateway-smoke loadgen-smoke repl-smoke soak bench bench-smoke bench-rpc bench-ledger bench-loadgen crash experiments examples cover fuzz clean
 
 all: check
 
@@ -28,7 +28,7 @@ race:
 		./internal/chaos/... ./internal/faultpoint/... ./internal/svc/... \
 		./internal/endserver/... ./internal/proxy/... ./internal/group/... \
 		./internal/ledger/... ./internal/gateway/... ./internal/loadgen/... \
-		./internal/soak/...
+		./internal/soak/... ./internal/repl/...
 
 check: build vet test race
 
@@ -43,6 +43,16 @@ audit-verify:
 # the gateway, the end-server, and the bank afterwards.
 gateway-smoke:
 	$(GO) test ./internal/integration/ -run 'TestGateway(Smoke|EndToEnd|Impersonation|ErrorMapping|DocCatalogue)' -v -count=1
+
+# Fast replication/failover subset: WAL shipping to a hot standby,
+# semi-sync commit acknowledgment, snapshot catch-up, fenced promotion,
+# and the end-to-end TCP failover (standby reads, promote via RPC,
+# deposed primary refused) — the quick proof that -standby/-replicate-from
+# and `proxyctl promote` still work. The kill-the-primary chaos test and
+# the soak storm's promote-under-load audit are the heavier layers.
+repl-smoke:
+	$(GO) test ./internal/repl/ -run 'TestStandbyTailsPrimary|TestSemiSync|TestCatchUpViaSnapshot|TestPromote' -v -count=1
+	$(GO) test ./internal/integration/ -run TestReplFailoverOverTCP -v -count=1
 
 # Seeded 5-second mixed workload (authorize/transfer/deposit/gateway)
 # through the full in-process topology via the open-loop generator:
@@ -61,8 +71,9 @@ crash:
 
 # Continuous mixed-scenario soak storm (internal/soak): every workload
 # concurrently against a fresh multi-realm topology, fault injection on
-# the clearing hop, SIGKILL crash/recovery of the child-process bank,
-# and an always-on verifier asserting conservation, exactly-once
+# the clearing hop, SIGKILL crash/recovery of the child-process bank
+# with a hot standby promoted and audited under load on every crash
+# cycle, and an always-on verifier asserting conservation, exactly-once
 # clearing, audit-chain integrity, and trace completeness. On a
 # violation the run fails with the seed and a reproduction command.
 # Override: make soak SOAK_TIME=10m SOAK_SEED=42

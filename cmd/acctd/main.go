@@ -34,6 +34,7 @@ import (
 	"proxykit/internal/logging"
 	"proxykit/internal/obs"
 	"proxykit/internal/principal"
+	"proxykit/internal/repl"
 	"proxykit/internal/statefile"
 	"proxykit/internal/svc"
 	"proxykit/internal/transport"
@@ -70,9 +71,11 @@ func run() error {
 		fsyncMode   = flag.String("fsync", "always", "WAL durability: always (fsync per append), interval (periodic fsync), off (buffered)")
 		groupCommit = flag.Bool("group-commit", true, "batch concurrent fsync=always appends into commit cohorts (one fsync per batch)")
 		snapEvery   = flag.Duration("snapshot-interval", time.Minute, "how often the ledger snapshots full state and truncates the WAL; 0 disables the background snapshotter")
+		replFlags   repl.Flags
 		logOpts     logging.Options
 		traceOpts   obs.TraceOptions
 	)
+	replFlags.Register(flag.CommandLine)
 	logOpts.RegisterFlags(flag.CommandLine)
 	traceOpts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -93,18 +96,6 @@ func run() error {
 		return err
 	}
 	defer journal.Close()
-
-	if *metricsAddr != "" {
-		msrv, maddr, err := obs.ServeWith(*metricsAddr, obs.HandlerOpts{
-			Audit:  journal,
-			Health: journal.Health,
-		})
-		if err != nil {
-			return err
-		}
-		defer msrv.Close()
-		logger.Info("metrics listening", "url", fmt.Sprintf("http://%s/metrics", maddr))
-	}
 
 	ident, err := statefile.LoadOrCreateIdentity(*state, principal.New(*name, *realm))
 	if err != nil {
@@ -130,15 +121,56 @@ func run() error {
 		}
 	}
 	srv.SetJournal(journal)
-	if *accounts != "" {
-		n, err := loadAccounts(srv, *accounts)
+
+	mux := svc.NewAcctService(srv, resolve, nil).Mux()
+	replNode, err := replFlags.Start(srv, *ledgerDir, mux, logger)
+	if err != nil {
+		return err
+	}
+	if replNode != nil {
+		defer replNode.Close()
+	}
+
+	if *metricsAddr != "" {
+		msrv, maddr, err := obs.ServeWith(*metricsAddr, obs.HandlerOpts{
+			Audit: journal,
+			Health: func() map[string]any {
+				h := journal.Health()
+				if lg := srv.Ledger(); lg != nil {
+					for k, v := range lg.Health() {
+						h[k] = v
+					}
+				}
+				if replNode != nil {
+					for k, v := range replNode.Health() {
+						h[k] = v
+					}
+				}
+				return h
+			},
+		})
 		if err != nil {
 			return err
 		}
-		logger.Info("provisioned accounts", "count", n, "file", *accounts)
+		defer msrv.Close()
+		logger.Info("metrics listening", "url", fmt.Sprintf("http://%s/metrics", maddr))
 	}
 
-	if *holdSweep > 0 {
+	if *accounts != "" {
+		if replFlags.Standby {
+			// A standby's books come from the primary's WAL; local
+			// provisioning would be refused by the commit gate anyway.
+			logger.Info("standby: skipping account provisioning", "file", *accounts)
+		} else {
+			n, err := loadAccounts(srv, *accounts)
+			if err != nil {
+				return err
+			}
+			logger.Info("provisioned accounts", "count", n, "file", *accounts)
+		}
+	}
+
+	if *holdSweep > 0 && !replFlags.Standby {
 		stop := srv.StartHoldSweeper(*holdSweep)
 		defer stop()
 		logger.Info("hold sweeper running", "interval", *holdSweep)
@@ -148,7 +180,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	tcp := transport.NewTCPServerWorkers(l, svc.NewAcctService(srv, resolve, nil).Mux(), *rpcWorkers)
+	tcp := transport.NewTCPServerWorkers(l, mux, *rpcWorkers)
 	if *faultSpec != "" {
 		inj, err := faultpoint.Parse(*faultSpec, *faultSeed)
 		if err != nil {

@@ -38,6 +38,7 @@ import (
 	"proxykit/internal/obs"
 	"proxykit/internal/principal"
 	"proxykit/internal/proxy"
+	"proxykit/internal/repl"
 	"proxykit/internal/statefile"
 	"proxykit/internal/svc"
 	"proxykit/internal/transport"
@@ -76,9 +77,11 @@ func run() error {
 		fsyncMode   = flag.String("fsync", "always", "WAL durability: always (fsync per append), interval (periodic fsync), off (buffered)")
 		groupCommit = flag.Bool("group-commit", true, "batch concurrent fsync=always appends into commit cohorts (one fsync per batch)")
 		snapEvery   = flag.Duration("snapshot-interval", time.Minute, "how often the ledger snapshots the database and truncates the WAL; 0 disables the background snapshotter")
+		replFlags   repl.Flags
 		logOpts     logging.Options
 		traceOpts   obs.TraceOptions
 	)
+	replFlags.Register(flag.CommandLine)
 	logOpts.RegisterFlags(flag.CommandLine)
 	traceOpts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -99,18 +102,6 @@ func run() error {
 		return err
 	}
 	defer journal.Close()
-
-	if *metricsAddr != "" {
-		msrv, maddr, err := obs.ServeWith(*metricsAddr, obs.HandlerOpts{
-			Audit:  journal,
-			Health: journal.Health,
-		})
-		if err != nil {
-			return err
-		}
-		defer msrv.Close()
-		logger.Info("metrics listening", "url", fmt.Sprintf("http://%s/metrics", maddr))
-	}
 
 	ident, err := statefile.LoadOrCreateIdentity(*state, principal.New(*name, *realm))
 	if err != nil {
@@ -136,10 +127,51 @@ func run() error {
 		}
 	}
 	srv.SetJournal(journal)
+
+	asvc := svc.NewAuthzService(srv, resolve, nil)
+	if *chainCache > 0 {
+		asvc.SetChainCache(proxy.NewChainCache(*chainCache))
+		logger.Info("verified-chain cache enabled", "capacity", *chainCache)
+	}
+	mux := asvc.Mux()
+	replNode, err := replFlags.Start(srv, *ledgerDir, mux, logger)
+	if err != nil {
+		return err
+	}
+	if replNode != nil {
+		defer replNode.Close()
+	}
+
+	if *metricsAddr != "" {
+		msrv, maddr, err := obs.ServeWith(*metricsAddr, obs.HandlerOpts{
+			Audit: journal,
+			Health: func() map[string]any {
+				h := journal.Health()
+				if lg := srv.Ledger(); lg != nil {
+					for k, v := range lg.Health() {
+						h[k] = v
+					}
+				}
+				if replNode != nil {
+					for k, v := range replNode.Health() {
+						h[k] = v
+					}
+				}
+				return h
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		logger.Info("metrics listening", "url", fmt.Sprintf("http://%s/metrics", maddr))
+	}
+
 	// Provision from the file only when the database came up empty — a
 	// ledger-recovered database already holds these rules, and AddRule
-	// appends, so reloading would duplicate every rule per restart.
-	if *rules != "" && len(srv.Rules()) == 0 {
+	// appends, so reloading would duplicate every rule per restart. A
+	// standby's database comes from the primary's WAL.
+	if *rules != "" && len(srv.Rules()) == 0 && !replFlags.Standby {
 		n, err := loadRules(srv, *rules)
 		if err != nil {
 			return err
@@ -151,12 +183,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	asvc := svc.NewAuthzService(srv, resolve, nil)
-	if *chainCache > 0 {
-		asvc.SetChainCache(proxy.NewChainCache(*chainCache))
-		logger.Info("verified-chain cache enabled", "capacity", *chainCache)
-	}
-	tcp := transport.NewTCPServerWorkers(l, asvc.Mux(), *rpcWorkers)
+	tcp := transport.NewTCPServerWorkers(l, mux, *rpcWorkers)
 	if *faultSpec != "" {
 		inj, err := faultpoint.Parse(*faultSpec, *faultSeed)
 		if err != nil {

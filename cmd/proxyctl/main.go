@@ -89,6 +89,10 @@ func main() {
 		err = cmdGateway(args)
 	case "soak":
 		err = cmdSoak(args)
+	case "promote":
+		err = cmdPromote(args)
+	case "repl-status":
+		err = cmdReplStatus(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -116,7 +120,9 @@ commands:
   trace        assemble and render one distributed trace across daemons
   slo          report latency-objective compliance and error budgets
   gateway      inspect a gatewayd: sessions, token map, proxy cache
-  soak         run the continuous mixed-scenario storm with invariant verification`)
+  soak         run the continuous mixed-scenario storm with invariant verification
+  promote      promote a standby daemon to primary (fenced failover)
+  repl-status  print a daemon's replication role, term, and WAL position`)
 }
 
 // commonFlags registers the flags every subcommand shares.

@@ -1,0 +1,84 @@
+package main
+
+// Replication control-plane subcommands: promote a standby after the
+// primary dies, and inspect any replication node's status.
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"proxykit/internal/repl"
+	"proxykit/internal/transport"
+)
+
+func cmdPromote(args []string) error {
+	fs := flag.NewFlagSet("promote", flag.ExitOnError)
+	addr := fs.String("addr", "", "standby's RPC address to promote")
+	fence := fs.String("fence", "", "old primary's RPC address to fence with the new term (best-effort; a dead primary is fine)")
+	timeout := fs.Duration("timeout", 5*time.Second, "dial/RPC timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	tc, err := transport.DialTCP(*addr, *timeout)
+	if err != nil {
+		return err
+	}
+	defer tc.Close()
+	rc := repl.NewClient(tc)
+	newTerm, err := rc.Promote()
+	if err != nil {
+		return err
+	}
+	st, err := rc.Status()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("promoted %s: now %s at term %d (lastSeq %d)\n",
+		*addr, st.Role, newTerm, st.LastSeq)
+	if *fence != "" {
+		// Best-effort: the usual reason for promoting is that the old
+		// primary is dead, in which case fencing it now is impossible —
+		// its persisted term is stale and any pull or promote it serves
+		// after restart will be refused by term comparison anyway.
+		ftc, err := transport.DialTCP(*fence, *timeout)
+		if err != nil {
+			fmt.Printf("warning: could not reach old primary %s to fence it: %v\n", *fence, err)
+			return nil
+		}
+		defer ftc.Close()
+		if _, err := repl.NewClient(ftc).Fence(newTerm); err != nil {
+			fmt.Printf("warning: fence %s failed: %v\n", *fence, err)
+			return nil
+		}
+		fmt.Printf("fenced old primary %s at term %d\n", *fence, newTerm)
+	}
+	return nil
+}
+
+func cmdReplStatus(args []string) error {
+	fs := flag.NewFlagSet("repl-status", flag.ExitOnError)
+	addr := fs.String("addr", "", "replication node's RPC address")
+	timeout := fs.Duration("timeout", 5*time.Second, "dial/RPC timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	tc, err := transport.DialTCP(*addr, *timeout)
+	if err != nil {
+		return err
+	}
+	defer tc.Close()
+	st, err := repl.NewClient(tc).Status()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: role=%s term=%d lastSeq=%d snapSeq=%d\n",
+		*addr, st.Role, st.Term, st.LastSeq, st.SnapSeq)
+	return nil
+}

@@ -26,6 +26,7 @@ func cmdSoak(args []string) error {
 	drop := fs.Float64("fault-drop", 0.25, "clearing-hop drop probability")
 	dup := fs.Float64("fault-dup", 0.10, "clearing-hop duplicate probability")
 	noChild := fs.Bool("no-child", false, "disable the child-process bank")
+	failover := fs.Bool("failover", true, "run a hot standby of the child bank and promote it under load on every crash cycle")
 	doubleCredit := fs.Bool("inject-double-credit", false, "inject an unaccounted credit the verifier must catch")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -42,6 +43,7 @@ func cmdSoak(args []string) error {
 		FaultDrop:          *drop,
 		FaultDup:           *dup,
 		NoChild:            *noChild,
+		Failover:           *failover,
 		InjectDoubleCredit: *doubleCredit,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
@@ -53,9 +55,9 @@ func cmdSoak(args []string) error {
 			names = append(names, name)
 		}
 		sort.Strings(names)
-		fmt.Printf("soak: seed=%d elapsed=%s verifyPasses=%d crashes=%d recoveries=%d downtimeErrors=%d\n",
+		fmt.Printf("soak: seed=%d elapsed=%s verifyPasses=%d crashes=%d recoveries=%d failovers=%d downtimeErrors=%d\n",
 			rep.Seed, rep.Elapsed.Round(time.Millisecond), rep.VerifyPasses,
-			rep.Crashes, rep.Recoveries, rep.DowntimeErrors)
+			rep.Crashes, rep.Recoveries, rep.Failovers, rep.DowntimeErrors)
 		for _, name := range names {
 			fmt.Printf("soak:   %-10s ok=%d err=%d\n", name, rep.Ops[name], rep.Errors[name])
 		}

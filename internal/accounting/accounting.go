@@ -111,6 +111,7 @@ type Server struct {
 	hopRetry transport.RetryPolicy
 	hopInj   *faultpoint.Injector
 	ledger   *ledger.Ledger
+	gate     func() error // commit gate; non-nil refusal blocks all mutations
 
 	// ForwardedChecks counts checks this server endorsed onward to
 	// another bank (clearing traffic, for the experiments). Guarded by

@@ -109,6 +109,24 @@ func (s *Server) lockAll() (unlock func()) {
 	}
 }
 
+// lockAllExclusive write-locks every stripe in ascending order.
+// Replication snapshot installs replace the whole bank's state and must
+// exclude readers as well as writers — a balance read overlapping the
+// swap could observe the emptied map.
+func (s *Server) lockAllExclusive() (unlock func()) {
+	start := time.Now()
+	for i := range s.stripes {
+		s.stripes[i].Lock()
+	}
+	mStripeWait.Observe(time.Since(start).Seconds())
+	mStripeLocks.With("all").Inc()
+	return func() {
+		for i := len(s.stripes) - 1; i >= 0; i-- {
+			s.stripes[i].Unlock()
+		}
+	}
+}
+
 // sortedNamesLocked lists account names in sorted order; callers hold
 // acctMu (either mode).
 func (s *Server) sortedNamesLocked() []string {

@@ -114,6 +114,11 @@ func decodeOp(b []byte) (*op, error) {
 // commit, concurrent commitOp calls on disjoint stripes share one
 // fsync.
 func (s *Server) commitOp(o *op) error {
+	if gate := s.gateRef(); gate != nil {
+		if err := gate(); err != nil {
+			return err
+		}
+	}
 	if lg := s.ledgerRef(); lg != nil {
 		e := encodeOp(o)
 		_, err := lg.Append(e.Bytes())

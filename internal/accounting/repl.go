@@ -1,0 +1,96 @@
+package accounting
+
+// Replication hooks: a standby bank replays the primary's WAL records
+// through the same applyOp state machine the live path and recovery
+// use, and a commit gate lets the replication layer refuse local
+// mutations on standbys and deposed primaries (fail closed — a bank
+// that is not the primary must not admit a check or move money).
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SetCommitGate installs a check run at the top of every mutation
+// commit (before the WAL append). A non-nil error from the gate refuses
+// the mutation; nil removes the gate. Replicated applies bypass the
+// gate — they carry the primary's already-committed records.
+func (s *Server) SetCommitGate(gate func() error) {
+	s.cfgMu.Lock()
+	defer s.cfgMu.Unlock()
+	s.gate = gate
+}
+
+// gateRef fetches the commit gate under cfgMu.
+func (s *Server) gateRef() func() error {
+	s.cfgMu.Lock()
+	defer s.cfgMu.Unlock()
+	return s.gate
+}
+
+// lockOpAccounts write-locks the stripes of every account the op
+// mutates, mirroring the live commit paths so whole-bank captures on a
+// standby never observe a half-applied record.
+func (s *Server) lockOpAccounts(o *op) (unlock func()) {
+	a, b := o.acct, o.to
+	switch {
+	case a != "" && b != "":
+		return s.lockPair(a, b)
+	case a != "":
+		return s.lockAccount(a)
+	case b != "":
+		return s.lockAccount(b)
+	default:
+		return func() {}
+	}
+}
+
+// ApplyReplicated appends one shipped WAL record to the local ledger
+// and applies it through applyOp — the standby's replay path. The
+// locally assigned sequence number must equal the primary's; a mismatch
+// means the two logs have diverged and the standby must not continue.
+// Callers (the replication puller) are single-threaded.
+func (s *Server) ApplyReplicated(seq uint64, payload []byte) error {
+	o, err := decodeOp(payload)
+	if err != nil {
+		return err
+	}
+	lg := s.ledgerRef()
+	if lg == nil {
+		return errors.New("accounting: no ledger attached")
+	}
+	unlock := s.lockOpAccounts(o)
+	defer unlock()
+	got, err := lg.Append(payload)
+	if err != nil {
+		return fmt.Errorf("accounting: replicate: %w", err)
+	}
+	if got != seq {
+		return fmt.Errorf("accounting: replication divergence: local seq %d, shipped seq %d", got, seq)
+	}
+	return s.applyOp(o)
+}
+
+// InstallSnapshot replaces the entire bank state with a snapshot
+// shipped from the primary and resets the local ledger to cover it —
+// replication catch-up when the primary has truncated the records a
+// lagging standby still needs. All stripes are held exclusively, so no
+// read observes the swap half-done.
+func (s *Server) InstallSnapshot(state []byte, seq uint64) error {
+	lg := s.ledgerRef()
+	if lg == nil {
+		return errors.New("accounting: no ledger attached")
+	}
+	s.createMu.Lock()
+	defer s.createMu.Unlock()
+	unlock := s.lockAllExclusive()
+	defer unlock()
+	s.acctMu.Lock()
+	s.accounts = make(map[string]*account)
+	s.acctMu.Unlock()
+	s.registry.Clear()
+	if err := s.restoreState(state); err != nil {
+		return err
+	}
+	return lg.Reset(state, seq)
+}

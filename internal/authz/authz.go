@@ -65,6 +65,7 @@ type Server struct {
 	rules   []Rule
 	journal *audit.Journal
 	ledger  *ledger.Ledger
+	gate    func() error // commit gate; non-nil refusal blocks mutations
 }
 
 // SetJournal attaches an audit journal; every Grant decision is sealed

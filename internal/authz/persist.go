@@ -82,6 +82,11 @@ func decodeRule(sr snapRule) (Rule, error) {
 // write lock. An append failure skips the mutation (the ledger fails
 // closed).
 func (s *Server) commitLocked(r Rule) error {
+	if s.gate != nil {
+		if err := s.gate(); err != nil {
+			return err
+		}
+	}
 	if s.ledger != nil {
 		sr, err := encodeRule(r)
 		if err != nil {

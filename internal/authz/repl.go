@@ -1,0 +1,84 @@
+package authz
+
+// Replication hooks: a standby authorization server replays the
+// primary's WAL records through the same decode path recovery uses, and
+// a commit gate refuses local mutations on standbys and deposed
+// primaries.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"proxykit/internal/ledger"
+)
+
+// SetCommitGate installs a check run before every mutation commit; a
+// non-nil error refuses the mutation. nil removes the gate. Replicated
+// applies bypass it.
+func (s *Server) SetCommitGate(gate func() error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gate = gate
+}
+
+// Ledger returns the attached ledger, nil when the server is in-memory
+// only.
+func (s *Server) Ledger() *ledger.Ledger {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ledger
+}
+
+// ApplyReplicated appends one shipped WAL record to the local ledger
+// and applies it — the standby's replay path. The locally assigned
+// sequence number must equal the primary's; a mismatch means the logs
+// diverged.
+func (s *Server) ApplyReplicated(seq uint64, payload []byte) error {
+	var sr snapRule
+	if err := json.Unmarshal(payload, &sr); err != nil {
+		return fmt.Errorf("authz: replicate: %w", err)
+	}
+	r, err := decodeRule(sr)
+	if err != nil {
+		return fmt.Errorf("authz: replicate: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ledger == nil {
+		return errors.New("authz: no ledger attached")
+	}
+	got, err := s.ledger.Append(payload)
+	if err != nil {
+		return fmt.Errorf("authz: replicate: %w", err)
+	}
+	if got != seq {
+		return fmt.Errorf("authz: replication divergence: local seq %d, shipped seq %d", got, seq)
+	}
+	s.rules = append(s.rules, r)
+	return nil
+}
+
+// InstallSnapshot replaces the whole rule database with a snapshot
+// shipped from the primary and resets the local ledger to cover it.
+func (s *Server) InstallSnapshot(state []byte, seq uint64) error {
+	var st snapState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return fmt.Errorf("authz: install snapshot: %w", err)
+	}
+	rules := make([]Rule, 0, len(st.Rules))
+	for _, sr := range st.Rules {
+		r, err := decodeRule(sr)
+		if err != nil {
+			return err
+		}
+		rules = append(rules, r)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ledger == nil {
+		return errors.New("authz: no ledger attached")
+	}
+	s.rules = rules
+	return s.ledger.Reset(state, seq)
+}

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"errors"
 	"sort"
 	"sync"
 	"time"
@@ -9,6 +10,14 @@ import (
 	"proxykit/internal/obs"
 	"proxykit/internal/proxy"
 )
+
+// ErrExpiredProxy is returned when an acquisition or renewal produced a
+// proxy that is already expired (clock skew against the grantor, or a
+// grant that outlived its own lifetime in transit). The cache fails
+// closed: such a proxy is never cached and never returned — forwarding
+// it would present a dead credential to the end-server as if it were
+// live.
+var ErrExpiredProxy = errors.New("gateway: acquired proxy already expired")
 
 // AcquireFunc obtains a fresh proxy for a cache key. The trace is the
 // request (or renewal) context the acquisition RPCs should join.
@@ -87,6 +96,11 @@ func (c *Cache) Get(key string, tr obs.Trace, acquire AcquireFunc) (*proxy.Proxy
 	if err != nil {
 		return nil, err
 	}
+	if !c.clk.Now().Before(p.Expires()) {
+		// Fail closed: an already-expired acquisition must not be cached
+		// or forwarded, even though the grant itself "succeeded".
+		return nil, ErrExpiredProxy
+	}
 	c.mu.Lock()
 	c.entries[key] = &cacheEntry{p: p, acquire: acquire}
 	mCacheEntries.Set(int64(len(c.entries)))
@@ -108,6 +122,12 @@ func (c *Cache) renew(key string) {
 	c.mu.Unlock()
 
 	p, err := acquire(obs.NewTrace())
+	if err == nil && !c.clk.Now().Before(p.Expires()) {
+		// A renewal that came back already expired is a failed renewal:
+		// keep the old proxy (still valid until its own expiry) rather
+		// than install a credential that can never be presented.
+		err = ErrExpiredProxy
+	}
 
 	c.mu.Lock()
 	if e2, ok := c.entries[key]; ok {

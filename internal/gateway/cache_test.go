@@ -1,7 +1,9 @@
 package gateway
 
 import (
+	"errors"
 	"fmt"
+	"net/http"
 	"sync"
 	"testing"
 	"time"
@@ -289,4 +291,78 @@ func TestCacheConcurrentAccess(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestCacheRefusesExpiredAcquisition covers the fail-closed side of the
+// miss path: an acquisition that comes back already expired (clock skew
+// against the grantor, or a grant slower than its own lifetime) must be
+// refused, not cached and not returned — the gateway would otherwise
+// forward a dead restricted proxy to the end-server.
+func TestCacheRefusesExpiredAcquisition(t *testing.T) {
+	clk := clock.NewFake(time.Unix(1_700_000_000, 0))
+	ident := testIdentity(t)
+	c := NewCache(clk, 2*time.Minute, nil)
+
+	// The grant is issued on a clock 10 minutes behind "now" with a
+	// 5-minute lifetime: valid when signed, expired on arrival.
+	skewed := clock.NewFake(clk.Now().Add(-10 * time.Minute))
+	acquire := func(tr obs.Trace) (*proxy.Proxy, error) {
+		return grantAt(t, ident, skewed, 5*time.Minute), nil
+	}
+	_, err := c.Get("k", obs.NewTrace(), acquire)
+	if !errors.Is(err, ErrExpiredProxy) {
+		t.Fatalf("Get with expired acquisition = %v, want ErrExpiredProxy", err)
+	}
+	if got := len(c.Entries()); got != 0 {
+		t.Fatalf("expired acquisition was cached: %d entries", got)
+	}
+	// The refusal maps to 503 at the HTTP edge: fail closed, retryable.
+	if code := statusForUpstream(err); code != http.StatusServiceUnavailable {
+		t.Fatalf("statusForUpstream(ErrExpiredProxy) = %d, want 503", code)
+	}
+}
+
+// TestCacheRenewalRefusesExpiredProxy covers the renewal side: a
+// background renewal that produces an already-expired proxy must be
+// treated as a failed renewal — the still-valid cached proxy keeps
+// serving, and the dead one is never installed over it.
+func TestCacheRenewalRefusesExpiredProxy(t *testing.T) {
+	clk := clock.NewFake(time.Unix(1_700_000_000, 0))
+	ident := testIdentity(t)
+	w := newRenewWaiter()
+	c := NewCache(clk, 2*time.Minute, w.hook)
+
+	var mu sync.Mutex
+	acquires := 0
+	skewed := clock.NewFake(clk.Now().Add(-10 * time.Minute))
+	acquire := func(tr obs.Trace) (*proxy.Proxy, error) {
+		mu.Lock()
+		acquires++
+		n := acquires
+		mu.Unlock()
+		if n >= 2 {
+			// Renewal round: issued on a skewed clock, dead on arrival.
+			return grantAt(t, ident, skewed, 5*time.Minute), nil
+		}
+		return grantAt(t, ident, clk, 10*time.Minute), nil
+	}
+
+	p1, err := c.Get("k", obs.NewTrace(), acquire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(9 * time.Minute) // inside the renewal window
+	p2, err := c.Get("k", obs.NewTrace(), acquire)
+	if err != nil || p2 != p1 {
+		t.Fatalf("hit inside renewal window = (%v, %v), want cached proxy", p2, err)
+	}
+	if err := w.wait(t); !errors.Is(err, ErrExpiredProxy) {
+		t.Fatalf("renewal outcome = %v, want ErrExpiredProxy", err)
+	}
+	// The old, still-valid proxy is what the cache serves — not the
+	// dead renewal.
+	p3, err := c.Get("k", obs.NewTrace(), acquire)
+	if err != nil || p3 != p1 {
+		t.Fatalf("Get after expired renewal = (%v, %v), want old proxy kept", p3, err)
+	}
 }

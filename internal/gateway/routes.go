@@ -73,6 +73,12 @@ func writeErr(w http.ResponseWriter, code int, tr obs.Trace, err error) {
 // transport-level failures (timeouts, injected faults, dead daemons)
 // become 502 so callers and probes can tell policy from plumbing.
 func statusForUpstream(err error) int {
+	if errors.Is(err, ErrExpiredProxy) {
+		// The credential pipeline produced an already-dead proxy (clock
+		// skew or a grant slower than its own lifetime): refuse to serve
+		// rather than forward it, and tell the caller to retry.
+		return http.StatusServiceUnavailable
+	}
 	var rerr *transport.RemoteError
 	if errors.As(err, &rerr) {
 		msg := rerr.Msg

@@ -52,6 +52,7 @@ type Server struct {
 	groups  map[string]*members
 	journal *audit.Journal
 	ledger  *ledger.Ledger
+	gate    func() error // commit gate; non-nil refusal blocks mutations
 }
 
 // SetJournal attaches an audit journal; every Grant decision is sealed

@@ -36,6 +36,11 @@ const (
 // failure skips the mutation — the ledger fails closed, and a change
 // that is not durable must not become visible.
 func (s *Server) commitLocked(o *groupOp) error {
+	if s.gate != nil {
+		if err := s.gate(); err != nil {
+			return err
+		}
+	}
 	if s.ledger != nil {
 		raw, err := json.Marshal(o)
 		if err != nil {

@@ -1,0 +1,69 @@
+package group
+
+// Replication hooks: a standby group server replays the primary's WAL
+// records through the same applyLocked path recovery uses, and a commit
+// gate refuses local mutations on standbys and deposed primaries.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"proxykit/internal/ledger"
+)
+
+// SetCommitGate installs a check run before every mutation commit; a
+// non-nil error refuses the mutation. nil removes the gate. Replicated
+// applies bypass it.
+func (s *Server) SetCommitGate(gate func() error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gate = gate
+}
+
+// Ledger returns the attached ledger, nil when the server is in-memory
+// only.
+func (s *Server) Ledger() *ledger.Ledger {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ledger
+}
+
+// ApplyReplicated appends one shipped WAL record to the local ledger
+// and applies it — the standby's replay path. The locally assigned
+// sequence number must equal the primary's; a mismatch means the logs
+// diverged.
+func (s *Server) ApplyReplicated(seq uint64, payload []byte) error {
+	var o groupOp
+	if err := json.Unmarshal(payload, &o); err != nil {
+		return fmt.Errorf("group: replicate: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ledger == nil {
+		return errors.New("group: no ledger attached")
+	}
+	got, err := s.ledger.Append(payload)
+	if err != nil {
+		return fmt.Errorf("group: replicate: %w", err)
+	}
+	if got != seq {
+		return fmt.Errorf("group: replication divergence: local seq %d, shipped seq %d", got, seq)
+	}
+	return s.applyLocked(&o)
+}
+
+// InstallSnapshot replaces the whole database with a snapshot shipped
+// from the primary and resets the local ledger to cover it.
+func (s *Server) InstallSnapshot(state []byte, seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ledger == nil {
+		return errors.New("group: no ledger attached")
+	}
+	s.groups = make(map[string]*members)
+	if err := s.restoreLocked(state); err != nil {
+		return err
+	}
+	return s.ledger.Reset(state, seq)
+}

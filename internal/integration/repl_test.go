@@ -1,0 +1,155 @@
+package integration
+
+// End-to-end replication failover over real TCP: the same wiring the
+// daemons' -standby/-replicate-from flags and `proxyctl promote`
+// produce — a primary accounting server shipping its WAL to a hot
+// standby that serves reads, then a fenced promotion after the primary
+// goes down.
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"proxykit/internal/accounting"
+	"proxykit/internal/ledger"
+	"proxykit/internal/principal"
+	"proxykit/internal/repl"
+	"proxykit/internal/statefile"
+	"proxykit/internal/svc"
+	"proxykit/internal/transport"
+)
+
+func TestReplFailoverOverTCP(t *testing.T) {
+	state := t.TempDir()
+	carol, err := statefile.CreateIdentity(state, principal.New("carol", realm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bankIdent, err := statefile.CreateIdentity(state, principal.New("bank", realm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := statefile.LoadDirectory(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve := dir.Resolver()
+
+	serveTCP := func(mux *transport.Mux) (*transport.TCPServer, string) {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := transport.NewTCPServer(l, mux)
+		t.Cleanup(func() { _ = srv.Close() })
+		return srv, srv.Addr().String()
+	}
+
+	// The primary: provisioned before its repl node exists, as acctd
+	// provisions before any standby attaches.
+	primary := accounting.NewServer(bankIdent, resolve, nil)
+	primDir := t.TempDir()
+	if _, err := primary.OpenLedger(ledger.Options{Dir: primDir, Fsync: ledger.FsyncOff}); err != nil {
+		t.Fatal(err)
+	}
+	defer primary.CloseLedger()
+	if err := primary.CreateAccount("carol", carol.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Mint("carol", "dollars", 1000); err != nil {
+		t.Fatal(err)
+	}
+	pmux := svc.NewAcctService(primary, resolve, nil).Mux()
+	pnode, err := repl.NewNode(repl.Config{SM: primary, Dir: primDir, SyncTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pnode.Close()
+	pnode.Mount(pmux)
+	psrv, paddr := serveTCP(pmux)
+
+	// The standby: an empty replica of the same bank identity, tailing
+	// the primary over TCP and serving reads on its own listener.
+	standby := accounting.NewServer(bankIdent, resolve, nil)
+	standbyDir := t.TempDir()
+	if _, err := standby.OpenLedger(ledger.Options{Dir: standbyDir, Fsync: ledger.FsyncOff}); err != nil {
+		t.Fatal(err)
+	}
+	defer standby.CloseLedger()
+	src, err := transport.DialTCP(paddr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smux := svc.NewAcctService(standby, resolve, nil).Mux()
+	snode, err := repl.NewNode(repl.Config{
+		SM: standby, Dir: standbyDir, Standby: true, Source: src,
+		PullWait: 50 * time.Millisecond, RetryWait: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snode.Close()
+	snode.Mount(smux)
+	_, saddr := serveTCP(smux)
+
+	// A semi-sync commit on the primary is on the standby by the time it
+	// returns; an RPC read from the standby sees it.
+	if err := primary.Mint("carol", "dollars", 500); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := transport.DialTCP(saddr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, err := svc.NewAcctClient(conn, carol, nil).Balance("carol", "dollars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal != 1500 {
+		t.Fatalf("standby read balance %d, want 1500", bal)
+	}
+
+	// The standby's commit gate refuses local writes.
+	if err := standby.Mint("carol", "dollars", 1); !errors.Is(err, repl.ErrNotPrimary) {
+		t.Fatalf("standby admitted a local mutation: err=%v", err)
+	}
+
+	// The primary dies; the operator promotes the standby over RPC —
+	// exactly what `proxyctl promote -addr` does.
+	_ = psrv.Close()
+	opConn, err := transport.DialTCP(saddr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newTerm, err := repl.NewClient(opConn).Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newTerm < 2 {
+		t.Fatalf("promotion term %d, want >= 2", newTerm)
+	}
+
+	// The deposed primary is fenced: its commit gate refuses every
+	// mutation from the moment it learns the new term.
+	if _, err := pnode.Fence(newTerm); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Mint("carol", "dollars", 1); !repl.IsFenced(err) {
+		t.Fatalf("fenced primary admitted a mutation: err=%v", err)
+	}
+
+	// The promoted standby is the writable primary now, and its reads
+	// reflect the new writes.
+	if err := standby.Mint("carol", "dollars", 250); err != nil {
+		t.Fatalf("promoted standby refused a write: %v", err)
+	}
+	bal, err = svc.NewAcctClient(conn, carol, nil).Balance("carol", "dollars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal != 1750 {
+		t.Fatalf("promoted standby balance %d, want 1750", bal)
+	}
+}

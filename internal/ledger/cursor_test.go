@@ -1,0 +1,288 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestReadEntriesTailsLiveWAL drives the shipping cursor over a live
+// ledger: every appended record is readable, in order, with correct
+// horizons.
+func TestReadEntriesTailsLiveWAL(t *testing.T) {
+	for _, mode := range []FsyncMode{FsyncAlways, FsyncInterval, FsyncOff} {
+		t.Run(mode.String(), func(t *testing.T) {
+			l, _ := openT(t, t.TempDir(), mode)
+			defer l.Close()
+			for i := 0; i < 20; i++ {
+				appendT(t, l, fmt.Sprintf("r%d", i))
+			}
+			res, err := l.ReadEntries(1, 0)
+			if err != nil {
+				t.Fatalf("ReadEntries: %v", err)
+			}
+			if len(res.Entries) != 20 || res.LastSeq != 20 || res.SnapSeq != 0 {
+				t.Fatalf("got %d entries, last %d, snap %d", len(res.Entries), res.LastSeq, res.SnapSeq)
+			}
+			for i, e := range res.Entries {
+				if e.Seq != uint64(i+1) || string(e.Data) != fmt.Sprintf("r%d", i) {
+					t.Fatalf("entry %d: seq %d data %q", i, e.Seq, e.Data)
+				}
+			}
+			// Bounded batch, offset start.
+			res, err = l.ReadEntries(11, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Entries) != 5 || res.Entries[0].Seq != 11 || res.Entries[4].Seq != 15 {
+				t.Fatalf("batch read wrong: %+v", res.Entries)
+			}
+			// Reading at the tip is an empty read, not an error.
+			res, err = l.ReadEntries(21, 0)
+			if err != nil || len(res.Entries) != 0 {
+				t.Fatalf("tip read: %d entries, err %v", len(res.Entries), err)
+			}
+		})
+	}
+}
+
+// TestReadEntriesTruncatedReportsSnapshotNeeded pins the catch-up
+// contract: once a snapshot truncates the WAL, a cursor positioned
+// below the horizon gets ErrTruncated plus the horizon to resume from.
+func TestReadEntriesTruncatedReportsSnapshotNeeded(t *testing.T) {
+	l, _ := openT(t, t.TempDir(), FsyncAlways)
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		appendT(t, l, fmt.Sprintf("r%d", i))
+	}
+	if err := l.WriteSnapshot([]byte(`{"covers":10}`), 10); err != nil {
+		t.Fatal(err)
+	}
+	// WAL is gone; a lagging cursor must be told to fetch the snapshot.
+	res, err := l.ReadEntries(5, 0)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("ReadEntries(5) after truncation: err %v, want ErrTruncated", err)
+	}
+	if res.SnapSeq != 10 {
+		t.Fatalf("SnapSeq %d, want 10", res.SnapSeq)
+	}
+	// Resuming from the horizon works and sees post-snapshot appends.
+	appendT(t, l, "after")
+	res, err = l.ReadEntries(res.SnapSeq+1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 1 || res.Entries[0].Seq != 11 || string(res.Entries[0].Data) != "after" {
+		t.Fatalf("post-snapshot read: %+v", res.Entries)
+	}
+}
+
+// TestReadEntriesExcludesUnackedCohort ships only records whose Append
+// has returned: frames parked in a forming group-commit cohort are
+// invisible to the cursor.
+func TestReadEntriesExcludesUnackedCohort(t *testing.T) {
+	l, _ := openT(t, t.TempDir(), FsyncAlways)
+	defer l.Close()
+	appendT(t, l, "durable")
+
+	// Simulate a forming cohort: frames in l.pending are not yet synced.
+	l.mu.Lock()
+	l.pending = appendFrame(l.pending, 99, []byte("unacked"))
+	l.mu.Unlock()
+	res, err := l.ReadEntries(1, 0)
+	l.mu.Lock()
+	l.pending = nil
+	l.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 1 || res.LastSeq != 1 {
+		t.Fatalf("cursor saw unacked cohort frames: %+v last %d", res.Entries, res.LastSeq)
+	}
+}
+
+// TestScanDuringSnapshotNotMisreportedAsCorrupt is the satellite-1
+// regression test: by-path readers (VerifyWAL, ScanOffsets) and the
+// in-process cursor run flat out while the owner appends and snapshots
+// (truncating the WAL under them); no reader may ever misreport a
+// healthy ledger as corrupt.
+func TestScanDuringSnapshotNotMisreportedAsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, FsyncInterval)
+	defer l.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	wg.Add(3)
+	go func() { // by-path verifier
+		defer wg.Done()
+		for !stop.Load() {
+			if _, _, err := VerifyWAL(WALPath(dir)); err != nil {
+				errs <- fmt.Errorf("VerifyWAL: %w", err)
+				return
+			}
+		}
+	}()
+	go func() { // by-path offset scanner
+		defer wg.Done()
+		for !stop.Load() {
+			if _, err := ScanOffsets(WALPath(dir)); err != nil {
+				errs <- fmt.Errorf("ScanOffsets: %w", err)
+				return
+			}
+		}
+	}()
+	go func() { // in-process shipping cursor
+		defer wg.Done()
+		var from uint64 = 1
+		for !stop.Load() {
+			res, err := l.ReadEntries(from, 64)
+			if err != nil {
+				if errors.Is(err, ErrTruncated) {
+					from = res.SnapSeq + 1 // catch up past the snapshot
+					continue
+				}
+				errs <- fmt.Errorf("ReadEntries: %w", err)
+				return
+			}
+			if n := len(res.Entries); n > 0 {
+				// Shipped batches are dense and in order.
+				for i, e := range res.Entries {
+					if e.Seq != from+uint64(i) {
+						errs <- fmt.Errorf("cursor gap: got seq %d at %d (from %d)", e.Seq, i, from)
+						return
+					}
+				}
+				from += uint64(n)
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(700 * time.Millisecond)
+	payload := []byte("snapshot-scan-race-payload")
+	for time.Now().Before(deadline) {
+		for i := 0; i < 8; i++ {
+			if _, err := l.Append(payload); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+		}
+		// Snapshot at the tip so the WAL truncates under the scanners.
+		if err := l.WriteSnapshot([]byte(`{}`), l.LastSeq()); err != nil {
+			t.Fatalf("WriteSnapshot: %v", err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestResetInstallsSnapshot pins Reset: state installed, WAL emptied,
+// sequence fast-forwarded, and a reopen recovers the installed state.
+func TestResetInstallsSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, FsyncAlways)
+	for i := 0; i < 3; i++ {
+		appendT(t, l, "pre-reset")
+	}
+	if err := l.Reset([]byte(`{"installed":true}`), 40); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if l.LastSeq() != 40 || l.SnapshotSeq() != 40 {
+		t.Fatalf("after reset: last %d snap %d, want 40/40", l.LastSeq(), l.SnapshotSeq())
+	}
+	if seq := appendT(t, l, "post-reset"); seq != 41 {
+		t.Fatalf("post-reset append seq %d, want 41", seq)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := openT(t, dir, FsyncAlways)
+	defer l2.Close()
+	if rec.SnapshotSeq != 40 || string(rec.Snapshot) != `{"installed":true}` {
+		t.Fatalf("recovered snapshot seq %d state %s", rec.SnapshotSeq, rec.Snapshot)
+	}
+	if rec.Replayed() != 1 || rec.Entries[0].Seq != 41 {
+		t.Fatalf("recovered entries %+v", rec.Entries)
+	}
+}
+
+// TestSnapshotterBacksOffOnFailure is the satellite-2 regression test:
+// a persistently failing snapshot func is retried with exponential
+// tick backoff (not at full tick rate), the failure is visible in
+// Health, and a success resets both the backoff and the health doc.
+func TestSnapshotterBacksOffOnFailure(t *testing.T) {
+	l, _ := openT(t, t.TempDir(), FsyncAlways)
+	defer l.Close()
+	appendT(t, l, "make NeedsSnapshot true")
+
+	var calls atomic.Int64
+	fail := atomic.Bool{}
+	fail.Store(true)
+	boom := errors.New("disk full")
+	stop := l.StartSnapshotter(time.Millisecond, func() error {
+		calls.Add(1)
+		if fail.Load() {
+			return boom
+		}
+		return l.WriteSnapshot([]byte(`{}`), l.LastSeq())
+	})
+	defer stop()
+
+	// ~120 ticks elapse; full-rate retry would attempt ~120 times, while
+	// 2/4/8/... backoff stays in single digits.
+	time.Sleep(120 * time.Millisecond)
+	n := calls.Load()
+	if n == 0 {
+		t.Fatal("snapshotter never attempted a snapshot")
+	}
+	if n > 12 {
+		t.Fatalf("failing snapshotter attempted %d times in ~120 ticks; backoff not working", n)
+	}
+	if err, at := l.LastSnapshotError(); !errors.Is(err, boom) || at.IsZero() {
+		t.Fatalf("LastSnapshotError = (%v, %v), want the injected failure", err, at)
+	}
+	if h := l.Health(); h["ledgerLastSnapshotError"] != boom.Error() {
+		t.Fatalf("healthz fragment missing snapshot error: %v", h)
+	}
+
+	// Recovery: the next successful attempt clears the error and resets
+	// the backoff.
+	fail.Store(false)
+	waitUntil(t, 5*time.Second, func() bool {
+		err, _ := l.LastSnapshotError()
+		return err == nil && !l.NeedsSnapshot()
+	})
+	if h := l.Health(); h["ledgerLastSnapshotError"] != nil {
+		t.Fatalf("healthz still reports a snapshot error after success: %v", h)
+	}
+}
+
+// waitUntil polls cond until it holds or the deadline expires.
+func waitUntil(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached before deadline")
+}
+
+// TestSnapshotBackoffTicks pins the backoff schedule itself.
+func TestSnapshotBackoffTicks(t *testing.T) {
+	want := map[int]int{0: 0, 1: 2, 2: 4, 3: 8, 4: 16, 5: 32, 6: 64, 7: 64, 100: 64}
+	for failures, ticks := range want {
+		if got := snapshotBackoffTicks(failures); got != ticks {
+			t.Errorf("snapshotBackoffTicks(%d) = %d, want %d", failures, got, ticks)
+		}
+	}
+}

@@ -51,6 +51,7 @@
 package ledger
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -72,6 +73,12 @@ var ErrCorrupt = errors.New("ledger: corrupt WAL")
 
 // ErrClosed is returned by operations on a closed ledger.
 var ErrClosed = errors.New("ledger: closed")
+
+// ErrTruncated is returned by ReadEntries when the requested sequence
+// number has been truncated away by a snapshot: the records below the
+// snapshot horizon are gone, and a shipper must install the snapshot
+// and resume from snapSeq+1.
+var ErrTruncated = errors.New("ledger: requested records truncated by snapshot")
 
 // On-disk names inside the ledger directory.
 const (
@@ -178,6 +185,12 @@ type Ledger struct {
 	// reverse.
 	syncMu sync.Mutex
 
+	// truncMu excludes WAL truncation (snapshot commit, Reset) from
+	// in-process readers: ReadEntries holds it shared while reading the
+	// file outside l.mu, so a shipper never observes the file shrinking
+	// mid-scan. Lock order: syncMu before truncMu before mu.
+	truncMu sync.RWMutex
+
 	mu        sync.Mutex
 	f         *os.File
 	buf       []byte // pending unwritten frames in FsyncOff mode
@@ -194,6 +207,9 @@ type Ledger struct {
 	hook      func(seq uint64)
 	hookGate  chan struct{} // closed once the newest append's hook has run
 	syncFault func() error  // test hook: injected fsync failure (set before use)
+
+	snapErr   error     // last background/explicit snapshot failure, nil after success
+	snapErrAt time.Time // when snapErr was recorded
 
 	stop   chan struct{}
 	exited chan struct{}
@@ -377,21 +393,63 @@ func (l *Ledger) scan(data []byte, rec *Recovery) error {
 	return err
 }
 
+// scanRetries is how many times the by-path readers re-read a file
+// that scans as corrupt before believing the corruption: a concurrent
+// snapshot truncation can rewrite the WAL under os.ReadFile, splicing
+// old and new bytes into a frankenread that fails checksums even
+// though both the before- and after-files are healthy. Real corruption
+// is stable across re-reads (the content no longer changes), so the
+// retry loop converges on the truth either way.
+const scanRetries = 3
+
+// readConsistent reads path, re-reading when the content scans as
+// corrupt but is still changing between reads (a racing truncation).
+// verify parses one read's bytes; its error is returned only once the
+// content is stable or the retry budget is exhausted.
+func readConsistent(path string, verify func(data []byte) error) error {
+	var prev []byte
+	for attempt := 0; ; attempt++ {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		verr := verify(data)
+		if verr == nil || !errors.Is(verr, ErrCorrupt) {
+			return verr
+		}
+		if attempt > 0 && bytes.Equal(data, prev) {
+			return verr // stable content: genuinely corrupt
+		}
+		if attempt >= scanRetries {
+			return verr
+		}
+		prev = data
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // VerifyWAL re-walks a WAL file's frames — lengths, checksums, dense
 // sequence numbers — without opening a ledger. It returns the number of
 // intact records and whether trailing bytes past the last intact frame
 // were found (a torn tail, which recovery would drop). Damage anywhere
-// before the tail returns ErrCorrupt.
+// before the tail returns ErrCorrupt. A concurrent snapshot truncation
+// by a live ledger in another process (or goroutine) is tolerated: the
+// file is re-read until the content is stable, so a mid-truncation
+// frankenread is never misreported as corruption.
 func VerifyWAL(path string) (records int, torn bool, err error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return 0, false, err
-	}
-	size, err := scanFrames(data, func(uint64, []byte) { records++ })
+	err = readConsistent(path, func(data []byte) error {
+		records, torn = 0, false
+		size, serr := scanFrames(data, func(uint64, []byte) { records++ })
+		if serr != nil {
+			return serr
+		}
+		torn = size != int64(len(data))
+		return nil
+	})
 	if err != nil {
 		return records, false, err
 	}
-	return records, size != int64(len(data)), nil
+	return records, torn, nil
 }
 
 // SetAppendHook installs a function called after every successful
@@ -711,6 +769,7 @@ func (l *Ledger) WriteSnapshot(state []byte, seq uint64) error {
 	start := time.Now()
 	err := l.writeSnapshot(state, seq)
 	mSnapshotSeconds.Observe(time.Since(start).Seconds())
+	l.noteSnapshot(err)
 	if err != nil {
 		mSnapshots.With("error").Inc()
 		return err
@@ -720,20 +779,9 @@ func (l *Ledger) WriteSnapshot(state []byte, seq uint64) error {
 	return nil
 }
 
-func (l *Ledger) writeSnapshot(state []byte, seq uint64) error {
-	raw, err := json.Marshal(snapshotFile{Seq: seq, State: state})
-	if err != nil {
-		return fmt.Errorf("ledger: snapshot: %w", err)
-	}
-	// syncMu first: a group-commit leader may be mid-write outside l.mu,
-	// and truncating underneath it would corrupt the WAL.
-	l.syncMu.Lock()
-	defer l.syncMu.Unlock()
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return ErrClosed
-	}
+// commitSnapshotLocked writes raw to snapshot.json.tmp (fsynced unless
+// the policy is off) and renames it into place. Callers hold l.mu.
+func (l *Ledger) commitSnapshotLocked(raw []byte) error {
 	path := SnapshotPath(l.dir)
 	tmp := path + ".tmp"
 	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
@@ -756,6 +804,46 @@ func (l *Ledger) writeSnapshot(state []byte, seq uint64) error {
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("ledger: snapshot: %w", err)
 	}
+	return nil
+}
+
+// truncateWALLocked discards the WAL file and any buffered frames.
+// Callers hold truncMu exclusively (no reader is mid-scan) and l.mu.
+func (l *Ledger) truncateWALLocked() error {
+	l.buf = l.buf[:0]
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("ledger: truncate WAL: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	l.size = 0
+	l.dirty = false
+	return nil
+}
+
+func (l *Ledger) writeSnapshot(state []byte, seq uint64) error {
+	raw, err := json.Marshal(snapshotFile{Seq: seq, State: state})
+	if err != nil {
+		return fmt.Errorf("ledger: snapshot: %w", err)
+	}
+	// syncMu first: a group-commit leader may be mid-write outside l.mu,
+	// and truncating underneath it would corrupt the WAL. truncMu next:
+	// an in-process reader (ReadEntries) may be mid-scan of the file
+	// outside l.mu, and truncating underneath it would make a healthy
+	// WAL read as corrupt.
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.truncMu.Lock()
+	defer l.truncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.commitSnapshotLocked(raw); err != nil {
+		return err
+	}
 	if seq > l.snapSeq {
 		l.snapSeq = seq
 	}
@@ -766,23 +854,126 @@ func (l *Ledger) writeSnapshot(state []byte, seq uint64) error {
 		// skips records at or below snapSeq. Frames still pending for a
 		// forming cohort are not covered by the snapshot and keep the
 		// WAL alive.
-		l.buf = l.buf[:0]
-		if err := l.f.Truncate(0); err != nil {
-			return fmt.Errorf("ledger: truncate WAL: %w", err)
+		if err := l.truncateWALLocked(); err != nil {
+			return err
 		}
-		if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-			return fmt.Errorf("ledger: %w", err)
-		}
-		l.size = 0
-		l.dirty = false
 	}
 	l.logger.Debug("ledger snapshot committed", "dir", l.dir, "seq", seq, "bytes", len(state))
 	return nil
 }
 
+// Reset installs an externally supplied snapshot — replication catch-up
+// handing a lagging standby the primary's state. It commits the
+// snapshot file, unconditionally truncates the WAL (every record it
+// held is covered or superseded by the installed state), and
+// fast-forwards the sequence counter to seq. The caller must have
+// replaced its in-memory state to match and must not be appending
+// concurrently.
+func (l *Ledger) Reset(state []byte, seq uint64) error {
+	raw, err := json.Marshal(snapshotFile{Seq: seq, State: state})
+	if err != nil {
+		return fmt.Errorf("ledger: reset: %w", err)
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.truncMu.Lock()
+	defer l.truncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.failed {
+		return fmt.Errorf("ledger: reset after earlier write failure: %w", l.failedErr)
+	}
+	if l.cohort != nil || len(l.pending) > 0 {
+		return errors.New("ledger: reset with in-flight appends")
+	}
+	if err := l.commitSnapshotLocked(raw); err != nil {
+		return err
+	}
+	if err := l.truncateWALLocked(); err != nil {
+		return err
+	}
+	l.seq = seq
+	l.snapSeq = seq
+	l.logger.Info("ledger reset to installed snapshot", "dir", l.dir, "seq", seq, "bytes", len(state))
+	return nil
+}
+
+// maxSnapshotBackoffTicks caps the failure backoff: after repeated
+// failures the snapshotter still probes every 64 intervals rather than
+// never again.
+const maxSnapshotBackoffTicks = 64
+
+// snapshotBackoffTicks returns how many ticker intervals to skip after
+// the n-th consecutive snapshot failure: 2, 4, 8, ... capped.
+func snapshotBackoffTicks(failures int) int {
+	if failures <= 0 {
+		return 0
+	}
+	if failures >= 6 { // 2<<6 already exceeds the cap
+		return maxSnapshotBackoffTicks
+	}
+	t := 1 << failures
+	if t > maxSnapshotBackoffTicks {
+		return maxSnapshotBackoffTicks
+	}
+	return t
+}
+
+// noteSnapshot records the outcome of a snapshot attempt for /healthz:
+// a failure is remembered (with its time) until a later attempt
+// succeeds.
+func (l *Ledger) noteSnapshot(err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err != nil {
+		l.snapErr = err
+		l.snapErrAt = time.Now()
+	} else {
+		l.snapErr = nil
+		l.snapErrAt = time.Time{}
+	}
+}
+
+// LastSnapshotError returns the most recent snapshot failure and when
+// it happened; nil after a success (or before any attempt).
+func (l *Ledger) LastSnapshotError() (error, time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapErr, l.snapErrAt
+}
+
+// Health returns a /healthz document fragment: sequence positions,
+// fail-closed state, and the last background snapshot failure if one is
+// outstanding — so a disk-full snapshotter is visible to probes instead
+// of only to the log.
+func (l *Ledger) Health() map[string]any {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h := map[string]any{
+		"ledgerLastSeq":     l.seq,
+		"ledgerSnapshotSeq": l.snapSeq,
+		"ledgerFailed":      l.failed,
+	}
+	if l.failedErr != nil {
+		h["ledgerFailedError"] = l.failedErr.Error()
+	}
+	if l.snapErr != nil {
+		h["ledgerLastSnapshotError"] = l.snapErr.Error()
+		h["ledgerLastSnapshotErrorAt"] = l.snapErrAt.UTC().Format(time.RFC3339Nano)
+	}
+	return h
+}
+
 // StartSnapshotter runs snapshot (typically the owning server's
-// SnapshotNow) every interval while new WAL records exist. The returned
-// stop function halts it and waits for exit; calling it twice is safe.
+// SnapshotNow) every interval while new WAL records exist. Repeated
+// failures back off exponentially — skipping 2, 4, ... up to 64 ticks —
+// so a persistent fault (disk full) does not flood the log at full tick
+// rate; the last failure is surfaced via Health/LastSnapshotError. The
+// returned stop function halts it and waits for exit; calling it twice
+// is safe.
 func (l *Ledger) StartSnapshotter(interval time.Duration, snapshot func() error) (stop func()) {
 	done := make(chan struct{})
 	exited := make(chan struct{})
@@ -790,14 +981,26 @@ func (l *Ledger) StartSnapshotter(interval time.Duration, snapshot func() error)
 		defer close(exited)
 		t := time.NewTicker(interval)
 		defer t.Stop()
+		failures, skip := 0, 0
 		for {
 			select {
 			case <-t.C:
+				if skip > 0 {
+					skip--
+					continue
+				}
 				if !l.NeedsSnapshot() {
 					continue
 				}
 				if err := snapshot(); err != nil {
-					l.logger.Error("ledger: background snapshot failed", "err", err)
+					failures++
+					skip = snapshotBackoffTicks(failures)
+					l.noteSnapshot(err)
+					l.logger.Error("ledger: background snapshot failed",
+						"err", err, "consecutiveFailures", failures, "backoffTicks", skip)
+				} else {
+					failures, skip = 0, 0
+					l.noteSnapshot(nil)
 				}
 			case <-done:
 				return
@@ -851,31 +1054,124 @@ type RecordPos struct {
 }
 
 // ScanOffsets parses a WAL file (without a ledger) and returns every
-// complete record's position, in order.
+// complete record's position, in order. Like VerifyWAL it tolerates a
+// concurrent snapshot truncation by re-reading until the content is
+// stable.
 func ScanOffsets(path string) ([]RecordPos, error) {
-	data, err := os.ReadFile(path)
+	var out []RecordPos
+	err := readConsistent(path, func(data []byte) error {
+		out = out[:0]
+		off := 0
+		for off < len(data) {
+			if len(data)-off < frameHeaderLen {
+				break
+			}
+			length := binary.LittleEndian.Uint32(data[off:])
+			if length < 8 || length > maxRecordLen {
+				return fmt.Errorf("%w: impossible record length %d at offset %d", ErrCorrupt, length, off)
+			}
+			end := off + frameHeaderLen + int(length)
+			if end > len(data) {
+				break
+			}
+			out = append(out, RecordPos{
+				Seq: binary.LittleEndian.Uint64(data[off+frameHeaderLen:]),
+				End: int64(end),
+			})
+			off = end
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	var out []RecordPos
-	off := 0
-	for off < len(data) {
-		if len(data)-off < frameHeaderLen {
-			break
-		}
-		length := binary.LittleEndian.Uint32(data[off:])
-		if length < 8 || length > maxRecordLen {
-			return nil, fmt.Errorf("%w: impossible record length %d at offset %d", ErrCorrupt, length, off)
-		}
-		end := off + frameHeaderLen + int(length)
-		if end > len(data) {
-			break
-		}
-		out = append(out, RecordPos{
-			Seq: binary.LittleEndian.Uint64(data[off+frameHeaderLen:]),
-			End: int64(end),
-		})
-		off = end
-	}
 	return out, nil
+}
+
+// CursorResult is one ReadEntries read: the records found plus the
+// sequence horizons that were current when the read began, so a
+// shipper can compute lag and detect truncation races exactly once.
+type CursorResult struct {
+	// Entries are the records with sequence numbers in [from, from+max),
+	// in order; empty when the caller is at the tip.
+	Entries []Entry
+	// SnapSeq is the snapshot horizon: records at or below it may be
+	// truncated away at any time.
+	SnapSeq uint64
+	// LastSeq is the last record visible to this read — durable frames
+	// plus (in FsyncOff mode) buffered ones. Records still waiting on an
+	// in-flight commit cohort are excluded: a shipper must never ship a
+	// record whose Append has not yet succeeded.
+	LastSeq uint64
+}
+
+// ReadEntries is the shipping cursor: it returns up to max records with
+// sequence numbers >= from, reading the live WAL without racing
+// snapshot truncation (it holds the truncation guard shared, so
+// WriteSnapshot waits rather than rewriting the file mid-scan). When
+// from falls below the snapshot horizon and the records are gone,
+// ReadEntries returns ErrTruncated with the horizon in CursorResult —
+// the caller fetches a snapshot and resumes from SnapSeq+1.
+func (l *Ledger) ReadEntries(from uint64, max int) (CursorResult, error) {
+	if max <= 0 {
+		max = 1 << 10
+	}
+	l.truncMu.RLock()
+	defer l.truncMu.RUnlock()
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return CursorResult{}, ErrClosed
+	}
+	size := l.size
+	snapSeq := l.snapSeq
+	f := l.f
+	var buffered []byte
+	if len(l.buf) > 0 {
+		buffered = append([]byte(nil), l.buf...)
+	}
+	l.mu.Unlock()
+
+	// The file region [0, size) is immutable while we hold truncMu
+	// shared: appends only extend the file past size, and truncation
+	// waits on the guard. A group-commit leader may be writing past
+	// size right now — those frames belong to appends that have not
+	// returned yet and are deliberately not visible to this read.
+	data := make([]byte, size, size+int64(len(buffered)))
+	if size > 0 {
+		if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+			return CursorResult{}, fmt.Errorf("ledger: cursor read: %w", err)
+		}
+	}
+	data = append(data, buffered...)
+
+	res := CursorResult{SnapSeq: snapSeq, LastSeq: snapSeq}
+	firstSeen := uint64(0)
+	_, err := scanFrames(data, func(seq uint64, payload []byte) {
+		if firstSeen == 0 {
+			firstSeen = seq
+		}
+		if seq > res.LastSeq {
+			res.LastSeq = seq
+		}
+		if seq >= from && len(res.Entries) < max {
+			res.Entries = append(res.Entries, Entry{Seq: seq, Data: payload})
+		}
+	})
+	if err != nil {
+		return CursorResult{}, err
+	}
+	// Records below the requested point that are no longer on disk are
+	// unreachable by shipping; the caller must catch up via snapshot.
+	// (from == firstSeen or later is servable; from past the tip is an
+	// empty read, not an error.)
+	lowest := snapSeq + 1
+	if firstSeen != 0 && firstSeen < lowest {
+		lowest = firstSeen
+	}
+	if from < lowest {
+		return res, ErrTruncated
+	}
+	return res, nil
 }

@@ -1,0 +1,238 @@
+package repl_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"proxykit/internal/accounting"
+	"proxykit/internal/acl"
+	"proxykit/internal/authz"
+	"proxykit/internal/clock"
+	"proxykit/internal/group"
+	"proxykit/internal/ledger"
+	"proxykit/internal/principal"
+	"proxykit/internal/pubkey"
+	"proxykit/internal/repl"
+	"proxykit/internal/transport"
+)
+
+// TestStandbyEquivalenceProperty drives a randomized mixed workload
+// against replicated accounting, group, and authz primaries and then
+// deep-compares each standby's full state (accounts, balances, holds,
+// accept-once registry, groups, rules) against its primary at the same
+// WAL sequence. The snapshots are deterministic sorted JSON, so
+// byte-equality IS deep state equality.
+func TestStandbyEquivalenceProperty(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runEquivalence(t, seed)
+		})
+	}
+}
+
+// replPair wires a standby of sm over net; primary must already be
+// mounted under name.
+func startStandby(t *testing.T, sm repl.StateMachine, dir string, net *transport.Network, name string) *repl.Node {
+	t.Helper()
+	node, err := repl.NewNode(repl.Config{
+		SM: sm, Dir: dir, Standby: true,
+		Source:   net.MustDial(name),
+		PullWait: 50 * time.Millisecond, RetryWait: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+	return node
+}
+
+func startPrimary(t *testing.T, sm repl.StateMachine, dir string, net *transport.Network, name string) *repl.Node {
+	t.Helper()
+	node, err := repl.NewNode(repl.Config{SM: sm, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+	mux := transport.NewMux()
+	node.Mount(mux)
+	net.Register(name, mux)
+	return node
+}
+
+func runEquivalence(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	clk := clock.NewFake(time.Unix(21_000_000, 0))
+	net := transport.NewNetwork()
+
+	pdir := pubkey.NewDirectory()
+	ids := map[principal.ID]*pubkey.Identity{}
+	gsrvID := principal.New("groups", "ISI.EDU")
+	authzID := principal.New("authz", "ISI.EDU")
+	for i, id := range []principal.ID{rCarol, rDave, rBank, gsrvID, authzID} {
+		ident := seededIdentity(t, id, byte(i+1))
+		ids[id] = ident
+		pdir.RegisterIdentity(ident)
+	}
+
+	// Accounting pair.
+	bankP := accounting.NewServer(ids[rBank], pdir.Resolver(), clk)
+	bankS := accounting.NewServer(ids[rBank], pdir.Resolver(), clk)
+	bpDir, bsDir := t.TempDir(), t.TempDir()
+	if _, err := bankP.OpenLedger(ledger.Options{Dir: bpDir, Fsync: ledger.FsyncOff}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bankS.OpenLedger(ledger.Options{Dir: bsDir, Fsync: ledger.FsyncOff}); err != nil {
+		t.Fatal(err)
+	}
+	defer bankP.CloseLedger()
+	defer bankS.CloseLedger()
+	startPrimary(t, bankP, bpDir, net, "bank")
+	startStandby(t, bankS, bsDir, net, "bank")
+
+	// Group pair.
+	grpP := group.New(ids[gsrvID], clk)
+	grpS := group.New(ids[gsrvID], clk)
+	gpDir, gsDir := t.TempDir(), t.TempDir()
+	if _, err := grpP.OpenLedger(ledger.Options{Dir: gpDir, Fsync: ledger.FsyncOff}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := grpS.OpenLedger(ledger.Options{Dir: gsDir, Fsync: ledger.FsyncOff}); err != nil {
+		t.Fatal(err)
+	}
+	defer grpP.CloseLedger()
+	defer grpS.CloseLedger()
+	startPrimary(t, grpP, gpDir, net, "groups")
+	startStandby(t, grpS, gsDir, net, "groups")
+
+	// Authz pair.
+	authP := authz.New(ids[authzID], clk)
+	authS := authz.New(ids[authzID], clk)
+	apDir, asDir := t.TempDir(), t.TempDir()
+	if _, err := authP.OpenLedger(ledger.Options{Dir: apDir, Fsync: ledger.FsyncOff}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := authS.OpenLedger(ledger.Options{Dir: asDir, Fsync: ledger.FsyncOff}); err != nil {
+		t.Fatal(err)
+	}
+	defer authP.CloseLedger()
+	defer authS.CloseLedger()
+	startPrimary(t, authP, apDir, net, "authz")
+	startStandby(t, authS, asDir, net, "authz")
+
+	// Seed accounts.
+	mustDo(t, bankP.CreateAccount("carol", rCarol))
+	mustDo(t, bankP.CreateAccount("dave", rDave))
+	mustDo(t, bankP.Mint("carol", "dollars", 50_000))
+	mustDo(t, bankP.Mint("dave", "dollars", 50_000))
+
+	accounts := []string{"carol", "dave"}
+	owners := map[string]principal.ID{"carol": rCarol, "dave": rDave}
+	groups := []string{"staff", "admins", "guests"}
+	var lastCheck *accounting.Check
+
+	const steps = 200
+	for i := 0; i < steps; i++ {
+		clk.Advance(time.Duration(1+rng.Intn(30)) * time.Second)
+		from := accounts[rng.Intn(len(accounts))]
+		to := accounts[rng.Intn(len(accounts))]
+		amount := int64(1 + rng.Intn(400))
+		switch rng.Intn(10) {
+		case 0:
+			_ = bankP.Mint(from, "dollars", amount)
+		case 1, 2:
+			// Business refusals (self-transfer, insufficient funds) are
+			// part of the workload.
+			_ = bankP.Transfer(from, to, "dollars", amount, []principal.ID{owners[from]})
+		case 3, 4: // check written, endorsed, and deposited
+			c, err := accounting.WriteCheck(accounting.WriteCheckParams{
+				Payor: ids[owners[from]], Bank: bankP.ID, Account: from,
+				Payee: owners[to], Currency: "dollars", Amount: amount,
+				Lifetime: time.Hour, Clock: clk,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			endorsed, err := c.Endorse(ids[owners[to]], bankP.ID, bankP.ID, bankP.Global(to), false, clk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _ = bankP.DepositCheck(endorsed, []principal.ID{owners[to]}, to)
+			lastCheck = endorsed
+		case 5: // replay the previous check: accept-once must refuse it
+			if lastCheck != nil {
+				_, _ = bankP.DepositCheck(lastCheck, nil, "")
+			}
+		case 6: // certified check: places a hold
+			c, err := accounting.WriteCheck(accounting.WriteCheckParams{
+				Payor: ids[owners[from]], Bank: bankP.ID, Account: from,
+				Payee: owners[to], Currency: "dollars", Amount: amount,
+				Lifetime: time.Hour, Clock: clk,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _ = bankP.Certify(from, []principal.ID{owners[from]}, c)
+		case 7:
+			g := groups[rng.Intn(len(groups))]
+			grpP.AddGroup(g)
+			grpP.AddMember(g, owners[from])
+		case 8:
+			g := groups[rng.Intn(len(groups))]
+			switch rng.Intn(3) {
+			case 0:
+				grpP.RemoveMember(g, owners[from])
+			case 1:
+				grpP.AddNestedGroup(g, grpP.Global(groups[rng.Intn(len(groups))]))
+			default:
+				grpP.AddMember(g, owners[to])
+			}
+		default:
+			authP.AddRule(authz.Rule{
+				EndServer: principal.New(fmt.Sprintf("srv%d", rng.Intn(4)), "ISI.EDU"),
+				Object:    fmt.Sprintf("obj%d", rng.Intn(8)),
+				Subject:   acl.Subject{Principals: []principal.ID{owners[from]}},
+				Ops:       []string{"read"},
+			})
+		}
+	}
+
+	// Wait for all three standbys to reach their primary's sequence,
+	// then compare snapshots byte for byte at the same seq.
+	type pair struct {
+		name string
+		p, s repl.StateMachine
+	}
+	pairs := []pair{{"accounting", bankP, bankS}, {"group", grpP, grpS}, {"authz", authP, authS}}
+	for _, pr := range pairs {
+		want := pr.p.Ledger().LastSeq()
+		deadline := time.Now().Add(10 * time.Second)
+		for pr.s.Ledger().LastSeq() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s standby stuck at %d, want %d", pr.name, pr.s.Ledger().LastSeq(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		pState, pSeq, err := pr.p.SnapshotState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sState, sSeq, err := pr.s.SnapshotState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pSeq != sSeq {
+			t.Fatalf("%s: snapshot seq %d (primary) != %d (standby)", pr.name, pSeq, sSeq)
+		}
+		if !bytes.Equal(pState, sState) {
+			t.Fatalf("%s: standby state diverged at seq %d:\nprimary: %s\nstandby: %s",
+				pr.name, pSeq, pState, sState)
+		}
+		if want == 0 {
+			t.Fatalf("%s: workload produced no WAL records", pr.name)
+		}
+	}
+}

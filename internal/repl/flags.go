@@ -1,0 +1,78 @@
+package repl
+
+// Daemon-side flag plumbing: acctd, groupd, and authzd all wire
+// replication identically, so the flag set and startup live here.
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"proxykit/internal/transport"
+)
+
+// Flags is the replication flag set shared by the ledgered daemons.
+type Flags struct {
+	// Standby starts the daemon as a read-only hot standby.
+	Standby bool
+	// ReplicateFrom is the primary's RPC address (required with
+	// Standby).
+	ReplicateFrom string
+	// SyncTimeout > 0 makes a primary semi-synchronous.
+	SyncTimeout time.Duration
+}
+
+// Register installs the replication flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&f.Standby, "standby", false,
+		"run as a read-only hot standby replaying the primary's WAL (requires -ledger-dir and -replicate-from)")
+	fs.StringVar(&f.ReplicateFrom, "replicate-from", "",
+		"primary's RPC address to replicate from (standby mode)")
+	fs.DurationVar(&f.SyncTimeout, "repl-sync-timeout", 0,
+		"semi-synchronous replication: hold each commit until a standby acknowledges it or this timeout passes; 0 ships asynchronously")
+}
+
+// Start creates and mounts the daemon's replication node. A daemon
+// with a durable ledger is always shippable (the repl.* methods are
+// mounted on its mux); the flags select standby mode and the primary's
+// durability/latency trade. Returns nil without error when ledgerDir
+// is empty and no replication flag was set.
+func (f *Flags) Start(sm StateMachine, ledgerDir string, mux *transport.Mux, logger *slog.Logger) (*Node, error) {
+	if ledgerDir == "" {
+		if f.Standby || f.ReplicateFrom != "" || f.SyncTimeout > 0 {
+			return nil, fmt.Errorf("repl: replication requires -ledger-dir")
+		}
+		return nil, nil
+	}
+	cfg := Config{
+		SM: sm, Dir: ledgerDir,
+		Standby:     f.Standby,
+		SyncTimeout: f.SyncTimeout,
+		Logger:      logger,
+	}
+	if f.Standby {
+		if f.ReplicateFrom == "" {
+			return nil, fmt.Errorf("repl: -standby requires -replicate-from")
+		}
+		src, err := transport.DialTCP(f.ReplicateFrom, 5*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("repl: dial primary %s: %w", f.ReplicateFrom, err)
+		}
+		cfg.Source = src
+	} else if f.ReplicateFrom != "" {
+		return nil, fmt.Errorf("repl: -replicate-from requires -standby")
+	}
+	node, err := NewNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	node.Mount(mux)
+	if logger != nil {
+		st := node.Status()
+		logger.Info("replication node started",
+			"role", st.Role.String(), "term", st.Term, "lastSeq", st.LastSeq,
+			"source", f.ReplicateFrom, "syncTimeout", f.SyncTimeout)
+	}
+	return node, nil
+}

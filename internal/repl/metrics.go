@@ -1,0 +1,27 @@
+package repl
+
+import "proxykit/internal/obs"
+
+// Replication metrics. Process-global like the ledger's: a process is
+// one node (primary or standby); in-process test topologies share the
+// counters, which the tests tolerate.
+var (
+	mShippedBatches = obs.Default.NewCounter("proxykit_repl_shipped_batches_total",
+		"Non-empty record batches served to standbys by the primary's shipping cursor.")
+	mShippedRecords = obs.Default.NewCounter("proxykit_repl_shipped_records_total",
+		"WAL records shipped to standbys, summed over batches.")
+	mStandbyApplies = obs.Default.NewCounter("proxykit_repl_standby_applies_total",
+		"Shipped WAL records this standby appended and applied through the shared replay path.")
+	mSnapshotInstalls = obs.Default.NewCounter("proxykit_repl_snapshot_installs_total",
+		"Full-snapshot catch-ups installed by this standby (the primary had truncated the needed records).")
+	mFencingRejections = obs.Default.NewCounter("proxykit_repl_fencing_rejections_total",
+		"Replication RPCs and commits refused because of a stale or deposed fencing term.")
+	mPromotes = obs.Default.NewCounter("proxykit_repl_promotes_total",
+		"Standby-to-primary promotions performed by this node.")
+	mSyncDegraded = obs.Default.NewCounter("proxykit_repl_sync_degraded_total",
+		"Semi-sync commits acknowledged without a standby ack (wait timed out; replication degraded to async).")
+	mLagSeq = obs.Default.NewGauge("proxykit_repl_lag_seq",
+		"Standby replication lag in WAL records: primary last sequence minus locally applied sequence.")
+	mLagSeconds = obs.Default.NewGauge("proxykit_repl_lag_seconds",
+		"Seconds since this standby last applied records or confirmed it was caught up with the primary.")
+)

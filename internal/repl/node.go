@@ -1,0 +1,362 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+
+	"proxykit/internal/ledger"
+	"proxykit/internal/transport"
+)
+
+// Config configures a replication node.
+type Config struct {
+	// SM is the server being replicated.
+	SM StateMachine
+	// Dir is the ledger directory; the fencing term persists beside the
+	// WAL and snapshot.
+	Dir string
+	// Standby starts the node as a pulling standby of Source instead of
+	// a primary.
+	Standby bool
+	// Source is the client to the primary's RPC mux; required for a
+	// standby, unused for a primary.
+	Source transport.Client
+	// SyncTimeout, when positive, makes the primary semi-synchronous:
+	// each commit's append hook holds the commit until a standby has
+	// acknowledged pulling it, or until this timeout passes (counted in
+	// proxykit_repl_sync_degraded_total). Zero ships asynchronously.
+	SyncTimeout time.Duration
+	// PullBatch bounds records per pull; default 256.
+	PullBatch int
+	// PullWait is the long-poll hold on an empty pull; default 500ms.
+	PullWait time.Duration
+	// RetryWait is the standby's pause after a failed pull or status
+	// call before redialing; default 250ms.
+	RetryWait time.Duration
+	// Logger receives replication diagnostics; nil discards.
+	Logger *slog.Logger
+}
+
+// Node is one replication endpoint: a primary shipping its WAL, or a
+// standby pulling and replaying it. Mount registers its RPC handlers;
+// Promote fails a standby over.
+type Node struct {
+	sm          StateMachine
+	lg          *ledger.Ledger
+	dir         string
+	logger      *slog.Logger
+	syncTimeout time.Duration
+	pullBatch   int
+	pullWait    time.Duration
+	retryWait   time.Duration
+	source      transport.Client
+
+	mu     sync.Mutex
+	role   Role
+	term   uint64
+	closed bool
+	// notify is closed and replaced on every primary append — the pulse
+	// that wakes held pulls.
+	notify chan struct{}
+	// ackSeq is the highest sequence a standby has acknowledged (by
+	// pulling from past it); ackCh is closed and replaced when it
+	// advances.
+	ackSeq uint64
+	ackCh  chan struct{}
+	// lastProgress is when the standby last applied records or
+	// confirmed being caught up (lag-seconds metric).
+	lastProgress time.Time
+
+	pullStop   chan struct{}
+	pullExited chan struct{}
+}
+
+// NewNode builds and starts a node: loads (or initializes) the fencing
+// term, installs the commit gate on the state machine, and — for a
+// primary — hooks the ledger's ordered append stream, or — for a
+// standby — starts the puller.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.SM == nil {
+		return nil, errors.New("repl: no state machine")
+	}
+	lg := cfg.SM.Ledger()
+	if lg == nil {
+		return nil, errors.New("repl: state machine has no ledger attached")
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("repl: no directory for term persistence")
+	}
+	if cfg.Standby && cfg.Source == nil {
+		return nil, errors.New("repl: standby requires a source client")
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	term, err := LoadTerm(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if term == 0 {
+		term = 1
+		if err := StoreTerm(cfg.Dir, term); err != nil {
+			return nil, err
+		}
+	}
+	n := &Node{
+		sm:           cfg.SM,
+		lg:           lg,
+		dir:          cfg.Dir,
+		logger:       logger,
+		syncTimeout:  cfg.SyncTimeout,
+		pullBatch:    cfg.PullBatch,
+		pullWait:     cfg.PullWait,
+		retryWait:    cfg.RetryWait,
+		source:       cfg.Source,
+		term:         term,
+		notify:       make(chan struct{}),
+		ackCh:        make(chan struct{}),
+		lastProgress: time.Now(),
+	}
+	if n.pullBatch <= 0 {
+		n.pullBatch = 256
+	}
+	if n.pullWait <= 0 {
+		n.pullWait = 500 * time.Millisecond
+	}
+	if n.retryWait <= 0 {
+		n.retryWait = 250 * time.Millisecond
+	}
+	cfg.SM.SetCommitGate(n.commitGate)
+	if cfg.Standby {
+		n.role = RoleStandby
+		n.pullStop = make(chan struct{})
+		n.pullExited = make(chan struct{})
+		go n.pullLoop(n.pullStop, n.pullExited)
+	} else {
+		n.role = RolePrimary
+		lg.SetAppendHook(n.onAppend)
+	}
+	return n, nil
+}
+
+// Role returns the node's current role.
+func (n *Node) Role() Role {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role
+}
+
+// Term returns the node's current fencing term.
+func (n *Node) Term() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.term
+}
+
+// commitGate is installed as the state machine's commit gate: only the
+// primary admits local mutations. Standbys fail closed with
+// ErrNotPrimary; deposed nodes with ErrFenced — this is what keeps a
+// split brain from double-paying a check.
+func (n *Node) commitGate() error {
+	n.mu.Lock()
+	role, term := n.role, n.term
+	n.mu.Unlock()
+	switch role {
+	case RolePrimary:
+		return nil
+	case RoleStandby:
+		return ErrNotPrimary
+	default:
+		mFencingRejections.Inc()
+		return fmt.Errorf("%w: local term %d", ErrFenced, term)
+	}
+}
+
+// onAppend is the primary's ordered append hook: wake held pulls, then
+// — in semi-sync mode — hold this commit until a standby acknowledges
+// having pulled past it. Hooks are delivered in sequence order, so at
+// most one commit waits here at a time and acknowledged prefixes are
+// dense.
+func (n *Node) onAppend(seq uint64) {
+	n.mu.Lock()
+	ch := n.notify
+	n.notify = make(chan struct{})
+	n.mu.Unlock()
+	close(ch)
+
+	if n.syncTimeout <= 0 {
+		return
+	}
+	deadline := time.NewTimer(n.syncTimeout)
+	defer deadline.Stop()
+	for {
+		n.mu.Lock()
+		if n.ackSeq >= seq || n.role != RolePrimary || n.closed {
+			n.mu.Unlock()
+			return
+		}
+		ack := n.ackCh
+		n.mu.Unlock()
+		select {
+		case <-ack:
+		case <-deadline.C:
+			mSyncDegraded.Inc()
+			n.logger.Warn("repl: semi-sync ack timed out; shipping degraded to async",
+				"seq", seq, "timeout", n.syncTimeout)
+			return
+		}
+	}
+}
+
+// observeAck records that a standby has pulled from position from —
+// acknowledging every record below it — and releases semi-sync waiters.
+func (n *Node) observeAck(from uint64) {
+	if from == 0 {
+		return
+	}
+	ack := from - 1
+	n.mu.Lock()
+	if ack > n.ackSeq {
+		n.ackSeq = ack
+		ch := n.ackCh
+		n.ackCh = make(chan struct{})
+		close(ch)
+	}
+	n.mu.Unlock()
+}
+
+// adoptTerm persists and adopts a higher term observed on the wire,
+// deposing this node if it believed itself primary. Returns the
+// (possibly unchanged) current term.
+func (n *Node) adoptTerm(term uint64) (uint64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if term <= n.term {
+		return n.term, nil
+	}
+	if err := StoreTerm(n.dir, term); err != nil {
+		return n.term, err
+	}
+	prev := n.role
+	n.term = term
+	if n.role == RolePrimary {
+		n.role = RoleDeposed
+		n.logger.Warn("repl: deposed by higher term", "term", term, "was", prev.String())
+	}
+	return n.term, nil
+}
+
+// Fence delivers a fencing term to this node (the repl.fence RPC and
+// `proxyctl promote` both land here): a term above the node's own
+// deposes it — its commit gate refuses all mutations from now on. A
+// term at or below the node's own is a stale fence and is refused.
+func (n *Node) Fence(term uint64) (uint64, error) {
+	n.mu.Lock()
+	cur := n.term
+	n.mu.Unlock()
+	if term <= cur {
+		mFencingRejections.Inc()
+		return cur, fmt.Errorf("repl: stale fence term %d (current %d)", term, cur)
+	}
+	return n.adoptTerm(term)
+}
+
+// Promote fails this standby over to primary: the puller is stopped
+// and drained, the fencing term advances past everything this node has
+// seen, and the ledger's append hook is installed so new commits ship
+// onward. Promoting a primary is idempotent; promoting a deposed node
+// is refused.
+func (n *Node) Promote() (uint64, error) {
+	n.mu.Lock()
+	switch n.role {
+	case RolePrimary:
+		t := n.term
+		n.mu.Unlock()
+		return t, nil
+	case RoleDeposed:
+		t := n.term
+		n.mu.Unlock()
+		mFencingRejections.Inc()
+		return t, fmt.Errorf("%w: cannot promote at term %d", ErrFenced, t)
+	}
+	stop, exited := n.pullStop, n.pullExited
+	n.pullStop, n.pullExited = nil, nil
+	n.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-exited // drain: no apply is mid-flight when the role flips
+	}
+
+	n.mu.Lock()
+	newTerm := n.term + 1
+	if err := StoreTerm(n.dir, newTerm); err != nil {
+		n.mu.Unlock()
+		return 0, err
+	}
+	n.term = newTerm
+	n.role = RolePrimary
+	n.lastProgress = time.Now()
+	n.mu.Unlock()
+	n.lg.SetAppendHook(n.onAppend)
+	mPromotes.Inc()
+	mLagSeq.Set(0)
+	mLagSeconds.Set(0)
+	n.logger.Info("repl: promoted to primary", "term", newTerm, "lastSeq", n.lg.LastSeq())
+	return newTerm, nil
+}
+
+// Close stops the puller (if any) and detaches the node. The state
+// machine's commit gate is left in place: a closed standby must not
+// silently become writable.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	stop, exited := n.pullStop, n.pullExited
+	n.pullStop, n.pullExited = nil, nil
+	role := n.role
+	n.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-exited
+	}
+	if role == RolePrimary {
+		n.lg.SetAppendHook(nil)
+	}
+}
+
+// Status is a point-in-time view of a node, served by repl.status.
+type Status struct {
+	Role    Role
+	Term    uint64
+	LastSeq uint64
+	SnapSeq uint64
+}
+
+// Status returns the node's current status.
+func (n *Node) Status() Status {
+	n.mu.Lock()
+	role, term := n.role, n.term
+	n.mu.Unlock()
+	return Status{Role: role, Term: term, LastSeq: n.lg.LastSeq(), SnapSeq: n.lg.SnapshotSeq()}
+}
+
+// Health contributes the node's replication state to a daemon's
+// /healthz document.
+func (n *Node) Health() map[string]any {
+	st := n.Status()
+	return map[string]any{
+		"replRole":    st.Role.String(),
+		"replTerm":    st.Term,
+		"replLastSeq": st.LastSeq,
+		"replSnapSeq": st.SnapSeq,
+	}
+}

@@ -1,0 +1,150 @@
+package repl
+
+import (
+	"time"
+)
+
+// pullLoop is the standby's tailing loop: long-poll the primary from
+// the local ledger position, replay what comes back through the shared
+// apply path, install a snapshot when the needed records were
+// truncated, and keep the lag gauges honest. Transport failures back
+// off and retry — the standby keeps serving reads while the primary is
+// away.
+func (n *Node) pullLoop(stop <-chan struct{}, exited chan<- struct{}) {
+	defer close(exited)
+	cl := NewClient(n.source)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		st, err := cl.Status()
+		if err != nil {
+			n.logger.Debug("repl: status from primary failed; retrying", "err", err)
+			if !n.sleep(stop, n.retryWait) {
+				return
+			}
+			continue
+		}
+		if _, err := n.adoptTerm(st.Term); err != nil {
+			n.logger.Error("repl: persisting observed term failed", "err", err)
+			if !n.sleep(stop, n.retryWait) {
+				return
+			}
+			continue
+		}
+		if st.Term < n.Term() {
+			// The source believes an older term than we have seen: it is
+			// a deposed primary. Never follow it — its tail may contain
+			// writes the fenced history does not.
+			mFencingRejections.Inc()
+			n.logger.Warn("repl: refusing to pull from stale-term source",
+				"sourceTerm", st.Term, "localTerm", n.Term())
+			if !n.sleep(stop, n.retryWait) {
+				return
+			}
+			continue
+		}
+		if !n.tail(stop, cl, st.Term) {
+			return
+		}
+		if !n.sleep(stop, n.retryWait) {
+			return
+		}
+	}
+}
+
+// tail pulls and applies until an error sends us back to the status
+// probe; false means stop was signalled and the loop must exit.
+func (n *Node) tail(stop <-chan struct{}, cl *Client, term uint64) bool {
+	for {
+		select {
+		case <-stop:
+			return false
+		default:
+		}
+		from := n.lg.LastSeq() + 1
+		res, err := cl.Pull(term, from, n.pullBatch, n.pullWait)
+		if err != nil {
+			n.logger.Debug("repl: pull failed; reprobing primary", "err", err)
+			return true
+		}
+		if res.Term != term {
+			return true // term moved: reprobe and re-adopt via status
+		}
+		if res.NeedSnapshot {
+			if !n.catchUpViaSnapshot(cl) {
+				return true
+			}
+			continue
+		}
+		for _, ent := range res.Entries {
+			if err := n.sm.ApplyReplicated(ent.Seq, ent.Data); err != nil {
+				// Divergence or a local ledger failure: applying further
+				// records would corrupt the books. Fail the puller loudly
+				// and leave the standby read-only at its last good state.
+				n.logger.Error("repl: apply failed; standby halted", "seq", ent.Seq, "err", err)
+				return false
+			}
+			mStandbyApplies.Inc()
+		}
+		n.noteProgress(res.LastSeq)
+	}
+}
+
+// catchUpViaSnapshot fetches and installs the primary's snapshot; false
+// sends the caller back to the status probe.
+func (n *Node) catchUpViaSnapshot(cl *Client) bool {
+	state, seq, _, err := cl.Snapshot()
+	if err != nil {
+		n.logger.Warn("repl: snapshot fetch failed", "err", err)
+		return false
+	}
+	if seq <= n.lg.LastSeq() {
+		// The primary snapshotted behind our position between the pull
+		// and the fetch; our records are still valid, keep tailing.
+		return true
+	}
+	if err := n.sm.InstallSnapshot(state, seq); err != nil {
+		n.logger.Error("repl: snapshot install failed", "seq", seq, "err", err)
+		return false
+	}
+	mSnapshotInstalls.Inc()
+	n.noteProgress(seq)
+	n.logger.Info("repl: installed catch-up snapshot", "seq", seq, "bytes", len(state))
+	return true
+}
+
+// noteProgress updates the lag gauges after a successful pull round:
+// primaryLast is the primary's last sequence as of that round.
+func (n *Node) noteProgress(primaryLast uint64) {
+	applied := n.lg.LastSeq()
+	var lag uint64
+	if primaryLast > applied {
+		lag = primaryLast - applied
+	}
+	now := time.Now()
+	n.mu.Lock()
+	n.lastProgress = now
+	n.mu.Unlock()
+	mLagSeq.Set(int64(lag))
+	mLagSeconds.Set(0)
+}
+
+// sleep waits d or until stop; false means stop was signalled. The lag
+// clock keeps counting while the primary is unreachable.
+func (n *Node) sleep(stop <-chan struct{}, d time.Duration) bool {
+	n.mu.Lock()
+	last := n.lastProgress
+	n.mu.Unlock()
+	mLagSeconds.Set(int64(time.Since(last) / time.Second))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}

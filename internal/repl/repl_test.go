@@ -1,0 +1,442 @@
+package repl_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"proxykit/internal/accounting"
+	"proxykit/internal/clock"
+	"proxykit/internal/ledger"
+	"proxykit/internal/principal"
+	"proxykit/internal/pubkey"
+	"proxykit/internal/repl"
+	"proxykit/internal/transport"
+)
+
+var (
+	rCarol = principal.New("carol", "ISI.EDU")
+	rDave  = principal.New("dave", "ISI.EDU")
+	rBank  = principal.New("bank", "ISI.EDU")
+)
+
+func seededIdentity(t *testing.T, id principal.ID, n byte) *pubkey.Identity {
+	t.Helper()
+	ident, err := pubkey.IdentityFromSeed(id, bytes.Repeat([]byte{n}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ident
+}
+
+// bankPair is a primary accounting server replicating to a hot standby
+// over the in-memory transport network.
+type bankPair struct {
+	t        *testing.T
+	clk      *clock.Fake
+	primary  *accounting.Server
+	standby  *accounting.Server
+	pNode    *repl.Node
+	sNode    *repl.Node
+	pDir     string
+	sDir     string
+	net      *transport.Network
+	syncMode bool
+}
+
+// newBank builds an accounting server with a durable ledger in dir.
+func newBank(t *testing.T, clk clock.Clock, dir string, fsync ledger.FsyncMode) *accounting.Server {
+	t.Helper()
+	pdir := pubkey.NewDirectory()
+	for i, id := range []principal.ID{rCarol, rDave, rBank} {
+		pdir.RegisterIdentity(seededIdentity(t, id, byte(i+1)))
+	}
+	s := accounting.NewServer(seededIdentity(t, rBank, 3), pdir.Resolver(), clk)
+	if _, err := s.OpenLedger(ledger.Options{Dir: dir, Fsync: fsync}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// newBankPair wires primary and standby nodes. syncTimeout > 0 makes
+// the primary semi-synchronous.
+func newBankPair(t *testing.T, syncTimeout time.Duration) *bankPair {
+	t.Helper()
+	bp := &bankPair{
+		t:        t,
+		clk:      clock.NewFake(time.Unix(20_000_000, 0)),
+		pDir:     t.TempDir(),
+		sDir:     t.TempDir(),
+		net:      transport.NewNetwork(),
+		syncMode: syncTimeout > 0,
+	}
+	bp.primary = newBank(t, bp.clk, bp.pDir, ledger.FsyncAlways)
+	bp.standby = newBank(t, bp.clk, bp.sDir, ledger.FsyncAlways)
+
+	mux := transport.NewMux()
+	var err error
+	bp.pNode, err = repl.NewNode(repl.Config{
+		SM: bp.primary, Dir: bp.pDir, SyncTimeout: syncTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.pNode.Mount(mux)
+	bp.net.Register("bank-primary", mux)
+
+	bp.sNode, err = repl.NewNode(repl.Config{
+		SM: bp.standby, Dir: bp.sDir, Standby: true,
+		Source:   bp.net.MustDial("bank-primary"),
+		PullWait: 100 * time.Millisecond, RetryWait: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		bp.sNode.Close()
+		bp.pNode.Close()
+		bp.primary.CloseLedger()
+		bp.standby.CloseLedger()
+	})
+	return bp
+}
+
+// waitCaughtUp blocks until the standby's ledger reaches the primary's
+// last sequence.
+func (bp *bankPair) waitCaughtUp() {
+	bp.t.Helper()
+	want := bp.primary.Ledger().LastSeq()
+	deadline := time.Now().Add(5 * time.Second)
+	for bp.standby.Ledger().LastSeq() < want {
+		if time.Now().After(deadline) {
+			bp.t.Fatalf("standby stuck at seq %d, want %d",
+				bp.standby.Ledger().LastSeq(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// assertEqualState byte-compares the two banks' deterministic snapshots
+// at the same sequence.
+func (bp *bankPair) assertEqualState() {
+	bp.t.Helper()
+	pState, pSeq, err := bp.primary.SnapshotState()
+	if err != nil {
+		bp.t.Fatal(err)
+	}
+	sState, sSeq, err := bp.standby.SnapshotState()
+	if err != nil {
+		bp.t.Fatal(err)
+	}
+	if pSeq != sSeq {
+		bp.t.Fatalf("snapshot seqs differ: primary %d, standby %d", pSeq, sSeq)
+	}
+	if !bytes.Equal(pState, sState) {
+		bp.t.Fatalf("states diverge at seq %d:\nprimary: %s\nstandby: %s", pSeq, pState, sState)
+	}
+}
+
+func TestTermPersistence(t *testing.T) {
+	dir := t.TempDir()
+	term, err := repl.LoadTerm(dir)
+	if err != nil || term != 0 {
+		t.Fatalf("fresh dir: term=%d err=%v, want 0, nil", term, err)
+	}
+	if err := repl.StoreTerm(dir, 7); err != nil {
+		t.Fatal(err)
+	}
+	term, err = repl.LoadTerm(dir)
+	if err != nil || term != 7 {
+		t.Fatalf("after store: term=%d err=%v, want 7, nil", term, err)
+	}
+	raw, err := os.ReadFile(repl.TermPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "7\n" {
+		t.Fatalf("term file = %q, want %q", raw, "7\n")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "repl_term.tmp")); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestStandbyTailsPrimary(t *testing.T) {
+	bp := newBankPair(t, 0)
+	mustDo(t, bp.primary.CreateAccount("carol", rCarol))
+	mustDo(t, bp.primary.CreateAccount("dave", rDave))
+	mustDo(t, bp.primary.Mint("carol", "dollars", 1_000))
+	for i := 0; i < 10; i++ {
+		mustDo(t, bp.primary.Transfer("carol", "dave", "dollars", 10, []principal.ID{rCarol}))
+	}
+	bp.waitCaughtUp()
+	bp.assertEqualState()
+
+	// The standby answers reads from replicated state...
+	bal, err := bp.standby.Balance("dave", "dollars", []principal.ID{rDave})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal != 100 {
+		t.Fatalf("standby balance = %d, want 100", bal)
+	}
+	// ...but fails every mutation closed.
+	if err := bp.standby.Mint("carol", "dollars", 1); !errors.Is(err, repl.ErrNotPrimary) {
+		t.Fatalf("standby Mint = %v, want ErrNotPrimary", err)
+	}
+	if err := bp.standby.CreateAccount("evil", rDave); !errors.Is(err, repl.ErrNotPrimary) {
+		t.Fatalf("standby CreateAccount = %v, want ErrNotPrimary", err)
+	}
+	if bp.sNode.Role() != repl.RoleStandby {
+		t.Fatalf("standby role = %v", bp.sNode.Role())
+	}
+}
+
+func TestSemiSyncCommitWaitsForStandbyAck(t *testing.T) {
+	bp := newBankPair(t, 5*time.Second)
+	mustDo(t, bp.primary.CreateAccount("carol", rCarol))
+	mustDo(t, bp.primary.CreateAccount("dave", rDave))
+	mustDo(t, bp.primary.Mint("carol", "dollars", 1_000))
+	for i := 0; i < 20; i++ {
+		mustDo(t, bp.primary.Transfer("carol", "dave", "dollars", 1, []principal.ID{rCarol}))
+		// Semi-sync: the commit only returned because a standby pulled
+		// past it, so the record is on the standby *now*, not eventually.
+		p, s := bp.primary.Ledger().LastSeq(), bp.standby.Ledger().LastSeq()
+		if s < p {
+			t.Fatalf("op %d: commit acked at seq %d but standby only at %d", i, p, s)
+		}
+	}
+	bp.assertEqualState()
+}
+
+func TestSemiSyncDegradesWithoutStandby(t *testing.T) {
+	dir := t.TempDir()
+	clk := clock.NewFake(time.Unix(20_000_000, 0))
+	bank := newBank(t, clk, dir, ledger.FsyncOff)
+	defer bank.CloseLedger()
+	node, err := repl.NewNode(repl.Config{SM: bank, Dir: dir, SyncTimeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	// No standby is pulling: each commit waits out the sync timeout and
+	// then completes anyway (degraded, not wedged).
+	start := time.Now()
+	mustDo(t, bank.CreateAccount("carol", rCarol))
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("semi-sync commit returned in %v, want >= 20ms wait", d)
+	}
+	mustDo(t, bank.Mint("carol", "dollars", 5))
+}
+
+func TestCatchUpViaSnapshot(t *testing.T) {
+	pDir, sDir := t.TempDir(), t.TempDir()
+	clk := clock.NewFake(time.Unix(20_000_000, 0))
+	primary := newBank(t, clk, pDir, ledger.FsyncAlways)
+	defer primary.CloseLedger()
+	pNode, err := repl.NewNode(repl.Config{SM: primary, Dir: pDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pNode.Close()
+
+	// Build history, snapshot (truncating the WAL), then more history:
+	// a fresh standby cannot tail from seq 1 and must install the
+	// snapshot first.
+	mustDo(t, primary.CreateAccount("carol", rCarol))
+	mustDo(t, primary.CreateAccount("dave", rDave))
+	mustDo(t, primary.Mint("carol", "dollars", 500))
+	mustDo(t, primary.SnapshotNow())
+	for i := 0; i < 5; i++ {
+		mustDo(t, primary.Transfer("carol", "dave", "dollars", 7, []principal.ID{rCarol}))
+	}
+	if primary.Ledger().SnapshotSeq() == 0 {
+		t.Fatal("snapshot did not truncate")
+	}
+
+	net := transport.NewNetwork()
+	mux := transport.NewMux()
+	pNode.Mount(mux)
+	net.Register("bank-primary", mux)
+	standby := newBank(t, clk, sDir, ledger.FsyncAlways)
+	defer standby.CloseLedger()
+	sNode, err := repl.NewNode(repl.Config{
+		SM: standby, Dir: sDir, Standby: true,
+		Source:   net.MustDial("bank-primary"),
+		PullWait: 50 * time.Millisecond, RetryWait: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sNode.Close()
+
+	want := primary.Ledger().LastSeq()
+	deadline := time.Now().Add(5 * time.Second)
+	for standby.Ledger().LastSeq() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("standby stuck at %d, want %d", standby.Ledger().LastSeq(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	pState, pSeq, _ := primary.SnapshotState()
+	sState, sSeq, _ := standby.SnapshotState()
+	if pSeq != sSeq || !bytes.Equal(pState, sState) {
+		t.Fatalf("post-catch-up divergence: seq %d vs %d", pSeq, sSeq)
+	}
+	// The standby's ledger carries the installed snapshot horizon, and
+	// recovery from its own directory works (reopen check).
+	if standby.Ledger().SnapshotSeq() == 0 {
+		t.Fatal("standby has no installed snapshot horizon")
+	}
+}
+
+func TestPromoteFencesDeposedPrimary(t *testing.T) {
+	bp := newBankPair(t, 0)
+	mustDo(t, bp.primary.CreateAccount("carol", rCarol))
+	mustDo(t, bp.primary.Mint("carol", "dollars", 100))
+	bp.waitCaughtUp()
+
+	oldTerm := bp.sNode.Term()
+	newTerm, err := bp.sNode.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newTerm != oldTerm+1 {
+		t.Fatalf("promoted term = %d, want %d", newTerm, oldTerm+1)
+	}
+	if bp.sNode.Role() != repl.RolePrimary {
+		t.Fatalf("promoted role = %v", bp.sNode.Role())
+	}
+	// The new primary accepts writes now.
+	mustDo(t, bp.standby.Mint("carol", "dollars", 50))
+
+	// Deliver the fence to the deposed primary: every local mutation is
+	// refused from here on.
+	if _, err := bp.pNode.Fence(newTerm); err != nil {
+		t.Fatal(err)
+	}
+	if bp.pNode.Role() != repl.RoleDeposed {
+		t.Fatalf("deposed role = %v", bp.pNode.Role())
+	}
+	err = bp.primary.Mint("carol", "dollars", 1_000_000)
+	if !repl.IsFenced(err) {
+		t.Fatalf("deposed Mint = %v, want fenced", err)
+	}
+	err = bp.primary.Transfer("carol", "carol", "dollars", 1, []principal.ID{rCarol})
+	if err == nil {
+		t.Fatal("deposed Transfer succeeded")
+	}
+	// The fenced term survives a restart of the deposed node.
+	term, err := repl.LoadTerm(bp.pDir)
+	if err != nil || term != newTerm {
+		t.Fatalf("persisted deposed term = %d, %v, want %d", term, err, newTerm)
+	}
+	// A stale fence (at or below current) is refused.
+	if _, err := bp.pNode.Fence(newTerm); err == nil {
+		t.Fatal("stale fence accepted")
+	}
+	// A deposed node can never promote itself back.
+	if _, err := bp.pNode.Promote(); !repl.IsFenced(err) {
+		t.Fatalf("deposed Promote = %v, want fenced", err)
+	}
+	// And it refuses to ship history: a puller that has seen the new
+	// term is told so; one that hasn't gets a fencing refusal too.
+	cl := repl.NewClient(bp.net.MustDial("bank-primary"))
+	if _, err := cl.Pull(oldTerm, 1, 16, 0); err == nil {
+		t.Fatal("deposed primary served a pull")
+	}
+	if _, _, _, err := cl.Snapshot(); err == nil {
+		t.Fatal("deposed primary served a snapshot")
+	}
+}
+
+func TestPullWithNewerTermDeposesPrimary(t *testing.T) {
+	bp := newBankPair(t, 0)
+	mustDo(t, bp.primary.CreateAccount("carol", rCarol))
+	bp.waitCaughtUp()
+
+	// A pull carrying a higher term than the primary's own means a
+	// promotion happened elsewhere: the primary must depose itself even
+	// though no explicit fence has arrived yet.
+	cl := repl.NewClient(bp.net.MustDial("bank-primary"))
+	higher := bp.pNode.Term() + 3
+	if _, err := cl.Pull(higher, 1, 16, 0); err == nil {
+		t.Fatal("pull with newer term was served")
+	}
+	if bp.pNode.Role() != repl.RoleDeposed {
+		t.Fatalf("primary role after newer-term pull = %v, want deposed", bp.pNode.Role())
+	}
+	if bp.pNode.Term() != higher {
+		t.Fatalf("primary term = %d, want adopted %d", bp.pNode.Term(), higher)
+	}
+	if err := bp.primary.Mint("carol", "dollars", 1); !repl.IsFenced(err) {
+		t.Fatalf("deposed Mint = %v, want fenced", err)
+	}
+}
+
+func TestPromoteIdempotentOnPrimary(t *testing.T) {
+	dir := t.TempDir()
+	clk := clock.NewFake(time.Unix(20_000_000, 0))
+	bank := newBank(t, clk, dir, ledger.FsyncOff)
+	defer bank.CloseLedger()
+	node, err := repl.NewNode(repl.Config{SM: bank, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	before := node.Term()
+	term, err := node.Promote()
+	if err != nil || term != before {
+		t.Fatalf("promote on primary = %d, %v, want %d, nil", term, err, before)
+	}
+}
+
+func TestStandbyRefusesStaleTermSource(t *testing.T) {
+	// Standby that has already seen term 5 must never follow a source
+	// still at term 1 — that source is a deposed primary whose tail may
+	// hold fenced writes.
+	pDir, sDir := t.TempDir(), t.TempDir()
+	clk := clock.NewFake(time.Unix(20_000_000, 0))
+	primary := newBank(t, clk, pDir, ledger.FsyncOff)
+	defer primary.CloseLedger()
+	pNode, err := repl.NewNode(repl.Config{SM: primary, Dir: pDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pNode.Close()
+	mustDo(t, primary.CreateAccount("carol", rCarol))
+
+	if err := repl.StoreTerm(sDir, 5); err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewNetwork()
+	mux := transport.NewMux()
+	pNode.Mount(mux)
+	net.Register("bank-primary", mux)
+	standby := newBank(t, clk, sDir, ledger.FsyncOff)
+	defer standby.CloseLedger()
+	sNode, err := repl.NewNode(repl.Config{
+		SM: standby, Dir: sDir, Standby: true,
+		Source:   net.MustDial("bank-primary"),
+		PullWait: 20 * time.Millisecond, RetryWait: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sNode.Close()
+
+	time.Sleep(100 * time.Millisecond)
+	if got := standby.Ledger().LastSeq(); got != 0 {
+		t.Fatalf("standby replicated %d records from a stale-term source", got)
+	}
+}
+
+func mustDo(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -172,6 +172,18 @@ func (c *Cache) Restore(entries []Entry) {
 	}
 }
 
+// Clear empties the registry. Replication snapshot installs replace the
+// accept-once state wholesale: the installed snapshot carries the
+// primary's entries, and anything retained locally belongs to a history
+// the standby is abandoning.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]time.Time)
+	c.buckets = make(map[int64][]string)
+	c.ops = 0
+}
+
 // Len reports the number of retained entries (including expired entries
 // not yet swept).
 func (c *Cache) Len() int {

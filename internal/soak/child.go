@@ -32,6 +32,7 @@ import (
 	"proxykit/internal/ledger"
 	"proxykit/internal/principal"
 	"proxykit/internal/pubkey"
+	"proxykit/internal/repl"
 	"proxykit/internal/svc"
 	"proxykit/internal/transport"
 )
@@ -163,7 +164,16 @@ func runChild(dir, addr string) error {
 	if err != nil {
 		return err
 	}
-	transport.NewTCPServer(l, svc.NewAcctService(w.bank, w.dir.Resolver(), nil).Mux())
+	mux := svc.NewAcctService(w.bank, w.dir.Resolver(), nil).Mux()
+	// The child always ships its WAL (asynchronously): the failover
+	// scenario attaches a parent-side standby to these repl.* methods
+	// and promotes it after each SIGKILL.
+	node, err := repl.NewNode(repl.Config{SM: w.bank, Dir: filepath.Join(dir, "ledger")})
+	if err != nil {
+		return err
+	}
+	node.Mount(mux)
+	transport.NewTCPServer(l, mux)
 	// The ready file is the recovery handshake: state replayed, socket
 	// listening. The parent removes it before each restart.
 	return os.WriteFile(filepath.Join(dir, "ready"), []byte("ok\n"), 0o600)
@@ -180,6 +190,19 @@ type childCtl struct {
 
 	seq      atomic.Int64
 	lastPaid atomic.Value // string: highest check number known paid
+
+	standby *standbyCtl
+}
+
+// standbyCtl is the in-process hot standby of the child bank used by
+// the failover scenario: a full replica (own ledger, own repl node)
+// tailing the child's WAL over TCP, promoted after each SIGKILL and
+// discarded once audited.
+type standbyCtl struct {
+	dir   string
+	world *childWorld
+	conn  *transport.TCPClient
+	node  *repl.Node
 }
 
 func startChild(h *harness) (*childCtl, error) {
@@ -209,7 +232,136 @@ func startChild(h *harness) (*childCtl, error) {
 		return nil, err
 	}
 	c.bankC = svc.NewAcctClient(conn, world.bob, nil)
+	if h.cfg.Failover {
+		if err := c.attachStandby(); err != nil {
+			c.stop()
+			return nil, err
+		}
+	}
 	return c, nil
+}
+
+// attachStandby starts a fresh hot standby replicating from the child.
+// Its ledger starts empty: the whole economy — provisioning included —
+// arrives through the shipping stream (or a snapshot install when the
+// child's snapshotter has already truncated the WAL).
+func (c *childCtl) attachStandby() error {
+	dir, err := os.MkdirTemp("", "soak-standby-")
+	if err != nil {
+		return err
+	}
+	world, err := newChildWorld()
+	if err != nil {
+		os.RemoveAll(dir)
+		return err
+	}
+	if _, err := world.bank.OpenLedger(ledger.Options{Dir: filepath.Join(dir, "ledger"), Fsync: ledger.FsyncOff}); err != nil {
+		os.RemoveAll(dir)
+		return err
+	}
+	conn, err := transport.DialTCP(c.addr, 5*time.Second)
+	if err != nil {
+		world.bank.CloseLedger()
+		os.RemoveAll(dir)
+		return err
+	}
+	node, err := repl.NewNode(repl.Config{
+		SM:        world.bank,
+		Dir:       filepath.Join(dir, "ledger"),
+		Standby:   true,
+		Source:    conn,
+		PullWait:  100 * time.Millisecond,
+		RetryWait: 50 * time.Millisecond,
+	})
+	if err != nil {
+		conn.Close()
+		world.bank.CloseLedger()
+		os.RemoveAll(dir)
+		return err
+	}
+	c.standby = &standbyCtl{dir: dir, world: world, conn: conn, node: node}
+	return nil
+}
+
+func (c *childCtl) detachStandby() {
+	s := c.standby
+	if s == nil {
+		return
+	}
+	c.standby = nil
+	s.node.Close()
+	s.conn.Close()
+	s.world.bank.CloseLedger()
+	_ = os.RemoveAll(s.dir)
+}
+
+// awaitStandbyCaughtUp blocks until the standby's WAL position reaches
+// the child's position as of the call. Load keeps the child's position
+// moving, but anything acknowledged before this snapshot — the last
+// paid check in particular — is on the standby once it returns.
+func (c *childCtl) awaitStandbyCaughtUp(timeout time.Duration) error {
+	conn, err := transport.DialTCP(c.addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	st, err := repl.NewClient(conn).Status()
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(timeout)
+	for c.standby.node.Status().LastSeq < st.LastSeq {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("standby stuck at seq %d, child at %d after %s",
+				c.standby.node.Status().LastSeq, st.LastSeq, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil
+}
+
+// failoverAudit promotes the standby over the dead child and audits the
+// new primary: the read-only gate held until promotion, the fencing
+// term advanced, the books conserve, the last acknowledged check is
+// refused (accept-once survives failover), and fresh writes clear.
+func (c *childCtl) failoverAudit(cycle int, refuseNum string) error {
+	s := c.standby
+	gateCheck, err := s.world.writeNumbered(fmt.Sprintf("failover-%06d-gate", cycle), 1)
+	if err != nil {
+		return err
+	}
+	if _, err := s.world.bank.DepositCheck(gateCheck, []principal.ID{s.world.bob.ID}, "bob"); !errors.Is(err, repl.ErrNotPrimary) {
+		return fmt.Errorf("standby admitted a local mutation before promotion (err=%v)", err)
+	}
+	oldTerm := s.node.Term()
+	newTerm, err := s.node.Promote()
+	if err != nil {
+		return fmt.Errorf("promote: %w", err)
+	}
+	if newTerm <= oldTerm {
+		return fmt.Errorf("promotion did not advance the term: %d -> %d", oldTerm, newTerm)
+	}
+	t := s.world.bank.Totals()
+	if got := t.Balances["dollars"] + t.Uncollected["dollars"] + t.Held["dollars"]; got != childMint {
+		return fmt.Errorf("conservation violated on promoted standby: books hold %d, minted %d", got, childMint)
+	}
+	if refuseNum != "" {
+		endorsed, err := s.world.writeNumbered(refuseNum, 1)
+		if err != nil {
+			return err
+		}
+		if _, err := s.world.bank.DepositCheck(endorsed, []principal.ID{s.world.bob.ID}, "bob"); !errors.Is(err, accounting.ErrDuplicateCheck) {
+			return fmt.Errorf("promoted standby honored already-paid check %q (err=%v)", refuseNum, err)
+		}
+	}
+	fresh, err := s.world.writeNumbered(fmt.Sprintf("failover-%06d-fresh", cycle), 1)
+	if err != nil {
+		return err
+	}
+	if _, err := s.world.bank.DepositCheck(fresh, []principal.ID{s.world.bob.ID}, "bob"); err != nil {
+		return fmt.Errorf("promoted standby refused a fresh deposit: %w", err)
+	}
+	return nil
 }
 
 func (c *childCtl) readyPath() string { return filepath.Join(c.dir, "ready") }
@@ -231,6 +383,7 @@ func (c *childCtl) spawn() error {
 }
 
 func (c *childCtl) stop() {
+	c.detachStandby()
 	if c.proc != nil {
 		c.proc.Stop()
 	}
@@ -257,6 +410,16 @@ func (c *childCtl) deposit(amount int64) error {
 // crashOnce is one full SIGKILL/audit/recover cycle. Any assertion
 // failure is an invariant violation and ends the run.
 func (c *childCtl) crashOnce() error {
+	// The failover scenario pins the accept-once target before the kill:
+	// the last check known paid is on the standby once catch-up returns,
+	// so the promoted replica must refuse it later.
+	var refuseNum string
+	if c.standby != nil {
+		refuseNum, _ = c.lastPaid.Load().(string)
+		if err := c.awaitStandbyCaughtUp(10 * time.Second); err != nil {
+			return fmt.Errorf("standby catch-up before failover: %w", err)
+		}
+	}
 	if err := c.proc.Kill(); err != nil {
 		return err
 	}
@@ -265,6 +428,18 @@ func (c *childCtl) crashOnce() error {
 	crash := c.h.crashes
 	c.h.mu.Unlock()
 	c.h.logf("soak: crash cycle %d: child bank SIGKILLed", crash)
+
+	if c.standby != nil {
+		if err := c.failoverAudit(crash, refuseNum); err != nil {
+			c.detachStandby()
+			return fmt.Errorf("failover audit (cycle %d): %w", crash, err)
+		}
+		c.detachStandby()
+		c.h.mu.Lock()
+		c.h.failovers++
+		c.h.mu.Unlock()
+		c.h.logf("soak: crash cycle %d: standby promoted, audited, and retired", crash)
+	}
 
 	if err := c.auditOffline(); err != nil {
 		return fmt.Errorf("post-crash audit (cycle %d): %w", crash, err)
@@ -298,6 +473,11 @@ func (c *childCtl) crashOnce() error {
 		}
 		if last != nil {
 			return fmt.Errorf("re-presenting %q to recovered child bank: %w", num, last)
+		}
+	}
+	if c.h.cfg.Failover {
+		if err := c.attachStandby(); err != nil {
+			return fmt.Errorf("re-attach standby (cycle %d): %w", crash, err)
 		}
 	}
 	c.h.mu.Lock()

@@ -57,6 +57,12 @@ type Config struct {
 	// NoChild disables the child-process bank and its crash/recovery
 	// cycles — used by deterministic-schedule tests.
 	NoChild bool
+	// Failover runs a hot standby replicating the child bank's WAL and,
+	// on every crash cycle, promotes it under load before the child is
+	// restarted: the promoted replica must have held its read-only gate,
+	// advanced the fencing term, conserved money, refused the last
+	// acknowledged check, and cleared fresh writes. Ignored with NoChild.
+	Failover bool
 	// ChildArgs are extra argv entries for the re-exec'd child process.
 	ChildArgs []string
 	// InjectDoubleCredit mints unaccounted money into a customer
@@ -82,6 +88,9 @@ type Report struct {
 	// Crashes and Recoveries count child-bank SIGKILL cycles; they are
 	// equal unless the run ended mid-cycle.
 	Crashes, Recoveries int
+	// Failovers counts standby promotions that passed the failover audit
+	// (Failover mode only).
+	Failovers int
 	// DowntimeErrors counts child-bank ops that failed while the child
 	// was dead or restarting — expected, not violations.
 	DowntimeErrors int
@@ -117,6 +126,7 @@ type harness struct {
 	verifyPasses int
 	crashes      int
 	recoveries   int
+	failovers    int
 	downtimeErrs int
 
 	child          *childCtl
@@ -343,6 +353,7 @@ func Run(cfg Config) (*Report, error) {
 		VerifyPasses:   h.verifyPasses,
 		Crashes:        h.crashes,
 		Recoveries:     h.recoveries,
+		Failovers:      h.failovers,
 		DowntimeErrors: h.downtimeErrs,
 	}
 	return rep, h.violation

@@ -31,6 +31,7 @@ func TestSoakStorm(t *testing.T) {
 	rep, err := Run(Config{
 		Seed:     *soakSeed,
 		Duration: *soakTime,
+		Failover: true,
 		Logf:     t.Logf,
 	})
 	if err != nil {
@@ -44,6 +45,9 @@ func TestSoakStorm(t *testing.T) {
 	}
 	if rep.Recoveries != rep.Crashes {
 		t.Errorf("crashes=%d recoveries=%d, want equal", rep.Crashes, rep.Recoveries)
+	}
+	if rep.Failovers != rep.Crashes {
+		t.Errorf("failovers=%d crashes=%d, want a promote-under-load audit per crash cycle", rep.Failovers, rep.Crashes)
 	}
 	for _, name := range []string{
 		"authorize", "transfer", "deposit", "clearing", "certified",
